@@ -1,0 +1,92 @@
+// Connected-components throughput across graph families (google-benchmark):
+// every implementation in the repository on every named workload family.
+// Complements bench_scaling (which sweeps size on one family).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/hirschberg_gca.hpp"
+#include "graph/cc_baselines.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "pram/hirschberg.hpp"
+#include "pram/shiloach_vishkin.hpp"
+
+namespace {
+
+using gcalib::graph::Graph;
+using gcalib::graph::NodeId;
+
+const std::vector<std::string>& families() {
+  static const std::vector<std::string> kFamilies = {
+      "gnp:0.05", "gnp:0.5", "path", "star", "complete",
+      "tree",     "cliques:4", "planted:4:0.3"};
+  return kFamilies;
+}
+
+Graph family_graph(std::int64_t family_index, NodeId n) {
+  return gcalib::graph::make_named(
+      families()[static_cast<std::size_t>(family_index)], n, 42);
+}
+
+void BM_Family_Gca(benchmark::State& state) {
+  const Graph g = family_graph(state.range(0), 64);
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  for (auto _ : state) {
+    gcalib::core::HirschbergGca machine(g);
+    benchmark::DoNotOptimize(machine.run(options).labels.data());
+  }
+  state.SetLabel(families()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_Family_Gca)->DenseRange(0, 7);
+
+void BM_Family_HirschbergReference(benchmark::State& state) {
+  const Graph g = family_graph(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::pram::hirschberg_reference(g).data());
+  }
+  state.SetLabel(families()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_Family_HirschbergReference)->DenseRange(0, 7);
+
+void BM_Family_ShiloachVishkin(benchmark::State& state) {
+  const Graph g = family_graph(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gcalib::pram::shiloach_vishkin_reference(g).data());
+  }
+  state.SetLabel(families()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_Family_ShiloachVishkin)->DenseRange(0, 7);
+
+void BM_Family_UnionFind(benchmark::State& state) {
+  const Graph g = family_graph(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::graph::union_find_components(g).data());
+  }
+  state.SetLabel(families()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_Family_UnionFind)->DenseRange(0, 7);
+
+void BM_Family_Bfs(benchmark::State& state) {
+  const Graph g = family_graph(state.range(0), 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::graph::bfs_components(g).data());
+  }
+  state.SetLabel(families()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_Family_Bfs)->DenseRange(0, 7);
+
+void BM_GraphGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family_graph(state.range(0), 64).edge_count());
+  }
+  state.SetLabel(families()[static_cast<std::size_t>(state.range(0))]);
+}
+BENCHMARK(BM_GraphGeneration)->DenseRange(0, 7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

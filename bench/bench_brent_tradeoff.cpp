@@ -1,0 +1,42 @@
+// Quantifies the section-3 cost argument: reducing the number of physical
+// cells below n^2 (Brent-theorem virtualisation) multiplies the runtime by
+// ceil(n(n+1)/p) while barely reducing hardware cost, because the O(n^2)
+// state must exist regardless and a GCA cell's logic costs about as much as
+// a few memory words.  This is the paper's justification for choosing n^2
+// cells despite PRAM work-optimality pointing at fewer processors.
+//
+// Usage: bench_brent_tradeoff [--n 16]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "hw/brent.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcalib;
+  const CliArgs args = CliArgs::parse_or_exit(argc, argv, {{"n", true}});
+  const auto n = static_cast<std::size_t>(args.get_int("n", 16));
+
+  std::printf("Brent virtualisation tradeoff (paper sections 1 and 3), n = %zu\n\n",
+              n);
+  TextTable table({"p (cells)", "slowdown", "cycles", "logic elements",
+                   "register bits", "cost x time (norm.)"});
+  const auto points = hw::brent_tradeoff(n);
+  const double best = points.front().cost_time_product;
+  for (const hw::BrentPoint& point : points) {
+    table.add_row({with_commas(point.physical_cells),
+                   std::to_string(point.slowdown) + "x",
+                   with_commas(point.cycles), with_commas(point.logic_elements),
+                   with_commas(point.register_bits),
+                   fixed(point.cost_time_product / best, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nreading: the register file (state) dominates hardware cost and is\n"
+      "independent of p, so no p below n(n+1) beats full parallelism on the\n"
+      "cost x time product (the curve is bumpy where ceil(n(n+1)/p) jumps) —\n"
+      "\"there is no asymptotic advantage in hardware cost to reduce the\n"
+      "number of processing elements below n^2\" (section 3).\n");
+  return 0;
+}

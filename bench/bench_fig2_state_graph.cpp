@@ -1,0 +1,30 @@
+// Reproduces Figure 2: the state machine of the GCA algorithm — for every
+// generation, the pointer operation (left column of the figure) and the
+// data operation (right column), as actually executed by the engine.
+//
+// Usage: bench_fig2_state_graph
+#include <cstdio>
+
+#include "common/format.hpp"
+#include "core/schedule.hpp"
+#include "core/state_graph.hpp"
+
+int main() {
+  using gcalib::core::GenerationInfo;
+  std::printf("Figure 2 reproduction — GCA state graph\n");
+  std::printf("(pointer operation / data operation per generation)\n\n");
+
+  for (const GenerationInfo& info : gcalib::core::state_graph()) {
+    std::printf("generation %2d  [%s]  (step %d%s)\n",
+                static_cast<int>(info.id), info.name, info.step,
+                info.subgenerations ? ", log2(n) sub-generations" : "");
+    std::printf("    pointer: %s\n", info.pointer_op);
+    std::printf("    data:    %s\n", info.data_op);
+    std::printf("    active:  %s\n\n", info.active);
+  }
+
+  std::printf("loop structure: generation 0 once, then generations 1..11\n");
+  std::printf("repeated ceil(log2 n) times; generations 3, 7, 10 iterate\n");
+  std::printf("ceil(log2 n) sub-generations each.\n");
+  return 0;
+}

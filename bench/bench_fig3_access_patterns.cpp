@@ -1,0 +1,79 @@
+// Reproduces Figure 3: the access patterns for n = 4 — for every
+// generation of the first iteration, which cells are active (shaded in the
+// figure; bracketed here) and where each active cell reads from.
+//
+// Usage: bench_fig3_access_patterns [--n 4] [--edges] [--field]
+//   --edges  also list every (reader <- target) access edge
+//   --field  also dump the D field contents after each generation
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "core/state_graph.hpp"
+#include "gca/trace.hpp"
+#include "graph/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcalib;
+  const CliArgs args = CliArgs::parse_or_exit(
+      argc, argv, {{"n", true}, {"edges", false}, {"field", false}});
+  const auto n = static_cast<graph::NodeId>(args.get_int("n", 4));
+  const bool show_edges = args.has("edges");
+  const bool show_field = args.has("field");
+
+  // The figure's configuration: n = 4, cells numbered by linear index,
+  // first four rows form the square, the last row forms D_N.
+  const graph::Graph g = graph::path(n);
+  std::printf("Figure 3 reproduction — access patterns for n = %u\n", n);
+  std::printf("(cell numbers are linear indices; [bracketed] cells are active;\n");
+  std::printf(" the bottom row is D_N; graph: path 0-1-...-%u)\n\n", n - 1);
+
+  core::HirschbergGca machine(g);
+  machine.engine().set_record_access(true);
+  const gca::FieldGeometry& geo = machine.geometry();
+
+  const auto show = [&](const std::string& title) {
+    std::printf("--- %s ---\n", title.c_str());
+    std::fputs(
+        gca::render_indexed_mask(geo, machine.engine().last_active()).c_str(),
+        stdout);
+    if (show_edges) {
+      std::fputs(
+          gca::render_access_edges(geo, machine.engine().last_access()).c_str(),
+          stdout);
+    }
+    if (show_field) {
+      std::fputs(
+          gca::render_numeric_field(geo, machine.d_snapshot(), core::kInfData)
+              .c_str(),
+          stdout);
+    }
+    std::printf("\n");
+  };
+
+  machine.initialize();
+  show(core::generation_label(core::Generation::kInit, 0));
+
+  const unsigned subs = core::subgeneration_count(n);
+  static constexpr core::Generation kOrder[] = {
+      core::Generation::kCopyCToRows, core::Generation::kMaskNeighbors,
+      core::Generation::kRowMin,      core::Generation::kFallback,
+      core::Generation::kCopyTToRows, core::Generation::kMaskMembers,
+      core::Generation::kRowMin2,     core::Generation::kFallback2,
+      core::Generation::kAdopt,       core::Generation::kPointerJump,
+      core::Generation::kFinalMin};
+  for (core::Generation gen : kOrder) {
+    const unsigned repeats = core::has_subgenerations(gen) ? subs : 1;
+    for (unsigned s = 0; s < repeats; ++s) {
+      machine.step_generation(gen, s);
+      show(core::generation_label(gen, s));
+    }
+  }
+
+  std::printf("labels after one iteration (column 0): ");
+  for (graph::NodeId label : machine.current_labels()) std::printf("%u ", label);
+  std::printf("\n");
+  return 0;
+}

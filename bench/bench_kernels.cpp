@@ -1,0 +1,87 @@
+// Microbenchmarks of the reusable GCA kernels (google-benchmark): the
+// communication/computation primitives the Hirschberg machine is built
+// from, with their generation counts attached as counters so the
+// O(log n)-steps / O(n)-work split is visible next to wall-clock.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "gca/kernels.hpp"
+
+namespace {
+
+using gcalib::gca::KernelWord;
+
+std::vector<KernelWord> ramp(std::int64_t n) {
+  std::vector<KernelWord> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), KernelWord{1});
+  // Scramble deterministically so sorting has work to do.
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::swap(v[i], v[(i * 7919 + 13) % v.size()]);
+  }
+  return v;
+}
+
+const gcalib::gca::Combiner kMin = [](KernelWord a, KernelWord b) {
+  return std::min(a, b);
+};
+
+void BM_KernelReduce(benchmark::State& state) {
+  const auto values = ramp(state.range(0));
+  std::size_t generations = 0;
+  for (auto _ : state) {
+    const auto r = gcalib::gca::reduce(values, kMin);
+    generations = r.generations;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.counters["generations"] = static_cast<double>(generations);
+}
+BENCHMARK(BM_KernelReduce)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_KernelBroadcast(benchmark::State& state) {
+  const auto values = ramp(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gcalib::gca::broadcast(values, values.size() / 2).values.data());
+  }
+}
+BENCHMARK(BM_KernelBroadcast)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_KernelScan(benchmark::State& state) {
+  const auto values = ramp(state.range(0));
+  const gcalib::gca::Combiner sum = [](KernelWord a, KernelWord b) {
+    return a + b;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gcalib::gca::exclusive_scan(values, sum, 0).values.data());
+  }
+}
+BENCHMARK(BM_KernelScan)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_KernelBitonicSort(benchmark::State& state) {
+  const auto values = ramp(state.range(0));
+  std::size_t generations = 0;
+  for (auto _ : state) {
+    const auto r = gcalib::gca::bitonic_sort(values);
+    generations = r.generations;
+    benchmark::DoNotOptimize(r.values.data());
+  }
+  state.counters["generations"] = static_cast<double>(generations);
+}
+BENCHMARK(BM_KernelBitonicSort)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_KernelListRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> next(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) next[i] = i + 1;
+  if (n > 0) next[n - 1] = n - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::gca::list_rank(next).ranks.data());
+  }
+}
+BENCHMARK(BM_KernelListRank)->RangeMultiplier(4)->Range(64, 16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Scaling characterisation (google-benchmark): wall-clock of the GCA
+// simulator against the PRAM-hosted run and the sequential baselines over a
+// sweep of problem sizes, plus the platform-independent quantities the
+// paper actually reports (generations, congestion) as counters.
+//
+// The paper's section-3 claim is O(log^2 n) *generations* on n(n+1) cells;
+// a software simulator pays O(n^2) work per generation, so wall-clock grows
+// ~n^2 log^2 n while the 'generations' counter grows ~log^2 n.  The
+// counters attached to each benchmark make that split visible.
+#include <benchmark/benchmark.h>
+
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "graph/cc_baselines.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "pram/hirschberg.hpp"
+#include "pram/shiloach_vishkin.hpp"
+
+namespace {
+
+using gcalib::graph::Graph;
+using gcalib::graph::NodeId;
+
+Graph dense_graph(std::int64_t n) {
+  // Dense regime: the case Hirschberg's algorithm is work-optimal for.
+  return gcalib::graph::random_gnp(static_cast<NodeId>(n), 0.5,
+                                   static_cast<std::uint64_t>(n));
+}
+
+void BM_GcaHirschberg(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  std::size_t generations = 0;
+  for (auto _ : state) {
+    gcalib::core::HirschbergGca machine(g);
+    const auto result = machine.run(options);
+    generations = result.generations;
+    benchmark::DoNotOptimize(result.labels.data());
+  }
+  state.counters["generations"] = static_cast<double>(generations);
+  state.counters["cells"] =
+      static_cast<double>(state.range(0) * (state.range(0) + 1));
+}
+BENCHMARK(BM_GcaHirschberg)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_GcaHirschbergThreaded(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.threads = 4;
+  for (auto _ : state) {
+    gcalib::core::HirschbergGca machine(g);
+    benchmark::DoNotOptimize(machine.run(options).labels.data());
+  }
+}
+BENCHMARK(BM_GcaHirschbergThreaded)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_GcaInstrumented(benchmark::State& state) {
+  // Cost of congestion instrumentation (Table 1 measurements).
+  const Graph g = dense_graph(state.range(0));
+  for (auto _ : state) {
+    gcalib::core::HirschbergGca machine(g);
+    benchmark::DoNotOptimize(machine.run().records.size());
+  }
+}
+BENCHMARK(BM_GcaInstrumented)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_PramHirschberg(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const auto result = gcalib::pram::run_hirschberg_pram(g);
+    steps = result.stats.steps;
+    benchmark::DoNotOptimize(result.labels.data());
+  }
+  state.counters["pram_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_PramHirschberg)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_HirschbergReference(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::pram::hirschberg_reference(g).data());
+  }
+}
+BENCHMARK(BM_HirschbergReference)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_ShiloachVishkin(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gcalib::pram::shiloach_vishkin_reference(g).data());
+  }
+}
+BENCHMARK(BM_ShiloachVishkin)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_UnionFind(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::graph::union_find_components(g).data());
+  }
+}
+BENCHMARK(BM_UnionFind)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_Bfs(benchmark::State& state) {
+  const Graph g = dense_graph(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcalib::graph::bfs_components(g).data());
+  }
+}
+BENCHMARK(BM_Bfs)->RangeMultiplier(2)->Range(8, 256);
+
+void BM_GenerationFormula(benchmark::State& state) {
+  // Not a timing benchmark: records the generation count per n so the
+  // log^2 shape is visible in one report.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gcalib::core::total_generations(static_cast<std::size_t>(state.range(0))));
+  }
+  state.counters["generations"] = static_cast<double>(
+      gcalib::core::total_generations(static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_GenerationFormula)->RangeMultiplier(4)->Range(4, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// The GCA engine is a general model, not just a carrier for Hirschberg's
+// algorithm: a classical CA is the degenerate case whose pointers never
+// move.  This example runs Conway's Game of Life on the same Engine used by
+// the paper's machine (with hands = 8 — one read per local neighbour),
+// demonstrating the CA-subsumes relationship claimed in the paper's
+// introduction.
+//
+//   $ ./gca_life [--width 32 --height 16 --steps 24 --seed 5] [--quiet]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "gca/engine.hpp"
+#include "gca/field.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gcalib;
+  const CliArgs args = CliArgs::parse_or_exit(argc, argv,
+                                      {{"width", true},
+                                       {"height", true},
+                                       {"steps", true},
+                                       {"seed", true},
+                                       {"quiet", false}});
+  const auto width = static_cast<std::size_t>(args.get_int("width", 32));
+  const auto height = static_cast<std::size_t>(args.get_int("height", 16));
+  const auto steps = static_cast<std::size_t>(args.get_int("steps", 24));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+  const bool quiet = args.has("quiet");
+
+  const gca::FieldGeometry geo(height, width);
+  std::vector<std::uint8_t> initial(geo.size());
+  Xoshiro256 rng(seed);
+  for (auto& cell : initial) cell = rng.bernoulli(0.35) ? 1 : 0;
+
+  // A CA on the GCA: fixed local neighbours, 8 reads per generation.
+  gca::Engine<std::uint8_t> engine(initial, /*hands=*/8);
+  engine.set_instrumentation(false);
+
+  const auto render = [&](const char* title) {
+    std::printf("%s\n", title);
+    for (std::size_t r = 0; r < geo.rows(); ++r) {
+      for (std::size_t c = 0; c < geo.cols(); ++c) {
+        std::putchar(engine.state(geo.index_of(r, c)) ? 'O' : '.');
+      }
+      std::putchar('\n');
+    }
+    std::putchar('\n');
+  };
+
+  if (!quiet) render("initial state:");
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    engine.step([&geo, &engine](std::size_t index,
+                                auto& read) -> std::optional<std::uint8_t> {
+      const std::size_t r = geo.row(index);
+      const std::size_t c = geo.col(index);
+      unsigned alive = 0;
+      for (int dr = -1; dr <= 1; ++dr) {
+        for (int dc = -1; dc <= 1; ++dc) {
+          if (dr == 0 && dc == 0) continue;
+          const std::size_t nr =
+              (r + geo.rows() + static_cast<std::size_t>(dr)) % geo.rows();
+          const std::size_t nc =
+              (c + geo.cols() + static_cast<std::size_t>(dc)) % geo.cols();
+          alive += read(geo.index_of(nr, nc));
+        }
+      }
+      const bool self = engine.state(index) != 0;
+      const bool next = self ? (alive == 2 || alive == 3) : (alive == 3);
+      return static_cast<std::uint8_t>(next ? 1 : 0);
+    });
+  }
+
+  std::size_t population = 0;
+  for (std::size_t i = 0; i < geo.size(); ++i) population += engine.state(i);
+  if (!quiet) {
+    render(("after " + std::to_string(steps) + " generations:").c_str());
+  }
+  std::printf("population after %zu generations: %zu of %zu cells\n", steps,
+              population, geo.size());
+  std::printf("(classical CA = GCA with static pointers; same engine, same\n"
+              " synchronous semantics as the Hirschberg machine)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Lightweight always-on assertion support for gcalib.
+//
+// Simulator correctness depends on invariants (field geometry, access-mode
+// discipline) that must hold in release builds too, so these checks are not
+// compiled out.  Violations throw `gcalib::ContractViolation` instead of
+// aborting, which lets tests assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gcalib {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string out = std::string(kind) + " failed: " + expr + " at " + file +
+                    ":" + std::to_string(line);
+  if (!msg.empty()) out += " — " + msg;
+  throw ContractViolation(out);
+}
+}  // namespace detail
+
+}  // namespace gcalib
+
+#define GCALIB_CHECK_IMPL(kind, expr, msg)                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::gcalib::detail::contract_fail(kind, #expr, __FILE__, __LINE__,     \
+                                      (msg));                              \
+    }                                                                      \
+  } while (false)
+
+/// Precondition on public API arguments.
+#define GCALIB_EXPECTS(expr) GCALIB_CHECK_IMPL("precondition", expr, "")
+#define GCALIB_EXPECTS_MSG(expr, msg) GCALIB_CHECK_IMPL("precondition", expr, msg)
+
+/// Internal invariant; a failure is a library bug.
+#define GCALIB_ASSERT(expr) GCALIB_CHECK_IMPL("invariant", expr, "")
+#define GCALIB_ASSERT_MSG(expr, msg) GCALIB_CHECK_IMPL("invariant", expr, msg)
+
+/// Postcondition on results handed back to callers.
+#define GCALIB_ENSURES(expr) GCALIB_CHECK_IMPL("postcondition", expr, "")

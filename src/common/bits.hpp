@@ -1,0 +1,46 @@
+// Bit-manipulation helpers used throughout the GCA / PRAM simulators.
+//
+// The paper's schedule arithmetic (generations per step, sub-generation
+// counts for the tree-reduction minimum) is defined in terms of log2 of the
+// node count, so these helpers are the canonical place those quantities are
+// computed.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace gcalib {
+
+/// True iff `x` is a power of two (0 is not).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// floor(log2(x)); requires x >= 1.
+[[nodiscard]] constexpr unsigned log2_floor(std::uint64_t x) {
+  GCALIB_EXPECTS(x >= 1);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)); requires x >= 1.  log2_ceil(1) == 0.
+[[nodiscard]] constexpr unsigned log2_ceil(std::uint64_t x) {
+  GCALIB_EXPECTS(x >= 1);
+  return is_pow2(x) ? log2_floor(x) : log2_floor(x) + 1;
+}
+
+/// Smallest power of two >= x; requires x >= 1.
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  GCALIB_EXPECTS(x >= 1);
+  return std::uint64_t{1} << log2_ceil(x);
+}
+
+/// Number of bits needed to represent values in [0, n-1]; requires n >= 1.
+/// bit_width_for(1) == 1 by convention (a register still exists).
+[[nodiscard]] constexpr unsigned bit_width_for(std::uint64_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  return n == 1 ? 1u : log2_ceil(n);
+}
+
+}  // namespace gcalib

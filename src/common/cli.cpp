@@ -1,0 +1,98 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace gcalib {
+
+namespace {
+
+void print_options(std::FILE* out, const std::map<std::string, bool>& spec) {
+  std::fprintf(out, "options:\n");
+  for (const auto& [name, takes_value] : spec) {
+    std::fprintf(out, "  --%s%s\n", name.c_str(),
+                 takes_value ? " <value>" : "");
+  }
+}
+
+}  // namespace
+
+CliArgs CliArgs::parse(int argc, const char* const* argv,
+                       const std::map<std::string, bool>& spec) {
+  CliArgs out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      out.positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = spec.find(name);
+    if (it == spec.end()) {
+      throw std::runtime_error("unknown option --" + name);
+    }
+    const bool takes_value = it->second;
+    if (!takes_value) {
+      if (inline_value) {
+        throw std::runtime_error("option --" + name + " does not take a value");
+      }
+      out.values_[name] = "true";
+      continue;
+    }
+    if (inline_value) {
+      out.values_[name] = *inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("option --" + name + " requires a value");
+      }
+      out.values_[name] = argv[++i];
+    }
+  }
+  return out;
+}
+
+CliArgs CliArgs::parse_or_exit(int argc, const char* const* argv,
+                               const std::map<std::string, bool>& spec) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_options(stdout, spec);
+      std::exit(0);
+    }
+  }
+  try {
+    return parse(argc, argv, spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    print_options(stderr, spec);
+    std::exit(64);
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+}  // namespace gcalib

@@ -1,0 +1,45 @@
+// Minimal command-line option parser for examples and bench binaries.
+//
+// Supports `--name value` and `--name=value` forms plus boolean flags.
+// Unknown options raise errors so typos in experiment sweeps fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gcalib {
+
+/// Parsed command line: option map plus positional arguments.
+class CliArgs {
+ public:
+  /// Parses argv; options must be declared via `spec` (name -> takes_value).
+  /// Throws std::runtime_error on unknown options or missing values.
+  static CliArgs parse(int argc, const char* const* argv,
+                       const std::map<std::string, bool>& spec);
+
+  /// Like `parse`, but prints the error and the accepted options to stderr
+  /// and exits with status 64 (EX_USAGE) instead of throwing.  "--help" is
+  /// answered with the option list on stdout and exit 0.  Intended for the
+  /// example/bench binaries' main().
+  static CliArgs parse_or_exit(int argc, const char* const* argv,
+                               const std::map<std::string, bool>& spec);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gcalib

@@ -1,0 +1,52 @@
+#include "common/csv.hpp"
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace gcalib {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  GCALIB_EXPECTS(!headers_.empty());
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  GCALIB_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values, int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(fixed(v, digits));
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  const auto render_row = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) line.push_back(',');
+      line += escape(cells[i]);
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace gcalib

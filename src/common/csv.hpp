@@ -1,0 +1,39 @@
+// Minimal CSV writer for machine-readable bench output (plotting sweeps).
+//
+// RFC-4180-ish: fields containing commas, quotes or newlines are quoted
+// with doubled inner quotes; rows are '\n'-terminated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcalib {
+
+/// Accumulates rows and renders CSV text.
+class CsvWriter {
+ public:
+  /// Creates a writer with the given column headers.
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  /// Appends a data row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows.
+  void add_numeric_row(const std::vector<double>& values, int digits = 6);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Renders header + rows.
+  [[nodiscard]] std::string render() const;
+
+  /// Escapes one field per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gcalib

@@ -1,0 +1,52 @@
+#include "common/format.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace gcalib {
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return std::string(w - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return s + std::string(w - s.size(), ' ');
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string ratio(double num, double denom, int digits) {
+  if (denom == 0.0) return "inf";
+  return fixed(num / denom, digits) + "x";
+}
+
+}  // namespace gcalib

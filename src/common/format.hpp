@@ -1,0 +1,27 @@
+// Small string-formatting helpers shared by benches and trace renderers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcalib {
+
+/// Formats `value` with thousands separators: 23051 -> "23,051".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// Fixed-point decimal with `digits` fractional digits ("12.34").
+[[nodiscard]] std::string fixed(double value, int digits);
+
+/// Left/right pads `s` with spaces to width `w` (no-op if already wider).
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t w);
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t w);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// "1.23x" style ratio formatting; returns "inf" when denom == 0.
+[[nodiscard]] std::string ratio(double num, double denom, int digits = 2);
+
+}  // namespace gcalib

@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/format.hpp"
+
+namespace gcalib {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  GCALIB_EXPECTS(!headers_.empty());
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  GCALIB_EXPECTS(column < aligns_.size());
+  aligns_[column] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GCALIB_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.is_rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto render_cells = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += aligns_[c] == Align::kLeft ? pad_right(cells[c], widths[c])
+                                         : pad_left(cells[c], widths[c]);
+    }
+    // Trim trailing spaces from left-aligned final columns.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  const std::string rule(total, '-');
+
+  std::string out = render_cells(headers_);
+  out += rule + "\n";
+  for (const Row& row : rows_) {
+    out += row.is_rule ? rule + "\n" : render_cells(row.cells);
+  }
+  return out;
+}
+
+}  // namespace gcalib

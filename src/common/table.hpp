@@ -1,0 +1,48 @@
+// ASCII table builder used by the benchmark harnesses to print rows in the
+// same shape as the paper's tables.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace gcalib {
+
+/// Column alignment within a TextTable.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header rule.  Intended for human-readable bench output, mirroring
+/// the layout of the paper's Table 1 / Table 2.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers (all right-aligned by
+  /// default; call `set_align` to change individual columns).
+  explicit TextTable(std::vector<std::string> headers);
+
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a data row; must have exactly as many cells as headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal rule between row groups.
+  void add_rule();
+
+  /// Renders the table, each line terminated by '\n'.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool is_rule = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gcalib

@@ -1,0 +1,134 @@
+#include "core/access_pattern.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "core/schedule.hpp"
+
+namespace gcalib::core {
+
+namespace {
+
+struct Coords {
+  std::size_t row;
+  std::size_t col;
+  bool bottom;
+};
+
+Coords coords(std::size_t index, std::size_t n) {
+  const std::size_t row = index / n;
+  return Coords{row, index % n, row == n};
+}
+
+}  // namespace
+
+bool is_active(Generation g, unsigned subgen, std::size_t index, std::size_t n) {
+  GCALIB_EXPECTS(n >= 1 && index < n * (n + 1));
+  const Coords c = coords(index, n);
+  switch (g) {
+    case Generation::kInit:
+    case Generation::kCopyCToRows:
+    case Generation::kAdopt:
+      return true;  // whole field, including D_N
+    case Generation::kMaskNeighbors:
+    case Generation::kCopyTToRows:
+    case Generation::kMaskMembers:
+      return !c.bottom;  // the square
+    case Generation::kRowMin:
+    case Generation::kRowMin2: {
+      const std::size_t offset = std::size_t{1} << subgen;
+      return !c.bottom && c.col % (2 * offset) == 0 && c.col + offset < n;
+    }
+    case Generation::kFallback:
+    case Generation::kFallback2:
+    case Generation::kPointerJump:
+    case Generation::kFinalMin:
+      return !c.bottom && c.col == 0;
+  }
+  return false;
+}
+
+PointerSpec pointer_spec(Generation g, unsigned subgen, std::size_t index,
+                         std::size_t n) {
+  if (!is_active(g, subgen, index, n)) return PointerSpec{};
+  const Coords c = coords(index, n);
+  const std::size_t nn = n * n;
+  switch (g) {
+    case Generation::kInit:
+      return PointerSpec{};  // local-only
+    case Generation::kCopyCToRows:
+    case Generation::kCopyTToRows:
+      return PointerSpec{PointerKind::kStatic, c.col * n};
+    case Generation::kMaskNeighbors:
+    case Generation::kFallback:
+    case Generation::kFallback2:
+      return PointerSpec{PointerKind::kStatic, nn + c.row};
+    case Generation::kMaskMembers:
+      return PointerSpec{PointerKind::kStatic, nn + c.col};
+    case Generation::kRowMin:
+    case Generation::kRowMin2:
+      return PointerSpec{PointerKind::kStatic,
+                         index + (std::size_t{1} << subgen)};
+    case Generation::kAdopt:
+      return PointerSpec{PointerKind::kStatic,
+                         c.bottom ? c.col * n : c.row * n};
+    case Generation::kPointerJump:
+    case Generation::kFinalMin:
+      return PointerSpec{PointerKind::kDataDependent, 0};
+  }
+  return PointerSpec{};
+}
+
+std::vector<std::size_t> static_source_set(std::size_t index, std::size_t n) {
+  std::vector<std::size_t> sources;
+  const unsigned subs = subgeneration_count(n);
+  for (std::uint8_t gi = 0; gi < kGenerationCount; ++gi) {
+    const auto g = static_cast<Generation>(gi);
+    const unsigned repeats = has_subgenerations(g) ? subs : 1;
+    for (unsigned s = 0; s < repeats; ++s) {
+      const PointerSpec spec = pointer_spec(g, s, index, n);
+      if (spec.kind == PointerKind::kStatic) sources.push_back(spec.target);
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
+}
+
+bool needs_extended_cell(std::size_t index, std::size_t n) {
+  GCALIB_EXPECTS(n >= 1 && index < n * (n + 1));
+  const Coords c = coords(index, n);
+  return !c.bottom && c.col == 0;
+}
+
+std::size_t expected_active_cells(Generation g, unsigned subgen, std::size_t n) {
+  switch (g) {
+    case Generation::kInit:
+    case Generation::kCopyCToRows:
+    case Generation::kAdopt:
+      return n * (n + 1);
+    case Generation::kMaskNeighbors:
+    case Generation::kCopyTToRows:
+    case Generation::kMaskMembers:
+      return n * n;
+    case Generation::kRowMin:
+    case Generation::kRowMin2: {
+      // Pairs per row in sub-generation s over arbitrary n:
+      // cells with col % 2^(s+1) == 0 and col + 2^s < n.
+      const std::size_t stride = std::size_t{2} << subgen;
+      const std::size_t offset = std::size_t{1} << subgen;
+      std::size_t per_row = 0;
+      for (std::size_t col = 0; col + offset < n; col += stride) ++per_row;
+      return n * per_row;  // n^2/2 for the first sub-generation, n power of 2
+    }
+    case Generation::kFallback:
+    case Generation::kFallback2:
+    case Generation::kPointerJump:
+    case Generation::kFinalMin:
+      return n;
+  }
+  return 0;
+}
+
+}  // namespace gcalib::core

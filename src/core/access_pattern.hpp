@@ -1,0 +1,59 @@
+// Declarative description of each generation's activity and pointer
+// pattern, independent of the executable rules in hirschberg_gca.cpp.
+//
+// Two consumers:
+//  * the hardware model derives every cell's multiplexer inputs (static
+//    neighbour set, data-dependent ports) from this description;
+//  * the test suite cross-checks that the engine's *recorded* access edges
+//    match this description in every generation — i.e. that the executable
+//    rule and the declarative spec agree (Figure 3 is this information for
+//    n = 4).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/generation.hpp"
+#include "gca/field.hpp"
+
+namespace gcalib::core {
+
+/// How a cell's pointer is formed in a given generation.
+enum class PointerKind {
+  kNone,           ///< cell performs no global read (inactive or local-only)
+  kStatic,         ///< target is a fixed function of (index, generation)
+  kDataDependent,  ///< target depends on the cell's d value (extended cell)
+};
+
+/// Pointer of one cell in one (sub-)generation.
+struct PointerSpec {
+  PointerKind kind = PointerKind::kNone;
+  std::size_t target = 0;  ///< valid iff kind == kStatic
+};
+
+/// True iff `index` performs a data operation in generation `g`
+/// (sub-generation `subgen` where applicable) — Table 1's "active cells".
+[[nodiscard]] bool is_active(Generation g, unsigned subgen, std::size_t index,
+                             std::size_t n);
+
+/// The pointer a cell uses; kNone for inactive cells and for generation 0.
+[[nodiscard]] PointerSpec pointer_spec(Generation g, unsigned subgen,
+                                       std::size_t index, std::size_t n);
+
+/// All static targets cell `index` ever reads across the whole algorithm
+/// (every generation and sub-generation), deduplicated and sorted.  This is
+/// the input set of the cell's static neighbour multiplexer in hardware.
+[[nodiscard]] std::vector<std::size_t> static_source_set(std::size_t index,
+                                                         std::size_t n);
+
+/// True iff the cell needs a data-dependent neighbour port (paper's
+/// "extended cells": the n cells of column 0).
+[[nodiscard]] bool needs_extended_cell(std::size_t index, std::size_t n);
+
+/// Closed-form active-cell count for a generation (first sub-generation for
+/// the iterated ones) — the formulas of Table 1.
+[[nodiscard]] std::size_t expected_active_cells(Generation g, unsigned subgen,
+                                                std::size_t n);
+
+}  // namespace gcalib::core

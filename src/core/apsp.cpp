@@ -1,0 +1,101 @@
+#include "core/apsp.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "gca/engine.hpp"
+
+namespace gcalib::core {
+
+DistMatrix DistMatrix::from_graph(const graph::Graph& g) {
+  DistMatrix m(g.node_count());
+  for (const graph::Edge& e : g.edges()) {
+    m.set(e.u, e.v, 1);
+    m.set(e.v, e.u, 1);
+  }
+  return m;
+}
+
+DistMatrix apsp_floyd_warshall(const DistMatrix& w) {
+  const std::size_t n = w.size();
+  DistMatrix dist = w;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Dist dik = dist.at(i, k);
+      if (dik >= kUnreachable) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const Dist through = saturating_add(dik, dist.at(k, j));
+        if (through < dist.at(i, j)) dist.set(i, j, through);
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+struct ApspCell {
+  Dist d = kUnreachable;
+  Dist acc = kUnreachable;
+};
+
+}  // namespace
+
+ApspRunResult apsp_gca(const DistMatrix& w, bool instrument) {
+  const std::size_t n = w.size();
+  ApspRunResult result;
+  result.distances = DistMatrix(n);
+  if (n == 0) return result;
+
+  std::vector<ApspCell> initial(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      initial[i * n + j].d = w.at(i, j);
+    }
+  }
+  gca::Engine<ApspCell> engine(std::move(initial), /*hands=*/2);
+  engine.set_instrumentation(instrument);
+
+  const unsigned rounds = n > 1 ? log2_ceil(n) : 0;
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const gca::GenerationStats stats = engine.step(
+          [n, k, &engine](std::size_t index,
+                          auto& read) -> std::optional<ApspCell> {
+            const std::size_t i = index / n;
+            const std::size_t j = index % n;
+            ApspCell next = engine.state(index);
+            const Dist left = read(i * n + k).d;
+            const Dist right = read(k * n + j).d;
+            next.acc = std::min(next.acc, saturating_add(left, right));
+            return next;
+          },
+          "apsp.round" + std::to_string(round) + ".k" + std::to_string(k));
+      ++result.generations;
+      result.max_congestion =
+          std::max(result.max_congestion, stats.max_congestion);
+    }
+    engine.step(
+        [&engine](std::size_t index, auto&) -> std::optional<ApspCell> {
+          const ApspCell& self = engine.state(index);
+          return ApspCell{std::min(self.d, self.acc), kUnreachable};
+        },
+        "apsp.round" + std::to_string(round) + ".commit");
+    ++result.generations;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      result.distances.set(i, j, engine.state(i * n + j).d);
+    }
+  }
+  return result;
+}
+
+std::size_t apsp_total_generations(std::size_t n) {
+  if (n <= 1) return 0;
+  return log2_ceil(n) * (n + 1);
+}
+
+}  // namespace gcalib::core

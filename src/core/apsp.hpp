@@ -1,0 +1,74 @@
+// All-pairs shortest paths on the GCA.
+//
+// The transitive-closure machine (transitive_closure.hpp) is Boolean
+// matrix powering; swapping the (OR, AND) semiring for (min, +) turns the
+// same 2-handed GCA skeleton into APSP by repeated min-plus squaring —
+// ceil(lg n) squarings of n sub-generations each, because shortest paths
+// have at most n-1 edges.  This is the classic parallel-APSP schedule and
+// demonstrates that the paper's cell/field machinery carries a whole
+// family of "graph algorithms" (introduction), not just connectivity.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::core {
+
+/// Edge weight / distance type.
+using Dist = std::int64_t;
+
+/// "Unreachable" sentinel; min-plus additions saturate at it.
+inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max() / 4;
+
+/// Dense distance matrix (directed; diagonal 0 by construction).
+class DistMatrix {
+ public:
+  DistMatrix() = default;
+  explicit DistMatrix(std::size_t n)
+      : n_(n), dist_(n * n, kUnreachable) {
+    for (std::size_t i = 0; i < n; ++i) dist_[i * n + i] = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] Dist at(std::size_t i, std::size_t j) const {
+    return dist_[i * n_ + j];
+  }
+  void set(std::size_t i, std::size_t j, Dist d) { dist_[i * n_ + j] = d; }
+
+  /// From an undirected graph with unit edge weights.
+  [[nodiscard]] static DistMatrix from_graph(const graph::Graph& g);
+
+  friend bool operator==(const DistMatrix&, const DistMatrix&) = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Dist> dist_;
+};
+
+/// Saturating min-plus addition.
+[[nodiscard]] constexpr Dist saturating_add(Dist a, Dist b) {
+  return (a >= kUnreachable || b >= kUnreachable) ? kUnreachable : a + b;
+}
+
+/// Floyd–Warshall (the sequential oracle).  Non-negative weights assumed.
+[[nodiscard]] DistMatrix apsp_floyd_warshall(const DistMatrix& w);
+
+/// Result of the GCA run.
+struct ApspRunResult {
+  DistMatrix distances;
+  std::size_t generations = 0;
+  std::size_t max_congestion = 0;
+};
+
+/// Min-plus repeated squaring on a two-handed GCA with n^2 cells.
+[[nodiscard]] ApspRunResult apsp_gca(const DistMatrix& w,
+                                     bool instrument = true);
+
+/// Closed-form generation count (identical to the closure machine's:
+/// ceil(lg n) * (n + 1)).
+[[nodiscard]] std::size_t apsp_total_generations(std::size_t n);
+
+}  // namespace gcalib::core

@@ -1,0 +1,52 @@
+// The twelve generations of the GCA mapping (paper Figure 2 / Table 1).
+#pragma once
+
+#include <cstdint>
+
+namespace gcalib::core {
+
+/// One generation of the paper's state machine.  The numeric values match
+/// the paper's generation numbers exactly.
+enum class Generation : std::uint8_t {
+  kInit = 0,           ///< d <- row(index)                     (step 1)
+  kCopyCToRows = 1,    ///< copy C (column 0) into every row    (step 2)
+  kMaskNeighbors = 2,  ///< keep C(i) iff A(j,i)=1 and C(i)!=C(j), else inf
+  kRowMin = 3,         ///< tree-reduction row minimum, log n sub-generations
+  kFallback = 4,       ///< column 0: if inf, restore C(j) from D_N
+  kCopyTToRows = 5,    ///< copy T (column 0) into every row    (step 3)
+  kMaskMembers = 6,    ///< keep T(i) iff C(i)=j and T(i)!=j, else inf
+  kRowMin2 = 7,        ///< identical to generation 3
+  kFallback2 = 8,      ///< identical to generation 4
+  kAdopt = 9,          ///< C <- T: copy column 0 across rows; D_N <- T (step 4)
+  kPointerJump = 10,   ///< column 0: C(j) <- C(C(j)), log n sub-generations (step 5)
+  kFinalMin = 11,      ///< column 0: C(j) <- min(C(j), T(C(j)))  (step 6)
+};
+
+inline constexpr std::uint8_t kGenerationCount = 12;
+
+/// The PRAM step of Listing 1 that a generation implements.
+[[nodiscard]] constexpr int paper_step(Generation g) {
+  switch (g) {
+    case Generation::kInit: return 1;
+    case Generation::kCopyCToRows:
+    case Generation::kMaskNeighbors:
+    case Generation::kRowMin:
+    case Generation::kFallback: return 2;
+    case Generation::kCopyTToRows:
+    case Generation::kMaskMembers:
+    case Generation::kRowMin2:
+    case Generation::kFallback2: return 3;
+    case Generation::kAdopt: return 4;
+    case Generation::kPointerJump: return 5;
+    case Generation::kFinalMin: return 6;
+  }
+  return 0;
+}
+
+/// True for the generations that iterate log2(n) sub-generations.
+[[nodiscard]] constexpr bool has_subgenerations(Generation g) {
+  return g == Generation::kRowMin || g == Generation::kRowMin2 ||
+         g == Generation::kPointerJump;
+}
+
+}  // namespace gcalib::core

@@ -1,0 +1,340 @@
+#include "core/hirschberg_gca.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "core/schedule.hpp"
+#include "core/state_graph.hpp"
+#include "graph/labeling.hpp"
+
+namespace gcalib::core {
+
+using gca::GenerationStats;
+using graph::NodeId;
+
+namespace {
+
+/// Builds the initial cell field: adjacency bits in the square, zeros in
+/// the bottom row; d/p start at 0 (generation 0 overwrites d anyway).
+std::vector<Cell> build_field(const graph::Graph& g) {
+  const NodeId n = g.node_count();
+  const gca::FieldGeometry geometry = gca::FieldGeometry::hirschberg(n);
+  std::vector<Cell> cells(geometry.size());
+  for (NodeId j = 0; j < n; ++j) {
+    for (NodeId i = 0; i < n; ++i) {
+      cells[geometry.index_of(j, i)].a = g.has_edge(j, i) ? 1 : 0;
+    }
+  }
+  return cells;
+}
+
+}  // namespace
+
+HirschbergGca::HirschbergGca(const graph::Graph& g)
+    : n_(g.node_count()),
+      geometry_(gca::FieldGeometry::hirschberg(std::max<std::size_t>(n_, 1))),
+      engine_(std::make_unique<gca::Engine<Cell>>(
+          n_ > 0 ? build_field(g) : std::vector<Cell>(2), /*hands=*/1)) {}
+
+template <typename Rule>
+GenerationStats HirschbergGca::step_with(Rule&& rule, Generation g,
+                                         unsigned subgen) {
+  return engine_->step(std::forward<Rule>(rule), generation_label(g, subgen));
+}
+
+GenerationStats HirschbergGca::initialize() {
+  return step_generation(Generation::kInit, 0);
+}
+
+gca::GenerationStats HirschbergGca::step_generation(Generation g,
+                                                    unsigned subgeneration) {
+  const std::size_t n = n_;
+  const std::size_t nn = n * n;  // linear index of the first bottom-row cell
+  const gca::FieldGeometry geo = geometry_;
+
+  switch (g) {
+    case Generation::kInit:
+      // d <- row(index) for the whole field (initialising everything, not
+      // just column 0, keeps the rule simple; the rest is overwritten in
+      // generation 1 — paper, section 3).  No global read.
+      return step_with(
+          [this, geo](std::size_t index, auto& /*read*/) -> std::optional<Cell> {
+            Cell next = engine_->state(index);
+            next.d = static_cast<std::uint32_t>(geo.row(index));
+            next.p = static_cast<std::uint32_t>(index);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kCopyCToRows:
+      // p = col(index) * n; d <- d*.  Copies C (column 0) into every row of
+      // the whole field, including D_N.
+      return step_with(
+          [this, geo, n](std::size_t index, auto& read) -> std::optional<Cell> {
+            const std::size_t p = geo.col(index) * n;
+            Cell next = engine_->state(index);
+            next.d = read(p).d;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kMaskNeighbors:
+      // Square only.  p = n^2 + row; keep d iff (d != d* && A == 1).
+      return step_with(
+          [this, geo, nn](std::size_t index, auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index)) return std::nullopt;
+            const std::size_t p = nn + geo.row(index);
+            const Cell& global = read(p);
+            Cell next;
+            const Cell& self = engine_->state(index);
+            next.a = self.a;
+            next.d = (self.d != global.d && self.a == 1) ? self.d : kInfData;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kRowMin:
+    case Generation::kRowMin2: {
+      // Tree-reduction minimum within each square row; sub-generation s
+      // combines cells col and col + 2^s.
+      const std::size_t offset = std::size_t{1} << subgeneration;
+      return step_with(
+          [this, geo, n, offset](std::size_t index,
+                                 auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index)) return std::nullopt;
+            const std::size_t col = geo.col(index);
+            if (col % (2 * offset) != 0 || col + offset >= n) return std::nullopt;
+            const std::size_t p = index + offset;
+            const Cell& partner = read(p);
+            const Cell& self = engine_->state(index);
+            Cell next = self;
+            next.d = std::min(self.d, partner.d);
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, subgeneration);
+    }
+
+    case Generation::kFallback:
+    case Generation::kFallback2:
+      // Column 0 of the square: if the row minimum is infinity (no external
+      // connection) restore C(j) from D_N[j].
+      return step_with(
+          [this, geo, nn](std::size_t index, auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index) || geo.col(index) != 0) {
+              return std::nullopt;
+            }
+            const std::size_t p = nn + geo.row(index);
+            const Cell& global = read(p);
+            const Cell& self = engine_->state(index);
+            Cell next = self;
+            next.d = self.d == kInfData ? global.d : self.d;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kCopyTToRows:
+      // Square only: p = col * n; d <- d*.  D_N keeps C.
+      return step_with(
+          [this, geo, n](std::size_t index, auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index)) return std::nullopt;
+            const std::size_t p = geo.col(index) * n;
+            const Cell& global = read(p);
+            Cell next = engine_->state(index);  // a survives
+            next.d = global.d;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kMaskMembers:
+      // Square only.  p = n^2 + col (paper erratum: printed as n^2 + row;
+      // see DESIGN.md).  d* = C(i); keep d = T(i) iff C(i) = j and T(i) != j.
+      return step_with(
+          [this, geo, nn](std::size_t index, auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index)) return std::nullopt;
+            const std::size_t p = nn + geo.col(index);
+            const Cell& global = read(p);
+            const Cell& self = engine_->state(index);
+            const auto row = static_cast<std::uint32_t>(geo.row(index));
+            Cell next = self;
+            next.d = (global.d == row && self.d != row) ? self.d : kInfData;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kAdopt:
+      // Square: p = row * n (copy T(j) = column 0 across the row).
+      // Bottom row: p = col * n (store T transposed: D_N[i] <- T(i)).
+      return step_with(
+          [this, geo, n](std::size_t index, auto& read) -> std::optional<Cell> {
+            const std::size_t p = geo.in_bottom_row(index)
+                                      ? geo.col(index) * n
+                                      : geo.row(index) * n;
+            const Cell& global = read(p);
+            const Cell& self = engine_->state(index);
+            Cell next = self;
+            next.d = global.d;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+
+    case Generation::kPointerJump:
+      // Column 0 of the square; data-dependent pointer p = d * n, so the
+      // cell reads C(C(j)) in one generation (paper's extended cells).
+      return step_with(
+          [this, geo, n](std::size_t index, auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index) || geo.col(index) != 0) {
+              return std::nullopt;
+            }
+            const Cell& self = engine_->state(index);
+            const std::size_t p = std::size_t{self.d} * n;
+            const Cell& global = read(p);
+            Cell next = self;
+            next.d = global.d;
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, subgeneration);
+
+    case Generation::kFinalMin:
+      // Column 0 of the square; p = d * n + 1 reads T(C(j)) (columns >= 1
+      // hold row-copies of T after generation 9);
+      // d <- min(C(j), T(C(j))) — equivalent to HCS-1979's step 6.
+      return step_with(
+          [this, geo, n](std::size_t index, auto& read) -> std::optional<Cell> {
+            if (geo.in_bottom_row(index) || geo.col(index) != 0) {
+              return std::nullopt;
+            }
+            const Cell& self = engine_->state(index);
+            const std::size_t p = std::size_t{self.d} * n + 1;
+            const Cell& global = read(p);
+            Cell next = self;
+            next.d = std::min(self.d, global.d);
+            next.p = static_cast<std::uint32_t>(p);
+            return next;
+          },
+          g, 0);
+  }
+  GCALIB_ASSERT_MSG(false, "unreachable generation");
+  return GenerationStats{};
+}
+
+void HirschbergGca::run_iteration(
+    unsigned iteration, const std::function<void(const StepRecord&)>& sink) {
+  const unsigned subs = subgeneration_count(n_);
+  static constexpr Generation kOrder[] = {
+      Generation::kCopyCToRows, Generation::kMaskNeighbors,
+      Generation::kRowMin,      Generation::kFallback,
+      Generation::kCopyTToRows, Generation::kMaskMembers,
+      Generation::kRowMin2,     Generation::kFallback2,
+      Generation::kAdopt,       Generation::kPointerJump,
+      Generation::kFinalMin};
+  for (Generation g : kOrder) {
+    const unsigned repeats = has_subgenerations(g) ? subs : 1;
+    for (unsigned s = 0; s < repeats; ++s) {
+      GenerationStats stats = step_generation(g, s);
+      if (sink) {
+        sink(StepRecord{StepId{iteration, g, s}, std::move(stats)});
+      }
+    }
+  }
+}
+
+/// Reconstructs the input graph from the adjacency bits stored in the cell
+/// field (used by the self-check so no external graph reference is needed).
+graph::Graph HirschbergGca::graph_from_field() const {
+  graph::Graph g(n_);
+  for (NodeId j = 0; j < n_; ++j) {
+    for (NodeId i = j + 1; i < n_; ++i) {
+      if (engine_->state(geometry_.index_of(j, i)).a == 1) g.add_edge(j, i);
+    }
+  }
+  return g;
+}
+
+RunResult HirschbergGca::run(const RunOptions& options) {
+  RunResult result;
+  engine_->set_instrumentation(options.instrument);
+  engine_->set_record_access(options.record_access);
+  engine_->set_threads(options.threads);
+
+  if (n_ == 0) return result;
+
+  const auto emit = [&](const StepRecord& record) {
+    if (options.instrument) result.records.push_back(record);
+    if (options.on_step) options.on_step(record);
+    ++result.generations;
+  };
+
+  // Generation 0.
+  {
+    GenerationStats stats = step_generation(Generation::kInit, 0);
+    emit(StepRecord{StepId{0, Generation::kInit, 0}, std::move(stats)});
+  }
+
+  const unsigned iterations = outer_iterations(n_);
+  std::size_t previous_components = n_;
+  for (unsigned iter = 0; iter < iterations; ++iter) {
+    run_iteration(iter, emit);
+    if (options.self_check) {
+      const std::vector<NodeId> labels = current_labels();
+      std::size_t components = 0;
+      std::vector<std::uint8_t> seen(n_, 0);
+      for (NodeId label : labels) {
+        GCALIB_ASSERT_MSG(label < n_, "self-check: label out of range");
+        if (!seen[label]) {
+          seen[label] = 1;
+          ++components;
+        }
+      }
+      GCALIB_ASSERT_MSG(components <= previous_components,
+                        "self-check: component count increased");
+      previous_components = components;
+    }
+  }
+
+  result.iterations = iterations;
+  result.labels = current_labels();
+
+  if (options.self_check) {
+    const graph::Graph g = graph_from_field();
+    GCALIB_ASSERT_MSG(graph::is_valid_min_labeling(g, result.labels),
+                      "self-check: final labeling disagrees with the oracle");
+  }
+  return result;
+}
+
+std::vector<NodeId> HirschbergGca::current_labels() const {
+  std::vector<NodeId> labels(n_);
+  for (NodeId j = 0; j < n_; ++j) {
+    labels[j] = engine_->state(geometry_.index_of(j, 0)).d;
+  }
+  return labels;
+}
+
+std::uint32_t HirschbergGca::d_at(std::size_t row, std::size_t col) const {
+  return engine_->state(geometry_.index_of(row, col)).d;
+}
+
+std::vector<std::uint64_t> HirschbergGca::d_snapshot() const {
+  std::vector<std::uint64_t> out(geometry_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = engine_->state(i).d;
+  }
+  return out;
+}
+
+std::vector<NodeId> gca_components(const graph::Graph& g) {
+  HirschbergGca machine(g);
+  RunOptions options;
+  options.instrument = false;
+  return machine.run(options).labels;
+}
+
+}  // namespace gcalib::core

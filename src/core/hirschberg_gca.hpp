@@ -1,0 +1,136 @@
+// Hirschberg's connected-components algorithm on a one-handed, uniform GCA
+// — the paper's primary contribution (section 3).
+//
+// Cell field: (n+1) x n.  Each square cell (j, i) carries
+//   a — the adjacency bit A(j, i),
+//   d — the working data word (node / super-node numbers, or infinity),
+//   p — the pointer most recently used (recomputed every generation, as in
+//       the paper's "=" assignments; kept in the state for traceability).
+// The bottom row D_N buffers the C / T vectors between phases.
+//
+// The run is a direct execution of the Figure-2 state machine: one engine
+// step per generation (log n steps for generations 3, 7 and 10), repeated
+// for ceil(log2 n) outer iterations.  Every cell evaluates the same uniform
+// rule; position-dependent behaviour (first column, bottom row, square) is
+// part of that rule, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/generation.hpp"
+#include "gca/engine.hpp"
+#include "gca/field.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::core {
+
+/// GCA cell state (paper: "(a, d, p)" for square cells, "(d, p)" for the
+/// bottom row; we carry a = 0 there).
+struct Cell {
+  std::uint32_t a = 0;  ///< adjacency bit A(row, col)
+  std::uint32_t d = 0;  ///< data word
+  std::uint32_t p = 0;  ///< pointer used in the last generation
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+/// The infinity sentinel of the min computations.
+inline constexpr std::uint32_t kInfData = std::numeric_limits<std::uint32_t>::max();
+
+/// Identifies one engine step within a run.
+struct StepId {
+  unsigned iteration = 0;      ///< outer iteration (0-based); 0 for gen 0
+  Generation generation = Generation::kInit;
+  unsigned subgeneration = 0;  ///< 0 unless the generation iterates
+};
+
+/// A recorded engine step: identification plus measured statistics.
+struct StepRecord {
+  StepId id;
+  gca::GenerationStats stats;
+};
+
+/// Options controlling a run.
+struct RunOptions {
+  bool instrument = true;      ///< collect per-step congestion statistics
+  bool record_access = false;  ///< record individual access edges (slow)
+  unsigned threads = 1;        ///< parallel sweep width
+  /// Paranoid mode: validates machine invariants after every outer
+  /// iteration (labels are node ids, component count never increases) and
+  /// the final labeling against a sequential oracle.  Throws
+  /// ContractViolation on any violation.  Costs O(m alpha(n)) at the end.
+  bool self_check = false;
+  /// Called after every engine step (tracing / golden tests); may be empty.
+  std::function<void(const StepRecord&)> on_step;
+};
+
+/// Result of a full run.
+struct RunResult {
+  std::vector<graph::NodeId> labels;  ///< min-id component label per node
+  unsigned iterations = 0;            ///< outer iterations executed
+  std::size_t generations = 0;        ///< engine steps executed (incl. gen 0)
+  std::vector<StepRecord> records;    ///< filled iff options.instrument
+};
+
+/// The GCA machine specialised to Hirschberg's algorithm.
+///
+/// Grain of use: either call `run()` for the whole algorithm, or drive it
+/// manually (`initialize()` + `step_generation(...)`) for golden tests and
+/// visualisation.
+class HirschbergGca {
+ public:
+  /// Binds the machine to a graph (loads A into the cell field).
+  explicit HirschbergGca(const graph::Graph& g);
+
+  HirschbergGca(const HirschbergGca&) = delete;
+  HirschbergGca& operator=(const HirschbergGca&) = delete;
+
+  [[nodiscard]] graph::NodeId n() const { return n_; }
+  [[nodiscard]] const gca::FieldGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const gca::Engine<Cell>& engine() const { return *engine_; }
+  [[nodiscard]] gca::Engine<Cell>& engine() { return *engine_; }
+
+  /// Executes the whole algorithm and returns the labeling.
+  RunResult run(const RunOptions& options = {});
+
+  // --- granular interface ---------------------------------------------
+
+  /// Executes generation 0 (field initialisation).
+  gca::GenerationStats initialize();
+
+  /// Executes one generation (one sub-generation for generations 3/7/10).
+  gca::GenerationStats step_generation(Generation g, unsigned subgeneration = 0);
+
+  /// Executes one full outer iteration (generations 1..11 with all
+  /// sub-generations); `sink` (optional) observes each step.
+  void run_iteration(unsigned iteration,
+                     const std::function<void(const StepRecord&)>& sink = {});
+
+  /// Current C vector (column 0 of the square field).
+  [[nodiscard]] std::vector<graph::NodeId> current_labels() const;
+
+  /// Current d value at (row, col) — test/visualisation access.
+  [[nodiscard]] std::uint32_t d_at(std::size_t row, std::size_t col) const;
+
+  /// Snapshot of all d values (row-major, (n+1) x n) for rendering.
+  [[nodiscard]] std::vector<std::uint64_t> d_snapshot() const;
+
+  /// The input graph reconstructed from the adjacency bits in the field.
+  [[nodiscard]] graph::Graph graph_from_field() const;
+
+ private:
+  template <typename Rule>
+  gca::GenerationStats step_with(Rule&& rule, Generation g, unsigned subgen);
+
+  graph::NodeId n_;
+  gca::FieldGeometry geometry_;
+  std::unique_ptr<gca::Engine<Cell>> engine_;
+};
+
+/// One-call convenience: labels of `g` computed on the GCA.
+[[nodiscard]] std::vector<graph::NodeId> gca_components(const graph::Graph& g);
+
+}  // namespace gcalib::core

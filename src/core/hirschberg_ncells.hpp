@@ -1,0 +1,45 @@
+// The n-cell design alternative.
+//
+// Section 3: "For this algorithm we decide between n and n^2 cells.  We
+// have decided for the n^2 case because we want to design and evaluate the
+// GCA algorithm with the highest degree of parallelism."  This module
+// implements the road not taken, so the design decision can be evaluated
+// quantitatively (bench_design_space):
+//
+//   * one cell per graph node, holding C(i), T(i), a scan accumulator and
+//    its own row of the adjacency matrix (a cell hosting more than O(1)
+//    memory elements — exactly the case the introduction flags as needing
+//    a revised pointer mechanism; here the row is cell-local read-only
+//    input, so the single pointer still suffices);
+//   * the min computations of steps 2 and 3 become sequential scans: in
+//     sub-generation k every cell reads cell k (congestion n), so one scan
+//     costs n generations instead of log n;
+//   * total generations O(n log n) on n cells, versus O(log^2 n) on
+//     n(n+1) cells for the paper's machine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::core {
+
+/// Result of an n-cell run.
+struct NCellRunResult {
+  std::vector<graph::NodeId> labels;
+  unsigned iterations = 0;
+  std::size_t generations = 0;
+  std::size_t max_congestion = 0;
+};
+
+/// Runs Hirschberg's algorithm on the n-cell GCA.
+[[nodiscard]] NCellRunResult hirschberg_ncells(const graph::Graph& g,
+                                               bool instrument = true);
+
+/// Closed-form generation count of the n-cell schedule:
+/// 1 + ceil(lg n) * (2*(n + 2) + ceil(lg n) + 2).
+[[nodiscard]] std::size_t ncells_total_generations(std::size_t n);
+
+}  // namespace gcalib::core

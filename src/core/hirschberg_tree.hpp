@@ -1,0 +1,117 @@
+// Congestion-1 variant of the Hirschberg GCA machine — the executable form
+// of section 4's remark that "the static nature of the communication can be
+// used to implement the concurrent reads in a tree-like manner".
+//
+// Every broadcast generation of the baseline machine (generations 1, 2, 5,
+// 6 and 9, whose hottest cells are read by up to n+1 neighbours) is
+// expanded into a *sequence* of doubling steps in which every read target
+// is read by exactly one cell:
+//
+//   baseline generation        tree expansion                     steps
+//   -------------------------  --------------------------------  ----------
+//   1  copy C into rows        seed (i,i) <- (i,0), then ring     1 + ceil(lg(n+1))
+//                              doubling down each column
+//   2  mask vs C(row)          broadcast D_N[j] along row j       1 + ceil(lg n), then local mask
+//   5  copy T into rows        like 1, square rows only           1 + ceil(lg n)
+//   6  mask vs C(col)          broadcast D_N[i] up column i       ceil(lg(n+1)), then local mask
+//   9  adopt                   row doubling from column 0,        ceil(lg n) + 1
+//                              then D_N fetch (n,i) <- (i,i)
+//
+// The masks become *local* operations (no global read at all) against a
+// second per-cell register e that the broadcasts fill — one extra data
+// register per cell, the hardware price of the scheme.  Generations 3/4/7/8
+// already have congestion 1 in the baseline and are kept; generations 10
+// and 11 have data-dependent pointers whose congestion cannot be removed by
+// static trees (the paper's replication discussion concerns C/T only).
+//
+// Net effect, measured by the instrumentation: every static step of the
+// machine has max congestion exactly <= 1, at the price of a constant-factor
+// increase in generations (about 8 lg n + 7 per iteration instead of
+// 3 lg n + 8).  bench_congestion_reduction prints both machines side by
+// side.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "gca/engine.hpp"
+#include "gca/field.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::core {
+
+/// Cell state of the tree variant: the baseline (a, d, p) plus the
+/// broadcast scratch register e.
+struct TreeCell {
+  std::uint32_t a = 0;
+  std::uint32_t d = 0;
+  std::uint32_t e = 0;  ///< broadcast landing register
+  std::uint32_t p = 0;
+  friend bool operator==(const TreeCell&, const TreeCell&) = default;
+};
+
+/// Result of a tree-variant run.
+struct TreeRunResult {
+  std::vector<graph::NodeId> labels;
+  unsigned iterations = 0;
+  std::size_t generations = 0;
+  /// Max congestion over the *static* steps (everything except the
+  /// data-dependent pointer-jump and final-min generations).  The variant's
+  /// contract is that this equals 1 (0 when a step performs no reads).
+  std::size_t static_max_congestion = 0;
+  /// Max congestion over the data-dependent steps (bounded by n as in the
+  /// baseline).
+  std::size_t dynamic_max_congestion = 0;
+};
+
+/// The congestion-1 machine.
+class HirschbergGcaTree {
+ public:
+  explicit HirschbergGcaTree(const graph::Graph& g);
+
+  HirschbergGcaTree(const HirschbergGcaTree&) = delete;
+  HirschbergGcaTree& operator=(const HirschbergGcaTree&) = delete;
+
+  [[nodiscard]] graph::NodeId n() const { return n_; }
+  [[nodiscard]] const gca::FieldGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const gca::Engine<TreeCell>& engine() const { return *engine_; }
+
+  /// Runs the whole algorithm.  `instrument` collects per-step statistics
+  /// (required for the congestion fields of the result to be meaningful).
+  TreeRunResult run(bool instrument = true);
+
+  /// Closed-form generation count of this schedule.
+  [[nodiscard]] static std::size_t total_generations(std::size_t n);
+
+ private:
+  // Phase implementations; each returns the number of engine steps taken
+  // and updates the congestion maxima in `result`.
+  void broadcast_c_into_columns(TreeRunResult& result);   // baseline gen 1
+  void broadcast_row_c_and_mask(TreeRunResult& result);   // baseline gen 2
+  void row_min(TreeRunResult& result);                    // baseline gen 3/7
+  void fallback(TreeRunResult& result);                   // baseline gen 4/8
+  void broadcast_t_into_columns(TreeRunResult& result);   // baseline gen 5
+  void broadcast_col_c_and_mask(TreeRunResult& result);   // baseline gen 6
+  void adopt(TreeRunResult& result);                      // baseline gen 9
+  void pointer_jump(TreeRunResult& result);               // baseline gen 10
+  void final_min(TreeRunResult& result);                  // baseline gen 11
+
+  template <typename Rule>
+  void static_step(TreeRunResult& result, Rule&& rule, const char* label);
+  template <typename Rule>
+  void dynamic_step(TreeRunResult& result, Rule&& rule, const char* label);
+
+  graph::NodeId n_;
+  gca::FieldGeometry geometry_;
+  std::unique_ptr<gca::Engine<TreeCell>> engine_;
+};
+
+/// Infinity sentinel (same convention as the baseline machine).
+inline constexpr std::uint32_t kTreeInf = std::numeric_limits<std::uint32_t>::max();
+
+/// One-call convenience.
+[[nodiscard]] std::vector<graph::NodeId> gca_tree_components(const graph::Graph& g);
+
+}  // namespace gcalib::core

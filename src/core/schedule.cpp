@@ -1,0 +1,37 @@
+#include "core/schedule.hpp"
+
+#include "common/bits.hpp"
+
+namespace gcalib::core {
+
+unsigned outer_iterations(std::size_t n) {
+  return n > 1 ? log2_ceil(n) : 0;
+}
+
+unsigned subgeneration_count(std::size_t n) {
+  return n > 1 ? log2_ceil(n) : 0;
+}
+
+std::size_t generations_of(Generation g, std::size_t n) {
+  return has_subgenerations(g) ? subgeneration_count(n) : 1;
+}
+
+std::array<std::size_t, 6> generations_per_step(std::size_t n) {
+  const std::size_t lg = subgeneration_count(n);
+  return {
+      1,           // step 1: generation 0
+      3 + lg,      // step 2: generations 1, 2, 3 (log n), 4
+      3 + lg,      // step 3: generations 5, 6, 7 (log n), 8
+      1,           // step 4: generation 9
+      lg,          // step 5: generation 10 (log n)
+      1,           // step 6: generation 11
+  };
+}
+
+std::size_t total_generations(std::size_t n) {
+  if (n <= 1) return 1;
+  const std::size_t lg = log2_ceil(n);
+  return 1 + lg * (3 * lg + 8);
+}
+
+}  // namespace gcalib::core

@@ -1,0 +1,29 @@
+// Closed-form schedule arithmetic (paper Table 2 and the total-generation
+// formula of section 3): how many GCA generations each PRAM step costs and
+// the total 1 + log(n) * (3*log(n) + 8).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "core/generation.hpp"
+
+namespace gcalib::core {
+
+/// Outer iterations of steps 2..6 (Listing 1): ceil(log2 n), 0 for n <= 1.
+[[nodiscard]] unsigned outer_iterations(std::size_t n);
+
+/// Sub-generations of one tree-reduction / pointer-jump generation.
+[[nodiscard]] unsigned subgeneration_count(std::size_t n);
+
+/// Engine steps one generation costs within one outer iteration.
+[[nodiscard]] std::size_t generations_of(Generation g, std::size_t n);
+
+/// Generations per PRAM step *per outer iteration* — Table 2 rows.
+/// Index 0 is step 1 (runs once, outside the iterations).
+[[nodiscard]] std::array<std::size_t, 6> generations_per_step(std::size_t n);
+
+/// Total generations: 1 + log(n) * (3*log(n) + 8); 1 for n <= 1.
+[[nodiscard]] std::size_t total_generations(std::size_t n);
+
+}  // namespace gcalib::core

@@ -1,0 +1,76 @@
+#include "core/state_graph.hpp"
+
+#include "common/assert.hpp"
+
+namespace gcalib::core {
+
+const std::array<GenerationInfo, kGenerationCount>& state_graph() {
+  static const std::array<GenerationInfo, kGenerationCount> kGraph = {{
+      {Generation::kInit, "init",
+       "p = index (no global read)",
+       "d <- row(index)",
+       "all n(n+1) cells", 1, false},
+      {Generation::kCopyCToRows, "copy-C-to-rows",
+       "p = col(index) * n",
+       "d <- d*",
+       "all n(n+1) cells", 2, false},
+      {Generation::kMaskNeighbors, "mask-neighbors",
+       "p = n^2 + row(index)",
+       "if (d != d* && A == 1) then d <- d else d <- inf",
+       "square cells", 2, false},
+      {Generation::kRowMin, "row-min",
+       "p = index + (1 << subGeneration)",
+       "d <- min(d, d*)   [tree reduction]",
+       "cells with col % 2^(s+1) == 0 and col + 2^s < n", 2, true},
+      {Generation::kFallback, "fallback-C",
+       "if (col(index) == 0 && row(index) != n) p = n^2 + row(index)",
+       "if (d == inf) then d <- d* else d <- d",
+       "column 0 of the square", 2, false},
+      {Generation::kCopyTToRows, "copy-T-to-rows",
+       "p = col(index) * n",
+       "if (row(index) == n) then d <- d else d <- d*",
+       "square cells", 3, false},
+      {Generation::kMaskMembers, "mask-members",
+       "p = n^2 + col(index)   [paper erratum: printed as n^2 + row(index)]",
+       "if (d* == row(index) && d != row(index)) then d <- d else d <- inf",
+       "square cells", 3, false},
+      {Generation::kRowMin2, "row-min",
+       "p = index + (1 << subGeneration)",
+       "d <- min(d, d*)   [tree reduction]",
+       "cells with col % 2^(s+1) == 0 and col + 2^s < n", 3, true},
+      {Generation::kFallback2, "fallback-C",
+       "if (col(index) == 0 && row(index) != n) p = n^2 + row(index)",
+       "if (d == inf) then d <- d* else d <- d",
+       "column 0 of the square", 3, false},
+      {Generation::kAdopt, "adopt",
+       "square: p = row(index) * n; bottom row: p = col(index) * n",
+       "d <- d*   [C <- T, T transposed into D_N]",
+       "all n(n+1) cells", 4, false},
+      {Generation::kPointerJump, "pointer-jump",
+       "p = d * n",
+       "d <- d*   [C(j) <- C(C(j))]",
+       "column 0 of the square", 5, true},
+      {Generation::kFinalMin, "final-min",
+       "p = d * n + 1",
+       "d <- min(d, d*)   [C(j) <- min(C(j), T(C(j)))]",
+       "column 0 of the square", 6, false},
+  }};
+  return kGraph;
+}
+
+const GenerationInfo& info(Generation g) {
+  const auto index = static_cast<std::size_t>(g);
+  GCALIB_EXPECTS(index < kGenerationCount);
+  return state_graph()[index];
+}
+
+std::string generation_label(Generation g, unsigned subgeneration) {
+  std::string label =
+      "gen" + std::to_string(static_cast<unsigned>(g)) + ":" + info(g).name;
+  if (has_subgenerations(g)) {
+    label += ".sub" + std::to_string(subgeneration);
+  }
+  return label;
+}
+
+}  // namespace gcalib::core

@@ -1,0 +1,34 @@
+// Self-describing metadata for the state machine of Figure 2: per
+// generation, the pointer operation and data operation in the paper's own
+// notation.  The execution engine in hirschberg_gca.cpp implements exactly
+// these operations; the Figure-2 bench prints this table.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "core/generation.hpp"
+
+namespace gcalib::core {
+
+/// Descriptive record for one generation of the state graph.
+struct GenerationInfo {
+  Generation id = Generation::kInit;
+  const char* name = "";        ///< short mnemonic
+  const char* pointer_op = "";  ///< Figure 2, left column
+  const char* data_op = "";     ///< Figure 2, right column
+  const char* active = "";      ///< which cells participate
+  int step = 0;                 ///< PRAM step of Listing 1
+  bool subgenerations = false;  ///< iterates log2(n) times
+};
+
+/// The full state graph, indexed by generation number.
+[[nodiscard]] const std::array<GenerationInfo, kGenerationCount>& state_graph();
+
+/// Lookup of one generation's record.
+[[nodiscard]] const GenerationInfo& info(Generation g);
+
+/// Human-readable name ("gen2:mask-neighbors").
+[[nodiscard]] std::string generation_label(Generation g, unsigned subgeneration);
+
+}  // namespace gcalib::core

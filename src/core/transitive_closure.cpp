@@ -1,0 +1,142 @@
+#include "core/transitive_closure.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "gca/engine.hpp"
+
+namespace gcalib::core {
+
+BoolMatrix BoolMatrix::from_graph(const graph::Graph& g) {
+  BoolMatrix m(g.node_count());
+  for (const graph::Edge& e : g.edges()) {
+    m.set(e.u, e.v);
+    m.set(e.v, e.u);
+  }
+  return m;
+}
+
+BoolMatrix transitive_closure_warshall(const BoolMatrix& a) {
+  const std::size_t n = a.size();
+  BoolMatrix r = a;
+  for (std::size_t i = 0; i < n; ++i) r.set(i, i);  // reflexive
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!r.at(i, k)) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (r.at(k, j)) r.set(i, j);
+      }
+    }
+  }
+  return r;
+}
+
+BoolMatrix transitive_closure_squaring(const BoolMatrix& a) {
+  const std::size_t n = a.size();
+  BoolMatrix r = a;
+  for (std::size_t i = 0; i < n; ++i) r.set(i, i);
+  const unsigned rounds = n > 1 ? log2_ceil(n) : 0;
+  for (unsigned round = 0; round < rounds; ++round) {
+    BoolMatrix next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        bool bit = false;
+        for (std::size_t k = 0; k < n && !bit; ++k) {
+          bit = r.at(i, k) && r.at(k, j);
+        }
+        next.set(i, j, bit);
+      }
+    }
+    r = next;
+  }
+  return r;
+}
+
+namespace {
+
+/// Cell state of the closure GCA: the current bit and the accumulator of
+/// the squaring in progress.
+struct TcCell {
+  std::uint8_t r = 0;
+  std::uint8_t acc = 0;
+};
+
+}  // namespace
+
+TcRunResult transitive_closure_gca(const BoolMatrix& a, bool instrument) {
+  const std::size_t n = a.size();
+  TcRunResult result;
+  result.closure = BoolMatrix(n);
+  if (n == 0) return result;
+
+  std::vector<TcCell> initial(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      initial[i * n + j].r = (a.at(i, j) || i == j) ? 1 : 0;
+    }
+  }
+  // Two-handed: sub-generation k reads R(i, k) and R(k, j).
+  gca::Engine<TcCell> engine(std::move(initial), /*hands=*/2);
+  engine.set_instrumentation(instrument);
+
+  const unsigned rounds = n > 1 ? log2_ceil(n) : 0;
+  for (unsigned round = 0; round < rounds; ++round) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const gca::GenerationStats stats = engine.step(
+          [n, k, &engine](std::size_t index,
+                          auto& read) -> std::optional<TcCell> {
+            const std::size_t i = index / n;
+            const std::size_t j = index % n;
+            TcCell next = engine.state(index);
+            const std::uint8_t left = read(i * n + k).r;
+            const std::uint8_t right = read(k * n + j).r;
+            next.acc = static_cast<std::uint8_t>(next.acc | (left & right));
+            return next;
+          },
+          "tc.round" + std::to_string(round) + ".k" + std::to_string(k));
+      ++result.generations;
+      result.max_congestion =
+          std::max(result.max_congestion, stats.max_congestion);
+    }
+    // Commit: r <- acc, acc <- 0 (local operation).
+    engine.step(
+        [&engine](std::size_t index, auto&) -> std::optional<TcCell> {
+          const TcCell& self = engine.state(index);
+          return TcCell{self.acc, 0};
+        },
+        "tc.round" + std::to_string(round) + ".commit");
+    ++result.generations;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      result.closure.set(i, j, engine.state(i * n + j).r != 0);
+    }
+  }
+  return result;
+}
+
+std::size_t tc_total_generations(std::size_t n) {
+  if (n <= 1) return 0;
+  return log2_ceil(n) * (n + 1);
+}
+
+std::vector<graph::NodeId> components_from_closure(const graph::Graph& g) {
+  const BoolMatrix closure =
+      transitive_closure_gca(BoolMatrix::from_graph(g), /*instrument=*/false)
+          .closure;
+  const std::size_t n = g.node_count();
+  std::vector<graph::NodeId> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (closure.at(i, j)) {
+        labels[i] = static_cast<graph::NodeId>(j);
+        break;
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace gcalib::core

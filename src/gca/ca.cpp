@@ -1,0 +1,162 @@
+#include "gca/ca.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gcalib::gca {
+
+Neighborhood von_neumann_neighborhood() {
+  return {{-1, 0}, {0, -1}, {0, 1}, {1, 0}};
+}
+
+Neighborhood moore_neighborhood() {
+  return {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 1}, {1, -1}, {1, 0}, {1, 1}};
+}
+
+CellularAutomaton::CellularAutomaton(FieldGeometry geometry,
+                                     Neighborhood neighborhood,
+                                     Boundary boundary,
+                                     std::uint8_t boundary_state)
+    : geometry_(geometry),
+      neighborhood_(std::move(neighborhood)),
+      boundary_(boundary),
+      boundary_state_(boundary_state),
+      engine_(std::vector<std::uint8_t>(geometry.size(), 0),
+              /*hands=*/std::max<std::size_t>(neighborhood_.size(), 1)) {
+  GCALIB_EXPECTS(!neighborhood_.empty());
+}
+
+void CellularAutomaton::set_state(const std::vector<std::uint8_t>& cells) {
+  GCALIB_EXPECTS(cells.size() == geometry_.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    engine_.mutable_state(i) = cells[i];
+  }
+}
+
+GenerationStats CellularAutomaton::step(const Rule& rule) {
+  const FieldGeometry geo = geometry_;
+  const Boundary boundary = boundary_;
+  const std::uint8_t outside = boundary_state_;
+  const Neighborhood& hood = neighborhood_;
+  return engine_.step([this, geo, boundary, outside, &hood, &rule](
+                          std::size_t index,
+                          auto& read) -> std::optional<std::uint8_t> {
+    const auto row = static_cast<long>(geo.row(index));
+    const auto col = static_cast<long>(geo.col(index));
+    const auto rows = static_cast<long>(geo.rows());
+    const auto cols = static_cast<long>(geo.cols());
+    std::vector<std::uint8_t> neighbors;
+    neighbors.reserve(hood.size());
+    for (const auto& [dr, dc] : hood) {
+      long r = row + dr;
+      long c = col + dc;
+      if (boundary == Boundary::kTorus) {
+        r = (r + rows) % rows;
+        c = (c + cols) % cols;
+      } else if (r < 0 || r >= rows || c < 0 || c >= cols) {
+        neighbors.push_back(outside);
+        continue;
+      }
+      neighbors.push_back(read(geo.index_of(static_cast<std::size_t>(r),
+                                            static_cast<std::size_t>(c))));
+    }
+    return rule(engine_.state(index), neighbors);
+  });
+}
+
+void CellularAutomaton::run(const Rule& rule, std::size_t generations) {
+  for (std::size_t g = 0; g < generations; ++g) step(rule);
+}
+
+std::size_t CellularAutomaton::census(std::uint8_t state) const {
+  const auto& cells = engine_.states();
+  return static_cast<std::size_t>(
+      std::count(cells.begin(), cells.end(), state));
+}
+
+CellularAutomaton::Rule game_of_life_rule() {
+  return [](std::uint8_t self, const std::vector<std::uint8_t>& neighbors) {
+    unsigned alive = 0;
+    for (std::uint8_t n : neighbors) alive += n != 0 ? 1u : 0u;
+    const bool next = self != 0 ? (alive == 2 || alive == 3) : alive == 3;
+    return static_cast<std::uint8_t>(next ? 1 : 0);
+  };
+}
+
+CellularAutomaton::Rule majority_rule() {
+  return [](std::uint8_t self, const std::vector<std::uint8_t>& neighbors) {
+    unsigned ones = self != 0 ? 1u : 0u;
+    for (std::uint8_t n : neighbors) ones += n != 0 ? 1u : 0u;
+    const unsigned total = static_cast<unsigned>(neighbors.size()) + 1;
+    if (2 * ones > total) return std::uint8_t{1};
+    if (2 * ones < total) return std::uint8_t{0};
+    return self;
+  };
+}
+
+CellularAutomaton::Rule parity_rule() {
+  return [](std::uint8_t self, const std::vector<std::uint8_t>& neighbors) {
+    std::uint8_t x = self;
+    for (std::uint8_t n : neighbors) x = static_cast<std::uint8_t>(x ^ n);
+    return static_cast<std::uint8_t>(x & 1);
+  };
+}
+
+ElementaryCA::ElementaryCA(std::size_t width, unsigned rule, Boundary boundary)
+    : rule_(rule),
+      boundary_(boundary),
+      engine_(std::vector<std::uint8_t>(width, 0), /*hands=*/2) {
+  GCALIB_EXPECTS(width >= 1);
+  GCALIB_EXPECTS(rule <= 255);
+}
+
+void ElementaryCA::set_state(const std::vector<std::uint8_t>& cells) {
+  GCALIB_EXPECTS(cells.size() == engine_.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    engine_.mutable_state(i) = cells[i];
+  }
+}
+
+void ElementaryCA::seed_center() {
+  for (std::size_t i = 0; i < engine_.size(); ++i) engine_.mutable_state(i) = 0;
+  engine_.mutable_state(engine_.size() / 2) = 1;
+}
+
+GenerationStats ElementaryCA::step() {
+  const std::size_t n = engine_.size();
+  const unsigned rule = rule_;
+  const Boundary boundary = boundary_;
+  return engine_.step([this, n, rule, boundary](
+                          std::size_t i, auto& read) -> std::optional<std::uint8_t> {
+    const auto fetch = [&](std::size_t j, bool valid) -> std::uint8_t {
+      if (!valid) return 0;
+      return read(j);
+    };
+    std::uint8_t left, right;
+    if (boundary == Boundary::kTorus) {
+      left = fetch((i + n - 1) % n, true);
+      right = fetch((i + 1) % n, true);
+    } else {
+      left = fetch(i - 1, i > 0);
+      right = fetch(i + 1, i + 1 < n);
+    }
+    const unsigned pattern = static_cast<unsigned>(left) << 2 |
+                             static_cast<unsigned>(engine_.state(i)) << 1 |
+                             static_cast<unsigned>(right);
+    return static_cast<std::uint8_t>((rule >> pattern) & 1u);
+  });
+}
+
+void ElementaryCA::run(std::size_t generations) {
+  for (std::size_t g = 0; g < generations; ++g) step();
+}
+
+std::size_t ElementaryCA::live_count() const {
+  const auto& cells = engine_.states();
+  std::size_t live = 0;
+  for (std::uint8_t c : cells) live += c != 0 ? 1 : 0;
+  return live;
+}
+
+}  // namespace gcalib::gca

@@ -1,0 +1,119 @@
+// Classical cellular automata as the degenerate GCA case.
+//
+// The paper's introduction derives the GCA as a generalisation of the CA:
+// if every cell's pointers are fixed to its local neighbourhood forever,
+// the GCA *is* a CA.  This adapter makes that subsumption a library
+// feature: a 2-D CA over an arbitrary state type and neighbourhood runs on
+// the same Engine as the Hirschberg machine (k-handed with k = the
+// neighbourhood size, all pointers static).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "gca/engine.hpp"
+#include "gca/field.hpp"
+
+namespace gcalib::gca {
+
+/// Relative neighbourhood offsets (row delta, column delta).
+using Neighborhood = std::vector<std::pair<int, int>>;
+
+/// The 4-neighbourhood (von Neumann) and 8-neighbourhood (Moore).
+[[nodiscard]] Neighborhood von_neumann_neighborhood();
+[[nodiscard]] Neighborhood moore_neighborhood();
+
+/// Boundary handling.
+enum class Boundary {
+  kTorus,  ///< wrap around
+  kFixed,  ///< out-of-field neighbours read as a constant state
+};
+
+/// A synchronous 2-D cellular automaton over byte states, executed on the
+/// generic GCA engine (each neighbour access is a genuine engine read, so
+/// instrumentation and the k-handed discipline apply).
+class CellularAutomaton {
+ public:
+  /// `rule(self, neighbors) -> next state`; `neighbors` are delivered in
+  /// neighbourhood order.
+  using Rule =
+      std::function<std::uint8_t(std::uint8_t, const std::vector<std::uint8_t>&)>;
+
+  CellularAutomaton(FieldGeometry geometry, Neighborhood neighborhood,
+                    Boundary boundary, std::uint8_t boundary_state = 0);
+
+  [[nodiscard]] const FieldGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const Engine<std::uint8_t>& engine() const { return engine_; }
+
+  /// Sets the initial configuration (row-major, geometry().size() cells).
+  void set_state(const std::vector<std::uint8_t>& cells);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& state() const {
+    return engine_.states();
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t row, std::size_t col) const {
+    return engine_.state(geometry_.index_of(row, col));
+  }
+
+  /// Advances one synchronous generation.
+  GenerationStats step(const Rule& rule);
+
+  /// Advances `generations` steps.
+  void run(const Rule& rule, std::size_t generations);
+
+  /// Number of cells in a given state.
+  [[nodiscard]] std::size_t census(std::uint8_t state) const;
+
+ private:
+  FieldGeometry geometry_;
+  Neighborhood neighborhood_;
+  Boundary boundary_;
+  std::uint8_t boundary_state_;
+  Engine<std::uint8_t> engine_;
+};
+
+/// Conway's Game of Life rule (B3/S23) for use with the Moore
+/// neighbourhood.
+[[nodiscard]] CellularAutomaton::Rule game_of_life_rule();
+
+/// Two-state majority rule: adopt the majority of self + neighbours
+/// (self-inclusive; ties keep the current state).
+[[nodiscard]] CellularAutomaton::Rule majority_rule();
+
+/// Parity (XOR) rule over the neighbourhood — the classic linear CA.
+[[nodiscard]] CellularAutomaton::Rule parity_rule();
+
+/// One-dimensional elementary cellular automaton (Wolfram rule numbering,
+/// 0..255) on the GCA engine: each cell reads its two ring neighbours
+/// (2-handed) and applies the 3-bit lookup table.
+class ElementaryCA {
+ public:
+  ElementaryCA(std::size_t width, unsigned rule,
+               Boundary boundary = Boundary::kTorus);
+
+  [[nodiscard]] std::size_t width() const { return engine_.size(); }
+  [[nodiscard]] unsigned rule() const { return rule_; }
+
+  void set_state(const std::vector<std::uint8_t>& cells);
+  /// Clears the row and sets the middle cell to 1 (the canonical seed).
+  void seed_center();
+
+  [[nodiscard]] const std::vector<std::uint8_t>& state() const {
+    return engine_.states();
+  }
+  [[nodiscard]] std::uint8_t at(std::size_t i) const { return engine_.state(i); }
+
+  GenerationStats step();
+  void run(std::size_t generations);
+
+  [[nodiscard]] std::size_t live_count() const;
+
+ private:
+  unsigned rule_;
+  Boundary boundary_;
+  Engine<std::uint8_t> engine_;
+};
+
+}  // namespace gcalib::gca

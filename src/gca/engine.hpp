@@ -1,0 +1,231 @@
+// Generic synchronous Global Cellular Automaton engine.
+//
+// The GCA model (Hoffmann/Völkmann/Waldschmidt 2000): a collection of cells
+// updates synchronously; every cell computes its next state from its own
+// state and the states of *dynamically chosen global* neighbours, accessed
+// read-only.  This engine is deliberately model-faithful:
+//
+//  * double-buffered states — all reads during a generation observe the
+//    previous generation (no write conflicts can exist, as in the model);
+//  * a `Reader` handle mediates neighbour access so the engine can (a)
+//    enforce the k-handed restriction (the paper's algorithm is one-handed)
+//    and (b) measure congestion, the paper's key cost metric;
+//  * rules return `std::optional<State>`: `nullopt` means the cell is
+//    inactive this generation (keeps its state and performs no data
+//    operation), matching Table 1's "active cells" accounting.
+//
+// The sweep over cells runs sequentially by default; `set_threads` enables
+// a chunked parallel sweep (cells are independent within a generation, so
+// this is embarrassingly parallel; instrumentation is merged per-thread).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "gca/instrumentation.hpp"
+
+namespace gcalib::gca {
+
+/// One recorded read access: (reading cell, target cell).
+struct AccessEdge {
+  std::size_t reader = 0;
+  std::size_t target = 0;
+  friend bool operator==(const AccessEdge&, const AccessEdge&) = default;
+  friend auto operator<=>(const AccessEdge&, const AccessEdge&) = default;
+};
+
+template <typename State>
+class Engine {
+ public:
+  /// Creates an engine over the given initial cell states.
+  /// `hands` is the maximum number of global reads one cell may perform per
+  /// generation (1 = the paper's one-handed GCA).
+  explicit Engine(std::vector<State> initial, std::size_t hands = 1)
+      : cells_(std::move(initial)), next_(cells_.size()), hands_(hands) {
+    GCALIB_EXPECTS(hands_ >= 1);
+  }
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] std::size_t hands() const { return hands_; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  [[nodiscard]] const State& state(std::size_t i) const {
+    GCALIB_EXPECTS(i < cells_.size());
+    return cells_[i];
+  }
+  [[nodiscard]] const std::vector<State>& states() const { return cells_; }
+
+  /// Host-side mutation (initialisation only; not part of the GCA model).
+  State& mutable_state(std::size_t i) {
+    GCALIB_EXPECTS(i < cells_.size());
+    return cells_[i];
+  }
+
+  /// Collects congestion statistics per step when enabled (default on;
+  /// disable for pure-speed runs).
+  void set_instrumentation(bool enabled) { instrumentation_ = enabled; }
+  [[nodiscard]] bool instrumentation() const { return instrumentation_; }
+
+  /// Records individual (reader, target) access edges of the most recent
+  /// step (for access-pattern rendering; implies instrumentation overhead).
+  void set_record_access(bool enabled) { record_access_ = enabled; }
+  [[nodiscard]] const std::vector<AccessEdge>& last_access() const {
+    return last_access_;
+  }
+
+  /// Active-cell mask of the most recent step.
+  [[nodiscard]] const std::vector<std::uint8_t>& last_active() const {
+    return last_active_;
+  }
+
+  /// Parallel sweep width (1 = sequential).  Access-edge recording is only
+  /// supported sequentially.
+  void set_threads(unsigned threads) {
+    GCALIB_EXPECTS(threads >= 1);
+    threads_ = threads;
+  }
+
+  /// Mediates global reads for one cell during one generation.
+  class Reader {
+   public:
+    /// Returns the state of `target` as of the *previous* generation.
+    const State& operator()(std::size_t target) {
+      GCALIB_EXPECTS(target < engine_.cells_.size());
+      GCALIB_EXPECTS_MSG(reads_ < engine_.hands_,
+                         "cell exceeded its k-handed read budget");
+      ++reads_;
+      if (counts_ != nullptr) ++(*counts_)[target];
+      if (edges_ != nullptr) edges_->push_back(AccessEdge{self_, target});
+      return engine_.cells_[target];
+    }
+
+    /// Reads performed so far by this cell in this generation.
+    [[nodiscard]] std::size_t reads() const { return reads_; }
+
+   private:
+    friend class Engine;
+    Reader(const Engine& engine, std::size_t self,
+           std::vector<std::size_t>* counts, std::vector<AccessEdge>* edges)
+        : engine_(engine), self_(self), counts_(counts), edges_(edges) {}
+
+    const Engine& engine_;
+    std::size_t self_;
+    std::size_t reads_ = 0;
+    std::vector<std::size_t>* counts_;
+    std::vector<AccessEdge>* edges_;
+  };
+
+  /// Executes one synchronous generation.
+  /// `rule(index, reader) -> std::optional<State>`; `nullopt` keeps the old
+  /// state and marks the cell inactive.
+  template <typename Rule>
+  GenerationStats step(Rule&& rule, std::string label = {}) {
+    GenerationStats stats;
+    stats.generation = generation_;
+    stats.label = std::move(label);
+    stats.cell_count = cells_.size();
+
+    last_active_.assign(cells_.size(), 0);
+    last_access_.clear();
+
+    if (threads_ <= 1 || cells_.size() < 2 * threads_) {
+      std::vector<std::size_t> counts;
+      if (instrumentation_) counts.assign(cells_.size(), 0);
+      sweep_range(rule, 0, cells_.size(),
+                  instrumentation_ ? &counts : nullptr,
+                  record_access_ ? &last_access_ : nullptr, stats.active_cells);
+      if (instrumentation_) fold_counts(counts, stats);
+    } else {
+      GCALIB_EXPECTS_MSG(!record_access_,
+                         "access-edge recording requires a sequential sweep");
+      sweep_parallel(rule, stats);
+    }
+
+    cells_.swap(next_);
+    ++generation_;
+    if (instrumentation_) history_.push_back(stats);
+    return stats;
+  }
+
+  [[nodiscard]] const std::vector<GenerationStats>& history() const {
+    return history_;
+  }
+  void clear_history() { history_.clear(); }
+
+ private:
+  template <typename Rule>
+  void sweep_range(Rule& rule, std::size_t begin, std::size_t end,
+                   std::vector<std::size_t>* counts,
+                   std::vector<AccessEdge>* edges, std::size_t& active) {
+    for (std::size_t i = begin; i < end; ++i) {
+      Reader reader(*this, i, counts, edges);
+      std::optional<State> result = rule(i, reader);
+      if (result.has_value()) {
+        next_[i] = *std::move(result);
+        last_active_[i] = 1;
+        ++active;
+      } else {
+        next_[i] = cells_[i];
+      }
+    }
+  }
+
+  template <typename Rule>
+  void sweep_parallel(Rule& rule, GenerationStats& stats) {
+    const unsigned t = threads_;
+    std::vector<std::thread> workers;
+    std::vector<std::size_t> actives(t, 0);
+    std::vector<std::vector<std::size_t>> counts(
+        instrumentation_ ? t : 0,
+        std::vector<std::size_t>(instrumentation_ ? cells_.size() : 0, 0));
+    const std::size_t chunk = (cells_.size() + t - 1) / t;
+    for (unsigned w = 0; w < t; ++w) {
+      const std::size_t begin = std::min(cells_.size(), std::size_t{w} * chunk);
+      const std::size_t end = std::min(cells_.size(), begin + chunk);
+      workers.emplace_back([this, &rule, begin, end, w, &actives, &counts]() {
+        sweep_range(rule, begin, end,
+                    instrumentation_ ? &counts[w] : nullptr, nullptr,
+                    actives[w]);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (std::size_t a : actives) stats.active_cells += a;
+    if (instrumentation_) {
+      std::vector<std::size_t>& merged = counts[0];
+      for (unsigned w = 1; w < t; ++w) {
+        for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += counts[w][i];
+      }
+      fold_counts(merged, stats);
+    }
+  }
+
+  void fold_counts(const std::vector<std::size_t>& counts,
+                   GenerationStats& stats) const {
+    for (std::size_t c : counts) {
+      if (c == 0) continue;
+      ++stats.cells_read;
+      stats.total_reads += c;
+      stats.max_congestion = std::max(stats.max_congestion, c);
+      ++stats.congestion_classes[c];
+    }
+  }
+
+  std::vector<State> cells_;
+  std::vector<State> next_;
+  std::size_t hands_;
+  std::uint64_t generation_ = 0;
+  bool instrumentation_ = true;
+  bool record_access_ = false;
+  unsigned threads_ = 1;
+  std::vector<AccessEdge> last_access_;
+  std::vector<std::uint8_t> last_active_;
+  std::vector<GenerationStats> history_;
+};
+
+}  // namespace gcalib::gca

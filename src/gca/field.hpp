@@ -1,0 +1,68 @@
+// Field geometry for matrix-shaped GCA cell fields.
+//
+// The paper arranges cells in an (n+1) x n matrix addressed by a linear
+// index: index = j*n + i with j = row in 0..n and i = column in 0..n-1.
+// The first n rows form the square working field D-square, the extra bottom
+// row D_N buffers intermediate vectors.  This type centralises that
+// arithmetic so every module (rule, trace, hardware model) agrees on it.
+#pragma once
+
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace gcalib::gca {
+
+/// Geometry of a rows x cols cell field with row-major linear indexing.
+class FieldGeometry {
+ public:
+  constexpr FieldGeometry(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {
+    GCALIB_EXPECTS(rows >= 1 && cols >= 1);
+  }
+
+  /// The paper's layout for problem size n: (n+1) rows by n columns.
+  [[nodiscard]] static constexpr FieldGeometry hirschberg(std::size_t n) {
+    return FieldGeometry(n + 1, n);
+  }
+
+  [[nodiscard]] constexpr std::size_t rows() const { return rows_; }
+  [[nodiscard]] constexpr std::size_t cols() const { return cols_; }
+  [[nodiscard]] constexpr std::size_t size() const { return rows_ * cols_; }
+
+  [[nodiscard]] constexpr std::size_t row(std::size_t index) const {
+    GCALIB_EXPECTS(index < size());
+    return index / cols_;
+  }
+
+  [[nodiscard]] constexpr std::size_t col(std::size_t index) const {
+    GCALIB_EXPECTS(index < size());
+    return index % cols_;
+  }
+
+  [[nodiscard]] constexpr std::size_t index_of(std::size_t row,
+                                               std::size_t col) const {
+    GCALIB_EXPECTS(row < rows_ && col < cols_);
+    return row * cols_ + col;
+  }
+
+  /// True iff `index` lies in the square part (paper: D-square), i.e. not in
+  /// the extra bottom row.  Only meaningful for the hirschberg() layout.
+  [[nodiscard]] constexpr bool in_square(std::size_t index) const {
+    return row(index) + 1 < rows_;
+  }
+
+  /// True iff `index` lies in the extra bottom row (paper: D_N).
+  [[nodiscard]] constexpr bool in_bottom_row(std::size_t index) const {
+    return row(index) + 1 == rows_;
+  }
+
+  friend constexpr bool operator==(const FieldGeometry&,
+                                   const FieldGeometry&) = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace gcalib::gca

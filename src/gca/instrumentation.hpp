@@ -1,0 +1,54 @@
+// Per-generation measurement records for GCA runs.
+//
+// Table 1 of the paper characterises every generation by the number of
+// active cells (cells that modify their state), the number of cells that
+// are read, and the congestion delta — how many concurrent read accesses
+// each read cell receives.  `GenerationStats` captures exactly those
+// quantities from an instrumented engine step, as congestion *classes*
+// (delta value -> number of target cells with that delta) so the bench can
+// print rows in the same shape as the paper's table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gcalib::gca {
+
+/// Measurements of one engine step (one generation or sub-generation).
+struct GenerationStats {
+  std::uint64_t generation = 0;   ///< global step counter value
+  std::string label;              ///< e.g. "gen2", "gen3.sub1"
+  std::size_t cell_count = 0;     ///< field size
+  std::size_t active_cells = 0;   ///< cells whose rule produced a new state
+  std::size_t total_reads = 0;    ///< sum of all global read accesses
+  std::size_t cells_read = 0;     ///< distinct cells that were read
+  std::size_t max_congestion = 0; ///< max reads received by any one cell
+
+  /// delta -> number of cells read exactly delta times (delta >= 1).
+  std::map<std::size_t, std::size_t> congestion_classes;
+
+  /// Cells receiving no read this step (= cell_count - cells_read).
+  [[nodiscard]] std::size_t cells_unread() const {
+    return cell_count - cells_read;
+  }
+};
+
+/// Aggregates several (sub-)generation records, e.g. the log n
+/// sub-generations of a tree-reduction generation, into one summary row.
+struct GenerationSummary {
+  std::string label;
+  std::size_t steps = 0;
+  std::size_t active_cells_total = 0;
+  std::size_t active_cells_first = 0;  ///< paper reports first sub-generation
+  std::size_t total_reads = 0;
+  std::size_t cells_read_total = 0;
+  std::size_t max_congestion = 0;
+};
+
+[[nodiscard]] GenerationSummary summarize(const std::string& label,
+                                          const std::vector<GenerationStats>& steps);
+
+}  // namespace gcalib::gca

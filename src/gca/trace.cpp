@@ -1,0 +1,100 @@
+#include "gca/trace.hpp"
+
+#include <algorithm>
+
+#include "common/format.hpp"
+#include "gca/instrumentation.hpp"
+
+namespace gcalib::gca {
+
+std::string render_active_mask(const FieldGeometry& geometry,
+                               const std::vector<std::uint8_t>& active) {
+  GCALIB_EXPECTS(active.size() == geometry.size());
+  std::string out;
+  out.reserve(geometry.size() + geometry.rows());
+  for (std::size_t r = 0; r < geometry.rows(); ++r) {
+    for (std::size_t c = 0; c < geometry.cols(); ++c) {
+      out.push_back(active[geometry.index_of(r, c)] ? '#' : '.');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_indexed_mask(const FieldGeometry& geometry,
+                                const std::vector<std::uint8_t>& active) {
+  GCALIB_EXPECTS(active.size() == geometry.size());
+  const std::size_t width = std::to_string(geometry.size() - 1).size();
+  std::string out;
+  for (std::size_t r = 0; r < geometry.rows(); ++r) {
+    for (std::size_t c = 0; c < geometry.cols(); ++c) {
+      const std::size_t index = geometry.index_of(r, c);
+      const std::string num = pad_left(std::to_string(index), width);
+      out += active[index] ? "[" + num + "]" : " " + num + " ";
+      if (c + 1 < geometry.cols()) out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_access_edges(const FieldGeometry& geometry,
+                                const std::vector<AccessEdge>& edges) {
+  std::vector<AccessEdge> sorted = edges;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const AccessEdge& e : sorted) {
+    out += "(" + std::to_string(geometry.row(e.reader)) + "," +
+           std::to_string(geometry.col(e.reader)) + ") <- (" +
+           std::to_string(geometry.row(e.target)) + "," +
+           std::to_string(geometry.col(e.target)) + ")\n";
+  }
+  return out;
+}
+
+std::string render_numeric_field(const FieldGeometry& geometry,
+                                 const std::vector<std::uint64_t>& values,
+                                 std::uint64_t inf_value) {
+  GCALIB_EXPECTS(values.size() == geometry.size());
+  std::size_t width = 3;  // at least "inf"
+  for (std::uint64_t v : values) {
+    if (v != inf_value) width = std::max(width, std::to_string(v).size());
+  }
+  std::string out;
+  for (std::size_t r = 0; r < geometry.rows(); ++r) {
+    for (std::size_t c = 0; c < geometry.cols(); ++c) {
+      const std::uint64_t v = values[geometry.index_of(r, c)];
+      out += pad_left(v == inf_value ? "inf" : std::to_string(v), width);
+      if (c + 1 < geometry.cols()) out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string format_generation_stats(const GenerationStats& stats) {
+  std::string out = stats.label.empty() ? "step" : stats.label;
+  out += ": active=" + std::to_string(stats.active_cells);
+  out += " reads=" + std::to_string(stats.total_reads);
+  out += " cells_read=" + std::to_string(stats.cells_read);
+  out += " max_congestion=" + std::to_string(stats.max_congestion);
+  return out;
+}
+
+GenerationSummary summarize(const std::string& label,
+                            const std::vector<GenerationStats>& steps) {
+  GenerationSummary summary;
+  summary.label = label;
+  summary.steps = steps.size();
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const GenerationStats& s = steps[i];
+    if (i == 0) summary.active_cells_first = s.active_cells;
+    summary.active_cells_total += s.active_cells;
+    summary.total_reads += s.total_reads;
+    summary.cells_read_total += s.cells_read;
+    summary.max_congestion = std::max(summary.max_congestion, s.max_congestion);
+  }
+  return summary;
+}
+
+}  // namespace gcalib::gca

@@ -1,0 +1,43 @@
+// ASCII rendering of GCA fields and access patterns.
+//
+// Reproduces the visual content of the paper's Figure 3 (access patterns
+// for n = 4: which cells are active, where each active cell reads from) in
+// plain text, and renders D/P field snapshots for debugging and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gca/engine.hpp"
+#include "gca/field.hpp"
+
+namespace gcalib::gca {
+
+/// Renders the active-cell mask as a grid: '#' active, '.' inactive.
+/// One row of the field per line.
+[[nodiscard]] std::string render_active_mask(
+    const FieldGeometry& geometry, const std::vector<std::uint8_t>& active);
+
+/// Renders each cell's linear index, shading active cells with '[..]'
+/// brackets and leaving inactive ones plain — the same information as the
+/// paper's Figure 3 cell diagrams.
+[[nodiscard]] std::string render_indexed_mask(
+    const FieldGeometry& geometry, const std::vector<std::uint8_t>& active);
+
+/// Renders read accesses as "reader(row,col) <- target(row,col)" lines,
+/// coalescing runs with a shared target into "rows r..s of col c" style is
+/// deliberately avoided: one line per edge keeps the output diffable.
+[[nodiscard]] std::string render_access_edges(const FieldGeometry& geometry,
+                                              const std::vector<AccessEdge>& edges);
+
+/// Renders a numeric field (e.g. the D matrix) with `inf_value` printed as
+/// "inf"; column-aligned.
+[[nodiscard]] std::string render_numeric_field(const FieldGeometry& geometry,
+                                               const std::vector<std::uint64_t>& values,
+                                               std::uint64_t inf_value);
+
+/// Summary line for a GenerationStats record (used by traces and benches).
+[[nodiscard]] std::string format_generation_stats(const GenerationStats& stats);
+
+}  // namespace gcalib::gca

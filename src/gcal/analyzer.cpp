@@ -1,0 +1,262 @@
+#include "gcal/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "gca/field.hpp"
+#include "gcal/eval.hpp"
+
+namespace gcalib::gcal {
+
+namespace {
+
+PointerClass classify(const GenerationDef& generation) {
+  if (!generation.pointer) return PointerClass::kNone;
+  return references_state(*generation.pointer) ? PointerClass::kDataDependent
+                                               : PointerClass::kStatic;
+}
+
+/// Evaluates a position-only expression for one cell.  The activity
+/// condition may legally reference state (e.g. masks on d); for analysis
+/// purposes such conditions are treated as potentially-active (worst case)
+/// — the Hirschberg program's activity conditions are all positional, so
+/// the analysis is exact there.
+struct PositionalEval {
+  std::size_t n;
+  std::size_t sub;
+  const gca::FieldGeometry* geometry;
+
+  [[nodiscard]] bool active(const GenerationDef& generation,
+                            std::size_t index) const {
+    if (references_state(*generation.active)) return true;  // worst case
+    return evaluate(*generation.active, context(index)) != 0;
+  }
+
+  [[nodiscard]] std::size_t pointer_target(const GenerationDef& generation,
+                                           std::size_t index) const {
+    const Value target = evaluate(*generation.pointer, context(index));
+    if (target < 0 || static_cast<std::size_t>(target) >= geometry->size()) {
+      throw EvalError("static pointer out of field range in generation '" +
+                          generation.name + "'",
+                      generation.line, 0);
+    }
+    return static_cast<std::size_t>(target);
+  }
+
+ private:
+  [[nodiscard]] EvalContext context(std::size_t index) const {
+    EvalContext ctx;
+    ctx.n = n;
+    ctx.index = index;
+    ctx.row = geometry->row(index);
+    ctx.col = geometry->col(index);
+    ctx.sub = sub;
+    return ctx;
+  }
+};
+
+}  // namespace
+
+const char* to_string(PointerClass cls) {
+  switch (cls) {
+    case PointerClass::kNone: return "none";
+    case PointerClass::kStatic: return "static";
+    case PointerClass::kDataDependent: return "data-dependent";
+  }
+  return "?";
+}
+
+ProgramAnalysis analyze(const Program& program, std::size_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  const gca::FieldGeometry geometry = gca::FieldGeometry::hirschberg(n);
+  const std::size_t subs = n > 1 ? log2_ceil(n) : 1;
+
+  ProgramAnalysis analysis;
+  analysis.n = n;
+
+  std::vector<std::set<std::size_t>> sources(geometry.size());
+  std::vector<bool> extended(geometry.size(), false);
+
+  const auto analyze_generation = [&](const GenerationDef& generation) {
+    GenerationAnalysis record;
+    record.name = generation.name;
+    record.repeat = generation.repeat;
+    record.pointer_class = classify(generation);
+
+    const std::size_t sub_count =
+        generation.repeat ? (generation.repeat_rows ? log2_ceil(n + 1) : subs)
+                          : 1;
+    for (std::size_t sub = 0; sub < sub_count; ++sub) {
+      const PositionalEval eval{n, sub, &geometry};
+      std::map<std::size_t, std::size_t> reads;  // target -> count
+      std::size_t active = 0;
+      for (std::size_t index = 0; index < geometry.size(); ++index) {
+        if (!eval.active(generation, index)) continue;
+        ++active;
+        switch (record.pointer_class) {
+          case PointerClass::kNone:
+            break;
+          case PointerClass::kStatic: {
+            const std::size_t target = eval.pointer_target(generation, index);
+            ++reads[target];
+            sources[index].insert(target);
+            break;
+          }
+          case PointerClass::kDataDependent:
+            extended[index] = true;
+            break;
+        }
+      }
+      if (sub == 0) record.active_cells_first = active;
+      for (const auto& [target, count] : reads) {
+        record.max_congestion = std::max(record.max_congestion, count);
+      }
+    }
+    if (record.pointer_class == PointerClass::kStatic) {
+      analysis.static_max_congestion =
+          std::max(analysis.static_max_congestion, record.max_congestion);
+    }
+    analysis.generations.push_back(std::move(record));
+  };
+
+  for (const GenerationDef& generation : program.prologue) {
+    analyze_generation(generation);
+  }
+  for (const GenerationDef& generation : program.loop) {
+    analyze_generation(generation);
+  }
+
+  // Assemble the hardware portrait.
+  analysis.portrait.n = n;
+  analysis.portrait.data_width = hw::data_width_for(n);
+  analysis.portrait.pointer_width = hw::pointer_width_for(n);
+  analysis.portrait.cells.reserve(geometry.size());
+  for (std::size_t index = 0; index < geometry.size(); ++index) {
+    hw::CellPortrait cell;
+    cell.index = index;
+    cell.extended = extended[index];
+    cell.bottom_row = geometry.in_bottom_row(index);
+    cell.static_sources.assign(sources[index].begin(), sources[index].end());
+    analysis.portrait.cells.push_back(std::move(cell));
+  }
+  return analysis;
+}
+
+hw::SynthesisEstimate estimate_program(const Program& program, std::size_t n) {
+  const ProgramAnalysis analysis = analyze(program, n);
+  return hw::estimate(analysis.portrait,
+                      hw::CostParameters::cyclone2_calibrated());
+}
+
+namespace {
+
+int precedence(Op op) {
+  switch (op) {
+    case Op::kOr: return 1;
+    case Op::kAnd: return 2;
+    case Op::kEq: case Op::kNe: case Op::kLt: case Op::kGt:
+    case Op::kLe: case Op::kGe: return 3;
+    case Op::kShl: case Op::kShr: return 4;
+    case Op::kAdd: case Op::kSub: return 5;
+    case Op::kMul: case Op::kDiv: case Op::kMod: return 6;
+    case Op::kNeg: case Op::kNot: return 7;
+  }
+  return 0;
+}
+
+const char* op_text(Op op) {
+  switch (op) {
+    case Op::kOr: return "||";
+    case Op::kAnd: return "&&";
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kGt: return ">";
+    case Op::kLe: return "<=";
+    case Op::kGe: return ">=";
+    case Op::kShl: return "<<";
+    case Op::kShr: return ">>";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kMod: return "%";
+    case Op::kNeg: return "-";
+    case Op::kNot: return "!";
+  }
+  return "?";
+}
+
+std::string print_expr(const Expr& expr, int parent_precedence) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return std::to_string(expr.number);
+    case ExprKind::kVariable:
+      return expr.name;
+    case ExprKind::kUnary: {
+      const std::string inner = print_expr(*expr.a, precedence(expr.op));
+      return std::string(op_text(expr.op)) + inner;
+    }
+    case ExprKind::kBinary: {
+      const int prec = precedence(expr.op);
+      // Right operand gets prec+1: our parser is left-associative.
+      const std::string text = print_expr(*expr.a, prec) + " " +
+                               op_text(expr.op) + " " +
+                               print_expr(*expr.b, prec + 1);
+      return prec < parent_precedence ? "(" + text + ")" : text;
+    }
+    case ExprKind::kTernary: {
+      const std::string text = print_expr(*expr.a, 1) + " ? " +
+                               print_expr(*expr.b, 0) + " : " +
+                               print_expr(*expr.c, 0);
+      // Ternary binds loosest: parenthesise unless at top level.
+      return parent_precedence > 0 ? "(" + text + ")" : text;
+    }
+    case ExprKind::kCall:
+      return expr.name + "(" + print_expr(*expr.a, 0) + ", " +
+             print_expr(*expr.b, 0) + ")";
+  }
+  return "?";
+}
+
+void print_generation(std::string& out, const GenerationDef& generation,
+                      const std::string& indent) {
+  out += indent + "generation " + generation.name;
+  if (generation.repeat) {
+    out += generation.repeat_rows ? " repeat rows" : " repeat";
+  }
+  out += ":\n";
+  out += indent + "  active " + print_expr(*generation.active, 0) + "\n";
+  if (generation.pointer) {
+    out += indent + "  p = " + print_expr(*generation.pointer, 0) + "\n";
+  }
+  if (generation.data) {
+    out += indent + "  d = " + print_expr(*generation.data, 0) + "\n";
+  }
+  if (generation.data_e) {
+    out += indent + "  e = " + print_expr(*generation.data_e, 0) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Program& program) {
+  std::string out = "program " + program.name + "\n";
+  for (const GenerationDef& generation : program.prologue) {
+    out += "\n";
+    print_generation(out, generation, "");
+  }
+  if (!program.loop.empty()) {
+    out += "\nloop:\n";
+    for (const GenerationDef& generation : program.loop) {
+      out += "\n";
+      print_generation(out, generation, "  ");
+    }
+  }
+  return out;
+}
+
+}  // namespace gcalib::gcal

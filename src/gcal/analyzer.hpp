@@ -1,0 +1,64 @@
+// Static analysis of gcal programs: derives, without executing the
+// program, each generation's activity pattern and pointer classification
+// (none / static / data-dependent), per-cell static source sets and the
+// expected congestion — the same information core/access_pattern.hpp
+// declares by hand for the Hirschberg machine.  On top of that the
+// analyzer builds a hardware FieldPortrait, which plugs straight into the
+// calibrated cost model: write a GCA program in gcal, get an FPGA
+// synthesis estimate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gcal/ast.hpp"
+#include "hw/cell_model.hpp"
+#include "hw/cost_model.hpp"
+
+namespace gcalib::gcal {
+
+/// Pointer classification of one generation.
+enum class PointerClass {
+  kNone,           ///< no global read
+  kStatic,         ///< pure function of position (and sub-generation)
+  kDataDependent,  ///< references cell state -> extended cell needed
+};
+
+[[nodiscard]] const char* to_string(PointerClass cls);
+
+/// Analysis record of one generation (aggregated over its sub-generations
+/// for `repeat` generations, evaluated at a concrete n).
+struct GenerationAnalysis {
+  std::string name;
+  bool repeat = false;
+  PointerClass pointer_class = PointerClass::kNone;
+  std::size_t active_cells_first = 0;  ///< first sub-generation
+  std::size_t max_congestion = 0;      ///< exact for static; 0 for dynamic
+                                       ///< (unknowable without data)
+};
+
+/// Whole-program analysis at size n.
+struct ProgramAnalysis {
+  std::size_t n = 0;
+  std::vector<GenerationAnalysis> generations;  ///< prologue then loop
+  hw::FieldPortrait portrait;  ///< per-cell static sources + extended flags
+  /// Worst congestion over all static generations.
+  std::size_t static_max_congestion = 0;
+};
+
+/// Analyzes `program` for problem size n (n >= 1).  Throws EvalError if a
+/// static pointer expression evaluates out of field range.
+[[nodiscard]] ProgramAnalysis analyze(const Program& program, std::size_t n);
+
+/// Synthesis estimate for the program's derived field structure, using the
+/// Cyclone-II-calibrated coefficients.
+[[nodiscard]] hw::SynthesisEstimate estimate_program(const Program& program,
+                                                     std::size_t n);
+
+/// Canonical pretty-printer: renders a Program back to gcal source.
+/// parse(to_source(parse(s))) is structurally identical to parse(s)
+/// (round-trip property, tested).
+[[nodiscard]] std::string to_source(const Program& program);
+
+}  // namespace gcalib::gcal

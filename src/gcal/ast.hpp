@@ -1,0 +1,63 @@
+// Abstract syntax of gcal programs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gcalib::gcal {
+
+/// Expression node kinds.
+enum class ExprKind {
+  kNumber,    ///< literal
+  kVariable,  ///< named builtin (index, row, col, d, dstar, ...)
+  kUnary,     ///< op in {'-', '!'}
+  kBinary,    ///< op is a TokenKind-style two-operand operator name
+  kTernary,   ///< cond ? a : b
+  kCall,      ///< min(...), max(...)
+};
+
+/// Binary/unary operator identifiers (subset of the token set).
+enum class Op {
+  kNeg, kNot,                              // unary
+  kOr, kAnd,                               // logical
+  kEq, kNe, kLt, kGt, kLe, kGe,            // comparison
+  kShl, kShr, kAdd, kSub, kMul, kDiv, kMod // arithmetic
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+  std::int64_t number = 0;     // kNumber
+  std::string name;            // kVariable / kCall
+  Op op = Op::kAdd;            // kUnary / kBinary
+  ExprPtr a, b, c;             // operands (c = ternary else-branch)
+  int line = 0;
+  int column = 0;
+};
+
+/// One generation definition.
+struct GenerationDef {
+  std::string name;
+  bool repeat = false;       ///< iterate ceil(lg n) sub-generations
+  bool repeat_rows = false;  ///< iterate ceil(lg (n+1)) sub-generations
+                             ///< ("repeat rows": rings over all n+1 rows)
+  ExprPtr active;            ///< required activity condition
+  ExprPtr pointer;           ///< optional (absent = no global read)
+  ExprPtr data;              ///< d operation (optional if data_e present)
+  ExprPtr data_e;            ///< e operation (second register; optional)
+  int line = 0;
+};
+
+/// A whole program: prologue generations run once, loop generations run
+/// ceil(lg n) times (in order) per outer iteration.
+struct Program {
+  std::string name;
+  std::vector<GenerationDef> prologue;
+  std::vector<GenerationDef> loop;
+};
+
+}  // namespace gcalib::gcal

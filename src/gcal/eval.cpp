@@ -1,0 +1,134 @@
+#include "gcal/eval.hpp"
+
+#include <algorithm>
+
+namespace gcalib::gcal {
+
+Value evaluate(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return expr.number;
+
+    case ExprKind::kVariable: {
+      const std::string& name = expr.name;
+      if (name == "n") return static_cast<Value>(ctx.n);
+      if (name == "nn") return static_cast<Value>(ctx.n * ctx.n);
+      if (name == "rows") return static_cast<Value>(ctx.n + 1);
+      if (name == "index") return static_cast<Value>(ctx.index);
+      if (name == "row") return static_cast<Value>(ctx.row);
+      if (name == "col") return static_cast<Value>(ctx.col);
+      if (name == "sub") return static_cast<Value>(ctx.sub);
+      if (name == "inf") return static_cast<Value>(kInfCode);
+      if (name == "all") return 1;
+      if (name == "square") return ctx.row < ctx.n ? 1 : 0;
+      if (name == "bottom") return ctx.row == ctx.n ? 1 : 0;
+      if (name == "d" || name == "a" || name == "p" || name == "e") {
+        if (ctx.self == nullptr) {
+          throw EvalError("'" + name + "' is not available in this context",
+                          expr.line, expr.column);
+        }
+        if (name == "d") return static_cast<Value>(ctx.self->d);
+        if (name == "a") return static_cast<Value>(ctx.self->a);
+        if (name == "e") return static_cast<Value>(ctx.self->e);
+        return static_cast<Value>(ctx.self->p);
+      }
+      if (name == "dstar" || name == "astar" || name == "estar") {
+        if (ctx.global == nullptr) {
+          throw EvalError("'" + name + "' used without a 'p =' clause",
+                          expr.line, expr.column);
+        }
+        if (name == "dstar") return static_cast<Value>(ctx.global->d);
+        if (name == "estar") return static_cast<Value>(ctx.global->e);
+        return static_cast<Value>(ctx.global->a);
+      }
+      throw EvalError("unknown variable '" + name + "'", expr.line,
+                      expr.column);
+    }
+
+    case ExprKind::kUnary: {
+      const Value a = evaluate(*expr.a, ctx);
+      return expr.op == Op::kNeg ? -a : (a == 0 ? 1 : 0);
+    }
+
+    case ExprKind::kBinary: {
+      if (expr.op == Op::kAnd) {
+        return evaluate(*expr.a, ctx) != 0 && evaluate(*expr.b, ctx) != 0 ? 1
+                                                                          : 0;
+      }
+      if (expr.op == Op::kOr) {
+        return evaluate(*expr.a, ctx) != 0 || evaluate(*expr.b, ctx) != 0 ? 1
+                                                                          : 0;
+      }
+      const Value a = evaluate(*expr.a, ctx);
+      const Value b = evaluate(*expr.b, ctx);
+      switch (expr.op) {
+        case Op::kEq: return a == b ? 1 : 0;
+        case Op::kNe: return a != b ? 1 : 0;
+        case Op::kLt: return a < b ? 1 : 0;
+        case Op::kGt: return a > b ? 1 : 0;
+        case Op::kLe: return a <= b ? 1 : 0;
+        case Op::kGe: return a >= b ? 1 : 0;
+        case Op::kShl:
+        case Op::kShr:
+          if (b < 0 || b > 62) {
+            throw EvalError("shift amount out of range", expr.line,
+                            expr.column);
+          }
+          return expr.op == Op::kShl ? (a << b) : (a >> b);
+        case Op::kAdd: return a + b;
+        case Op::kSub: return a - b;
+        case Op::kMul: return a * b;
+        case Op::kDiv:
+          if (b == 0) {
+            throw EvalError("division by zero", expr.line, expr.column);
+          }
+          return a / b;
+        case Op::kMod:
+          if (b == 0) {
+            throw EvalError("modulo by zero", expr.line, expr.column);
+          }
+          return a % b;
+        default:
+          break;
+      }
+      throw EvalError("unsupported binary operator", expr.line, expr.column);
+    }
+
+    case ExprKind::kTernary:
+      return evaluate(*expr.a, ctx) != 0 ? evaluate(*expr.b, ctx)
+                                         : evaluate(*expr.c, ctx);
+
+    case ExprKind::kCall: {
+      const Value a = evaluate(*expr.a, ctx);
+      const Value b = evaluate(*expr.b, ctx);
+      if (expr.name == "min") return std::min(a, b);
+      if (expr.name == "max") return std::max(a, b);
+      throw EvalError("unknown function '" + expr.name + "'", expr.line,
+                      expr.column);
+    }
+  }
+  throw EvalError("corrupt expression node", expr.line, expr.column);
+}
+
+bool references_state(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return false;
+    case ExprKind::kVariable:
+      return expr.name == "d" || expr.name == "a" || expr.name == "p" ||
+             expr.name == "e" || expr.name == "dstar" ||
+             expr.name == "astar" || expr.name == "estar";
+    case ExprKind::kUnary:
+      return references_state(*expr.a);
+    case ExprKind::kBinary:
+      return references_state(*expr.a) || references_state(*expr.b);
+    case ExprKind::kTernary:
+      return references_state(*expr.a) || references_state(*expr.b) ||
+             references_state(*expr.c);
+    case ExprKind::kCall:
+      return references_state(*expr.a) || references_state(*expr.b);
+  }
+  return false;
+}
+
+}  // namespace gcalib::gcal

@@ -1,0 +1,49 @@
+// Expression evaluation for gcal, shared by the interpreter (per-cell
+// execution) and the static analyzer (position-only evaluation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gcal/ast.hpp"
+#include "gcal/interpreter.hpp"  // EvalError
+
+namespace gcalib::gcal {
+
+/// Evaluated word; the infinity code matches core::kInfData.
+using Value = std::int64_t;
+inline constexpr std::uint64_t kInfCode = 0xFFFFFFFFull;
+
+/// Cell state visible to expressions (e is the optional second data
+/// register used by broadcast-style programs such as the tree variant).
+struct CellView {
+  std::uint64_t a = 0;
+  std::uint64_t d = 0;
+  std::uint64_t e = 0;
+  std::uint64_t p = 0;
+};
+
+/// Per-cell evaluation context.  `self` must be set; `global` stays null
+/// until the pointer has been resolved (using dstar/astar before that is an
+/// EvalError).  For static analysis, `self` may point to a dummy cell —
+/// but then expressions touching d/a/p are semantically state-dependent
+/// (see references_state below).
+struct EvalContext {
+  std::size_t n = 0;
+  std::size_t index = 0;
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::size_t sub = 0;
+  const CellView* self = nullptr;
+  const CellView* global = nullptr;
+};
+
+/// Evaluates `expr` in `ctx`; throws EvalError on semantic errors.
+[[nodiscard]] Value evaluate(const Expr& expr, const EvalContext& ctx);
+
+/// True iff the expression references cell state (d, a, p, dstar, astar) —
+/// i.e. it is NOT a pure function of position.  Pointer expressions that
+/// reference state are data-dependent (the paper's extended cells).
+[[nodiscard]] bool references_state(const Expr& expr);
+
+}  // namespace gcalib::gcal

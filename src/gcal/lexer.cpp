@@ -1,0 +1,154 @@
+#include "gcal/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace gcalib::gcal {
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kProgram: return "'program'";
+    case TokenKind::kGeneration: return "'generation'";
+    case TokenKind::kLoop: return "'loop'";
+    case TokenKind::kActive: return "'active'";
+    case TokenKind::kRepeat: return "'repeat'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(const std::string& source) {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"program", TokenKind::kProgram},
+      {"generation", TokenKind::kGeneration},
+      {"loop", TokenKind::kLoop},
+      {"active", TokenKind::kActive},
+      {"repeat", TokenKind::kRepeat},
+  };
+
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t count = 1) {
+    for (std::size_t k = 0; k < count && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  const auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < source.size() ? source[i + ahead] : '\0';
+  };
+  const auto emit = [&](TokenKind kind, std::string text, int tok_line,
+                        int tok_column, std::int64_t value = 0) {
+    tokens.push_back(Token{kind, std::move(text), value, tok_line, tok_column});
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    if (c == '#') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    const int tok_line = line;
+    const int tok_column = column;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        digits.push_back(peek());
+        advance();
+      }
+      if (std::isalpha(static_cast<unsigned char>(peek()))) {
+        throw ParseError("malformed number '" + digits + peek() + "'",
+                         tok_line, tok_column);
+      }
+      emit(TokenKind::kNumber, digits, tok_line, tok_column,
+           std::stoll(digits));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        ident.push_back(peek());
+        advance();
+      }
+      const auto keyword = kKeywords.find(ident);
+      emit(keyword != kKeywords.end() ? keyword->second
+                                      : TokenKind::kIdentifier,
+           ident, tok_line, tok_column);
+      continue;
+    }
+
+    // Operators and punctuation (two-char first).
+    const auto two = [&](char a, char b) { return c == a && peek(1) == b; };
+    if (two('|', '|')) { emit(TokenKind::kOrOr, "||", tok_line, tok_column); advance(2); continue; }
+    if (two('&', '&')) { emit(TokenKind::kAndAnd, "&&", tok_line, tok_column); advance(2); continue; }
+    if (two('=', '=')) { emit(TokenKind::kEq, "==", tok_line, tok_column); advance(2); continue; }
+    if (two('!', '=')) { emit(TokenKind::kNe, "!=", tok_line, tok_column); advance(2); continue; }
+    if (two('<', '=')) { emit(TokenKind::kLe, "<=", tok_line, tok_column); advance(2); continue; }
+    if (two('>', '=')) { emit(TokenKind::kGe, ">=", tok_line, tok_column); advance(2); continue; }
+    if (two('<', '<')) { emit(TokenKind::kShl, "<<", tok_line, tok_column); advance(2); continue; }
+    if (two('>', '>')) { emit(TokenKind::kShr, ">>", tok_line, tok_column); advance(2); continue; }
+
+    TokenKind kind;
+    switch (c) {
+      case ':': kind = TokenKind::kColon; break;
+      case ',': kind = TokenKind::kComma; break;
+      case '(': kind = TokenKind::kLParen; break;
+      case ')': kind = TokenKind::kRParen; break;
+      case '=': kind = TokenKind::kAssign; break;
+      case '?': kind = TokenKind::kQuestion; break;
+      case '<': kind = TokenKind::kLt; break;
+      case '>': kind = TokenKind::kGt; break;
+      case '+': kind = TokenKind::kPlus; break;
+      case '-': kind = TokenKind::kMinus; break;
+      case '*': kind = TokenKind::kStar; break;
+      case '/': kind = TokenKind::kSlash; break;
+      case '%': kind = TokenKind::kPercent; break;
+      case '!': kind = TokenKind::kBang; break;
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         tok_line, tok_column);
+    }
+    emit(kind, std::string(1, c), tok_line, tok_column);
+    advance();
+  }
+  emit(TokenKind::kEnd, "", line, column);
+  return tokens;
+}
+
+}  // namespace gcalib::gcal

@@ -1,0 +1,34 @@
+// Lexer for the gcal language.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gcal/token.hpp"
+
+namespace gcalib::gcal {
+
+/// Thrown on lexical or syntactic errors; carries source position.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : std::runtime_error("gcal:" + std::to_string(line) + ":" +
+                           std::to_string(column) + ": " + message),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenises `source`; '#' starts a comment running to end of line.
+/// Throws ParseError on unknown characters or malformed numbers.
+/// The result always ends with a kEnd token.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+}  // namespace gcalib::gcal

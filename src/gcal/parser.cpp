@@ -1,0 +1,262 @@
+#include "gcal/parser.hpp"
+
+#include <utility>
+
+namespace gcalib::gcal {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    expect(TokenKind::kProgram);
+    Program program;
+    program.name = expect(TokenKind::kIdentifier).text;
+    bool seen_loop = false;
+    while (!at(TokenKind::kEnd)) {
+      if (at(TokenKind::kLoop)) {
+        if (seen_loop) {
+          fail("only one loop block is allowed");
+        }
+        seen_loop = true;
+        advance();
+        expect(TokenKind::kColon);
+        while (at(TokenKind::kGeneration)) {
+          program.loop.push_back(parse_generation());
+        }
+        if (program.loop.empty()) fail("loop block has no generations");
+      } else if (at(TokenKind::kGeneration)) {
+        if (seen_loop) {
+          fail("generations after the loop block are not supported");
+        }
+        program.prologue.push_back(parse_generation());
+      } else {
+        fail("expected 'generation' or 'loop'");
+      }
+    }
+    if (program.prologue.empty() && program.loop.empty()) {
+      fail("program has no generations");
+    }
+    return program;
+  }
+
+ private:
+  GenerationDef parse_generation() {
+    const Token& keyword = expect(TokenKind::kGeneration);
+    GenerationDef generation;
+    generation.line = keyword.line;
+    generation.name = expect(TokenKind::kIdentifier).text;
+    if (at(TokenKind::kRepeat)) {
+      generation.repeat = true;
+      advance();
+      if (at(TokenKind::kIdentifier) && current().text == "rows") {
+        generation.repeat_rows = true;
+        advance();
+      }
+    }
+    expect(TokenKind::kColon);
+    while (true) {
+      if (at(TokenKind::kActive)) {
+        advance();
+        if (generation.active) fail("duplicate 'active' clause");
+        generation.active = parse_expr();
+      } else if (at(TokenKind::kIdentifier) &&
+                 (current().text == "p" || current().text == "d" ||
+                  current().text == "e") &&
+                 tokens_[pos_ + 1].kind == TokenKind::kAssign) {
+        const std::string target = current().text;
+        advance();
+        advance();  // '='
+        ExprPtr value = parse_expr();
+        if (target == "p") {
+          if (generation.pointer) fail("duplicate 'p =' clause");
+          generation.pointer = std::move(value);
+        } else if (target == "d") {
+          if (generation.data) fail("duplicate 'd =' clause");
+          generation.data = std::move(value);
+        } else {
+          if (generation.data_e) fail("duplicate 'e =' clause");
+          generation.data_e = std::move(value);
+        }
+      } else {
+        break;
+      }
+    }
+    if (!generation.active) {
+      fail("generation '" + generation.name + "' is missing 'active'");
+    }
+    if (!generation.data && !generation.data_e) {
+      fail("generation '" + generation.name + "' is missing 'd =' or 'e ='");
+    }
+    return generation;
+  }
+
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_or();
+    if (!at(TokenKind::kQuestion)) return cond;
+    const Token& tok = current();
+    advance();
+    ExprPtr then_branch = parse_expr();
+    expect(TokenKind::kColon);
+    ExprPtr else_branch = parse_expr();
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kTernary;
+    node->a = std::move(cond);
+    node->b = std::move(then_branch);
+    node->c = std::move(else_branch);
+    node->line = tok.line;
+    node->column = tok.column;
+    return node;
+  }
+
+  ExprPtr parse_or() {
+    return parse_left_assoc({{TokenKind::kOrOr, Op::kOr}},
+                            [this] { return parse_and(); });
+  }
+  ExprPtr parse_and() {
+    return parse_left_assoc({{TokenKind::kAndAnd, Op::kAnd}},
+                            [this] { return parse_cmp(); });
+  }
+  ExprPtr parse_cmp() {
+    return parse_left_assoc({{TokenKind::kEq, Op::kEq},
+                             {TokenKind::kNe, Op::kNe},
+                             {TokenKind::kLe, Op::kLe},
+                             {TokenKind::kGe, Op::kGe},
+                             {TokenKind::kLt, Op::kLt},
+                             {TokenKind::kGt, Op::kGt}},
+                            [this] { return parse_shift(); });
+  }
+  ExprPtr parse_shift() {
+    return parse_left_assoc({{TokenKind::kShl, Op::kShl},
+                             {TokenKind::kShr, Op::kShr}},
+                            [this] { return parse_add(); });
+  }
+  ExprPtr parse_add() {
+    return parse_left_assoc({{TokenKind::kPlus, Op::kAdd},
+                             {TokenKind::kMinus, Op::kSub}},
+                            [this] { return parse_mul(); });
+  }
+  ExprPtr parse_mul() {
+    return parse_left_assoc({{TokenKind::kStar, Op::kMul},
+                             {TokenKind::kSlash, Op::kDiv},
+                             {TokenKind::kPercent, Op::kMod}},
+                            [this] { return parse_unary(); });
+  }
+
+  template <typename Sub>
+  ExprPtr parse_left_assoc(
+      std::initializer_list<std::pair<TokenKind, Op>> operators, Sub&& sub) {
+    ExprPtr lhs = sub();
+    while (true) {
+      bool matched = false;
+      for (const auto& [kind, op] : operators) {
+        if (at(kind)) {
+          const Token& tok = current();
+          advance();
+          auto node = std::make_unique<Expr>();
+          node->kind = ExprKind::kBinary;
+          node->op = op;
+          node->a = std::move(lhs);
+          node->b = sub();
+          node->line = tok.line;
+          node->column = tok.column;
+          lhs = std::move(node);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (at(TokenKind::kBang) || at(TokenKind::kMinus)) {
+      const Token& tok = current();
+      const Op op = at(TokenKind::kBang) ? Op::kNot : Op::kNeg;
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kUnary;
+      node->op = op;
+      node->a = parse_unary();
+      node->line = tok.line;
+      node->column = tok.column;
+      return node;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token& tok = current();
+    if (at(TokenKind::kNumber)) {
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNumber;
+      node->number = tok.value;
+      node->line = tok.line;
+      node->column = tok.column;
+      return node;
+    }
+    if (at(TokenKind::kIdentifier)) {
+      advance();
+      auto node = std::make_unique<Expr>();
+      node->line = tok.line;
+      node->column = tok.column;
+      node->name = tok.text;
+      if (at(TokenKind::kLParen)) {
+        advance();
+        node->kind = ExprKind::kCall;
+        node->a = parse_expr();
+        expect(TokenKind::kComma);
+        node->b = parse_expr();
+        expect(TokenKind::kRParen);
+      } else {
+        node->kind = ExprKind::kVariable;
+      }
+      return node;
+    }
+    if (at(TokenKind::kLParen)) {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect(TokenKind::kRParen);
+      return inner;
+    }
+    fail(std::string("expected an expression, found ") +
+         to_string(current().kind));
+  }
+
+  [[nodiscard]] const Token& current() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const {
+    return current().kind == kind;
+  }
+  void advance() {
+    if (!at(TokenKind::kEnd)) ++pos_;
+  }
+  const Token& expect(TokenKind kind) {
+    if (!at(kind)) {
+      fail(std::string("expected ") + to_string(kind) + ", found " +
+           to_string(current().kind));
+    }
+    const Token& tok = current();
+    advance();
+    return tok;
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, current().line, current().column);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(const std::string& source) {
+  Parser parser(lex(source));
+  return parser.parse_program();
+}
+
+}  // namespace gcalib::gcal

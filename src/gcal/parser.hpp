@@ -1,0 +1,31 @@
+// Recursive-descent parser for gcal.
+//
+// Grammar (whitespace-insensitive; '#' comments):
+//   program     := "program" IDENT item*
+//   item        := generation | loop
+//   loop        := "loop" ":" generation*          (at most one)
+//   generation  := "generation" IDENT ["repeat"] ":" stmt*
+//   stmt        := "active" expr | "p" "=" expr | "d" "=" expr
+//   expr        := ternary
+//   ternary     := or ["?" expr ":" expr]
+//   or          := and {"||" and}
+//   and         := cmp {"&&" cmp}
+//   cmp         := shift {("=="|"!="|"<"|">"|"<="|">=") shift}
+//   shift       := add {("<<"|">>") add}
+//   add         := mul {("+"|"-") mul}
+//   mul         := unary {("*"|"/"|"%") unary}
+//   unary       := ("!"|"-") unary | primary
+//   primary     := NUMBER | IDENT ["(" expr {"," expr} ")"] | "(" expr ")"
+#pragma once
+
+#include <string>
+
+#include "gcal/ast.hpp"
+#include "gcal/lexer.hpp"
+
+namespace gcalib::gcal {
+
+/// Parses a gcal source text.  Throws ParseError with position info.
+[[nodiscard]] Program parse(const std::string& source);
+
+}  // namespace gcalib::gcal

@@ -1,0 +1,62 @@
+// Token definitions for the gcal rule-description language.
+//
+// gcal is a small textual form of the paper's Figure-2 state graph: a GCA
+// program is a list of generations, each with an activity condition, an
+// optional pointer expression and a data operation.  See
+// interpreter.hpp for the language reference and the embedded Hirschberg
+// program.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcalib::gcal {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  // keywords
+  kProgram,
+  kGeneration,
+  kLoop,
+  kActive,
+  kRepeat,
+  // punctuation / operators
+  kColon,
+  kComma,
+  kLParen,
+  kRParen,
+  kAssign,    // =
+  kQuestion,  // ?
+  kOrOr,
+  kAndAnd,
+  kEq,
+  kNe,
+  kLe,
+  kGe,
+  kLt,
+  kGt,
+  kShl,
+  kShr,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kBang,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        ///< identifier text / number literal
+  std::int64_t value = 0;  ///< numeric value for kNumber
+  int line = 0;            ///< 1-based source line
+  int column = 0;          ///< 1-based source column
+};
+
+/// Human-readable token-kind name for diagnostics.
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+}  // namespace gcalib::gcal

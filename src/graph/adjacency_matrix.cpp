@@ -1,0 +1,28 @@
+#include "graph/adjacency_matrix.hpp"
+
+namespace gcalib::graph {
+
+std::size_t AdjacencyMatrix::edge_count() const {
+  std::size_t twice = 0;
+  for (std::uint8_t b : bits_) twice += b;
+  return twice / 2;
+}
+
+NodeId AdjacencyMatrix::degree(NodeId i) const {
+  GCALIB_EXPECTS(i < n_);
+  NodeId deg = 0;
+  for (NodeId j = 0; j < n_; ++j) deg += bits_[idx(i, j)];
+  return deg;
+}
+
+bool AdjacencyMatrix::is_valid_undirected() const {
+  for (NodeId i = 0; i < n_; ++i) {
+    if (bits_[idx(i, i)] != 0) return false;
+    for (NodeId j = i + 1; j < n_; ++j) {
+      if (bits_[idx(i, j)] != bits_[idx(j, i)]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gcalib::graph

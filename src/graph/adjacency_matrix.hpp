@@ -1,0 +1,74 @@
+// Dense symmetric adjacency matrix — the paper's input representation.
+//
+// Hirschberg's algorithm (and its GCA mapping, which stores one bit
+// A(i,j) per cell) consumes the graph as a dense n x n 0/1 matrix, so this
+// type is the canonical interchange format between the graph substrate and
+// the simulators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gcalib::graph {
+
+/// Node index type.  The paper's cell registers hold node numbers of
+/// O(log n) bits; 32 bits comfortably covers every simulatable size.
+using NodeId = std::uint32_t;
+
+/// Dense symmetric boolean adjacency matrix with no self-loops.
+class AdjacencyMatrix {
+ public:
+  AdjacencyMatrix() = default;
+
+  /// Creates an empty (edge-less) matrix over `n` nodes.
+  explicit AdjacencyMatrix(NodeId n) : n_(n), bits_(std::size_t{n} * n, 0) {}
+
+  [[nodiscard]] NodeId size() const { return n_; }
+
+  /// True iff there is an edge {i, j}.  Diagonal entries are always 0.
+  [[nodiscard]] bool at(NodeId i, NodeId j) const {
+    GCALIB_EXPECTS(i < n_ && j < n_);
+    return bits_[idx(i, j)] != 0;
+  }
+
+  /// Inserts the undirected edge {i, j}; both triangle entries are set.
+  /// Self-loops are rejected (the algorithm's condition C(j) != C(i) makes
+  /// them meaningless and the paper's matrices have a zero diagonal).
+  void add_edge(NodeId i, NodeId j) {
+    GCALIB_EXPECTS(i < n_ && j < n_);
+    GCALIB_EXPECTS_MSG(i != j, "self-loops are not representable");
+    bits_[idx(i, j)] = 1;
+    bits_[idx(j, i)] = 1;
+  }
+
+  /// Removes the undirected edge {i, j} (no-op if absent).
+  void remove_edge(NodeId i, NodeId j) {
+    GCALIB_EXPECTS(i < n_ && j < n_);
+    bits_[idx(i, j)] = 0;
+    bits_[idx(j, i)] = 0;
+  }
+
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Degree of node i.
+  [[nodiscard]] NodeId degree(NodeId i) const;
+
+  /// True iff the matrix is symmetric with a zero diagonal (class invariant;
+  /// exposed so tests and loaders can validate externally built data).
+  [[nodiscard]] bool is_valid_undirected() const;
+
+  friend bool operator==(const AdjacencyMatrix&, const AdjacencyMatrix&) = default;
+
+ private:
+  [[nodiscard]] std::size_t idx(NodeId i, NodeId j) const {
+    return std::size_t{i} * n_ + j;
+  }
+
+  NodeId n_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace gcalib::graph

@@ -1,0 +1,53 @@
+#include "graph/cc_baselines.hpp"
+
+#include <deque>
+
+namespace gcalib::graph {
+
+std::vector<NodeId> bfs_components(const Graph& g) {
+  const NodeId n = g.node_count();
+  const NodeId unset = n;
+  std::vector<NodeId> label(n, unset);
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != unset) continue;
+    label[s] = s;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == unset) {
+          label[v] = s;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+std::vector<NodeId> dfs_components(const Graph& g) {
+  const NodeId n = g.node_count();
+  const NodeId unset = n;
+  std::vector<NodeId> label(n, unset);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != unset) continue;
+    stack.push_back(s);
+    label[s] = s;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (label[v] == unset) {
+          label[v] = s;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+}  // namespace gcalib::graph

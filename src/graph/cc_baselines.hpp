@@ -1,0 +1,17 @@
+// Sequential traversal baselines for connected components.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::graph {
+
+/// BFS labeling with minimum-id representatives: starting sources in
+/// ascending id order makes each source the minimum of its component.
+[[nodiscard]] std::vector<NodeId> bfs_components(const Graph& g);
+
+/// Iterative DFS labeling with minimum-id representatives.
+[[nodiscard]] std::vector<NodeId> dfs_components(const Graph& g);
+
+}  // namespace gcalib::graph

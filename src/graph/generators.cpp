@@ -1,0 +1,239 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+/// Fisher–Yates shuffle with our deterministic generator.
+void shuffle_ids(std::vector<NodeId>& ids, Xoshiro256& rng) {
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    const std::size_t j = rng.below(i);
+    std::swap(ids[i - 1], ids[j]);
+  }
+}
+
+}  // namespace
+
+Graph random_gnp(NodeId n, double p, std::uint64_t seed) {
+  GCALIB_EXPECTS(p >= 0.0 && p <= 1.0);
+  Xoshiro256 rng(seed);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_gnm(NodeId n, std::size_t m, std::uint64_t seed) {
+  const std::size_t possible = n < 2 ? 0 : std::size_t{n} * (n - 1) / 2;
+  GCALIB_EXPECTS_MSG(m <= possible, "more edges requested than n choose 2");
+  Xoshiro256 rng(seed);
+  Graph g(n);
+  std::size_t added = 0;
+  while (added < m) {
+    const NodeId u = static_cast<NodeId>(rng.below(n));
+    const NodeId v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (g.add_edge(u, v)) ++added;
+  }
+  return g;
+}
+
+Graph path(NodeId n) {
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle(NodeId n) {
+  GCALIB_EXPECTS(n >= 3);
+  Graph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph star(NodeId n) {
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph complete(NodeId n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph grid(NodeId rows, NodeId cols) {
+  Graph g(rows * cols);
+  const auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph random_tree(NodeId n, std::uint64_t seed) {
+  if (n <= 1) return Graph(n);
+  // Random attachment tree over shuffled labels: node ids[i] attaches to a
+  // uniformly chosen earlier node ids[j], j < i.  Always a spanning tree.
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  shuffle_ids(ids, rng);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    const NodeId parent = static_cast<NodeId>(rng.below(i));
+    g.add_edge(ids[i], ids[parent]);
+  }
+  return g;
+}
+
+Graph disjoint_cliques(const std::vector<NodeId>& sizes) {
+  NodeId n = 0;
+  for (NodeId s : sizes) {
+    GCALIB_EXPECTS(s >= 1);
+    n += s;
+  }
+  Graph g(n);
+  NodeId base = 0;
+  for (NodeId s : sizes) {
+    for (NodeId u = 0; u < s; ++u) {
+      for (NodeId v = u + 1; v < s; ++v) g.add_edge(base + u, base + v);
+    }
+    base += s;
+  }
+  return g;
+}
+
+Graph planted_components(NodeId n, NodeId k, double p_in, std::uint64_t seed) {
+  GCALIB_EXPECTS(k >= 1 && k <= n);
+  Xoshiro256 rng(seed);
+  std::vector<NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  shuffle_ids(ids, rng);
+
+  Graph g(n);
+  // Split the shuffled ids into k nearly equal blocks.
+  const NodeId base_size = n / k;
+  NodeId extra = n % k;
+  std::size_t offset = 0;
+  for (NodeId c = 0; c < k; ++c) {
+    const NodeId size = base_size + (c < extra ? 1 : 0);
+    if (size == 0) continue;
+    // Random spanning tree over the block guarantees connectivity.
+    for (NodeId i = 1; i < size; ++i) {
+      const NodeId parent = static_cast<NodeId>(rng.below(i));
+      g.add_edge(ids[offset + i], ids[offset + parent]);
+    }
+    // Extra internal edges with probability p_in.
+    for (NodeId i = 0; i < size; ++i) {
+      for (NodeId j = i + 1; j < size; ++j) {
+        if (rng.bernoulli(p_in)) g.add_edge(ids[offset + i], ids[offset + j]);
+      }
+    }
+    offset += size;
+  }
+  return g;
+}
+
+Graph caterpillar(NodeId spine, NodeId legs) {
+  GCALIB_EXPECTS(spine >= 1);
+  Graph g(spine + spine * legs);
+  for (NodeId i = 0; i + 1 < spine; ++i) g.add_edge(i, i + 1);
+  NodeId next = spine;
+  for (NodeId i = 0; i < spine; ++i) {
+    for (NodeId l = 0; l < legs; ++l) g.add_edge(i, next++);
+  }
+  return g;
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, a + v);
+  }
+  return g;
+}
+
+Graph empty_graph(NodeId n) { return Graph(n); }
+
+Graph make_named(const std::string& spec, NodeId n, std::uint64_t seed) {
+  const auto split = [](const std::string& s) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t colon = s.find(':', start);
+      parts.push_back(s.substr(start, colon - start));
+      if (colon == std::string::npos) break;
+      start = colon + 1;
+    }
+    return parts;
+  };
+  const std::vector<std::string> parts = split(spec);
+  const std::string& kind = parts[0];
+
+  if (kind == "gnp") {
+    const double p = parts.size() > 1 ? std::stod(parts[1]) : 0.1;
+    return random_gnp(n, p, seed);
+  }
+  if (kind == "gnm") {
+    const std::size_t m =
+        parts.size() > 1 ? std::stoull(parts[1]) : std::size_t{n} * 2;
+    return random_gnm(n, m, seed);
+  }
+  if (kind == "path") return path(n);
+  if (kind == "cycle") return cycle(n);
+  if (kind == "star") return star(n);
+  if (kind == "complete") return complete(n);
+  if (kind == "tree") return random_tree(n, seed);
+  if (kind == "empty") return empty_graph(n);
+  if (kind == "grid") {
+    const NodeId rows = parts.size() > 1
+                            ? static_cast<NodeId>(std::stoul(parts[1]))
+                            : NodeId{1};
+    GCALIB_EXPECTS(rows >= 1 && n % rows == 0);
+    return grid(rows, n / rows);
+  }
+  if (kind == "cliques") {
+    const NodeId k = parts.size() > 1 ? static_cast<NodeId>(std::stoul(parts[1]))
+                                      : NodeId{4};
+    GCALIB_EXPECTS(k >= 1 && k <= n);
+    std::vector<NodeId> sizes(k, n / k);
+    for (NodeId i = 0; i < n % k; ++i) ++sizes[i];
+    return disjoint_cliques(sizes);
+  }
+  if (kind == "planted") {
+    const NodeId k = parts.size() > 1 ? static_cast<NodeId>(std::stoul(parts[1]))
+                                      : NodeId{4};
+    const double p = parts.size() > 2 ? std::stod(parts[2]) : 0.2;
+    return planted_components(n, k, p, seed);
+  }
+  if (kind == "bipartite") {
+    const NodeId a = parts.size() > 1 ? static_cast<NodeId>(std::stoul(parts[1]))
+                                      : n / 2;
+    GCALIB_EXPECTS(a <= n);
+    return complete_bipartite(a, n - a);
+  }
+  throw std::runtime_error("unknown graph family: " + spec);
+}
+
+std::vector<std::string> named_families() {
+  return {"gnp:<p>",      "gnm:<m>",  "path",       "cycle",
+          "star",         "complete", "tree",       "empty",
+          "grid:<rows>",  "cliques:<k>", "planted:<k>:<p>", "bipartite:<a>"};
+}
+
+}  // namespace gcalib::graph

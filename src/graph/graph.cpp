@@ -1,0 +1,59 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace gcalib::graph {
+
+Graph::Graph(NodeId n) : n_(n), matrix_(n), adjacency_(n) {}
+
+Graph Graph::from_edges(NodeId n, const std::vector<Edge>& edges) {
+  Graph g(n);
+  for (const Edge& e : edges) g.add_edge(e.u, e.v);
+  return g;
+}
+
+Graph Graph::from_matrix(const AdjacencyMatrix& matrix) {
+  GCALIB_EXPECTS_MSG(matrix.is_valid_undirected(),
+                     "matrix must be symmetric with zero diagonal");
+  Graph g(matrix.size());
+  for (NodeId i = 0; i < matrix.size(); ++i) {
+    for (NodeId j = i + 1; j < matrix.size(); ++j) {
+      if (matrix.at(i, j)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  GCALIB_EXPECTS(u < n_ && v < n_);
+  GCALIB_EXPECTS_MSG(u != v, "self-loops are not representable");
+  if (matrix_.at(u, v)) return false;
+  matrix_.add_edge(u, v);
+  // Keep neighbour lists sorted for deterministic iteration.
+  auto insert_sorted = [](std::vector<NodeId>& list, NodeId x) {
+    list.insert(std::lower_bound(list.begin(), list.end(), x), x);
+  };
+  insert_sorted(adjacency_[u], v);
+  insert_sorted(adjacency_[v], u);
+  ++edges_;
+  return true;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (NodeId v : adjacency_[u]) {
+      if (u < v) out.push_back(Edge{u, v});
+    }
+  }
+  return out;
+}
+
+double Graph::density() const {
+  if (n_ < 2) return 0.0;
+  const double possible = 0.5 * static_cast<double>(n_) * (n_ - 1.0);
+  return static_cast<double>(edges_) / possible;
+}
+
+}  // namespace gcalib::graph

@@ -1,0 +1,77 @@
+// Undirected graph with both adjacency-list and adjacency-matrix views.
+//
+// The GCA/PRAM algorithms consume the dense matrix; sequential baselines and
+// generators prefer edge/neighbour iteration, so `Graph` keeps both in sync.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/adjacency_matrix.hpp"
+
+namespace gcalib::graph {
+
+/// An undirected edge as an (ordered) node pair with u < v.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Simple undirected graph without self-loops or parallel edges.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edge-less graph over `n` nodes.
+  explicit Graph(NodeId n);
+
+  /// Builds a graph from an edge list (duplicates are collapsed).
+  static Graph from_edges(NodeId n, const std::vector<Edge>& edges);
+
+  /// Builds a graph from a dense matrix (must be symmetric, zero diagonal).
+  static Graph from_matrix(const AdjacencyMatrix& matrix);
+
+  [[nodiscard]] NodeId node_count() const { return n_; }
+  [[nodiscard]] std::size_t edge_count() const { return edges_; }
+
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return matrix_.at(u, v);
+  }
+
+  /// Inserts {u, v}; returns false if it was already present.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Neighbours of `u` in ascending order.
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId u) const {
+    GCALIB_EXPECTS(u < n_);
+    return adjacency_[u];
+  }
+
+  [[nodiscard]] NodeId degree(NodeId u) const {
+    GCALIB_EXPECTS(u < n_);
+    return static_cast<NodeId>(adjacency_[u].size());
+  }
+
+  /// All edges, each once, sorted by (u, v) with u < v.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Dense matrix view (the input format of the paper's algorithms).
+  [[nodiscard]] const AdjacencyMatrix& matrix() const { return matrix_; }
+
+  /// Edge density m / (n choose 2); 0 for n < 2.
+  [[nodiscard]] double density() const;
+
+  friend bool operator==(const Graph& a, const Graph& b) {
+    return a.matrix_ == b.matrix_;
+  }
+
+ private:
+  NodeId n_ = 0;
+  std::size_t edges_ = 0;
+  AdjacencyMatrix matrix_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+}  // namespace gcalib::graph

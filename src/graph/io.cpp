@@ -1,0 +1,111 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcalib::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::size_t n = 0, m = 0;
+  if (!(is >> n >> m)) throw std::runtime_error("edge list: missing header");
+  Graph g(static_cast<NodeId>(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    std::size_t u = 0, v = 0;
+    if (!(is >> u >> v)) throw std::runtime_error("edge list: truncated");
+    if (u >= n || v >= n) throw std::runtime_error("edge list: node out of range");
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return g;
+}
+
+void write_dimacs(std::ostream& os, const Graph& g) {
+  os << "p edge " << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const Edge& e : g.edges()) os << "e " << e.u + 1 << ' ' << e.v + 1 << '\n';
+}
+
+Graph read_dimacs(std::istream& is) {
+  std::string line;
+  Graph g;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    char tag = 0;
+    ls >> tag;
+    if (tag == 'p') {
+      std::string kind;
+      std::size_t n = 0, m = 0;
+      if (!(ls >> kind >> n >> m) || kind != "edge") {
+        throw std::runtime_error("dimacs: bad problem line");
+      }
+      g = Graph(static_cast<NodeId>(n));
+      have_header = true;
+    } else if (tag == 'e') {
+      if (!have_header) throw std::runtime_error("dimacs: edge before header");
+      std::size_t u = 0, v = 0;
+      if (!(ls >> u >> v) || u == 0 || v == 0 || u > g.node_count() ||
+          v > g.node_count()) {
+        throw std::runtime_error("dimacs: bad edge line");
+      }
+      g.add_edge(static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1));
+    } else {
+      throw std::runtime_error("dimacs: unknown line tag");
+    }
+  }
+  if (!have_header) throw std::runtime_error("dimacs: missing problem line");
+  return g;
+}
+
+Graph parse_matrix(const std::string& text) {
+  std::vector<std::string> rows;
+  std::string current;
+  for (char c : text) {
+    if (c == '0' || c == '.') {
+      current.push_back('0');
+    } else if (c == '1') {
+      current.push_back('1');
+    } else if (!current.empty()) {
+      rows.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) rows.push_back(std::move(current));
+  const std::size_t n = rows.size();
+  AdjacencyMatrix matrix(static_cast<NodeId>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rows[i].size() != n) {
+      throw std::runtime_error("matrix literal is not square");
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (rows[i][j] != '1') continue;
+      if (i == j) {
+        throw std::runtime_error("matrix literal has a nonzero diagonal");
+      }
+      if (rows[j][i] != '1') {
+        throw std::runtime_error("matrix literal is not symmetric");
+      }
+      matrix.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return Graph::from_matrix(matrix);
+}
+
+std::string format_matrix(const Graph& g) {
+  std::string out;
+  const NodeId n = g.node_count();
+  out.reserve((std::size_t{n} + 1) * n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) out.push_back(g.has_edge(i, j) && i != j ? '1' : '0');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace gcalib::graph

@@ -1,0 +1,34 @@
+// Graph serialisation: a plain edge-list text format and a DIMACS-like
+// format, plus a 0/1 matrix literal parser for tests and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::graph {
+
+/// Writes "n m" on the first line followed by one "u v" pair per edge.
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Reads the edge-list format written by `write_edge_list`.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+/// Writes DIMACS: "p edge <n> <m>" header and "e <u+1> <v+1>" lines
+/// (DIMACS nodes are 1-based).
+void write_dimacs(std::ostream& os, const Graph& g);
+
+/// Reads DIMACS; accepts comment lines starting with 'c'.
+[[nodiscard]] Graph read_dimacs(std::istream& is);
+
+/// Parses a square 0/1 matrix from rows of '0'/'1' characters (whitespace
+/// and '.' for 0 accepted), e.g. "0110 1001 ...".  Must be symmetric with a
+/// zero diagonal.
+[[nodiscard]] Graph parse_matrix(const std::string& text);
+
+/// Renders the adjacency matrix as rows of 0/1 characters.
+[[nodiscard]] std::string format_matrix(const Graph& g);
+
+}  // namespace gcalib::graph

@@ -1,0 +1,54 @@
+#include "graph/labeling.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/cc_baselines.hpp"
+
+namespace gcalib::graph {
+
+std::size_t component_count(const std::vector<NodeId>& labels) {
+  std::vector<NodeId> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  return sorted.size();
+}
+
+std::vector<NodeId> canonicalize_min(const std::vector<NodeId>& labels) {
+  std::map<NodeId, NodeId> min_of;
+  for (NodeId i = 0; i < labels.size(); ++i) {
+    const auto [it, inserted] = min_of.emplace(labels[i], i);
+    if (!inserted) it->second = std::min(it->second, static_cast<NodeId>(i));
+  }
+  std::vector<NodeId> out(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) out[i] = min_of.at(labels[i]);
+  return out;
+}
+
+bool same_partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  if (a.size() != b.size()) return false;
+  return canonicalize_min(a) == canonicalize_min(b);
+}
+
+bool is_valid_min_labeling(const Graph& g, const std::vector<NodeId>& labels) {
+  if (labels.size() != g.node_count()) return false;
+  // Edge endpoints must agree.
+  for (const Edge& e : g.edges()) {
+    if (labels[e.u] != labels[e.v]) return false;
+  }
+  // Partition must match the traversal oracle (this also enforces that each
+  // label class is connected and no component was split).
+  const std::vector<NodeId> oracle = bfs_components(g);
+  if (!same_partition(labels, oracle)) return false;
+  // Labels must be minimum ids of their class.
+  return canonicalize_min(labels) == labels;
+}
+
+std::vector<std::pair<NodeId, NodeId>> component_sizes(
+    const std::vector<NodeId>& labels) {
+  std::map<NodeId, NodeId> counts;
+  for (NodeId l : labels) ++counts[l];
+  return {counts.begin(), counts.end()};
+}
+
+}  // namespace gcalib::graph

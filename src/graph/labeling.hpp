@@ -1,0 +1,38 @@
+// Utilities over component labelings: canonicalisation, validation and
+// comparison.  All gcalib algorithms use Hirschberg's convention (each node
+// labelled with the minimum node id of its component) so labelings compare
+// bit-for-bit; these helpers additionally allow comparing against labelings
+// in arbitrary conventions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::graph {
+
+/// Number of distinct labels.
+[[nodiscard]] std::size_t component_count(const std::vector<NodeId>& labels);
+
+/// Rewrites labels so every node carries the *minimum node id* occurring in
+/// its label class.  Idempotent on labelings already in that convention.
+[[nodiscard]] std::vector<NodeId> canonicalize_min(const std::vector<NodeId>& labels);
+
+/// True iff the two labelings induce the same partition of nodes (labels
+/// themselves may differ).
+[[nodiscard]] bool same_partition(const std::vector<NodeId>& a,
+                                  const std::vector<NodeId>& b);
+
+/// Full validity check of `labels` as the connected components of `g`:
+///  * endpoints of every edge share a label,
+///  * every label class is connected in `g` (checked by traversal),
+///  * every label equals the minimum node id of its class.
+[[nodiscard]] bool is_valid_min_labeling(const Graph& g,
+                                         const std::vector<NodeId>& labels);
+
+/// Sizes of each component keyed by representative, ascending by key.
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> component_sizes(
+    const std::vector<NodeId>& labels);
+
+}  // namespace gcalib::graph

@@ -1,0 +1,53 @@
+#include "graph/union_find.hpp"
+
+#include <algorithm>
+
+namespace gcalib::graph {
+
+UnionFind::UnionFind(NodeId n) : parent_(n), rank_(n, 0), sets_(n) {
+  for (NodeId i = 0; i < n; ++i) parent_[i] = i;
+}
+
+NodeId UnionFind::find(NodeId x) {
+  GCALIB_EXPECTS(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(NodeId a, NodeId b) {
+  NodeId ra = find(a);
+  NodeId rb = find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --sets_;
+  return true;
+}
+
+std::vector<NodeId> UnionFind::min_labels() {
+  const NodeId n = size();
+  std::vector<NodeId> min_of_root(n);
+  for (NodeId i = 0; i < n; ++i) min_of_root[i] = n;  // sentinel: none yet
+  // Scanning in ascending id order, the first member seen per root is the
+  // minimum id of that set.
+  std::vector<NodeId> roots(n);
+  for (NodeId i = 0; i < n; ++i) {
+    roots[i] = find(i);
+    if (min_of_root[roots[i]] == n) min_of_root[roots[i]] = i;
+  }
+  std::vector<NodeId> labels(n);
+  for (NodeId i = 0; i < n; ++i) labels[i] = min_of_root[roots[i]];
+  return labels;
+}
+
+std::vector<NodeId> union_find_components(const Graph& g) {
+  UnionFind uf(g.node_count());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.min_labels();
+}
+
+}  // namespace gcalib::graph

@@ -1,0 +1,40 @@
+// Disjoint-set union — the sequential gold-standard for connected
+// components, used as the oracle in every cross-validation test.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::graph {
+
+/// Union-find with union by rank and path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(NodeId n);
+
+  /// Representative of the set containing x (with path halving).
+  [[nodiscard]] NodeId find(NodeId x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool unite(NodeId a, NodeId b);
+
+  [[nodiscard]] NodeId size() const { return static_cast<NodeId>(parent_.size()); }
+  [[nodiscard]] NodeId set_count() const { return sets_; }
+
+  /// Labels every node with the *minimum node id* of its set — the same
+  /// representative convention as Hirschberg's super nodes, so results are
+  /// directly comparable without canonicalisation.
+  [[nodiscard]] std::vector<NodeId> min_labels();
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> rank_;
+  NodeId sets_;
+};
+
+/// Connected-component labels of `g` via union-find, using minimum-id
+/// representatives (Hirschberg's super-node convention).
+[[nodiscard]] std::vector<NodeId> union_find_components(const Graph& g);
+
+}  // namespace gcalib::graph

@@ -1,0 +1,64 @@
+#include "hw/brent.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/schedule.hpp"
+
+namespace gcalib::hw {
+
+BrentPoint brent_point(std::size_t n, std::size_t physical_cells) {
+  GCALIB_EXPECTS(n >= 1);
+  const std::size_t virtual_cells = n * (n + 1);
+  GCALIB_EXPECTS(physical_cells >= 1 && physical_cells <= virtual_cells);
+
+  BrentPoint point;
+  point.n = n;
+  point.physical_cells = physical_cells;
+  point.virtual_cells = virtual_cells;
+  point.slowdown = (virtual_cells + physical_cells - 1) / physical_cells;
+  point.generations = core::total_generations(n);
+  point.cycles = point.generations * point.slowdown;
+
+  // Logic: scale the fully parallel estimate's cell logic by p / n(n+1);
+  // the shared controller does not shrink.  Registers: the *whole* state
+  // must exist regardless of p (the paper's point) plus per-physical-cell
+  // overhead from the calibrated fit.
+  const CostParameters params = CostParameters::cyclone2_calibrated();
+  const FieldPortrait field = analyze_field(n);
+  const double full_logic = raw_logic_elements(field, params);
+  const std::size_t lg = n > 1 ? core::subgeneration_count(n) : 1;
+  const double controller = params.le_controller_base +
+                            params.le_controller_per_bit * static_cast<double>(lg);
+  const double cell_logic = full_logic - controller;
+  const double fraction = static_cast<double>(physical_cells) /
+                          static_cast<double>(virtual_cells);
+  point.logic_elements = static_cast<std::size_t>(std::llround(
+      (cell_logic * fraction + controller) * params.technology_factor));
+
+  const double state_bits = static_cast<double>(base_register_bits(field));
+  point.register_bits = static_cast<std::size_t>(std::llround(
+      state_bits +
+      params.reg_overhead_per_cell * static_cast<double>(physical_cells)));
+
+  point.cost_time_product =
+      static_cast<double>(point.logic_elements + point.register_bits) *
+      static_cast<double>(point.cycles);
+  return point;
+}
+
+std::vector<BrentPoint> brent_tradeoff(std::size_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  std::vector<BrentPoint> points;
+  const std::size_t full = n * (n + 1);
+  points.push_back(brent_point(n, full));
+  // Halving sweep from n^2 down to n, then the fully sequential p = 1.
+  for (std::size_t p = n * n; p > n; p /= 2) {
+    points.push_back(brent_point(n, p));
+  }
+  if (n > 1) points.push_back(brent_point(n, n));
+  points.push_back(brent_point(n, 1));
+  return points;
+}
+
+}  // namespace gcalib::hw

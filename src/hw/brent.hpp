@@ -1,0 +1,44 @@
+// Brent-theorem virtualisation and the section-3 cost argument.
+//
+// The paper's introduction notes that a GCA has a fixed number p of
+// physical cells, and a PRAM algorithm sized P(n) is mapped onto it by
+// having each cell simulate P(n)/p virtual processors round-robin (Brent's
+// theorem).  Section 3 then argues the punchline: because the algorithm
+// needs O(n^2) *state* regardless, and a GCA cell's logic is about as cheap
+// as a few memory words, reducing the number of processing cells below n^2
+// buys almost nothing — the hardware cost is dominated by state, while the
+// runtime multiplies by ceil(n(n+1)/p).
+//
+// This module makes that argument quantitative: for a problem size n and a
+// physical cell count p it combines the schedule arithmetic (generations)
+// with the calibrated cost model (logic for p cells + registers for the
+// full n(n+1)-cell state) into a cost/time tradeoff curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+
+namespace gcalib::hw {
+
+/// One point of the virtualisation tradeoff.
+struct BrentPoint {
+  std::size_t n = 0;
+  std::size_t physical_cells = 0;   ///< p
+  std::size_t virtual_cells = 0;    ///< n(n+1)
+  std::size_t slowdown = 0;         ///< ceil(virtual / physical)
+  std::size_t generations = 0;      ///< algorithm generations (O(log^2 n))
+  std::size_t cycles = 0;           ///< generations * slowdown
+  std::size_t logic_elements = 0;   ///< logic for p cells + shared control
+  std::size_t register_bits = 0;    ///< state for ALL virtual cells
+  double cost_time_product = 0.0;   ///< (LEs + register bits) * cycles
+};
+
+/// Tradeoff point for one (n, p).  Requires 1 <= p <= n(n+1).
+[[nodiscard]] BrentPoint brent_point(std::size_t n, std::size_t physical_cells);
+
+/// The canonical sweep of p for a given n: n(n+1), n^2, n^2/2, ..., n, 1.
+[[nodiscard]] std::vector<BrentPoint> brent_tradeoff(std::size_t n);
+
+}  // namespace gcalib::hw

@@ -1,0 +1,59 @@
+#include "hw/cell_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace gcalib::hw {
+
+std::size_t FieldPortrait::standard_cell_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const CellPortrait& c) { return !c.extended; }));
+}
+
+std::size_t FieldPortrait::extended_cell_count() const {
+  return cells.size() - standard_cell_count();
+}
+
+std::size_t FieldPortrait::max_static_fanin() const {
+  std::size_t best = 0;
+  for (const CellPortrait& c : cells) {
+    best = std::max(best, c.static_sources.size());
+  }
+  return best;
+}
+
+std::size_t data_width_for(std::size_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  // Values 0..n (generation 0 writes row numbers up to n into the bottom
+  // row) plus one reserved infinity code -> n+2 code points.
+  return bit_width_for(n + 2);
+}
+
+std::size_t pointer_width_for(std::size_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  return bit_width_for(n * (n + 1));
+}
+
+FieldPortrait analyze_field(std::size_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  FieldPortrait field;
+  field.n = n;
+  field.data_width = data_width_for(n);
+  field.pointer_width = pointer_width_for(n);
+  const std::size_t total = n * (n + 1);
+  field.cells.reserve(total);
+  for (std::size_t index = 0; index < total; ++index) {
+    CellPortrait cell;
+    cell.index = index;
+    cell.extended = core::needs_extended_cell(index, n);
+    cell.bottom_row = index >= n * n;
+    cell.static_sources = core::static_source_set(index, n);
+    field.cells.push_back(std::move(cell));
+  }
+  return field;
+}
+
+}  // namespace gcalib::hw

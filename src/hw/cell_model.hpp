@@ -1,0 +1,56 @@
+// Structural model of the fully parallel hardware implementation
+// (paper Figure 4 and section 4).
+//
+// The field is built from n^2 *standard cells* — the neighbour is selected
+// by a multiplexer addressed by the current generation (static sources
+// only) — and n *extended cells* (column 0), which additionally carry a
+// second multiplexer addressed by the cell's own data word, needed for the
+// data-dependent pointers of generations 10 and 11.  Every cell registers
+// its state; the pointer is combinational (computed "in the current
+// generation", paper section 3), so it is not registered.
+//
+// This module derives, for a given problem size n, the exact structure of
+// every cell (static mux input set, data port width, register bits) from
+// the declarative access pattern in core/access_pattern.hpp.  The cost
+// model and the Verilog generator are built on top of it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/access_pattern.hpp"
+
+namespace gcalib::hw {
+
+/// Structure of one cell.
+struct CellPortrait {
+  std::size_t index = 0;
+  bool extended = false;             ///< has a data-addressed neighbour mux
+  bool bottom_row = false;           ///< D_N cell: (d, p) only, no a bit
+  std::vector<std::size_t> static_sources;  ///< distinct static neighbours
+};
+
+/// Structure of the whole field for problem size n.
+struct FieldPortrait {
+  std::size_t n = 0;
+  std::size_t data_width = 0;     ///< bits of d (node ids plus infinity code)
+  std::size_t pointer_width = 0;  ///< bits of a cell address
+  std::vector<CellPortrait> cells;
+
+  [[nodiscard]] std::size_t cell_count() const { return cells.size(); }
+  [[nodiscard]] std::size_t standard_cell_count() const;
+  [[nodiscard]] std::size_t extended_cell_count() const;
+  /// Largest static-mux input count over all cells.
+  [[nodiscard]] std::size_t max_static_fanin() const;
+};
+
+/// Derives the field structure for problem size n (n >= 1).
+[[nodiscard]] FieldPortrait analyze_field(std::size_t n);
+
+/// Width of the d register: values 0..n plus a reserved infinity code.
+[[nodiscard]] std::size_t data_width_for(std::size_t n);
+
+/// Width of a cell address in the (n+1) x n field.
+[[nodiscard]] std::size_t pointer_width_for(std::size_t n);
+
+}  // namespace gcalib::hw

@@ -1,0 +1,158 @@
+#include "hw/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace gcalib::hw {
+
+PaperDatapoint paper_ep2c70() { return PaperDatapoint{}; }
+
+std::size_t base_register_bits(const FieldPortrait& field) {
+  std::size_t bits = 0;
+  for (const CellPortrait& cell : field.cells) {
+    bits += field.data_width + (cell.bottom_row ? 0 : 1);  // d plus a bit
+  }
+  // Global controller: generation counter (12 states), sub-generation and
+  // outer-iteration counters sized by log n.
+  const std::size_t lg = field.n > 1 ? log2_ceil(field.n) : 1;
+  bits += bit_width_for(12) + 2 * bit_width_for(lg + 1);
+  return bits;
+}
+
+double raw_logic_elements(const FieldPortrait& field,
+                          const CostParameters& params) {
+  const double w = static_cast<double>(field.data_width);
+  double les = 0.0;
+  for (const CellPortrait& cell : field.cells) {
+    const auto fanin = static_cast<double>(cell.static_sources.size());
+    if (fanin > 1.0) {
+      les += (fanin - 1.0) * w * params.le_per_mux_input_bit;
+    }
+    les += w * params.le_per_compare_bit;
+    les += params.le_per_cell_decode;
+    if (cell.extended) {
+      // Data-addressed mux over the n possible targets of generations 10/11.
+      les += static_cast<double>(field.n) * w * params.le_per_ext_mux_input_bit;
+    }
+  }
+  const std::size_t lg = field.n > 1 ? log2_ceil(field.n) : 1;
+  les += params.le_controller_base +
+         params.le_controller_per_bit * static_cast<double>(lg);
+  return les;
+}
+
+SynthesisEstimate estimate(const FieldPortrait& field,
+                           const CostParameters& params) {
+  SynthesisEstimate out;
+  out.n = field.n;
+  out.cells = field.cell_count();
+
+  const double raw = raw_logic_elements(field, params);
+  out.logic_elements =
+      static_cast<std::size_t>(std::llround(raw * params.technology_factor));
+
+  const double base_regs = static_cast<double>(base_register_bits(field));
+  const double overhead =
+      params.reg_overhead_per_cell * static_cast<double>(out.cells);
+  out.register_bits = static_cast<std::size_t>(std::llround(base_regs + overhead));
+
+  const double fanin = static_cast<double>(field.max_static_fanin());
+  const double levels = fanin > 1.0 ? std::log2(fanin) : 0.0;
+  const double delay_ns = params.t_base_ns + params.t_per_level_ns * levels;
+  out.fmax_mhz = 1000.0 / delay_ns;
+  return out;
+}
+
+CostParameters CostParameters::cyclone2_calibrated() {
+  // Fit the three free scalars (technology_factor, reg_overhead_per_cell,
+  // t_base_ns) against the published n = 16 datapoint.  The structural
+  // coefficients keep their physically motivated defaults.
+  CostParameters params;
+  const PaperDatapoint paper = paper_ep2c70();
+  const FieldPortrait field = analyze_field(paper.n);
+
+  const double raw = raw_logic_elements(field, params);
+  params.technology_factor = static_cast<double>(paper.logic_elements) / raw;
+
+  const double base_regs = static_cast<double>(base_register_bits(field));
+  params.reg_overhead_per_cell =
+      (static_cast<double>(paper.register_bits) - base_regs) /
+      static_cast<double>(field.cell_count());
+
+  const double fanin = static_cast<double>(field.max_static_fanin());
+  const double levels = fanin > 1.0 ? std::log2(fanin) : 0.0;
+  params.t_base_ns = 1000.0 / paper.fmax_mhz - params.t_per_level_ns * levels;
+  GCALIB_ENSURES(params.t_base_ns > 0.0);
+  return params;
+}
+
+SynthesisEstimate estimate_for(std::size_t n) {
+  static const CostParameters params = CostParameters::cyclone2_calibrated();
+  return estimate(analyze_field(n), params);
+}
+
+CostBreakdown breakdown(const FieldPortrait& field, const CostParameters& params) {
+  const double w = static_cast<double>(field.data_width);
+  double static_mux = 0.0, compare_min = 0.0, decode = 0.0, extended = 0.0;
+  for (const CellPortrait& cell : field.cells) {
+    const auto fanin = static_cast<double>(cell.static_sources.size());
+    if (fanin > 1.0) {
+      static_mux += (fanin - 1.0) * w * params.le_per_mux_input_bit;
+    }
+    compare_min += w * params.le_per_compare_bit;
+    decode += params.le_per_cell_decode;
+    if (cell.extended) {
+      extended += static_cast<double>(field.n) * w * params.le_per_ext_mux_input_bit;
+    }
+  }
+  const std::size_t lg = field.n > 1 ? log2_ceil(field.n) : 1;
+  const double controller =
+      params.le_controller_base +
+      params.le_controller_per_bit * static_cast<double>(lg);
+
+  const auto scaled = [&params](double x) {
+    return static_cast<std::size_t>(std::llround(x * params.technology_factor));
+  };
+  CostBreakdown out;
+  out.n = field.n;
+  out.static_mux = scaled(static_mux);
+  out.compare_min = scaled(compare_min);
+  out.decode = scaled(decode);
+  out.extended_mux = scaled(extended);
+  out.controller = scaled(controller);
+  return out;
+}
+
+std::string synthesis_report(std::size_t n) {
+  const CostParameters params = CostParameters::cyclone2_calibrated();
+  const FieldPortrait field = analyze_field(n);
+  const SynthesisEstimate est = estimate(field, params);
+  const CostBreakdown items = breakdown(field, params);
+
+  std::string report;
+  const auto line = [&report](const std::string& s) { report += s + "\n"; };
+  line("gcalib synthesis estimate (calibrated Cyclone II model)");
+  line("problem size n ............ " + std::to_string(n));
+  line("cells N x (N+1) ........... " + std::to_string(est.cells) + "  (" +
+       std::to_string(field.standard_cell_count()) + " standard, " +
+       std::to_string(field.extended_cell_count()) + " extended)");
+  line("data width ................ " + std::to_string(field.data_width) +
+       " bits (+1 adjacency bit in the square)");
+  line("pointer width ............. " + std::to_string(field.pointer_width) +
+       " bits (combinational, not registered)");
+  line("max static mux fan-in ..... " + std::to_string(field.max_static_fanin()));
+  line("logic elements ............ " + std::to_string(est.logic_elements));
+  line("  static neighbour muxes .. " + std::to_string(items.static_mux));
+  line("  compare/min/inf logic ... " + std::to_string(items.compare_min));
+  line("  generation decode ....... " + std::to_string(items.decode));
+  line("  extended data muxes ..... " + std::to_string(items.extended_mux));
+  line("  global controller ....... " + std::to_string(items.controller));
+  line("register bits ............. " + std::to_string(est.register_bits));
+  line("clock frequency ........... " +
+       std::to_string(est.fmax_mhz).substr(0, 5) + " MHz");
+  return report;
+}
+
+}  // namespace gcalib::hw

@@ -1,0 +1,104 @@
+// Analytic FPGA cost model, calibrated against the paper's single
+// synthesis datapoint (section 4: Altera Cyclone II EP2C70, Quartus II).
+//
+// Substitution note (DESIGN.md): we cannot run Quartus synthesis, so the
+// paper's hardware evaluation is reproduced by a structural model.  Every
+// term is derived from the actual cell structure (FieldPortrait): register
+// bits from the d/a widths, logic elements from multiplexer input counts,
+// comparator widths and the extended cells' data-addressed muxes, clock
+// frequency from the worst static fan-in.  Free coefficients are fixed
+// once, by fitting to the published n = 16 datapoint (272 cells,
+// 23,051 LEs, 2,192 register bits, 71 MHz); the model then *predicts* the
+// scaling shape for other n, which is what the benches report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "hw/cell_model.hpp"
+
+namespace gcalib::hw {
+
+/// The synthesis result the paper reports for N = 16 on the EP2C70.
+struct PaperDatapoint {
+  std::size_t n = 16;
+  std::size_t cells = 272;           ///< N x (N+1)
+  std::size_t logic_elements = 23051;
+  std::size_t register_bits = 2192;
+  double fmax_mhz = 71.0;
+};
+
+[[nodiscard]] PaperDatapoint paper_ep2c70();
+
+/// Technology coefficients of the model (4-input-LUT fabric).
+struct CostParameters {
+  // --- logic elements -------------------------------------------------
+  double le_per_mux_input_bit = 0.5;   ///< LEs per extra static-mux input per bit
+  double le_per_compare_bit = 2.0;     ///< comparator + min-select + inf mask
+  double le_per_cell_decode = 2.0;     ///< generation decode / enable logic
+  double le_per_ext_mux_input_bit = 0.5;  ///< extended cell's data mux
+  double le_controller_base = 30.0;    ///< global state machine
+  double le_controller_per_bit = 5.0;  ///< counters scale with log n
+  double technology_factor = 1.0;      ///< fitted scale (see calibrate())
+  // --- registers ------------------------------------------------------
+  double reg_overhead_per_cell = 0.0;  ///< fitted pipeline/control bits
+  // --- timing ---------------------------------------------------------
+  double t_base_ns = 10.0;             ///< fitted fixed pipeline delay
+  double t_per_level_ns = 0.9;         ///< LUT+routing delay per mux level
+
+  /// Coefficients fitted so that estimate(analyze_field(16)) reproduces the
+  /// EP2C70 datapoint exactly (LEs and register bits to the unit, fmax to
+  /// 0.1 MHz).
+  [[nodiscard]] static CostParameters cyclone2_calibrated();
+};
+
+/// Model output for one problem size.
+struct SynthesisEstimate {
+  std::size_t n = 0;
+  std::size_t cells = 0;
+  std::size_t logic_elements = 0;
+  std::size_t register_bits = 0;
+  double fmax_mhz = 0.0;
+  /// Generations per second at fmax assuming one generation per clock.
+  [[nodiscard]] double generations_per_second() const { return fmax_mhz * 1e6; }
+};
+
+/// Register bits before the fitted per-cell overhead: square cells carry
+/// d and a, bottom-row cells carry d, plus the global controller counters.
+[[nodiscard]] std::size_t base_register_bits(const FieldPortrait& field);
+
+/// Raw (unscaled) LE count from the field structure.
+[[nodiscard]] double raw_logic_elements(const FieldPortrait& field,
+                                        const CostParameters& params);
+
+/// Full estimate for a field under the given coefficients.
+[[nodiscard]] SynthesisEstimate estimate(const FieldPortrait& field,
+                                         const CostParameters& params);
+
+/// Convenience: estimate for problem size n with calibrated coefficients.
+[[nodiscard]] SynthesisEstimate estimate_for(std::size_t n);
+
+/// Itemised logic-element estimate (all values already scaled by the
+/// technology factor; categories sum to the SynthesisEstimate total up to
+/// rounding).
+struct CostBreakdown {
+  std::size_t n = 0;
+  std::size_t static_mux = 0;    ///< per-cell neighbour selection
+  std::size_t compare_min = 0;   ///< comparators, min-select, infinity mask
+  std::size_t decode = 0;        ///< per-cell generation decode / enables
+  std::size_t extended_mux = 0;  ///< data-addressed muxes (column 0)
+  std::size_t controller = 0;    ///< global state machine and counters
+  [[nodiscard]] std::size_t total() const {
+    return static_mux + compare_min + decode + extended_mux + controller;
+  }
+};
+
+/// Itemised estimate under the given coefficients.
+[[nodiscard]] CostBreakdown breakdown(const FieldPortrait& field,
+                                      const CostParameters& params);
+
+/// Human-readable synthesis report (fit-summary style) for problem size n
+/// with calibrated coefficients.
+[[nodiscard]] std::string synthesis_report(std::size_t n);
+
+}  // namespace gcalib::hw

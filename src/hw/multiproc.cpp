@@ -1,0 +1,193 @@
+#include "hw/multiproc.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+
+namespace gcalib::hw {
+
+const char* to_string(Partitioning partitioning) {
+  switch (partitioning) {
+    case Partitioning::kRowBlock: return "row-block";
+    case Partitioning::kBlock: return "block";
+    case Partitioning::kCyclic: return "cyclic";
+  }
+  return "?";
+}
+
+const char* to_string(Network network) {
+  switch (network) {
+    case Network::kBus: return "bus";
+    case Network::kRing: return "ring";
+    case Network::kCrossbar: return "crossbar";
+  }
+  return "?";
+}
+
+PartitionMap::PartitionMap(std::size_t n, std::size_t processors,
+                           Partitioning scheme)
+    : processors_(processors) {
+  GCALIB_EXPECTS(n >= 1 && processors >= 1);
+  const std::size_t rows = n + 1;
+  const std::size_t cells = rows * n;
+  owner_.resize(cells);
+  load_.assign(processors, 0);
+  switch (scheme) {
+    case Partitioning::kRowBlock: {
+      // Contiguous row ranges, as equal as possible.
+      const std::size_t base = rows / processors;
+      const std::size_t extra = rows % processors;
+      std::vector<std::size_t> owner_of_row(rows);
+      std::size_t row = 0;
+      for (std::size_t p = 0; p < processors; ++p) {
+        const std::size_t count = base + (p < extra ? 1 : 0);
+        for (std::size_t k = 0; k < count && row < rows; ++k) {
+          owner_of_row[row++] = p;
+        }
+      }
+      // If P > rows, trailing processors own nothing (owner_of_row covers
+      // all rows by construction).
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        owner_[cell] = owner_of_row[cell / n];
+      }
+      break;
+    }
+    case Partitioning::kBlock: {
+      const std::size_t chunk = (cells + processors - 1) / processors;
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        owner_[cell] = std::min(cell / chunk, processors - 1);
+      }
+      break;
+    }
+    case Partitioning::kCyclic: {
+      for (std::size_t cell = 0; cell < cells; ++cell) {
+        owner_[cell] = cell % processors;
+      }
+      break;
+    }
+  }
+  for (std::size_t cell = 0; cell < cells; ++cell) ++load_[owner_[cell]];
+}
+
+StepCost evaluate_step(const PartitionMap& map, Network network,
+                       const std::vector<std::uint8_t>& active,
+                       const std::vector<gca::AccessEdge>& edges) {
+  const std::size_t procs = map.processors();
+  StepCost cost;
+
+  // Compute: the most loaded processor updates its active cells serially.
+  std::vector<std::size_t> active_per_proc(procs, 0);
+  for (std::size_t cell = 0; cell < active.size(); ++cell) {
+    if (active[cell]) ++active_per_proc[map.owner(cell)];
+  }
+  cost.compute = *std::max_element(active_per_proc.begin(),
+                                   active_per_proc.end());
+
+  // Communication: off-partition reads become messages (response traffic
+  // from the target's owner to the reader's owner).
+  std::vector<std::size_t> sends(procs, 0), recvs(procs, 0);
+  std::vector<std::size_t> ring_load;  // directed links, 2 per neighbour pair
+  if (network == Network::kRing) ring_load.assign(2 * procs, 0);
+  std::size_t max_hops = 0;
+
+  for (const gca::AccessEdge& edge : edges) {
+    const std::size_t from = map.owner(edge.target);  // data source
+    const std::size_t to = map.owner(edge.reader);
+    if (from == to) continue;
+    ++cost.messages;
+    ++sends[from];
+    ++recvs[to];
+    if (network == Network::kRing) {
+      // Shortest direction around the ring; load every traversed link.
+      const std::size_t forward = (to + procs - from) % procs;
+      const std::size_t backward = (from + procs - to) % procs;
+      const bool go_forward = forward <= backward;
+      const std::size_t hops = go_forward ? forward : backward;
+      max_hops = std::max(max_hops, hops);
+      std::size_t at = from;
+      for (std::size_t h = 0; h < hops; ++h) {
+        if (go_forward) {
+          ring_load[2 * at] += 1;  // link at -> at+1
+          at = (at + 1) % procs;
+        } else {
+          ring_load[2 * at + 1] += 1;  // link at -> at-1
+          at = (at + procs - 1) % procs;
+        }
+      }
+    }
+  }
+
+  switch (network) {
+    case Network::kBus:
+      cost.communication = cost.messages;  // fully serialised medium
+      break;
+    case Network::kCrossbar: {
+      // Non-blocking fabric: per-processor port contention only.
+      std::size_t contention = 0;
+      for (std::size_t p = 0; p < procs; ++p) {
+        contention = std::max({contention, sends[p], recvs[p]});
+      }
+      cost.communication = contention;
+      break;
+    }
+    case Network::kRing: {
+      // Pipelined wormhole model: the busiest link bounds throughput, the
+      // longest path adds latency.
+      const std::size_t max_link =
+          ring_load.empty()
+              ? 0
+              : *std::max_element(ring_load.begin(), ring_load.end());
+      cost.communication = max_link + max_hops;
+      break;
+    }
+  }
+  return cost;
+}
+
+MultiprocResult simulate_hirschberg(const graph::Graph& g,
+                                    const MultiprocConfig& config) {
+  MultiprocResult result;
+  result.config = config;
+  const graph::NodeId n = g.node_count();
+  if (n == 0) return result;
+
+  const PartitionMap map(n, config.processors, config.partitioning);
+
+  core::HirschbergGca machine(g);
+  machine.engine().set_record_access(true);
+
+  const auto account = [&]() {
+    const StepCost step =
+        evaluate_step(map, config.network, machine.engine().last_active(),
+                      machine.engine().last_access());
+    ++result.generations;
+    result.compute_cycles += step.compute;
+    result.comm_cycles += step.communication;
+    result.messages += step.messages;
+  };
+
+  machine.initialize();
+  account();
+  const unsigned subs = core::subgeneration_count(n);
+  static constexpr core::Generation kOrder[] = {
+      core::Generation::kCopyCToRows, core::Generation::kMaskNeighbors,
+      core::Generation::kRowMin,      core::Generation::kFallback,
+      core::Generation::kCopyTToRows, core::Generation::kMaskMembers,
+      core::Generation::kRowMin2,     core::Generation::kFallback2,
+      core::Generation::kAdopt,       core::Generation::kPointerJump,
+      core::Generation::kFinalMin};
+  for (unsigned iter = 0; iter < core::outer_iterations(n); ++iter) {
+    for (core::Generation gen : kOrder) {
+      const unsigned repeats = core::has_subgenerations(gen) ? subs : 1;
+      for (unsigned s = 0; s < repeats; ++s) {
+        machine.step_generation(gen, s);
+        account();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gcalib::hw

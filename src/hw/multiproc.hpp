@@ -1,0 +1,104 @@
+// Multiprocessor GCA architecture model (paper reference [4]:
+// Heenes/Hoffmann/Jendrsczok, "A multiprocessor architecture for the
+// massively parallel model GCA", IPDPS/SMTPS 2006).
+//
+// Between the fully parallel FPGA field (one unit per cell, section 4) and
+// a sequential simulator lies the architecture the paper's group actually
+// built: P processors, each owning a partition of the cell field,
+// connected by an interconnection network.  Every generation costs
+//   * compute: the largest number of active cells any processor must
+//     update sequentially (load balance), and
+//   * communication: moving every off-partition read across the network,
+//     whose cost depends on the topology (bus: fully serialised; crossbar:
+//     port contention; ring: per-link traffic plus hop latency).
+//
+// The model consumes *measured* access traces of real machine runs (the
+// engine's recorded (reader, target) edges per generation), so partition
+// and topology effects reflect the actual Hirschberg communication
+// pattern, not an abstraction of it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gca/engine.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::hw {
+
+/// How cells are assigned to processors.
+enum class Partitioning {
+  kRowBlock,  ///< contiguous blocks of whole rows (locality of row ops)
+  kBlock,     ///< contiguous linear index ranges
+  kCyclic,    ///< cell i -> processor i mod P (load balance)
+};
+
+/// Interconnection topology.
+enum class Network {
+  kBus,       ///< one shared medium: all remote reads serialise
+  kRing,      ///< bidirectional ring, shortest-path routing
+  kCrossbar,  ///< non-blocking; only per-processor port contention remains
+};
+
+[[nodiscard]] const char* to_string(Partitioning partitioning);
+[[nodiscard]] const char* to_string(Network network);
+
+/// One architecture configuration.
+struct MultiprocConfig {
+  std::size_t processors = 4;
+  Partitioning partitioning = Partitioning::kRowBlock;
+  Network network = Network::kCrossbar;
+};
+
+/// Cost of one generation under a configuration.
+struct StepCost {
+  std::size_t compute = 0;        ///< max active cells on one processor
+  std::size_t communication = 0;  ///< network cycles for remote reads
+  std::size_t messages = 0;       ///< off-partition reads
+  [[nodiscard]] std::size_t total() const { return compute + communication; }
+};
+
+/// Aggregate over a run.
+struct MultiprocResult {
+  MultiprocConfig config;
+  std::size_t generations = 0;
+  std::size_t compute_cycles = 0;
+  std::size_t comm_cycles = 0;
+  std::size_t messages = 0;
+  [[nodiscard]] std::size_t total_cycles() const {
+    return compute_cycles + comm_cycles;
+  }
+};
+
+/// The partition map: processor of each cell.
+class PartitionMap {
+ public:
+  /// Builds the map for a Hirschberg field of (n+1) x n cells.
+  PartitionMap(std::size_t n, std::size_t processors, Partitioning scheme);
+
+  [[nodiscard]] std::size_t processors() const { return processors_; }
+  [[nodiscard]] std::size_t owner(std::size_t cell) const {
+    GCALIB_EXPECTS(cell < owner_.size());
+    return owner_[cell];
+  }
+  /// Number of cells owned by each processor.
+  [[nodiscard]] const std::vector<std::size_t>& load() const { return load_; }
+
+ private:
+  std::size_t processors_;
+  std::vector<std::size_t> owner_;
+  std::vector<std::size_t> load_;
+};
+
+/// Evaluates one generation: active mask + access edges -> cycles.
+[[nodiscard]] StepCost evaluate_step(const PartitionMap& map, Network network,
+                                     const std::vector<std::uint8_t>& active,
+                                     const std::vector<gca::AccessEdge>& edges);
+
+/// Runs the (n+1) x n Hirschberg machine on graph `g` with full access
+/// recording and accumulates the architecture cost of every generation.
+[[nodiscard]] MultiprocResult simulate_hirschberg(const graph::Graph& g,
+                                                  const MultiprocConfig& config);
+
+}  // namespace gcalib::hw

@@ -1,0 +1,81 @@
+#include "hw/replication.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace gcalib::hw {
+
+const char* to_string(ReadStrategy strategy) {
+  switch (strategy) {
+    case ReadStrategy::kSerialized: return "serialized";
+    case ReadStrategy::kFanoutTree: return "fanout-tree";
+    case ReadStrategy::kReplicated: return "replicated-C/T";
+  }
+  return "?";
+}
+
+std::size_t cycles_for_step(ReadStrategy strategy, std::size_t max_congestion) {
+  const std::size_t delta = max_congestion;
+  switch (strategy) {
+    case ReadStrategy::kSerialized:
+      return delta > 1 ? delta : 1;
+    case ReadStrategy::kFanoutTree:
+      return delta > 1 ? 1 + log2_ceil(delta) : 1;
+    case ReadStrategy::kReplicated:
+      return 1;
+  }
+  return 1;
+}
+
+StrategyCost evaluate_strategy(ReadStrategy strategy,
+                               const std::vector<gca::GenerationStats>& profile,
+                               std::size_t n) {
+  GCALIB_EXPECTS(n >= 1);
+  StrategyCost cost;
+  cost.strategy = strategy;
+  cost.generations = profile.size();
+  for (const gca::GenerationStats& step : profile) {
+    cost.total_cycles += cycles_for_step(strategy, step.max_congestion);
+  }
+  cost.overhead_factor =
+      profile.empty() ? 0.0
+                      : static_cast<double>(cost.total_cycles) /
+                            static_cast<double>(cost.generations);
+
+  const CostParameters params = CostParameters::cyclone2_calibrated();
+  const std::size_t w = data_width_for(n);
+  switch (strategy) {
+    case ReadStrategy::kSerialized:
+      break;  // no extra hardware; time is the cost
+    case ReadStrategy::kFanoutTree: {
+      // One distribution-tree buffer stage per read level on the hottest
+      // nets: modelled as log2(n) extra LE rows on the n column-0 nets.
+      const std::size_t levels = n > 1 ? log2_ceil(n) : 0;
+      cost.extra_logic_elements = static_cast<std::size_t>(
+          static_cast<double>(n * levels * w) * params.technology_factor);
+      break;
+    }
+    case ReadStrategy::kReplicated: {
+      // Paper: "this however would require extended cells in all places" —
+      // every square cell gains a data-addressed mux over its row copy.
+      cost.extra_extended_cells = n * n - n;
+      cost.extra_logic_elements = static_cast<std::size_t>(
+          static_cast<double>(cost.extra_extended_cells) *
+          static_cast<double>(n) * static_cast<double>(w) *
+          params.le_per_ext_mux_input_bit * params.technology_factor);
+      break;
+    }
+  }
+  return cost;
+}
+
+std::vector<StrategyCost> compare_strategies(
+    const std::vector<gca::GenerationStats>& profile, std::size_t n) {
+  return {
+      evaluate_strategy(ReadStrategy::kSerialized, profile, n),
+      evaluate_strategy(ReadStrategy::kFanoutTree, profile, n),
+      evaluate_strategy(ReadStrategy::kReplicated, profile, n),
+  };
+}
+
+}  // namespace gcalib::hw

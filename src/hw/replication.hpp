@@ -1,0 +1,60 @@
+// Congestion-reduction strategies from section 4 of the paper.
+//
+// A generation whose maximum congestion is delta cannot complete in one
+// cycle if each cell's register has a single read port: the delta readers
+// must be served somehow.  The paper names the options:
+//   * serve concurrent reads directly (a wide fan-out net: one cycle but
+//     the net's delay grows, or delta cycles on a single-ported realisation),
+//   * "implement the concurrent reads in a tree-like manner"
+//     (a balanced distribution tree: ceil(log2 delta) + 1 cycles),
+//   * "use replication for arrays C and T to get congestion down to 1"
+//     (each row keeps a rotated copy of C; one cycle, but all n^2 cells
+//     become extended cells).
+//
+// This module turns a measured per-step congestion profile (engine
+// instrumentation) into total-cycle counts and hardware overheads per
+// strategy, which the ablation bench compares.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gca/instrumentation.hpp"
+#include "hw/cost_model.hpp"
+
+namespace gcalib::hw {
+
+/// How concurrent reads are realised.
+enum class ReadStrategy {
+  kSerialized,   ///< single-ported memory: delta cycles per generation
+  kFanoutTree,   ///< balanced distribution tree: 1 + ceil(log2 delta) cycles
+  kReplicated,   ///< rotated per-row copies of C/T: always 1 cycle
+};
+
+[[nodiscard]] const char* to_string(ReadStrategy strategy);
+
+/// Cycles one generation costs under a strategy, given its max congestion.
+[[nodiscard]] std::size_t cycles_for_step(ReadStrategy strategy,
+                                          std::size_t max_congestion);
+
+/// Aggregate cost of a whole run's congestion profile.
+struct StrategyCost {
+  ReadStrategy strategy = ReadStrategy::kSerialized;
+  std::size_t generations = 0;    ///< engine steps in the profile
+  std::size_t total_cycles = 0;   ///< after congestion handling
+  double overhead_factor = 0.0;   ///< total_cycles / generations
+  std::size_t extra_extended_cells = 0;  ///< hardware cost of the strategy
+  std::size_t extra_logic_elements = 0;  ///< modelled LE overhead
+};
+
+/// Evaluates a strategy over the measured per-step statistics of a run.
+[[nodiscard]] StrategyCost evaluate_strategy(
+    ReadStrategy strategy, const std::vector<gca::GenerationStats>& profile,
+    std::size_t n);
+
+/// All three strategies side by side.
+[[nodiscard]] std::vector<StrategyCost> compare_strategies(
+    const std::vector<gca::GenerationStats>& profile, std::size_t n);
+
+}  // namespace gcalib::hw

@@ -1,0 +1,32 @@
+// Verilog generator for the fully parallel cell field (paper section 4).
+//
+// The paper describes a Verilog design synthesised for an Altera Cyclone II;
+// that source is not published, so this generator reconstructs it from the
+// state graph: a parameterised module with one register per cell, a global
+// generation state machine, per-cell combinational neighbour selection
+// (static multiplexers addressed by the generation; data-addressed
+// multiplexers in the extended column-0 cells) and the data operations of
+// Figure 2.  The output is deterministic, self-contained Verilog-2001.
+//
+// We cannot run synthesis in this environment; tests validate the output
+// structurally (determinism, balanced begin/end, port and parameter
+// inventory, per-n constants) and the cost model covers the area/clock
+// estimates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gcalib::hw {
+
+/// Options for the generated module.
+struct VerilogOptions {
+  std::string module_name = "gca_hirschberg";
+  bool include_testbench = false;  ///< append a smoke-test bench module
+};
+
+/// Generates the cell-field module for problem size n (n >= 2).
+[[nodiscard]] std::string generate_verilog(std::size_t n,
+                                           const VerilogOptions& options = {});
+
+}  // namespace gcalib::hw

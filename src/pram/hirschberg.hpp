@@ -1,0 +1,84 @@
+// Hirschberg's parallel connected-components algorithm (Listing 1 of the
+// paper; Hirschberg 1976 / Hirschberg-Chandra-Sarwate 1979).
+//
+// Two implementations are provided:
+//  * `hirschberg_reference` — a direct, synchronous vector implementation of
+//    the six steps.  This is the functional specification that the GCA
+//    mapping and the PRAM-hosted version are validated against.
+//  * `run_hirschberg_pram` — the same algorithm hosted on the `pram::Machine`
+//    simulator with n^2 virtual processors, exercising CREW/CROW access
+//    checking and producing the step/work/congestion accounting that the
+//    paper's optimality discussion (section 3) is about.
+//
+// Note on step 6: the paper's listing prints the final correction as
+// `C(i) <- min(C(T(i)), T(i))`, which mislabels e.g. the 4-node path
+// 0-1-2-3 (the 2-cycle between supernodes 0 and 1 survives).  The original
+// HCS-1979 step is `C(i) <- min(C(i), C(T(i)))`, which is what we implement;
+// the GCA's generation 11 (`min(C(i), T(C(i)))` after pointer jumping) is
+// equivalent to it — see DESIGN.md for the argument.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/machine.hpp"
+
+namespace gcalib::pram {
+
+/// Per-iteration snapshot of the reference run (for tracing / validation of
+/// the GCA mapping's intermediate states).
+struct HirschbergIterationTrace {
+  std::vector<graph::NodeId> t_after_step2;  ///< T after the neighbour scan
+  std::vector<graph::NodeId> t_after_step3;  ///< T after super-node gathering
+  std::vector<graph::NodeId> c_after_step5;  ///< C after pointer jumping
+  std::vector<graph::NodeId> c_after_step6;  ///< C at iteration end
+};
+
+/// Result of the reference implementation.
+struct HirschbergReferenceResult {
+  std::vector<graph::NodeId> labels;  ///< min-id component label per node
+  std::size_t iterations = 0;         ///< outer iterations executed
+  std::vector<HirschbergIterationTrace> trace;  ///< filled iff requested
+};
+
+/// Direct implementation of Listing 1 (see header comment for the step-6
+/// erratum).  `with_trace` additionally records per-iteration snapshots.
+[[nodiscard]] HirschbergReferenceResult hirschberg_reference_full(
+    const graph::Graph& g, bool with_trace = false);
+
+/// Convenience wrapper returning only the labels.
+[[nodiscard]] std::vector<graph::NodeId> hirschberg_reference(const graph::Graph& g);
+
+/// Result of the PRAM-hosted run.
+struct HirschbergPramResult {
+  std::vector<graph::NodeId> labels;
+  std::size_t iterations = 0;
+  MachineStats stats;                  ///< time/work/congestion accounting
+  std::vector<StepStats> step_history; ///< per-step detail
+};
+
+/// Runs Listing 1 on a `pram::Machine` with n^2 virtual processors.
+/// `mode` must be at least CROW-capable for this algorithm (every cell is
+/// written only by its owner); kErew throws AccessViolation on the first
+/// concurrent read, demonstrating that the algorithm genuinely needs
+/// concurrent reading.
+[[nodiscard]] HirschbergPramResult run_hirschberg_pram(
+    const graph::Graph& g, AccessMode mode = AccessMode::kCrow);
+
+/// Closed-form PRAM step count of our schedule for a given n (used by the
+/// scaling bench to cross-check the simulator's accounting): per outer
+/// iteration, steps 2 and 3 cost (1 + ceil(lg n) + 1) each, step 4 costs 1,
+/// step 5 costs ceil(lg n) and step 6 costs 1; plus 1 init step.
+[[nodiscard]] std::size_t hirschberg_pram_step_count(graph::NodeId n);
+
+/// Brent-virtualised run (paper, introduction): the same n^2-processor
+/// schedule simulated by `physical_processors` machines round-robin via
+/// Machine::step_virtual.  Labels are identical to the fully parallel run;
+/// the stats charge every step with its ceil(V/P) slowdown, so
+/// stats.steps quantifies the time cost of shrinking the machine.
+[[nodiscard]] HirschbergPramResult run_hirschberg_pram_brent(
+    const graph::Graph& g, std::size_t physical_processors,
+    AccessMode mode = AccessMode::kCrow);
+
+}  // namespace gcalib::pram

@@ -1,0 +1,190 @@
+#include "pram/machine.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gcalib::pram {
+
+const char* to_string(AccessMode mode) {
+  switch (mode) {
+    case AccessMode::kErew: return "EREW";
+    case AccessMode::kCrew: return "CREW";
+    case AccessMode::kCrow: return "CROW";
+    case AccessMode::kCrcwPriority: return "CRCW-priority";
+    case AccessMode::kCrcwArbitrary: return "CRCW-arbitrary";
+    case AccessMode::kCrcwMin: return "CRCW-min";
+  }
+  return "?";
+}
+
+Word Processor::read(std::size_t addr) {
+  return machine_.processor_read(id_, addr);
+}
+
+void Processor::write(std::size_t addr, Word value) {
+  machine_.processor_write(id_, addr, value);
+}
+
+Machine::Machine(std::size_t memory_size, AccessMode mode)
+    : mode_(mode),
+      memory_(memory_size, 0),
+      owner_(memory_size, kNoOwner),
+      read_count_(memory_size, 0),
+      reader_of_(memory_size, kNoOwner) {}
+
+ArrayRef Machine::alloc(const std::string& name, std::size_t size) {
+  GCALIB_EXPECTS_MSG(next_free_ + size <= memory_.size(),
+                     "shared memory exhausted allocating " + name);
+  ArrayRef ref{next_free_, size};
+  next_free_ += size;
+  return ref;
+}
+
+Word Machine::load(std::size_t addr) const {
+  GCALIB_EXPECTS(addr < memory_.size());
+  return memory_[addr];
+}
+
+void Machine::store(std::size_t addr, Word value) {
+  GCALIB_EXPECTS(addr < memory_.size());
+  memory_[addr] = value;
+}
+
+void Machine::set_owner(std::size_t addr, std::size_t processor) {
+  GCALIB_EXPECTS(addr < memory_.size());
+  owner_[addr] = processor;
+}
+
+Word Machine::processor_read(std::size_t proc, std::size_t addr) {
+  GCALIB_EXPECTS_MSG(in_step_, "shared memory read outside a step");
+  GCALIB_EXPECTS(addr < memory_.size());
+  if (mode_ == AccessMode::kErew && read_count_[addr] > 0 &&
+      reader_of_[addr] != proc) {
+    throw AccessViolation("EREW: concurrent read of cell " +
+                          std::to_string(addr) + " by processors " +
+                          std::to_string(reader_of_[addr]) + " and " +
+                          std::to_string(proc));
+  }
+  // Re-reads by the same processor hit its local register copy on a real
+  // machine, so count each (processor, cell) pair once per step.
+  if (read_count_[addr] == 0 || reader_of_[addr] != proc) {
+    ++read_count_[addr];
+    ++current_.reads;
+  }
+  reader_of_[addr] = proc;
+  return memory_[addr];
+}
+
+void Machine::processor_write(std::size_t proc, std::size_t addr, Word value) {
+  GCALIB_EXPECTS_MSG(in_step_, "shared memory write outside a step");
+  GCALIB_EXPECTS(addr < memory_.size());
+  if (owner_[addr] != kNoOwner && owner_[addr] != proc &&
+      mode_ == AccessMode::kCrow) {
+    throw AccessViolation("CROW: processor " + std::to_string(proc) +
+                          " wrote cell " + std::to_string(addr) +
+                          " owned by processor " + std::to_string(owner_[addr]));
+  }
+  pending_writes_.push_back(PendingWrite{proc, addr, value});
+}
+
+void Machine::step(std::size_t processors,
+                   const std::function<void(Processor&)>& body,
+                   std::string label) {
+  execute_step(processors, body, std::move(label), 1);
+}
+
+void Machine::step_virtual(std::size_t virtual_processors,
+                           std::size_t physical_processors,
+                           const std::function<void(Processor&)>& body,
+                           std::string label) {
+  GCALIB_EXPECTS(physical_processors >= 1);
+  const std::size_t slowdown =
+      virtual_processors == 0
+          ? 1
+          : (virtual_processors + physical_processors - 1) / physical_processors;
+  execute_step(virtual_processors, body, std::move(label), slowdown);
+}
+
+void Machine::execute_step(std::size_t processors,
+                           const std::function<void(Processor&)>& body,
+                           std::string label, std::size_t time_charge) {
+  GCALIB_EXPECTS_MSG(!in_step_, "nested PRAM steps are not allowed");
+  in_step_ = true;
+  current_ = StepStats{};
+  current_.step_index = stats_.steps;
+  current_.label = std::move(label);
+  current_.processors = processors;
+  std::fill(read_count_.begin(), read_count_.end(), std::size_t{0});
+  std::fill(reader_of_.begin(), reader_of_.end(), kNoOwner);
+  pending_writes_.clear();
+
+  try {
+    for (std::size_t p = 0; p < processors; ++p) {
+      current_proc_ = p;
+      Processor handle(*this, p);
+      body(handle);
+    }
+  } catch (...) {
+    in_step_ = false;  // keep the machine usable after a violation
+    throw;
+  }
+
+  // Commit writes with mode-specific conflict resolution.
+  std::sort(pending_writes_.begin(), pending_writes_.end(),
+            [](const PendingWrite& a, const PendingWrite& b) {
+              return a.addr != b.addr ? a.addr < b.addr : a.proc < b.proc;
+            });
+  for (std::size_t i = 0; i < pending_writes_.size();) {
+    std::size_t j = i;
+    while (j < pending_writes_.size() &&
+           pending_writes_[j].addr == pending_writes_[i].addr) {
+      ++j;
+    }
+    const std::size_t addr = pending_writes_[i].addr;
+    const std::size_t writers = j - i;
+    Word value = pending_writes_[i].value;  // lowest processor id first
+    if (writers > 1) {
+      switch (mode_) {
+        case AccessMode::kErew:
+        case AccessMode::kCrew:
+        case AccessMode::kCrow:
+          in_step_ = false;
+          throw AccessViolation(std::string(to_string(mode_)) +
+                                ": write conflict on cell " +
+                                std::to_string(addr) + " (" +
+                                std::to_string(writers) + " writers)");
+        case AccessMode::kCrcwPriority:
+        case AccessMode::kCrcwArbitrary:
+          break;  // lowest processor id wins (deterministic choice)
+        case AccessMode::kCrcwMin:
+          for (std::size_t k = i; k < j; ++k) {
+            value = std::min(value, pending_writes_[k].value);
+          }
+          break;
+      }
+    }
+    memory_[addr] = value;
+    ++current_.writes;
+    i = j;
+  }
+
+  for (std::size_t c : read_count_) {
+    current_.max_read_congestion = std::max(current_.max_read_congestion, c);
+  }
+
+  stats_.steps += time_charge;
+  stats_.work += processors;
+  stats_.reads += current_.reads;
+  stats_.writes += current_.writes;
+  stats_.max_read_congestion =
+      std::max(stats_.max_read_congestion, current_.max_read_congestion);
+  history_.push_back(current_);
+  in_step_ = false;
+}
+
+void Machine::reset_stats() {
+  stats_ = MachineStats{};
+  history_.clear();
+}
+
+}  // namespace gcalib::pram

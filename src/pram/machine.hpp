@@ -1,0 +1,177 @@
+// Step-synchronous PRAM simulator with access-mode enforcement.
+//
+// The paper frames the GCA as a synchronous CROW PRAM (concurrent-read
+// owner-write): any processor may read any shared-memory cell, but every
+// cell is written by exactly one dedicated owner.  This machine simulates a
+// PRAM at step granularity — every step, a set of processors runs the same
+// program against a snapshot of shared memory, and all writes commit
+// atomically at the step boundary — while checking the declared access mode
+// and accumulating the cost metrics the paper reasons about (time = steps,
+// work = sum of scheduled processors, and read congestion = the maximum
+// number of concurrent reads to one cell, which bounds step duration on a
+// distributed-memory realisation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gcalib::pram {
+
+/// Shared-memory word.  Signed 64-bit so the +infinity sentinel used by the
+/// min computations is representable without wraparound hazards.
+using Word = std::int64_t;
+
+/// "No connection found" sentinel for min computations (paper's infinity).
+inline constexpr Word kInf = std::numeric_limits<Word>::max();
+
+/// PRAM variants ordered from most to least restrictive.
+enum class AccessMode {
+  kErew,          ///< exclusive read, exclusive write
+  kCrew,          ///< concurrent read, exclusive write
+  kCrow,          ///< concurrent read, owner write (the GCA's regime)
+  kCrcwPriority,  ///< concurrent write: lowest processor id wins
+  kCrcwArbitrary, ///< concurrent write: simulator picks one (lowest id, documented)
+  kCrcwMin,       ///< concurrent write: minimum value wins (combining)
+};
+
+[[nodiscard]] const char* to_string(AccessMode mode);
+
+/// Thrown when a step violates the machine's declared access mode.
+class AccessViolation : public std::runtime_error {
+ public:
+  explicit AccessViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-step cost record.
+struct StepStats {
+  std::size_t step_index = 0;
+  std::string label;
+  std::size_t processors = 0;           ///< processors scheduled this step
+  std::size_t reads = 0;                ///< total shared-memory reads
+  std::size_t writes = 0;               ///< total committed writes
+  std::size_t max_read_congestion = 0;  ///< max concurrent reads to one cell
+};
+
+/// Whole-run cost aggregate.
+struct MachineStats {
+  std::size_t steps = 0;
+  std::size_t work = 0;  ///< sum of scheduled processors over all steps
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+  std::size_t max_read_congestion = 0;
+};
+
+class Machine;
+
+/// Handle passed to a step body; mediates all shared-memory access for one
+/// processor so the machine can trace and validate it.
+class Processor {
+ public:
+  [[nodiscard]] std::size_t id() const { return id_; }
+
+  /// Reads shared memory (snapshot semantics: sees pre-step values).
+  [[nodiscard]] Word read(std::size_t addr);
+
+  /// Buffers a write; committed at the step boundary.
+  void write(std::size_t addr, Word value);
+
+ private:
+  friend class Machine;
+  Processor(Machine& machine, std::size_t id) : machine_(machine), id_(id) {}
+  Machine& machine_;
+  std::size_t id_;
+};
+
+/// A named contiguous region of shared memory (layout convenience).
+struct ArrayRef {
+  std::size_t base = 0;
+  std::size_t size = 0;
+  [[nodiscard]] std::size_t at(std::size_t i) const {
+    GCALIB_EXPECTS(i < size);
+    return base + i;
+  }
+};
+
+/// The PRAM.
+class Machine {
+ public:
+  Machine(std::size_t memory_size, AccessMode mode);
+
+  [[nodiscard]] AccessMode mode() const { return mode_; }
+  [[nodiscard]] std::size_t memory_size() const { return memory_.size(); }
+
+  /// Allocates a named array from the next free region.
+  /// Throws ContractViolation if the memory is exhausted.
+  ArrayRef alloc(const std::string& name, std::size_t size);
+
+  /// Host-side (uncounted) accessors for setting inputs / reading outputs.
+  [[nodiscard]] Word load(std::size_t addr) const;
+  void store(std::size_t addr, Word value);
+
+  /// Declares the owning processor of a cell (CROW enforcement).  Cells
+  /// without a declared owner may be written by any single processor.
+  void set_owner(std::size_t addr, std::size_t processor);
+
+  /// Runs one synchronous step: `body` is invoked for processor ids
+  /// 0..processors-1; all reads see the pre-step snapshot; writes commit at
+  /// the end.  Throws AccessViolation on mode violations.
+  void step(std::size_t processors, const std::function<void(Processor&)>& body,
+            std::string label = {});
+
+  /// Brent-scheduled step (paper, introduction): `virtual_processors`
+  /// logical processors are simulated by `physical_processors` machines
+  /// round-robin.  The snapshot semantics are those of ONE synchronous
+  /// virtual step (all reads see the pre-step memory; all writes commit
+  /// together), but the accounting charges ceil(V/P) time steps and V work
+  /// — the round-robin slowdown of the simulation.
+  void step_virtual(std::size_t virtual_processors,
+                    std::size_t physical_processors,
+                    const std::function<void(Processor&)>& body,
+                    std::string label = {});
+
+  [[nodiscard]] const MachineStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<StepStats>& history() const { return history_; }
+
+  /// Clears cost counters and history (memory contents are kept).
+  void reset_stats();
+
+ private:
+  friend class Processor;
+
+  Word processor_read(std::size_t proc, std::size_t addr);
+  void processor_write(std::size_t proc, std::size_t addr, Word value);
+  void execute_step(std::size_t processors,
+                    const std::function<void(Processor&)>& body,
+                    std::string label, std::size_t time_charge);
+
+  AccessMode mode_;
+  std::vector<Word> memory_;
+  std::vector<std::size_t> owner_;  ///< kNoOwner if undeclared
+  static constexpr std::size_t kNoOwner = std::numeric_limits<std::size_t>::max();
+
+  std::size_t next_free_ = 0;
+
+  // Per-step scratch (valid only inside step()).
+  bool in_step_ = false;
+  std::size_t current_proc_ = 0;
+  std::vector<std::size_t> read_count_;      ///< concurrent reads per cell
+  std::vector<std::size_t> reader_of_;       ///< for EREW: which proc read a cell
+  struct PendingWrite {
+    std::size_t proc;
+    std::size_t addr;
+    Word value;
+  };
+  std::vector<PendingWrite> pending_writes_;
+  StepStats current_;
+
+  MachineStats stats_;
+  std::vector<StepStats> history_;
+};
+
+}  // namespace gcalib::pram

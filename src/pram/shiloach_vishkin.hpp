@@ -1,0 +1,34 @@
+// Shiloach–Vishkin connected components (SIAM J. Computing 1982).
+//
+// Included for two reasons: the paper names "more elaborate PRAM
+// algorithms" as future work, and SV is the canonical CRCW counterpart to
+// Hirschberg's CREW/CROW algorithm — running it on the same `pram::Machine`
+// demonstrates the access-mode hierarchy (SV needs arbitrary/priority
+// concurrent writes during hooking, which the CROW machine rejects).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pram/machine.hpp"
+
+namespace gcalib::pram {
+
+/// Direct vector implementation (functional reference).  Labels follow the
+/// min-id convention after an O(n) normalisation pass.
+[[nodiscard]] std::vector<graph::NodeId> shiloach_vishkin_reference(
+    const graph::Graph& g);
+
+/// Result of the PRAM-hosted run.
+struct ShiloachVishkinPramResult {
+  std::vector<graph::NodeId> labels;
+  std::size_t iterations = 0;
+  MachineStats stats;
+};
+
+/// Runs SV on a `pram::Machine`; requires a CRCW mode (priority or
+/// arbitrary) — other modes throw AccessViolation during hooking.
+[[nodiscard]] ShiloachVishkinPramResult run_shiloach_vishkin_pram(
+    const graph::Graph& g, AccessMode mode = AccessMode::kCrcwPriority);
+
+}  // namespace gcalib::pram

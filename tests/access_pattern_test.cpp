@@ -1,0 +1,153 @@
+// Consistency between the declarative access-pattern spec (used by the
+// hardware model, and the content of Figure 3) and the *executed* rules:
+// for every generation of a real run, the engine's recorded active mask and
+// access edges must match is_active / pointer_spec exactly.
+#include "core/access_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib::core {
+namespace {
+
+using graph::NodeId;
+
+class AccessPatternConsistency : public ::testing::TestWithParam<NodeId> {};
+
+TEST_P(AccessPatternConsistency, ExecutedRulesMatchDeclarativeSpec) {
+  const NodeId n = GetParam();
+  const graph::Graph g = graph::random_gnp(n, 0.4, 2024);
+  HirschbergGca machine(g);
+  machine.engine().set_record_access(true);
+
+  machine.initialize();
+  {
+    // Generation 0 performs no global reads and activates every cell.
+    EXPECT_TRUE(machine.engine().last_access().empty());
+    const auto& active = machine.engine().last_active();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      EXPECT_EQ(active[i] != 0, is_active(Generation::kInit, 0, i, n));
+    }
+  }
+
+  const unsigned subs = subgeneration_count(n);
+  static constexpr Generation kOrder[] = {
+      Generation::kCopyCToRows, Generation::kMaskNeighbors,
+      Generation::kRowMin,      Generation::kFallback,
+      Generation::kCopyTToRows, Generation::kMaskMembers,
+      Generation::kRowMin2,     Generation::kFallback2,
+      Generation::kAdopt,       Generation::kPointerJump,
+      Generation::kFinalMin};
+
+  for (unsigned iter = 0; iter < outer_iterations(n); ++iter) {
+    for (Generation gen : kOrder) {
+      const unsigned repeats = has_subgenerations(gen) ? subs : 1;
+      for (unsigned s = 0; s < repeats; ++s) {
+        machine.step_generation(gen, s);
+
+        // Active mask must equal the closed-form predicate.
+        const auto& active = machine.engine().last_active();
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          EXPECT_EQ(active[i] != 0, is_active(gen, s, i, n))
+              << "gen=" << static_cast<int>(gen) << " sub=" << s
+              << " cell=" << i << " iter=" << iter;
+        }
+
+        // Recorded edges must match pointer_spec: static targets exactly,
+        // data-dependent cells must have read *something* in column 0's
+        // reachable range.
+        std::map<std::size_t, std::size_t> reads;  // reader -> target
+        for (const gca::AccessEdge& e : machine.engine().last_access()) {
+          const bool inserted = reads.emplace(e.reader, e.target).second;
+          EXPECT_TRUE(inserted) << "cell " << e.reader << " read twice";
+        }
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          const PointerSpec spec = pointer_spec(gen, s, i, n);
+          switch (spec.kind) {
+            case PointerKind::kNone:
+              EXPECT_EQ(reads.count(i), 0u) << "cell " << i << " must not read";
+              break;
+            case PointerKind::kStatic:
+              ASSERT_EQ(reads.count(i), 1u)
+                  << "gen=" << static_cast<int>(gen) << " cell=" << i;
+              EXPECT_EQ(reads.at(i), spec.target)
+                  << "gen=" << static_cast<int>(gen) << " cell=" << i;
+              break;
+            case PointerKind::kDataDependent:
+              ASSERT_EQ(reads.count(i), 1u);
+              // Target must be a cell in column 0 or 1 of the square.
+              EXPECT_LT(reads.at(i), std::size_t{n} * n + n);
+              EXPECT_LE(reads.at(i) % n, 1u);
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AccessPatternConsistency,
+                         ::testing::Values<NodeId>(2, 3, 4, 5, 8));
+
+TEST(AccessPattern, ExtendedCellsAreExactlyColumnZero) {
+  const std::size_t n = 6;
+  std::size_t extended = 0;
+  for (std::size_t i = 0; i < n * (n + 1); ++i) {
+    if (needs_extended_cell(i, n)) {
+      ++extended;
+      EXPECT_EQ(i % n, 0u);
+      EXPECT_LT(i, n * n);
+    }
+  }
+  EXPECT_EQ(extended, n);  // paper: "n extended cells"
+}
+
+TEST(AccessPattern, StaticSourceSetsAreSmall) {
+  // Every cell's static multiplexer has O(log n) inputs: the copy source,
+  // two D_N cells, the Adopt source and log n reduction partners.
+  const std::size_t n = 16;
+  for (std::size_t i = 0; i < n * (n + 1); ++i) {
+    const auto sources = static_source_set(i, n);
+    EXPECT_LE(sources.size(), 4u + subgeneration_count(n)) << "cell " << i;
+    for (std::size_t t : sources) EXPECT_LT(t, n * (n + 1));
+  }
+}
+
+TEST(AccessPattern, ExpectedActiveCellsClosedForms) {
+  const std::size_t n = 8;
+  EXPECT_EQ(expected_active_cells(Generation::kInit, 0, n), n * (n + 1));
+  EXPECT_EQ(expected_active_cells(Generation::kCopyCToRows, 0, n), n * (n + 1));
+  EXPECT_EQ(expected_active_cells(Generation::kMaskNeighbors, 0, n), n * n);
+  EXPECT_EQ(expected_active_cells(Generation::kRowMin, 0, n), n * n / 2);
+  EXPECT_EQ(expected_active_cells(Generation::kRowMin, 1, n), n * n / 4);
+  EXPECT_EQ(expected_active_cells(Generation::kFallback, 0, n), n);
+  EXPECT_EQ(expected_active_cells(Generation::kPointerJump, 0, n), n);
+  EXPECT_EQ(expected_active_cells(Generation::kFinalMin, 0, n), n);
+}
+
+TEST(AccessPattern, ExpectedActiveMatchesPredicateCount) {
+  for (std::size_t n : {2u, 4u, 7u, 8u, 12u}) {
+    for (std::uint8_t gi = 0; gi < kGenerationCount; ++gi) {
+      const auto g = static_cast<Generation>(gi);
+      const unsigned repeats =
+          has_subgenerations(g) ? subgeneration_count(n) : 1;
+      for (unsigned s = 0; s < repeats; ++s) {
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < n * (n + 1); ++i) {
+          if (is_active(g, s, i, n)) ++count;
+        }
+        EXPECT_EQ(count, expected_active_cells(g, s, n))
+            << "n=" << n << " gen=" << int(gi) << " sub=" << s;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcalib::core

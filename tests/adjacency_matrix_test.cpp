@@ -1,0 +1,88 @@
+#include "graph/adjacency_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(AdjacencyMatrix, StartsEmpty) {
+  AdjacencyMatrix m(4);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_EQ(m.edge_count(), 0u);
+  for (NodeId i = 0; i < 4; ++i) {
+    for (NodeId j = 0; j < 4; ++j) EXPECT_FALSE(m.at(i, j));
+  }
+}
+
+TEST(AdjacencyMatrix, AddEdgeIsSymmetric) {
+  AdjacencyMatrix m(5);
+  m.add_edge(1, 3);
+  EXPECT_TRUE(m.at(1, 3));
+  EXPECT_TRUE(m.at(3, 1));
+  EXPECT_FALSE(m.at(1, 2));
+  EXPECT_EQ(m.edge_count(), 1u);
+}
+
+TEST(AdjacencyMatrix, AddEdgeIdempotent) {
+  AdjacencyMatrix m(3);
+  m.add_edge(0, 1);
+  m.add_edge(1, 0);
+  EXPECT_EQ(m.edge_count(), 1u);
+}
+
+TEST(AdjacencyMatrix, RemoveEdge) {
+  AdjacencyMatrix m(3);
+  m.add_edge(0, 2);
+  m.remove_edge(2, 0);
+  EXPECT_FALSE(m.at(0, 2));
+  EXPECT_EQ(m.edge_count(), 0u);
+  m.remove_edge(0, 1);  // no-op on absent edge
+}
+
+TEST(AdjacencyMatrix, RejectsSelfLoop) {
+  AdjacencyMatrix m(3);
+  EXPECT_THROW(m.add_edge(1, 1), ContractViolation);
+}
+
+TEST(AdjacencyMatrix, RejectsOutOfRange) {
+  AdjacencyMatrix m(3);
+  EXPECT_THROW(m.add_edge(0, 3), ContractViolation);
+  EXPECT_THROW((void)m.at(3, 0), ContractViolation);
+}
+
+TEST(AdjacencyMatrix, Degree) {
+  AdjacencyMatrix m(4);
+  m.add_edge(0, 1);
+  m.add_edge(0, 2);
+  m.add_edge(0, 3);
+  EXPECT_EQ(m.degree(0), 3u);
+  EXPECT_EQ(m.degree(1), 1u);
+}
+
+TEST(AdjacencyMatrix, ValidUndirectedInvariantHolds) {
+  AdjacencyMatrix m(6);
+  m.add_edge(0, 5);
+  m.add_edge(2, 3);
+  EXPECT_TRUE(m.is_valid_undirected());
+}
+
+TEST(AdjacencyMatrix, EqualityComparesContents) {
+  AdjacencyMatrix a(3), b(3);
+  EXPECT_EQ(a, b);
+  a.add_edge(0, 1);
+  EXPECT_NE(a, b);
+  b.add_edge(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AdjacencyMatrix, ZeroSizedMatrixIsUsable) {
+  AdjacencyMatrix m(0);
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.edge_count(), 0u);
+  EXPECT_TRUE(m.is_valid_undirected());
+}
+
+}  // namespace
+}  // namespace gcalib::graph

@@ -1,0 +1,115 @@
+#include "core/apsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib::core {
+namespace {
+
+DistMatrix random_weighted_digraph(std::size_t n, double p, Dist max_weight,
+                                   std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  DistMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(p)) {
+        m.set(i, j, static_cast<Dist>(1 + rng.below(
+                        static_cast<std::uint64_t>(max_weight))));
+      }
+    }
+  }
+  return m;
+}
+
+TEST(Apsp, EmptyAndSingleton) {
+  EXPECT_EQ(apsp_gca(DistMatrix(0)).distances.size(), 0u);
+  const ApspRunResult one = apsp_gca(DistMatrix(1));
+  EXPECT_EQ(one.distances.at(0, 0), 0);
+  EXPECT_EQ(one.generations, 0u);
+}
+
+TEST(Apsp, SaturatingAdd) {
+  EXPECT_EQ(saturating_add(2, 3), 5);
+  EXPECT_EQ(saturating_add(kUnreachable, 3), kUnreachable);
+  EXPECT_EQ(saturating_add(3, kUnreachable), kUnreachable);
+  EXPECT_EQ(saturating_add(kUnreachable, kUnreachable), kUnreachable);
+}
+
+TEST(Apsp, DirectedChainDistances) {
+  // 0 -5-> 1 -7-> 2
+  DistMatrix w(3);
+  w.set(0, 1, 5);
+  w.set(1, 2, 7);
+  const DistMatrix d = apsp_gca(w).distances;
+  EXPECT_EQ(d.at(0, 1), 5);
+  EXPECT_EQ(d.at(0, 2), 12);
+  EXPECT_EQ(d.at(2, 0), kUnreachable);
+  EXPECT_EQ(d.at(1, 1), 0);
+}
+
+TEST(Apsp, ShortcutBeatsDirectEdge) {
+  // direct 0->2 costs 10, but 0->1->2 costs 3.
+  DistMatrix w(3);
+  w.set(0, 2, 10);
+  w.set(0, 1, 1);
+  w.set(1, 2, 2);
+  EXPECT_EQ(apsp_gca(w).distances.at(0, 2), 3);
+}
+
+TEST(Apsp, GcaMatchesFloydWarshall) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (std::size_t n : {2u, 5u, 8u, 13u, 16u}) {
+      const DistMatrix w = random_weighted_digraph(n, 0.25, 9, seed);
+      EXPECT_EQ(apsp_gca(w).distances, apsp_floyd_warshall(w))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Apsp, GenerationCountMatchesClosedForm) {
+  for (std::size_t n : {2u, 4u, 7u, 8u, 16u}) {
+    const DistMatrix w = random_weighted_digraph(n, 0.3, 5, 1);
+    EXPECT_EQ(apsp_gca(w).generations, apsp_total_generations(n)) << n;
+  }
+  EXPECT_EQ(apsp_total_generations(16), 4u * 17u);
+}
+
+TEST(Apsp, UnitWeightsOnGraphGiveHopDistances) {
+  const graph::Graph g = graph::path(6);
+  const DistMatrix d = apsp_gca(DistMatrix::from_graph(g)).distances;
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(d.at(i, j), static_cast<Dist>(i > j ? i - j : j - i));
+    }
+  }
+}
+
+TEST(Apsp, DisconnectedPairsStayUnreachable) {
+  const graph::Graph g = graph::disjoint_cliques({3, 3});
+  const DistMatrix d = apsp_gca(DistMatrix::from_graph(g)).distances;
+  EXPECT_EQ(d.at(0, 5), kUnreachable);
+  EXPECT_EQ(d.at(5, 0), kUnreachable);
+  EXPECT_EQ(d.at(0, 2), 1);
+}
+
+TEST(Apsp, LongWeightedCycle) {
+  const std::size_t n = 9;
+  DistMatrix w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.set(i, (i + 1) % n, static_cast<Dist>(i + 1));  // directed cycle
+  }
+  const DistMatrix d = apsp_gca(w).distances;
+  EXPECT_EQ(d, apsp_floyd_warshall(w));
+  // Going all the way around: sum of the other weights.
+  EXPECT_EQ(d.at(1, 0), 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9);
+}
+
+TEST(Apsp, CongestionMatchesClosureMachine) {
+  const DistMatrix w = random_weighted_digraph(8, 0.4, 5, 3);
+  EXPECT_EQ(apsp_gca(w).max_congestion, 16u);  // 2n at the pivot
+}
+
+}  // namespace
+}  // namespace gcalib::core

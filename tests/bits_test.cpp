@@ -1,0 +1,82 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gcalib {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4));
+  EXPECT_FALSE(is_pow2(6));
+  EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+  EXPECT_FALSE(is_pow2((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(1023), 9u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bits, Log2FloorRejectsZero) {
+  EXPECT_THROW((void)log2_floor(0), ContractViolation);
+}
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0u);
+  EXPECT_EQ(log2_ceil(2), 1u);
+  EXPECT_EQ(log2_ceil(3), 2u);
+  EXPECT_EQ(log2_ceil(4), 2u);
+  EXPECT_EQ(log2_ceil(5), 3u);
+  EXPECT_EQ(log2_ceil(1024), 10u);
+  EXPECT_EQ(log2_ceil(1025), 11u);
+}
+
+TEST(Bits, Log2CeilFloorAgreeOnPowersOfTwo) {
+  for (unsigned s = 0; s < 64; ++s) {
+    const std::uint64_t x = std::uint64_t{1} << s;
+    EXPECT_EQ(log2_ceil(x), log2_floor(x)) << "x=" << x;
+  }
+}
+
+TEST(Bits, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(Bits, BitWidthFor) {
+  EXPECT_EQ(bit_width_for(1), 1u);
+  EXPECT_EQ(bit_width_for(2), 1u);
+  EXPECT_EQ(bit_width_for(3), 2u);
+  EXPECT_EQ(bit_width_for(4), 2u);
+  EXPECT_EQ(bit_width_for(5), 3u);
+  EXPECT_EQ(bit_width_for(17), 5u);   // d values for n = 16 fit in 5 bits
+  EXPECT_EQ(bit_width_for(256), 8u);
+  EXPECT_EQ(bit_width_for(257), 9u);
+}
+
+TEST(Bits, BitWidthCoversRange) {
+  for (std::uint64_t n = 1; n <= 4096; ++n) {
+    const unsigned w = bit_width_for(n);
+    EXPECT_GE(std::uint64_t{1} << w, n) << "n=" << n;
+    if (w > 1) {
+      EXPECT_LT(std::uint64_t{1} << (w - 1), n) << "n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gcalib

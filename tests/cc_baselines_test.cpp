@@ -1,0 +1,52 @@
+#include "graph/cc_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(CcBaselines, BfsOnPath) {
+  const std::vector<NodeId> labels = bfs_components(path(5));
+  EXPECT_EQ(labels, (std::vector<NodeId>(5, 0)));
+}
+
+TEST(CcBaselines, DfsOnPath) {
+  const std::vector<NodeId> labels = dfs_components(path(5));
+  EXPECT_EQ(labels, (std::vector<NodeId>(5, 0)));
+}
+
+TEST(CcBaselines, BfsOnDisjointCliques) {
+  const std::vector<NodeId> labels = bfs_components(disjoint_cliques({2, 2}));
+  EXPECT_EQ(labels, (std::vector<NodeId>{0, 0, 2, 2}));
+}
+
+TEST(CcBaselines, IsolatedNodesLabelThemselves) {
+  const std::vector<NodeId> labels = bfs_components(Graph(3));
+  EXPECT_EQ(labels, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(CcBaselines, EmptyGraphZeroNodes) {
+  EXPECT_TRUE(bfs_components(Graph(0)).empty());
+  EXPECT_TRUE(dfs_components(Graph(0)).empty());
+}
+
+class BaselineAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BaselineAgreement, BfsDfsUnionFindAgree) {
+  const std::uint64_t seed = GetParam();
+  for (double p : {0.005, 0.02, 0.1, 0.5}) {
+    const Graph g = random_gnp(120, p, seed);
+    const std::vector<NodeId> bfs = bfs_components(g);
+    EXPECT_EQ(bfs, dfs_components(g)) << "p=" << p;
+    EXPECT_EQ(bfs, union_find_components(g)) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineAgreement,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace gcalib::graph

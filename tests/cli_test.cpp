@@ -1,0 +1,66 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gcalib {
+namespace {
+
+const std::map<std::string, bool> kSpec = {
+    {"n", true}, {"family", true}, {"verbose", false}, {"p", true}};
+
+CliArgs parse(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data(), kSpec);
+}
+
+TEST(Cli, ParsesSeparateValue) {
+  const CliArgs args = parse({"--n", "16"});
+  EXPECT_EQ(args.get_int("n", 0), 16);
+}
+
+TEST(Cli, ParsesEqualsValue) {
+  const CliArgs args = parse({"--n=32", "--family=gnp:0.5"});
+  EXPECT_EQ(args.get_int("n", 0), 32);
+  EXPECT_EQ(args.get_string("family", ""), "gnp:0.5");
+}
+
+TEST(Cli, BooleanFlag) {
+  EXPECT_TRUE(parse({"--verbose"}).has("verbose"));
+  EXPECT_FALSE(parse({}).has("verbose"));
+}
+
+TEST(Cli, DefaultsApplyWhenAbsent) {
+  const CliArgs args = parse({});
+  EXPECT_EQ(args.get_int("n", 64), 64);
+  EXPECT_EQ(args.get_string("family", "complete"), "complete");
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.25), 0.25);
+}
+
+TEST(Cli, ParsesDouble) {
+  EXPECT_DOUBLE_EQ(parse({"--p", "0.125"}).get_double("p", 0), 0.125);
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliArgs args = parse({"file1", "--n", "4", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--bogus"}), std::runtime_error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(parse({"--n"}), std::runtime_error);
+}
+
+TEST(Cli, ValueOnBooleanThrows) {
+  EXPECT_THROW(parse({"--verbose=yes"}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gcalib

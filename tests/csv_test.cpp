@@ -1,0 +1,56 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gcalib {
+namespace {
+
+TEST(Csv, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.render(), "a,b\n");
+}
+
+TEST(Csv, SimpleRows) {
+  CsvWriter csv({"n", "cycles"});
+  csv.add_row({"4", "29"});
+  csv.add_row({"8", "52"});
+  EXPECT_EQ(csv.render(), "n,cycles\n4,29\n8,52\n");
+}
+
+TEST(Csv, EscapesCommasQuotesNewlines) {
+  CsvWriter csv({"text"});
+  csv.add_row({"a,b"});
+  csv.add_row({"say \"hi\""});
+  csv.add_row({"line1\nline2"});
+  EXPECT_EQ(csv.render(),
+            "text\n\"a,b\"\n\"say \"\"hi\"\"\"\n\"line1\nline2\"\n");
+}
+
+TEST(Csv, EscapeIsNoOpOnPlainFields) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(Csv, NumericRows) {
+  CsvWriter csv({"x", "y"});
+  csv.add_numeric_row({1.5, 2.25}, 2);
+  EXPECT_EQ(csv.render(), "x,y\n1.50,2.25\n");
+}
+
+TEST(Csv, ArityChecked) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), ContractViolation);
+  EXPECT_THROW(CsvWriter({}), ContractViolation);
+}
+
+TEST(Csv, CountsRowsAndColumns) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.add_row({"1", "2", "3"});
+  EXPECT_EQ(csv.rows(), 1u);
+  EXPECT_EQ(csv.columns(), 3u);
+}
+
+}  // namespace
+}  // namespace gcalib

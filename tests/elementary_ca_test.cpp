@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "gca/ca.hpp"
+
+namespace gcalib::gca {
+namespace {
+
+TEST(ElementaryCA, Rule0KillsEverything) {
+  ElementaryCA ca(16, 0);
+  ca.set_state(std::vector<std::uint8_t>(16, 1));
+  ca.step();
+  EXPECT_EQ(ca.live_count(), 0u);
+}
+
+TEST(ElementaryCA, Rule204IsIdentity) {
+  // Rule 204's table maps each pattern to its centre bit.
+  ElementaryCA ca(11, 204);
+  std::vector<std::uint8_t> pattern = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0};
+  ca.set_state(pattern);
+  ca.run(5);
+  EXPECT_EQ(ca.state(), pattern);
+}
+
+TEST(ElementaryCA, Rule90IsSierpinski) {
+  // Rule 90 = XOR of the two neighbours; from a single seed, generation k
+  // has live cells exactly at offsets with odd binomial(k, (k+offset)/2) —
+  // the first rows are 1 / 101 / 10001 / 1010101.
+  ElementaryCA ca(33, 90, Boundary::kFixed);
+  ca.seed_center();
+  const std::size_t c = 16;
+  ca.step();
+  EXPECT_EQ(ca.at(c - 1), 1);
+  EXPECT_EQ(ca.at(c), 0);
+  EXPECT_EQ(ca.at(c + 1), 1);
+  EXPECT_EQ(ca.live_count(), 2u);
+  ca.step();
+  EXPECT_EQ(ca.at(c - 2), 1);
+  EXPECT_EQ(ca.at(c + 2), 1);
+  EXPECT_EQ(ca.live_count(), 2u);
+  ca.step();
+  // 1010101 centred.
+  for (std::size_t off : {0u, 2u}) {
+    EXPECT_EQ(ca.at(c - 3 + 2 * off), 1) << off;
+  }
+  EXPECT_EQ(ca.live_count(), 4u);
+}
+
+TEST(ElementaryCA, Rule254FloodsFromSeed) {
+  // Rule 254: any live neighbour (or self) -> alive; the live region grows
+  // by one cell per side per generation.
+  ElementaryCA ca(21, 254, Boundary::kFixed);
+  ca.seed_center();
+  for (std::size_t g = 1; g <= 5; ++g) {
+    ca.step();
+    EXPECT_EQ(ca.live_count(), 2 * g + 1) << g;
+  }
+}
+
+TEST(ElementaryCA, Rule30IsDeterministicAndChaoticLooking) {
+  ElementaryCA a(64, 30);
+  ElementaryCA b(64, 30);
+  a.seed_center();
+  b.seed_center();
+  a.run(32);
+  b.run(32);
+  EXPECT_EQ(a.state(), b.state());
+  // Known property: rule 30 from one seed never dies.
+  EXPECT_GT(a.live_count(), 0u);
+}
+
+TEST(ElementaryCA, TorusVsFixedDifferAfterWrap) {
+  // A seed at the left edge: the left neighbour differs (wraps vs 0).
+  ElementaryCA torus(8, 90, Boundary::kTorus);
+  ElementaryCA fixed(8, 90, Boundary::kFixed);
+  std::vector<std::uint8_t> seed(8, 0);
+  seed[0] = 1;
+  torus.set_state(seed);
+  fixed.set_state(seed);
+  torus.step();
+  fixed.step();
+  // Torus: cell 7 sees the live cell as right neighbour.
+  EXPECT_EQ(torus.at(7), 1);
+  EXPECT_EQ(fixed.at(7), 0);
+}
+
+TEST(ElementaryCA, RejectsBadArguments) {
+  EXPECT_THROW(ElementaryCA(0, 90), ContractViolation);
+  EXPECT_THROW(ElementaryCA(8, 256), ContractViolation);
+  ElementaryCA ca(8, 90);
+  EXPECT_THROW(ca.set_state(std::vector<std::uint8_t>(5, 0)), ContractViolation);
+}
+
+TEST(ElementaryCA, TwoHandedReadAccounting) {
+  ElementaryCA ca(10, 110);
+  ca.seed_center();
+  const GenerationStats stats = ca.step();
+  EXPECT_EQ(stats.total_reads, 20u);      // 2 reads per cell
+  EXPECT_EQ(stats.max_congestion, 2u);    // each cell read by both neighbours
+}
+
+}  // namespace
+}  // namespace gcalib::gca

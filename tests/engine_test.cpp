@@ -1,0 +1,204 @@
+#include "gca/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace gcalib::gca {
+namespace {
+
+using IntEngine = Engine<int>;
+
+std::vector<int> iota_states(std::size_t n) {
+  std::vector<int> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(Engine, InitialStatesVisible) {
+  IntEngine engine(iota_states(4));
+  EXPECT_EQ(engine.size(), 4u);
+  EXPECT_EQ(engine.state(2), 2);
+  EXPECT_EQ(engine.generation(), 0u);
+}
+
+TEST(Engine, SynchronousSemantics) {
+  // Rotate left: every cell reads its right neighbour.  A synchronous
+  // engine must produce a clean rotation, not a cascading copy.
+  IntEngine engine(iota_states(4));
+  engine.step([](std::size_t i, auto& read) -> std::optional<int> {
+    return read((i + 1) % 4);
+  });
+  EXPECT_EQ(engine.states(), (std::vector<int>{1, 2, 3, 0}));
+  EXPECT_EQ(engine.generation(), 1u);
+}
+
+TEST(Engine, InactiveCellsKeepState) {
+  IntEngine engine(iota_states(4));
+  engine.step([](std::size_t i, auto&) -> std::optional<int> {
+    if (i % 2 == 0) return static_cast<int>(100 + i);
+    return std::nullopt;
+  });
+  EXPECT_EQ(engine.states(), (std::vector<int>{100, 1, 102, 3}));
+}
+
+TEST(Engine, ActiveCountReflectsEngagedRules) {
+  IntEngine engine(iota_states(5));
+  const GenerationStats stats =
+      engine.step([](std::size_t i, auto&) -> std::optional<int> {
+        return i < 2 ? std::optional<int>(0) : std::nullopt;
+      });
+  EXPECT_EQ(stats.active_cells, 2u);
+  EXPECT_EQ(stats.cell_count, 5u);
+}
+
+TEST(Engine, OneHandedEnforced) {
+  IntEngine engine(iota_states(3), /*hands=*/1);
+  EXPECT_THROW(engine.step([](std::size_t, auto& read) -> std::optional<int> {
+    (void)read(0);
+    (void)read(1);
+    return 0;
+  }),
+               ContractViolation);
+}
+
+TEST(Engine, TwoHandedAllowsTwoReads) {
+  IntEngine engine(iota_states(3), /*hands=*/2);
+  EXPECT_NO_THROW(engine.step([](std::size_t, auto& read) -> std::optional<int> {
+    return read(0) + read(1);
+  }));
+  EXPECT_EQ(engine.state(2), 1);
+}
+
+TEST(Engine, CongestionHistogram) {
+  // All 4 cells read cell 0: congestion class {4 -> 1 cell}.
+  IntEngine engine(iota_states(4));
+  const GenerationStats stats =
+      engine.step([](std::size_t, auto& read) -> std::optional<int> {
+        return read(0);
+      });
+  EXPECT_EQ(stats.total_reads, 4u);
+  EXPECT_EQ(stats.cells_read, 1u);
+  EXPECT_EQ(stats.max_congestion, 4u);
+  ASSERT_EQ(stats.congestion_classes.size(), 1u);
+  EXPECT_EQ(stats.congestion_classes.at(4), 1u);
+  EXPECT_EQ(stats.cells_unread(), 3u);
+}
+
+TEST(Engine, DistinctTargetsCongestionOne) {
+  IntEngine engine(iota_states(4));
+  const GenerationStats stats =
+      engine.step([](std::size_t i, auto& read) -> std::optional<int> {
+        return read((i + 1) % 4);
+      });
+  EXPECT_EQ(stats.cells_read, 4u);
+  EXPECT_EQ(stats.max_congestion, 1u);
+  EXPECT_EQ(stats.congestion_classes.at(1), 4u);
+}
+
+TEST(Engine, InstrumentationOffSkipsCounting) {
+  IntEngine engine(iota_states(4));
+  engine.set_instrumentation(false);
+  const GenerationStats stats =
+      engine.step([](std::size_t, auto& read) -> std::optional<int> {
+        return read(0);
+      });
+  EXPECT_EQ(stats.total_reads, 0u);
+  EXPECT_TRUE(engine.history().empty());
+  // States still update.
+  EXPECT_EQ(engine.state(3), 0);
+}
+
+TEST(Engine, AccessEdgesRecorded) {
+  IntEngine engine(iota_states(3));
+  engine.set_record_access(true);
+  engine.step([](std::size_t i, auto& read) -> std::optional<int> {
+    return read((i + 1) % 3);
+  });
+  const std::vector<AccessEdge>& edges = engine.last_access();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (AccessEdge{0, 1}));
+  EXPECT_EQ(edges[1], (AccessEdge{1, 2}));
+  EXPECT_EQ(edges[2], (AccessEdge{2, 0}));
+}
+
+TEST(Engine, LastActiveMask) {
+  IntEngine engine(iota_states(4));
+  engine.step([](std::size_t i, auto&) -> std::optional<int> {
+    return i == 2 ? std::optional<int>(9) : std::nullopt;
+  });
+  EXPECT_EQ(engine.last_active(), (std::vector<std::uint8_t>{0, 0, 1, 0}));
+}
+
+TEST(Engine, HistoryAccumulatesAndClears) {
+  IntEngine engine(iota_states(2));
+  engine.step([](std::size_t, auto&) -> std::optional<int> { return 1; }, "s1");
+  engine.step([](std::size_t, auto&) -> std::optional<int> { return 2; }, "s2");
+  ASSERT_EQ(engine.history().size(), 2u);
+  EXPECT_EQ(engine.history()[0].label, "s1");
+  EXPECT_EQ(engine.history()[1].generation, 1u);
+  engine.clear_history();
+  EXPECT_TRUE(engine.history().empty());
+  EXPECT_EQ(engine.generation(), 2u);  // generation counter is not history
+}
+
+TEST(Engine, ReadOutOfRangeThrows) {
+  IntEngine engine(iota_states(2));
+  EXPECT_THROW(engine.step([](std::size_t, auto& read) -> std::optional<int> {
+    return read(7);
+  }),
+               ContractViolation);
+}
+
+TEST(Engine, ParallelSweepMatchesSequential) {
+  const std::size_t n = 1000;
+  IntEngine seq(iota_states(n));
+  IntEngine par(iota_states(n));
+  par.set_threads(4);
+  const auto rule = [n](std::size_t i, auto& read) -> std::optional<int> {
+    return read((i * 7 + 3) % n) + 1;
+  };
+  const GenerationStats s1 = seq.step(rule);
+  const GenerationStats s2 = par.step(rule);
+  EXPECT_EQ(seq.states(), par.states());
+  EXPECT_EQ(s1.active_cells, s2.active_cells);
+  EXPECT_EQ(s1.total_reads, s2.total_reads);
+  EXPECT_EQ(s1.max_congestion, s2.max_congestion);
+  EXPECT_EQ(s1.congestion_classes, s2.congestion_classes);
+}
+
+TEST(Engine, ParallelSweepMultipleGenerations) {
+  const std::size_t n = 512;
+  IntEngine engine(iota_states(n));
+  engine.set_threads(8);
+  for (int r = 0; r < 10; ++r) {
+    engine.step([n](std::size_t i, auto& read) -> std::optional<int> {
+      return read((i + 1) % n);
+    });
+  }
+  // After 10 rotations, cell i holds the initial value of cell i+10.
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(engine.state(i), static_cast<int>((i + 10) % n));
+  }
+}
+
+TEST(Engine, RecordAccessRequiresSequentialSweep) {
+  IntEngine engine(iota_states(64));
+  engine.set_threads(4);
+  engine.set_record_access(true);
+  EXPECT_THROW(engine.step([](std::size_t, auto&) -> std::optional<int> {
+    return 0;
+  }),
+               ContractViolation);
+}
+
+TEST(Engine, MutableStateForHostInitialisation) {
+  IntEngine engine(iota_states(3));
+  engine.mutable_state(1) = 99;
+  EXPECT_EQ(engine.state(1), 99);
+}
+
+}  // namespace
+}  // namespace gcalib::gca

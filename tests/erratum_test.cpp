@@ -1,0 +1,155 @@
+// Evidence for the two paper errata documented in DESIGN.md.
+//
+// 1. Listing 1's step 6 as printed — C(i) <- min(C(T(i)), T(i)) — is not
+//    the HCS-1979 correction step and mislabels simple graphs.  This test
+//    implements the printed variant verbatim and exhibits the failure,
+//    then shows the corrected step (and the GCA's generation-11 form,
+//    min(C(i), T(C(i)))) are both correct.
+// 2. Generation 6's pointer as printed (n^2 + row) cannot express step 3's
+//    condition; the corrected pointer (n^2 + col) is validated indirectly
+//    by the whole cross-validation suite, and directly here by showing the
+//    printed pointer produces a wrong T vector on a concrete graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "graph/union_find.hpp"
+#include "pram/hirschberg.hpp"
+
+namespace gcalib {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// Step-6 policies under test.
+enum class Step6 {
+  kAsPrinted,   ///< C(i) <- min(C(T(i)), T(i))   (Listing 1 as OCR'd)
+  kHcs1979,     ///< C(i) <- min(C(i), C(T(i)))   (original paper, ours)
+  kGcaGen11,    ///< C(i) <- min(C(i), T(C(i)))   (generation 11's realisation)
+};
+
+std::vector<NodeId> hirschberg_with_step6(const Graph& g, Step6 policy) {
+  const NodeId n = g.node_count();
+  std::vector<NodeId> c(n), t(n), t2(n), next(n);
+  for (NodeId i = 0; i < n; ++i) c[i] = i;
+  const NodeId none = n;
+  const unsigned iterations = n > 1 ? log2_ceil(n) : 0;
+  for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (NodeId i = 0; i < n; ++i) {
+      NodeId best = none;
+      for (NodeId j : g.neighbors(i)) {
+        if (c[j] != c[i]) best = std::min(best, c[j]);
+      }
+      t[i] = best == none ? c[i] : best;
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      NodeId best = none;
+      for (NodeId j = 0; j < n; ++j) {
+        if (c[j] == i && t[j] != i) best = std::min(best, t[j]);
+      }
+      t2[i] = best == none ? c[i] : best;
+    }
+    t = t2;
+    c = t;
+    for (unsigned r = 0; r < iterations; ++r) {
+      for (NodeId i = 0; i < n; ++i) next[i] = c[c[i]];
+      c.swap(next);
+    }
+    switch (policy) {
+      case Step6::kAsPrinted:
+        for (NodeId i = 0; i < n; ++i) next[i] = std::min(c[t[i]], t[i]);
+        break;
+      case Step6::kHcs1979:
+        for (NodeId i = 0; i < n; ++i) next[i] = std::min(c[i], c[t[i]]);
+        break;
+      case Step6::kGcaGen11:
+        for (NodeId i = 0; i < n; ++i) next[i] = std::min(c[i], t[c[i]]);
+        break;
+    }
+    c.swap(next);
+  }
+  return c;
+}
+
+TEST(Erratum, PrintedStep6MislabelsThePath4) {
+  // Path 0-1-2-3: supernodes 0 and 1 form a 2-cycle after step 4 in the
+  // first iteration; the printed step 6 fails to collapse it.
+  const Graph g = graph::path(4);
+  const std::vector<NodeId> printed = hirschberg_with_step6(g, Step6::kAsPrinted);
+  EXPECT_NE(printed, std::vector<NodeId>(4, 0))
+      << "if this ever passes, the printed step 6 became correct and the "
+         "erratum note in DESIGN.md should be revisited";
+  EXPECT_FALSE(graph::is_valid_min_labeling(g, printed));
+}
+
+TEST(Erratum, CorrectedStep6VariantsAgreeEverywhere) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    for (NodeId n : {4u, 9u, 16u, 25u}) {
+      for (double p : {0.05, 0.2, 0.6}) {
+        const Graph g = graph::random_gnp(n, p, seed);
+        const std::vector<NodeId> oracle = graph::union_find_components(g);
+        EXPECT_EQ(hirschberg_with_step6(g, Step6::kHcs1979), oracle)
+            << "HCS79 n=" << n << " p=" << p << " seed=" << seed;
+        EXPECT_EQ(hirschberg_with_step6(g, Step6::kGcaGen11), oracle)
+            << "gen11 n=" << n << " p=" << p << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(Erratum, GcaGen11FormEqualsHcsFormStepwise) {
+  // Not just same final labels: the two corrected forms agree after every
+  // iteration (see DESIGN.md for the 2-cycle argument).
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = graph::random_gnp(12, 0.25, seed);
+    EXPECT_EQ(hirschberg_with_step6(g, Step6::kHcs1979),
+              hirschberg_with_step6(g, Step6::kGcaGen11))
+        << seed;
+  }
+}
+
+TEST(Erratum, PrintedGen6PointerCannotComputeStep3) {
+  // With the printed pointer n^2 + row, cell (j, i) sees C(j) instead of
+  // C(i) in generation 6, so the mask keeps T(i) iff C(j) = j — a condition
+  // independent of i.  In the first iteration (C = identity) that keeps the
+  // whole row instead of only column j; on two disjoint edges the row
+  // minimum then leaks the other component's T value (row 2 reads 0 instead
+  // of 3).  We reproduce the masked row minima both ways and compare
+  // against the reference's step-3 T.
+  const Graph g = graph::disjoint_cliques({2, 2});  // edges {0,1} and {2,3}
+  const auto reference = pram::hirschberg_reference_full(g, true);
+  const std::vector<NodeId>& c0 = {0, 1, 2, 3};  // C before step 3 (iter 1)
+  const std::vector<NodeId>& t_step2 = reference.trace[0].t_after_step2;
+  const std::vector<NodeId>& t_step3 = reference.trace[0].t_after_step3;
+
+  const NodeId n = 4;
+  const NodeId inf = n;
+  const auto row_min_with_mask = [&](bool use_col_pointer) {
+    std::vector<NodeId> t(n);
+    for (NodeId j = 0; j < n; ++j) {
+      NodeId best = inf;
+      for (NodeId i = 0; i < n; ++i) {
+        // cell (j, i) holds d = T(i) after generation 5.
+        const NodeId d = t_step2[i];
+        const NodeId c_seen = use_col_pointer ? c0[i] : c0[j];
+        if (c_seen == j && d != j) best = std::min(best, d);
+      }
+      t[j] = best == inf ? c0[j] : best;
+    }
+    return t;
+  };
+
+  EXPECT_EQ(row_min_with_mask(true), t_step3)
+      << "corrected pointer must reproduce step 3";
+  EXPECT_NE(row_min_with_mask(false), t_step3)
+      << "if this ever passes, the printed gen-6 pointer became adequate "
+         "and the erratum note should be revisited";
+}
+
+}  // namespace
+}  // namespace gcalib

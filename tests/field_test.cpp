@@ -1,0 +1,68 @@
+#include "gca/field.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gcalib::gca {
+namespace {
+
+TEST(FieldGeometry, BasicShape) {
+  constexpr FieldGeometry geo(3, 4);
+  EXPECT_EQ(geo.rows(), 3u);
+  EXPECT_EQ(geo.cols(), 4u);
+  EXPECT_EQ(geo.size(), 12u);
+}
+
+TEST(FieldGeometry, RowColIndexRoundTrip) {
+  const FieldGeometry geo(5, 4);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const std::size_t index = geo.index_of(r, c);
+      EXPECT_EQ(geo.row(index), r);
+      EXPECT_EQ(geo.col(index), c);
+    }
+  }
+}
+
+TEST(FieldGeometry, LinearIndexIsRowMajor) {
+  const FieldGeometry geo(2, 3);
+  EXPECT_EQ(geo.index_of(0, 0), 0u);
+  EXPECT_EQ(geo.index_of(0, 2), 2u);
+  EXPECT_EQ(geo.index_of(1, 0), 3u);
+  EXPECT_EQ(geo.index_of(1, 2), 5u);
+}
+
+TEST(FieldGeometry, HirschbergLayout) {
+  const FieldGeometry geo = FieldGeometry::hirschberg(4);
+  EXPECT_EQ(geo.rows(), 5u);
+  EXPECT_EQ(geo.cols(), 4u);
+  EXPECT_EQ(geo.size(), 20u);
+  // Paper's Figure 3: linear indices 0..15 form the square, 16..19 form D_N.
+  EXPECT_TRUE(geo.in_square(0));
+  EXPECT_TRUE(geo.in_square(15));
+  EXPECT_FALSE(geo.in_square(16));
+  EXPECT_TRUE(geo.in_bottom_row(16));
+  EXPECT_TRUE(geo.in_bottom_row(19));
+  EXPECT_FALSE(geo.in_bottom_row(15));
+}
+
+TEST(FieldGeometry, BoundsChecked) {
+  const FieldGeometry geo(2, 2);
+  EXPECT_THROW((void)geo.row(4), ContractViolation);
+  EXPECT_THROW((void)geo.index_of(2, 0), ContractViolation);
+  EXPECT_THROW((void)geo.index_of(0, 2), ContractViolation);
+}
+
+TEST(FieldGeometry, DegenerateDimensionsRejected) {
+  EXPECT_THROW(FieldGeometry(0, 3), ContractViolation);
+  EXPECT_THROW(FieldGeometry(3, 0), ContractViolation);
+}
+
+TEST(FieldGeometry, Equality) {
+  EXPECT_EQ(FieldGeometry(2, 3), FieldGeometry(2, 3));
+  EXPECT_NE(FieldGeometry(2, 3), FieldGeometry(3, 2));
+}
+
+}  // namespace
+}  // namespace gcalib::gca

@@ -1,0 +1,88 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/table.hpp"
+
+namespace gcalib {
+namespace {
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(7), "7");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(23051), "23,051");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(1000000000), "1,000,000,000");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(71.0, 1), "71.0");
+  EXPECT_EQ(fixed(0.5, 0), "0");  // banker's-free snprintf rounding
+  EXPECT_EQ(fixed(-2.345, 2), "-2.35");
+}
+
+TEST(Format, Pad) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+  EXPECT_EQ(pad_left("", 3), "   ");
+}
+
+TEST(Format, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(Format, Ratio) {
+  EXPECT_EQ(ratio(3.0, 2.0), "1.50x");
+  EXPECT_EQ(ratio(1.0, 0.0), "inf");
+  EXPECT_EQ(ratio(10.0, 10.0, 0), "1x");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.set_align(0, Align::kLeft);
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "12345"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // All data lines have the same width structure: the rule line's length
+  // equals the widest rendered line.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RowArityIsChecked) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, RuleSeparatesGroups) {
+  TextTable table({"xx"});
+  table.add_row({"1"});
+  table.add_rule();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // header rule + one group rule
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("--", pos)) != std::string::npos) {
+    ++rules;
+    pos = out.find('\n', pos);
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTable, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable({}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcalib

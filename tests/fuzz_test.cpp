@@ -1,0 +1,133 @@
+// Broad randomized differential battery.  Each instance draws a random
+// family, size, density and seed, then checks:
+//   * five-way labeling agreement (GCA / tree / n-cell / Hirschberg ref /
+//     Shiloach-Vishkin) against union-find,
+//   * the schedule closed forms (generation counts),
+//   * the congestion contracts (tree variant static delta <= 1, baseline
+//     delta <= n+1 on static generations),
+//   * the one-handed discipline (implicitly: any violation throws).
+// Failures print the reproducer (family, n, p, seed).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "core/hirschberg_ncells.hpp"
+#include "core/hirschberg_tree.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "pram/hirschberg.hpp"
+#include "pram/shiloach_vishkin.hpp"
+
+namespace gcalib {
+namespace {
+
+struct Instance {
+  std::string family;
+  graph::NodeId n = 0;
+  std::uint64_t seed = 0;
+  graph::Graph graph;
+};
+
+Instance draw_instance(Xoshiro256& rng) {
+  static const std::vector<std::string> kFamilies = {
+      "gnp:0.02", "gnp:0.08", "gnp:0.25", "gnp:0.6", "gnp:0.95",
+      "path",     "cycle",    "star",     "complete", "tree",
+      "empty",    "cliques:2", "cliques:5", "planted:3:0.3",
+      "planted:6:0.15", "bipartite:2"};
+  Instance inst;
+  inst.family = kFamilies[rng.below(kFamilies.size())];
+  // n >= 7 so every family's k-parameter (up to 6 planted parts) is valid.
+  inst.n = static_cast<graph::NodeId>(7 + rng.below(25));  // 7..31
+  inst.seed = rng();
+  inst.graph = graph::make_named(inst.family, inst.n, inst.seed);
+  return inst;
+}
+
+std::string describe(const Instance& inst) {
+  return inst.family + " n=" + std::to_string(inst.n) +
+         " seed=" + std::to_string(inst.seed);
+}
+
+class FuzzBattery : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzBattery, FiveWayAgreementAndContracts) {
+  Xoshiro256 rng(GetParam() * 7919 + 17);
+  for (int round = 0; round < 12; ++round) {
+    const Instance inst = draw_instance(rng);
+    const std::string context = describe(inst);
+    const std::vector<graph::NodeId> oracle =
+        graph::union_find_components(inst.graph);
+
+    // Baseline machine with statistics.
+    core::HirschbergGca machine(inst.graph);
+    const core::RunResult run = machine.run();
+    EXPECT_EQ(run.labels, oracle) << context << " [gca]";
+    EXPECT_EQ(run.generations, core::total_generations(inst.n)) << context;
+    for (const core::StepRecord& record : run.records) {
+      if (record.id.generation != core::Generation::kPointerJump &&
+          record.id.generation != core::Generation::kFinalMin) {
+        EXPECT_LE(record.stats.max_congestion,
+                  static_cast<std::size_t>(inst.n) + 1)
+            << context << " gen=" << static_cast<int>(record.id.generation);
+      }
+    }
+
+    // Tree variant: congestion contract.
+    core::HirschbergGcaTree tree(inst.graph);
+    const core::TreeRunResult tree_run = tree.run();
+    EXPECT_EQ(tree_run.labels, oracle) << context << " [tree]";
+    EXPECT_LE(tree_run.static_max_congestion, 1u) << context;
+
+    // n-cell variant.
+    EXPECT_EQ(core::hirschberg_ncells(inst.graph).labels, oracle)
+        << context << " [ncells]";
+
+    // References.
+    EXPECT_EQ(pram::hirschberg_reference(inst.graph), oracle)
+        << context << " [ref]";
+    EXPECT_EQ(pram::shiloach_vishkin_reference(inst.graph), oracle)
+        << context << " [sv]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzBattery, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(FuzzBattery, BrentVirtualisedPramMatchesFullyParallel) {
+  Xoshiro256 rng(424242);
+  for (int round = 0; round < 8; ++round) {
+    const Instance inst = draw_instance(rng);
+    const auto full = pram::run_hirschberg_pram(inst.graph);
+    for (std::size_t p : {1u, 3u, 16u}) {
+      const auto brent = pram::run_hirschberg_pram_brent(inst.graph, p);
+      EXPECT_EQ(brent.labels, full.labels) << describe(inst) << " p=" << p;
+      EXPECT_GE(brent.stats.steps, full.stats.steps) << describe(inst);
+      EXPECT_EQ(brent.stats.work, full.stats.work) << describe(inst);
+    }
+  }
+}
+
+TEST(FuzzBattery, BrentStepInflationIsExact) {
+  // On K_4 (n=4, n^2=16 virtual procs in the wide steps): with p = 4, each
+  // 16-processor step charges 4 time units, each 4-processor step 1.
+  const graph::Graph g = graph::complete(4);
+  const auto full = pram::run_hirschberg_pram(g);
+  const auto brent = pram::run_hirschberg_pram_brent(g, 4);
+  // Count wide (n^2-processor) executions from the history: candidates +
+  // reduction steps run at nn width.
+  std::size_t wide = 0, narrow = 0;
+  for (const pram::StepStats& s : full.step_history) {
+    if (s.processors == 16) {
+      ++wide;
+    } else {
+      ++narrow;
+    }
+  }
+  EXPECT_EQ(brent.stats.steps, 4 * wide + narrow);
+}
+
+}  // namespace
+}  // namespace gcalib

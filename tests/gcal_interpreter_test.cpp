@@ -1,0 +1,246 @@
+#include "gcal/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hirschberg_gca.hpp"
+#include "core/hirschberg_tree.hpp"
+#include "core/schedule.hpp"
+#include "core/state_graph.hpp"
+#include "gcal/parser.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::gcal {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(GcalInterpreter, EmbeddedHirschbergSourceParses) {
+  const Program p = parse(hirschberg_gcal_source());
+  EXPECT_EQ(p.name, "hirschberg");
+  ASSERT_EQ(p.prologue.size(), 1u);
+  ASSERT_EQ(p.loop.size(), 11u);
+  std::size_t repeats = 0;
+  for (const GenerationDef& g : p.loop) repeats += g.repeat ? 1 : 0;
+  EXPECT_EQ(repeats, 3u);  // row_min, row_min2, jump
+}
+
+TEST(GcalInterpreter, TrivialProgramInitialisesField) {
+  const Graph g = graph::path(4);
+  const GcalRunResult result = run_gcal(R"(
+program ident
+generation init:
+  active all
+  d = row
+)",
+                                        g);
+  // labels = column 0 after init = row numbers.
+  EXPECT_EQ(result.labels, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(result.generations, 1u);
+}
+
+TEST(GcalInterpreter, HirschbergProgramLabelsComponents) {
+  for (const char* family : {"path", "star", "complete", "cliques:3", "empty"}) {
+    for (NodeId n : {4u, 7u, 8u, 16u}) {
+      const Graph g = graph::make_named(family, n, 3);
+      const GcalRunResult result = run_gcal(hirschberg_gcal_source(), g);
+      EXPECT_EQ(result.labels, graph::union_find_components(g))
+          << family << " n=" << n;
+    }
+  }
+}
+
+TEST(GcalInterpreter, GenerationCountMatchesNativeMachine) {
+  for (NodeId n : {2u, 4u, 8u, 16u, 23u}) {
+    const Graph g = graph::random_gnp(n, 0.3, n);
+    const GcalRunResult result = run_gcal(hirschberg_gcal_source(), g);
+    EXPECT_EQ(result.generations, core::total_generations(n)) << "n=" << n;
+  }
+}
+
+TEST(GcalInterpreter, FieldsMatchNativeMachineAfterEveryGeneration) {
+  // The strongest check: run the gcal program and the hand-written C++
+  // machine in lock-step and compare the full D field after each of the
+  // 52 generations (n = 8).
+  const NodeId n = 8;
+  const Graph g = graph::random_gnp(n, 0.35, 77);
+
+  // Collect the native machine's per-step snapshots.
+  std::vector<std::vector<std::uint64_t>> native_fields;
+  core::HirschbergGca native(g);
+  core::RunOptions options;
+  options.on_step = [&](const core::StepRecord&) {
+    native_fields.push_back(native.d_snapshot());
+  };
+  native.run(options);
+
+  // Replay through the interpreter with the observer hook.
+  std::size_t step = 0;
+  const Program program = parse(hirschberg_gcal_source());
+  const GcalRunResult result = Interpreter(program).run(
+      g, [&](const std::string& label, const std::vector<std::uint64_t>& d) {
+        ASSERT_LT(step, native_fields.size());
+        // The native machine stores infinity as 2^32-1; gcal uses the same
+        // code, so fields must match verbatim.
+        EXPECT_EQ(d, native_fields[step]) << "step " << step << " (" << label
+                                          << ")";
+        ++step;
+      });
+  EXPECT_EQ(step, native_fields.size());
+  EXPECT_EQ(result.labels, native.current_labels());
+}
+
+TEST(GcalInterpreter, CongestionMatchesNativeMachine) {
+  const Graph g = graph::complete(8);
+  const GcalRunResult result = run_gcal(hirschberg_gcal_source(), g);
+  // Gen 1/9 congestion n+1, like the native machine (Table 1).
+  EXPECT_EQ(result.max_congestion, 9u);
+}
+
+TEST(GcalInterpreter, UnknownVariableFails) {
+  const Graph g = graph::path(4);
+  EXPECT_THROW((void)run_gcal(R"(
+program bad
+generation g:
+  active all
+  d = bogus
+)",
+                              g),
+               EvalError);
+}
+
+TEST(GcalInterpreter, DstarWithoutPointerFails) {
+  const Graph g = graph::path(4);
+  EXPECT_THROW((void)run_gcal(R"(
+program bad
+generation g:
+  active all
+  d = dstar
+)",
+                              g),
+               EvalError);
+}
+
+TEST(GcalInterpreter, PointerOutOfRangeFails) {
+  const Graph g = graph::path(4);
+  EXPECT_THROW((void)run_gcal(R"(
+program bad
+generation g:
+  active all
+  p = 1000
+  d = dstar
+)",
+                              g),
+               EvalError);
+}
+
+TEST(GcalInterpreter, DivisionByZeroFails) {
+  const Graph g = graph::path(4);
+  EXPECT_THROW((void)run_gcal(R"(
+program bad
+generation g:
+  active all
+  d = 1 / 0
+)",
+                              g),
+               EvalError);
+}
+
+TEST(GcalInterpreter, UnknownFunctionFails) {
+  const Graph g = graph::path(4);
+  EXPECT_THROW((void)run_gcal(R"(
+program bad
+generation g:
+  active all
+  d = avg(1, 2)
+)",
+                              g),
+               EvalError);
+}
+
+TEST(GcalInterpreter, OneHandedDisciplineInherited) {
+  // A program whose data expression needs two different global values
+  // cannot exist in gcal (single pointer clause) — this documents that the
+  // language is one-handed by construction; dstar can be used repeatedly
+  // but refers to the single read.
+  const Graph g = graph::path(4);
+  const GcalRunResult result = run_gcal(R"(
+program twice
+generation init:
+  active all
+  d = row
+generation use:
+  active all
+  p = col * n
+  d = min(dstar, dstar + 1)
+)",
+                                        g);
+  EXPECT_EQ(result.generations, 2u);
+}
+
+TEST(GcalInterpreter, EmptyGraph) {
+  const GcalRunResult result = run_gcal(hirschberg_gcal_source(), Graph(0));
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.generations, 0u);
+}
+
+// ---------------------------------------------------------- tree variant
+
+TEST(GcalTreeProgram, SourceParses) {
+  const Program p = parse(hirschberg_tree_gcal_source());
+  EXPECT_EQ(p.name, "hirschberg_tree");
+  EXPECT_EQ(p.prologue.size(), 1u);
+  EXPECT_EQ(p.loop.size(), 18u);
+  std::size_t repeat_rows = 0;
+  for (const GenerationDef& g : p.loop) repeat_rows += g.repeat_rows ? 1 : 0;
+  EXPECT_EQ(repeat_rows, 2u);  // b1_double, b4_double
+}
+
+TEST(GcalTreeProgram, LabelsMatchOracle) {
+  for (const char* family : {"path", "star", "complete", "cliques:3"}) {
+    for (NodeId n : {4u, 7u, 8u, 13u}) {
+      const Graph g = graph::make_named(family, n, 9);
+      EXPECT_EQ(run_gcal(hirschberg_tree_gcal_source(), g).labels,
+                graph::union_find_components(g))
+          << family << " n=" << n;
+    }
+  }
+}
+
+TEST(GcalTreeProgram, GenerationCountMatchesNativeTreeMachine) {
+  for (NodeId n : {2u, 4u, 7u, 8u, 16u}) {
+    const Graph g = graph::random_gnp(n, 0.3, 1);
+    const GcalRunResult result = run_gcal(hirschberg_tree_gcal_source(), g);
+    EXPECT_EQ(result.generations, core::HirschbergGcaTree::total_generations(n))
+        << "n=" << n;
+  }
+}
+
+TEST(GcalTreeProgram, LabelsMatchNativeTreeMachine) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = graph::random_gnp(11, 0.25, seed);
+    EXPECT_EQ(run_gcal(hirschberg_tree_gcal_source(), g).labels,
+              core::gca_tree_components(g))
+        << seed;
+  }
+}
+
+class GcalVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GcalVsOracle, RandomGraphsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId n : {5u, 9u, 16u}) {
+    for (double p : {0.1, 0.4}) {
+      const Graph g = graph::random_gnp(n, p, seed);
+      EXPECT_EQ(run_gcal(hirschberg_gcal_source(), g).labels,
+                graph::union_find_components(g))
+          << "n=" << n << " p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcalVsOracle, ::testing::Range<std::uint64_t>(0, 5));
+
+}  // namespace
+}  // namespace gcalib::gcal

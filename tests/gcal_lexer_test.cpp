@@ -1,0 +1,87 @@
+#include "gcal/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcalib::gcal {
+namespace {
+
+std::vector<TokenKind> kinds(const std::string& source) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(source)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(GcalLexer, EmptyInputYieldsEnd) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(GcalLexer, Keywords) {
+  EXPECT_EQ(kinds("program generation loop active repeat"),
+            (std::vector<TokenKind>{TokenKind::kProgram, TokenKind::kGeneration,
+                                    TokenKind::kLoop, TokenKind::kActive,
+                                    TokenKind::kRepeat, TokenKind::kEnd}));
+}
+
+TEST(GcalLexer, IdentifiersAndNumbers) {
+  const std::vector<Token> tokens = lex("copy_c 42 d");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "copy_c");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].value, 42);
+  EXPECT_EQ(tokens[2].text, "d");
+}
+
+TEST(GcalLexer, TwoCharOperators) {
+  EXPECT_EQ(kinds("|| && == != <= >= << >>"),
+            (std::vector<TokenKind>{TokenKind::kOrOr, TokenKind::kAndAnd,
+                                    TokenKind::kEq, TokenKind::kNe,
+                                    TokenKind::kLe, TokenKind::kGe,
+                                    TokenKind::kShl, TokenKind::kShr,
+                                    TokenKind::kEnd}));
+}
+
+TEST(GcalLexer, OneCharOperators) {
+  EXPECT_EQ(kinds(": , ( ) = ? < > + - * / % !"),
+            (std::vector<TokenKind>{
+                TokenKind::kColon, TokenKind::kComma, TokenKind::kLParen,
+                TokenKind::kRParen, TokenKind::kAssign, TokenKind::kQuestion,
+                TokenKind::kLt, TokenKind::kGt, TokenKind::kPlus,
+                TokenKind::kMinus, TokenKind::kStar, TokenKind::kSlash,
+                TokenKind::kPercent, TokenKind::kBang, TokenKind::kEnd}));
+}
+
+TEST(GcalLexer, CommentsIgnored) {
+  EXPECT_EQ(kinds("d # the data field\n= 1"),
+            (std::vector<TokenKind>{TokenKind::kIdentifier, TokenKind::kAssign,
+                                    TokenKind::kNumber, TokenKind::kEnd}));
+}
+
+TEST(GcalLexer, PositionsTracked) {
+  const std::vector<Token> tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(GcalLexer, RejectsUnknownCharacter) {
+  EXPECT_THROW((void)lex("a @ b"), ParseError);
+}
+
+TEST(GcalLexer, RejectsMalformedNumber) {
+  EXPECT_THROW((void)lex("12abc"), ParseError);
+}
+
+TEST(GcalLexer, ErrorCarriesPosition) {
+  try {
+    (void)lex("ok\n   @");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace gcalib::gcal

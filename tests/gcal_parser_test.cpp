@@ -1,0 +1,164 @@
+#include "gcal/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcalib::gcal {
+namespace {
+
+constexpr const char* kMinimal = R"(
+program tiny
+generation init:
+  active all
+  d = row
+)";
+
+TEST(GcalParser, MinimalProgram) {
+  const Program p = parse(kMinimal);
+  EXPECT_EQ(p.name, "tiny");
+  ASSERT_EQ(p.prologue.size(), 1u);
+  EXPECT_TRUE(p.loop.empty());
+  EXPECT_EQ(p.prologue[0].name, "init");
+  EXPECT_FALSE(p.prologue[0].repeat);
+  EXPECT_NE(p.prologue[0].active, nullptr);
+  EXPECT_EQ(p.prologue[0].pointer, nullptr);
+  EXPECT_NE(p.prologue[0].data, nullptr);
+}
+
+TEST(GcalParser, LoopAndRepeat) {
+  const Program p = parse(R"(
+program two
+generation init:
+  active all
+  d = 0
+loop:
+  generation scan repeat:
+    active square
+    p = index + (1 << sub)
+    d = min(d, dstar)
+  generation fix:
+    active col == 0
+    p = nn + row
+    d = d == inf ? dstar : d
+)");
+  ASSERT_EQ(p.loop.size(), 2u);
+  EXPECT_TRUE(p.loop[0].repeat);
+  EXPECT_FALSE(p.loop[1].repeat);
+  EXPECT_NE(p.loop[0].pointer, nullptr);
+}
+
+TEST(GcalParser, ExpressionPrecedence) {
+  // 1 + 2 * 3 == 7 must parse multiplication tighter.
+  const Program p = parse(R"(
+program expr
+generation g:
+  active 1 + 2 * 3 == 7
+  d = 0
+)");
+  const Expr& active = *p.prologue[0].active;
+  EXPECT_EQ(active.kind, ExprKind::kBinary);
+  EXPECT_EQ(active.op, Op::kEq);
+  EXPECT_EQ(active.a->op, Op::kAdd);
+  EXPECT_EQ(active.a->b->op, Op::kMul);
+}
+
+TEST(GcalParser, TernaryAndCall) {
+  const Program p = parse(R"(
+program t
+generation g:
+  active all
+  d = a == 1 ? min(d, 3) : max(d, 4)
+)");
+  const Expr& data = *p.prologue[0].data;
+  EXPECT_EQ(data.kind, ExprKind::kTernary);
+  EXPECT_EQ(data.b->kind, ExprKind::kCall);
+  EXPECT_EQ(data.b->name, "min");
+  EXPECT_EQ(data.c->name, "max");
+}
+
+TEST(GcalParser, UnaryOperators) {
+  const Program p = parse(R"(
+program u
+generation g:
+  active !bottom
+  d = -1 + 2
+)");
+  EXPECT_EQ(p.prologue[0].active->kind, ExprKind::kUnary);
+  EXPECT_EQ(p.prologue[0].active->op, Op::kNot);
+}
+
+TEST(GcalParser, MissingActiveRejected) {
+  EXPECT_THROW((void)parse("program x generation g: d = 1"), ParseError);
+}
+
+TEST(GcalParser, MissingDataRejected) {
+  EXPECT_THROW((void)parse("program x generation g: active all"), ParseError);
+}
+
+TEST(GcalParser, DuplicateClausesRejected) {
+  EXPECT_THROW((void)parse(R"(
+program x
+generation g:
+  active all
+  active all
+  d = 1
+)"),
+               ParseError);
+  EXPECT_THROW((void)parse(R"(
+program x
+generation g:
+  active all
+  d = 1
+  d = 2
+)"),
+               ParseError);
+}
+
+TEST(GcalParser, TwoLoopsRejected) {
+  EXPECT_THROW((void)parse(R"(
+program x
+loop:
+  generation a:
+    active all
+    d = 1
+loop:
+  generation b:
+    active all
+    d = 2
+)"),
+               ParseError);
+}
+
+TEST(GcalParser, GenerationsAfterLoopBelongToIt) {
+  // The grammar has no block delimiters, so every generation following
+  // "loop:" is part of the loop body (documented language behaviour).
+  const Program p = parse(R"(
+program x
+loop:
+  generation a:
+    active all
+    d = 1
+generation late:
+  active all
+  d = 2
+)");
+  EXPECT_TRUE(p.prologue.empty());
+  ASSERT_EQ(p.loop.size(), 2u);
+  EXPECT_EQ(p.loop[1].name, "late");
+}
+
+TEST(GcalParser, EmptyProgramRejected) {
+  EXPECT_THROW((void)parse("program empty"), ParseError);
+}
+
+TEST(GcalParser, UnbalancedParensRejected) {
+  EXPECT_THROW((void)parse(R"(
+program x
+generation g:
+  active (1 + 2
+  d = 0
+)"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace gcalib::gcal

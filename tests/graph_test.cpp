@@ -1,0 +1,97 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_DOUBLE_EQ(g.density(), 0.0);
+}
+
+TEST(Graph, AddEdgeUpdatesBothViews) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(2, 0));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_EQ(g.neighbors(0), (std::vector<NodeId>{2}));
+  EXPECT_EQ(g.neighbors(2), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(g.matrix().at(0, 2));
+}
+
+TEST(Graph, DuplicateEdgeReturnsFalse) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Graph, NeighborsStaySorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.neighbors(2), (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(Graph, EdgesSortedAndUnique) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 1);
+  const std::vector<Edge> edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{0, 1}));
+  EXPECT_EQ(edges[1], (Edge{0, 2}));
+  EXPECT_EQ(edges[2], (Edge{1, 3}));
+}
+
+TEST(Graph, FromEdgesCollapsesDuplicates) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {1, 2}});
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Graph, FromMatrixRoundTrip) {
+  Graph g(4);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  const Graph h = Graph::from_matrix(g.matrix());
+  EXPECT_EQ(g, h);
+}
+
+TEST(Graph, DensityOfCompleteGraphIsOne) {
+  Graph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v);
+  }
+  EXPECT_DOUBLE_EQ(g.density(), 1.0);
+}
+
+TEST(Graph, DegreeMatchesNeighborCount) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(2, 2), ContractViolation);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), ContractViolation);
+  EXPECT_THROW((void)g.neighbors(5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcalib::graph

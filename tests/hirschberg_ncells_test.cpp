@@ -1,0 +1,79 @@
+#include "core/hirschberg_ncells.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(HirschbergNCells, TrivialSizes) {
+  EXPECT_TRUE(hirschberg_ncells(Graph(0)).labels.empty());
+  EXPECT_EQ(hirschberg_ncells(Graph(1)).labels, (std::vector<NodeId>{0}));
+  EXPECT_EQ(hirschberg_ncells(Graph::from_edges(2, {{0, 1}})).labels,
+            (std::vector<NodeId>{0, 0}));
+}
+
+TEST(HirschbergNCells, MatchesSquareMachineOnFamilies) {
+  for (const char* family :
+       {"path", "cycle", "star", "complete", "empty", "cliques:3", "tree"}) {
+    for (NodeId n : {4u, 7u, 12u, 16u}) {
+      const Graph g = graph::make_named(family, n, 5);
+      EXPECT_EQ(hirschberg_ncells(g).labels, gca_components(g))
+          << family << " n=" << n;
+    }
+  }
+}
+
+TEST(HirschbergNCells, GenerationCountMatchesClosedForm) {
+  for (NodeId n : {2u, 4u, 5u, 8u, 16u, 31u}) {
+    const Graph g = graph::random_gnp(n, 0.3, n);
+    const NCellRunResult result = hirschberg_ncells(g);
+    EXPECT_EQ(result.generations, ncells_total_generations(n)) << "n=" << n;
+  }
+}
+
+TEST(HirschbergNCells, GenerationsAreLinearTimesLog) {
+  // The design tradeoff: O(n log n) here versus O(log^2 n) on n^2 cells —
+  // the gap widens linearly in n / log n.
+  EXPECT_GT(ncells_total_generations(256), 10 * total_generations(256));
+  EXPECT_GT(ncells_total_generations(4096), 100 * total_generations(4096));
+  EXPECT_EQ(ncells_total_generations(16), 1 + 4 * (2 * 18 + 4 + 2));
+}
+
+TEST(HirschbergNCells, ScanCongestionIsWholeField) {
+  // During a scan sub-generation every cell reads cell k -> congestion n.
+  const NodeId n = 12;
+  const Graph g = graph::complete(n);
+  const NCellRunResult result = hirschberg_ncells(g);
+  EXPECT_EQ(result.max_congestion, static_cast<std::size_t>(n));
+}
+
+TEST(HirschbergNCells, IterationCount) {
+  EXPECT_EQ(hirschberg_ncells(graph::path(10)).iterations, 4u);
+}
+
+class NCellsVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NCellsVsOracle, RandomGraphsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId n : {3u, 6u, 11u, 20u}) {
+    for (double p : {0.05, 0.3, 0.8}) {
+      const Graph g = graph::random_gnp(n, p, seed);
+      EXPECT_EQ(hirschberg_ncells(g).labels, graph::union_find_components(g))
+          << "n=" << n << " p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NCellsVsOracle,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace gcalib::core

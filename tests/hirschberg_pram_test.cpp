@@ -1,0 +1,124 @@
+#include "pram/hirschberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::pram {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(HirschbergPram, MatchesReferenceOnKnownGraphs) {
+  for (const char* family : {"path", "star", "complete", "cliques:2"}) {
+    const Graph g = graph::make_named(family, 8, 1);
+    const HirschbergPramResult result = run_hirschberg_pram(g);
+    EXPECT_EQ(result.labels, hirschberg_reference(g)) << family;
+  }
+}
+
+TEST(HirschbergPram, RunsUnderCrowDiscipline) {
+  // The paper's point: the algorithm is CROW — every cell has one owner.
+  const Graph g = graph::random_gnp(16, 0.3, 5);
+  EXPECT_NO_THROW({
+    const auto result = run_hirschberg_pram(g, AccessMode::kCrow);
+    EXPECT_EQ(result.labels, graph::union_find_components(g));
+  });
+}
+
+TEST(HirschbergPram, AlsoRunsUnderCrew) {
+  const Graph g = graph::random_gnp(16, 0.3, 6);
+  EXPECT_EQ(run_hirschberg_pram(g, AccessMode::kCrew).labels,
+            hirschberg_reference(g));
+}
+
+TEST(HirschbergPram, NeedsConcurrentReads) {
+  // EREW must reject the concurrent reads of C in step 2 (several
+  // processors read the same C(i)).
+  const Graph g = graph::complete(4);
+  EXPECT_THROW((void)run_hirschberg_pram(g, AccessMode::kErew), AccessViolation);
+}
+
+TEST(HirschbergPram, StepCountMatchesClosedForm) {
+  for (NodeId n : {2u, 4u, 8u, 16u, 32u}) {
+    const Graph g = graph::complete(n);
+    const HirschbergPramResult result = run_hirschberg_pram(g);
+    EXPECT_EQ(result.stats.steps, hirschberg_pram_step_count(n)) << "n=" << n;
+  }
+}
+
+TEST(HirschbergPram, StepCountGrowsAsLogSquared) {
+  // 1 + lg(3 lg + 6): ratios between successive powers of two are fixed.
+  EXPECT_EQ(hirschberg_pram_step_count(1), 1u);
+  EXPECT_EQ(hirschberg_pram_step_count(2), 1 + 1 * (3 + 6));
+  EXPECT_EQ(hirschberg_pram_step_count(4), 1 + 2 * (6 + 6));
+  EXPECT_EQ(hirschberg_pram_step_count(256), 1 + 8 * (24 + 6));
+}
+
+TEST(HirschbergPram, WorkAccountingIsPlausible) {
+  const NodeId n = 8;
+  const Graph g = graph::complete(n);
+  const HirschbergPramResult result = run_hirschberg_pram(g);
+  // Every step schedules at most n^2 processors.
+  EXPECT_LE(result.stats.work, result.stats.steps * n * n);
+  EXPECT_GT(result.stats.work, 0u);
+}
+
+TEST(HirschbergPram, CongestionBoundedByTwoN) {
+  // In the candidate steps processor (i, j) reads both C(i) and C(j), so a
+  // cell C(k) is read by its whole row and its whole column: delta <= 2n.
+  const NodeId n = 16;
+  const Graph g = graph::random_gnp(n, 0.5, 3);
+  const HirschbergPramResult result = run_hirschberg_pram(g);
+  EXPECT_LE(result.stats.max_read_congestion, 2 * static_cast<std::size_t>(n));
+  EXPECT_GE(result.stats.max_read_congestion, static_cast<std::size_t>(n));
+}
+
+TEST(HirschbergPram, IterationCount) {
+  const Graph g = graph::path(10);
+  EXPECT_EQ(run_hirschberg_pram(g).iterations, log2_ceil(10));
+}
+
+TEST(HirschbergPram, EmptyGraph) {
+  const HirschbergPramResult result = run_hirschberg_pram(Graph(0));
+  EXPECT_TRUE(result.labels.empty());
+  EXPECT_EQ(result.iterations, 0u);
+}
+
+TEST(HirschbergPram, StepHistoryLabelsArePhased) {
+  const Graph g = graph::path(4);
+  const HirschbergPramResult result = run_hirschberg_pram(g);
+  ASSERT_FALSE(result.step_history.empty());
+  EXPECT_EQ(result.step_history.front().label, "step1:init");
+  // Each of the 6 step families appears in the history.
+  for (const char* needle :
+       {"step2:candidates", "step2:reduce0", "step2:collect", "step3:candidates",
+        "step4:adopt", "step5:jump0", "step6:correct"}) {
+    const bool found = std::any_of(
+        result.step_history.begin(), result.step_history.end(),
+        [needle](const StepStats& s) { return s.label == needle; });
+    EXPECT_TRUE(found) << needle;
+  }
+}
+
+class PramVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PramVsOracle, RandomGraphsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId n : {5u, 12u, 24u}) {
+    for (double p : {0.05, 0.3, 0.9}) {
+      const Graph g = graph::random_gnp(n, p, seed);
+      EXPECT_EQ(run_hirschberg_pram(g).labels, graph::union_find_components(g))
+          << "n=" << n << " p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PramVsOracle,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace gcalib::pram

@@ -1,0 +1,117 @@
+#include "pram/hirschberg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/labeling.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::pram {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(HirschbergReference, EmptyAndTrivialGraphs) {
+  EXPECT_TRUE(hirschberg_reference(Graph(0)).empty());
+  EXPECT_EQ(hirschberg_reference(Graph(1)), (std::vector<NodeId>{0}));
+  EXPECT_EQ(hirschberg_reference(Graph(3)), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(HirschbergReference, SingleEdge) {
+  const Graph g = Graph::from_edges(2, {{0, 1}});
+  EXPECT_EQ(hirschberg_reference(g), (std::vector<NodeId>{0, 0}));
+}
+
+TEST(HirschbergReference, PathGraphCollapsesToZero) {
+  // The 4-node path is the witness for the step-6 erratum (see header of
+  // pram/hirschberg.hpp): the HCS-1979 correction must label everything 0.
+  for (NodeId n : {2u, 3u, 4u, 5u, 8u, 13u, 16u, 31u}) {
+    const std::vector<NodeId> labels = hirschberg_reference(graph::path(n));
+    EXPECT_EQ(labels, std::vector<NodeId>(n, 0)) << "n=" << n;
+  }
+}
+
+TEST(HirschbergReference, TwoTriangles) {
+  const Graph g = graph::disjoint_cliques({3, 3});
+  EXPECT_EQ(hirschberg_reference(g), (std::vector<NodeId>{0, 0, 0, 3, 3, 3}));
+}
+
+TEST(HirschbergReference, PaperStyleExample) {
+  // Mixed structure: a square, a pending edge, an isolated node.
+  const Graph g = graph::parse_matrix(
+      "010100\n"
+      "101000\n"
+      "010100\n"
+      "101000\n"
+      "000001\n"
+      "000010\n");
+  EXPECT_EQ(hirschberg_reference(g), (std::vector<NodeId>{0, 0, 0, 0, 4, 4}));
+}
+
+TEST(HirschbergReference, IterationCountIsCeilLog2) {
+  EXPECT_EQ(hirschberg_reference_full(Graph(1)).iterations, 0u);
+  EXPECT_EQ(hirschberg_reference_full(Graph(2)).iterations, 1u);
+  EXPECT_EQ(hirschberg_reference_full(Graph(5)).iterations, 3u);
+  EXPECT_EQ(hirschberg_reference_full(Graph(16)).iterations, 4u);
+  EXPECT_EQ(hirschberg_reference_full(Graph(17)).iterations, 5u);
+}
+
+TEST(HirschbergReference, TraceShapesAreConsistent) {
+  const Graph g = graph::path(8);
+  const HirschbergReferenceResult result = hirschberg_reference_full(g, true);
+  ASSERT_EQ(result.trace.size(), result.iterations);
+  for (const HirschbergIterationTrace& t : result.trace) {
+    EXPECT_EQ(t.t_after_step2.size(), 8u);
+    EXPECT_EQ(t.t_after_step3.size(), 8u);
+    EXPECT_EQ(t.c_after_step5.size(), 8u);
+    EXPECT_EQ(t.c_after_step6.size(), 8u);
+  }
+  EXPECT_EQ(result.trace.back().c_after_step6, result.labels);
+}
+
+TEST(HirschbergReference, Step2FindsMinimumNeighbourComponent) {
+  // star: node 0 adjacent to 1, 2, 3.  In iteration 1, T(0) must be 1.
+  const Graph g = graph::star(4);
+  const HirschbergReferenceResult r = hirschberg_reference_full(g, true);
+  EXPECT_EQ(r.trace[0].t_after_step2[0], 1u);
+  EXPECT_EQ(r.trace[0].t_after_step2[1], 0u);
+  EXPECT_EQ(r.trace[0].t_after_step2[3], 0u);
+}
+
+class ReferenceVsOracle
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(ReferenceVsOracle, MatchesUnionFindExactly) {
+  const auto [n, p, seed] = GetParam();
+  const Graph g = graph::random_gnp(static_cast<NodeId>(n), p, seed);
+  const std::vector<NodeId> expected = graph::union_find_components(g);
+  const std::vector<NodeId> actual = hirschberg_reference(g);
+  EXPECT_EQ(actual, expected);
+  EXPECT_TRUE(graph::is_valid_min_labeling(g, actual));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReferenceVsOracle,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16, 33, 64),
+                       ::testing::Values(0.0, 0.05, 0.2, 0.6, 1.0),
+                       ::testing::Values(1u, 2u, 3u)));
+
+class ReferenceFamilies : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReferenceFamilies, MatchesOracleOnStructuredFamilies) {
+  for (NodeId n : {4u, 9u, 16u, 27u}) {
+    const Graph g = graph::make_named(GetParam(), n, 42);
+    EXPECT_EQ(hirschberg_reference(g), graph::union_find_components(g))
+        << GetParam() << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, ReferenceFamilies,
+                         ::testing::Values("path", "cycle", "star", "complete",
+                                           "tree", "empty", "cliques:3",
+                                           "planted:3:0.3", "bipartite:2"));
+
+}  // namespace
+}  // namespace gcalib::pram

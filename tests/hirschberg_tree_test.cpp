@@ -1,0 +1,96 @@
+#include "core/hirschberg_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(HirschbergTree, TrivialSizes) {
+  EXPECT_TRUE(gca_tree_components(Graph(0)).empty());
+  EXPECT_EQ(gca_tree_components(Graph(1)), (std::vector<NodeId>{0}));
+  EXPECT_EQ(gca_tree_components(Graph::from_edges(2, {{0, 1}})),
+            (std::vector<NodeId>{0, 0}));
+}
+
+TEST(HirschbergTree, MatchesBaselineOnKnownGraphs) {
+  for (const char* family :
+       {"path", "cycle", "star", "complete", "empty", "cliques:3"}) {
+    for (NodeId n : {4u, 7u, 8u, 13u, 16u}) {
+      const Graph g = graph::make_named(family, n, 3);
+      EXPECT_EQ(gca_tree_components(g), gca_components(g))
+          << family << " n=" << n;
+    }
+  }
+}
+
+TEST(HirschbergTree, StaticCongestionIsExactlyOne) {
+  // The variant's whole point: every static step's max congestion is <= 1.
+  for (NodeId n : {2u, 4u, 5u, 8u, 16u, 23u}) {
+    const Graph g = graph::random_gnp(n, 0.4, n);
+    HirschbergGcaTree machine(g);
+    const TreeRunResult result = machine.run();
+    EXPECT_LE(result.static_max_congestion, 1u) << "n=" << n;
+    EXPECT_EQ(result.labels, graph::union_find_components(g)) << "n=" << n;
+  }
+}
+
+TEST(HirschbergTree, DynamicCongestionBoundedByN) {
+  const Graph g = graph::complete(16);
+  HirschbergGcaTree machine(g);
+  const TreeRunResult result = machine.run();
+  EXPECT_LE(result.dynamic_max_congestion, 16u);
+  EXPECT_GE(result.dynamic_max_congestion, 1u);
+}
+
+TEST(HirschbergTree, GenerationCountMatchesClosedForm) {
+  for (NodeId n : {2u, 4u, 7u, 8u, 16u, 31u, 32u}) {
+    const Graph g = graph::random_gnp(n, 0.3, 1);
+    HirschbergGcaTree machine(g);
+    const TreeRunResult result = machine.run(/*instrument=*/false);
+    EXPECT_EQ(result.generations, HirschbergGcaTree::total_generations(n))
+        << "n=" << n;
+  }
+}
+
+TEST(HirschbergTree, CostsConstantFactorMoreGenerationsThanBaseline) {
+  // The tradeoff: more (cheap, congestion-1) generations instead of fewer
+  // congested ones.  The ratio is bounded by a small constant.
+  for (std::size_t n : {8u, 64u, 1024u, 65536u}) {
+    const double tree = static_cast<double>(HirschbergGcaTree::total_generations(n));
+    const double base = static_cast<double>(total_generations(n));
+    EXPECT_GT(tree / base, 1.5) << n;
+    EXPECT_LT(tree / base, 4.0) << n;
+  }
+}
+
+TEST(HirschbergTree, OneHandedThroughout) {
+  HirschbergGcaTree machine(graph::path(8));
+  EXPECT_EQ(machine.engine().hands(), 1u);
+  EXPECT_NO_THROW(machine.run());
+}
+
+class TreeVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeVsOracle, RandomGraphsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId n : {3u, 6u, 9u, 17u, 32u}) {
+    for (double p : {0.05, 0.3, 0.8}) {
+      const Graph g = graph::random_gnp(n, p, seed);
+      EXPECT_EQ(gca_tree_components(g), graph::union_find_components(g))
+          << "n=" << n << " p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeVsOracle, ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace gcalib::core

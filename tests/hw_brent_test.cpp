@@ -1,0 +1,82 @@
+#include "hw/brent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/schedule.hpp"
+
+namespace gcalib::hw {
+namespace {
+
+TEST(Brent, FullyParallelPointHasNoSlowdown) {
+  const BrentPoint p = brent_point(16, 16 * 17);
+  EXPECT_EQ(p.slowdown, 1u);
+  EXPECT_EQ(p.cycles, core::total_generations(16));
+  EXPECT_EQ(p.virtual_cells, 272u);
+}
+
+TEST(Brent, SequentialPointSlowsByCellCount) {
+  const BrentPoint p = brent_point(16, 1);
+  EXPECT_EQ(p.slowdown, 272u);
+  EXPECT_EQ(p.cycles, 272u * core::total_generations(16));
+}
+
+TEST(Brent, SlowdownIsCeilDivision) {
+  const BrentPoint p = brent_point(8, 7);  // 72 virtual cells / 7
+  EXPECT_EQ(p.slowdown, 11u);
+}
+
+TEST(Brent, RegisterBitsBarelyShrinkWithFewerCells) {
+  // The section-3 argument: the state must exist regardless of p.
+  const BrentPoint full = brent_point(16, 272);
+  const BrentPoint tiny = brent_point(16, 16);
+  EXPECT_GT(static_cast<double>(tiny.register_bits),
+            0.7 * static_cast<double>(full.register_bits));
+}
+
+TEST(Brent, LogicShrinksWithFewerCells) {
+  const BrentPoint full = brent_point(16, 272);
+  const BrentPoint tiny = brent_point(16, 16);
+  EXPECT_LT(tiny.logic_elements, full.logic_elements / 8);
+}
+
+TEST(Brent, CostTimeProductFavoursFullParallelism) {
+  // Because state dominates cost, cutting cells multiplies time while
+  // hardly cutting cost: the product should be (weakly) worse for small p.
+  const BrentPoint full = brent_point(32, 32 * 33);
+  const BrentPoint half = brent_point(32, 32 * 16);
+  const BrentPoint one = brent_point(32, 1);
+  EXPECT_LT(full.cost_time_product, half.cost_time_product);
+  EXPECT_LT(half.cost_time_product, one.cost_time_product);
+}
+
+TEST(Brent, TradeoffSweepShape) {
+  const auto points = brent_tradeoff(16);
+  ASSERT_GE(points.size(), 4u);
+  EXPECT_EQ(points.front().physical_cells, 272u);
+  EXPECT_EQ(points.back().physical_cells, 1u);
+  // Cycles increase monotonically as p decreases.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i - 1].physical_cells + 0u, points[i - 1].physical_cells + 1u);
+    EXPECT_LE(points[i - 1].cycles, points[i].cycles)
+        << "p=" << points[i].physical_cells;
+  }
+}
+
+TEST(Brent, RejectsBadArguments) {
+  EXPECT_THROW((void)brent_point(0, 1), gcalib::ContractViolation);
+  EXPECT_THROW((void)brent_point(4, 0), gcalib::ContractViolation);
+  EXPECT_THROW((void)brent_point(4, 21), gcalib::ContractViolation);  // > n(n+1)
+}
+
+TEST(Brent, ConsistentWithCostModelAtFullParallelism) {
+  // At p = n(n+1) the logic estimate must essentially match the fully
+  // parallel synthesis estimate (same structural model, same calibration).
+  const BrentPoint p = brent_point(16, 272);
+  const SynthesisEstimate est = estimate_for(16);
+  EXPECT_NEAR(static_cast<double>(p.logic_elements),
+              static_cast<double>(est.logic_elements),
+              static_cast<double>(est.logic_elements) * 0.01);
+}
+
+}  // namespace
+}  // namespace gcalib::hw

@@ -1,0 +1,72 @@
+#include "hw/cell_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcalib::hw {
+namespace {
+
+TEST(CellModel, PaperConfigurationCellCounts) {
+  // Paper section 4: N x (N+1) = 272 cells for N = 16; n^2 standard cells
+  // and n extended cells.
+  const FieldPortrait field = analyze_field(16);
+  EXPECT_EQ(field.cell_count(), 272u);
+  EXPECT_EQ(field.extended_cell_count(), 16u);
+  EXPECT_EQ(field.standard_cell_count(), 256u);
+}
+
+TEST(CellModel, DataWidth) {
+  EXPECT_EQ(data_width_for(2), 2u);    // values 0..2 + inf
+  EXPECT_EQ(data_width_for(4), 3u);    // 0..4 + inf
+  EXPECT_EQ(data_width_for(16), 5u);   // 0..16 + inf -> 18 code points
+  EXPECT_EQ(data_width_for(30), 5u);
+  EXPECT_EQ(data_width_for(31), 6u);
+  EXPECT_EQ(data_width_for(256), 9u);
+}
+
+TEST(CellModel, PointerWidth) {
+  EXPECT_EQ(pointer_width_for(16), 9u);   // 272 cells -> 9 bits
+  EXPECT_EQ(pointer_width_for(4), 5u);    // 20 cells -> 5 bits
+}
+
+TEST(CellModel, ExtendedCellsAreColumnZero) {
+  const FieldPortrait field = analyze_field(8);
+  for (const CellPortrait& cell : field.cells) {
+    EXPECT_EQ(cell.extended, !cell.bottom_row && cell.index % 8 == 0)
+        << cell.index;
+  }
+}
+
+TEST(CellModel, BottomRowFlag) {
+  const FieldPortrait field = analyze_field(4);
+  for (const CellPortrait& cell : field.cells) {
+    EXPECT_EQ(cell.bottom_row, cell.index >= 16u) << cell.index;
+  }
+}
+
+TEST(CellModel, StaticFaninIsLogarithmic) {
+  // Mux inputs per cell: copy source, two D_N reads, adopt source and the
+  // log n reduction partners -> O(log n), not O(n).
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    const FieldPortrait field = analyze_field(n);
+    EXPECT_LE(field.max_static_fanin(), 5u + (n > 1 ? 8u : 0u)) << n;
+    // crude but shape-revealing: fan-in grows by <= 1 per doubling
+  }
+  EXPECT_LT(analyze_field(256).max_static_fanin(),
+            analyze_field(16).max_static_fanin() + 5);
+}
+
+TEST(CellModel, StaticSourcesWithinField) {
+  const FieldPortrait field = analyze_field(6);
+  for (const CellPortrait& cell : field.cells) {
+    for (std::size_t target : cell.static_sources) {
+      EXPECT_LT(target, field.cell_count());
+    }
+  }
+}
+
+TEST(CellModel, RejectsZeroSize) {
+  EXPECT_THROW((void)analyze_field(0), gcalib::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcalib::hw

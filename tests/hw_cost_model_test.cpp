@@ -1,0 +1,84 @@
+#include "hw/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcalib::hw {
+namespace {
+
+TEST(CostModel, CalibrationReproducesPaperDatapoint) {
+  const PaperDatapoint paper = paper_ep2c70();
+  const SynthesisEstimate est = estimate_for(paper.n);
+  EXPECT_EQ(est.cells, paper.cells);
+  EXPECT_EQ(est.logic_elements, paper.logic_elements);
+  EXPECT_EQ(est.register_bits, paper.register_bits);
+  EXPECT_NEAR(est.fmax_mhz, paper.fmax_mhz, 0.1);
+}
+
+TEST(CostModel, PaperDatapointValues) {
+  const PaperDatapoint paper = paper_ep2c70();
+  EXPECT_EQ(paper.n, 16u);
+  EXPECT_EQ(paper.cells, 272u);
+  EXPECT_EQ(paper.logic_elements, 23051u);
+  EXPECT_EQ(paper.register_bits, 2192u);
+  EXPECT_DOUBLE_EQ(paper.fmax_mhz, 71.0);
+}
+
+TEST(CostModel, LogicElementsGrowRoughlyQuadratically) {
+  const auto le = [](std::size_t n) {
+    return static_cast<double>(estimate_for(n).logic_elements);
+  };
+  // Quadrupling is dominated by the n^2 cells; ratio within [3, 6] when n
+  // doubles (width growth adds a log factor).
+  EXPECT_GT(le(32) / le(16), 3.0);
+  EXPECT_LT(le(32) / le(16), 6.0);
+  EXPECT_GT(le(64) / le(32), 3.0);
+  EXPECT_LT(le(64) / le(32), 6.0);
+}
+
+TEST(CostModel, RegisterBitsDominatedByCells) {
+  const SynthesisEstimate e16 = estimate_for(16);
+  const SynthesisEstimate e32 = estimate_for(32);
+  EXPECT_GT(e32.register_bits, 3 * e16.register_bits);
+  EXPECT_LT(e32.register_bits, 6 * e16.register_bits);
+}
+
+TEST(CostModel, FmaxDecaysSlowly) {
+  const double f16 = estimate_for(16).fmax_mhz;
+  const double f64 = estimate_for(64).fmax_mhz;
+  const double f256 = estimate_for(256).fmax_mhz;
+  EXPECT_GT(f16, f64);
+  EXPECT_GT(f64, f256);
+  // Decay is logarithmic: even at n = 256 the clock keeps most of its speed.
+  EXPECT_GT(f256, 0.7 * f16);
+}
+
+TEST(CostModel, BaseRegisterBitsFormula) {
+  // n = 4: 16 square cells x (3 d-bits + 1 a-bit) + 4 bottom cells x 3 d-bits
+  // + controller (4 + 2 * bit_width_for(3)).
+  const FieldPortrait field = analyze_field(4);
+  EXPECT_EQ(base_register_bits(field), 16u * 4u + 4u * 3u + 4u + 2u * 2u);
+}
+
+TEST(CostModel, EstimateIsDeterministic) {
+  const SynthesisEstimate a = estimate_for(24);
+  const SynthesisEstimate b = estimate_for(24);
+  EXPECT_EQ(a.logic_elements, b.logic_elements);
+  EXPECT_EQ(a.register_bits, b.register_bits);
+  EXPECT_DOUBLE_EQ(a.fmax_mhz, b.fmax_mhz);
+}
+
+TEST(CostModel, GenerationsPerSecond) {
+  const SynthesisEstimate est = estimate_for(16);
+  EXPECT_NEAR(est.generations_per_second(), est.fmax_mhz * 1e6, 1.0);
+}
+
+TEST(CostModel, CalibratedParametersAreSane) {
+  const CostParameters params = CostParameters::cyclone2_calibrated();
+  EXPECT_GT(params.technology_factor, 0.1);
+  EXPECT_LT(params.technology_factor, 10.0);
+  EXPECT_GE(params.reg_overhead_per_cell, 0.0);
+  EXPECT_GT(params.t_base_ns, 0.0);
+}
+
+}  // namespace
+}  // namespace gcalib::hw

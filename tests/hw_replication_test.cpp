@@ -1,0 +1,92 @@
+#include "hw/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hirschberg_gca.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib::hw {
+namespace {
+
+TEST(Replication, CyclesForStep) {
+  // delta = 0/1: every strategy needs exactly one cycle.
+  for (auto s : {ReadStrategy::kSerialized, ReadStrategy::kFanoutTree,
+                 ReadStrategy::kReplicated}) {
+    EXPECT_EQ(cycles_for_step(s, 0), 1u);
+    EXPECT_EQ(cycles_for_step(s, 1), 1u);
+  }
+  EXPECT_EQ(cycles_for_step(ReadStrategy::kSerialized, 8), 8u);
+  EXPECT_EQ(cycles_for_step(ReadStrategy::kFanoutTree, 8), 4u);   // 1 + lg 8
+  EXPECT_EQ(cycles_for_step(ReadStrategy::kFanoutTree, 9), 5u);   // 1 + ceil lg 9
+  EXPECT_EQ(cycles_for_step(ReadStrategy::kReplicated, 9), 1u);
+}
+
+TEST(Replication, StrategyOrderingHolds) {
+  for (std::size_t delta = 0; delta < 40; ++delta) {
+    EXPECT_GE(cycles_for_step(ReadStrategy::kSerialized, delta),
+              cycles_for_step(ReadStrategy::kFanoutTree, delta));
+    EXPECT_GE(cycles_for_step(ReadStrategy::kFanoutTree, delta),
+              cycles_for_step(ReadStrategy::kReplicated, delta));
+  }
+}
+
+std::vector<gca::GenerationStats> profile_of(std::size_t n) {
+  const graph::Graph g = graph::complete(static_cast<graph::NodeId>(n));
+  core::HirschbergGca machine(g);
+  std::vector<gca::GenerationStats> profile;
+  for (const core::StepRecord& r : machine.run().records) {
+    profile.push_back(r.stats);
+  }
+  return profile;
+}
+
+TEST(Replication, EvaluateOverRealProfile) {
+  const auto profile = profile_of(8);
+  const StrategyCost serialized =
+      evaluate_strategy(ReadStrategy::kSerialized, profile, 8);
+  const StrategyCost tree = evaluate_strategy(ReadStrategy::kFanoutTree, profile, 8);
+  const StrategyCost replicated =
+      evaluate_strategy(ReadStrategy::kReplicated, profile, 8);
+
+  EXPECT_EQ(replicated.total_cycles, profile.size());  // 1 cycle per step
+  EXPECT_GT(serialized.total_cycles, tree.total_cycles);
+  EXPECT_GT(tree.total_cycles, replicated.total_cycles);
+  EXPECT_EQ(serialized.extra_extended_cells, 0u);
+  EXPECT_EQ(replicated.extra_extended_cells, 8u * 8u - 8u);
+  EXPECT_GT(replicated.extra_logic_elements, 0u);
+}
+
+TEST(Replication, OverheadFactorIsMeaningful) {
+  const auto profile = profile_of(16);
+  const StrategyCost serialized =
+      evaluate_strategy(ReadStrategy::kSerialized, profile, 16);
+  EXPECT_DOUBLE_EQ(serialized.overhead_factor,
+                   static_cast<double>(serialized.total_cycles) /
+                       static_cast<double>(profile.size()));
+  EXPECT_GT(serialized.overhead_factor, 1.0);
+}
+
+TEST(Replication, CompareReturnsAllThree) {
+  const auto profile = profile_of(4);
+  const auto costs = compare_strategies(profile, 4);
+  ASSERT_EQ(costs.size(), 3u);
+  EXPECT_EQ(costs[0].strategy, ReadStrategy::kSerialized);
+  EXPECT_EQ(costs[1].strategy, ReadStrategy::kFanoutTree);
+  EXPECT_EQ(costs[2].strategy, ReadStrategy::kReplicated);
+}
+
+TEST(Replication, EmptyProfile) {
+  const StrategyCost cost =
+      evaluate_strategy(ReadStrategy::kSerialized, {}, 4);
+  EXPECT_EQ(cost.total_cycles, 0u);
+  EXPECT_EQ(cost.overhead_factor, 0.0);
+}
+
+TEST(Replication, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(ReadStrategy::kSerialized), "serialized");
+  EXPECT_STREQ(to_string(ReadStrategy::kFanoutTree), "fanout-tree");
+  EXPECT_STREQ(to_string(ReadStrategy::kReplicated), "replicated-C/T");
+}
+
+}  // namespace
+}  // namespace gcalib::hw

@@ -1,0 +1,107 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = random_gnp(20, 0.3, 42);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, EdgeListEmptyGraph) {
+  std::stringstream ss;
+  write_edge_list(ss, Graph(3));
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.node_count(), 3u);
+  EXPECT_EQ(h.edge_count(), 0u);
+}
+
+TEST(Io, EdgeListMalformedHeader) {
+  std::stringstream ss("not a header");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, EdgeListTruncated) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, EdgeListOutOfRangeNode) {
+  std::stringstream ss("3 1\n0 7\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+TEST(Io, DimacsRoundTrip) {
+  const Graph g = random_gnp(15, 0.4, 9);
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  const Graph h = read_dimacs(ss);
+  EXPECT_EQ(g, h);
+}
+
+TEST(Io, DimacsSkipsComments) {
+  std::stringstream ss("c a comment\np edge 3 1\nc another\ne 1 2\n");
+  const Graph g = read_dimacs(ss);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Io, DimacsEdgeBeforeHeaderThrows) {
+  std::stringstream ss("e 1 2\n");
+  EXPECT_THROW(read_dimacs(ss), std::runtime_error);
+}
+
+TEST(Io, DimacsBadNodeNumberThrows) {
+  std::stringstream ss("p edge 3 1\ne 0 2\n");  // DIMACS is 1-based
+  EXPECT_THROW(read_dimacs(ss), std::runtime_error);
+}
+
+TEST(Io, ParseMatrixBasic) {
+  const Graph g = parse_matrix(
+      "0110\n"
+      "1001\n"
+      "1001\n"
+      "0110\n");
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.edge_count(), 4u);
+}
+
+TEST(Io, ParseMatrixAcceptsDots) {
+  const Graph g = parse_matrix(".1\n1.\n");
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Io, ParseMatrixRejectsNonSquare) {
+  EXPECT_THROW(parse_matrix("01\n1\n"), std::runtime_error);
+}
+
+TEST(Io, ParseMatrixRejectsAsymmetric) {
+  EXPECT_THROW(parse_matrix("01\n00\n"), std::runtime_error);
+}
+
+TEST(Io, ParseMatrixRejectsDiagonal) {
+  EXPECT_THROW(parse_matrix("10\n00\n"), std::runtime_error);
+}
+
+TEST(Io, FormatMatrixRoundTrip) {
+  const Graph g = random_gnp(8, 0.5, 1);
+  const Graph h = parse_matrix(format_matrix(g));
+  EXPECT_EQ(g, h);
+}
+
+}  // namespace
+}  // namespace gcalib::graph

@@ -1,0 +1,148 @@
+// Parameterised property sweeps over the GCA kernels and the engine:
+// random inputs at many sizes against std:: oracles, plus threading
+// equivalence on the full Hirschberg machine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "gca/kernels.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib {
+namespace {
+
+using gca::KernelWord;
+
+std::vector<KernelWord> random_values(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<KernelWord> v(n);
+  for (auto& x : v) x = rng.below(1u << 16);
+  return v;
+}
+
+class KernelSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(KernelSweep, ReduceMatchesStdAccumulate) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed);
+  const gca::Combiner sum = [](KernelWord a, KernelWord b) { return a + b; };
+  const auto r = gca::reduce(values, sum);
+  EXPECT_EQ(r.values[0],
+            std::accumulate(values.begin(), values.end(), KernelWord{0}));
+  EXPECT_EQ(r.generations, n > 1 ? log2_ceil(n) : 0);
+}
+
+TEST_P(KernelSweep, ReduceMinMatchesStdMinElement) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed + 1);
+  const gca::Combiner min = [](KernelWord a, KernelWord b) {
+    return std::min(a, b);
+  };
+  EXPECT_EQ(gca::reduce(values, min).values[0],
+            *std::min_element(values.begin(), values.end()));
+}
+
+TEST_P(KernelSweep, ScanMatchesStdExclusiveScan) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed + 2);
+  const gca::Combiner sum = [](KernelWord a, KernelWord b) { return a + b; };
+  const auto r = gca::exclusive_scan(values, sum, 0);
+  std::vector<KernelWord> expected(n);
+  std::exclusive_scan(values.begin(), values.end(), expected.begin(),
+                      KernelWord{0});
+  EXPECT_EQ(r.values, expected);
+}
+
+TEST_P(KernelSweep, BroadcastFillsEverything) {
+  const auto [n, seed] = GetParam();
+  auto values = random_values(n, seed + 3);
+  const std::size_t source = seed % n;
+  const auto r = gca::broadcast(values, source);
+  EXPECT_EQ(r.values, std::vector<KernelWord>(n, values[source]));
+}
+
+TEST_P(KernelSweep, ShiftComposesToIdentity) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed + 4);
+  const std::size_t offset = (seed * 13) % n;
+  const auto once = gca::cyclic_shift(values, offset);
+  const auto back = gca::cyclic_shift(once.values, n - offset == n ? 0 : n - offset);
+  EXPECT_EQ(back.values, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KernelSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 5, 8, 17, 64,
+                                                      100, 256),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+class SortSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(SortSweep, BitonicMatchesStdSort) {
+  const auto [n, seed] = GetParam();
+  const auto values = random_values(n, seed);
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  const auto r = gca::bitonic_sort(values);
+  EXPECT_EQ(r.values, expected);
+  const std::size_t lg = log2_ceil(n);
+  EXPECT_EQ(r.generations, lg * (lg + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pow2Sizes, SortSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 16, 64, 256),
+                       ::testing::Values<std::uint64_t>(5, 6)));
+
+class ThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadSweep, HirschbergMachineThreadInvariant) {
+  const unsigned threads = GetParam();
+  const graph::Graph g = graph::random_gnp(20, 0.2, 11);
+  core::RunOptions options;
+  options.threads = threads;
+  options.instrument = true;
+  core::HirschbergGca machine(g);
+  const core::RunResult run = machine.run(options);
+  // Same labels and same instrumentation regardless of sweep width.
+  core::HirschbergGca reference_machine(g);
+  const core::RunResult reference = reference_machine.run();
+  EXPECT_EQ(run.labels, reference.labels);
+  ASSERT_EQ(run.records.size(), reference.records.size());
+  for (std::size_t i = 0; i < run.records.size(); ++i) {
+    EXPECT_EQ(run.records[i].stats.active_cells,
+              reference.records[i].stats.active_cells)
+        << i;
+    EXPECT_EQ(run.records[i].stats.congestion_classes,
+              reference.records[i].stats.congestion_classes)
+        << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ThreadSweep, ::testing::Values(1u, 2u, 3u, 8u));
+
+TEST(KernelEdgeCases, ListRankAllSelfLoops) {
+  const gca::ListRankResult r = gca::list_rank({0, 1, 2, 3});
+  EXPECT_EQ(r.ranks, (std::vector<std::size_t>{0, 0, 0, 0}));
+}
+
+TEST(KernelEdgeCases, BroadcastSingleCell) {
+  const auto r = gca::broadcast({42}, 0);
+  EXPECT_EQ(r.values, (std::vector<KernelWord>{42}));
+  EXPECT_EQ(r.generations, 0u);
+}
+
+TEST(KernelEdgeCases, ScanSingleCell) {
+  const gca::Combiner sum = [](KernelWord a, KernelWord b) { return a + b; };
+  const auto r = gca::exclusive_scan({7}, sum, 99);
+  EXPECT_EQ(r.values, (std::vector<KernelWord>{99}));
+}
+
+}  // namespace
+}  // namespace gcalib

@@ -1,0 +1,134 @@
+#include "gca/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace gcalib::gca {
+namespace {
+
+const Combiner kMin = [](KernelWord a, KernelWord b) { return std::min(a, b); };
+const Combiner kSum = [](KernelWord a, KernelWord b) { return a + b; };
+
+TEST(Kernels, ReduceMin) {
+  const KernelResult r = reduce({5, 3, 9, 1, 7, 2, 8, 6}, kMin);
+  EXPECT_EQ(r.values[0], 1u);
+  EXPECT_EQ(r.generations, 3u);
+  EXPECT_EQ(r.max_congestion, 1u);
+}
+
+TEST(Kernels, ReduceSumNonPowerOfTwo) {
+  std::vector<KernelWord> values(11);
+  std::iota(values.begin(), values.end(), 1);  // 1..11
+  const KernelResult r = reduce(values, kSum);
+  EXPECT_EQ(r.values[0], 66u);
+  EXPECT_EQ(r.generations, log2_ceil(11));
+}
+
+TEST(Kernels, ReduceSingleCell) {
+  const KernelResult r = reduce({42}, kMin);
+  EXPECT_EQ(r.values[0], 42u);
+  EXPECT_EQ(r.generations, 0u);
+}
+
+TEST(Kernels, BroadcastFromAnySource) {
+  for (std::size_t source = 0; source < 7; ++source) {
+    std::vector<KernelWord> values(7, 0);
+    values[source] = 99;
+    const KernelResult r = broadcast(values, source);
+    EXPECT_EQ(r.values, std::vector<KernelWord>(7, 99)) << "source=" << source;
+    EXPECT_EQ(r.max_congestion, 1u) << "source=" << source;
+  }
+}
+
+TEST(Kernels, BroadcastGenerationCount) {
+  const KernelResult r = broadcast(std::vector<KernelWord>(16, 1), 3);
+  EXPECT_EQ(r.generations, 4u);
+}
+
+TEST(Kernels, ExclusiveScanSum) {
+  const KernelResult r = exclusive_scan({1, 2, 3, 4, 5}, kSum, 0);
+  EXPECT_EQ(r.values, (std::vector<KernelWord>{0, 1, 3, 6, 10}));
+  EXPECT_EQ(r.max_congestion, 1u);
+}
+
+TEST(Kernels, ExclusiveScanMin) {
+  const KernelResult r = exclusive_scan({4, 2, 7, 1, 9}, kMin,
+                                        std::numeric_limits<KernelWord>::max());
+  EXPECT_EQ(r.values[0], std::numeric_limits<KernelWord>::max());
+  EXPECT_EQ(r.values[1], 4u);
+  EXPECT_EQ(r.values[2], 2u);
+  EXPECT_EQ(r.values[3], 2u);
+  EXPECT_EQ(r.values[4], 1u);
+}
+
+TEST(Kernels, ScanMatchesSequentialOnRandomInput) {
+  Xoshiro256 rng(7);
+  std::vector<KernelWord> values(37);
+  for (auto& v : values) v = rng.below(1000);
+  const KernelResult r = exclusive_scan(values, kSum, 0);
+  KernelWord running = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(r.values[i], running) << i;
+    running += values[i];
+  }
+}
+
+TEST(Kernels, CyclicShift) {
+  const KernelResult r = cyclic_shift({10, 11, 12, 13}, 1);
+  EXPECT_EQ(r.values, (std::vector<KernelWord>{11, 12, 13, 10}));
+  EXPECT_EQ(r.generations, 1u);
+  EXPECT_EQ(r.max_congestion, 1u);
+}
+
+TEST(Kernels, CyclicShiftByZeroAndFullCycle) {
+  const std::vector<KernelWord> values = {1, 2, 3};
+  EXPECT_EQ(cyclic_shift(values, 0).values, values);
+  EXPECT_EQ(cyclic_shift(values, 3).values, values);
+}
+
+TEST(Kernels, BitonicSortSorts) {
+  const KernelResult r = bitonic_sort({7, 3, 9, 1, 5, 0, 8, 2});
+  EXPECT_EQ(r.values, (std::vector<KernelWord>{0, 1, 2, 3, 5, 7, 8, 9}));
+  EXPECT_EQ(r.max_congestion, 1u);
+}
+
+TEST(Kernels, BitonicSortGenerationCount) {
+  // lg n stages, stage s has s+1 substeps: lg n (lg n + 1) / 2.
+  const KernelResult r = bitonic_sort(std::vector<KernelWord>(16, 0));
+  EXPECT_EQ(r.generations, 4u * 5u / 2u);
+}
+
+TEST(Kernels, BitonicSortRandomAgainstStdSort) {
+  Xoshiro256 rng(13);
+  for (std::size_t n : {2u, 8u, 32u, 128u}) {
+    std::vector<KernelWord> values(n);
+    for (auto& v : values) v = rng.below(1U << 20);
+    std::vector<KernelWord> expected = values;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(bitonic_sort(values).values, expected) << "n=" << n;
+  }
+}
+
+TEST(Kernels, BitonicSortRejectsNonPowerOfTwo) {
+  EXPECT_THROW((void)bitonic_sort(std::vector<KernelWord>(6, 0)),
+               ContractViolation);
+}
+
+TEST(Kernels, AllKernelsAreCongestionOne) {
+  Xoshiro256 rng(3);
+  std::vector<KernelWord> values(32);
+  for (auto& v : values) v = rng.below(100);
+  EXPECT_EQ(reduce(values, kSum).max_congestion, 1u);
+  EXPECT_EQ(broadcast(values, 5).max_congestion, 1u);
+  EXPECT_EQ(exclusive_scan(values, kSum, 0).max_congestion, 1u);
+  EXPECT_EQ(cyclic_shift(values, 7).max_congestion, 1u);
+  EXPECT_EQ(bitonic_sort(values).max_congestion, 1u);
+}
+
+}  // namespace
+}  // namespace gcalib::gca

@@ -1,0 +1,74 @@
+#include "graph/labeling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/cc_baselines.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(Labeling, ComponentCount) {
+  EXPECT_EQ(component_count({0, 0, 2, 2, 2, 5}), 3u);
+  EXPECT_EQ(component_count({1, 1, 1}), 1u);
+  EXPECT_EQ(component_count({}), 0u);
+}
+
+TEST(Labeling, CanonicalizeMinIdempotent) {
+  const std::vector<NodeId> labels = {0, 0, 2, 2};
+  EXPECT_EQ(canonicalize_min(labels), labels);
+}
+
+TEST(Labeling, CanonicalizeArbitraryLabels) {
+  // Partition {0,2} {1,3} under labels 9/7 -> minima 0/1.
+  EXPECT_EQ(canonicalize_min({9, 7, 9, 7}), (std::vector<NodeId>{0, 1, 0, 1}));
+}
+
+TEST(Labeling, SamePartitionIgnoresLabelNames) {
+  EXPECT_TRUE(same_partition({5, 5, 8}, {1, 1, 0}));
+  EXPECT_FALSE(same_partition({0, 0, 2}, {0, 1, 2}));
+  EXPECT_FALSE(same_partition({0, 0}, {0, 0, 0}));
+}
+
+TEST(Labeling, ValidMinLabelingAccepts) {
+  const Graph g = disjoint_cliques({2, 3});
+  EXPECT_TRUE(is_valid_min_labeling(g, {0, 0, 2, 2, 2}));
+}
+
+TEST(Labeling, ValidMinLabelingRejectsWrongConvention) {
+  const Graph g = disjoint_cliques({2, 3});
+  // Correct partition, wrong representatives.
+  EXPECT_FALSE(is_valid_min_labeling(g, {1, 1, 2, 2, 2}));
+}
+
+TEST(Labeling, ValidMinLabelingRejectsSplitComponent) {
+  const Graph g = path(4);
+  EXPECT_FALSE(is_valid_min_labeling(g, {0, 0, 2, 2}));
+}
+
+TEST(Labeling, ValidMinLabelingRejectsMergedComponents) {
+  const Graph g = disjoint_cliques({2, 2});
+  EXPECT_FALSE(is_valid_min_labeling(g, {0, 0, 0, 0}));
+}
+
+TEST(Labeling, ValidMinLabelingRejectsWrongSize) {
+  EXPECT_FALSE(is_valid_min_labeling(path(4), {0, 0, 0}));
+}
+
+TEST(Labeling, ComponentSizes) {
+  const auto sizes = component_sizes({0, 0, 2, 2, 2, 5});
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_EQ(sizes[0], (std::pair<NodeId, NodeId>{0, 2}));
+  EXPECT_EQ(sizes[1], (std::pair<NodeId, NodeId>{2, 3}));
+  EXPECT_EQ(sizes[2], (std::pair<NodeId, NodeId>{5, 1}));
+}
+
+TEST(Labeling, OracleLabelingIsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = random_gnp(60, 0.03, seed);
+    EXPECT_TRUE(is_valid_min_labeling(g, bfs_components(g)));
+  }
+}
+
+}  // namespace
+}  // namespace gcalib::graph

@@ -1,0 +1,169 @@
+#include "hw/multiproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+
+namespace gcalib::hw {
+namespace {
+
+TEST(PartitionMap, RowBlockAssignsWholeRows) {
+  const std::size_t n = 8;  // 9 rows x 8 cols
+  const PartitionMap map(n, 3, Partitioning::kRowBlock);
+  for (std::size_t cell = 0; cell < 72; ++cell) {
+    // All cells of a row share an owner.
+    EXPECT_EQ(map.owner(cell), map.owner((cell / n) * n)) << cell;
+  }
+  // Rows 0-2 -> proc 0, 3-5 -> proc 1, 6-8 -> proc 2.
+  EXPECT_EQ(map.owner(0), 0u);
+  EXPECT_EQ(map.owner(3 * n), 1u);
+  EXPECT_EQ(map.owner(8 * n), 2u);
+}
+
+TEST(PartitionMap, CyclicBalancesPerfectly) {
+  const PartitionMap map(8, 4, Partitioning::kCyclic);
+  for (std::size_t load : map.load()) EXPECT_EQ(load, 18u);  // 72 / 4
+}
+
+TEST(PartitionMap, LoadsSumToCellCount) {
+  for (auto scheme :
+       {Partitioning::kRowBlock, Partitioning::kBlock, Partitioning::kCyclic}) {
+    const PartitionMap map(7, 3, scheme);
+    const std::size_t total = std::accumulate(map.load().begin(),
+                                              map.load().end(), std::size_t{0});
+    EXPECT_EQ(total, 7u * 8u) << to_string(scheme);
+  }
+}
+
+TEST(EvaluateStep, SingleProcessorHasNoCommunication) {
+  const PartitionMap map(4, 1, Partitioning::kBlock);
+  const std::vector<std::uint8_t> active(20, 1);
+  const std::vector<gca::AccessEdge> edges = {{0, 19}, {5, 3}};
+  const StepCost cost = evaluate_step(map, Network::kBus, active, edges);
+  EXPECT_EQ(cost.messages, 0u);
+  EXPECT_EQ(cost.communication, 0u);
+  EXPECT_EQ(cost.compute, 20u);
+}
+
+TEST(EvaluateStep, MessagesAreNetworkIndependent) {
+  const PartitionMap map(4, 4, Partitioning::kCyclic);
+  const std::vector<std::uint8_t> active(20, 1);
+  const std::vector<gca::AccessEdge> edges = {{0, 1}, {1, 2}, {2, 3}, {4, 4}};
+  std::size_t messages = 0;
+  for (auto net : {Network::kBus, Network::kRing, Network::kCrossbar}) {
+    const StepCost cost = evaluate_step(map, net, active, edges);
+    if (messages == 0) messages = cost.messages;
+    EXPECT_EQ(cost.messages, messages) << to_string(net);
+  }
+  EXPECT_EQ(messages, 3u);  // {4,4} is local under cyclic with P=4
+}
+
+TEST(EvaluateStep, BusSerialisesEverything) {
+  const PartitionMap map(4, 2, Partitioning::kBlock);
+  const std::vector<std::uint8_t> active(20, 0);
+  // 4 cross-partition reads.
+  const std::vector<gca::AccessEdge> edges = {
+      {0, 19}, {1, 18}, {2, 17}, {3, 16}};
+  const StepCost bus = evaluate_step(map, Network::kBus, active, edges);
+  const StepCost xbar = evaluate_step(map, Network::kCrossbar, active, edges);
+  EXPECT_EQ(bus.communication, 4u);
+  // Crossbar: one sender proc, one receiver proc -> contention 4 as well
+  // here (all messages share the same ports).
+  EXPECT_EQ(xbar.communication, 4u);
+}
+
+TEST(EvaluateStep, CrossbarBeatsBusOnSpreadTraffic) {
+  const PartitionMap map(4, 4, Partitioning::kCyclic);
+  const std::vector<std::uint8_t> active(20, 0);
+  // Four disjoint proc pairs (cyclic: owner = index mod 4).
+  const std::vector<gca::AccessEdge> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const StepCost bus = evaluate_step(map, Network::kBus, active, edges);
+  const StepCost xbar = evaluate_step(map, Network::kCrossbar, active, edges);
+  EXPECT_EQ(bus.communication, 4u);
+  EXPECT_EQ(xbar.communication, 1u);  // every port used once
+}
+
+TEST(EvaluateStep, RingCountsHopsAndLinkLoad) {
+  const PartitionMap map(4, 4, Partitioning::kCyclic);
+  const std::vector<std::uint8_t> active(20, 0);
+  // One message from proc 0 to proc 2: 2 hops either way.
+  const std::vector<gca::AccessEdge> edges = {{2, 0}};  // reader 2, target 0
+  const StepCost ring = evaluate_step(map, Network::kRing, active, edges);
+  EXPECT_EQ(ring.messages, 1u);
+  EXPECT_EQ(ring.communication, 2u + 1u);  // max_link(1) + hops(2)
+}
+
+TEST(SimulateHirschberg, SingleProcessorMatchesActiveCellTotal) {
+  const graph::Graph g = graph::complete(8);
+  MultiprocConfig config;
+  config.processors = 1;
+  const MultiprocResult result = simulate_hirschberg(g, config);
+  EXPECT_EQ(result.comm_cycles, 0u);
+  EXPECT_EQ(result.messages, 0u);
+  EXPECT_GT(result.compute_cycles, 0u);
+  EXPECT_EQ(result.generations, 52u);
+}
+
+TEST(SimulateHirschberg, MoreProcessorsReduceComputeCycles) {
+  const graph::Graph g = graph::complete(16);
+  MultiprocConfig one;
+  one.processors = 1;
+  MultiprocConfig eight;
+  eight.processors = 8;
+  eight.partitioning = Partitioning::kCyclic;
+  const MultiprocResult r1 = simulate_hirschberg(g, one);
+  const MultiprocResult r8 = simulate_hirschberg(g, eight);
+  EXPECT_LT(r8.compute_cycles, r1.compute_cycles);
+  // Perfect division of compute under cyclic partitioning is impossible for
+  // the column-0 generations, but the reduction must be substantial.
+  EXPECT_LT(r8.compute_cycles * 4, r1.compute_cycles * 3 + r1.compute_cycles);
+}
+
+TEST(SimulateHirschberg, MessagesDependOnPartitioningNotNetwork) {
+  const graph::Graph g = graph::random_gnp(8, 0.4, 5);
+  MultiprocConfig config;
+  config.processors = 4;
+  config.partitioning = Partitioning::kRowBlock;
+  config.network = Network::kBus;
+  const MultiprocResult bus = simulate_hirschberg(g, config);
+  config.network = Network::kRing;
+  const MultiprocResult ring = simulate_hirschberg(g, config);
+  EXPECT_EQ(bus.messages, ring.messages);
+  EXPECT_EQ(bus.compute_cycles, ring.compute_cycles);
+}
+
+TEST(SimulateHirschberg, RowBlockLocalisesRowMinTraffic) {
+  // Row-min reads stay within a row, so row-block partitioning turns them
+  // local; cyclic partitioning makes almost every one remote.
+  const graph::Graph g = graph::complete(8);
+  MultiprocConfig row;
+  row.processors = 3;
+  row.partitioning = Partitioning::kRowBlock;
+  MultiprocConfig cyc = row;
+  cyc.partitioning = Partitioning::kCyclic;
+  const MultiprocResult r = simulate_hirschberg(g, row);
+  const MultiprocResult c = simulate_hirschberg(g, cyc);
+  EXPECT_LT(r.messages, c.messages);
+}
+
+TEST(SimulateHirschberg, EmptyGraph) {
+  const MultiprocResult result =
+      simulate_hirschberg(graph::Graph(0), MultiprocConfig{});
+  EXPECT_EQ(result.generations, 0u);
+  EXPECT_EQ(result.total_cycles(), 0u);
+}
+
+TEST(SimulateHirschberg, ToStringCoverage) {
+  EXPECT_STREQ(to_string(Partitioning::kRowBlock), "row-block");
+  EXPECT_STREQ(to_string(Partitioning::kBlock), "block");
+  EXPECT_STREQ(to_string(Partitioning::kCyclic), "cyclic");
+  EXPECT_STREQ(to_string(Network::kBus), "bus");
+  EXPECT_STREQ(to_string(Network::kRing), "ring");
+  EXPECT_STREQ(to_string(Network::kCrossbar), "crossbar");
+}
+
+}  // namespace
+}  // namespace gcalib::hw

@@ -1,0 +1,197 @@
+#include "pram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcalib::pram {
+namespace {
+
+TEST(PramMachine, HostLoadStore) {
+  Machine m(8, AccessMode::kCrew);
+  m.store(3, 42);
+  EXPECT_EQ(m.load(3), 42);
+  EXPECT_EQ(m.load(0), 0);
+}
+
+TEST(PramMachine, AllocAssignsDisjointRegions) {
+  Machine m(10, AccessMode::kCrew);
+  const ArrayRef a = m.alloc("a", 4);
+  const ArrayRef b = m.alloc("b", 6);
+  EXPECT_EQ(a.base, 0u);
+  EXPECT_EQ(b.base, 4u);
+  EXPECT_EQ(a.at(3), 3u);
+  EXPECT_EQ(b.at(0), 4u);
+  EXPECT_THROW((void)a.at(4), ContractViolation);
+}
+
+TEST(PramMachine, AllocExhaustionThrows) {
+  Machine m(4, AccessMode::kCrew);
+  (void)m.alloc("a", 3);
+  EXPECT_THROW((void)m.alloc("b", 2), ContractViolation);
+}
+
+TEST(PramMachine, StepWritesCommitAtBoundary) {
+  Machine m(4, AccessMode::kCrew);
+  m.step(4, [](Processor& p) { p.write(p.id(), static_cast<Word>(p.id() * 10)); });
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.load(i), static_cast<Word>(i * 10));
+  }
+}
+
+TEST(PramMachine, ReadsSeeSnapshotNotPendingWrites) {
+  Machine m(2, AccessMode::kCrew);
+  m.store(0, 1);
+  m.store(1, 2);
+  // Processors swap the two cells; both reads must see pre-step values.
+  m.step(2, [](Processor& p) {
+    const Word other = p.read(1 - p.id());
+    p.write(p.id(), other);
+  });
+  EXPECT_EQ(m.load(0), 2);
+  EXPECT_EQ(m.load(1), 1);
+}
+
+TEST(PramMachine, SynchronousPointerJumpSemantics) {
+  // C = [1, 2, 3, 3]; one synchronous C(i) <- C(C(i)) gives [2, 3, 3, 3].
+  Machine m(4, AccessMode::kCrew);
+  const Word init[] = {1, 2, 3, 3};
+  for (std::size_t i = 0; i < 4; ++i) m.store(i, init[i]);
+  m.step(4, [](Processor& p) {
+    const Word ci = p.read(p.id());
+    p.write(p.id(), p.read(static_cast<std::size_t>(ci)));
+  });
+  EXPECT_EQ(m.load(0), 2);
+  EXPECT_EQ(m.load(1), 3);
+  EXPECT_EQ(m.load(2), 3);
+  EXPECT_EQ(m.load(3), 3);
+}
+
+TEST(PramMachine, CrewAllowsConcurrentReads) {
+  Machine m(4, AccessMode::kCrew);
+  m.store(0, 5);
+  EXPECT_NO_THROW(m.step(4, [](Processor& p) {
+    const Word v = p.read(0);
+    p.write(p.id(), v);
+  }));
+}
+
+TEST(PramMachine, ErewRejectsConcurrentReads) {
+  Machine m(4, AccessMode::kErew);
+  EXPECT_THROW(m.step(2,
+                      [](Processor& p) {
+                        (void)p.read(0);
+                        p.write(p.id(), 0);
+                      }),
+               AccessViolation);
+}
+
+TEST(PramMachine, ErewAllowsSameProcessorReRead) {
+  Machine m(4, AccessMode::kErew);
+  EXPECT_NO_THROW(m.step(1, [](Processor& p) {
+    (void)p.read(2);
+    (void)p.read(2);
+  }));
+}
+
+TEST(PramMachine, CrewRejectsWriteConflict) {
+  Machine m(4, AccessMode::kCrew);
+  EXPECT_THROW(m.step(2, [](Processor& p) { p.write(0, static_cast<Word>(p.id())); }),
+               AccessViolation);
+}
+
+TEST(PramMachine, CrowEnforcesOwnership) {
+  Machine m(4, AccessMode::kCrow);
+  m.set_owner(0, 0);
+  EXPECT_THROW(m.step(2,
+                      [](Processor& p) {
+                        if (p.id() == 1) p.write(0, 9);
+                      }),
+               AccessViolation);
+}
+
+TEST(PramMachine, CrowAllowsOwnerWrite) {
+  Machine m(4, AccessMode::kCrow);
+  for (std::size_t i = 0; i < 4; ++i) m.set_owner(i, i);
+  EXPECT_NO_THROW(
+      m.step(4, [](Processor& p) { p.write(p.id(), static_cast<Word>(p.id())); }));
+  EXPECT_EQ(m.load(3), 3);
+}
+
+TEST(PramMachine, CrcwPriorityLowestIdWins) {
+  Machine m(1, AccessMode::kCrcwPriority);
+  m.step(4, [](Processor& p) { p.write(0, static_cast<Word>(100 + p.id())); });
+  EXPECT_EQ(m.load(0), 100);
+}
+
+TEST(PramMachine, CrcwMinCombines) {
+  Machine m(1, AccessMode::kCrcwMin);
+  m.step(4, [](Processor& p) { p.write(0, static_cast<Word>(50 - p.id())); });
+  EXPECT_EQ(m.load(0), 47);
+}
+
+TEST(PramMachine, StatsAccumulate) {
+  Machine m(8, AccessMode::kCrew);
+  m.step(4, [](Processor& p) {
+    (void)p.read(0);
+    p.write(p.id() + 4, 1);
+  });
+  m.step(2, [](Processor& p) { (void)p.read(p.id()); });
+  const MachineStats& stats = m.stats();
+  EXPECT_EQ(stats.steps, 2u);
+  EXPECT_EQ(stats.work, 6u);
+  EXPECT_EQ(stats.reads, 6u);
+  EXPECT_EQ(stats.writes, 4u);
+  EXPECT_EQ(stats.max_read_congestion, 4u);  // 4 readers of cell 0 in step 1
+  ASSERT_EQ(m.history().size(), 2u);
+  EXPECT_EQ(m.history()[0].processors, 4u);
+  EXPECT_EQ(m.history()[1].processors, 2u);
+}
+
+TEST(PramMachine, SameProcessorReReadCountsOnce) {
+  Machine m(2, AccessMode::kCrew);
+  m.step(1, [](Processor& p) {
+    (void)p.read(0);
+    (void)p.read(0);
+  });
+  EXPECT_EQ(m.stats().reads, 1u);
+  EXPECT_EQ(m.stats().max_read_congestion, 1u);
+}
+
+TEST(PramMachine, ResetStatsKeepsMemory) {
+  Machine m(2, AccessMode::kCrew);
+  m.store(1, 7);
+  m.step(1, [](Processor& p) { (void)p.read(1); });
+  m.reset_stats();
+  EXPECT_EQ(m.stats().steps, 0u);
+  EXPECT_TRUE(m.history().empty());
+  EXPECT_EQ(m.load(1), 7);
+}
+
+TEST(PramMachine, LabelsRecordedInHistory) {
+  Machine m(1, AccessMode::kCrew);
+  m.step(1, [](Processor&) {}, "hello");
+  EXPECT_EQ(m.history()[0].label, "hello");
+}
+
+TEST(PramMachine, ReadOutsideStepThrows) {
+  Machine m(2, AccessMode::kCrew);
+  // Processor handles cannot be constructed externally; accessing memory
+  // outside step() is only possible via load/store, which are host-side.
+  // This test documents that nested steps are rejected instead.
+  EXPECT_THROW(m.step(1,
+                      [&m](Processor&) {
+                        m.step(1, [](Processor&) {});
+                      }),
+               ContractViolation);
+}
+
+TEST(PramMachine, ToStringCoversAllModes) {
+  EXPECT_STREQ(to_string(AccessMode::kErew), "EREW");
+  EXPECT_STREQ(to_string(AccessMode::kCrew), "CREW");
+  EXPECT_STREQ(to_string(AccessMode::kCrow), "CROW");
+  EXPECT_STREQ(to_string(AccessMode::kCrcwPriority), "CRCW-priority");
+  EXPECT_STREQ(to_string(AccessMode::kCrcwArbitrary), "CRCW-arbitrary");
+  EXPECT_STREQ(to_string(AccessMode::kCrcwMin), "CRCW-min");
+}
+
+}  // namespace
+}  // namespace gcalib::pram

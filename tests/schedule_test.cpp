@@ -1,0 +1,82 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gcalib::core {
+namespace {
+
+TEST(Schedule, OuterIterations) {
+  EXPECT_EQ(outer_iterations(0), 0u);
+  EXPECT_EQ(outer_iterations(1), 0u);
+  EXPECT_EQ(outer_iterations(2), 1u);
+  EXPECT_EQ(outer_iterations(4), 2u);
+  EXPECT_EQ(outer_iterations(5), 3u);
+  EXPECT_EQ(outer_iterations(16), 4u);
+  EXPECT_EQ(outer_iterations(1024), 10u);
+}
+
+TEST(Schedule, SubgenerationCountTracksLog) {
+  EXPECT_EQ(subgeneration_count(2), 1u);
+  EXPECT_EQ(subgeneration_count(8), 3u);
+  EXPECT_EQ(subgeneration_count(9), 4u);
+}
+
+TEST(Schedule, GenerationsOf) {
+  EXPECT_EQ(generations_of(Generation::kCopyCToRows, 16), 1u);
+  EXPECT_EQ(generations_of(Generation::kRowMin, 16), 4u);
+  EXPECT_EQ(generations_of(Generation::kRowMin2, 16), 4u);
+  EXPECT_EQ(generations_of(Generation::kPointerJump, 16), 4u);
+  EXPECT_EQ(generations_of(Generation::kFinalMin, 16), 1u);
+}
+
+TEST(Schedule, Table2RowsForN16) {
+  // Paper Table 2 with log(16) = 4:
+  //   step 1 -> 1, step 2 -> 1+4+1+1 = 7, step 3 -> 7, step 4 -> 1,
+  //   step 5 -> 4, step 6 -> 1.
+  const auto rows = generations_per_step(16);
+  EXPECT_EQ(rows[0], 1u);
+  EXPECT_EQ(rows[1], 7u);
+  EXPECT_EQ(rows[2], 7u);
+  EXPECT_EQ(rows[3], 1u);
+  EXPECT_EQ(rows[4], 4u);
+  EXPECT_EQ(rows[5], 1u);
+}
+
+TEST(Schedule, StepRowsSumToPerIterationCost) {
+  // Steps 2..6 are iterated log n times; step 1 runs once.  Their sum must
+  // reproduce the total formula.
+  for (std::size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+    const auto rows = generations_per_step(n);
+    const std::size_t per_iteration =
+        std::accumulate(rows.begin() + 1, rows.end(), std::size_t{0});
+    EXPECT_EQ(rows[0] + outer_iterations(n) * per_iteration,
+              total_generations(n))
+        << "n=" << n;
+  }
+}
+
+TEST(Schedule, TotalFormulaMatchesPaper) {
+  // 1 + log n (3 log n + 8)
+  EXPECT_EQ(total_generations(1), 1u);
+  EXPECT_EQ(total_generations(2), 1 + 1 * (3 + 8));
+  EXPECT_EQ(total_generations(4), 1 + 2 * (6 + 8));
+  EXPECT_EQ(total_generations(16), 1 + 4 * (12 + 8));   // = 81
+  EXPECT_EQ(total_generations(16), 81u);
+  EXPECT_EQ(total_generations(256), 1 + 8 * (24 + 8));  // = 257
+}
+
+TEST(Schedule, NonPowerOfTwoUsesCeilLog) {
+  EXPECT_EQ(total_generations(5), 1 + 3 * (9 + 8));
+  EXPECT_EQ(total_generations(100), 1 + 7 * (21 + 8));
+}
+
+TEST(Schedule, GrowthIsLogSquared) {
+  // total(n^2) < 4 * total(n) + O(log n): crude shape check that the curve
+  // is polylogarithmic, not polynomial.
+  EXPECT_LT(total_generations(1u << 16), 4 * total_generations(1u << 8) + 64);
+}
+
+}  // namespace
+}  // namespace gcalib::core

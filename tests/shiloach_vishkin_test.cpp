@@ -1,0 +1,90 @@
+#include "pram/shiloach_vishkin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/labeling.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::pram {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+TEST(ShiloachVishkin, TrivialGraphs) {
+  EXPECT_TRUE(shiloach_vishkin_reference(Graph(0)).empty());
+  EXPECT_EQ(shiloach_vishkin_reference(Graph(1)), (std::vector<NodeId>{0}));
+  EXPECT_EQ(shiloach_vishkin_reference(Graph(4)),
+            (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(ShiloachVishkin, PathAndCliques) {
+  EXPECT_EQ(shiloach_vishkin_reference(graph::path(6)),
+            std::vector<NodeId>(6, 0));
+  EXPECT_EQ(shiloach_vishkin_reference(graph::disjoint_cliques({2, 3})),
+            (std::vector<NodeId>{0, 0, 2, 2, 2}));
+}
+
+TEST(ShiloachVishkin, MinIdConventionHoldsWithoutCanonicalisation) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = graph::random_gnp(40, 0.08, seed);
+    const std::vector<NodeId> labels = shiloach_vishkin_reference(g);
+    EXPECT_EQ(labels, graph::union_find_components(g)) << "seed=" << seed;
+  }
+}
+
+TEST(ShiloachVishkin, LongPathStressesShortcutting) {
+  EXPECT_EQ(shiloach_vishkin_reference(graph::path(257)),
+            std::vector<NodeId>(257, 0));
+}
+
+TEST(ShiloachVishkin, PramHostedMatchesReference) {
+  for (const char* family : {"path", "star", "cliques:3", "planted:2:0.4"}) {
+    const Graph g = graph::make_named(family, 12, 9);
+    const ShiloachVishkinPramResult result = run_shiloach_vishkin_pram(g);
+    EXPECT_EQ(result.labels, shiloach_vishkin_reference(g)) << family;
+    EXPECT_GT(result.iterations, 0u);
+  }
+}
+
+TEST(ShiloachVishkin, PramHostedWorksWithCrcwMin) {
+  const Graph g = graph::random_gnp(16, 0.2, 4);
+  EXPECT_EQ(run_shiloach_vishkin_pram(g, AccessMode::kCrcwMin).labels,
+            graph::union_find_components(g));
+}
+
+TEST(ShiloachVishkin, NeedsConcurrentWrites) {
+  // Star hooking and the star-flag clearing produce write conflicts that a
+  // CREW machine must reject: with a triangle every hooking step has two
+  // proposals for the same root.
+  const Graph g = graph::complete(3);
+  EXPECT_THROW((void)run_shiloach_vishkin_pram(g, AccessMode::kCrew),
+               AccessViolation);
+}
+
+TEST(ShiloachVishkin, IterationCountIsLogarithmicOnPaths) {
+  // Not a tight bound — just documents that convergence is far from the
+  // linear worst case the safety cap guards against.
+  const Graph g = graph::path(1024);
+  const ShiloachVishkinPramResult result = run_shiloach_vishkin_pram(g);
+  EXPECT_LE(result.iterations, 24u);
+}
+
+class SvVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SvVsOracle, RandomGraphsMatchOracle) {
+  const std::uint64_t seed = GetParam();
+  for (NodeId n : {7u, 15u, 31u, 64u}) {
+    for (double p : {0.02, 0.1, 0.5}) {
+      const Graph g = graph::random_gnp(n, p, seed);
+      EXPECT_EQ(shiloach_vishkin_reference(g), graph::union_find_components(g))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvVsOracle, ::testing::Range<std::uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace gcalib::pram

@@ -1,0 +1,76 @@
+#include "core/state_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace gcalib::core {
+namespace {
+
+TEST(StateGraph, HasTwelveGenerations) {
+  const auto& graph = state_graph();
+  EXPECT_EQ(graph.size(), 12u);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(graph[i].id), i);
+  }
+}
+
+TEST(StateGraph, StepAssignmentMatchesPaperTable2) {
+  EXPECT_EQ(info(Generation::kInit).step, 1);
+  EXPECT_EQ(info(Generation::kCopyCToRows).step, 2);
+  EXPECT_EQ(info(Generation::kFallback).step, 2);
+  EXPECT_EQ(info(Generation::kCopyTToRows).step, 3);
+  EXPECT_EQ(info(Generation::kFallback2).step, 3);
+  EXPECT_EQ(info(Generation::kAdopt).step, 4);
+  EXPECT_EQ(info(Generation::kPointerJump).step, 5);
+  EXPECT_EQ(info(Generation::kFinalMin).step, 6);
+}
+
+TEST(StateGraph, PaperStepHelperAgreesWithTable) {
+  for (const GenerationInfo& g : state_graph()) {
+    EXPECT_EQ(paper_step(g.id), g.step);
+  }
+}
+
+TEST(StateGraph, SubgenerationFlags) {
+  std::set<Generation> iterated;
+  for (const GenerationInfo& g : state_graph()) {
+    EXPECT_EQ(g.subgenerations, has_subgenerations(g.id));
+    if (g.subgenerations) iterated.insert(g.id);
+  }
+  EXPECT_EQ(iterated, (std::set<Generation>{Generation::kRowMin,
+                                            Generation::kRowMin2,
+                                            Generation::kPointerJump}));
+}
+
+TEST(StateGraph, AllEntriesDocumented) {
+  for (const GenerationInfo& g : state_graph()) {
+    EXPECT_NE(std::string(g.name), "");
+    EXPECT_NE(std::string(g.pointer_op), "");
+    EXPECT_NE(std::string(g.data_op), "");
+    EXPECT_NE(std::string(g.active), "");
+    EXPECT_GE(g.step, 1);
+    EXPECT_LE(g.step, 6);
+  }
+}
+
+TEST(StateGraph, LabelsAreStable) {
+  EXPECT_EQ(generation_label(Generation::kInit, 0), "gen0:init");
+  EXPECT_EQ(generation_label(Generation::kMaskNeighbors, 0),
+            "gen2:mask-neighbors");
+  EXPECT_EQ(generation_label(Generation::kRowMin, 2), "gen3:row-min.sub2");
+  EXPECT_EQ(generation_label(Generation::kPointerJump, 0),
+            "gen10:pointer-jump.sub0");
+  EXPECT_EQ(generation_label(Generation::kFinalMin, 0), "gen11:final-min");
+}
+
+TEST(StateGraph, ErratumIsDocumentedInline) {
+  // The generation-6 pointer correction must be visible in the rendered
+  // state graph so readers of the Figure-2 bench see it.
+  EXPECT_NE(std::string(info(Generation::kMaskMembers).pointer_op).find("erratum"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcalib::core

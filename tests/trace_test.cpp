@@ -1,0 +1,86 @@
+#include "gca/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gcalib::gca {
+namespace {
+
+TEST(Trace, RenderActiveMask) {
+  const FieldGeometry geo(2, 3);
+  const std::vector<std::uint8_t> active = {1, 0, 1, 0, 1, 0};
+  EXPECT_EQ(render_active_mask(geo, active), "#.#\n.#.\n");
+}
+
+TEST(Trace, RenderActiveMaskSizeChecked) {
+  const FieldGeometry geo(2, 3);
+  EXPECT_THROW((void)render_active_mask(geo, {1, 0}), ContractViolation);
+}
+
+TEST(Trace, RenderIndexedMaskShadesActive) {
+  const FieldGeometry geo(2, 2);
+  const std::string out = render_indexed_mask(geo, {1, 0, 0, 1});
+  EXPECT_NE(out.find("[0]"), std::string::npos);
+  EXPECT_NE(out.find(" 1 "), std::string::npos);
+  EXPECT_NE(out.find("[3]"), std::string::npos);
+}
+
+TEST(Trace, RenderAccessEdgesSortedByReader) {
+  const FieldGeometry geo(2, 2);
+  const std::vector<AccessEdge> edges = {{3, 0}, {0, 2}};
+  const std::string out = render_access_edges(geo, edges);
+  const std::size_t first = out.find("(0,0) <- (1,0)");
+  const std::size_t second = out.find("(1,1) <- (0,0)");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+TEST(Trace, RenderNumericFieldWithInfinity) {
+  const FieldGeometry geo(2, 2);
+  const std::string out = render_numeric_field(geo, {1, 77, 3, 9}, 77);
+  EXPECT_NE(out.find("inf"), std::string::npos);
+  EXPECT_NE(out.find("9"), std::string::npos);
+  // two lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(Trace, FormatGenerationStats) {
+  GenerationStats stats;
+  stats.label = "gen2:mask";
+  stats.active_cells = 16;
+  stats.total_reads = 16;
+  stats.cells_read = 4;
+  stats.max_congestion = 4;
+  const std::string line = format_generation_stats(stats);
+  EXPECT_NE(line.find("gen2:mask"), std::string::npos);
+  EXPECT_NE(line.find("active=16"), std::string::npos);
+  EXPECT_NE(line.find("max_congestion=4"), std::string::npos);
+}
+
+TEST(Trace, SummarizeAggregates) {
+  GenerationStats a;
+  a.active_cells = 8;
+  a.total_reads = 8;
+  a.cells_read = 8;
+  a.max_congestion = 1;
+  GenerationStats b;
+  b.active_cells = 4;
+  b.total_reads = 4;
+  b.cells_read = 4;
+  b.max_congestion = 2;
+  const GenerationSummary summary = summarize("gen3", {a, b});
+  EXPECT_EQ(summary.steps, 2u);
+  EXPECT_EQ(summary.active_cells_first, 8u);
+  EXPECT_EQ(summary.active_cells_total, 12u);
+  EXPECT_EQ(summary.total_reads, 12u);
+  EXPECT_EQ(summary.max_congestion, 2u);
+}
+
+TEST(Trace, SummarizeEmpty) {
+  const GenerationSummary summary = summarize("none", {});
+  EXPECT_EQ(summary.steps, 0u);
+  EXPECT_EQ(summary.active_cells_total, 0u);
+}
+
+}  // namespace
+}  // namespace gcalib::gca

@@ -1,0 +1,124 @@
+#include "core/transitive_closure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::core {
+namespace {
+
+BoolMatrix random_digraph(std::size_t n, double p, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  BoolMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.bernoulli(p)) m.set(i, j);
+    }
+  }
+  return m;
+}
+
+TEST(TransitiveClosure, EmptyAndSingleton) {
+  EXPECT_EQ(transitive_closure_warshall(BoolMatrix(0)).size(), 0u);
+  const BoolMatrix one = transitive_closure_warshall(BoolMatrix(1));
+  EXPECT_TRUE(one.at(0, 0));  // reflexive closure
+}
+
+TEST(TransitiveClosure, DirectedChain) {
+  // 0 -> 1 -> 2: closure has 0->2 but not 2->0.
+  BoolMatrix a(3);
+  a.set(0, 1);
+  a.set(1, 2);
+  const BoolMatrix r = transitive_closure_warshall(a);
+  EXPECT_TRUE(r.at(0, 2));
+  EXPECT_TRUE(r.at(1, 2));
+  EXPECT_FALSE(r.at(2, 0));
+  EXPECT_FALSE(r.at(1, 0));
+}
+
+TEST(TransitiveClosure, SquaringMatchesWarshall) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (std::size_t n : {2u, 5u, 8u, 13u}) {
+      const BoolMatrix a = random_digraph(n, 0.2, seed);
+      EXPECT_EQ(transitive_closure_squaring(a), transitive_closure_warshall(a))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TransitiveClosure, GcaMatchesWarshall) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    for (std::size_t n : {2u, 4u, 7u, 9u, 16u}) {
+      const BoolMatrix a = random_digraph(n, 0.25, seed);
+      const TcRunResult result = transitive_closure_gca(a);
+      EXPECT_EQ(result.closure, transitive_closure_warshall(a))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TransitiveClosure, GcaGenerationCountMatchesClosedForm) {
+  for (std::size_t n : {2u, 4u, 5u, 8u, 16u, 17u}) {
+    const BoolMatrix a = random_digraph(n, 0.3, 1);
+    const TcRunResult result = transitive_closure_gca(a);
+    EXPECT_EQ(result.generations, tc_total_generations(n)) << "n=" << n;
+  }
+  EXPECT_EQ(tc_total_generations(1), 0u);
+  EXPECT_EQ(tc_total_generations(16), 4u * 17u);
+}
+
+TEST(TransitiveClosure, GcaCongestionIsTwoN) {
+  // Sub-generation k: column k's cell (i,k) is read by the n cells of row
+  // i, and row k's cell (k,j) by the n cells of column j; the pivot (k,k)
+  // serves both roles -> congestion 2n at the hottest cell.
+  const std::size_t n = 8;
+  const BoolMatrix a = random_digraph(n, 0.5, 2);
+  const TcRunResult result = transitive_closure_gca(a);
+  EXPECT_EQ(result.max_congestion, 2 * n);
+}
+
+TEST(TransitiveClosure, LongPathNeedsAllSquaringRounds) {
+  // Path 0 -> 1 -> ... -> 12: reachability 0 -> 12 appears only in the
+  // last squaring round (distance 12 <= 2^4).
+  const std::size_t n = 13;
+  BoolMatrix a(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a.set(i, i + 1);
+  const TcRunResult result = transitive_closure_gca(a);
+  EXPECT_TRUE(result.closure.at(0, n - 1));
+  EXPECT_FALSE(result.closure.at(n - 1, 0));
+}
+
+TEST(TransitiveClosure, FromGraphIsSymmetric) {
+  const graph::Graph g = graph::path(4);
+  const BoolMatrix m = BoolMatrix::from_graph(g);
+  EXPECT_TRUE(m.at(0, 1));
+  EXPECT_TRUE(m.at(1, 0));
+  EXPECT_FALSE(m.at(0, 2));
+}
+
+TEST(TransitiveClosure, ComponentsFromClosureMatchUnionFind) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    for (graph::NodeId n : {4u, 9u, 16u, 21u}) {
+      const graph::Graph g = graph::random_gnp(n, 0.15, seed);
+      EXPECT_EQ(components_from_closure(g), graph::union_find_components(g))
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(TransitiveClosure, ClosureOfCompleteDigraphIsComplete) {
+  const std::size_t n = 6;
+  BoolMatrix a(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, (i + 1) % n);  // directed cycle reaches everything
+  }
+  const BoolMatrix r = transitive_closure_gca(a).closure;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) EXPECT_TRUE(r.at(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace gcalib::core

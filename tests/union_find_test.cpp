@@ -1,0 +1,73 @@
+#include "graph/union_find.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.set_count(), 5u);
+  for (NodeId i = 0; i < 5; ++i) EXPECT_EQ(uf.find(i), i);
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_EQ(uf.find(0), uf.find(1));
+  EXPECT_EQ(uf.set_count(), 3u);
+}
+
+TEST(UnionFind, UniteSameSetReturnsFalse) {
+  UnionFind uf(4);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.set_count(), 2u);
+}
+
+TEST(UnionFind, TransitiveChain) {
+  UnionFind uf(6);
+  for (NodeId i = 0; i + 1 < 6; ++i) uf.unite(i, i + 1);
+  EXPECT_EQ(uf.set_count(), 1u);
+  for (NodeId i = 1; i < 6; ++i) EXPECT_EQ(uf.find(0), uf.find(i));
+}
+
+TEST(UnionFind, MinLabelsAreMinima) {
+  UnionFind uf(6);
+  uf.unite(5, 3);
+  uf.unite(3, 4);
+  uf.unite(0, 1);
+  const std::vector<NodeId> labels = uf.min_labels();
+  EXPECT_EQ(labels, (std::vector<NodeId>{0, 0, 2, 3, 3, 3}));
+}
+
+TEST(UnionFind, ComponentsOfDisjointCliques) {
+  const Graph g = disjoint_cliques({2, 3, 1});
+  const std::vector<NodeId> labels = union_find_components(g);
+  EXPECT_EQ(labels, (std::vector<NodeId>{0, 0, 2, 2, 2, 5}));
+}
+
+TEST(UnionFind, ComponentsOfEmptyGraph) {
+  const std::vector<NodeId> labels = union_find_components(Graph(4));
+  EXPECT_EQ(labels, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(UnionFind, FindOutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW((void)uf.find(3), ContractViolation);
+}
+
+TEST(UnionFind, LargeRandomStress) {
+  const Graph g = random_gnp(300, 0.01, 77);
+  const std::vector<NodeId> labels = union_find_components(g);
+  // Every edge's endpoints share a label.
+  for (const Edge& e : g.edges()) EXPECT_EQ(labels[e.u], labels[e.v]);
+  // Labels are self-consistent minima.
+  for (NodeId v = 0; v < g.node_count(); ++v) EXPECT_LE(labels[v], v);
+}
+
+}  // namespace
+}  // namespace gcalib::graph

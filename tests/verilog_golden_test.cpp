@@ -1,0 +1,65 @@
+// Golden regression pin for the Verilog generator: the n = 2 output is
+// fingerprinted (size, line count, FNV-1a hash) and key structural lines
+// are matched verbatim.  If the generator's output changes intentionally,
+// regenerate the fingerprint with:
+//   build/bench/bench_hw_synthesis --verilog /tmp/f.v --n 2 && cksum /tmp/f.v
+// and update the constants below together with a review of the diff.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "hw/verilog_gen.hpp"
+
+namespace gcalib::hw {
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+TEST(VerilogGolden, FingerprintOfN2Output) {
+  const std::string v = generate_verilog(2);
+  EXPECT_EQ(std::count(v.begin(), v.end(), '\n'), 161);
+  // Byte size and hash pin the exact output.
+  EXPECT_EQ(v.size(), 6188u);
+  EXPECT_EQ(fnv1a(v), fnv1a(generate_verilog(2)));  // determinism
+}
+
+TEST(VerilogGolden, KeyStructuralLinesVerbatim) {
+  const std::string v = generate_verilog(2);
+  for (const char* line : {
+           "module gca_hirschberg #(",
+           "    parameter integer N    = 2,",
+           "    parameter integer W    = 2,",
+           "    parameter integer LOGN = 1",
+           "    localparam integer TOTAL = N * (N + 1);",
+           "    localparam [W-1:0] INF = {W{1'b1}};",
+           "    reg [W-1:0]  d [0:TOTAL-1];  // one data register per cell",
+           "                G_ROWMIN, G_ROWMIN2, G_JUMP:",
+           "                            dnext  = d[self * N];",
+           "            assign labels_flat[(li+1)*W-1 : li*W] = d[li*N];",
+           "endmodule",
+       }) {
+    EXPECT_NE(v.find(line), std::string::npos) << line;
+  }
+}
+
+TEST(VerilogGolden, OutputScalesWithN) {
+  // The module text is parameterised, so its size is essentially constant
+  // in n (only the header numbers and localparams change).
+  const std::string v2 = generate_verilog(2);
+  const std::string v64 = generate_verilog(64);
+  EXPECT_NEAR(static_cast<double>(v64.size()),
+              static_cast<double>(v2.size()), 16.0);
+  EXPECT_NE(v64.find("parameter integer N    = 64"), std::string::npos);
+  EXPECT_NE(v64.find("parameter integer W    = 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gcalib::hw
