@@ -1,0 +1,222 @@
+// Fault-tolerance characterisation of the GCA engine (src/fault/):
+//
+//  1. fault-free overhead — generations/second of a plain run vs the
+//     resilient harness (checkpoints + monitors) on the same machine, in
+//     three monitor configurations;
+//  2. detection latency — engine generations between a seeded injection and
+//     the first monitor violation, per fault kind;
+//  3. recovery cost — extra generations re-executed by rollback/restart;
+//  4. NMR pricing — FPGA cost of 2/3/5-modular redundancy from the
+//     calibrated cost model, the masking alternative to rollback.
+//
+// Usage: bench_fault_tolerance [--n 32] [--repeat 5]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/monitors.hpp"
+#include "fault/recovery.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using gcalib::core::Generation;
+using gcalib::core::HirschbergGca;
+using gcalib::core::RunOptions;
+using gcalib::core::StepId;
+using gcalib::fault::FaultEvent;
+using gcalib::fault::FaultKind;
+using gcalib::fault::FaultPlan;
+using gcalib::fault::ResilientOptions;
+using gcalib::fault::ResilientReport;
+using gcalib::graph::Graph;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Best-of-`repeat` generations/second (one warmup run first).  Best-of is
+/// robust against frequency scaling and scheduler noise on shared machines;
+/// the slow outliers measure the machine, not the code.
+template <typename Run>
+double best_rate(int repeat, Run&& run) {
+  (void)run();  // warmup
+  double best = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::size_t generations = run();
+    best = std::max(best,
+                    static_cast<double>(generations) / seconds_since(start));
+  }
+  return best;
+}
+
+/// Generations/second of a plain run (no hooks at all).
+double plain_rate(const Graph& g, int repeat) {
+  return best_rate(repeat, [&g] {
+    HirschbergGca machine(g);
+    RunOptions options;
+    options.instrument = false;
+    return machine.run(options).generations;
+  });
+}
+
+/// Generations/second of a resilient run with an empty fault plan.
+double resilient_rate(const Graph& g, int repeat,
+                      const gcalib::fault::MonitorConfig& monitors) {
+  return best_rate(repeat, [&g, &monitors] {
+    HirschbergGca machine(g);
+    ResilientOptions options;
+    options.base.instrument = false;
+    options.monitors = monitors;
+    return run_resilient(machine, g, FaultPlan{}, options).run.generations;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const gcalib::CliArgs args = gcalib::CliArgs::parse_or_exit(
+      argc, argv, {{"n", true}, {"repeat", true}});
+  const auto n = static_cast<gcalib::graph::NodeId>(args.get_int("n", 32));
+  const int repeat = static_cast<int>(args.get_int("repeat", 5));
+  const Graph g = gcalib::graph::random_gnp(n, 0.1, 7);
+
+  // --- 1. fault-free overhead ------------------------------------------
+  std::printf("Fault-free overhead (n = %u, G(n, 0.1), %d runs per row)\n\n",
+              n, repeat);
+  const double baseline = plain_rate(g, repeat);
+
+  gcalib::fault::MonitorConfig off;
+  off.register_sanity = false;
+  off.replication_consistency = false;
+  off.dn_checksum = false;
+  off.iteration_invariants = false;
+  gcalib::fault::MonitorConfig cheap = off;
+  cheap.dn_checksum = true;
+  cheap.iteration_invariants = true;
+  const gcalib::fault::MonitorConfig full;  // everything on
+
+  gcalib::TextTable overhead(
+      {"configuration", "generations/s", "overhead"});
+  overhead.set_align(0, gcalib::Align::kLeft);
+  overhead.add_row({"plain run (no hooks)", gcalib::with_commas(
+                        static_cast<std::uint64_t>(baseline)), "-"});
+  const struct {
+    const char* name;
+    const gcalib::fault::MonitorConfig* config;
+  } configs[] = {{"checkpoints only", &off},
+                 {"+ checksum/iteration monitors", &cheap},
+                 {"+ full monitors (register scan)", &full}};
+  for (const auto& config : configs) {
+    const double rate = resilient_rate(g, repeat, *config.config);
+    const double percent = 100.0 * (baseline - rate) / baseline;
+    overhead.add_row({config.name,
+                      gcalib::with_commas(static_cast<std::uint64_t>(rate)),
+                      gcalib::fixed(percent, 1) + " %"});
+  }
+  std::fputs(overhead.render().c_str(), stdout);
+  std::printf(
+      "\nTarget: <= 5%% for the checkpointing harness itself; the full\n"
+      "register scan adds a per-step O(field) pass and is priced "
+      "separately.\n");
+
+  // --- 2 + 3. detection latency and recovery cost -----------------------
+  std::printf("\nDetection latency and recovery cost (seeded single faults)\n\n");
+  struct Site {
+    const char* kind;
+    FaultEvent event;
+  };
+  std::vector<Site> sites;
+  {
+    FaultEvent flip;
+    flip.kind = FaultKind::kBitFlip;
+    flip.at = StepId{1, Generation::kPointerJump, 0};
+    flip.cell = 1 * std::size_t{n} + 2;
+    flip.mask = 0x40000000u;
+    sites.push_back({"bit-flip (d, high bit)", flip});
+
+    FaultEvent stuck;
+    stuck.kind = FaultKind::kStuckCell;
+    stuck.at = StepId{1, Generation::kMaskNeighbors, 0};
+    stuck.cell = std::size_t{n} * n + 2;
+    stuck.stuck_value = 7 * n + 13;
+    stuck.stuck_steps = 2;
+    sites.push_back({"stuck-at cell (D_N)", stuck});
+
+    FaultEvent dropped;
+    dropped.kind = FaultKind::kDroppedRead;
+    dropped.at = StepId{1, Generation::kCopyCToRows, 0};
+    dropped.cell = 1 * std::size_t{n} + 1;
+    dropped.mode = gcalib::fault::DroppedReadMode::kAllOnes;
+    sites.push_back({"dropped read (all-ones)", dropped});
+
+    FaultEvent wrong;
+    wrong.kind = FaultKind::kWrongPointer;
+    wrong.at = StepId{0, Generation::kCopyCToRows, 0};
+    wrong.cell = 3 * std::size_t{n} + 1;
+    wrong.redirect_to = 3 * std::size_t{n};
+    sites.push_back({"wrong-pointer read", wrong});
+  }
+
+  const std::size_t clean_generations = gcalib::core::total_generations(n);
+  gcalib::TextTable faults({"fault", "injected@gen", "detected@gen", "latency",
+                            "monitor", "rollbacks", "restarts", "extra gens"});
+  faults.set_align(0, gcalib::Align::kLeft);
+  faults.set_align(4, gcalib::Align::kLeft);
+  for (const Site& site : sites) {
+    HirschbergGca machine(g);
+    ResilientOptions options;
+    options.base.instrument = false;
+    const ResilientReport report =
+        run_resilient(machine, g, FaultPlan{}.add(site.event), options);
+    const std::size_t injected = gcalib::fault::step_index(site.event.at, n);
+    std::string detected = "-";
+    std::string latency = "-";
+    std::string monitor = "(oracle)";
+    if (!report.violations.empty()) {
+      const gcalib::fault::Violation& first = report.violations.front();
+      detected = std::to_string(first.generation);
+      latency = std::to_string(first.generation + 1 - injected);
+      monitor = first.monitor;
+    }
+    faults.add_row({site.kind, std::to_string(injected), detected, latency,
+                    monitor, std::to_string(report.run.rollbacks),
+                    std::to_string(report.run.restarts),
+                    std::to_string(report.run.generations - clean_generations)});
+  }
+  std::fputs(faults.render().c_str(), stdout);
+  std::printf(
+      "\nLatency counts engine generations from the strike to the first\n"
+      "monitor violation (1 = caught by the observer of the very step).\n"
+      "Extra gens = re-executed steps vs the clean total of %zu.\n",
+      clean_generations);
+
+  // --- 4. NMR pricing ---------------------------------------------------
+  std::printf("\nN-modular redundancy pricing (calibrated FPGA cost model)\n\n");
+  gcalib::TextTable nmr({"replicas", "LEs/field", "voter LEs", "total LEs",
+                         "register bits", "overhead"});
+  for (const unsigned replicas : {2u, 3u, 5u}) {
+    const gcalib::fault::NmrCost cost = gcalib::fault::nmr_cost(n, replicas);
+    nmr.add_row({std::to_string(replicas),
+                 gcalib::with_commas(cost.logic_elements_single),
+                 gcalib::with_commas(cost.voter_logic_elements),
+                 gcalib::with_commas(cost.logic_elements_total),
+                 gcalib::with_commas(cost.register_bits_total),
+                 gcalib::fixed(cost.overhead_factor, 2) + "x"});
+  }
+  std::fputs(nmr.render().c_str(), stdout);
+  std::printf(
+      "\nMasking (NMR) trades ~Rx hardware for zero-latency recovery;\n"
+      "checkpoint/rollback trades re-executed generations for no extra "
+      "cells.\n");
+  return 0;
+}

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/gcalib_core.dir/DependInfo.cmake"
   "/root/repo/build/src/hw/CMakeFiles/gcalib_hw.dir/DependInfo.cmake"
   "/root/repo/build/src/gcal/CMakeFiles/gcalib_gcal.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/gcalib_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds gcalib under a sanitizer configuration and runs the full test
+# suite (see README, "Sanitizer builds").
+#
+#   scripts/check.sh            # ASan + UBSan
+#   scripts/check.sh thread     # TSan (exercises the parallel sweep)
+#   scripts/check.sh address -R fault   # extra args go to ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-address}"
+shift || true
+case "$SANITIZER" in
+  address|thread) ;;
+  *) echo "usage: scripts/check.sh [address|thread] [ctest args...]" >&2
+     exit 64 ;;
+esac
+
+BUILD_DIR="build-${SANITIZER}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DGCALIB_SANITIZE="$SANITIZER" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"

@@ -227,6 +227,10 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
 
 void HirschbergGca::run_iteration(
     unsigned iteration, const std::function<void(const StepRecord&)>& sink) {
+  run_iteration(iteration, StepHooks{sink, {}, {}});
+}
+
+void HirschbergGca::run_iteration(unsigned iteration, const StepHooks& hooks) {
   const unsigned subs = subgeneration_count(n_);
   static constexpr Generation kOrder[] = {
       Generation::kCopyCToRows, Generation::kMaskNeighbors,
@@ -238,10 +242,11 @@ void HirschbergGca::run_iteration(
   for (Generation g : kOrder) {
     const unsigned repeats = has_subgenerations(g) ? subs : 1;
     for (unsigned s = 0; s < repeats; ++s) {
+      const StepId id{iteration, g, s};
+      if (hooks.before) hooks.before(*this, id);
       GenerationStats stats = step_generation(g, s);
-      if (sink) {
-        sink(StepRecord{StepId{iteration, g, s}, std::move(stats)});
-      }
+      if (hooks.after) hooks.after(*this, id);
+      if (hooks.sink) hooks.sink(StepRecord{id, std::move(stats)});
     }
   }
 }
@@ -271,36 +276,124 @@ RunResult HirschbergGca::run(const RunOptions& options) {
     if (options.on_step) options.on_step(record);
     ++result.generations;
   };
+  const StepHooks hooks{emit, options.before_step, options.after_step};
 
-  // Generation 0.
+  // Generation 0 (the injection hooks cover it too: a fault here corrupts
+  // the field before the initial snapshot is taken, which is the one kind
+  // of corruption checkpoint recovery cannot undo).
   {
+    const StepId id{0, Generation::kInit, 0};
+    if (hooks.before) hooks.before(*this, id);
     GenerationStats stats = step_generation(Generation::kInit, 0);
-    emit(StepRecord{StepId{0, Generation::kInit, 0}, std::move(stats)});
+    if (hooks.after) hooks.after(*this, id);
+    emit(StepRecord{id, std::move(stats)});
   }
 
   const unsigned iterations = outer_iterations(n_);
+  const RecoveryPolicy& policy = options.recovery;
+  const bool recovery = policy.enabled();
+
+  // Checkpoints.  `initial` (the post-initialisation state) doubles as the
+  // restart anchor; `checkpoint` advances every `checkpoint_interval`
+  // completed-and-clean outer iterations.
+  gca::Engine<Cell>::Snapshot initial;
+  gca::Engine<Cell>::Snapshot checkpoint;
+  unsigned checkpoint_iteration = 0;
+  if (recovery) {
+    initial = engine_->snapshot();
+    checkpoint = initial;
+  }
+
   std::size_t previous_components = n_;
-  for (unsigned iter = 0; iter < iterations; ++iter) {
-    run_iteration(iter, emit);
-    if (options.self_check) {
-      const std::vector<NodeId> labels = current_labels();
-      std::size_t components = 0;
-      std::vector<std::uint8_t> seen(n_, 0);
-      for (NodeId label : labels) {
-        GCALIB_ASSERT_MSG(label < n_, "self-check: label out of range");
-        if (!seen[label]) {
-          seen[label] = 1;
-          ++components;
-        }
-      }
-      GCALIB_ASSERT_MSG(components <= previous_components,
-                        "self-check: component count increased");
-      previous_components = components;
+  unsigned iter = 0;
+
+  // Escalation ladder: rollback to the latest checkpoint while the budget
+  // lasts, then restart from the initial snapshot, then fail with the full
+  // diagnosis history.  Each recovery resets the detectors via on_restore.
+  const auto recover = [&](const std::string& diagnosis) {
+    result.diagnoses.push_back(diagnosis);
+    if (!recovery) {
+      throw ContractViolation(
+          "corruption detected with recovery disabled — " + diagnosis);
     }
+    if (result.rollbacks < policy.max_rollbacks) {
+      ++result.rollbacks;
+      engine_->restore(checkpoint);
+      iter = checkpoint_iteration;
+    } else if (result.restarts < policy.max_restarts) {
+      ++result.restarts;
+      engine_->restore(initial);
+      checkpoint = initial;
+      checkpoint_iteration = 0;
+      iter = 0;
+    } else {
+      std::string history;
+      for (const std::string& d : result.diagnoses) {
+        if (!history.empty()) history += "; ";
+        history += d;
+      }
+      throw ContractViolation("fault recovery exhausted (" +
+                              std::to_string(result.rollbacks) +
+                              " rollbacks, " +
+                              std::to_string(result.restarts) +
+                              " restarts): " + history);
+    }
+    previous_components = n_;
+    if (options.on_restore) options.on_restore(*this);
+  };
+
+  while (true) {
+    if (iter < iterations) {
+      std::string diagnosis;
+      try {
+        run_iteration(iter, hooks);
+        if (options.detect) diagnosis = options.detect(*this);
+      } catch (const ContractViolation& trap) {
+        // A corrupted pointer walking off the field (or any other contract
+        // trap) is itself a detection: recover instead of crashing.
+        if (!recovery) throw;
+        diagnosis = std::string("contract trap: ") + trap.what();
+      }
+      if (!diagnosis.empty()) {
+        recover(diagnosis);
+        continue;
+      }
+      if (options.self_check) {
+        const std::vector<NodeId> labels = current_labels();
+        std::size_t components = 0;
+        std::vector<std::uint8_t> seen(n_, 0);
+        for (NodeId label : labels) {
+          GCALIB_ASSERT_MSG(label < n_, "self-check: label out of range");
+          if (!seen[label]) {
+            seen[label] = 1;
+            ++components;
+          }
+        }
+        GCALIB_ASSERT_MSG(components <= previous_components,
+                          "self-check: component count increased");
+        previous_components = components;
+      }
+      ++iter;
+      if (recovery && iter < iterations &&
+          iter % policy.checkpoint_interval == 0) {
+        checkpoint = engine_->snapshot();
+        checkpoint_iteration = iter;
+      }
+      continue;
+    }
+
+    result.labels = current_labels();
+    if (options.final_check) {
+      const std::string diagnosis = options.final_check(*this, result.labels);
+      if (!diagnosis.empty()) {
+        recover("end-of-run oracle: " + diagnosis);
+        continue;
+      }
+    }
+    break;
   }
 
   result.iterations = iterations;
-  result.labels = current_labels();
 
   if (options.self_check) {
     const graph::Graph g = graph_from_field();

@@ -45,12 +45,29 @@ struct StepId {
   unsigned iteration = 0;      ///< outer iteration (0-based); 0 for gen 0
   Generation generation = Generation::kInit;
   unsigned subgeneration = 0;  ///< 0 unless the generation iterates
+  friend bool operator==(const StepId&, const StepId&) = default;
 };
 
 /// A recorded engine step: identification plus measured statistics.
 struct StepRecord {
   StepId id;
   gca::GenerationStats stats;
+};
+
+class HirschbergGca;
+
+/// Checkpoint/rollback policy for detected state corruption (see src/fault/
+/// for the injectors and monitors that produce the detections).
+struct RecoveryPolicy {
+  /// Outer iterations between engine snapshots.  0 disables checkpointing:
+  /// a detection then throws ContractViolation instead of recovering.
+  unsigned checkpoint_interval = 0;
+  /// Rollbacks to the latest checkpoint before escalating to a restart.
+  unsigned max_rollbacks = 3;
+  /// Full restarts (from the post-initialisation snapshot) before the run
+  /// fails with the accumulated diagnosis.
+  unsigned max_restarts = 1;
+  [[nodiscard]] bool enabled() const { return checkpoint_interval > 0; }
 };
 
 /// Options controlling a run.
@@ -65,14 +82,40 @@ struct RunOptions {
   bool self_check = false;
   /// Called after every engine step (tracing / golden tests); may be empty.
   std::function<void(const StepRecord&)> on_step;
+
+  // --- robustness hooks (wired up by fault::run_resilient) --------------
+
+  /// Called immediately before each engine step; may mutate cell state
+  /// through the machine (fault injection).
+  std::function<void(HirschbergGca&, const StepId&)> before_step;
+  /// Called immediately after each engine step (stuck-at re-pinning).
+  std::function<void(HirschbergGca&, const StepId&)> after_step;
+  /// Corruption detector, polled after every outer iteration: returns a
+  /// non-empty diagnosis when monitors flagged the state since the last
+  /// poll.  A ContractViolation escaping an iteration (e.g. a corrupted
+  /// pointer read out of the field) is treated as the same kind of
+  /// detection when recovery is enabled.
+  std::function<std::string(const HirschbergGca&)> detect;
+  /// End-of-run oracle over the final labeling; non-empty = corrupted.
+  std::function<std::string(const HirschbergGca&,
+                            const std::vector<graph::NodeId>&)>
+      final_check;
+  /// Called after a rollback or restart restored the field, so stateful
+  /// monitors and injectors can resynchronise their baselines.
+  std::function<void(HirschbergGca&)> on_restore;
+  RecoveryPolicy recovery;
 };
 
 /// Result of a full run.
 struct RunResult {
   std::vector<graph::NodeId> labels;  ///< min-id component label per node
   unsigned iterations = 0;            ///< outer iterations executed
-  std::size_t generations = 0;        ///< engine steps executed (incl. gen 0)
+  std::size_t generations = 0;        ///< engine steps executed (incl. gen 0
+                                      ///< and any rolled-back re-execution)
   std::vector<StepRecord> records;    ///< filled iff options.instrument
+  unsigned rollbacks = 0;             ///< checkpoint rollbacks performed
+  unsigned restarts = 0;              ///< full restarts performed
+  std::vector<std::string> diagnoses; ///< one entry per detected corruption
 };
 
 /// The GCA machine specialised to Hirschberg's algorithm.
@@ -104,10 +147,20 @@ class HirschbergGca {
   /// Executes one generation (one sub-generation for generations 3/7/10).
   gca::GenerationStats step_generation(Generation g, unsigned subgeneration = 0);
 
+  /// Per-step callbacks threaded through an iteration (all optional).
+  struct StepHooks {
+    std::function<void(const StepRecord&)> sink;
+    std::function<void(HirschbergGca&, const StepId&)> before;
+    std::function<void(HirschbergGca&, const StepId&)> after;
+  };
+
   /// Executes one full outer iteration (generations 1..11 with all
   /// sub-generations); `sink` (optional) observes each step.
   void run_iteration(unsigned iteration,
                      const std::function<void(const StepRecord&)>& sink = {});
+
+  /// As above, with fault-injection hooks around every step.
+  void run_iteration(unsigned iteration, const StepHooks& hooks);
 
   /// Current C vector (column 0 of the square field).
   [[nodiscard]] std::vector<graph::NodeId> current_labels() const;

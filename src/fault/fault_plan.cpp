@@ -1,0 +1,267 @@
+#include "fault/fault_plan.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/schedule.hpp"
+
+namespace gcalib::fault {
+
+using core::Generation;
+using core::StepId;
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kStuckCell: return "stuck-cell";
+    case FaultKind::kDroppedRead: return "dropped-read";
+    case FaultKind::kWrongPointer: return "wrong-pointer";
+  }
+  return "?";
+}
+
+const char* to_string(CellRegister reg) {
+  switch (reg) {
+    case CellRegister::kA: return "a";
+    case CellRegister::kD: return "d";
+    case CellRegister::kP: return "p";
+  }
+  return "?";
+}
+
+std::vector<StepId> enumerate_steps(std::size_t n) {
+  // Mirrors HirschbergGca::run exactly: generation 0 once, then
+  // generations 1..11 (enum order) per outer iteration, tree-reduction and
+  // pointer-jump generations repeated for every sub-generation.
+  std::vector<StepId> steps;
+  steps.push_back(StepId{0, Generation::kInit, 0});
+  const unsigned iterations = core::outer_iterations(n);
+  const unsigned subs = core::subgeneration_count(n);
+  for (unsigned iter = 0; iter < iterations; ++iter) {
+    for (std::uint8_t g = 1; g < core::kGenerationCount; ++g) {
+      const auto generation = static_cast<Generation>(g);
+      const unsigned repeats = has_subgenerations(generation) ? subs : 1;
+      for (unsigned s = 0; s < repeats; ++s) {
+        steps.push_back(StepId{iter, generation, s});
+      }
+    }
+  }
+  return steps;
+}
+
+std::size_t step_index(const StepId& id, std::size_t n) {
+  const std::vector<StepId> steps = enumerate_steps(n);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (steps[i] == id) return i;
+  }
+  GCALIB_EXPECTS_MSG(false, "step id is not part of the size-n schedule");
+  return 0;
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  GCALIB_EXPECTS(event.kind != FaultKind::kStuckCell || event.stuck_steps >= 1);
+  events_.push_back(event);
+  return *this;
+}
+
+namespace {
+
+/// Knuth's Poisson sampler (fine for the small rates fault runs use).
+std::size_t draw_poisson(Xoshiro256& rng, double rate) {
+  const double limit = std::exp(-rate);
+  std::size_t k = 0;
+  double p = 1.0;
+  do {
+    p *= rng.uniform01();
+    ++k;
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::poisson(std::size_t n, double rate, std::uint64_t seed) {
+  GCALIB_EXPECTS(n >= 1 && rate >= 0.0);
+  FaultPlan plan;
+  Xoshiro256 rng(seed);
+  const gca::FieldGeometry geometry = gca::FieldGeometry::hirschberg(n);
+  const std::size_t field = geometry.size();
+  for (const StepId& step : enumerate_steps(n)) {
+    const std::size_t count = draw_poisson(rng, rate);
+    for (std::size_t f = 0; f < count; ++f) {
+      FaultEvent event;
+      event.at = step;
+      event.cell = rng.below(field);
+      switch (rng.below(4)) {
+        case 0:
+          event.kind = FaultKind::kBitFlip;
+          // d takes most flips (it is the widest register); a and p get
+          // single-bit upsets of their actual width.
+          switch (rng.below(4)) {
+            case 0:
+              event.reg = CellRegister::kA;
+              event.mask = 1;
+              break;
+            case 1:
+              event.reg = CellRegister::kP;
+              event.mask = std::uint32_t{1} << rng.below(32);
+              break;
+            default:
+              event.reg = CellRegister::kD;
+              event.mask = std::uint32_t{1} << rng.below(32);
+              break;
+          }
+          break;
+        case 1:
+          event.kind = FaultKind::kStuckCell;
+          event.stuck_value = static_cast<std::uint32_t>(rng.below(field));
+          event.stuck_steps = 1 + static_cast<unsigned>(rng.below(4));
+          break;
+        case 2:
+          event.kind = FaultKind::kDroppedRead;
+          event.mode = static_cast<DroppedReadMode>(rng.below(3));
+          break;
+        default:
+          event.kind = FaultKind::kWrongPointer;
+          event.redirect_to = rng.below(field);
+          break;
+      }
+      plan.add(event);
+    }
+  }
+  return plan;
+}
+
+// --- Injector ----------------------------------------------------------
+
+Injector::Injector(FaultPlan plan) {
+  events_.reserve(plan.size());
+  for (const FaultEvent& event : plan.events()) {
+    events_.push_back(Armed{event, false});
+  }
+  all_ones_.a = 1;
+  all_ones_.d = core::kInfData;
+  all_ones_.p = ~std::uint32_t{0};
+}
+
+void Injector::install(core::RunOptions& options) {
+  auto previous_before = std::move(options.before_step);
+  options.before_step = [this, previous_before = std::move(previous_before)](
+                            core::HirschbergGca& machine,
+                            const core::StepId& id) {
+    if (previous_before) previous_before(machine, id);
+    before_step(machine, id);
+  };
+  auto previous_after = std::move(options.after_step);
+  options.after_step = [this, previous_after = std::move(previous_after)](
+                           core::HirschbergGca& machine,
+                           const core::StepId& id) {
+    after_step(machine, id);
+    if (previous_after) previous_after(machine, id);
+  };
+  auto previous_restore = std::move(options.on_restore);
+  options.on_restore = [this, previous_restore = std::move(previous_restore)](
+                           core::HirschbergGca& machine) {
+    on_restore(machine);
+    if (previous_restore) previous_restore(machine);
+  };
+}
+
+void Injector::before_step(core::HirschbergGca& machine,
+                           const core::StepId& id) {
+  active_reads_.clear();
+  gca::Engine<core::Cell>& engine = machine.engine();
+  for (Armed& armed : events_) {
+    if (armed.fired || !(armed.event.at == id)) continue;
+    armed.fired = true;
+    ++fired_;
+    const FaultEvent& event = armed.event;
+    GCALIB_EXPECTS_MSG(event.cell < engine.size(),
+                       "fault event addresses a cell outside the field");
+    switch (event.kind) {
+      case FaultKind::kBitFlip: {
+        core::Cell& victim = engine.mutable_state(event.cell);
+        switch (event.reg) {
+          case CellRegister::kA: victim.a ^= event.mask; break;
+          case CellRegister::kD: victim.d ^= event.mask; break;
+          case CellRegister::kP: victim.p ^= event.mask; break;
+        }
+        break;
+      }
+      case FaultKind::kStuckCell:
+        engine.mutable_state(event.cell).d = event.stuck_value;
+        pins_.push_back(Pin{event.cell, event.stuck_value, event.stuck_steps});
+        break;
+      case FaultKind::kDroppedRead:
+        active_reads_[event.cell] =
+            ReadFault{event.kind, event.mode, 0};
+        break;
+      case FaultKind::kWrongPointer:
+        GCALIB_EXPECTS_MSG(event.redirect_to < engine.size(),
+                           "wrong-pointer fault redirects outside the field");
+        active_reads_[event.cell] =
+            ReadFault{event.kind, DroppedReadMode::kZeroed, event.redirect_to};
+        break;
+    }
+  }
+  sync_read_override(machine);
+}
+
+void Injector::after_step(core::HirschbergGca& machine,
+                          const core::StepId& /*id*/) {
+  // Read faults last exactly one step.
+  if (!active_reads_.empty()) {
+    active_reads_.clear();
+    sync_read_override(machine);
+  }
+  // Stuck cells overwrite whatever the step just latched.
+  gca::Engine<core::Cell>& engine = machine.engine();
+  std::erase_if(pins_, [&engine](Pin& pin) {
+    engine.mutable_state(pin.cell).d = pin.value;
+    return --pin.remaining == 0;
+  });
+}
+
+void Injector::sync_read_override(core::HirschbergGca& machine) {
+  gca::Engine<core::Cell>& engine = machine.engine();
+  if (active_reads_.empty()) {
+    if (override_installed_) {
+      engine.set_read_override({});
+      override_installed_ = false;
+    }
+    return;
+  }
+  engine.set_read_override(
+      [this, &engine](std::size_t reader,
+                      std::size_t /*target*/) -> const core::Cell* {
+        const auto it = active_reads_.find(reader);
+        if (it == active_reads_.end()) return nullptr;
+        const ReadFault& fault = it->second;
+        if (fault.kind == FaultKind::kWrongPointer) {
+          return &engine.state(fault.redirect_to);
+        }
+        switch (fault.mode) {
+          case DroppedReadMode::kZeroed: return &zeroed_;
+          case DroppedReadMode::kAllOnes: return &all_ones_;
+          case DroppedReadMode::kStale: return &engine.state(reader);
+        }
+        return nullptr;
+      });
+  override_installed_ = true;
+}
+
+void Injector::on_restore(core::HirschbergGca& machine) {
+  pins_.clear();
+  active_reads_.clear();
+  sync_read_override(machine);
+}
+
+void Injector::reset() {
+  for (Armed& armed : events_) armed.fired = false;
+  pins_.clear();
+  active_reads_.clear();
+  override_installed_ = false;
+  fired_ = 0;
+}
+
+}  // namespace gcalib::fault

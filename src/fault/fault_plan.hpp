@@ -1,0 +1,142 @@
+// Deterministic fault injection for Hirschberg runs.
+//
+// The paper targets an FPGA realisation (section 4) where transient faults
+// — SEU bit flips in the (a, d, p) cell registers, stuck-at cells and
+// misrouted or dropped global reads — are the dominant failure mode.  A
+// `FaultPlan` is a seeded, reproducible description of such faults: each
+// event names the engine step (iteration, generation, sub-generation) it
+// strikes at, the victim cell, and the perturbation.  The `Injector`
+// replays a plan against a live run through the RunOptions hooks.
+//
+// Transient semantics: every event fires at most once per run, so a
+// rollback re-executes the afflicted window fault-free — exactly the
+// property that makes checkpoint/rollback recovery effective against
+// transient upsets.  Stuck-at faults persist for a bounded number of steps
+// (their `stuck_steps` window) and are released on rollback.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/generation.hpp"
+#include "core/hirschberg_gca.hpp"
+
+namespace gcalib::fault {
+
+/// The fault taxonomy (DESIGN.md, "Fault model and recovery").
+enum class FaultKind : std::uint8_t {
+  kBitFlip,       ///< XOR a mask into one register of one cell
+  kStuckCell,     ///< pin a cell's d register to a value for some steps
+  kDroppedRead,   ///< a cell's global read fails; it observes bus garbage
+  kWrongPointer,  ///< a cell's global read is misrouted to another cell
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Which cell register a bit flip strikes.
+enum class CellRegister : std::uint8_t { kA, kD, kP };
+
+[[nodiscard]] const char* to_string(CellRegister reg);
+
+/// What a failed read returns instead of the addressed neighbour's state.
+enum class DroppedReadMode : std::uint8_t {
+  kZeroed,   ///< bus reads back all zero
+  kAllOnes,  ///< floating bus pulled high: d = kInfData
+  kStale,    ///< the input latch keeps its content: reader observes itself
+};
+
+/// One injectable fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kBitFlip;
+  core::StepId at;              ///< step immediately before which it strikes
+  std::size_t cell = 0;         ///< victim cell (the reader, for read faults)
+  CellRegister reg = CellRegister::kD;  ///< bit-flip target register
+  std::uint32_t mask = 1;       ///< bits XORed by a bit flip
+  std::uint32_t stuck_value = 0;        ///< value a stuck cell's d is pinned to
+  unsigned stuck_steps = 3;     ///< engine steps the pin lasts (>= 1)
+  DroppedReadMode mode = DroppedReadMode::kZeroed;
+  std::size_t redirect_to = 0;  ///< wrong-pointer substitute target
+};
+
+/// All engine steps of a size-n run, in execution order (generation 0
+/// first, then iterations of generations 1..11 with sub-generations).
+[[nodiscard]] std::vector<core::StepId> enumerate_steps(std::size_t n);
+
+/// Position of `id` in `enumerate_steps(n)` order — i.e. the engine's
+/// generation counter value when the step executes (fault-free).  Used to
+/// measure detection latency in generations.
+[[nodiscard]] std::size_t step_index(const core::StepId& id, std::size_t n);
+
+/// A reproducible collection of fault events.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(FaultEvent event);
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+
+  /// Random plan over the full schedule of a size-n run: every engine step
+  /// draws k ~ Poisson(rate) faults with kind, victim cell, register and
+  /// bit chosen uniformly (seeded, bit-reproducible).
+  [[nodiscard]] static FaultPlan poisson(std::size_t n, double rate,
+                                         std::uint64_t seed);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Replays a FaultPlan against a live run via the RunOptions step hooks.
+class Injector {
+ public:
+  explicit Injector(FaultPlan plan);
+
+  /// Installs the injector's before/after-step hooks on `options`, chaining
+  /// any hooks already present (existing hooks run first).
+  void install(core::RunOptions& options);
+
+  /// Events fired so far (each event fires at most once per arm cycle).
+  [[nodiscard]] std::size_t faults_fired() const { return fired_; }
+
+  /// Releases stuck-at pins and pending read faults after a rollback or
+  /// restart restored the field (wired into RunOptions::on_restore).
+  void on_restore(core::HirschbergGca& machine);
+
+  /// Re-arms every event for a fresh run on the same or another machine.
+  void reset();
+
+ private:
+  void before_step(core::HirschbergGca& machine, const core::StepId& id);
+  void after_step(core::HirschbergGca& machine, const core::StepId& id);
+  void sync_read_override(core::HirschbergGca& machine);
+
+  struct Armed {
+    FaultEvent event;
+    bool fired = false;
+  };
+  struct Pin {
+    std::size_t cell = 0;
+    std::uint32_t value = 0;
+    unsigned remaining = 0;
+  };
+  struct ReadFault {
+    FaultKind kind = FaultKind::kDroppedRead;
+    DroppedReadMode mode = DroppedReadMode::kZeroed;
+    std::size_t redirect_to = 0;
+  };
+
+  std::vector<Armed> events_;
+  std::vector<Pin> pins_;
+  std::unordered_map<std::size_t, ReadFault> active_reads_;
+  bool override_installed_ = false;
+  core::Cell zeroed_{};
+  core::Cell all_ones_{};
+  std::size_t fired_ = 0;
+};
+
+}  // namespace gcalib::fault

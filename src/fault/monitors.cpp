@@ -1,0 +1,306 @@
+#include "fault/monitors.hpp"
+
+#include <string>
+
+#include "graph/cc_baselines.hpp"
+
+namespace gcalib::fault {
+
+using core::Cell;
+using core::Generation;
+using gca::Engine;
+using graph::NodeId;
+
+namespace {
+
+/// Recovers the generation number from an engine step label
+/// ("gen9:adopt" -> 9); -1 when the label is not in that format.
+int generation_of(const std::string& label) {
+  if (label.rfind("gen", 0) != 0) return -1;
+  int value = 0;
+  std::size_t i = 3;
+  if (i >= label.size() || label[i] < '0' || label[i] > '9') return -1;
+  for (; i < label.size() && label[i] >= '0' && label[i] <= '9'; ++i) {
+    value = value * 10 + (label[i] - '0');
+  }
+  return value;
+}
+
+/// SplitMix64 finaliser, used to salt the D_N checksum with the cell index
+/// so swapped values do not cancel out the way a plain XOR would.
+std::uint64_t mix(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MonitorSet::MonitorSet(core::HirschbergGca& machine, MonitorConfig config)
+    : machine_(machine), config_(config) {
+  observer_id_ = machine_.engine().add_observer(
+      [this](const Engine<Cell>& engine, const gca::GenerationStats& stats) {
+        observe(engine, stats);
+      });
+}
+
+MonitorSet::~MonitorSet() { machine_.engine().remove_observer(observer_id_); }
+
+void MonitorSet::record(std::uint64_t generation, const char* monitor,
+                        std::string message) {
+  if (log_.size() >= config_.max_violations) return;
+  log_.push_back(Violation{generation, monitor, std::move(message)});
+}
+
+std::string MonitorSet::drain() {
+  std::string diagnosis;
+  for (; drained_ < log_.size(); ++drained_) {
+    if (!diagnosis.empty()) diagnosis += "; ";
+    diagnosis += log_[drained_].monitor + " @gen" +
+                 std::to_string(log_[drained_].generation) + ": " +
+                 log_[drained_].message;
+  }
+  return diagnosis;
+}
+
+void MonitorSet::resync() {
+  // Pending violations describe the timeline the rollback just discarded
+  // (e.g. recorded after a contract trap cut the iteration short); they
+  // already triggered this recovery and must not trigger the next one.
+  drained_ = log_.size();
+  const Engine<Cell>& engine = machine_.engine();
+  dn_checksum_ = dn_checksum(engine);
+  have_dn_checksum_ = true;
+  previous_labels_ = machine_.current_labels();
+  have_labels_ = true;
+}
+
+void MonitorSet::install(core::RunOptions& options) {
+  auto previous_detect = std::move(options.detect);
+  options.detect = [this, previous_detect = std::move(previous_detect)](
+                       const core::HirschbergGca& machine) -> std::string {
+    std::string diagnosis =
+        previous_detect ? previous_detect(machine) : std::string{};
+    const std::string mine = drain();
+    if (!mine.empty()) {
+      if (!diagnosis.empty()) diagnosis += "; ";
+      diagnosis += mine;
+    }
+    return diagnosis;
+  };
+  auto previous_restore = std::move(options.on_restore);
+  options.on_restore = [this, previous_restore = std::move(previous_restore)](
+                           core::HirschbergGca& machine) {
+    if (previous_restore) previous_restore(machine);
+    resync();
+  };
+}
+
+std::uint64_t MonitorSet::dn_checksum(const Engine<Cell>& engine) const {
+  const gca::FieldGeometry& geometry = machine_.geometry();
+  const std::size_t n = geometry.cols();
+  const std::size_t base = n * n;
+  std::uint64_t checksum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    checksum ^= mix((std::uint64_t{i} << 32) | engine.state(base + i).d);
+  }
+  return checksum;
+}
+
+void MonitorSet::observe(const Engine<Cell>& engine,
+                         const gca::GenerationStats& stats) {
+  const int generation = generation_of(stats.label);
+  if (generation < 0) return;  // not a Hirschberg-machine step
+
+  if (config_.register_sanity) check_registers(engine, stats.generation);
+
+  if (config_.replication_consistency &&
+      (generation == 1 || generation == 5 || generation == 9)) {
+    check_replication(engine, stats.generation,
+                      static_cast<Generation>(generation));
+  }
+
+  if (config_.dn_checksum) {
+    // Only generations 0, 1 and 9 ever write the bottom row; any other
+    // change to D_N is corruption.
+    const bool writes_dn =
+        generation == 0 || generation == 1 || generation == 9;
+    if (!writes_dn && have_dn_checksum_) {
+      const std::uint64_t checksum = dn_checksum(engine);
+      if (checksum != dn_checksum_) {
+        record(stats.generation, "dn-checksum",
+               "D_N changed during " + stats.label +
+                   ", which never writes the bottom row");
+      }
+      dn_checksum_ = checksum;  // re-baseline: report each corruption once
+    } else {
+      dn_checksum_ = dn_checksum(engine);
+      have_dn_checksum_ = true;
+    }
+  }
+
+  if (config_.iteration_invariants && generation == 11) {
+    check_iteration(engine, stats.generation);
+  }
+}
+
+void MonitorSet::check_registers(const Engine<Cell>& engine,
+                                 std::uint64_t generation) {
+  const gca::FieldGeometry& geometry = machine_.geometry();
+  const std::size_t size = geometry.size();
+  const auto n = static_cast<std::uint32_t>(geometry.cols());
+  for (std::size_t i = 0; i < size; ++i) {
+    const Cell& cell = engine.state(i);
+    // d is a node id, the row sentinel written by generation 0 (<= n), or
+    // infinity; anything else is a corrupted register.
+    if (cell.d > n && cell.d != core::kInfData) {
+      record(generation, "register-sanity",
+             "cell " + std::to_string(i) + " holds d = " +
+                 std::to_string(cell.d) + " (not a node id or infinity)");
+      return;
+    }
+    if (cell.a > 1) {
+      record(generation, "register-sanity",
+             "cell " + std::to_string(i) + " holds non-binary adjacency bit " +
+                 std::to_string(cell.a));
+      return;
+    }
+    if (cell.p >= size) {
+      record(generation, "register-sanity",
+             "cell " + std::to_string(i) + " holds pointer " +
+                 std::to_string(cell.p) + " outside the field");
+      return;
+    }
+  }
+}
+
+void MonitorSet::check_replication(const Engine<Cell>& engine,
+                                   std::uint64_t generation, Generation g) {
+  const gca::FieldGeometry& geometry = machine_.geometry();
+  const std::size_t n = geometry.cols();
+  const std::size_t base = n * n;
+
+  const auto mismatch = [&](std::size_t row, std::size_t col,
+                            std::uint32_t got, std::uint32_t want,
+                            const char* relation) {
+    record(generation, "replication",
+           "cell (" + std::to_string(row) + "," + std::to_string(col) +
+               ") holds d = " + std::to_string(got) + " but " + relation +
+               " holds " + std::to_string(want));
+  };
+
+  switch (g) {
+    case Generation::kCopyCToRows:
+      // Every square row and D_N are copies of the same C vector.
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t got = engine.state(j * n + i).d;
+          const std::uint32_t want = engine.state(base + i).d;
+          if (got != want) {
+            mismatch(j, i, got, want, "its D_N replica");
+            return;
+          }
+        }
+      }
+      break;
+    case Generation::kCopyTToRows:
+      // Every square row is a copy of row 0 (all hold the T vector).
+      for (std::size_t j = 1; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t got = engine.state(j * n + i).d;
+          const std::uint32_t want = engine.state(i).d;
+          if (got != want) {
+            mismatch(j, i, got, want, "its row-0 replica");
+            return;
+          }
+        }
+      }
+      break;
+    case Generation::kAdopt:
+      // Row j is constant (T(j) broadcast) and D_N mirrors column 0.
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::uint32_t want = engine.state(j * n).d;
+        for (std::size_t i = 1; i < n; ++i) {
+          const std::uint32_t got = engine.state(j * n + i).d;
+          if (got != want) {
+            mismatch(j, i, got, want, "its column-0 replica");
+            return;
+          }
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t got = engine.state(base + i).d;
+        const std::uint32_t want = engine.state(i * n).d;
+        if (got != want) {
+          mismatch(n, i, got, want, "the transposed column-0 replica");
+          return;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void MonitorSet::check_iteration(const Engine<Cell>& engine,
+                                 std::uint64_t generation) {
+  (void)engine;
+  const std::vector<NodeId> labels = machine_.current_labels();
+  const auto n = static_cast<NodeId>(labels.size());
+  for (NodeId j = 0; j < n; ++j) {
+    if (labels[j] >= n) {
+      record(generation, "iteration-labels",
+             "node " + std::to_string(j) + " labelled " +
+                 std::to_string(labels[j]) + ", which is not a node id");
+      return;
+    }
+  }
+  if (have_labels_) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (labels[j] > previous_labels_[j]) {
+        record(generation, "iteration-monotone",
+               "node " + std::to_string(j) + " label rose from " +
+                   std::to_string(previous_labels_[j]) + " to " +
+                   std::to_string(labels[j]));
+        return;
+      }
+    }
+  }
+  previous_labels_ = labels;
+  have_labels_ = true;
+}
+
+// --- Oracle -------------------------------------------------------------
+
+Oracle::Oracle(const graph::Graph& pristine)
+    : expected_(graph::bfs_components(pristine)) {}
+
+std::string Oracle::check(const std::vector<NodeId>& labels) const {
+  if (labels.size() != expected_.size()) {
+    return "labeling has " + std::to_string(labels.size()) + " entries, " +
+           std::to_string(expected_.size()) + " expected";
+  }
+  for (std::size_t j = 0; j < labels.size(); ++j) {
+    if (labels[j] != expected_[j]) {
+      return "node " + std::to_string(j) + " labelled " +
+             std::to_string(labels[j]) + ", sequential baseline says " +
+             std::to_string(expected_[j]);
+    }
+  }
+  return {};
+}
+
+void Oracle::install(core::RunOptions& options) const {
+  auto previous = std::move(options.final_check);
+  options.final_check =
+      [this, previous = std::move(previous)](
+          const core::HirschbergGca& machine,
+          const std::vector<NodeId>& labels) -> std::string {
+    std::string diagnosis =
+        previous ? previous(machine, labels) : std::string{};
+    if (!diagnosis.empty()) return diagnosis;
+    return check(labels);
+  };
+}
+
+}  // namespace gcalib::fault

@@ -1,0 +1,129 @@
+// Per-generation invariant monitors and the end-of-run oracle.
+//
+// Hirschberg runs are naturally self-checkable: labels only merge downward,
+// every intermediate d is a node id or the infinity sentinel, and three of
+// the twelve generations (1, 5, 9) produce *replicated* data — every square
+// row and/or the D_N buffer holds copies of the same vector — so a single
+// corrupted read leaves a detectable disagreement between replicas.  The
+// `MonitorSet` registers one observer on the engine and checks, per step:
+//
+//  * register sanity — d is a node id (<= n) or kInfData, a is a bit,
+//    p addresses the field;
+//  * replication consistency — after generation 1 every square row must
+//    equal D_N; after generation 5 every square row must equal row 0;
+//    after generation 9 rows are constant and D_N mirrors column 0;
+//  * D_N checksum stability — an index-salted XOR checksum of the bottom
+//    row must not change across generations that never write D_N;
+//  * iteration invariants — at every generation-11 boundary the labels in
+//    column 0 are in range, per-node non-increasing, and the component
+//    count never grows.
+//
+// Violations are recorded (never thrown): the run loop polls `drain()`
+// through RunOptions::detect and decides on rollback.  The `Oracle`
+// performs the end-of-run check against a sequential baseline
+// (graph::bfs_components) of the pristine input graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/hirschberg_gca.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::fault {
+
+/// One recorded invariant violation.
+struct Violation {
+  std::uint64_t generation = 0;  ///< engine step counter at detection
+  std::string monitor;           ///< which invariant fired
+  std::string message;
+};
+
+/// Which monitors run (all on by default; the register scan is the only
+/// per-step full-field pass and can be disabled for pure-speed runs).
+struct MonitorConfig {
+  bool register_sanity = true;
+  bool replication_consistency = true;
+  bool dn_checksum = true;
+  bool iteration_invariants = true;
+  std::size_t max_violations = 64;  ///< recording cap per run
+};
+
+/// Invariant monitors attached to a machine's engine as one observer.
+/// Detach happens in the destructor; keep the MonitorSet alive for the
+/// whole run.
+class MonitorSet {
+ public:
+  explicit MonitorSet(core::HirschbergGca& machine, MonitorConfig config = {});
+  ~MonitorSet();
+  MonitorSet(const MonitorSet&) = delete;
+  MonitorSet& operator=(const MonitorSet&) = delete;
+
+  /// Every violation recorded so far (across rollbacks; never cleared).
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return log_;
+  }
+  [[nodiscard]] bool healthy() const { return log_.empty(); }
+
+  /// Joins the violations recorded since the last drain into one diagnosis
+  /// ("" = healthy) and clears the pending set — the RunOptions::detect
+  /// contract.
+  [[nodiscard]] std::string drain();
+
+  /// Re-baselines the stateful monitors (D_N checksum, previous labels)
+  /// from the machine's current — just restored — field.
+  void resync();
+
+  /// Wires drain/resync into `options` (detect and on_restore, chaining
+  /// hooks already present).
+  void install(core::RunOptions& options);
+
+ private:
+  void observe(const gca::Engine<core::Cell>& engine,
+               const gca::GenerationStats& stats);
+  void record(std::uint64_t generation, const char* monitor,
+              std::string message);
+  void check_registers(const gca::Engine<core::Cell>& engine,
+                       std::uint64_t generation);
+  void check_replication(const gca::Engine<core::Cell>& engine,
+                         std::uint64_t generation, core::Generation g);
+  void check_iteration(const gca::Engine<core::Cell>& engine,
+                       std::uint64_t generation);
+  [[nodiscard]] std::uint64_t dn_checksum(
+      const gca::Engine<core::Cell>& engine) const;
+
+  core::HirschbergGca& machine_;
+  MonitorConfig config_;
+  std::size_t observer_id_ = 0;
+  std::vector<Violation> log_;      ///< full history
+  std::size_t drained_ = 0;         ///< log_ prefix already reported
+  std::uint64_t dn_checksum_ = 0;
+  bool have_dn_checksum_ = false;
+  std::vector<graph::NodeId> previous_labels_;
+  bool have_labels_ = false;
+};
+
+/// End-of-run oracle: the machine's labeling must equal the sequential
+/// baseline of the *pristine* input graph (an adjacency-bit flip corrupts
+/// the field's own copy of the graph, so the reference is kept outside).
+class Oracle {
+ public:
+  explicit Oracle(const graph::Graph& pristine);
+
+  /// "" when `labels` matches the baseline, else a diagnosis.
+  [[nodiscard]] std::string check(
+      const std::vector<graph::NodeId>& labels) const;
+
+  [[nodiscard]] const std::vector<graph::NodeId>& expected() const {
+    return expected_;
+  }
+
+  /// Wires the oracle into `options.final_check`.
+  void install(core::RunOptions& options) const;
+
+ private:
+  std::vector<graph::NodeId> expected_;
+};
+
+}  // namespace gcalib::fault

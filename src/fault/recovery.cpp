@@ -1,0 +1,114 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/bits.hpp"
+#include "hw/cost_model.hpp"
+
+namespace gcalib::fault {
+
+using graph::NodeId;
+
+ResilientReport run_resilient(core::HirschbergGca& machine,
+                              const graph::Graph& pristine,
+                              const FaultPlan& plan,
+                              const ResilientOptions& options) {
+  ResilientReport report;
+
+  Injector injector(plan);
+  MonitorSet monitors(machine, options.monitors);
+  const Oracle oracle(pristine);
+
+  core::RunOptions run_options = options.base;
+  injector.install(run_options);
+  monitors.install(run_options);
+  oracle.install(run_options);
+  run_options.recovery.checkpoint_interval = options.checkpoint_interval;
+  run_options.recovery.max_rollbacks = options.max_rollbacks;
+  run_options.recovery.max_restarts = options.max_restarts;
+
+  try {
+    report.run = machine.run(run_options);
+  } catch (...) {
+    machine.engine().set_read_override({});
+    throw;
+  }
+  machine.engine().set_read_override({});
+
+  report.faults_fired = injector.faults_fired();
+  report.violations = monitors.violations();
+  report.recovered = !report.run.diagnoses.empty();
+  return report;
+}
+
+NmrCost nmr_cost(std::size_t n, unsigned replicas) {
+  GCALIB_EXPECTS(n >= 1 && replicas >= 2);
+  NmrCost cost;
+  cost.n = n;
+  cost.replicas = replicas;
+
+  const hw::SynthesisEstimate single = hw::estimate_for(n);
+  cost.logic_elements_single = single.logic_elements;
+
+  // Voter: per node and label bit, an R-input majority plus a mismatch
+  // flag.  Modelled with the calibrated comparator coefficient — each
+  // replica beyond the first contributes one compare-and-count term per
+  // bit, like the min-comparators of the cell datapath.
+  const hw::CostParameters params = hw::CostParameters::cyclone2_calibrated();
+  const unsigned label_bits = bit_width_for(n);
+  const double voter = static_cast<double>(n) * label_bits *
+                       static_cast<double>(replicas - 1) *
+                       params.le_per_compare_bit * params.technology_factor;
+  cost.voter_logic_elements = static_cast<std::size_t>(std::llround(voter));
+
+  cost.logic_elements_total =
+      replicas * cost.logic_elements_single + cost.voter_logic_elements;
+  cost.register_bits_total = replicas * single.register_bits;
+  cost.overhead_factor =
+      static_cast<double>(cost.logic_elements_total) /
+      static_cast<double>(std::max<std::size_t>(cost.logic_elements_single, 1));
+  return cost;
+}
+
+NmrReport run_nmr(const graph::Graph& g,
+                  const std::vector<FaultPlan>& replica_plans,
+                  unsigned replicas, const core::RunOptions& base) {
+  GCALIB_EXPECTS(replicas >= 2);
+  NmrReport report;
+  report.cost = nmr_cost(std::max<std::size_t>(g.node_count(), 1), replicas);
+
+  std::vector<std::vector<NodeId>> labelings;
+  labelings.reserve(replicas);
+  for (unsigned r = 0; r < replicas; ++r) {
+    core::HirschbergGca machine(g);
+    core::RunOptions run_options = base;
+    Injector injector(r < replica_plans.size() ? replica_plans[r]
+                                               : FaultPlan{});
+    injector.install(run_options);
+    labelings.push_back(machine.run(run_options).labels);
+    machine.engine().set_read_override({});
+  }
+
+  const NodeId n = g.node_count();
+  report.labels.assign(n, 0);
+  for (NodeId j = 0; j < n; ++j) {
+    std::map<NodeId, unsigned> votes;
+    for (const std::vector<NodeId>& labels : labelings) ++votes[labels[j]];
+    NodeId winner = labelings.front()[j];
+    unsigned best = 0;
+    for (const auto& [label, count] : votes) {
+      if (count > best) {
+        best = count;
+        winner = label;
+      }
+    }
+    report.labels[j] = winner;
+    if (votes.size() > 1) ++report.disagreeing_nodes;
+    if (best * 2 <= replicas) ++report.unresolved_nodes;
+  }
+  return report;
+}
+
+}  // namespace gcalib::fault

@@ -1,0 +1,88 @@
+// Recovery orchestration: resilient runs (inject + detect + checkpoint/
+// rollback) and N-modular-redundancy voting.
+//
+// `run_resilient` composes the three layers of the fault subsystem onto one
+// machine: the Injector replays a FaultPlan through the step hooks, the
+// MonitorSet and Oracle feed the run loop's detector, and the engine
+// snapshots every outer iteration give the loop its rollback targets.  The
+// escalation ladder (rollback -> full restart -> fail with diagnosis) lives
+// in HirschbergGca::run; this module only wires it up and reports.
+//
+// `run_nmr` is the masking alternative the paper's FPGA target would use
+// when stopping the clock for a rollback is not an option: N independent
+// replicas of the cell field run the same input and a majority voter picks
+// each node's label.  Its hardware price — N cell fields plus the voter —
+// is modelled with the calibrated FPGA cost model (hw/cost_model), the same
+// machinery that prices the congestion-reduction replication of section 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/hirschberg_gca.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/monitors.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::fault {
+
+/// Knobs of a resilient run.
+struct ResilientOptions {
+  core::RunOptions base;     ///< threads / instrumentation / on_step
+  MonitorConfig monitors;    ///< which invariant monitors run
+  unsigned checkpoint_interval = 1;  ///< outer iterations between snapshots
+  unsigned max_rollbacks = 3;
+  unsigned max_restarts = 1;
+};
+
+/// Outcome of a resilient run.
+struct ResilientReport {
+  core::RunResult run;       ///< labels, generations (incl. re-execution),
+                             ///< rollbacks, restarts, diagnoses
+  std::size_t faults_fired = 0;          ///< events the injector delivered
+  std::vector<Violation> violations;     ///< full monitor detection log
+  /// True iff corruption was detected and the final labeling nevertheless
+  /// passed the oracle — the run survived its faults.
+  bool recovered = false;
+};
+
+/// Runs the whole algorithm on `machine` while injecting `plan`, with
+/// monitors, the end-of-run oracle against `pristine`, and checkpoint
+/// recovery enabled.  Throws ContractViolation when the escalation budget
+/// is exhausted without a clean labeling.
+[[nodiscard]] ResilientReport run_resilient(core::HirschbergGca& machine,
+                                            const graph::Graph& pristine,
+                                            const FaultPlan& plan,
+                                            const ResilientOptions& options = {});
+
+/// Hardware price of N-modular redundancy at problem size n, derived from
+/// the calibrated FPGA cost model.
+struct NmrCost {
+  std::size_t n = 0;
+  unsigned replicas = 0;
+  std::size_t logic_elements_single = 0;  ///< one cell field
+  std::size_t voter_logic_elements = 0;   ///< per-bit majority + mismatch
+  std::size_t logic_elements_total = 0;
+  std::size_t register_bits_total = 0;
+  double overhead_factor = 0.0;  ///< total / single
+};
+
+[[nodiscard]] NmrCost nmr_cost(std::size_t n, unsigned replicas);
+
+/// Outcome of an N-modular-redundancy run.
+struct NmrReport {
+  std::vector<graph::NodeId> labels;  ///< majority-voted labeling
+  std::size_t disagreeing_nodes = 0;  ///< nodes where some replica dissented
+  std::size_t unresolved_nodes = 0;   ///< nodes without an absolute majority
+  NmrCost cost;
+};
+
+/// Runs `replicas` independent machines over `g` (replica r injecting
+/// `replica_plans[r]` when present) and majority-votes the labelings.
+/// No monitors or rollback: NMR masks faults instead of detecting them.
+[[nodiscard]] NmrReport run_nmr(const graph::Graph& g,
+                                const std::vector<FaultPlan>& replica_plans,
+                                unsigned replicas = 3,
+                                const core::RunOptions& base = {});
+
+}  // namespace gcalib::fault

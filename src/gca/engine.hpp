@@ -17,10 +17,21 @@
 // The sweep over cells runs sequentially by default; `set_threads` enables
 // a chunked parallel sweep (cells are independent within a generation, so
 // this is embarrassingly parallel; instrumentation is merged per-thread).
+//
+// Robustness extension points (used by src/fault/):
+//  * observers — callbacks invoked after every completed step, with the
+//    post-step states visible (invariant monitors register here);
+//  * snapshot()/restore() — copy-out/copy-in of the full cell state for
+//    checkpoint/rollback recovery;
+//  * a read override — an interposer consulted on every mediated global
+//    read, which models faulty reads (dropped or misrouted accesses)
+//    without touching the rules.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
+#include <functional>
 #include <optional>
 #include <string>
 #include <thread>
@@ -48,6 +59,7 @@ class Engine {
   /// generation (1 = the paper's one-handed GCA).
   explicit Engine(std::vector<State> initial, std::size_t hands = 1)
       : cells_(std::move(initial)), next_(cells_.size()), hands_(hands) {
+    GCALIB_EXPECTS_MSG(!cells_.empty(), "engine requires at least one cell");
     GCALIB_EXPECTS(hands_ >= 1);
   }
 
@@ -87,8 +99,61 @@ class Engine {
   /// Parallel sweep width (1 = sequential).  Access-edge recording is only
   /// supported sequentially.
   void set_threads(unsigned threads) {
-    GCALIB_EXPECTS(threads >= 1);
+    GCALIB_EXPECTS_MSG(threads >= 1, "parallel sweep width must be >= 1");
     threads_ = threads;
+  }
+
+  // --- robustness extension points -------------------------------------
+
+  /// Observer invoked after every completed step; `engine.states()` shows
+  /// the post-step generation the observer may validate.
+  using Observer = std::function<void(const Engine&, const GenerationStats&)>;
+
+  /// Registers an observer; returns an id for `remove_observer`.
+  std::size_t add_observer(Observer observer) {
+    GCALIB_EXPECTS(observer != nullptr);
+    const std::size_t id = next_observer_id_++;
+    observers_.emplace_back(id, std::move(observer));
+    return id;
+  }
+
+  /// Removes a previously registered observer (no-op on unknown ids).
+  void remove_observer(std::size_t id) {
+    std::erase_if(observers_, [id](const auto& entry) { return entry.first == id; });
+  }
+
+  [[nodiscard]] std::size_t observer_count() const { return observers_.size(); }
+
+  /// Full copy of the mutable machine state, sufficient to re-execute from
+  /// this point (instrumentation history is append-only and not part of it).
+  struct Snapshot {
+    std::vector<State> cells;
+    std::uint64_t generation = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{cells_, generation_}; }
+
+  /// Rolls the engine back to a snapshot taken on this engine (same field).
+  void restore(const Snapshot& snap) {
+    GCALIB_EXPECTS_MSG(snap.cells.size() == cells_.size(),
+                       "snapshot does not match this engine's field");
+    cells_ = snap.cells;
+    generation_ = snap.generation;
+  }
+
+  /// Fault-injection interposer: consulted on every mediated read.  Return
+  /// nullptr to let the read proceed normally; otherwise the returned state
+  /// is observed instead of the addressed neighbour.  The pointer must stay
+  /// valid for the remainder of the step.  Must be thread-safe when the
+  /// parallel sweep is enabled (treat it as read-only during a step).
+  using ReadOverride =
+      std::function<const State*(std::size_t reader, std::size_t target)>;
+
+  void set_read_override(ReadOverride override) {
+    read_override_ = std::move(override);
+  }
+  [[nodiscard]] bool has_read_override() const {
+    return static_cast<bool>(read_override_);
   }
 
   /// Mediates global reads for one cell during one generation.
@@ -102,6 +167,11 @@ class Engine {
       ++reads_;
       if (counts_ != nullptr) ++(*counts_)[target];
       if (edges_ != nullptr) edges_->push_back(AccessEdge{self_, target});
+      if (engine_.read_override_) {
+        if (const State* faulty = engine_.read_override_(self_, target)) {
+          return *faulty;
+        }
+      }
       return engine_.cells_[target];
     }
 
@@ -150,6 +220,7 @@ class Engine {
     cells_.swap(next_);
     ++generation_;
     if (instrumentation_) history_.push_back(stats);
+    for (const auto& [id, observer] : observers_) observer(*this, stats);
     return stats;
   }
 
@@ -181,6 +252,7 @@ class Engine {
     const unsigned t = threads_;
     std::vector<std::thread> workers;
     std::vector<std::size_t> actives(t, 0);
+    std::vector<std::exception_ptr> errors(t);
     std::vector<std::vector<std::size_t>> counts(
         instrumentation_ ? t : 0,
         std::vector<std::size_t>(instrumentation_ ? cells_.size() : 0, 0));
@@ -188,13 +260,21 @@ class Engine {
     for (unsigned w = 0; w < t; ++w) {
       const std::size_t begin = std::min(cells_.size(), std::size_t{w} * chunk);
       const std::size_t end = std::min(cells_.size(), begin + chunk);
-      workers.emplace_back([this, &rule, begin, end, w, &actives, &counts]() {
-        sweep_range(rule, begin, end,
-                    instrumentation_ ? &counts[w] : nullptr, nullptr,
-                    actives[w]);
-      });
+      workers.emplace_back(
+          [this, &rule, begin, end, w, &actives, &counts, &errors]() {
+            try {
+              sweep_range(rule, begin, end,
+                          instrumentation_ ? &counts[w] : nullptr, nullptr,
+                          actives[w]);
+            } catch (...) {
+              errors[w] = std::current_exception();
+            }
+          });
     }
     for (auto& worker : workers) worker.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
     for (std::size_t a : actives) stats.active_cells += a;
     if (instrumentation_) {
       std::vector<std::size_t>& merged = counts[0];
@@ -226,6 +306,9 @@ class Engine {
   std::vector<AccessEdge> last_access_;
   std::vector<std::uint8_t> last_active_;
   std::vector<GenerationStats> history_;
+  std::vector<std::pair<std::size_t, Observer>> observers_;
+  std::size_t next_observer_id_ = 0;
+  ReadOverride read_override_;
 };
 
 }  // namespace gcalib::gca

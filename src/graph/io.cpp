@@ -12,15 +12,61 @@ void write_edge_list(std::ostream& os, const Graph& g) {
   for (const Edge& e : g.edges()) os << e.u << ' ' << e.v << '\n';
 }
 
+namespace {
+
+/// Parse failure with the 1-based line number it occurred on.
+[[noreturn]] void parse_fail(const char* format, std::size_t line,
+                             const std::string& what) {
+  throw std::runtime_error(std::string(format) + " line " +
+                           std::to_string(line) + ": " + what);
+}
+
+[[nodiscard]] bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+}  // namespace
+
 Graph read_edge_list(std::istream& is) {
+  std::string line;
+  std::size_t lineno = 0;
   std::size_t n = 0, m = 0;
-  if (!(is >> n >> m)) throw std::runtime_error("edge list: missing header");
+  bool have_header = false;
+  while (!have_header && std::getline(is, line)) {
+    ++lineno;
+    if (is_blank(line)) continue;
+    std::istringstream ls(line);
+    std::string junk;
+    if (!(ls >> n >> m) || (ls >> junk)) {
+      parse_fail("edge list", lineno, "malformed header (expected \"n m\")");
+    }
+    have_header = true;
+  }
+  if (!have_header) {
+    parse_fail("edge list", lineno + 1, "missing \"n m\" header");
+  }
   Graph g(static_cast<NodeId>(n));
-  for (std::size_t i = 0; i < m; ++i) {
+  std::size_t edges = 0;
+  while (edges < m && std::getline(is, line)) {
+    ++lineno;
+    if (is_blank(line)) continue;
+    std::istringstream ls(line);
     std::size_t u = 0, v = 0;
-    if (!(is >> u >> v)) throw std::runtime_error("edge list: truncated");
-    if (u >= n || v >= n) throw std::runtime_error("edge list: node out of range");
+    std::string junk;
+    if (!(ls >> u >> v) || (ls >> junk)) {
+      parse_fail("edge list", lineno, "malformed edge (expected \"u v\")");
+    }
+    if (u >= n || v >= n) {
+      parse_fail("edge list", lineno,
+                 "node out of range (ids must be < " + std::to_string(n) + ")");
+    }
     g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    ++edges;
+  }
+  if (edges < m) {
+    parse_fail("edge list", lineno + 1,
+               "truncated: only " + std::to_string(edges) + " of " +
+                   std::to_string(m) + " edges before end of input");
   }
   return g;
 }
@@ -32,34 +78,49 @@ void write_dimacs(std::ostream& os, const Graph& g) {
 
 Graph read_dimacs(std::istream& is) {
   std::string line;
+  std::size_t lineno = 0;
   Graph g;
   bool have_header = false;
   while (std::getline(is, line)) {
-    if (line.empty() || line[0] == 'c') continue;
+    ++lineno;
+    if (is_blank(line) || line[0] == 'c') continue;
     std::istringstream ls(line);
     char tag = 0;
     ls >> tag;
     if (tag == 'p') {
+      if (have_header) {
+        parse_fail("dimacs", lineno, "duplicate problem line");
+      }
       std::string kind;
       std::size_t n = 0, m = 0;
       if (!(ls >> kind >> n >> m) || kind != "edge") {
-        throw std::runtime_error("dimacs: bad problem line");
+        parse_fail("dimacs", lineno,
+                   "bad problem line (expected \"p edge <n> <m>\")");
       }
       g = Graph(static_cast<NodeId>(n));
       have_header = true;
     } else if (tag == 'e') {
-      if (!have_header) throw std::runtime_error("dimacs: edge before header");
+      if (!have_header) {
+        parse_fail("dimacs", lineno, "edge line before the problem line");
+      }
       std::size_t u = 0, v = 0;
-      if (!(ls >> u >> v) || u == 0 || v == 0 || u > g.node_count() ||
-          v > g.node_count()) {
-        throw std::runtime_error("dimacs: bad edge line");
+      if (!(ls >> u >> v)) {
+        parse_fail("dimacs", lineno, "bad edge line (expected \"e <u> <v>\")");
+      }
+      if (u == 0 || v == 0 || u > g.node_count() || v > g.node_count()) {
+        parse_fail("dimacs", lineno,
+                   "node out of range (1-based ids must be <= " +
+                       std::to_string(g.node_count()) + ")");
       }
       g.add_edge(static_cast<NodeId>(u - 1), static_cast<NodeId>(v - 1));
     } else {
-      throw std::runtime_error("dimacs: unknown line tag");
+      parse_fail("dimacs", lineno,
+                 std::string("unknown line tag '") + tag + "'");
     }
   }
-  if (!have_header) throw std::runtime_error("dimacs: missing problem line");
+  if (!have_header) {
+    parse_fail("dimacs", lineno + 1, "missing problem line");
+  }
   return g;
 }
 

@@ -200,5 +200,77 @@ TEST(Engine, MutableStateForHostInitialisation) {
   EXPECT_EQ(engine.state(1), 99);
 }
 
+TEST(Engine, EmptyInitialStateRejected) {
+  EXPECT_THROW(IntEngine(std::vector<int>{}), ContractViolation);
+}
+
+TEST(Engine, ZeroThreadsRejected) {
+  IntEngine engine(iota_states(4));
+  EXPECT_THROW(engine.set_threads(0), ContractViolation);
+}
+
+TEST(Engine, ObserversSeePostStepStates) {
+  IntEngine engine(iota_states(4));
+  std::size_t calls = 0;
+  std::vector<int> observed;
+  const std::size_t id = engine.add_observer(
+      [&calls, &observed](const IntEngine& e, const GenerationStats& stats) {
+        ++calls;
+        observed = e.states();
+        EXPECT_EQ(stats.generation + 1, e.generation());
+      });
+  EXPECT_EQ(engine.observer_count(), 1u);
+  engine.step([](std::size_t i, auto& read) -> std::optional<int> {
+    return read((i + 1) % 4);
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(observed, (std::vector<int>{1, 2, 3, 0}));
+
+  engine.remove_observer(id);
+  EXPECT_EQ(engine.observer_count(), 0u);
+  engine.step([](std::size_t, auto&) -> std::optional<int> { return 0; });
+  EXPECT_EQ(calls, 1u);  // detached observers stay silent
+}
+
+TEST(Engine, SnapshotRestoreRoundTrip) {
+  IntEngine engine(iota_states(4));
+  const IntEngine::Snapshot snap = engine.snapshot();
+  engine.step([](std::size_t, auto&) -> std::optional<int> { return 42; });
+  EXPECT_EQ(engine.state(0), 42);
+  EXPECT_EQ(engine.generation(), 1u);
+  engine.restore(snap);
+  EXPECT_EQ(engine.states(), iota_states(4));
+  EXPECT_EQ(engine.generation(), 0u);
+}
+
+TEST(Engine, RestoreRejectsForeignSnapshot) {
+  IntEngine four(iota_states(4));
+  IntEngine five(iota_states(5));
+  const IntEngine::Snapshot snap = five.snapshot();
+  EXPECT_THROW(four.restore(snap), ContractViolation);
+}
+
+TEST(Engine, ReadOverrideInterposesAndClears) {
+  IntEngine engine(iota_states(4));
+  const int fake = 70;
+  engine.set_read_override(
+      [&fake](std::size_t, std::size_t target) -> const int* {
+        return target == 0 ? &fake : nullptr;
+      });
+  EXPECT_TRUE(engine.has_read_override());
+  engine.step([](std::size_t i, auto& read) -> std::optional<int> {
+    return read(i == 0 ? 0 : 1);
+  });
+  EXPECT_EQ(engine.state(0), 70);  // overridden read
+  EXPECT_EQ(engine.state(2), 1);   // other targets read through
+
+  engine.set_read_override({});
+  EXPECT_FALSE(engine.has_read_override());
+  engine.step([](std::size_t, auto& read) -> std::optional<int> {
+    return read(0);
+  });
+  EXPECT_EQ(engine.state(3), 70);  // normal read of the restored path
+}
+
 }  // namespace
 }  // namespace gcalib::gca

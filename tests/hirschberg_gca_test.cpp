@@ -239,6 +239,37 @@ TEST(HirschbergGca, ThreadedRunMatchesSequential) {
   EXPECT_EQ(result.labels, gca_components(g));
 }
 
+TEST(HirschbergGca, ParallelSweepBitIdenticalAcrossWidths) {
+  // Determinism across sweep widths: identical cell states, labels and
+  // merged instrumentation counts for every thread count, including one
+  // that does not divide the field size.
+  const Graph g = graph::random_gnp(24, 0.15, 99);
+  HirschbergGca reference(g);
+  const RunResult base = reference.run();
+
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    SCOPED_TRACE(threads);
+    RunOptions options;
+    options.threads = threads;
+    HirschbergGca machine(g);
+    const RunResult result = machine.run(options);
+
+    EXPECT_EQ(result.labels, base.labels);
+    EXPECT_EQ(machine.engine().states(), reference.engine().states());
+    ASSERT_EQ(result.records.size(), base.records.size());
+    for (std::size_t r = 0; r < base.records.size(); ++r) {
+      const gca::GenerationStats& want = base.records[r].stats;
+      const gca::GenerationStats& got = result.records[r].stats;
+      EXPECT_TRUE(result.records[r].id == base.records[r].id);
+      EXPECT_EQ(got.active_cells, want.active_cells) << r;
+      EXPECT_EQ(got.total_reads, want.total_reads) << r;
+      EXPECT_EQ(got.cells_read, want.cells_read) << r;
+      EXPECT_EQ(got.max_congestion, want.max_congestion) << r;
+      EXPECT_EQ(got.congestion_classes, want.congestion_classes) << r;
+    }
+  }
+}
+
 TEST(HirschbergGca, OneHandedThroughout) {
   // The engine enforces hands == 1; a full run not throwing is the proof,
   // but assert the configuration explicitly too.

@@ -10,6 +10,19 @@
 namespace gcalib::graph {
 namespace {
 
+/// Runs `parse`, which must throw std::runtime_error, and returns its
+/// message for assertions on the reported line number.
+template <typename Parse>
+std::string failure_message(Parse&& parse) {
+  try {
+    (void)parse();
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected std::runtime_error";
+  return {};
+}
+
 TEST(Io, EdgeListRoundTrip) {
   const Graph g = random_gnp(20, 0.3, 42);
   std::stringstream ss;
@@ -41,6 +54,49 @@ TEST(Io, EdgeListOutOfRangeNode) {
   EXPECT_THROW(read_edge_list(ss), std::runtime_error);
 }
 
+TEST(Io, EdgeListMalformedHeaderReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("not a header");
+    return read_edge_list(ss);
+  });
+  EXPECT_NE(what.find("edge list line 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("malformed header"), std::string::npos) << what;
+}
+
+TEST(Io, EdgeListTruncatedReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("3 2\n0 1\n");
+    return read_edge_list(ss);
+  });
+  EXPECT_NE(what.find("edge list line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("only 1 of 2 edges"), std::string::npos) << what;
+}
+
+TEST(Io, EdgeListOutOfRangeNodeReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("3 2\n0 1\n0 7\n");
+    return read_edge_list(ss);
+  });
+  EXPECT_NE(what.find("edge list line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("ids must be < 3"), std::string::npos) << what;
+}
+
+TEST(Io, EdgeListJunkEdgeLineReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("2 1\n0 1 trailing\n");
+    return read_edge_list(ss);
+  });
+  EXPECT_NE(what.find("edge list line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("malformed edge"), std::string::npos) << what;
+}
+
+TEST(Io, EdgeListBlankLinesDoNotShiftNumbers) {
+  std::stringstream ss("\n3 1\n\n0 9\n");
+  const std::string what =
+      failure_message([&ss] { return read_edge_list(ss); });
+  EXPECT_NE(what.find("edge list line 4"), std::string::npos) << what;
+}
+
 TEST(Io, DimacsRoundTrip) {
   const Graph g = random_gnp(15, 0.4, 9);
   std::stringstream ss;
@@ -64,6 +120,42 @@ TEST(Io, DimacsEdgeBeforeHeaderThrows) {
 TEST(Io, DimacsBadNodeNumberThrows) {
   std::stringstream ss("p edge 3 1\ne 0 2\n");  // DIMACS is 1-based
   EXPECT_THROW(read_dimacs(ss), std::runtime_error);
+}
+
+TEST(Io, DimacsUnknownTagReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("c comment\np edge 3 1\nx nonsense\n");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("unknown line tag 'x'"), std::string::npos) << what;
+}
+
+TEST(Io, DimacsOutOfRangeNodeReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("p edge 3 2\ne 1 2\ne 9 1\n");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("1-based ids must be <= 3"), std::string::npos) << what;
+}
+
+TEST(Io, DimacsEdgeBeforeHeaderReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("c leading comment\ne 1 2\n");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 2"), std::string::npos) << what;
+  EXPECT_NE(what.find("before the problem line"), std::string::npos) << what;
+}
+
+TEST(Io, DimacsMissingHeaderReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("missing problem line"), std::string::npos) << what;
 }
 
 TEST(Io, ParseMatrixBasic) {
