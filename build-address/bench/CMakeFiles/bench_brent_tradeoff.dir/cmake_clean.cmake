@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_brent_tradeoff.dir/bench_brent_tradeoff.cpp.o"
+  "CMakeFiles/bench_brent_tradeoff.dir/bench_brent_tradeoff.cpp.o.d"
+  "bench_brent_tradeoff"
+  "bench_brent_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_brent_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

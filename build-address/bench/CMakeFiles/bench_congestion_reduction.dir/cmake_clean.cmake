@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_congestion_reduction.dir/bench_congestion_reduction.cpp.o"
+  "CMakeFiles/bench_congestion_reduction.dir/bench_congestion_reduction.cpp.o.d"
+  "bench_congestion_reduction"
+  "bench_congestion_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_congestion_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gcal_analysis.dir/bench_gcal_analysis.cpp.o"
+  "CMakeFiles/bench_gcal_analysis.dir/bench_gcal_analysis.cpp.o.d"
+  "bench_gcal_analysis"
+  "bench_gcal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gcal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiprocessor.dir/bench_multiprocessor.cpp.o"
+  "CMakeFiles/bench_multiprocessor.dir/bench_multiprocessor.cpp.o.d"
+  "bench_multiprocessor"
+  "bench_multiprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

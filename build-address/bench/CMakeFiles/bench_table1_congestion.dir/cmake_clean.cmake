@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_congestion.dir/bench_table1_congestion.cpp.o"
+  "CMakeFiles/bench_table1_congestion.dir/bench_table1_congestion.cpp.o.d"
+  "bench_table1_congestion"
+  "bench_table1_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

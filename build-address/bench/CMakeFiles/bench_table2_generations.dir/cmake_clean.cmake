@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_generations.dir/bench_table2_generations.cpp.o"
+  "CMakeFiles/bench_table2_generations.dir/bench_table2_generations.cpp.o.d"
+  "bench_table2_generations"
+  "bench_table2_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

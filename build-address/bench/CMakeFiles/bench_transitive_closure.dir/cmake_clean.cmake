@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transitive_closure.dir/bench_transitive_closure.cpp.o"
+  "CMakeFiles/bench_transitive_closure.dir/bench_transitive_closure.cpp.o.d"
+  "bench_transitive_closure"
+  "bench_transitive_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transitive_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_nets.dir/circuit_nets.cpp.o"
+  "CMakeFiles/circuit_nets.dir/circuit_nets.cpp.o.d"
+  "circuit_nets"
+  "circuit_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

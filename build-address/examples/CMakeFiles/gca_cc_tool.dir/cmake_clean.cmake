@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_cc_tool.dir/gca_cc_tool.cpp.o"
+  "CMakeFiles/gca_cc_tool.dir/gca_cc_tool.cpp.o.d"
+  "gca_cc_tool"
+  "gca_cc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_cc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gca_life.cpp" "examples/CMakeFiles/gca_life.dir/gca_life.cpp.o" "gcc" "examples/CMakeFiles/gca_life.dir/gca_life.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/graph/CMakeFiles/gcalib_graph.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/pram/CMakeFiles/gcalib_pram.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/gca/CMakeFiles/gcalib_gca.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/core/CMakeFiles/gcalib_core.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/hw/CMakeFiles/gcalib_hw.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/gcal/CMakeFiles/gcalib_gcal.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/fault/CMakeFiles/gcalib_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

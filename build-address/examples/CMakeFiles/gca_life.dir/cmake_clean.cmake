@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_life.dir/gca_life.cpp.o"
+  "CMakeFiles/gca_life.dir/gca_life.cpp.o.d"
+  "gca_life"
+  "gca_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

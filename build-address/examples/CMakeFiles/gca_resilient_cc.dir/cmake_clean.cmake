@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gca_resilient_cc.dir/gca_resilient_cc.cpp.o"
+  "CMakeFiles/gca_resilient_cc.dir/gca_resilient_cc.cpp.o.d"
+  "gca_resilient_cc"
+  "gca_resilient_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gca_resilient_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

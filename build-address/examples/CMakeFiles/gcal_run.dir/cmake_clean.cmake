@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcal_run.dir/gcal_run.cpp.o"
+  "CMakeFiles/gcal_run.dir/gcal_run.cpp.o.d"
+  "gcal_run"
+  "gcal_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcal_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

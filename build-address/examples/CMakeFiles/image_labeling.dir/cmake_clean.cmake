@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_labeling.dir/image_labeling.cpp.o"
+  "CMakeFiles/image_labeling.dir/image_labeling.cpp.o.d"
+  "image_labeling"
+  "image_labeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_labeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_common.dir/cli.cpp.o"
+  "CMakeFiles/gcalib_common.dir/cli.cpp.o.d"
+  "CMakeFiles/gcalib_common.dir/csv.cpp.o"
+  "CMakeFiles/gcalib_common.dir/csv.cpp.o.d"
+  "CMakeFiles/gcalib_common.dir/format.cpp.o"
+  "CMakeFiles/gcalib_common.dir/format.cpp.o.d"
+  "CMakeFiles/gcalib_common.dir/table.cpp.o"
+  "CMakeFiles/gcalib_common.dir/table.cpp.o.d"
+  "libgcalib_common.a"
+  "libgcalib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_pattern.cpp" "src/core/CMakeFiles/gcalib_core.dir/access_pattern.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/access_pattern.cpp.o.d"
+  "/root/repo/src/core/apsp.cpp" "src/core/CMakeFiles/gcalib_core.dir/apsp.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/apsp.cpp.o.d"
+  "/root/repo/src/core/hirschberg_gca.cpp" "src/core/CMakeFiles/gcalib_core.dir/hirschberg_gca.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/hirschberg_gca.cpp.o.d"
+  "/root/repo/src/core/hirschberg_ncells.cpp" "src/core/CMakeFiles/gcalib_core.dir/hirschberg_ncells.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/hirschberg_ncells.cpp.o.d"
+  "/root/repo/src/core/hirschberg_tree.cpp" "src/core/CMakeFiles/gcalib_core.dir/hirschberg_tree.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/hirschberg_tree.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/gcalib_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/state_graph.cpp" "src/core/CMakeFiles/gcalib_core.dir/state_graph.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/state_graph.cpp.o.d"
+  "/root/repo/src/core/transitive_closure.cpp" "src/core/CMakeFiles/gcalib_core.dir/transitive_closure.cpp.o" "gcc" "src/core/CMakeFiles/gcalib_core.dir/transitive_closure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/graph/CMakeFiles/gcalib_graph.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/gca/CMakeFiles/gcalib_gca.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_core.dir/access_pattern.cpp.o"
+  "CMakeFiles/gcalib_core.dir/access_pattern.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/apsp.cpp.o"
+  "CMakeFiles/gcalib_core.dir/apsp.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/hirschberg_gca.cpp.o"
+  "CMakeFiles/gcalib_core.dir/hirschberg_gca.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/hirschberg_ncells.cpp.o"
+  "CMakeFiles/gcalib_core.dir/hirschberg_ncells.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/hirschberg_tree.cpp.o"
+  "CMakeFiles/gcalib_core.dir/hirschberg_tree.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/schedule.cpp.o"
+  "CMakeFiles/gcalib_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/state_graph.cpp.o"
+  "CMakeFiles/gcalib_core.dir/state_graph.cpp.o.d"
+  "CMakeFiles/gcalib_core.dir/transitive_closure.cpp.o"
+  "CMakeFiles/gcalib_core.dir/transitive_closure.cpp.o.d"
+  "libgcalib_core.a"
+  "libgcalib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/fault_plan.cpp" "src/fault/CMakeFiles/gcalib_fault.dir/fault_plan.cpp.o" "gcc" "src/fault/CMakeFiles/gcalib_fault.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/fault/monitors.cpp" "src/fault/CMakeFiles/gcalib_fault.dir/monitors.cpp.o" "gcc" "src/fault/CMakeFiles/gcalib_fault.dir/monitors.cpp.o.d"
+  "/root/repo/src/fault/recovery.cpp" "src/fault/CMakeFiles/gcalib_fault.dir/recovery.cpp.o" "gcc" "src/fault/CMakeFiles/gcalib_fault.dir/recovery.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/graph/CMakeFiles/gcalib_graph.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/gca/CMakeFiles/gcalib_gca.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/core/CMakeFiles/gcalib_core.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/hw/CMakeFiles/gcalib_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

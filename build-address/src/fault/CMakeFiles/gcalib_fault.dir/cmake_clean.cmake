@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_fault.dir/fault_plan.cpp.o"
+  "CMakeFiles/gcalib_fault.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/gcalib_fault.dir/monitors.cpp.o"
+  "CMakeFiles/gcalib_fault.dir/monitors.cpp.o.d"
+  "CMakeFiles/gcalib_fault.dir/recovery.cpp.o"
+  "CMakeFiles/gcalib_fault.dir/recovery.cpp.o.d"
+  "libgcalib_fault.a"
+  "libgcalib_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

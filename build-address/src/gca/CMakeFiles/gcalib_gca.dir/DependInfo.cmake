@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gca/ca.cpp" "src/gca/CMakeFiles/gcalib_gca.dir/ca.cpp.o" "gcc" "src/gca/CMakeFiles/gcalib_gca.dir/ca.cpp.o.d"
+  "/root/repo/src/gca/kernels.cpp" "src/gca/CMakeFiles/gcalib_gca.dir/kernels.cpp.o" "gcc" "src/gca/CMakeFiles/gcalib_gca.dir/kernels.cpp.o.d"
+  "/root/repo/src/gca/trace.cpp" "src/gca/CMakeFiles/gcalib_gca.dir/trace.cpp.o" "gcc" "src/gca/CMakeFiles/gcalib_gca.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

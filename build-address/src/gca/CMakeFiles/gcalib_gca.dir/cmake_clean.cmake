@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_gca.dir/ca.cpp.o"
+  "CMakeFiles/gcalib_gca.dir/ca.cpp.o.d"
+  "CMakeFiles/gcalib_gca.dir/kernels.cpp.o"
+  "CMakeFiles/gcalib_gca.dir/kernels.cpp.o.d"
+  "CMakeFiles/gcalib_gca.dir/trace.cpp.o"
+  "CMakeFiles/gcalib_gca.dir/trace.cpp.o.d"
+  "libgcalib_gca.a"
+  "libgcalib_gca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_gca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gcalib_gca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gcal/analyzer.cpp" "src/gcal/CMakeFiles/gcalib_gcal.dir/analyzer.cpp.o" "gcc" "src/gcal/CMakeFiles/gcalib_gcal.dir/analyzer.cpp.o.d"
+  "/root/repo/src/gcal/eval.cpp" "src/gcal/CMakeFiles/gcalib_gcal.dir/eval.cpp.o" "gcc" "src/gcal/CMakeFiles/gcalib_gcal.dir/eval.cpp.o.d"
+  "/root/repo/src/gcal/interpreter.cpp" "src/gcal/CMakeFiles/gcalib_gcal.dir/interpreter.cpp.o" "gcc" "src/gcal/CMakeFiles/gcalib_gcal.dir/interpreter.cpp.o.d"
+  "/root/repo/src/gcal/lexer.cpp" "src/gcal/CMakeFiles/gcalib_gcal.dir/lexer.cpp.o" "gcc" "src/gcal/CMakeFiles/gcalib_gcal.dir/lexer.cpp.o.d"
+  "/root/repo/src/gcal/parser.cpp" "src/gcal/CMakeFiles/gcalib_gcal.dir/parser.cpp.o" "gcc" "src/gcal/CMakeFiles/gcalib_gcal.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/graph/CMakeFiles/gcalib_graph.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/gca/CMakeFiles/gcalib_gca.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/hw/CMakeFiles/gcalib_hw.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/core/CMakeFiles/gcalib_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_gcal.dir/analyzer.cpp.o"
+  "CMakeFiles/gcalib_gcal.dir/analyzer.cpp.o.d"
+  "CMakeFiles/gcalib_gcal.dir/eval.cpp.o"
+  "CMakeFiles/gcalib_gcal.dir/eval.cpp.o.d"
+  "CMakeFiles/gcalib_gcal.dir/interpreter.cpp.o"
+  "CMakeFiles/gcalib_gcal.dir/interpreter.cpp.o.d"
+  "CMakeFiles/gcalib_gcal.dir/lexer.cpp.o"
+  "CMakeFiles/gcalib_gcal.dir/lexer.cpp.o.d"
+  "CMakeFiles/gcalib_gcal.dir/parser.cpp.o"
+  "CMakeFiles/gcalib_gcal.dir/parser.cpp.o.d"
+  "libgcalib_gcal.a"
+  "libgcalib_gcal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_gcal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

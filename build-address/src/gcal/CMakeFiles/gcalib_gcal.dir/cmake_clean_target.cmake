@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgcalib_gcal.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for gcalib_gcal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency_matrix.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/adjacency_matrix.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/adjacency_matrix.cpp.o.d"
+  "/root/repo/src/graph/cc_baselines.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/cc_baselines.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/cc_baselines.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/labeling.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/labeling.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/labeling.cpp.o.d"
+  "/root/repo/src/graph/union_find.cpp" "src/graph/CMakeFiles/gcalib_graph.dir/union_find.cpp.o" "gcc" "src/graph/CMakeFiles/gcalib_graph.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

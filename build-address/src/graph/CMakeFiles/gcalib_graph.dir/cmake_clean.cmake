@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_graph.dir/adjacency_matrix.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/adjacency_matrix.cpp.o.d"
+  "CMakeFiles/gcalib_graph.dir/cc_baselines.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/cc_baselines.cpp.o.d"
+  "CMakeFiles/gcalib_graph.dir/generators.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gcalib_graph.dir/graph.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/gcalib_graph.dir/io.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/io.cpp.o.d"
+  "CMakeFiles/gcalib_graph.dir/labeling.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/labeling.cpp.o.d"
+  "CMakeFiles/gcalib_graph.dir/union_find.cpp.o"
+  "CMakeFiles/gcalib_graph.dir/union_find.cpp.o.d"
+  "libgcalib_graph.a"
+  "libgcalib_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

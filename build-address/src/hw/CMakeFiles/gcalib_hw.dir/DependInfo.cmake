@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/brent.cpp" "src/hw/CMakeFiles/gcalib_hw.dir/brent.cpp.o" "gcc" "src/hw/CMakeFiles/gcalib_hw.dir/brent.cpp.o.d"
+  "/root/repo/src/hw/cell_model.cpp" "src/hw/CMakeFiles/gcalib_hw.dir/cell_model.cpp.o" "gcc" "src/hw/CMakeFiles/gcalib_hw.dir/cell_model.cpp.o.d"
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/gcalib_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/gcalib_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/multiproc.cpp" "src/hw/CMakeFiles/gcalib_hw.dir/multiproc.cpp.o" "gcc" "src/hw/CMakeFiles/gcalib_hw.dir/multiproc.cpp.o.d"
+  "/root/repo/src/hw/replication.cpp" "src/hw/CMakeFiles/gcalib_hw.dir/replication.cpp.o" "gcc" "src/hw/CMakeFiles/gcalib_hw.dir/replication.cpp.o.d"
+  "/root/repo/src/hw/verilog_gen.cpp" "src/hw/CMakeFiles/gcalib_hw.dir/verilog_gen.cpp.o" "gcc" "src/hw/CMakeFiles/gcalib_hw.dir/verilog_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/core/CMakeFiles/gcalib_core.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/gca/CMakeFiles/gcalib_gca.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/graph/CMakeFiles/gcalib_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_hw.dir/brent.cpp.o"
+  "CMakeFiles/gcalib_hw.dir/brent.cpp.o.d"
+  "CMakeFiles/gcalib_hw.dir/cell_model.cpp.o"
+  "CMakeFiles/gcalib_hw.dir/cell_model.cpp.o.d"
+  "CMakeFiles/gcalib_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/gcalib_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/gcalib_hw.dir/multiproc.cpp.o"
+  "CMakeFiles/gcalib_hw.dir/multiproc.cpp.o.d"
+  "CMakeFiles/gcalib_hw.dir/replication.cpp.o"
+  "CMakeFiles/gcalib_hw.dir/replication.cpp.o.d"
+  "CMakeFiles/gcalib_hw.dir/verilog_gen.cpp.o"
+  "CMakeFiles/gcalib_hw.dir/verilog_gen.cpp.o.d"
+  "libgcalib_hw.a"
+  "libgcalib_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pram/hirschberg.cpp" "src/pram/CMakeFiles/gcalib_pram.dir/hirschberg.cpp.o" "gcc" "src/pram/CMakeFiles/gcalib_pram.dir/hirschberg.cpp.o.d"
+  "/root/repo/src/pram/machine.cpp" "src/pram/CMakeFiles/gcalib_pram.dir/machine.cpp.o" "gcc" "src/pram/CMakeFiles/gcalib_pram.dir/machine.cpp.o.d"
+  "/root/repo/src/pram/shiloach_vishkin.cpp" "src/pram/CMakeFiles/gcalib_pram.dir/shiloach_vishkin.cpp.o" "gcc" "src/pram/CMakeFiles/gcalib_pram.dir/shiloach_vishkin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-address/src/common/CMakeFiles/gcalib_common.dir/DependInfo.cmake"
+  "/root/repo/build-address/src/graph/CMakeFiles/gcalib_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcalib_pram.dir/hirschberg.cpp.o"
+  "CMakeFiles/gcalib_pram.dir/hirschberg.cpp.o.d"
+  "CMakeFiles/gcalib_pram.dir/machine.cpp.o"
+  "CMakeFiles/gcalib_pram.dir/machine.cpp.o.d"
+  "CMakeFiles/gcalib_pram.dir/shiloach_vishkin.cpp.o"
+  "CMakeFiles/gcalib_pram.dir/shiloach_vishkin.cpp.o.d"
+  "libgcalib_pram.a"
+  "libgcalib_pram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcalib_pram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

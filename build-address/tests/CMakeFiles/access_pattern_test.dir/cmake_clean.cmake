@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_pattern_test.dir/access_pattern_test.cpp.o"
+  "CMakeFiles/access_pattern_test.dir/access_pattern_test.cpp.o.d"
+  "access_pattern_test"
+  "access_pattern_test.pdb"
+  "access_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

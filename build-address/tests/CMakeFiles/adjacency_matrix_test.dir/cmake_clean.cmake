@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjacency_matrix_test.dir/adjacency_matrix_test.cpp.o"
+  "CMakeFiles/adjacency_matrix_test.dir/adjacency_matrix_test.cpp.o.d"
+  "adjacency_matrix_test"
+  "adjacency_matrix_test.pdb"
+  "adjacency_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjacency_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_test.dir/apsp_test.cpp.o"
+  "CMakeFiles/apsp_test.dir/apsp_test.cpp.o.d"
+  "apsp_test"
+  "apsp_test.pdb"
+  "apsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elementary_ca_test.dir/elementary_ca_test.cpp.o"
+  "CMakeFiles/elementary_ca_test.dir/elementary_ca_test.cpp.o.d"
+  "elementary_ca_test"
+  "elementary_ca_test.pdb"
+  "elementary_ca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elementary_ca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

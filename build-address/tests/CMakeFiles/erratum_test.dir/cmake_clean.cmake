@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/erratum_test.dir/erratum_test.cpp.o"
+  "CMakeFiles/erratum_test.dir/erratum_test.cpp.o.d"
+  "erratum_test"
+  "erratum_test.pdb"
+  "erratum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/erratum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcal_analyzer_test.dir/gcal_analyzer_test.cpp.o"
+  "CMakeFiles/gcal_analyzer_test.dir/gcal_analyzer_test.cpp.o.d"
+  "gcal_analyzer_test"
+  "gcal_analyzer_test.pdb"
+  "gcal_analyzer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcal_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcal_interpreter_test.dir/gcal_interpreter_test.cpp.o"
+  "CMakeFiles/gcal_interpreter_test.dir/gcal_interpreter_test.cpp.o.d"
+  "gcal_interpreter_test"
+  "gcal_interpreter_test.pdb"
+  "gcal_interpreter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcal_interpreter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

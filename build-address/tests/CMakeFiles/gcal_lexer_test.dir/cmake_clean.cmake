@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcal_lexer_test.dir/gcal_lexer_test.cpp.o"
+  "CMakeFiles/gcal_lexer_test.dir/gcal_lexer_test.cpp.o.d"
+  "gcal_lexer_test"
+  "gcal_lexer_test.pdb"
+  "gcal_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcal_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcal_parser_test.dir/gcal_parser_test.cpp.o"
+  "CMakeFiles/gcal_parser_test.dir/gcal_parser_test.cpp.o.d"
+  "gcal_parser_test"
+  "gcal_parser_test.pdb"
+  "gcal_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcal_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

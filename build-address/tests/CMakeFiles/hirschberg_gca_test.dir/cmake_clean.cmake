@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirschberg_gca_test.dir/hirschberg_gca_test.cpp.o"
+  "CMakeFiles/hirschberg_gca_test.dir/hirschberg_gca_test.cpp.o.d"
+  "hirschberg_gca_test"
+  "hirschberg_gca_test.pdb"
+  "hirschberg_gca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirschberg_gca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

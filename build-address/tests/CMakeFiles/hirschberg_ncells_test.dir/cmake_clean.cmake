@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirschberg_ncells_test.dir/hirschberg_ncells_test.cpp.o"
+  "CMakeFiles/hirschberg_ncells_test.dir/hirschberg_ncells_test.cpp.o.d"
+  "hirschberg_ncells_test"
+  "hirschberg_ncells_test.pdb"
+  "hirschberg_ncells_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirschberg_ncells_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirschberg_pram_test.dir/hirschberg_pram_test.cpp.o"
+  "CMakeFiles/hirschberg_pram_test.dir/hirschberg_pram_test.cpp.o.d"
+  "hirschberg_pram_test"
+  "hirschberg_pram_test.pdb"
+  "hirschberg_pram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirschberg_pram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirschberg_reference_test.dir/hirschberg_reference_test.cpp.o"
+  "CMakeFiles/hirschberg_reference_test.dir/hirschberg_reference_test.cpp.o.d"
+  "hirschberg_reference_test"
+  "hirschberg_reference_test.pdb"
+  "hirschberg_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirschberg_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hirschberg_tree_test.dir/hirschberg_tree_test.cpp.o"
+  "CMakeFiles/hirschberg_tree_test.dir/hirschberg_tree_test.cpp.o.d"
+  "hirschberg_tree_test"
+  "hirschberg_tree_test.pdb"
+  "hirschberg_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hirschberg_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_brent_test.dir/hw_brent_test.cpp.o"
+  "CMakeFiles/hw_brent_test.dir/hw_brent_test.cpp.o.d"
+  "hw_brent_test"
+  "hw_brent_test.pdb"
+  "hw_brent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_brent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

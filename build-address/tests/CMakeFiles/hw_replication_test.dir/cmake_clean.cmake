@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_replication_test.dir/hw_replication_test.cpp.o"
+  "CMakeFiles/hw_replication_test.dir/hw_replication_test.cpp.o.d"
+  "hw_replication_test"
+  "hw_replication_test.pdb"
+  "hw_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

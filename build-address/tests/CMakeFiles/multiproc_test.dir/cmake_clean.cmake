@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiproc_test.dir/multiproc_test.cpp.o"
+  "CMakeFiles/multiproc_test.dir/multiproc_test.cpp.o.d"
+  "multiproc_test"
+  "multiproc_test.pdb"
+  "multiproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pram_machine_test.dir/pram_machine_test.cpp.o"
+  "CMakeFiles/pram_machine_test.dir/pram_machine_test.cpp.o.d"
+  "pram_machine_test"
+  "pram_machine_test.pdb"
+  "pram_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pram_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiloach_vishkin_test.dir/shiloach_vishkin_test.cpp.o"
+  "CMakeFiles/shiloach_vishkin_test.dir/shiloach_vishkin_test.cpp.o.d"
+  "shiloach_vishkin_test"
+  "shiloach_vishkin_test.pdb"
+  "shiloach_vishkin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiloach_vishkin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

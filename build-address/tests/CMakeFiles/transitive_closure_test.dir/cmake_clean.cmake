@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitive_closure_test.dir/transitive_closure_test.cpp.o"
+  "CMakeFiles/transitive_closure_test.dir/transitive_closure_test.cpp.o.d"
+  "transitive_closure_test"
+  "transitive_closure_test.pdb"
+  "transitive_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitive_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_gen_test.dir/verilog_gen_test.cpp.o"
+  "CMakeFiles/verilog_gen_test.dir/verilog_gen_test.cpp.o.d"
+  "verilog_gen_test"
+  "verilog_gen_test.pdb"
+  "verilog_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
