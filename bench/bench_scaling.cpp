@@ -9,8 +9,14 @@
 // counters attached to each benchmark make that split visible.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
 #include "core/hirschberg_gca.hpp"
 #include "core/schedule.hpp"
+#include "gca/engine.hpp"
+#include "gca/execution.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 #include "graph/union_find.hpp"
@@ -45,17 +51,78 @@ void BM_GcaHirschberg(benchmark::State& state) {
 }
 BENCHMARK(BM_GcaHirschberg)->RangeMultiplier(2)->Range(8, 256);
 
-void BM_GcaHirschbergThreaded(benchmark::State& state) {
+void gca_hirschberg_threaded(benchmark::State& state,
+                             gcalib::gca::ExecutionPolicy policy) {
   const Graph g = dense_graph(state.range(0));
   gcalib::core::RunOptions options;
   options.instrument = false;
   options.threads = 4;
+  options.policy = policy;
   for (auto _ : state) {
     gcalib::core::HirschbergGca machine(g);
     benchmark::DoNotOptimize(machine.run(options).labels.data());
   }
 }
-BENCHMARK(BM_GcaHirschbergThreaded)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_GcaHirschbergSpawn(benchmark::State& state) {
+  gca_hirschberg_threaded(state, gcalib::gca::ExecutionPolicy::kSpawn);
+}
+BENCHMARK(BM_GcaHirschbergSpawn)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_GcaHirschbergPool(benchmark::State& state) {
+  gca_hirschberg_threaded(state, gcalib::gca::ExecutionPolicy::kPool);
+}
+BENCHMARK(BM_GcaHirschbergPool)->RangeMultiplier(2)->Range(64, 256);
+
+// --- execution-backend comparison: spawn-per-step vs persistent pool ----
+//
+// Isolates the engine-step overhead the pool removes: a Hirschberg-sized
+// field (n x (n+1) cells) steps a congestion-free one-handed rule, so per
+// step the spawn backend pays thread creation + join while the pool pays
+// one epoch handshake.  items/s = engine steps per second — the paper's
+// generation rate.  scripts/bench_engine.sh captures both series into
+// BENCH_engine.json.
+
+constexpr unsigned kSweepThreads = 8;
+
+void engine_sweep(benchmark::State& state, gcalib::gca::ExecutionPolicy policy) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t cells = n * (n + 1);
+  std::vector<std::uint32_t> initial(cells);
+  std::iota(initial.begin(), initial.end(), 0u);
+  const unsigned threads =
+      policy == gcalib::gca::ExecutionPolicy::kSequential ? 1 : kSweepThreads;
+  gcalib::gca::Engine<std::uint32_t> engine(
+      std::move(initial), gcalib::gca::EngineOptions{}
+                              .with_threads(threads)
+                              .with_policy(policy)
+                              .with_instrumentation(false));
+  const auto rule = [cells](std::size_t i,
+                            auto& read) -> std::optional<std::uint32_t> {
+    return read((i + 1) % cells) + 1;
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(rule).active_cells);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["threads"] = static_cast<double>(kSweepThreads);
+}
+
+void BM_EngineSweepSequential(benchmark::State& state) {
+  engine_sweep(state, gcalib::gca::ExecutionPolicy::kSequential);
+}
+BENCHMARK(BM_EngineSweepSequential)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_EngineSweepSpawn(benchmark::State& state) {
+  engine_sweep(state, gcalib::gca::ExecutionPolicy::kSpawn);
+}
+BENCHMARK(BM_EngineSweepSpawn)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_EngineSweepPool(benchmark::State& state) {
+  engine_sweep(state, gcalib::gca::ExecutionPolicy::kPool);
+}
+BENCHMARK(BM_EngineSweepPool)->RangeMultiplier(2)->Range(64, 256);
 
 void BM_GcaInstrumented(benchmark::State& state) {
   // Cost of congestion instrumentation (Table 1 measurements).

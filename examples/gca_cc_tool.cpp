@@ -9,8 +9,11 @@
 //   $ ./gca_cc_tool --algorithm pram --format dimacs graph.col
 //   $ echo "4 2\n0 1\n2 3" | ./gca_cc_tool
 //   $ ./gca_cc_tool --generate complete --n 16 --algorithm tree --stats
+//   $ ./gca_cc_tool --generate gnp:0.5 --n 128 --threads 4 --policy pool
 //
 // Algorithms: gca (default) | tree | ncells | pram | sv | unionfind | bfs
+// Execution flags (--threads, --policy, --no-instrumentation) steer the
+// GCA engine backend and apply to the simulator algorithms.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -25,6 +28,7 @@
 #include "core/hirschberg_gca.hpp"
 #include "core/hirschberg_ncells.hpp"
 #include "core/hirschberg_tree.hpp"
+#include "gca/execution.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -69,11 +73,16 @@ struct LabelingOutcome {
   std::size_t congestion = 0;  ///< max read congestion (0 = n/a)
 };
 
-LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g) {
+LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
+                              const cli::ExecutionFlags& exec) {
   LabelingOutcome out;
   if (name == "gca") {
     core::HirschbergGca machine(g);
-    const core::RunResult r = machine.run();
+    core::RunOptions options;
+    options.instrument = exec.instrumentation;
+    options.threads = exec.threads;
+    options.policy = gca::parse_execution_policy(exec.policy);
+    const core::RunResult r = machine.run(options);
     out.labels = r.labels;
     out.steps = r.generations;
     for (const core::StepRecord& record : r.records) {
@@ -81,7 +90,7 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g) {
     }
   } else if (name == "tree") {
     core::HirschbergGcaTree machine(g);
-    const core::TreeRunResult r = machine.run();
+    const core::TreeRunResult r = machine.run(exec.instrumentation);
     out.labels = r.labels;
     out.steps = r.generations;
     out.congestion =
@@ -115,18 +124,20 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g) {
 
 int main(int argc, char** argv) {
   try {
-    const CliArgs args = CliArgs::parse_or_exit(argc, argv,
-                                        {{"format", true},
-                                         {"algorithm", true},
-                                         {"generate", true},
-                                         {"n", true},
-                                         {"seed", true},
-                                         {"stats", false},
-                                         {"quiet", false},
-                                         {"verify", false}});
+    const CliArgs args = CliArgs::parse_or_exit(
+        argc, argv,
+        cli::with_execution_flags({{"format", true},
+                                   {"algorithm", true},
+                                   {"generate", true},
+                                   {"n", true},
+                                   {"seed", true},
+                                   {"stats", false},
+                                   {"quiet", false},
+                                   {"verify", false}}));
     const graph::Graph g = load_graph(args);
     const std::string algorithm = args.get_string("algorithm", "gca");
-    const LabelingOutcome outcome = run_algorithm(algorithm, g);
+    const cli::ExecutionFlags exec = cli::execution_flags(args);
+    const LabelingOutcome outcome = run_algorithm(algorithm, g, exec);
 
     if (args.has("verify")) {
       if (outcome.labels != graph::union_find_components(g)) {

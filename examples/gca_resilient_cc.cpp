@@ -4,10 +4,13 @@
 //
 // Usage:
 //   gca_resilient_cc [--family gnp:0.1] [--n 24] [--seed 7] [--rate 0.01]
-//                    [--threads 1] [--replicas 3]
+//                    [--threads 1] [--policy pool] [--no-instrumentation]
+//                    [--replicas 3]
 //
 //   --rate      expected faults per engine step (Poisson)
 //   --replicas  NMR pricing block (masking alternative; cost model only)
+// The shared execution flags steer the GCA engine backend of the resilient
+// run (the recovery re-executions reuse the same worker pool).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -19,6 +22,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/monitors.hpp"
 #include "fault/recovery.hpp"
+#include "gca/execution.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 
@@ -40,23 +44,32 @@ std::size_t count_kind(const FaultPlan& plan, FaultKind kind) {
 int main(int argc, char** argv) {
   const gcalib::CliArgs args = gcalib::CliArgs::parse_or_exit(
       argc, argv,
-      {{"family", true},
-       {"n", true},
-       {"seed", true},
-       {"rate", true},
-       {"threads", true},
-       {"replicas", true}});
+      gcalib::cli::with_execution_flags({{"family", true},
+                                         {"n", true},
+                                         {"seed", true},
+                                         {"rate", true},
+                                         {"replicas", true}}));
   const auto n = static_cast<gcalib::graph::NodeId>(args.get_int("n", 24));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   const double rate = args.get_double("rate", 0.01);
   const std::string family = args.get_string("family", "gnp:0.1");
-  const auto threads = static_cast<unsigned>(args.get_int("threads", 1));
+  gcalib::cli::ExecutionFlags exec;
+  gcalib::gca::ExecutionPolicy policy = gcalib::gca::ExecutionPolicy::kPool;
+  try {
+    exec = gcalib::cli::execution_flags(args);
+    policy = gcalib::gca::parse_execution_policy(exec.policy);
+    gcalib::gca::EngineOptions{}.with_threads(exec.threads).with_policy(policy)
+        .validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (n < 1) {
     std::fprintf(stderr, "error: --n must be >= 1\n");
     return 2;
   }
-  if (threads < 1 || rate < 0.0) {
-    std::fprintf(stderr, "error: --threads must be >= 1 and --rate >= 0\n");
+  if (rate < 0.0) {
+    std::fprintf(stderr, "error: --rate must be >= 0\n");
     return 2;
   }
 
@@ -87,8 +100,9 @@ int main(int argc, char** argv) {
 
   gcalib::core::HirschbergGca machine(g);
   gcalib::fault::ResilientOptions options;
-  options.base.instrument = false;
-  options.base.threads = threads;
+  options.base.instrument = exec.instrumentation;
+  options.base.threads = exec.threads;
+  options.base.policy = policy;
   options.max_rollbacks = 4;
   options.max_restarts = 2;
 

@@ -2,6 +2,7 @@
 //
 //   $ ./gcal_run program.gcal --generate gnp:0.2 --n 16
 //   $ ./gcal_run --builtin hirschberg --generate complete --n 8 --verify
+//   $ ./gcal_run --builtin hirschberg --n 64 --threads 4 --policy pool
 //   $ ./gcal_run --show-builtin          # print the embedded program
 //
 // gcal is the paper's Figure-2 state graph as a language; see
@@ -13,6 +14,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "gca/execution.hpp"
 #include "gcal/interpreter.hpp"
 #include "gcal/parser.hpp"
 #include "graph/generators.hpp"
@@ -22,14 +24,15 @@
 int main(int argc, char** argv) {
   using namespace gcalib;
   try {
-    const CliArgs args = CliArgs::parse_or_exit(argc, argv,
-                                        {{"generate", true},
-                                         {"n", true},
-                                         {"seed", true},
-                                         {"builtin", true},
-                                         {"show-builtin", false},
-                                         {"verify", false},
-                                         {"trace", false}});
+    const CliArgs args = CliArgs::parse_or_exit(
+        argc, argv,
+        cli::with_execution_flags({{"generate", true},
+                                   {"n", true},
+                                   {"seed", true},
+                                   {"builtin", true},
+                                   {"show-builtin", false},
+                                   {"verify", false},
+                                   {"trace", false}}));
     if (args.has("show-builtin")) {
       std::fputs(gcal::hirschberg_gcal_source().c_str(), stdout);
       return 0;
@@ -74,7 +77,13 @@ int main(int argc, char** argv) {
         std::printf("  executed %s\n", label.c_str());
       };
     }
-    const gcal::GcalRunResult result = interpreter.run(g, hook);
+    const cli::ExecutionFlags flags = cli::execution_flags(args);
+    const gca::EngineOptions exec =
+        gca::EngineOptions{}
+            .with_threads(flags.threads)
+            .with_policy(gca::parse_execution_policy(flags.policy))
+            .with_instrumentation(flags.instrumentation);
+    const gcal::GcalRunResult result = interpreter.run(g, hook, exec);
 
     std::printf("graph: n=%u m=%zu\n", g.node_count(), g.edge_count());
     std::printf("generations executed: %zu (iterations: %u)\n",

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Execution-backend benchmark: spawn-per-step vs persistent pool.
+#
+# Builds bench_scaling and records the EngineSweep* and GcaHirschberg{Spawn,
+# Pool} series (median of N repetitions) into a machine-readable JSON file,
+# then prints the pool-over-spawn step-throughput speedups.
+#
+# Usage: scripts/bench_engine.sh [output.json]
+#   BUILD_DIR=build-foo scripts/bench_engine.sh   # non-default build tree
+#   REPS=7 scripts/bench_engine.sh                # more repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_engine.json}
+REPS=${REPS:-5}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" --target bench_scaling -j "$(nproc)"
+
+"$BUILD_DIR"/bench/bench_scaling \
+  --benchmark_filter='^BM_(EngineSweep(Sequential|Spawn|Pool)|GcaHirschberg(Spawn|Pool))/' \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json
+
+echo
+echo "wrote $OUT"
+
+# Pool-over-spawn speedup per problem size, from the median aggregates.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+medians = {}
+for bench in data["benchmarks"]:
+    if bench.get("aggregate_name") != "median":
+        continue
+    name = bench["run_name"]  # e.g. BM_EngineSweepPool/256
+    medians[name] = bench["real_time"]
+print("pool speedup over spawn (median wall-clock per step):")
+for pool_name, t_pool in sorted(medians.items()):
+    if "Pool/" not in pool_name:
+        continue
+    spawn_name = pool_name.replace("Pool/", "Spawn/")
+    if spawn_name in medians and t_pool > 0:
+        print(f"  {pool_name:32s} {medians[spawn_name] / t_pool:5.2f}x")
+EOF
+fi

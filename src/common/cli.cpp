@@ -95,4 +95,28 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return it == values_.end() ? fallback : std::stod(it->second);
 }
 
+namespace cli {
+
+std::map<std::string, bool> with_execution_flags(
+    std::map<std::string, bool> spec) {
+  spec.emplace("threads", true);
+  spec.emplace("policy", true);
+  spec.emplace("no-instrumentation", false);
+  return spec;
+}
+
+ExecutionFlags execution_flags(const CliArgs& args) {
+  ExecutionFlags flags;
+  const std::int64_t threads = args.get_int("threads", 1);
+  if (threads < 1) {
+    throw std::runtime_error("--threads must be >= 1");
+  }
+  flags.threads = static_cast<unsigned>(threads);
+  flags.policy = args.get_string("policy", flags.policy);
+  flags.instrumentation = !args.has("no-instrumentation");
+  return flags;
+}
+
+}  // namespace cli
+
 }  // namespace gcalib

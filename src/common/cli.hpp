@@ -42,4 +42,30 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+namespace cli {
+
+/// The execution flags every tool accepts, so the engine backend is
+/// selectable uniformly across examples and benches:
+///   --threads N            sweep width (default 1)
+///   --policy NAME          sequential | spawn | pool (default "pool")
+///   --no-instrumentation   disable per-step congestion statistics
+/// The policy is carried as its spelled name; convert with
+/// gca::parse_execution_policy at the point of use (common/ stays below
+/// gca/ in the layering).
+struct ExecutionFlags {
+  unsigned threads = 1;
+  std::string policy = "pool";
+  bool instrumentation = true;
+};
+
+/// Adds the shared execution options to a tool's option spec.
+[[nodiscard]] std::map<std::string, bool> with_execution_flags(
+    std::map<std::string, bool> spec);
+
+/// Extracts the shared execution flags; throws std::runtime_error on
+/// invalid values (e.g. --threads 0).
+[[nodiscard]] ExecutionFlags execution_flags(const CliArgs& args);
+
+}  // namespace cli
+
 }  // namespace gcalib

@@ -265,9 +265,14 @@ graph::Graph HirschbergGca::graph_from_field() const {
 
 RunResult HirschbergGca::run(const RunOptions& options) {
   RunResult result;
-  engine_->set_instrumentation(options.instrument);
-  engine_->set_record_access(options.record_access);
-  engine_->set_threads(options.threads);
+  engine_->set_options(gca::EngineOptions{}
+                           .with_hands(engine_->hands())
+                           .with_threads(options.threads)
+                           .with_policy(options.threads > 1
+                                            ? options.policy
+                                            : gca::ExecutionPolicy::kSequential)
+                           .with_instrumentation(options.instrument)
+                           .with_record_access(options.record_access));
 
   if (n_ == 0) return result;
 

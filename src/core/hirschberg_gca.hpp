@@ -23,6 +23,7 @@
 
 #include "core/generation.hpp"
 #include "gca/engine.hpp"
+#include "gca/execution.hpp"
 #include "gca/field.hpp"
 #include "graph/graph.hpp"
 
@@ -75,6 +76,9 @@ struct RunOptions {
   bool instrument = true;      ///< collect per-step congestion statistics
   bool record_access = false;  ///< record individual access edges (slow)
   unsigned threads = 1;        ///< parallel sweep width
+  /// Sweep backend for threads > 1 (default: the persistent shared pool;
+  /// kSpawn recreates the legacy spawn-per-generation behaviour).
+  gca::ExecutionPolicy policy = gca::ExecutionPolicy::kPool;
   /// Paranoid mode: validates machine invariants after every outer
   /// iteration (labels are node ids, component count never increases) and
   /// the final labeling against a sequential oracle.  Throws

@@ -1,0 +1,74 @@
+#include "core/runner.hpp"
+
+#include <atomic>
+
+#include "common/assert.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "gca/thread_pool.hpp"
+#include "graph/labeling.hpp"
+
+namespace gcalib::core {
+
+namespace {
+
+QueryResult solve_query(const graph::Graph& g, const RunOptions& run_options) {
+  QueryResult result;
+  if (g.node_count() == 0) return result;
+  HirschbergGca machine(g);
+  RunResult run = machine.run(run_options);
+  result.components = graph::component_count(run.labels);
+  result.labels = std::move(run.labels);
+  result.generations = run.generations;
+  return result;
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions options) : options_(options) {
+  GCALIB_EXPECTS_MSG(options_.threads >= 1, "runner: threads must be >= 1");
+  if (options_.threads > 1 && options_.policy == gca::ExecutionPolicy::kPool) {
+    pool_ = gca::ThreadPool::shared(options_.threads);
+  }
+}
+
+Runner::~Runner() = default;
+
+QueryResult Runner::solve(const graph::Graph& g) const {
+  RunOptions run_options;
+  run_options.instrument = options_.instrument;
+  run_options.threads = options_.threads;
+  run_options.policy = options_.policy;
+  return solve_query(g, run_options);
+}
+
+std::vector<QueryResult> Runner::solve_batch(
+    const std::vector<graph::Graph>& graphs) const {
+  std::vector<QueryResult> results(graphs.size());
+  RunOptions run_options;
+  run_options.instrument = options_.instrument;
+  // Lanes parallelise across queries, so each query sweeps sequentially.
+  run_options.threads = 1;
+  run_options.policy = gca::ExecutionPolicy::kSequential;
+
+  const unsigned lanes = static_cast<unsigned>(
+      std::min<std::size_t>(options_.threads, graphs.size()));
+  if (pool_ == nullptr || lanes <= 1) {
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      results[i] = solve_query(graphs[i], run_options);
+    }
+    return results;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  auto lane = [&](unsigned) {
+    for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+         i < graphs.size();
+         i = cursor.fetch_add(1, std::memory_order_relaxed)) {
+      results[i] = solve_query(graphs[i], run_options);
+    }
+  };
+  pool_->run(lanes, lane);
+  return results;
+}
+
+}  // namespace gcalib::core

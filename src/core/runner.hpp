@@ -1,0 +1,75 @@
+// Runner — batch front-end for independent connected-components queries.
+//
+// The ROADMAP's service shape is "many small queries under heavy traffic",
+// not one giant field: a stream of graphs (social subgraphs, circuit nets,
+// image tiles) each needing a labeling.  Spinning an engine *and* a thread
+// team per query would pay the setup cost the pool backend just removed,
+// so the Runner owns one shared `gca::ThreadPool` and amortises it two
+// ways:
+//
+//  * `solve(graph)` — one query, swept in parallel across the pool lanes
+//    (the right grain for a large field);
+//  * `solve_batch(graphs)` — many queries pulled off a shared cursor by
+//    the pool lanes, each solved with a sequential sweep (the right grain
+//    for many small fields: no per-generation handshake at all, lanes stay
+//    busy across query boundaries).
+//
+// Results always come back in input order, and every query is labelled by
+// the same Hirschberg machine the single-shot API uses, so a batch is
+// bit-compatible with n independent `gca_components` calls.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "gca/execution.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::gca {
+class ThreadPool;
+}  // namespace gcalib::gca
+
+namespace gcalib::core {
+
+/// Knobs of a Runner instance (validated by the constructor).
+struct RunnerOptions {
+  unsigned threads = 1;  ///< pool width (1 = everything sequential)
+  /// Backend for the per-query sweep in `solve`; `solve_batch` uses the
+  /// pool across queries whenever the policy is kPool and threads > 1.
+  gca::ExecutionPolicy policy = gca::ExecutionPolicy::kPool;
+  bool instrument = false;  ///< collect per-step statistics per query
+};
+
+/// Labeling of one query.
+struct QueryResult {
+  std::vector<graph::NodeId> labels;  ///< min-id component label per node
+  std::size_t components = 0;         ///< number of distinct labels
+  std::size_t generations = 0;        ///< engine steps the query executed
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+  ~Runner();
+
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  [[nodiscard]] const RunnerOptions& options() const { return options_; }
+
+  /// Labels one graph, sweeping its field across the pool lanes.
+  [[nodiscard]] QueryResult solve(const graph::Graph& g) const;
+
+  /// Labels every graph of the batch; queries are distributed over the
+  /// pool lanes and each is solved with a sequential sweep.  Results are
+  /// in input order.  Exceptions from any query propagate to the caller.
+  [[nodiscard]] std::vector<QueryResult> solve_batch(
+      const std::vector<graph::Graph>& graphs) const;
+
+ private:
+  RunnerOptions options_;
+  std::shared_ptr<gca::ThreadPool> pool_;
+};
+
+}  // namespace gcalib::core

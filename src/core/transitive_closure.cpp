@@ -65,6 +65,12 @@ struct TcCell {
 }  // namespace
 
 TcRunResult transitive_closure_gca(const BoolMatrix& a, bool instrument) {
+  return transitive_closure_gca(
+      a, gca::EngineOptions{}.with_instrumentation(instrument));
+}
+
+TcRunResult transitive_closure_gca(const BoolMatrix& a,
+                                   gca::EngineOptions exec) {
   const std::size_t n = a.size();
   TcRunResult result;
   result.closure = BoolMatrix(n);
@@ -77,8 +83,7 @@ TcRunResult transitive_closure_gca(const BoolMatrix& a, bool instrument) {
     }
   }
   // Two-handed: sub-generation k reads R(i, k) and R(k, j).
-  gca::Engine<TcCell> engine(std::move(initial), /*hands=*/2);
-  engine.set_instrumentation(instrument);
+  gca::Engine<TcCell> engine(std::move(initial), exec.with_hands(2));
 
   const unsigned rounds = n > 1 ? log2_ceil(n) : 0;
   for (unsigned round = 0; round < rounds; ++round) {

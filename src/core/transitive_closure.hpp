@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gca/execution.hpp"
 #include "graph/graph.hpp"
 
 namespace gcalib::core {
@@ -72,6 +73,12 @@ struct TcRunResult {
 /// Repeated squaring executed on a two-handed GCA with n^2 cells.
 [[nodiscard]] TcRunResult transitive_closure_gca(const BoolMatrix& a,
                                                  bool instrument = true);
+
+/// As above with full execution control; `exec.hands` is overridden to 2
+/// (the machine is two-handed by construction).  A pool policy shares the
+/// process-wide worker set with every other engine of the same width.
+[[nodiscard]] TcRunResult transitive_closure_gca(const BoolMatrix& a,
+                                                 gca::EngineOptions exec);
 
 /// Closed-form generation count of the GCA schedule.
 [[nodiscard]] std::size_t tc_total_generations(std::size_t n);

@@ -14,9 +14,14 @@
 //    inactive this generation (keeps its state and performs no data
 //    operation), matching Table 1's "active cells" accounting.
 //
-// The sweep over cells runs sequentially by default; `set_threads` enables
-// a chunked parallel sweep (cells are independent within a generation, so
-// this is embarrassingly parallel; instrumentation is merged per-thread).
+// Execution is configured through `EngineOptions` (gca/execution.hpp):
+// the sweep runs sequentially, on freshly spawned threads (legacy), or on
+// a persistent shared worker pool (gca/thread_pool.hpp).  Cells are
+// independent within a generation, so the parallel sweeps are
+// embarrassingly parallel; instrumentation is merged per-worker in lane
+// order, which keeps all three backends bit-identical.  Per-worker scratch
+// (congestion counts, active counters) persists across steps, so a
+// steady-state pool step performs no allocation and no thread creation.
 //
 // Robustness extension points (used by src/fault/):
 //  * observers — callbacks invoked after every completed step, with the
@@ -29,9 +34,11 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -39,7 +46,9 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "gca/execution.hpp"
 #include "gca/instrumentation.hpp"
+#include "gca/thread_pool.hpp"
 
 namespace gcalib::gca {
 
@@ -54,18 +63,35 @@ struct AccessEdge {
 template <typename State>
 class Engine {
  public:
-  /// Creates an engine over the given initial cell states.
+  /// Primary constructor: engine over the given initial cell states,
+  /// configured by a validated `EngineOptions` aggregate.
+  Engine(std::vector<State> initial, EngineOptions options)
+      : cells_(std::move(initial)), next_(cells_.size()) {
+    GCALIB_EXPECTS_MSG(!cells_.empty(), "engine requires at least one cell");
+    set_options(options);
+  }
+
+  /// Legacy constructor (pre-EngineOptions API; prefer the primary one).
   /// `hands` is the maximum number of global reads one cell may perform per
   /// generation (1 = the paper's one-handed GCA).
   explicit Engine(std::vector<State> initial, std::size_t hands = 1)
-      : cells_(std::move(initial)), next_(cells_.size()), hands_(hands) {
-    GCALIB_EXPECTS_MSG(!cells_.empty(), "engine requires at least one cell");
-    GCALIB_EXPECTS(hands_ >= 1);
-  }
+      : Engine(std::move(initial), EngineOptions{}.with_hands(hands)) {}
 
   [[nodiscard]] std::size_t size() const { return cells_.size(); }
-  [[nodiscard]] std::size_t hands() const { return hands_; }
+  [[nodiscard]] std::size_t hands() const { return options_.hands; }
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// The current execution configuration.
+  [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+  /// Replaces the execution configuration wholesale (validated).  Safe
+  /// between steps; switching to the pool policy (re)acquires the shared
+  /// pool of the requested width.
+  void set_options(const EngineOptions& options) {
+    options.validate();
+    options_ = options;
+    acquire_pool();
+  }
 
   [[nodiscard]] const State& state(std::size_t i) const {
     GCALIB_EXPECTS(i < cells_.size());
@@ -79,28 +105,35 @@ class Engine {
     return cells_[i];
   }
 
+  // --- legacy setters (deprecated: prefer EngineOptions/set_options) ----
+
   /// Collects congestion statistics per step when enabled (default on;
   /// disable for pure-speed runs).
-  void set_instrumentation(bool enabled) { instrumentation_ = enabled; }
-  [[nodiscard]] bool instrumentation() const { return instrumentation_; }
+  void set_instrumentation(bool enabled) { options_.instrumentation = enabled; }
+  [[nodiscard]] bool instrumentation() const { return options_.instrumentation; }
 
   /// Records individual (reader, target) access edges of the most recent
   /// step (for access-pattern rendering; implies instrumentation overhead).
-  void set_record_access(bool enabled) { record_access_ = enabled; }
+  void set_record_access(bool enabled) { options_.record_access = enabled; }
   [[nodiscard]] const std::vector<AccessEdge>& last_access() const {
     return last_access_;
+  }
+
+  /// Parallel sweep width (1 = sequential).  Keeps the legacy semantics:
+  /// widening a sequential engine selects the spawn-per-step backend; an
+  /// engine already on the pool policy stays there.
+  void set_threads(unsigned threads) {
+    GCALIB_EXPECTS_MSG(threads >= 1, "parallel sweep width must be >= 1");
+    options_.threads = threads;
+    if (threads > 1 && options_.policy == ExecutionPolicy::kSequential) {
+      options_.policy = ExecutionPolicy::kSpawn;
+    }
+    acquire_pool();
   }
 
   /// Active-cell mask of the most recent step.
   [[nodiscard]] const std::vector<std::uint8_t>& last_active() const {
     return last_active_;
-  }
-
-  /// Parallel sweep width (1 = sequential).  Access-edge recording is only
-  /// supported sequentially.
-  void set_threads(unsigned threads) {
-    GCALIB_EXPECTS_MSG(threads >= 1, "parallel sweep width must be >= 1");
-    threads_ = threads;
   }
 
   // --- robustness extension points -------------------------------------
@@ -144,7 +177,7 @@ class Engine {
   /// Fault-injection interposer: consulted on every mediated read.  Return
   /// nullptr to let the read proceed normally; otherwise the returned state
   /// is observed instead of the addressed neighbour.  The pointer must stay
-  /// valid for the remainder of the step.  Must be thread-safe when the
+  /// valid for the remainder of the step.  Must be thread-safe when a
   /// parallel sweep is enabled (treat it as read-only during a step).
   using ReadOverride =
       std::function<const State*(std::size_t reader, std::size_t target)>;
@@ -162,7 +195,7 @@ class Engine {
     /// Returns the state of `target` as of the *previous* generation.
     const State& operator()(std::size_t target) {
       GCALIB_EXPECTS(target < engine_.cells_.size());
-      GCALIB_EXPECTS_MSG(reads_ < engine_.hands_,
+      GCALIB_EXPECTS_MSG(reads_ < engine_.options_.hands,
                          "cell exceeded its k-handed read budget");
       ++reads_;
       if (counts_ != nullptr) ++(*counts_)[target];
@@ -204,22 +237,23 @@ class Engine {
     last_active_.assign(cells_.size(), 0);
     last_access_.clear();
 
-    if (threads_ <= 1 || cells_.size() < 2 * threads_) {
-      std::vector<std::size_t> counts;
-      if (instrumentation_) counts.assign(cells_.size(), 0);
+    const unsigned t = options_.threads;
+    if (!options_.parallel() || cells_.size() < 2 * t) {
+      if (options_.instrumentation) scratch_count(0).assign(cells_.size(), 0);
       sweep_range(rule, 0, cells_.size(),
-                  instrumentation_ ? &counts : nullptr,
-                  record_access_ ? &last_access_ : nullptr, stats.active_cells);
-      if (instrumentation_) fold_counts(counts, stats);
+                  options_.instrumentation ? &scratch_count(0) : nullptr,
+                  options_.record_access ? &last_access_ : nullptr,
+                  stats.active_cells);
+      if (options_.instrumentation) fold_counts(scratch_count(0), stats);
     } else {
-      GCALIB_EXPECTS_MSG(!record_access_,
+      GCALIB_EXPECTS_MSG(!options_.record_access,
                          "access-edge recording requires a sequential sweep");
       sweep_parallel(rule, stats);
     }
 
     cells_.swap(next_);
     ++generation_;
-    if (instrumentation_) history_.push_back(stats);
+    if (options_.instrumentation) history_.push_back(stats);
     for (const auto& [id, observer] : observers_) observer(*this, stats);
     return stats;
   }
@@ -230,6 +264,28 @@ class Engine {
   void clear_history() { history_.clear(); }
 
  private:
+  void acquire_pool() {
+    if (options_.policy == ExecutionPolicy::kPool && options_.threads > 1) {
+      // The sweep is always partitioned into `threads` chunks (that fixes
+      // the results and statistics), but more OS threads than cores only
+      // adds context switching — so the pool is clamped to the hardware
+      // and lanes pull chunks off a cursor.
+      const unsigned hardware =
+          std::max(1u, std::thread::hardware_concurrency());
+      const unsigned width = std::min(options_.threads, hardware);
+      if (!pool_ || pool_->width() != width) pool_ = ThreadPool::shared(width);
+    } else {
+      pool_.reset();
+    }
+  }
+
+  /// Per-worker congestion-count scratch; grown on demand, zeroed in place
+  /// every step (capacity persists, so the steady state never allocates).
+  std::vector<std::size_t>& scratch_count(unsigned worker) {
+    if (scratch_counts_.size() <= worker) scratch_counts_.resize(worker + 1);
+    return scratch_counts_[worker];
+  }
+
   template <typename Rule>
   void sweep_range(Rule& rule, std::size_t begin, std::size_t end,
                    std::vector<std::size_t>* counts,
@@ -249,37 +305,59 @@ class Engine {
 
   template <typename Rule>
   void sweep_parallel(Rule& rule, GenerationStats& stats) {
-    const unsigned t = threads_;
-    std::vector<std::thread> workers;
-    std::vector<std::size_t> actives(t, 0);
-    std::vector<std::exception_ptr> errors(t);
-    std::vector<std::vector<std::size_t>> counts(
-        instrumentation_ ? t : 0,
-        std::vector<std::size_t>(instrumentation_ ? cells_.size() : 0, 0));
+    const unsigned t = options_.threads;
+    const bool counting = options_.instrumentation;
+    scratch_actives_.assign(t, 0);
+    if (counting) {
+      for (unsigned w = 0; w < t; ++w) scratch_count(w).assign(cells_.size(), 0);
+    }
     const std::size_t chunk = (cells_.size() + t - 1) / t;
-    for (unsigned w = 0; w < t; ++w) {
+    auto lane = [this, &rule, chunk, counting](unsigned w) {
       const std::size_t begin = std::min(cells_.size(), std::size_t{w} * chunk);
       const std::size_t end = std::min(cells_.size(), begin + chunk);
-      workers.emplace_back(
-          [this, &rule, begin, end, w, &actives, &counts, &errors]() {
-            try {
-              sweep_range(rule, begin, end,
-                          instrumentation_ ? &counts[w] : nullptr, nullptr,
-                          actives[w]);
-            } catch (...) {
-              errors[w] = std::current_exception();
-            }
-          });
+      sweep_range(rule, begin, end, counting ? &scratch_counts_[w] : nullptr,
+                  nullptr, scratch_actives_[w]);
+    };
+
+    if (options_.policy == ExecutionPolicy::kPool) {
+      GCALIB_ASSERT(pool_ != nullptr);
+      // Lanes pull chunks off a shared cursor: each of the t chunks runs
+      // exactly once with its own scratch, so the result is bit-identical
+      // to the spawn backend even when the pool has fewer lanes.
+      std::atomic<unsigned> cursor{0};
+      auto pool_lane = [&lane, &cursor, t](unsigned) {
+        for (unsigned w = cursor.fetch_add(1, std::memory_order_relaxed);
+             w < t; w = cursor.fetch_add(1, std::memory_order_relaxed)) {
+          lane(w);
+        }
+      };
+      pool_->run(std::min(t, pool_->width()), pool_lane);
+    } else {
+      // Legacy spawn-per-step backend: fresh threads every generation.
+      scratch_errors_.assign(t, nullptr);
+      std::vector<std::thread> workers;
+      workers.reserve(t);
+      for (unsigned w = 0; w < t; ++w) {
+        workers.emplace_back([this, &lane, w]() {
+          try {
+            lane(w);
+          } catch (...) {
+            scratch_errors_[w] = std::current_exception();
+          }
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      for (const std::exception_ptr& error : scratch_errors_) {
+        if (error) std::rethrow_exception(error);
+      }
     }
-    for (auto& worker : workers) worker.join();
-    for (const std::exception_ptr& error : errors) {
-      if (error) std::rethrow_exception(error);
-    }
-    for (std::size_t a : actives) stats.active_cells += a;
-    if (instrumentation_) {
-      std::vector<std::size_t>& merged = counts[0];
+
+    for (std::size_t a : scratch_actives_) stats.active_cells += a;
+    if (counting) {
+      std::vector<std::size_t>& merged = scratch_counts_[0];
       for (unsigned w = 1; w < t; ++w) {
-        for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += counts[w][i];
+        const std::vector<std::size_t>& part = scratch_counts_[w];
+        for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += part[i];
       }
       fold_counts(merged, stats);
     }
@@ -298,17 +376,19 @@ class Engine {
 
   std::vector<State> cells_;
   std::vector<State> next_;
-  std::size_t hands_;
+  EngineOptions options_;
   std::uint64_t generation_ = 0;
-  bool instrumentation_ = true;
-  bool record_access_ = false;
-  unsigned threads_ = 1;
   std::vector<AccessEdge> last_access_;
   std::vector<std::uint8_t> last_active_;
   std::vector<GenerationStats> history_;
   std::vector<std::pair<std::size_t, Observer>> observers_;
   std::size_t next_observer_id_ = 0;
   ReadOverride read_override_;
+  std::shared_ptr<ThreadPool> pool_;
+  // Persistent parallel-sweep scratch (reused across steps).
+  std::vector<std::vector<std::size_t>> scratch_counts_;
+  std::vector<std::size_t> scratch_actives_;
+  std::vector<std::exception_ptr> scratch_errors_;
 };
 
 }  // namespace gcalib::gca

@@ -1,0 +1,90 @@
+// Execution policy and options of the GCA engine.
+//
+// This header is deliberately light (no engine template, no <thread>) so
+// every consumer that only needs to *configure* an engine — run-option
+// structs, CLI front-ends, the Runner — can include it without pulling in
+// the sweep machinery.
+//
+// Policies:
+//  * kSequential — one thread sweeps all cells (the reference order; the
+//    only policy that supports access-edge recording);
+//  * kSpawn — the legacy backend: fresh std::threads are spawned and
+//    joined every generation.  Kept for comparison benchmarks and as the
+//    behaviour of the deprecated `set_threads` setter;
+//  * kPool — a persistent worker pool (gca/thread_pool.hpp) is dispatched
+//    per generation via an epoch handshake; the steady-state step performs
+//    no thread creation and no allocation.  Engines with the same width
+//    share one pool instance, so a process running many machines (the
+//    Runner, the fault-recovery re-executions, the GCAL interpreter) keeps
+//    a single worker set alive.
+//
+// All policies produce bit-identical states and statistics: cells are
+// partitioned into the same contiguous chunks and instrumentation is
+// merged in worker order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gcalib::gca {
+
+/// How the per-generation sweep over cells executes.
+enum class ExecutionPolicy {
+  kSequential,  ///< single-threaded reference sweep
+  kSpawn,       ///< spawn-and-join std::threads every generation (legacy)
+  kPool,        ///< persistent shared worker pool, dispatched per generation
+};
+
+/// Name of a policy ("sequential" / "spawn" / "pool").
+[[nodiscard]] const char* to_string(ExecutionPolicy policy);
+
+/// Inverse of `to_string`; throws ContractViolation on unknown names.
+[[nodiscard]] ExecutionPolicy parse_execution_policy(const std::string& name);
+
+/// Aggregate engine configuration — the primary way to construct an
+/// `Engine`.  Fields can be set directly or through the chainable `with_*`
+/// builder; `validate()` (called by the engine on every (re)configuration)
+/// enforces the cross-field rules:
+///
+///  * `hands >= 1` and `threads >= 1`;
+///  * `threads > 1` requires a parallel policy (kSpawn or kPool);
+///  * `record_access` requires an effectively sequential sweep
+///    (kSequential, or any policy with `threads == 1`).
+struct EngineOptions {
+  std::size_t hands = 1;  ///< global reads one cell may perform per generation
+  unsigned threads = 1;   ///< sweep width (1 = sequential regardless of policy)
+  ExecutionPolicy policy = ExecutionPolicy::kSequential;
+  bool instrumentation = true;  ///< collect per-step congestion statistics
+  bool record_access = false;   ///< record individual (reader, target) edges
+
+  EngineOptions& with_hands(std::size_t value) {
+    hands = value;
+    return *this;
+  }
+  EngineOptions& with_threads(unsigned value) {
+    threads = value;
+    return *this;
+  }
+  EngineOptions& with_policy(ExecutionPolicy value) {
+    policy = value;
+    return *this;
+  }
+  EngineOptions& with_instrumentation(bool value) {
+    instrumentation = value;
+    return *this;
+  }
+  EngineOptions& with_record_access(bool value) {
+    record_access = value;
+    return *this;
+  }
+
+  /// True iff the sweep actually runs on more than one thread.
+  [[nodiscard]] bool parallel() const {
+    return policy != ExecutionPolicy::kSequential && threads > 1;
+  }
+
+  /// Throws ContractViolation when the combination is inconsistent.
+  void validate() const;
+};
+
+}  // namespace gcalib::gca

@@ -1,0 +1,115 @@
+#include "gca/thread_pool.hpp"
+
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace gcalib::gca {
+
+namespace {
+
+/// Set while the current thread executes a pool lane; `run` from such a
+/// thread must not block on workers (they may be the ones waiting).
+thread_local bool t_inside_pool_lane = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned width) : width_(width), errors_(width) {
+  GCALIB_EXPECTS_MSG(width >= 1, "thread pool width must be >= 1");
+  workers_.reserve(width - 1);
+  for (unsigned lane = 1; lane < width; ++lane) {
+    workers_.emplace_back([this, lane] { worker_loop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop(unsigned lane) {
+  t_inside_pool_lane = true;
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    const TaskRef* task = nullptr;
+    unsigned lanes = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      dispatch_cv_.wait(lock,
+                        [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      lanes = active_lanes_;
+      task = task_;
+    }
+    if (lane < lanes) {
+      try {
+        (*task)(lane);
+      } catch (...) {
+        errors_[lane] = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(unsigned lanes, TaskRef task) {
+  GCALIB_EXPECTS_MSG(lanes >= 1 && lanes <= width_,
+                     "dispatch width exceeds the pool");
+  if (lanes == 1 || t_inside_pool_lane) {
+    // Inline fallback: a single lane needs no handshake, and a nested
+    // dispatch from inside a lane must not wait on its own workers.
+    for (unsigned lane = 0; lane < lanes; ++lane) task(lane);
+    return;
+  }
+
+  std::lock_guard<std::mutex> dispatch_lock(dispatch_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    active_lanes_ = lanes;
+    pending_ = width_ - 1;  // every worker acknowledges the epoch
+    for (std::exception_ptr& error : errors_) error = nullptr;
+    ++epoch_;
+  }
+  dispatch_cv_.notify_all();
+
+  try {
+    task(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+  for (const std::exception_ptr& error : errors_) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::shared(unsigned width) {
+  GCALIB_EXPECTS_MSG(width >= 1, "thread pool width must be >= 1");
+  static std::mutex registry_mutex;
+  static std::map<unsigned, std::weak_ptr<ThreadPool>> registry;
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  std::weak_ptr<ThreadPool>& slot = registry[width];
+  std::shared_ptr<ThreadPool> pool = slot.lock();
+  if (!pool) {
+    pool = std::make_shared<ThreadPool>(width);
+    slot = pool;
+  }
+  return pool;
+}
+
+}  // namespace gcalib::gca

@@ -23,7 +23,8 @@ using Context = EvalContext;
 }  // namespace
 
 GcalRunResult Interpreter::run(const graph::Graph& g,
-                               const GenerationHook& hook) const {
+                               const GenerationHook& hook,
+                               gca::EngineOptions exec) const {
   const graph::NodeId n = g.node_count();
   GcalRunResult result;
   if (n == 0) return result;
@@ -35,7 +36,7 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
       initial[geometry.index_of(j, i)].a = g.has_edge(j, i) ? 1 : 0;
     }
   }
-  gca::Engine<Cell> engine(std::move(initial), /*hands=*/1);
+  gca::Engine<Cell> engine(std::move(initial), exec.with_hands(1));
 
   const auto snapshot = [&]() {
     std::vector<std::uint64_t> d(engine.size());

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "gca/execution.hpp"
 #include "gcal/ast.hpp"
 #include "graph/graph.hpp"
 
@@ -76,9 +77,12 @@ class Interpreter {
   explicit Interpreter(const Program& program) : program_(program) {}
 
   /// Runs the program to completion on graph `g`; `hook` (optional)
-  /// observes the field after every engine step.
-  GcalRunResult run(const graph::Graph& g,
-                    const GenerationHook& hook = {}) const;
+  /// observes the field after every engine step.  `exec` selects the
+  /// engine backend (`exec.hands` is overridden to 1 — gcal programs have
+  /// a single pointer clause); a pool policy shares the process-wide
+  /// worker set.
+  GcalRunResult run(const graph::Graph& g, const GenerationHook& hook = {},
+                    gca::EngineOptions exec = {}) const;
 
  private:
   const Program& program_;

@@ -62,5 +62,39 @@ TEST(Cli, ValueOnBooleanThrows) {
   EXPECT_THROW(parse({"--verbose=yes"}), std::runtime_error);
 }
 
+CliArgs parse_exec(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data(),
+                        cli::with_execution_flags({{"n", true}}));
+}
+
+TEST(CliExecutionFlags, Defaults) {
+  const cli::ExecutionFlags exec = cli::execution_flags(parse_exec({}));
+  EXPECT_EQ(exec.threads, 1u);
+  EXPECT_EQ(exec.policy, "pool");
+  EXPECT_TRUE(exec.instrumentation);
+}
+
+TEST(CliExecutionFlags, ParsesAllFlags) {
+  const cli::ExecutionFlags exec = cli::execution_flags(
+      parse_exec({"--threads", "8", "--policy", "spawn",
+                  "--no-instrumentation", "--n", "4"}));
+  EXPECT_EQ(exec.threads, 8u);
+  EXPECT_EQ(exec.policy, "spawn");
+  EXPECT_FALSE(exec.instrumentation);
+}
+
+TEST(CliExecutionFlags, RejectsZeroThreads) {
+  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--threads", "0"})),
+               std::runtime_error);
+}
+
+TEST(CliExecutionFlags, SpecKeepsToolOptions) {
+  // with_execution_flags augments, not replaces, the tool's own spec.
+  const CliArgs args = parse_exec({"--n", "12", "--threads", "2"});
+  EXPECT_EQ(args.get_int("n", 0), 12);
+}
+
 }  // namespace
 }  // namespace gcalib

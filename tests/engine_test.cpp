@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "common/assert.hpp"
 
@@ -181,6 +182,121 @@ TEST(Engine, ParallelSweepMultipleGenerations) {
   // After 10 rotations, cell i holds the initial value of cell i+10.
   for (std::size_t i = 0; i < n; ++i) {
     EXPECT_EQ(engine.state(i), static_cast<int>((i + 10) % n));
+  }
+}
+
+TEST(Engine, PoolSweepBitIdenticalToSequential) {
+  // The pool backend must reproduce the sequential sweep exactly — states
+  // and the full instrumented history — for every width, including one
+  // that does not divide the cell count.
+  const std::size_t n = 997;
+  const auto rule = [n](std::size_t i, auto& read) -> std::optional<int> {
+    if (i % 3 == 0) return std::nullopt;  // inactive cells in the mix
+    return read((i * 13 + 5) % n) + read((i * 7 + 1) % n);
+  };
+  IntEngine reference(iota_states(n), EngineOptions{}.with_hands(2));
+  for (int r = 0; r < 5; ++r) reference.step(rule);
+
+  for (unsigned threads : {2u, 4u, 7u}) {
+    IntEngine pooled(iota_states(n), EngineOptions{}
+                                         .with_hands(2)
+                                         .with_threads(threads)
+                                         .with_policy(ExecutionPolicy::kPool));
+    for (int r = 0; r < 5; ++r) pooled.step(rule);
+    EXPECT_EQ(pooled.states(), reference.states()) << "threads=" << threads;
+    ASSERT_EQ(pooled.history().size(), reference.history().size());
+    for (std::size_t s = 0; s < reference.history().size(); ++s) {
+      const GenerationStats& a = reference.history()[s];
+      const GenerationStats& b = pooled.history()[s];
+      EXPECT_EQ(a.active_cells, b.active_cells);
+      EXPECT_EQ(a.total_reads, b.total_reads);
+      EXPECT_EQ(a.cells_read, b.cells_read);
+      EXPECT_EQ(a.max_congestion, b.max_congestion);
+      EXPECT_EQ(a.congestion_classes, b.congestion_classes);
+    }
+  }
+}
+
+TEST(Engine, PoolAndSpawnBackendsAgree) {
+  const std::size_t n = 512;
+  const auto rule = [n](std::size_t i, auto& read) -> std::optional<int> {
+    return read((i * 31 + 7) % n) ^ static_cast<int>(i);
+  };
+  IntEngine spawn(iota_states(n), EngineOptions{}.with_threads(4).with_policy(
+                                      ExecutionPolicy::kSpawn));
+  IntEngine pool(iota_states(n), EngineOptions{}.with_threads(4).with_policy(
+                                     ExecutionPolicy::kPool));
+  for (int r = 0; r < 3; ++r) {
+    spawn.step(rule);
+    pool.step(rule);
+  }
+  EXPECT_EQ(spawn.states(), pool.states());
+}
+
+TEST(Engine, PoolPropagatesRuleExceptions) {
+  IntEngine engine(iota_states(256), EngineOptions{}.with_threads(4).with_policy(
+                                         ExecutionPolicy::kPool));
+  EXPECT_THROW(engine.step([](std::size_t i, auto&) -> std::optional<int> {
+    if (i == 200) throw std::runtime_error("boom");
+    return 0;
+  }),
+               std::runtime_error);
+  // The engine stays usable after the failed step.
+  engine.step([](std::size_t, auto&) -> std::optional<int> { return 1; });
+  EXPECT_EQ(engine.state(0), 1);
+}
+
+TEST(EngineOptions, ValidationRejectsBadCombinations) {
+  EXPECT_THROW(EngineOptions{}.with_threads(0).validate(), ContractViolation);
+  EXPECT_THROW(EngineOptions{}.with_hands(0).validate(), ContractViolation);
+  // record_access with a parallel policy is rejected...
+  EXPECT_THROW(EngineOptions{}
+                   .with_threads(4)
+                   .with_policy(ExecutionPolicy::kPool)
+                   .with_record_access(true)
+                   .validate(),
+               ContractViolation);
+  EXPECT_THROW(EngineOptions{}
+                   .with_threads(2)
+                   .with_policy(ExecutionPolicy::kSpawn)
+                   .with_record_access(true)
+                   .validate(),
+               ContractViolation);
+  // ...but a parallel policy degenerated to one thread is sequential.
+  EXPECT_NO_THROW(EngineOptions{}
+                      .with_policy(ExecutionPolicy::kPool)
+                      .with_record_access(true)
+                      .validate());
+  // threads > 1 under the sequential policy is a contradiction.
+  EXPECT_THROW(EngineOptions{}.with_threads(4).validate(), ContractViolation);
+  EXPECT_THROW(
+      (IntEngine{iota_states(4), EngineOptions{}.with_threads(0)}),
+      ContractViolation);
+}
+
+TEST(EngineOptions, PolicyNamesRoundTrip) {
+  for (ExecutionPolicy policy :
+       {ExecutionPolicy::kSequential, ExecutionPolicy::kSpawn,
+        ExecutionPolicy::kPool}) {
+    EXPECT_EQ(parse_execution_policy(to_string(policy)), policy);
+  }
+  EXPECT_THROW((void)parse_execution_policy("warp"), ContractViolation);
+}
+
+TEST(Engine, SetOptionsSwitchesBackendBetweenSteps) {
+  IntEngine engine(iota_states(64));
+  const auto rule = [](std::size_t i, auto& read) -> std::optional<int> {
+    return read((i + 1) % 64);
+  };
+  engine.step(rule);
+  engine.set_options(EngineOptions{}.with_threads(4).with_policy(
+      ExecutionPolicy::kPool));
+  engine.step(rule);
+  engine.set_options(EngineOptions{});
+  engine.step(rule);
+  // Three rotations of iota: cell i holds (i + 3) mod 64.
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(engine.state(i), static_cast<int>((i + 3) % 64));
   }
 }
 

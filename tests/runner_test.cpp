@@ -1,0 +1,113 @@
+#include "core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/cc_baselines.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+std::vector<Graph> mixed_batch() {
+  // Mixed sizes and shapes: the batch path must handle tiny fields,
+  // disconnected graphs, and a dense component soup side by side.
+  std::vector<Graph> graphs;
+  graphs.push_back(graph::make_named("path", 5, 1));
+  graphs.push_back(graph::make_named("star", 9, 2));
+  graphs.emplace_back(3);  // edgeless: three singleton components
+  graphs.push_back(graph::random_gnp(24, 0.08, 11));
+  graphs.push_back(graph::random_gnp(40, 0.03, 12));
+  graphs.push_back(graph::make_named("cycle", 16, 3));
+  graphs.push_back(graph::random_gnp(12, 0.5, 13));
+  return graphs;
+}
+
+void expect_matches_baseline(const QueryResult& result, const Graph& g) {
+  const std::vector<NodeId> expected = graph::bfs_components(g);
+  EXPECT_EQ(result.labels, expected);
+  std::size_t components = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (expected[v] == v) ++components;
+  }
+  EXPECT_EQ(result.components, components);
+  EXPECT_GT(result.generations, 0u);
+}
+
+TEST(Runner, SingleQueryMatchesBaseline) {
+  const Graph g = graph::random_gnp(20, 0.15, 5);
+  Runner runner;
+  expect_matches_baseline(runner.solve(g), g);
+}
+
+TEST(Runner, BatchMatchesBaselinesSequential) {
+  const std::vector<Graph> graphs = mixed_batch();
+  Runner runner;  // threads = 1: pure sequential fallback
+  const std::vector<QueryResult> results = runner.solve_batch(graphs);
+  ASSERT_EQ(results.size(), graphs.size());
+  for (std::size_t q = 0; q < graphs.size(); ++q) {
+    expect_matches_baseline(results[q], graphs[q]);
+  }
+}
+
+TEST(Runner, BatchMatchesBaselinesPooled) {
+  const std::vector<Graph> graphs = mixed_batch();
+  RunnerOptions options;
+  options.threads = 4;
+  Runner runner(options);
+  const std::vector<QueryResult> results = runner.solve_batch(graphs);
+  ASSERT_EQ(results.size(), graphs.size());
+  for (std::size_t q = 0; q < graphs.size(); ++q) {
+    expect_matches_baseline(results[q], graphs[q]);
+  }
+}
+
+TEST(Runner, PooledBatchMatchesSequentialBatch) {
+  // Results must be bit-compatible regardless of how queries land on lanes.
+  const std::vector<Graph> graphs = mixed_batch();
+  RunnerOptions pooled;
+  pooled.threads = 3;
+  const std::vector<QueryResult> a = Runner(pooled).solve_batch(graphs);
+  const std::vector<QueryResult> b = Runner().solve_batch(graphs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a[q].labels, b[q].labels);
+    EXPECT_EQ(a[q].components, b[q].components);
+    EXPECT_EQ(a[q].generations, b[q].generations);
+  }
+}
+
+TEST(Runner, EmptyBatch) {
+  Runner runner;
+  EXPECT_TRUE(runner.solve_batch({}).empty());
+}
+
+TEST(Runner, BatchLargerThanPool) {
+  // More queries than lanes: the shared cursor must drain the whole batch.
+  std::vector<Graph> graphs;
+  for (std::uint64_t seed = 0; seed < 17; ++seed) {
+    graphs.push_back(graph::random_gnp(10, 0.2, seed));
+  }
+  RunnerOptions options;
+  options.threads = 4;
+  const std::vector<QueryResult> results = Runner(options).solve_batch(graphs);
+  ASSERT_EQ(results.size(), graphs.size());
+  for (std::size_t q = 0; q < graphs.size(); ++q) {
+    EXPECT_EQ(results[q].labels, graph::bfs_components(graphs[q]));
+  }
+}
+
+TEST(Runner, RejectsZeroThreads) {
+  RunnerOptions options;
+  options.threads = 0;
+  EXPECT_THROW(Runner{options}, std::exception);
+}
+
+}  // namespace
+}  // namespace gcalib::core
