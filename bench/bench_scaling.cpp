@@ -17,6 +17,7 @@
 #include "core/schedule.hpp"
 #include "gca/engine.hpp"
 #include "gca/execution.hpp"
+#include "gca/metrics.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 #include "graph/union_find.hpp"
@@ -74,6 +75,29 @@ void BM_GcaHirschbergPool(benchmark::State& state) {
 }
 BENCHMARK(BM_GcaHirschbergPool)->RangeMultiplier(2)->Range(64, 256);
 
+void BM_GcaHirschbergTraced(benchmark::State& state) {
+  // Cost of the metrics layer: identical to BM_GcaHirschberg except a
+  // Trace sink is attached, so every step pays two clock reads plus the
+  // sink push.  Compare against BM_GcaHirschberg to see the overhead
+  // (scripts/bench_engine.sh prints the ratio); the sinks-disabled path is
+  // covered by BM_GcaHirschberg itself staying flat.
+  const Graph g = dense_graph(state.range(0));
+  gcalib::gca::Trace trace;
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.sink = &trace;
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    trace.clear();
+    gcalib::core::HirschbergGca machine(g);
+    const auto result = machine.run(options);
+    steps = trace.size();
+    benchmark::DoNotOptimize(result.labels.data());
+  }
+  state.counters["traced_steps"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_GcaHirschbergTraced)->RangeMultiplier(2)->Range(8, 256);
+
 // --- execution-backend comparison: spawn-per-step vs persistent pool ----
 //
 // Isolates the engine-step overhead the pool removes: a Hirschberg-sized
@@ -85,7 +109,20 @@ BENCHMARK(BM_GcaHirschbergPool)->RangeMultiplier(2)->Range(64, 256);
 
 constexpr unsigned kSweepThreads = 8;
 
-void engine_sweep(benchmark::State& state, gcalib::gca::ExecutionPolicy policy) {
+/// Cheapest possible sink: measures the engine's timing + dispatch overhead
+/// without the memory traffic a recording Trace would add over millions of
+/// benchmark iterations.
+struct CountingSink final : gcalib::gca::MetricsSink {
+  std::uint64_t steps = 0;
+  std::uint64_t busy_ns = 0;
+  void on_step(const gcalib::gca::GenerationStats& stats) override {
+    ++steps;
+    busy_ns += stats.duration_ns;
+  }
+};
+
+void engine_sweep(benchmark::State& state, gcalib::gca::ExecutionPolicy policy,
+                  CountingSink* sink = nullptr) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t cells = n * (n + 1);
   std::vector<std::uint32_t> initial(cells);
@@ -97,6 +134,7 @@ void engine_sweep(benchmark::State& state, gcalib::gca::ExecutionPolicy policy) 
                               .with_threads(threads)
                               .with_policy(policy)
                               .with_instrumentation(false));
+  if (sink != nullptr) engine.add_sink(sink);
   const auto rule = [cells](std::size_t i,
                             auto& read) -> std::optional<std::uint32_t> {
     return read((i + 1) % cells) + 1;
@@ -123,6 +161,15 @@ void BM_EngineSweepPool(benchmark::State& state) {
   engine_sweep(state, gcalib::gca::ExecutionPolicy::kPool);
 }
 BENCHMARK(BM_EngineSweepPool)->RangeMultiplier(2)->Range(64, 256);
+
+void BM_EngineSweepPoolTraced(benchmark::State& state) {
+  // Pool sweep with a metrics sink attached: adds per-step + per-lane clock
+  // reads and the sink dispatch.  Compare against BM_EngineSweepPool.
+  CountingSink sink;
+  engine_sweep(state, gcalib::gca::ExecutionPolicy::kPool, &sink);
+  state.counters["sink_steps"] = static_cast<double>(sink.steps);
+}
+BENCHMARK(BM_EngineSweepPoolTraced)->RangeMultiplier(2)->Range(64, 256);
 
 void BM_GcaInstrumented(benchmark::State& state) {
   // Cost of congestion instrumentation (Table 1 measurements).

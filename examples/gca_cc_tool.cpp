@@ -12,8 +12,10 @@
 //   $ ./gca_cc_tool --generate gnp:0.5 --n 128 --threads 4 --policy pool
 //
 // Algorithms: gca (default) | tree | ncells | pram | sv | unionfind | bfs
-// Execution flags (--threads, --policy, --no-instrumentation) steer the
-// GCA engine backend and apply to the simulator algorithms.
+// Execution flags (--threads, --policy, --no-instrumentation,
+// --record-access, --trace-out, --metrics-out) steer the GCA engine backend
+// and its observability; invalid combinations (e.g. --record-access with
+// --threads 2) are rejected before the run with exit status 2.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
@@ -29,6 +32,7 @@
 #include "core/hirschberg_ncells.hpp"
 #include "core/hirschberg_tree.hpp"
 #include "gca/execution.hpp"
+#include "gca/metrics.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -74,7 +78,8 @@ struct LabelingOutcome {
 };
 
 LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
-                              const cli::ExecutionFlags& exec) {
+                              const cli::ExecutionFlags& exec,
+                              gca::Trace* trace) {
   LabelingOutcome out;
   if (name == "gca") {
     core::HirschbergGca machine(g);
@@ -82,6 +87,8 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
     options.instrument = exec.instrumentation;
     options.threads = exec.threads;
     options.policy = gca::parse_execution_policy(exec.policy);
+    options.record_access = exec.record_access;
+    options.sink = trace;
     const core::RunResult r = machine.run(options);
     out.labels = r.labels;
     out.steps = r.generations;
@@ -137,7 +144,16 @@ int main(int argc, char** argv) {
     const graph::Graph g = load_graph(args);
     const std::string algorithm = args.get_string("algorithm", "gca");
     const cli::ExecutionFlags exec = cli::execution_flags(args);
-    const LabelingOutcome outcome = run_algorithm(algorithm, g, exec);
+    try {
+      (void)gca::options_from_flags(exec);  // reject bad combos before the run
+    } catch (const ContractViolation& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    gca::Trace trace;
+    const LabelingOutcome outcome =
+        run_algorithm(algorithm, g, exec,
+                      exec.wants_metrics() ? &trace : nullptr);
 
     if (args.has("verify")) {
       if (outcome.labels != graph::union_find_components(g)) {
@@ -162,6 +178,23 @@ int main(int argc, char** argv) {
     if (args.has("stats") && outcome.steps > 0) {
       std::printf("# synchronous steps: %zu\n", outcome.steps);
       std::printf("# max read congestion: %zu\n", outcome.congestion);
+    }
+    if (exec.wants_metrics()) {
+      if (!exec.trace_out.empty()) gca::write_trace_file(trace, exec.trace_out);
+      if (!exec.metrics_out.empty()) {
+        gca::write_metrics_file(trace, exec.metrics_out);
+      }
+      // Only the engine-backed algorithm ("gca") feeds the sink; the files
+      // are still written (empty but valid) for the others.
+      const std::string summary = gca::format_summary(trace.summary());
+      std::size_t pos = 0;
+      while (pos < summary.size()) {
+        std::size_t end = summary.find('\n', pos);
+        if (end == std::string::npos) end = summary.size();
+        std::printf("# %.*s\n", static_cast<int>(end - pos),
+                    summary.c_str() + pos);
+        pos = end + 1;
+      }
     }
     return 0;
   } catch (const std::exception& e) {

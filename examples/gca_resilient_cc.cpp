@@ -5,7 +5,7 @@
 // Usage:
 //   gca_resilient_cc [--family gnp:0.1] [--n 24] [--seed 7] [--rate 0.01]
 //                    [--threads 1] [--policy pool] [--no-instrumentation]
-//                    [--replicas 3]
+//                    [--replicas 3] [--trace-out FILE] [--metrics-out FILE]
 //
 //   --rate      expected faults per engine step (Poisson)
 //   --replicas  NMR pricing block (masking alternative; cost model only)
@@ -23,6 +23,7 @@
 #include "fault/monitors.hpp"
 #include "fault/recovery.hpp"
 #include "gca/execution.hpp"
+#include "gca/metrics.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 
@@ -57,9 +58,7 @@ int main(int argc, char** argv) {
   gcalib::gca::ExecutionPolicy policy = gcalib::gca::ExecutionPolicy::kPool;
   try {
     exec = gcalib::cli::execution_flags(args);
-    policy = gcalib::gca::parse_execution_policy(exec.policy);
-    gcalib::gca::EngineOptions{}.with_threads(exec.threads).with_policy(policy)
-        .validate();
+    policy = gcalib::gca::options_from_flags(exec).policy;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
@@ -99,10 +98,13 @@ int main(int argc, char** argv) {
               count_kind(plan, FaultKind::kWrongPointer));
 
   gcalib::core::HirschbergGca machine(g);
+  gcalib::gca::Trace trace;
   gcalib::fault::ResilientOptions options;
   options.base.instrument = exec.instrumentation;
   options.base.threads = exec.threads;
   options.base.policy = policy;
+  options.base.record_access = exec.record_access;
+  if (exec.wants_metrics()) options.base.sink = &trace;
   options.max_rollbacks = 4;
   options.max_restarts = 2;
 
@@ -136,6 +138,18 @@ int main(int argc, char** argv) {
     std::printf("run failed after exhausting recovery: %s\n", failure.what());
     std::printf("(a strike during generation 0 — before the restart anchor "
                 "exists — is unrecoverable by design)\n");
+  }
+
+  if (exec.wants_metrics()) {
+    // The trace also covers rolled-back re-executions — the timeline shows
+    // what the recovery actually cost.
+    if (!exec.trace_out.empty()) {
+      gcalib::gca::write_trace_file(trace, exec.trace_out);
+    }
+    if (!exec.metrics_out.empty()) {
+      gcalib::gca::write_metrics_file(trace, exec.metrics_out);
+    }
+    std::fputs(gcalib::gca::format_summary(trace.summary()).c_str(), stdout);
   }
 
   // Masking alternative: what N-modular redundancy would cost in hardware.

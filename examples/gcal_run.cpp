@@ -3,6 +3,7 @@
 //   $ ./gcal_run program.gcal --generate gnp:0.2 --n 16
 //   $ ./gcal_run --builtin hirschberg --generate complete --n 8 --verify
 //   $ ./gcal_run --builtin hirschberg --n 64 --threads 4 --policy pool
+//   $ ./gcal_run --builtin hirschberg --n 64 --trace-out run.trace.json
 //   $ ./gcal_run --show-builtin          # print the embedded program
 //
 // gcal is the paper's Figure-2 state graph as a language; see
@@ -13,8 +14,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/assert.hpp"
 #include "common/cli.hpp"
 #include "gca/execution.hpp"
+#include "gca/metrics.hpp"
 #include "gcal/interpreter.hpp"
 #include "gcal/parser.hpp"
 #include "graph/generators.hpp"
@@ -78,12 +81,16 @@ int main(int argc, char** argv) {
       };
     }
     const cli::ExecutionFlags flags = cli::execution_flags(args);
-    const gca::EngineOptions exec =
-        gca::EngineOptions{}
-            .with_threads(flags.threads)
-            .with_policy(gca::parse_execution_policy(flags.policy))
-            .with_instrumentation(flags.instrumentation);
-    const gcal::GcalRunResult result = interpreter.run(g, hook, exec);
+    gca::EngineOptions exec;
+    try {
+      exec = gca::options_from_flags(flags);  // rejects bad combos (exit 2)
+    } catch (const ContractViolation& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+    gca::Trace trace;
+    const gcal::GcalRunResult result = interpreter.run(
+        g, hook, exec, flags.wants_metrics() ? &trace : nullptr);
 
     std::printf("graph: n=%u m=%zu\n", g.node_count(), g.edge_count());
     std::printf("generations executed: %zu (iterations: %u)\n",
@@ -92,6 +99,16 @@ int main(int argc, char** argv) {
     std::printf("labels:");
     for (graph::NodeId label : result.labels) std::printf(" %u", label);
     std::printf("\ncomponents: %zu\n", graph::component_count(result.labels));
+
+    if (flags.wants_metrics()) {
+      if (!flags.trace_out.empty()) {
+        gca::write_trace_file(trace, flags.trace_out);
+      }
+      if (!flags.metrics_out.empty()) {
+        gca::write_metrics_file(trace, flags.metrics_out);
+      }
+      std::fputs(gca::format_summary(trace.summary()).c_str(), stdout);
+    }
 
     if (args.has("verify")) {
       if (result.labels != graph::union_find_components(g)) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Execution-backend benchmark: spawn-per-step vs persistent pool.
+# Execution-backend benchmark: spawn-per-step vs persistent pool, plus the
+# cost of the metrics layer.
 #
-# Builds bench_scaling and records the EngineSweep* and GcaHirschberg{Spawn,
-# Pool} series (median of N repetitions) into a machine-readable JSON file,
-# then prints the pool-over-spawn step-throughput speedups.
+# Builds bench_scaling and records the EngineSweep*, GcaHirschberg{Spawn,
+# Pool} and *Traced series (median of N repetitions) into a machine-readable
+# JSON file, then prints the pool-over-spawn step-throughput speedups and
+# the traced-over-plain overhead of attaching a metrics sink.
 #
 # Usage: scripts/bench_engine.sh [output.json]
 #   BUILD_DIR=build-foo scripts/bench_engine.sh   # non-default build tree
@@ -21,7 +23,7 @@ fi
 cmake --build "$BUILD_DIR" --target bench_scaling -j "$(nproc)"
 
 "$BUILD_DIR"/bench/bench_scaling \
-  --benchmark_filter='^BM_(EngineSweep(Sequential|Spawn|Pool)|GcaHirschberg(Spawn|Pool))/' \
+  --benchmark_filter='^BM_(EngineSweep(Sequential|Spawn|Pool|PoolTraced)|GcaHirschberg|GcaHirschberg(Spawn|Pool|Traced))/' \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out="$OUT" \
@@ -43,10 +45,18 @@ for bench in data["benchmarks"]:
     medians[name] = bench["real_time"]
 print("pool speedup over spawn (median wall-clock per step):")
 for pool_name, t_pool in sorted(medians.items()):
-    if "Pool/" not in pool_name:
+    if "Pool/" not in pool_name or "PoolTraced/" in pool_name:
         continue
     spawn_name = pool_name.replace("Pool/", "Spawn/")
     if spawn_name in medians and t_pool > 0:
         print(f"  {pool_name:32s} {medians[spawn_name] / t_pool:5.2f}x")
+print("metrics-sink overhead (median, traced / plain):")
+for traced_name, t_traced in sorted(medians.items()):
+    if "Traced/" not in traced_name:
+        continue
+    plain_name = traced_name.replace("Traced/", "/")
+    if plain_name in medians and medians[plain_name] > 0:
+        ratio = t_traced / medians[plain_name] - 1.0
+        print(f"  {traced_name:32s} {ratio:+6.1%}")
 EOF
 fi

@@ -24,4 +24,14 @@ cmake -B "$BUILD_DIR" -S . \
   -DGCALIB_SANITIZE="$SANITIZER" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$JOBS"
+
+# Fast-fail pass over the engine/observability/CLI surface first: the
+# observer re-entrancy, option-validation, metrics and IO-robustness tests
+# are the ones most likely to trip a sanitizer, and they finish in seconds.
+# (Skipped when the caller passes its own ctest selection.)
+if [ "$#" -eq 0 ]; then
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
+    -R '^(Engine|Metrics|Trace|Cli|Io)[A-Za-z]*\.'
+fi
+
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"

@@ -102,6 +102,9 @@ std::map<std::string, bool> with_execution_flags(
   spec.emplace("threads", true);
   spec.emplace("policy", true);
   spec.emplace("no-instrumentation", false);
+  spec.emplace("record-access", false);
+  spec.emplace("trace-out", true);
+  spec.emplace("metrics-out", true);
   return spec;
 }
 
@@ -114,6 +117,9 @@ ExecutionFlags execution_flags(const CliArgs& args) {
   flags.threads = static_cast<unsigned>(threads);
   flags.policy = args.get_string("policy", flags.policy);
   flags.instrumentation = !args.has("no-instrumentation");
+  flags.record_access = args.has("record-access");
+  flags.trace_out = args.get_string("trace-out", "");
+  flags.metrics_out = args.get_string("metrics-out", "");
   return flags;
 }
 

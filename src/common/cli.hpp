@@ -44,18 +44,31 @@ class CliArgs {
 
 namespace cli {
 
-/// The execution flags every tool accepts, so the engine backend is
-/// selectable uniformly across examples and benches:
+/// The execution flags every tool accepts, so the engine backend and its
+/// observability are selectable uniformly across examples and benches:
 ///   --threads N            sweep width (default 1)
 ///   --policy NAME          sequential | spawn | pool (default "pool")
 ///   --no-instrumentation   disable per-step congestion statistics
+///   --record-access        record individual (reader, target) access edges
+///                          (requires an effectively sequential sweep)
+///   --trace-out FILE       write a Chrome trace_event JSON of the run
+///   --metrics-out FILE     write per-step metrics (.json = JSON, else CSV)
 /// The policy is carried as its spelled name; convert with
-/// gca::parse_execution_policy at the point of use (common/ stays below
-/// gca/ in the layering).
+/// gca::parse_execution_policy (or build validated engine options with
+/// gca::options_from_flags) at the point of use — common/ stays below
+/// gca/ in the layering.
 struct ExecutionFlags {
   unsigned threads = 1;
   std::string policy = "pool";
   bool instrumentation = true;
+  bool record_access = false;
+  std::string trace_out;    ///< empty = tracing disabled
+  std::string metrics_out;  ///< empty = metrics export disabled
+
+  /// True when the tool should attach a metrics sink to the run.
+  [[nodiscard]] bool wants_metrics() const {
+    return !trace_out.empty() || !metrics_out.empty();
+  }
 };
 
 /// Adds the shared execution options to a tool's option spec.

@@ -276,6 +276,20 @@ RunResult HirschbergGca::run(const RunOptions& options) {
 
   if (n_ == 0) return result;
 
+  // Attach the metrics sink for the duration of the run (detached on every
+  // exit path, so a machine can be re-run with different options).
+  struct SinkGuard {
+    gca::Engine<Cell>* engine = nullptr;
+    std::size_t id = 0;
+    ~SinkGuard() {
+      if (engine != nullptr) engine->remove_sink(id);
+    }
+  } sink_guard;
+  if (options.sink != nullptr) {
+    sink_guard.id = engine_->add_sink(options.sink);
+    sink_guard.engine = engine_.get();
+  }
+
   const auto emit = [&](const StepRecord& record) {
     if (options.instrument) result.records.push_back(record);
     if (options.on_step) options.on_step(record);

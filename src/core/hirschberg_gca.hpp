@@ -84,6 +84,12 @@ struct RunOptions {
   /// the final labeling against a sequential oracle.  Throws
   /// ContractViolation on any violation.  Costs O(m alpha(n)) at the end.
   bool self_check = false;
+  /// Metrics sink attached to the engine for the duration of the run
+  /// (non-owning; nullptr = no tracing).  While attached, every engine
+  /// step is wall-clock timed and pushed to the sink — and the timing also
+  /// appears in `RunResult::records` / `on_step` stats.  See
+  /// gca/metrics.hpp.
+  gca::MetricsSink* sink = nullptr;
   /// Called after every engine step (tracing / golden tests); may be empty.
   std::function<void(const StepRecord&)> on_step;
 

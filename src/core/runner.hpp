@@ -27,6 +27,7 @@
 #include "graph/graph.hpp"
 
 namespace gcalib::gca {
+class MetricsSink;
 class ThreadPool;
 }  // namespace gcalib::gca
 
@@ -39,6 +40,10 @@ struct RunnerOptions {
   /// pool across queries whenever the policy is kPool and threads > 1.
   gca::ExecutionPolicy policy = gca::ExecutionPolicy::kPool;
   bool instrument = false;  ///< collect per-step statistics per query
+  /// Metrics sink shared by every query (non-owning; nullptr = no tracing).
+  /// `solve_batch` pushes steps from all pool lanes concurrently, so the
+  /// sink must be thread-safe — `gca::Trace` is.
+  gca::MetricsSink* sink = nullptr;
 };
 
 /// Labeling of one query.

@@ -31,10 +31,17 @@
 //  * a read override — an interposer consulted on every mediated global
 //    read, which models faulty reads (dropped or misrouted accesses)
 //    without touching the rules.
+//
+// Observability (gca/metrics.hpp): any number of `MetricsSink`s can be
+// attached alongside the observers.  While at least one sink is attached,
+// every step is wall-clock timed (plus per-lane timing for parallel
+// sweeps) and the completed step's stats are pushed to each sink; with no
+// sink attached the engine performs no clock reads at all.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <functional>
@@ -48,6 +55,7 @@
 #include "common/assert.hpp"
 #include "gca/execution.hpp"
 #include "gca/instrumentation.hpp"
+#include "gca/metrics.hpp"
 #include "gca/thread_pool.hpp"
 
 namespace gcalib::gca {
@@ -106,15 +114,23 @@ class Engine {
   }
 
   // --- legacy setters (deprecated: prefer EngineOptions/set_options) ----
+  // All of them route through `set_options`, so an inconsistent combination
+  // (e.g. record_access on a parallel engine) is rejected at the setter —
+  // never mid-run.
 
   /// Collects congestion statistics per step when enabled (default on;
   /// disable for pure-speed runs).
-  void set_instrumentation(bool enabled) { options_.instrumentation = enabled; }
+  void set_instrumentation(bool enabled) {
+    set_options(EngineOptions{options_}.with_instrumentation(enabled));
+  }
   [[nodiscard]] bool instrumentation() const { return options_.instrumentation; }
 
   /// Records individual (reader, target) access edges of the most recent
   /// step (for access-pattern rendering; implies instrumentation overhead).
-  void set_record_access(bool enabled) { options_.record_access = enabled; }
+  /// Throws ContractViolation when the engine sweeps in parallel.
+  void set_record_access(bool enabled) {
+    set_options(EngineOptions{options_}.with_record_access(enabled));
+  }
   [[nodiscard]] const std::vector<AccessEdge>& last_access() const {
     return last_access_;
   }
@@ -123,12 +139,12 @@ class Engine {
   /// widening a sequential engine selects the spawn-per-step backend; an
   /// engine already on the pool policy stays there.
   void set_threads(unsigned threads) {
-    GCALIB_EXPECTS_MSG(threads >= 1, "parallel sweep width must be >= 1");
-    options_.threads = threads;
-    if (threads > 1 && options_.policy == ExecutionPolicy::kSequential) {
-      options_.policy = ExecutionPolicy::kSpawn;
+    EngineOptions next = options_;
+    next.threads = threads;
+    if (threads > 1 && next.policy == ExecutionPolicy::kSequential) {
+      next.policy = ExecutionPolicy::kSpawn;
     }
-    acquire_pool();
+    set_options(next);
   }
 
   /// Active-cell mask of the most recent step.
@@ -140,22 +156,93 @@ class Engine {
 
   /// Observer invoked after every completed step; `engine.states()` shows
   /// the post-step generation the observer may validate.
+  ///
+  /// Re-entrancy semantics: observers (and metrics sinks) may call
+  /// `add_observer` / `remove_observer` / `add_sink` / `remove_sink` from
+  /// inside a callback.  A removal takes effect immediately — the removed
+  /// callback is not invoked again, not even later in the same step's
+  /// notification round — while an addition takes effect from the *next*
+  /// step.  Calling `step()` from inside a callback is rejected.
   using Observer = std::function<void(const Engine&, const GenerationStats&)>;
 
   /// Registers an observer; returns an id for `remove_observer`.
   std::size_t add_observer(Observer observer) {
     GCALIB_EXPECTS(observer != nullptr);
     const std::size_t id = next_observer_id_++;
-    observers_.emplace_back(id, std::move(observer));
+    if (notifying_) {
+      pending_observers_.emplace_back(id, std::move(observer));
+    } else {
+      observers_.emplace_back(id, std::move(observer));
+    }
     return id;
   }
 
   /// Removes a previously registered observer (no-op on unknown ids).
+  /// Safe to call from inside an observer callback (including an observer
+  /// removing itself); see the `Observer` re-entrancy semantics.
   void remove_observer(std::size_t id) {
-    std::erase_if(observers_, [id](const auto& entry) { return entry.first == id; });
+    if (notifying_) {
+      // The notification loop iterates `observers_` by index: null the
+      // entry in place (skipped, compacted afterwards) instead of erasing
+      // mid-iteration.
+      for (auto& [oid, callback] : observers_) {
+        if (oid == id) callback = nullptr;
+      }
+      std::erase_if(pending_observers_,
+                    [id](const auto& entry) { return entry.first == id; });
+    } else {
+      std::erase_if(observers_,
+                    [id](const auto& entry) { return entry.first == id; });
+    }
   }
 
-  [[nodiscard]] std::size_t observer_count() const { return observers_.size(); }
+  [[nodiscard]] std::size_t observer_count() const {
+    std::size_t count = pending_observers_.size();
+    for (const auto& [id, callback] : observers_) {
+      if (callback != nullptr) ++count;
+    }
+    return count;
+  }
+
+  // --- observability (gca/metrics.hpp) ----------------------------------
+
+  /// Attaches a metrics sink (non-owning; the sink must stay alive until
+  /// removed or the engine is destroyed).  While at least one sink is
+  /// attached every step is timed and pushed to all sinks.  Returns an id
+  /// for `remove_sink`.  Shares the observers' re-entrancy semantics.
+  std::size_t add_sink(MetricsSink* sink) {
+    GCALIB_EXPECTS(sink != nullptr);
+    const std::size_t id = next_observer_id_++;
+    if (notifying_) {
+      pending_sinks_.emplace_back(id, sink);
+    } else {
+      sinks_.emplace_back(id, sink);
+    }
+    return id;
+  }
+
+  /// Detaches a previously attached sink (no-op on unknown ids); safe from
+  /// inside a callback.
+  void remove_sink(std::size_t id) {
+    if (notifying_) {
+      for (auto& [sid, sink] : sinks_) {
+        if (sid == id) sink = nullptr;
+      }
+      std::erase_if(pending_sinks_,
+                    [id](const auto& entry) { return entry.first == id; });
+    } else {
+      std::erase_if(sinks_,
+                    [id](const auto& entry) { return entry.first == id; });
+    }
+  }
+
+  [[nodiscard]] std::size_t sink_count() const {
+    std::size_t count = pending_sinks_.size();
+    for (const auto& [id, sink] : sinks_) {
+      if (sink != nullptr) ++count;
+    }
+    return count;
+  }
 
   /// Full copy of the mutable machine state, sufficient to re-execute from
   /// this point (instrumentation history is append-only and not part of it).
@@ -229,6 +316,9 @@ class Engine {
   /// state and marks the cell inactive.
   template <typename Rule>
   GenerationStats step(Rule&& rule, std::string label = {}) {
+    GCALIB_EXPECTS_MSG(!notifying_,
+                       "Engine::step must not be called from an observer or "
+                       "metrics-sink callback");
     GenerationStats stats;
     stats.generation = generation_;
     stats.label = std::move(label);
@@ -236,6 +326,11 @@ class Engine {
 
     last_active_.assign(cells_.size(), 0);
     last_access_.clear();
+
+    // Timing runs only while a sink is attached, so the un-instrumented
+    // hot path performs no clock reads.
+    const bool timed = !sinks_.empty();
+    const std::uint64_t sweep_start = timed ? now_ns() : 0;
 
     const unsigned t = options_.threads;
     if (!options_.parallel() || cells_.size() < 2 * t) {
@@ -246,15 +341,22 @@ class Engine {
                   stats.active_cells);
       if (options_.instrumentation) fold_counts(scratch_count(0), stats);
     } else {
-      GCALIB_EXPECTS_MSG(!options_.record_access,
-                         "access-edge recording requires a sequential sweep");
-      sweep_parallel(rule, stats);
+      // set_options/setters validate every configuration path, so a
+      // parallel sweep with access recording cannot be reached.
+      GCALIB_ASSERT_MSG(!options_.record_access,
+                        "access-edge recording requires a sequential sweep");
+      sweep_parallel(rule, stats, timed);
+    }
+
+    if (timed) {
+      stats.start_ns = sweep_start;
+      stats.duration_ns = now_ns() - sweep_start;
     }
 
     cells_.swap(next_);
     ++generation_;
     if (options_.instrumentation) history_.push_back(stats);
-    for (const auto& [id, observer] : observers_) observer(*this, stats);
+    notify(stats);
     return stats;
   }
 
@@ -264,6 +366,50 @@ class Engine {
   void clear_history() { history_.clear(); }
 
  private:
+  [[nodiscard]] static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Invokes observers, then sinks, with deferred add/remove semantics
+  /// (see `Observer`): callbacks registered during the round start next
+  /// step, removed ones are skipped immediately and compacted afterwards.
+  void notify(const GenerationStats& stats) {
+    if (observers_.empty() && sinks_.empty() && pending_observers_.empty() &&
+        pending_sinks_.empty()) {
+      return;
+    }
+    notifying_ = true;
+    try {
+      for (std::size_t i = 0; i < observers_.size(); ++i) {
+        if (observers_[i].second) observers_[i].second(*this, stats);
+      }
+      for (std::size_t i = 0; i < sinks_.size(); ++i) {
+        if (sinks_[i].second != nullptr) sinks_[i].second->on_step(stats);
+      }
+    } catch (...) {
+      finish_notify();
+      throw;
+    }
+    finish_notify();
+  }
+
+  void finish_notify() {
+    notifying_ = false;
+    std::erase_if(observers_,
+                  [](const auto& entry) { return entry.second == nullptr; });
+    for (auto& entry : pending_observers_) {
+      observers_.push_back(std::move(entry));
+    }
+    pending_observers_.clear();
+    std::erase_if(sinks_,
+                  [](const auto& entry) { return entry.second == nullptr; });
+    sinks_.insert(sinks_.end(), pending_sinks_.begin(), pending_sinks_.end());
+    pending_sinks_.clear();
+  }
+
   void acquire_pool() {
     if (options_.policy == ExecutionPolicy::kPool && options_.threads > 1) {
       // The sweep is always partitioned into `threads` chunks (that fixes
@@ -304,19 +450,25 @@ class Engine {
   }
 
   template <typename Rule>
-  void sweep_parallel(Rule& rule, GenerationStats& stats) {
+  void sweep_parallel(Rule& rule, GenerationStats& stats, bool timed) {
     const unsigned t = options_.threads;
     const bool counting = options_.instrumentation;
     scratch_actives_.assign(t, 0);
     if (counting) {
       for (unsigned w = 0; w < t; ++w) scratch_count(w).assign(cells_.size(), 0);
     }
+    if (timed) scratch_lanes_.assign(t, LaneTiming{});
     const std::size_t chunk = (cells_.size() + t - 1) / t;
-    auto lane = [this, &rule, chunk, counting](unsigned w) {
+    auto lane = [this, &rule, chunk, counting, timed](unsigned w) {
       const std::size_t begin = std::min(cells_.size(), std::size_t{w} * chunk);
       const std::size_t end = std::min(cells_.size(), begin + chunk);
+      const std::uint64_t lane_start = timed ? now_ns() : 0;
       sweep_range(rule, begin, end, counting ? &scratch_counts_[w] : nullptr,
                   nullptr, scratch_actives_[w]);
+      if (timed) {
+        scratch_lanes_[w] =
+            LaneTiming{w, lane_start, now_ns() - lane_start, end - begin};
+      }
     };
 
     if (options_.policy == ExecutionPolicy::kPool) {
@@ -352,6 +504,10 @@ class Engine {
       }
     }
 
+    if (timed) {
+      stats.lane_times.assign(scratch_lanes_.begin(),
+                              scratch_lanes_.begin() + t);
+    }
     for (std::size_t a : scratch_actives_) stats.active_cells += a;
     if (counting) {
       std::vector<std::size_t>& merged = scratch_counts_[0];
@@ -382,6 +538,12 @@ class Engine {
   std::vector<std::uint8_t> last_active_;
   std::vector<GenerationStats> history_;
   std::vector<std::pair<std::size_t, Observer>> observers_;
+  std::vector<std::pair<std::size_t, MetricsSink*>> sinks_;
+  // Deferred registrations made during a notification round (observers_
+  // and sinks_ are iterated by index then; see `Observer` semantics).
+  std::vector<std::pair<std::size_t, Observer>> pending_observers_;
+  std::vector<std::pair<std::size_t, MetricsSink*>> pending_sinks_;
+  bool notifying_ = false;
   std::size_t next_observer_id_ = 0;
   ReadOverride read_override_;
   std::shared_ptr<ThreadPool> pool_;
@@ -389,6 +551,7 @@ class Engine {
   std::vector<std::vector<std::size_t>> scratch_counts_;
   std::vector<std::size_t> scratch_actives_;
   std::vector<std::exception_ptr> scratch_errors_;
+  std::vector<LaneTiming> scratch_lanes_;
 };
 
 }  // namespace gcalib::gca

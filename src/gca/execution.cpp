@@ -1,6 +1,7 @@
 #include "gca/execution.hpp"
 
 #include "common/assert.hpp"
+#include "common/cli.hpp"
 
 namespace gcalib::gca {
 
@@ -35,6 +36,17 @@ void EngineOptions::validate() const {
   GCALIB_EXPECTS_MSG(!(record_access && parallel()),
                      "engine options: access-edge recording requires a "
                      "sequential sweep (threads == 1)");
+}
+
+EngineOptions options_from_flags(const cli::ExecutionFlags& flags) {
+  const EngineOptions options =
+      EngineOptions{}
+          .with_threads(flags.threads)
+          .with_policy(parse_execution_policy(flags.policy))
+          .with_instrumentation(flags.instrumentation)
+          .with_record_access(flags.record_access);
+  options.validate();
+  return options;
 }
 
 }  // namespace gcalib::gca

@@ -26,6 +26,10 @@
 #include <cstddef>
 #include <string>
 
+namespace gcalib::cli {
+struct ExecutionFlags;  // common/cli.hpp
+}  // namespace gcalib::cli
+
 namespace gcalib::gca {
 
 /// How the per-generation sweep over cells executes.
@@ -86,5 +90,13 @@ struct EngineOptions {
   /// Throws ContractViolation when the combination is inconsistent.
   void validate() const;
 };
+
+/// Builds a *validated* EngineOptions from the shared CLI execution flags
+/// (common/cli.hpp carries the policy as its spelled name so common/ stays
+/// below gca/; this is the one conversion point).  Throws ContractViolation
+/// on inconsistent combinations — e.g. `--record-access` with a parallel
+/// policy — so the tools can reject them at parse time (exit 2) instead of
+/// asserting mid-run.
+[[nodiscard]] EngineOptions options_from_flags(const cli::ExecutionFlags& flags);
 
 }  // namespace gcalib::gca

@@ -17,7 +17,24 @@
 
 namespace gcalib::gca {
 
+/// Wall-clock timing of one lane (= chunk) of a parallel sweep.  Chunk w of
+/// the spawn backend always runs on thread w; the pool backend multiplexes
+/// chunks over its lanes but the chunk partition — and therefore this
+/// record's identity and cell range — is the same.
+struct LaneTiming {
+  unsigned lane = 0;              ///< chunk index of the sweep partition
+  std::uint64_t start_ns = 0;     ///< steady-clock stamp at chunk start
+  std::uint64_t duration_ns = 0;  ///< wall-clock of the chunk sweep
+  std::size_t cells = 0;          ///< cells swept by this chunk
+};
+
 /// Measurements of one engine step (one generation or sub-generation).
+///
+/// The logical counters (active cells, reads, congestion — the paper's
+/// Table 1 quantities) are bit-identical across all execution backends.
+/// The timing fields are wall-clock measurements filled only while a
+/// `MetricsSink` is attached to the engine (gca/metrics.hpp); they
+/// naturally vary between runs and backends.
 struct GenerationStats {
   std::uint64_t generation = 0;   ///< global step counter value
   std::string label;              ///< e.g. "gen2", "gen3.sub1"
@@ -30,9 +47,16 @@ struct GenerationStats {
   /// delta -> number of cells read exactly delta times (delta >= 1).
   std::map<std::size_t, std::size_t> congestion_classes;
 
-  /// Cells receiving no read this step (= cell_count - cells_read).
+  // --- wall-clock timing (zero unless a MetricsSink was attached) -------
+  std::uint64_t start_ns = 0;     ///< steady-clock stamp at sweep start
+  std::uint64_t duration_ns = 0;  ///< wall-clock of the whole step
+  std::vector<LaneTiming> lane_times;  ///< per-chunk timing (parallel sweeps)
+
+  /// Cells receiving no read this step (= cell_count - cells_read, clamped
+  /// to zero: a read override or hand-merged multi-field stats can push
+  /// cells_read past cell_count, and the difference must not wrap).
   [[nodiscard]] std::size_t cells_unread() const {
-    return cell_count - cells_read;
+    return cells_read < cell_count ? cell_count - cells_read : 0;
   }
 };
 

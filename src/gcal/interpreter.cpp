@@ -24,7 +24,8 @@ using Context = EvalContext;
 
 GcalRunResult Interpreter::run(const graph::Graph& g,
                                const GenerationHook& hook,
-                               gca::EngineOptions exec) const {
+                               gca::EngineOptions exec,
+                               gca::MetricsSink* sink) const {
   const graph::NodeId n = g.node_count();
   GcalRunResult result;
   if (n == 0) return result;
@@ -37,6 +38,9 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
     }
   }
   gca::Engine<Cell> engine(std::move(initial), exec.with_hands(1));
+  // Engine is local to this run, so the sink stays attached for its whole
+  // lifetime — no removal needed.
+  if (sink != nullptr) engine.add_sink(sink);
 
   const auto snapshot = [&]() {
     std::vector<std::uint64_t> d(engine.size());
@@ -48,6 +52,8 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
   const unsigned subs_rows = log2_ceil(n + 1);
   const auto run_generation = [&](const GenerationDef& generation,
                                   std::size_t sub) {
+    std::string label = generation.name;
+    if (generation.repeat) label += ".sub" + std::to_string(sub);
     const gca::GenerationStats stats = engine.step(
         [&](std::size_t index, auto& read) -> std::optional<Cell> {
           Context ctx;
@@ -89,14 +95,10 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
           next.e = new_e;
           return next;
         },
-        generation.name);
+        label);
     ++result.generations;
     result.max_congestion = std::max(result.max_congestion, stats.max_congestion);
-    if (hook) {
-      std::string label = generation.name;
-      if (generation.repeat) label += ".sub" + std::to_string(sub);
-      hook(label, snapshot());
-    }
+    if (hook) hook(label, snapshot());
   };
 
   const auto run_list = [&](const std::vector<GenerationDef>& generations) {

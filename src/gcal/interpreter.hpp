@@ -44,6 +44,10 @@
 #include "gcal/ast.hpp"
 #include "graph/graph.hpp"
 
+namespace gcalib::gca {
+class MetricsSink;
+}  // namespace gcalib::gca
+
 namespace gcalib::gcal {
 
 /// Thrown for semantic errors during execution (unknown variable, use of
@@ -80,9 +84,11 @@ class Interpreter {
   /// observes the field after every engine step.  `exec` selects the
   /// engine backend (`exec.hands` is overridden to 1 — gcal programs have
   /// a single pointer clause); a pool policy shares the process-wide
-  /// worker set.
+  /// worker set.  `sink` (optional, non-owning) receives timed per-step
+  /// statistics, labelled `name` / `name.subK` as in the hook.
   GcalRunResult run(const graph::Graph& g, const GenerationHook& hook = {},
-                    gca::EngineOptions exec = {}) const;
+                    gca::EngineOptions exec = {},
+                    gca::MetricsSink* sink = nullptr) const;
 
  private:
   const Program& program_;

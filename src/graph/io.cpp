@@ -87,13 +87,15 @@ Graph read_dimacs(std::istream& is) {
     std::istringstream ls(line);
     char tag = 0;
     ls >> tag;
+    std::string junk;
+    if (tag == 'c') continue;  // comment with leading whitespace
     if (tag == 'p') {
       if (have_header) {
         parse_fail("dimacs", lineno, "duplicate problem line");
       }
       std::string kind;
       std::size_t n = 0, m = 0;
-      if (!(ls >> kind >> n >> m) || kind != "edge") {
+      if (!(ls >> kind >> n >> m) || kind != "edge" || (ls >> junk)) {
         parse_fail("dimacs", lineno,
                    "bad problem line (expected \"p edge <n> <m>\")");
       }
@@ -104,7 +106,7 @@ Graph read_dimacs(std::istream& is) {
         parse_fail("dimacs", lineno, "edge line before the problem line");
       }
       std::size_t u = 0, v = 0;
-      if (!(ls >> u >> v)) {
+      if (!(ls >> u >> v) || (ls >> junk)) {
         parse_fail("dimacs", lineno, "bad edge line (expected \"e <u> <v>\")");
       }
       if (u == 0 || v == 0 || u > g.node_count() || v > g.node_count()) {

@@ -74,15 +74,31 @@ TEST(CliExecutionFlags, Defaults) {
   EXPECT_EQ(exec.threads, 1u);
   EXPECT_EQ(exec.policy, "pool");
   EXPECT_TRUE(exec.instrumentation);
+  EXPECT_FALSE(exec.record_access);
+  EXPECT_TRUE(exec.trace_out.empty());
+  EXPECT_TRUE(exec.metrics_out.empty());
+  EXPECT_FALSE(exec.wants_metrics());
 }
 
 TEST(CliExecutionFlags, ParsesAllFlags) {
   const cli::ExecutionFlags exec = cli::execution_flags(
       parse_exec({"--threads", "8", "--policy", "spawn",
-                  "--no-instrumentation", "--n", "4"}));
+                  "--no-instrumentation", "--record-access", "--n", "4",
+                  "--trace-out", "run.trace.json", "--metrics-out=m.csv"}));
   EXPECT_EQ(exec.threads, 8u);
   EXPECT_EQ(exec.policy, "spawn");
   EXPECT_FALSE(exec.instrumentation);
+  EXPECT_TRUE(exec.record_access);
+  EXPECT_EQ(exec.trace_out, "run.trace.json");
+  EXPECT_EQ(exec.metrics_out, "m.csv");
+  EXPECT_TRUE(exec.wants_metrics());
+}
+
+TEST(CliExecutionFlags, WantsMetricsWithEitherOutput) {
+  EXPECT_TRUE(cli::execution_flags(parse_exec({"--trace-out", "t.json"}))
+                  .wants_metrics());
+  EXPECT_TRUE(cli::execution_flags(parse_exec({"--metrics-out", "m.csv"}))
+                  .wants_metrics());
 }
 
 TEST(CliExecutionFlags, RejectsZeroThreads) {

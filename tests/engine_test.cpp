@@ -301,13 +301,29 @@ TEST(Engine, SetOptionsSwitchesBackendBetweenSteps) {
 }
 
 TEST(Engine, RecordAccessRequiresSequentialSweep) {
+  // The invalid combination is rejected when it is *formed* — by whichever
+  // setter arrives second — never mid-run from inside step().
   IntEngine engine(iota_states(64));
   engine.set_threads(4);
+  EXPECT_THROW(engine.set_record_access(true), ContractViolation);
+  // The rejected setter must not have modified the options.
+  EXPECT_FALSE(engine.options().record_access);
+  EXPECT_EQ(engine.options().threads, 4u);
+  EXPECT_NO_THROW(engine.step(
+      [](std::size_t, auto&) -> std::optional<int> { return 0; }));
+}
+
+TEST(Engine, ParallelThreadsRejectedAfterRecordAccess) {
+  // Same combination formed in the other order.
+  IntEngine engine(iota_states(64));
   engine.set_record_access(true);
-  EXPECT_THROW(engine.step([](std::size_t, auto&) -> std::optional<int> {
-    return 0;
-  }),
-               ContractViolation);
+  EXPECT_THROW(engine.set_threads(4), ContractViolation);
+  EXPECT_TRUE(engine.options().record_access);
+  EXPECT_EQ(engine.options().threads, 1u);
+  EXPECT_THROW(
+      engine.set_options(
+          EngineOptions{}.with_threads(2).with_record_access(true)),
+      ContractViolation);
 }
 
 TEST(Engine, MutableStateForHostInitialisation) {
@@ -346,6 +362,130 @@ TEST(Engine, ObserversSeePostStepStates) {
   EXPECT_EQ(engine.observer_count(), 0u);
   engine.step([](std::size_t, auto&) -> std::optional<int> { return 0; });
   EXPECT_EQ(calls, 1u);  // detached observers stay silent
+}
+
+std::optional<int> rotate4(std::size_t i, IntEngine::Reader& read) {
+  return read((i + 1) % 4);
+}
+
+TEST(Engine, ObserverRemovesItselfDuringCallback) {
+  IntEngine engine(iota_states(4));
+  std::size_t calls = 0;
+  std::size_t id = 0;
+  id = engine.add_observer([&](const IntEngine&, const GenerationStats&) {
+    ++calls;
+    engine.remove_observer(id);
+  });
+  engine.step(rotate4);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(engine.observer_count(), 0u);
+  engine.step(rotate4);
+  EXPECT_EQ(calls, 1u);  // removed during its own callback: never again
+}
+
+TEST(Engine, ObserverAddsObserverDuringCallback) {
+  // Additions from inside a callback take effect on the NEXT step.
+  IntEngine engine(iota_states(4));
+  std::size_t outer_calls = 0;
+  std::size_t inner_calls = 0;
+  engine.add_observer([&](const IntEngine&, const GenerationStats&) {
+    if (outer_calls++ == 0) {
+      engine.add_observer(
+          [&](const IntEngine&, const GenerationStats&) { ++inner_calls; });
+    }
+  });
+  engine.step(rotate4);
+  EXPECT_EQ(outer_calls, 1u);
+  EXPECT_EQ(inner_calls, 0u);  // not called on the step that added it
+  EXPECT_EQ(engine.observer_count(), 2u);
+  engine.step(rotate4);
+  EXPECT_EQ(outer_calls, 2u);
+  EXPECT_EQ(inner_calls, 1u);
+}
+
+TEST(Engine, ObserverRemovesLaterObserverDuringCallback) {
+  // Removals take effect immediately: an observer removed by an earlier
+  // callback of the same step is not called for that step.
+  IntEngine engine(iota_states(4));
+  std::size_t second_calls = 0;
+  std::size_t second_id = 0;
+  engine.add_observer([&](const IntEngine&, const GenerationStats&) {
+    engine.remove_observer(second_id);
+  });
+  second_id = engine.add_observer(
+      [&](const IntEngine&, const GenerationStats&) { ++second_calls; });
+  EXPECT_EQ(engine.observer_count(), 2u);
+  engine.step(rotate4);
+  EXPECT_EQ(second_calls, 0u);
+  EXPECT_EQ(engine.observer_count(), 1u);
+}
+
+TEST(Engine, StepFromObserverCallbackRejected) {
+  IntEngine engine(iota_states(4));
+  bool threw = false;
+  engine.add_observer([&](const IntEngine&, const GenerationStats&) {
+    try {
+      engine.step(rotate4);
+    } catch (const ContractViolation&) {
+      threw = true;
+    }
+  });
+  engine.step(rotate4);
+  EXPECT_TRUE(threw);
+  // The rejected re-entrant step must not have corrupted the notify state:
+  // the next step still reaches the observer.
+  threw = false;
+  engine.step(rotate4);
+  EXPECT_TRUE(threw);
+}
+
+TEST(Engine, CellsUnreadClampsWhenReadsExceedCells) {
+  // A hand-merged stats object (or a future counting bug) must not make
+  // cells_unread wrap around to ~0ULL.
+  GenerationStats stats;
+  stats.cell_count = 4;
+  stats.cells_read = 9;
+  EXPECT_EQ(stats.cells_unread(), 0u);
+  stats.cells_read = 4;
+  EXPECT_EQ(stats.cells_unread(), 0u);
+  stats.cells_read = 1;
+  EXPECT_EQ(stats.cells_unread(), 3u);
+}
+
+TEST(Engine, PoolStatsAtParallelBoundaryMatchSequential) {
+  // cells == 2*threads is the smallest field the parallel path accepts
+  // (below it the sweep falls back to sequential); the per-lane fold_counts
+  // merge must still reproduce the sequential statistics exactly, chunk
+  // boundaries and all.
+  const auto states = iota_states(6);
+  const auto rule = [](std::size_t i, auto& read) -> std::optional<int> {
+    if (i % 3 == 2) return std::nullopt;
+    return read(i % 2);  // cells 0/1 congested, two cells idle
+  };
+  IntEngine sequential(states);
+  const GenerationStats expected = sequential.step(rule);
+
+  IntEngine pooled(states);
+  pooled.set_options(
+      EngineOptions{}.with_threads(3).with_policy(ExecutionPolicy::kPool));
+  const GenerationStats actual = pooled.step(rule);
+
+  EXPECT_EQ(actual.active_cells, expected.active_cells);
+  EXPECT_EQ(actual.total_reads, expected.total_reads);
+  EXPECT_EQ(actual.cells_read, expected.cells_read);
+  EXPECT_EQ(actual.max_congestion, expected.max_congestion);
+  EXPECT_EQ(actual.congestion_classes, expected.congestion_classes);
+  EXPECT_EQ(pooled.states(), sequential.states());
+
+  // More threads than the field can use: falls back to sequential, same
+  // statistics again.
+  IntEngine oversubscribed(states);
+  oversubscribed.set_options(
+      EngineOptions{}.with_threads(16).with_policy(ExecutionPolicy::kPool));
+  const GenerationStats fallback = oversubscribed.step(rule);
+  EXPECT_EQ(fallback.total_reads, expected.total_reads);
+  EXPECT_EQ(fallback.congestion_classes, expected.congestion_classes);
+  EXPECT_EQ(oversubscribed.states(), sequential.states());
 }
 
 TEST(Engine, SnapshotRestoreRoundTrip) {

@@ -97,6 +97,24 @@ TEST(Io, EdgeListBlankLinesDoNotShiftNumbers) {
   EXPECT_NE(what.find("edge list line 4"), std::string::npos) << what;
 }
 
+TEST(Io, EdgeListCrlfAndTrailingWhitespace) {
+  // Windows line endings, trailing blanks and a blank trailing line all
+  // parse; the line accounting stays 1-based and unshifted.
+  std::stringstream ss("3 2\r\n0 1 \r\n1 2\t\r\n\r\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Io, EdgeListCrlfKeepsLineNumbers) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("3 2\r\n0 1\r\n0 9\r\n");
+    return read_edge_list(ss);
+  });
+  EXPECT_NE(what.find("edge list line 3"), std::string::npos) << what;
+}
+
 TEST(Io, DimacsRoundTrip) {
   const Graph g = random_gnp(15, 0.4, 9);
   std::stringstream ss;
@@ -156,6 +174,42 @@ TEST(Io, DimacsMissingHeaderReportsLine) {
   });
   EXPECT_NE(what.find("dimacs line 1"), std::string::npos) << what;
   EXPECT_NE(what.find("missing problem line"), std::string::npos) << what;
+}
+
+TEST(Io, DimacsCrlfAndIndentedComments) {
+  std::stringstream ss(
+      "c comment\r\n  c indented comment\r\np edge 3 2\r\ne 1 2 \r\n"
+      "\te 2 3\r\n\r\n");
+  const Graph g = read_dimacs(ss);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Io, DimacsJunkOnProblemLineReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("p edge 3 1 surprise\ne 1 2\n");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("bad problem line"), std::string::npos) << what;
+}
+
+TEST(Io, DimacsJunkOnEdgeLineReportsLine) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("p edge 3 2\ne 1 2\ne 2 3 0.5\n");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 3"), std::string::npos) << what;
+  EXPECT_NE(what.find("bad edge line"), std::string::npos) << what;
+}
+
+TEST(Io, DimacsCrlfKeepsLineNumbers) {
+  const std::string what = failure_message([] {
+    std::stringstream ss("c top\r\np edge 3 1\r\ne 1 9\r\n");
+    return read_dimacs(ss);
+  });
+  EXPECT_NE(what.find("dimacs line 3"), std::string::npos) << what;
 }
 
 TEST(Io, ParseMatrixBasic) {
