@@ -52,6 +52,56 @@ void BM_GcaHirschberg(benchmark::State& state) {
 }
 BENCHMARK(BM_GcaHirschberg)->RangeMultiplier(2)->Range(8, 256);
 
+// --- sweep-mode comparison: whole-field vs active-region scheduling ------
+//
+// The work-efficiency headline of the sparse sweep (ISSUE 4): identical
+// labels, but the engine only iterates each generation's ActiveRegion (and
+// dispatches the branch-free SoA kernels) instead of sweeping all n(n+1)
+// cells every step.  scripts/bench_engine.sh records both series and prints
+// the sparse-over-dense speedup per n.
+
+void gca_hirschberg_sweep(benchmark::State& state, gcalib::gca::SweepMode sweep,
+                          unsigned threads,
+                          gcalib::gca::ExecutionPolicy policy) {
+  const Graph g = dense_graph(state.range(0));
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.sweep = sweep;
+  options.threads = threads;
+  options.policy = policy;
+  for (auto _ : state) {
+    gcalib::core::HirschbergGca machine(g);
+    benchmark::DoNotOptimize(machine.run(options).labels.data());
+  }
+  state.counters["cells"] =
+      static_cast<double>(state.range(0) * (state.range(0) + 1));
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+void BM_GcaHirschbergDense(benchmark::State& state) {
+  gca_hirschberg_sweep(state, gcalib::gca::SweepMode::kDense, 1,
+                       gcalib::gca::ExecutionPolicy::kSequential);
+}
+BENCHMARK(BM_GcaHirschbergDense)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_GcaHirschbergSparse(benchmark::State& state) {
+  gca_hirschberg_sweep(state, gcalib::gca::SweepMode::kSparse, 1,
+                       gcalib::gca::ExecutionPolicy::kSequential);
+}
+BENCHMARK(BM_GcaHirschbergSparse)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_GcaHirschbergDensePool(benchmark::State& state) {
+  gca_hirschberg_sweep(state, gcalib::gca::SweepMode::kDense, 8,
+                       gcalib::gca::ExecutionPolicy::kPool);
+}
+BENCHMARK(BM_GcaHirschbergDensePool)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_GcaHirschbergSparsePool(benchmark::State& state) {
+  gca_hirschberg_sweep(state, gcalib::gca::SweepMode::kSparse, 8,
+                       gcalib::gca::ExecutionPolicy::kPool);
+}
+BENCHMARK(BM_GcaHirschbergSparsePool)->RangeMultiplier(2)->Range(64, 512);
+
 void gca_hirschberg_threaded(benchmark::State& state,
                              gcalib::gca::ExecutionPolicy policy) {
   const Graph g = dense_graph(state.range(0));

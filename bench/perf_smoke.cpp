@@ -1,0 +1,70 @@
+// perf_smoke — fast dense-vs-sparse performance guardrail.
+//
+// Runs the Hirschberg machine at n = 128 (uninstrumented, single thread) in
+// both sweep modes, takes the best of a few repetitions each, and exits
+// nonzero if the sparse active-region schedule is more than 10% slower than
+// the dense whole-field sweep — i.e. if the work-efficiency machinery ever
+// regresses into overhead.  Wired into scripts/check.sh as the "perf-smoke"
+// phase; it is a coarse tripwire (best-of-k, generous margin), not a
+// benchmark — scripts/bench_engine.sh measures the real speedups.
+//
+//   $ ./perf_smoke            # n = 128, 5 repetitions
+//   $ ./perf_smoke 256 9      # custom size / repetitions
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/hirschberg_gca.hpp"
+#include "gca/execution.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double best_run_ms(const gcalib::graph::Graph& g, gcalib::gca::SweepMode sweep,
+                   int reps) {
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.sweep = sweep;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    gcalib::core::HirschbergGca machine(g);
+    const auto start = Clock::now();
+    const auto result = machine.run(options);
+    const auto stop = Clock::now();
+    if (result.labels.empty()) std::abort();  // keep the run observable
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto n = static_cast<gcalib::graph::NodeId>(
+      argc > 1 ? std::stoul(argv[1]) : 128);
+  const int reps = argc > 2 ? std::stoi(argv[2]) : 5;
+  const gcalib::graph::Graph g = gcalib::graph::random_gnp(n, 0.5, 1);
+
+  const double dense = best_run_ms(g, gcalib::gca::SweepMode::kDense, reps);
+  const double sparse = best_run_ms(g, gcalib::gca::SweepMode::kSparse, reps);
+
+  std::printf("perf-smoke: n=%u, best of %d runs\n", n, reps);
+  std::printf("  dense  sweep: %8.3f ms\n", dense);
+  std::printf("  sparse sweep: %8.3f ms (%.2fx)\n", sparse,
+              sparse > 0.0 ? dense / sparse : 0.0);
+
+  if (sparse > dense * 1.10) {
+    std::fprintf(stderr,
+                 "perf-smoke FAILED: sparse sweep is %.1f%% slower than "
+                 "dense (allowed: 10%%)\n",
+                 (sparse / dense - 1.0) * 100.0);
+    return 1;
+  }
+  std::printf("perf-smoke: ok\n");
+  return 0;
+}

@@ -58,12 +58,16 @@ int main(int argc, char** argv) {
     int shown = 0;
     for (graph::NodeId v = 0; v < pads && shown < 6; ++v) {
       if (nets[v] == rep) {
-        members += "P" + std::to_string(v) + " ";
+        members += 'P';
+        members += std::to_string(v);
+        members += ' ';
         ++shown;
       }
     }
     if (size > 6) members += "...";
-    table.add_row({"N" + std::to_string(rep), std::to_string(size), members});
+    std::string net_name = "N";
+    net_name += std::to_string(rep);
+    table.add_row({net_name, std::to_string(size), members});
   }
   std::fputs(table.render().c_str(), stdout);
 

@@ -12,10 +12,13 @@
 //   $ ./gca_cc_tool --generate gnp:0.5 --n 128 --threads 4 --policy pool
 //
 // Algorithms: gca (default) | tree | ncells | pram | sv | unionfind | bfs
-// Execution flags (--threads, --policy, --no-instrumentation,
+// Execution flags (--threads, --policy, --sweep, --no-instrumentation,
 // --record-access, --trace-out, --metrics-out) steer the GCA engine backend
 // and its observability; invalid combinations (e.g. --record-access with
 // --threads 2) are rejected before the run with exit status 2.
+// --sweep sparse (default) sweeps only each generation's active region;
+// --sweep dense sweeps the whole field every step (verification mode) —
+// both produce bit-identical labels and logical statistics.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -87,6 +90,7 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
     options.instrument = exec.instrumentation;
     options.threads = exec.threads;
     options.policy = gca::parse_execution_policy(exec.policy);
+    options.sweep = gca::parse_sweep_mode(exec.sweep);
     options.record_access = exec.record_access;
     options.sink = trace;
     const core::RunResult r = machine.run(options);

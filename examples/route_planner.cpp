@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
 
   TextTable table({"town", "eccentricity [min]"});
   for (graph::NodeId u = 0; u < std::min<graph::NodeId>(towns, 8); ++u) {
-    table.add_row({"T" + std::to_string(u),
+    std::string town_name = "T";
+    town_name += std::to_string(u);
+    table.add_row({town_name,
                    std::to_string(static_cast<long long>(eccentricity[u]))});
   }
   std::fputs(table.render().c_str(), stdout);

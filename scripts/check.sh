@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Builds gcalib under a sanitizer configuration and runs the full test
-# suite (see README, "Sanitizer builds").
+# suite (see README, "Sanitizer builds"), then a perf-smoke pass from a
+# Release tree: the sparse active-region sweep must not be slower than the
+# dense whole-field sweep at n = 128 (>10% regression fails the check).
 #
-#   scripts/check.sh            # ASan + UBSan
+#   scripts/check.sh            # ASan + UBSan, then perf-smoke
 #   scripts/check.sh thread     # TSan (exercises the parallel sweep)
 #   scripts/check.sh address -R fault   # extra args go to ctest
+#   SKIP_PERF_SMOKE=1 scripts/check.sh  # sanitizers only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,7 +34,19 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # (Skipped when the caller passes its own ctest selection.)
 if [ "$#" -eq 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(Engine|Metrics|Trace|Cli|Io)[A-Za-z]*\.'
+    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity)[A-Za-z]*\.'
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
+
+# Perf smoke: timing under a sanitizer is meaningless, so this builds the
+# guardrail from a plain Release tree (shared with bench_engine.sh) and
+# fails if the sparse sweep regresses to >10% slower than dense at n = 128.
+if [ "${SKIP_PERF_SMOKE:-0}" != "1" ]; then
+  PERF_BUILD_DIR="${PERF_BUILD_DIR:-build-bench}"
+  if [ ! -d "$PERF_BUILD_DIR" ]; then
+    cmake -B "$PERF_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$PERF_BUILD_DIR" --target perf_smoke -j"$JOBS"
+  "$PERF_BUILD_DIR"/bench/perf_smoke 128
+fi

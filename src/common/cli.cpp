@@ -101,6 +101,7 @@ std::map<std::string, bool> with_execution_flags(
     std::map<std::string, bool> spec) {
   spec.emplace("threads", true);
   spec.emplace("policy", true);
+  spec.emplace("sweep", true);
   spec.emplace("no-instrumentation", false);
   spec.emplace("record-access", false);
   spec.emplace("trace-out", true);
@@ -116,6 +117,7 @@ ExecutionFlags execution_flags(const CliArgs& args) {
   }
   flags.threads = static_cast<unsigned>(threads);
   flags.policy = args.get_string("policy", flags.policy);
+  flags.sweep = args.get_string("sweep", flags.sweep);
   flags.instrumentation = !args.has("no-instrumentation");
   flags.record_access = args.has("record-access");
   flags.trace_out = args.get_string("trace-out", "");

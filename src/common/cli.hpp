@@ -48,18 +48,21 @@ namespace cli {
 /// observability are selectable uniformly across examples and benches:
 ///   --threads N            sweep width (default 1)
 ///   --policy NAME          sequential | spawn | pool (default "pool")
+///   --sweep MODE           dense | sparse (default "sparse"): whether the
+///                          engine honours per-generation active regions
 ///   --no-instrumentation   disable per-step congestion statistics
 ///   --record-access        record individual (reader, target) access edges
 ///                          (requires an effectively sequential sweep)
 ///   --trace-out FILE       write a Chrome trace_event JSON of the run
 ///   --metrics-out FILE     write per-step metrics (.json = JSON, else CSV)
-/// The policy is carried as its spelled name; convert with
-/// gca::parse_execution_policy (or build validated engine options with
-/// gca::options_from_flags) at the point of use — common/ stays below
-/// gca/ in the layering.
+/// The policy and sweep mode are carried as their spelled names; convert
+/// with gca::parse_execution_policy / gca::parse_sweep_mode (or build
+/// validated engine options with gca::options_from_flags) at the point of
+/// use — common/ stays below gca/ in the layering.
 struct ExecutionFlags {
   unsigned threads = 1;
   std::string policy = "pool";
+  std::string sweep = "sparse";
   bool instrumentation = true;
   bool record_access = false;
   std::string trace_out;    ///< empty = tracing disabled

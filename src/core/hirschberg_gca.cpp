@@ -5,6 +5,7 @@
 #include "common/bits.hpp"
 #include "core/schedule.hpp"
 #include "core/state_graph.hpp"
+#include "gca/kernels.hpp"
 #include "graph/labeling.hpp"
 
 namespace gcalib::core {
@@ -37,13 +38,57 @@ HirschbergGca::HirschbergGca(const graph::Graph& g)
           n_ > 0 ? build_field(g) : std::vector<Cell>(2), /*hands=*/1)) {}
 
 template <typename Rule>
-GenerationStats HirschbergGca::step_with(Rule&& rule, Generation g,
-                                         unsigned subgen) {
-  return engine_->step(std::forward<Rule>(rule), generation_label(g, subgen));
+GenerationStats HirschbergGca::step_with(Rule&& rule,
+                                         const gca::ActiveRegion& region,
+                                         Generation g, unsigned subgen) {
+  return engine_->step(std::forward<Rule>(rule), region,
+                       generation_label(g, subgen));
 }
 
 GenerationStats HirschbergGca::initialize() {
   return step_generation(Generation::kInit, 0);
+}
+
+gca::ActiveRegion HirschbergGca::region_for(Generation g, unsigned sub) const {
+  const std::size_t n = n_;
+  if (n == 0) return gca::ActiveRegion::full(engine_->size());
+  // Rows have pitch n; the square is rows [0, n), D_N is row n.
+  const auto rows = [n](std::size_t row_begin, std::size_t row_end,
+                        std::size_t col_begin, std::size_t col_end,
+                        std::size_t col_step = 1) {
+    return gca::ActiveRegion{row_begin, row_end, col_begin, col_end, col_step,
+                             n};
+  };
+  switch (g) {
+    case Generation::kInit:
+    case Generation::kCopyCToRows:
+    case Generation::kAdopt:
+      return rows(0, n + 1, 0, n);  // whole field, D_N included
+    case Generation::kMaskNeighbors:
+    case Generation::kCopyTToRows:
+    case Generation::kMaskMembers:
+      return rows(0, n, 0, n);  // the square
+    case Generation::kRowMin:
+    case Generation::kRowMin2: {
+      // Survivors of sub-generation `sub`: col % 2^(sub+1) == 0 with a
+      // partner col + 2^sub still inside the row.
+      const std::size_t offset = std::size_t{1} << sub;
+      return rows(0, n, 0, offset < n ? n - offset : 0, 2 * offset);
+    }
+    case Generation::kFallback:
+    case Generation::kFallback2:
+    case Generation::kPointerJump:
+    case Generation::kFinalMin:
+      return rows(0, n, 0, 1);  // column 0 of the square
+  }
+  GCALIB_ASSERT_MSG(false, "unreachable generation");
+  return gca::ActiveRegion::full(engine_->size());
+}
+
+bool HirschbergGca::fast_kernels_enabled() const {
+  const gca::EngineOptions& options = engine_->options();
+  return options.sweep == gca::SweepMode::kSparse && !options.instrumentation &&
+         !options.record_access && !engine_->has_read_override();
 }
 
 gca::GenerationStats HirschbergGca::step_generation(Generation g,
@@ -51,6 +96,85 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
   const std::size_t n = n_;
   const std::size_t nn = n * n;  // linear index of the first bottom-row cell
   const gca::FieldGeometry geo = geometry_;
+  const gca::ActiveRegion region = region_for(g, subgeneration);
+
+  // The O(n^2)-active generations dispatch to the bulk SoA kernels when
+  // nothing needs to observe individual reads (gca/kernels.hpp); the
+  // mediated uniform rule below remains the reference semantics and the
+  // only path under instrumentation, dense sweeps or fault interposers.
+  if (n > 0 && fast_kernels_enabled()) {
+    const auto& immutable = engine_->soa_immutable();
+    const auto& current = engine_->soa_current();
+    auto& next = engine_->soa_next();
+    const std::uint32_t* d = current.d.data();
+    std::uint32_t* d_out = next.d.data();
+    std::uint32_t* p_out = next.p.data();
+    const std::string label = generation_label(g, subgeneration);
+    switch (g) {
+      case Generation::kCopyCToRows:
+      case Generation::kCopyTToRows:
+        return engine_->step_bulk(
+            region,
+            [n, d, d_out, p_out](std::size_t k_begin, std::size_t k_end) {
+              gca::hirschberg_column_broadcast(n, d, d_out, p_out, k_begin,
+                                               k_end);
+            },
+            label);
+      case Generation::kMaskNeighbors: {
+        const std::uint32_t* a = immutable.a.data();
+        return engine_->step_bulk(
+            region,
+            [n, a, d, d_out, p_out](std::size_t k_begin, std::size_t k_end) {
+              gca::hirschberg_mask_neighbors(n, kInfData, a, d, d_out, p_out,
+                                             k_begin, k_end);
+            },
+            label);
+      }
+      case Generation::kMaskMembers:
+        return engine_->step_bulk(
+            region,
+            [n, d, d_out, p_out](std::size_t k_begin, std::size_t k_end) {
+              gca::hirschberg_mask_members(n, kInfData, d, d_out, p_out,
+                                           k_begin, k_end);
+            },
+            label);
+      case Generation::kRowMin:
+      case Generation::kRowMin2: {
+        const std::size_t offset = std::size_t{1} << subgeneration;
+        return engine_->step_bulk(
+            region,
+            [n, offset, d, d_out, p_out](std::size_t k_begin,
+                                         std::size_t k_end) {
+              gca::hirschberg_row_min(n, offset, d, d_out, p_out, k_begin,
+                                      k_end);
+            },
+            label);
+      }
+      case Generation::kAdopt:
+        return engine_->step_bulk(
+            region,
+            [n, d, d_out, p_out](std::size_t k_begin, std::size_t k_end) {
+              gca::hirschberg_adopt(n, d, d_out, p_out, k_begin, k_end);
+            },
+            label);
+      case Generation::kPointerJump: {
+        const std::size_t cells = engine_->size();
+        return engine_->step_bulk(
+            region,
+            [n, cells, d, d_out, p_out](std::size_t k_begin,
+                                        std::size_t k_end) {
+              gca::hirschberg_pointer_jump(n, cells, d, d_out, p_out, k_begin,
+                                           k_end);
+            },
+            label);
+      }
+      case Generation::kInit:
+      case Generation::kFallback:
+      case Generation::kFallback2:
+      case Generation::kFinalMin:
+        break;  // O(n)-active (or run-once): the mediated rule is fine
+    }
+  }
 
   switch (g) {
     case Generation::kInit:
@@ -64,7 +188,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(index);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kCopyCToRows:
       // p = col(index) * n; d <- d*.  Copies C (column 0) into every row of
@@ -77,7 +201,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kMaskNeighbors:
       // Square only.  p = n^2 + row; keep d iff (d != d* && A == 1).
@@ -93,7 +217,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kRowMin:
     case Generation::kRowMin2: {
@@ -114,7 +238,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, subgeneration);
+          region, g, subgeneration);
     }
 
     case Generation::kFallback:
@@ -134,7 +258,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kCopyTToRows:
       // Square only: p = col * n; d <- d*.  D_N keeps C.
@@ -148,7 +272,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kMaskMembers:
       // Square only.  p = n^2 + col (paper erratum: printed as n^2 + row;
@@ -165,7 +289,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kAdopt:
       // Square: p = row * n (copy T(j) = column 0 across the row).
@@ -182,7 +306,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
 
     case Generation::kPointerJump:
       // Column 0 of the square; data-dependent pointer p = d * n, so the
@@ -200,7 +324,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, subgeneration);
+          region, g, subgeneration);
 
     case Generation::kFinalMin:
       // Column 0 of the square; p = d * n + 1 reads T(C(j)) (columns >= 1
@@ -219,7 +343,7 @@ gca::GenerationStats HirschbergGca::step_generation(Generation g,
             next.p = static_cast<std::uint32_t>(p);
             return next;
           },
-          g, 0);
+          region, g, 0);
   }
   GCALIB_ASSERT_MSG(false, "unreachable generation");
   return GenerationStats{};
@@ -272,7 +396,8 @@ RunResult HirschbergGca::run(const RunOptions& options) {
                                             ? options.policy
                                             : gca::ExecutionPolicy::kSequential)
                            .with_instrumentation(options.instrument)
-                           .with_record_access(options.record_access));
+                           .with_record_access(options.record_access)
+                           .with_sweep(options.sweep));
 
   if (n_ == 0) return result;
 

@@ -41,6 +41,74 @@ struct Cell {
 /// The infinity sentinel of the min computations.
 inline constexpr std::uint32_t kInfData = std::numeric_limits<std::uint32_t>::max();
 
+}  // namespace gcalib::core
+
+namespace gcalib::gca {
+
+/// SoA layout for the Hirschberg cell (DESIGN.md §9): the adjacency bit is
+/// written once at initialisation (and by fault injection through
+/// `Engine::set_state`), so only `d` and `p` are double-buffered.  Three
+/// contiguous 32-bit arrays replace the array-of-structs vector; the bulk
+/// kernels in gca/kernels.hpp run directly over them.
+template <>
+struct SoaLayout<core::Cell> {
+  static constexpr bool kEnabled = true;
+
+  struct Immutable {
+    std::vector<std::uint32_t> a;
+  };
+  struct Mutable {
+    std::vector<std::uint32_t> d;
+    std::vector<std::uint32_t> p;
+  };
+
+  static void init(const std::vector<core::Cell>& cells, Immutable& immutable,
+                   Mutable& mutable_part) {
+    const std::size_t count = cells.size();
+    immutable.a.resize(count);
+    mutable_part.d.resize(count);
+    mutable_part.p.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      immutable.a[i] = cells[i].a;
+      mutable_part.d[i] = cells[i].d;
+      mutable_part.p[i] = cells[i].p;
+    }
+  }
+  static void resize(Mutable& mutable_part, std::size_t count) {
+    mutable_part.d.resize(count);
+    mutable_part.p.resize(count);
+  }
+  [[nodiscard]] static std::size_t size(const Mutable& mutable_part) {
+    return mutable_part.d.size();
+  }
+  [[nodiscard]] static core::Cell load(const Immutable& immutable,
+                                       const Mutable& mutable_part,
+                                       std::size_t i) {
+    return core::Cell{immutable.a[i], mutable_part.d[i], mutable_part.p[i]};
+  }
+  static void store(const Immutable& immutable, Mutable& mutable_part,
+                    std::size_t i, const core::Cell& value) {
+    GCALIB_ASSERT_MSG(value.a == immutable.a[i],
+                      "rules must not modify the immutable adjacency bit");
+    mutable_part.d[i] = value.d;
+    mutable_part.p[i] = value.p;
+  }
+  static void store_host(Immutable& immutable, Mutable& mutable_part,
+                         std::size_t i, const core::Cell& value) {
+    immutable.a[i] = value.a;
+    mutable_part.d[i] = value.d;
+    mutable_part.p[i] = value.p;
+  }
+  static void copy(const Mutable& from, Mutable& to, std::size_t i) {
+    to.d[i] = from.d[i];
+    to.p[i] = from.p[i];
+  }
+};
+
+}  // namespace gcalib::gca
+
+namespace gcalib::core {
+
 /// Identifies one engine step within a run.
 struct StepId {
   unsigned iteration = 0;      ///< outer iteration (0-based); 0 for gen 0
@@ -79,6 +147,11 @@ struct RunOptions {
   /// Sweep backend for threads > 1 (default: the persistent shared pool;
   /// kSpawn recreates the legacy spawn-per-generation behaviour).
   gca::ExecutionPolicy policy = gca::ExecutionPolicy::kPool;
+  /// Whether the engine honours the per-generation active regions of the
+  /// Figure-2 state machine (kSparse, the default: work proportional to
+  /// the active cells) or sweeps the whole field every generation (kDense:
+  /// the verification mode — bit-identical states and logical stats).
+  gca::SweepMode sweep = gca::SweepMode::kSparse;
   /// Paranoid mode: validates machine invariants after every outer
   /// iteration (labels are node ids, component count never increases) and
   /// the final labeling against a sequential oracle.  Throws
@@ -172,6 +245,12 @@ class HirschbergGca {
   /// As above, with fault-injection hooks around every step.
   void run_iteration(unsigned iteration, const StepHooks& hooks);
 
+  /// The active region generation `g` (sub-generation `sub`) advertises to
+  /// the engine — straight from the Figure-2 state machine: the exact set
+  /// of cells whose rule can activate (full field, square, column 0, or
+  /// the strided survivor set of a tree-reduction sub-generation).
+  [[nodiscard]] gca::ActiveRegion region_for(Generation g, unsigned sub) const;
+
   /// Current C vector (column 0 of the square field).
   [[nodiscard]] std::vector<graph::NodeId> current_labels() const;
 
@@ -186,7 +265,15 @@ class HirschbergGca {
 
  private:
   template <typename Rule>
-  gca::GenerationStats step_with(Rule&& rule, Generation g, unsigned subgen);
+  gca::GenerationStats step_with(Rule&& rule, const gca::ActiveRegion& region,
+                                 Generation g, unsigned subgen);
+
+  /// True when generations may dispatch to the bulk SoA kernels
+  /// (gca/kernels.hpp) instead of the mediated uniform rule: sparse sweeps
+  /// with no instrumentation, no access recording and no read override
+  /// (the kernels bypass read mediation, so anything that observes
+  /// individual reads forces the rule path).
+  [[nodiscard]] bool fast_kernels_enabled() const;
 
   graph::NodeId n_;
   gca::FieldGeometry geometry_;

@@ -38,6 +38,7 @@ QueryResult Runner::solve(const graph::Graph& g) const {
   run_options.instrument = options_.instrument;
   run_options.threads = options_.threads;
   run_options.policy = options_.policy;
+  run_options.sweep = options_.sweep;
   run_options.sink = options_.sink;
   return solve_query(g, run_options);
 }
@@ -47,6 +48,7 @@ std::vector<QueryResult> Runner::solve_batch(
   std::vector<QueryResult> results(graphs.size());
   RunOptions run_options;
   run_options.instrument = options_.instrument;
+  run_options.sweep = options_.sweep;
   run_options.sink = options_.sink;  // thread-safe sink; lanes push concurrently
   // Lanes parallelise across queries, so each query sweeps sequentially.
   run_options.threads = 1;

@@ -39,6 +39,9 @@ struct RunnerOptions {
   /// Backend for the per-query sweep in `solve`; `solve_batch` uses the
   /// pool across queries whenever the policy is kPool and threads > 1.
   gca::ExecutionPolicy policy = gca::ExecutionPolicy::kPool;
+  /// Sweep strategy for every query: sparse sweeps only each generation's
+  /// active region, dense the whole field.  Bit-identical results either way.
+  gca::SweepMode sweep = gca::SweepMode::kSparse;
   bool instrument = false;  ///< collect per-step statistics per query
   /// Metrics sink shared by every query (non-owning; nullptr = no tracing).
   /// `solve_batch` pushes steps from all pool lanes concurrently, so the

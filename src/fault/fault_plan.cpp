@@ -180,18 +180,22 @@ void Injector::before_step(core::HirschbergGca& machine,
                        "fault event addresses a cell outside the field");
     switch (event.kind) {
       case FaultKind::kBitFlip: {
-        core::Cell& victim = engine.mutable_state(event.cell);
+        core::Cell victim = engine.state(event.cell);
         switch (event.reg) {
           case CellRegister::kA: victim.a ^= event.mask; break;
           case CellRegister::kD: victim.d ^= event.mask; break;
           case CellRegister::kP: victim.p ^= event.mask; break;
         }
+        engine.set_state(event.cell, victim);
         break;
       }
-      case FaultKind::kStuckCell:
-        engine.mutable_state(event.cell).d = event.stuck_value;
+      case FaultKind::kStuckCell: {
+        core::Cell victim = engine.state(event.cell);
+        victim.d = event.stuck_value;
+        engine.set_state(event.cell, victim);
         pins_.push_back(Pin{event.cell, event.stuck_value, event.stuck_steps});
         break;
+      }
       case FaultKind::kDroppedRead:
         active_reads_[event.cell] =
             ReadFault{event.kind, event.mode, 0};
@@ -217,7 +221,9 @@ void Injector::after_step(core::HirschbergGca& machine,
   // Stuck cells overwrite whatever the step just latched.
   gca::Engine<core::Cell>& engine = machine.engine();
   std::erase_if(pins_, [&engine](Pin& pin) {
-    engine.mutable_state(pin.cell).d = pin.value;
+    core::Cell victim = engine.state(pin.cell);
+    victim.d = pin.value;
+    engine.set_state(pin.cell, victim);
     return --pin.remaining == 0;
   });
 }
@@ -233,19 +239,19 @@ void Injector::sync_read_override(core::HirschbergGca& machine) {
   }
   engine.set_read_override(
       [this, &engine](std::size_t reader,
-                      std::size_t /*target*/) -> const core::Cell* {
+                      std::size_t /*target*/) -> std::optional<core::Cell> {
         const auto it = active_reads_.find(reader);
-        if (it == active_reads_.end()) return nullptr;
+        if (it == active_reads_.end()) return std::nullopt;
         const ReadFault& fault = it->second;
         if (fault.kind == FaultKind::kWrongPointer) {
-          return &engine.state(fault.redirect_to);
+          return engine.state(fault.redirect_to);
         }
         switch (fault.mode) {
-          case DroppedReadMode::kZeroed: return &zeroed_;
-          case DroppedReadMode::kAllOnes: return &all_ones_;
-          case DroppedReadMode::kStale: return &engine.state(reader);
+          case DroppedReadMode::kZeroed: return zeroed_;
+          case DroppedReadMode::kAllOnes: return all_ones_;
+          case DroppedReadMode::kStale: return engine.state(reader);
         }
-        return nullptr;
+        return std::nullopt;
       });
   override_installed_ = true;
 }

@@ -14,20 +14,42 @@
 //    inactive this generation (keeps its state and performs no data
 //    operation), matching Table 1's "active cells" accounting.
 //
+// Work-efficient sweeps (DESIGN.md §9): a rule may advertise a per-step
+// `ActiveRegion` — a superset of the cells that can activate.  Under the
+// sparse sweep mode (the default) the engine iterates, chunks and commits
+// only that region; every other cell implicitly carries its state, exactly
+// what an inactive rule invocation would have produced.  Under the dense
+// mode the region is ignored and the whole field sweeps — states, history
+// and the logical (Table-1) statistics are bit-identical either way; only
+// the physical `cells_swept` counter and timings differ.
+//
+// Storage layout: by default cells live in one `std::vector<State>` (AoS).
+// A `State` type can opt into a struct-of-arrays layout by specialising
+// `SoaLayout<State>`, splitting the state into an immutable part (written
+// only by host-side `set_state`) and a double-buffered mutable part.  The
+// accessor API is unchanged except that `state(i)`/reads return the state
+// *by value* and `mutable_state` is unavailable (use `set_state`).  SoA
+// engines additionally support `step_bulk`: an un-mediated generation whose
+// kernel writes the next-state arrays directly (gca/kernels.hpp).
+//
 // Execution is configured through `EngineOptions` (gca/execution.hpp):
 // the sweep runs sequentially, on freshly spawned threads (legacy), or on
 // a persistent shared worker pool (gca/thread_pool.hpp).  Cells are
 // independent within a generation, so the parallel sweeps are
 // embarrassingly parallel; instrumentation is merged per-worker in lane
-// order, which keeps all three backends bit-identical.  Per-worker scratch
-// (congestion counts, active counters) persists across steps, so a
-// steady-state pool step performs no allocation and no thread creation.
+// order, and all backends partition the active index set into the same
+// contiguous chunks, which keeps the three backends bit-identical.
+// Per-worker scratch (congestion counts, active counters) persists across
+// steps, so a steady-state pool step performs no allocation and no thread
+// creation.
 //
 // Robustness extension points (used by src/fault/):
 //  * observers — callbacks invoked after every completed step, with the
 //    post-step states visible (invariant monitors register here);
 //  * snapshot()/restore() — copy-out/copy-in of the full cell state for
-//    checkpoint/rollback recovery;
+//    checkpoint/rollback recovery (SoA engines snapshot the SoA buffers,
+//    immutable part included, so a bit flip injected into the immutable
+//    register is also rolled back);
 //  * a read override — an interposer consulted on every mediated global
 //    read, which models faulty reads (dropped or misrouted accesses)
 //    without touching the rules.
@@ -49,6 +71,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -68,14 +91,146 @@ struct AccessEdge {
   friend auto operator<=>(const AccessEdge&, const AccessEdge&) = default;
 };
 
+/// Customisation point: opt a `State` type into the struct-of-arrays field
+/// layout.  The primary template keeps the array-of-structs vector; a
+/// specialisation with `kEnabled = true` must provide
+///
+///   struct Immutable;  // arrays written only by host-side set_state
+///   struct Mutable;    // arrays double-buffered across generations
+///   static void init(const std::vector<State>&, Immutable&, Mutable&);
+///   static void resize(Mutable&, std::size_t);
+///   static std::size_t size(const Mutable&);
+///   static State load(const Immutable&, const Mutable&, std::size_t);
+///   static void store(const Immutable&, Mutable&, std::size_t,
+///                     const State&);   // mutable part only; asserts the
+///                                      // immutable part was not changed
+///   static void store_host(Immutable&, Mutable&, std::size_t,
+///                          const State&);  // all registers (host mutation)
+///   static void copy(const Mutable& from, Mutable& to, std::size_t);
+///
+/// (core/hirschberg_gca.hpp specialises this for core::Cell: `a` is
+/// immutable after initialisation, `d`/`p` are double-buffered.)
+template <typename State>
+struct SoaLayout {
+  static constexpr bool kEnabled = false;
+};
+
+namespace detail {
+
+/// Cell storage behind the engine: AoS primary, SoA specialisation.  Both
+/// expose the same interface; `ReadResult` is `const State&` for AoS and
+/// `State` (by value, composed from the arrays) for SoA.
+template <typename State, bool kSoa>
+class FieldStore;
+
+template <typename State>
+class FieldStore<State, false> {
+ public:
+  using ReadResult = const State&;
+  using SnapshotData = std::vector<State>;
+
+  explicit FieldStore(std::vector<State> initial)
+      : cells_(std::move(initial)), next_(cells_.size()) {}
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const State& read(std::size_t i) const { return cells_[i]; }
+  [[nodiscard]] const std::vector<State>& states() const { return cells_; }
+  [[nodiscard]] State& mutable_ref(std::size_t i) { return cells_[i]; }
+  void set_state(std::size_t i, const State& value) { cells_[i] = value; }
+  void write_next(std::size_t i, State value) { next_[i] = std::move(value); }
+  void carry_next(std::size_t i) { next_[i] = cells_[i]; }
+  void commit_full() { cells_.swap(next_); }
+  void commit_index(std::size_t i) { cells_[i] = next_[i]; }
+  [[nodiscard]] SnapshotData snapshot() const { return cells_; }
+  void restore(const SnapshotData& data) { cells_ = data; }
+  [[nodiscard]] static std::size_t snapshot_size(const SnapshotData& data) {
+    return data.size();
+  }
+
+ private:
+  std::vector<State> cells_;
+  std::vector<State> next_;
+};
+
+template <typename State>
+class FieldStore<State, true> {
+  using Layout = SoaLayout<State>;
+
+ public:
+  using ReadResult = State;
+  struct SnapshotData {
+    typename Layout::Immutable immutable;
+    typename Layout::Mutable current;
+  };
+
+  explicit FieldStore(std::vector<State> initial) : size_(initial.size()) {
+    Layout::init(initial, immutable_, current_);
+    Layout::resize(next_, size_);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] State read(std::size_t i) const {
+    return Layout::load(immutable_, current_, i);
+  }
+  [[nodiscard]] std::vector<State> states() const {
+    std::vector<State> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(read(i));
+    return out;
+  }
+  void set_state(std::size_t i, const State& value) {
+    Layout::store_host(immutable_, current_, i, value);
+  }
+  void write_next(std::size_t i, const State& value) {
+    Layout::store(immutable_, next_, i, value);
+  }
+  void carry_next(std::size_t i) { Layout::copy(current_, next_, i); }
+  void commit_full() { std::swap(current_, next_); }
+  void commit_index(std::size_t i) { Layout::copy(next_, current_, i); }
+  [[nodiscard]] SnapshotData snapshot() const {
+    return SnapshotData{immutable_, current_};
+  }
+  void restore(const SnapshotData& data) {
+    immutable_ = data.immutable;
+    current_ = data.current;
+  }
+  [[nodiscard]] static std::size_t snapshot_size(const SnapshotData& data) {
+    return Layout::size(data.current);
+  }
+
+  // Raw array access for bulk kernels (step_bulk).
+  [[nodiscard]] const typename Layout::Immutable& immutable() const {
+    return immutable_;
+  }
+  [[nodiscard]] const typename Layout::Mutable& current() const {
+    return current_;
+  }
+  [[nodiscard]] typename Layout::Mutable& next() { return next_; }
+
+ private:
+  std::size_t size_;
+  typename Layout::Immutable immutable_;
+  typename Layout::Mutable current_;
+  typename Layout::Mutable next_;
+};
+
+}  // namespace detail
+
 template <typename State>
 class Engine {
+  static constexpr bool kSoa = SoaLayout<State>::kEnabled;
+  using Store = detail::FieldStore<State, kSoa>;
+
  public:
+  /// What a mediated read (and `state(i)`) returns: a reference into the
+  /// field for AoS states, a by-value composite for SoA states.
+  using ReadResult = typename Store::ReadResult;
+
   /// Primary constructor: engine over the given initial cell states,
   /// configured by a validated `EngineOptions` aggregate.
   Engine(std::vector<State> initial, EngineOptions options)
-      : cells_(std::move(initial)), next_(cells_.size()) {
-    GCALIB_EXPECTS_MSG(!cells_.empty(), "engine requires at least one cell");
+      : store_(std::move(initial)) {
+    GCALIB_EXPECTS_MSG(store_.size() > 0, "engine requires at least one cell");
     set_options(options);
   }
 
@@ -85,7 +240,7 @@ class Engine {
   explicit Engine(std::vector<State> initial, std::size_t hands = 1)
       : Engine(std::move(initial), EngineOptions{}.with_hands(hands)) {}
 
-  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
   [[nodiscard]] std::size_t hands() const { return options_.hands; }
   [[nodiscard]] std::uint64_t generation() const { return generation_; }
 
@@ -101,16 +256,32 @@ class Engine {
     acquire_pool();
   }
 
-  [[nodiscard]] const State& state(std::size_t i) const {
-    GCALIB_EXPECTS(i < cells_.size());
-    return cells_[i];
+  [[nodiscard]] ReadResult state(std::size_t i) const {
+    GCALIB_EXPECTS(i < store_.size());
+    return store_.read(i);
   }
-  [[nodiscard]] const std::vector<State>& states() const { return cells_; }
+
+  /// All cell states.  A reference to the backing vector for AoS engines;
+  /// a freshly composed vector (by value) for SoA engines — either way the
+  /// result compares with `==` against another engine's states.
+  [[nodiscard]] decltype(auto) states() const { return store_.states(); }
 
   /// Host-side mutation (initialisation only; not part of the GCA model).
-  State& mutable_state(std::size_t i) {
-    GCALIB_EXPECTS(i < cells_.size());
-    return cells_[i];
+  /// AoS engines only — an SoA state has no single storage location to
+  /// reference.  Use `set_state` for layout-agnostic host writes.
+  [[nodiscard]] State& mutable_state(std::size_t i)
+    requires(!kSoa)
+  {
+    GCALIB_EXPECTS(i < store_.size());
+    return store_.mutable_ref(i);
+  }
+
+  /// Host-side write of a full cell state (works for both layouts; on SoA
+  /// engines this is the only way to change the immutable registers, which
+  /// is exactly what fault injection needs).
+  void set_state(std::size_t i, const State& value) {
+    GCALIB_EXPECTS(i < store_.size());
+    store_.set_state(i, value);
   }
 
   // --- legacy setters (deprecated: prefer EngineOptions/set_options) ----
@@ -147,7 +318,9 @@ class Engine {
     set_options(next);
   }
 
-  /// Active-cell mask of the most recent step.
+  /// Active-cell mask of the most recent step.  Maintained only while
+  /// instrumentation is enabled (a full-field mask would defeat the
+  /// sparse sweep's work bound); empty otherwise.
   [[nodiscard]] const std::vector<std::uint8_t>& last_active() const {
     return last_active_;
   }
@@ -246,28 +419,32 @@ class Engine {
 
   /// Full copy of the mutable machine state, sufficient to re-execute from
   /// this point (instrumentation history is append-only and not part of it).
+  /// For SoA engines `cells` holds the SoA buffers — immutable registers
+  /// included, so restore() also rolls back host-injected corruption.
   struct Snapshot {
-    std::vector<State> cells;
+    typename Store::SnapshotData cells;
     std::uint64_t generation = 0;
   };
 
-  [[nodiscard]] Snapshot snapshot() const { return Snapshot{cells_, generation_}; }
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{store_.snapshot(), generation_};
+  }
 
   /// Rolls the engine back to a snapshot taken on this engine (same field).
   void restore(const Snapshot& snap) {
-    GCALIB_EXPECTS_MSG(snap.cells.size() == cells_.size(),
+    GCALIB_EXPECTS_MSG(Store::snapshot_size(snap.cells) == store_.size(),
                        "snapshot does not match this engine's field");
-    cells_ = snap.cells;
+    store_.restore(snap.cells);
     generation_ = snap.generation;
   }
 
   /// Fault-injection interposer: consulted on every mediated read.  Return
-  /// nullptr to let the read proceed normally; otherwise the returned state
-  /// is observed instead of the addressed neighbour.  The pointer must stay
-  /// valid for the remainder of the step.  Must be thread-safe when a
-  /// parallel sweep is enabled (treat it as read-only during a step).
-  using ReadOverride =
-      std::function<const State*(std::size_t reader, std::size_t target)>;
+  /// nullopt to let the read proceed normally; otherwise the returned state
+  /// is observed instead of the addressed neighbour.  Must be thread-safe
+  /// when a parallel sweep is enabled (treat it as read-only during a
+  /// step).
+  using ReadOverride = std::function<std::optional<State>(std::size_t reader,
+                                                          std::size_t target)>;
 
   void set_read_override(ReadOverride override) {
     read_override_ = std::move(override);
@@ -280,19 +457,28 @@ class Engine {
   class Reader {
    public:
     /// Returns the state of `target` as of the *previous* generation.
-    const State& operator()(std::size_t target) {
-      GCALIB_EXPECTS(target < engine_.cells_.size());
+    /// For AoS engines the reference stays valid until this Reader's next
+    /// read (an override lands in a slot inside the Reader); SoA engines
+    /// return by value.
+    ReadResult operator()(std::size_t target) {
+      GCALIB_EXPECTS(target < engine_.store_.size());
       GCALIB_EXPECTS_MSG(reads_ < engine_.options_.hands,
                          "cell exceeded its k-handed read budget");
       ++reads_;
       if (counts_ != nullptr) ++(*counts_)[target];
       if (edges_ != nullptr) edges_->push_back(AccessEdge{self_, target});
       if (engine_.read_override_) {
-        if (const State* faulty = engine_.read_override_(self_, target)) {
-          return *faulty;
+        if (std::optional<State> faulty =
+                engine_.read_override_(self_, target)) {
+          if constexpr (std::is_reference_v<ReadResult>) {
+            override_slot_ = *std::move(faulty);
+            return *override_slot_;
+          } else {
+            return *std::move(faulty);
+          }
         }
       }
-      return engine_.cells_[target];
+      return engine_.store_.read(target);
     }
 
     /// Reads performed so far by this cell in this generation.
@@ -309,43 +495,103 @@ class Engine {
     std::size_t reads_ = 0;
     std::vector<std::size_t>* counts_;
     std::vector<AccessEdge>* edges_;
+    std::optional<State> override_slot_;  ///< backs overridden AoS reads
   };
 
-  /// Executes one synchronous generation.
+  /// Executes one synchronous generation over the whole field.
   /// `rule(index, reader) -> std::optional<State>`; `nullopt` keeps the old
   /// state and marks the cell inactive.
   template <typename Rule>
   GenerationStats step(Rule&& rule, std::string label = {}) {
+    return step(std::forward<Rule>(rule), ActiveRegion::full(store_.size()),
+                std::move(label));
+  }
+
+  /// Executes one synchronous generation whose rule promises that every
+  /// cell outside `region` is inactive (returns nullopt without reading).
+  /// Under the sparse sweep mode only the region is iterated; under the
+  /// dense mode the whole field sweeps.  Both produce identical states and
+  /// logical statistics — the region is validated, the promise is not
+  /// (run a dense sweep to check a suspect region, see DESIGN.md §9).
+  template <typename Rule>
+  GenerationStats step(Rule&& rule, const ActiveRegion& region,
+                       std::string label = {}) {
+    validate_region(region);
+    const bool sparse = options_.sweep == SweepMode::kSparse;
+    return run_step(rule,
+                    sparse ? region : ActiveRegion::full(store_.size()),
+                    std::move(label));
+  }
+
+  // --- bulk (kernel) steps — SoA engines only ---------------------------
+
+  /// Raw SoA arrays for bulk kernels: the immutable registers, the current
+  /// generation (read-only during a step) and the next-generation buffers
+  /// (`SoaLayout<State>::Immutable` / `::Mutable`).
+  [[nodiscard]] const auto& soa_immutable() const
+    requires kSoa
+  {
+    return store_.immutable();
+  }
+  [[nodiscard]] const auto& soa_current() const
+    requires kSoa
+  {
+    return store_.current();
+  }
+  [[nodiscard]] auto& soa_next()
+    requires kSoa
+  {
+    return store_.next();
+  }
+
+  /// Executes one generation as a bulk kernel: `bulk(k_begin, k_end)` must
+  /// write the next state of every region cell at enumeration positions
+  /// [k_begin, k_end) straight into `soa_next()`, reading `soa_current()` /
+  /// `soa_immutable()`.  The kernel bypasses read mediation entirely, so
+  /// bulk steps are rejected while instrumentation, access recording or a
+  /// read override is active — the caller falls back to the equivalent
+  /// mediated rule in those configurations.  Every region cell counts as
+  /// active (bulk kernels implement generations whose region is exactly
+  /// the active set).
+  template <typename Bulk>
+  GenerationStats step_bulk(const ActiveRegion& region, Bulk&& bulk,
+                            std::string label = {})
+    requires kSoa
+  {
     GCALIB_EXPECTS_MSG(!notifying_,
-                       "Engine::step must not be called from an observer or "
-                       "metrics-sink callback");
+                       "Engine::step_bulk must not be called from an observer "
+                       "or metrics-sink callback");
+    GCALIB_EXPECTS_MSG(
+        !options_.instrumentation && !options_.record_access &&
+            !read_override_,
+        "bulk steps bypass read mediation; disable instrumentation, access "
+        "recording and read overrides or use the mediated rule");
+    validate_region(region);
     GenerationStats stats;
     stats.generation = generation_;
     stats.label = std::move(label);
-    stats.cell_count = cells_.size();
-
-    last_active_.assign(cells_.size(), 0);
+    stats.cell_count = store_.size();
+    const std::size_t work = region.count();
+    stats.cells_swept = work;
+    stats.active_cells = work;
+    last_active_.clear();
     last_access_.clear();
 
-    // Timing runs only while a sink is attached, so the un-instrumented
-    // hot path performs no clock reads.
     const bool timed = !sinks_.empty();
     const std::uint64_t sweep_start = timed ? now_ns() : 0;
 
     const unsigned t = options_.threads;
-    if (!options_.parallel() || cells_.size() < 2 * t) {
-      if (options_.instrumentation) scratch_count(0).assign(cells_.size(), 0);
-      sweep_range(rule, 0, cells_.size(),
-                  options_.instrumentation ? &scratch_count(0) : nullptr,
-                  options_.record_access ? &last_access_ : nullptr,
-                  stats.active_cells);
-      if (options_.instrumentation) fold_counts(scratch_count(0), stats);
+    if (!options_.parallel() || work < 2 * t) {
+      bulk(std::size_t{0}, work);
     } else {
-      // set_options/setters validate every configuration path, so a
-      // parallel sweep with access recording cannot be reached.
-      GCALIB_ASSERT_MSG(!options_.record_access,
-                        "access-edge recording requires a sequential sweep");
-      sweep_parallel(rule, stats, timed);
+      run_chunks(work, timed,
+                 [&bulk](unsigned, std::size_t begin, std::size_t end) {
+                   bulk(begin, end);
+                 });
+      if (timed) {
+        stats.lane_times.assign(scratch_lanes_.begin(),
+                                scratch_lanes_.begin() + t);
+      }
     }
 
     if (timed) {
@@ -353,9 +599,8 @@ class Engine {
       stats.duration_ns = now_ns() - sweep_start;
     }
 
-    cells_.swap(next_);
+    commit(region, work);
     ++generation_;
-    if (options_.instrumentation) history_.push_back(stats);
     notify(stats);
     return stats;
   }
@@ -371,6 +616,91 @@ class Engine {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
+  }
+
+  /// Rejects malformed regions: overlap between rows (which would visit an
+  /// index twice) and out-of-field indices.  Empty regions are fine — the
+  /// step still runs (and records a generation) with zero work.
+  void validate_region(const ActiveRegion& region) const {
+    GCALIB_EXPECTS_MSG(region.col_step >= 1,
+                       "active region: col_step must be >= 1");
+    const std::size_t work = region.count();
+    if (work == 0) return;
+    GCALIB_EXPECTS_MSG(
+        region.row_end - region.row_begin <= 1 ||
+            region.col_end <= region.row_stride,
+        "active region: column range exceeds the row stride (rows overlap)");
+    const std::size_t last =
+        (region.row_end - 1) * region.row_stride + region.col_begin +
+        (region.cols_per_row() - 1) * region.col_step;
+    GCALIB_EXPECTS_MSG(last < store_.size(),
+                       "active region exceeds the field");
+  }
+
+  template <typename Rule>
+  GenerationStats run_step(Rule& rule, const ActiveRegion& region,
+                           std::string label) {
+    GCALIB_EXPECTS_MSG(!notifying_,
+                       "Engine::step must not be called from an observer or "
+                       "metrics-sink callback");
+    GenerationStats stats;
+    stats.generation = generation_;
+    stats.label = std::move(label);
+    stats.cell_count = store_.size();
+    const std::size_t work = region.count();
+    stats.cells_swept = work;
+
+    if (options_.instrumentation) {
+      last_active_.assign(store_.size(), 0);
+    } else {
+      last_active_.clear();
+    }
+    last_access_.clear();
+
+    // Timing runs only while a sink is attached, so the un-instrumented
+    // hot path performs no clock reads.
+    const bool timed = !sinks_.empty();
+    const std::uint64_t sweep_start = timed ? now_ns() : 0;
+
+    const unsigned t = options_.threads;
+    if (!options_.parallel() || work < 2 * t) {
+      if (options_.instrumentation) scratch_count(0).assign(store_.size(), 0);
+      sweep_region(rule, region, 0, work,
+                   options_.instrumentation ? &scratch_count(0) : nullptr,
+                   options_.record_access ? &last_access_ : nullptr,
+                   stats.active_cells);
+      if (options_.instrumentation) fold_counts(scratch_count(0), stats);
+    } else {
+      // set_options/setters validate every configuration path, so a
+      // parallel sweep with access recording cannot be reached.
+      GCALIB_ASSERT_MSG(!options_.record_access,
+                        "access-edge recording requires a sequential sweep");
+      sweep_parallel(rule, region, work, stats, timed);
+    }
+
+    if (timed) {
+      stats.start_ns = sweep_start;
+      stats.duration_ns = now_ns() - sweep_start;
+    }
+
+    commit(region, work);
+    ++generation_;
+    if (options_.instrumentation) history_.push_back(stats);
+    notify(stats);
+    return stats;
+  }
+
+  /// Publishes the next-state buffer: a whole-field region swaps the
+  /// double buffers (the classic synchronous commit); a partial region
+  /// copies back only its own cells — everything else keeps its state
+  /// without ever being touched.
+  void commit(const ActiveRegion& region, std::size_t work) {
+    if (work == store_.size()) {
+      store_.commit_full();
+    } else {
+      region.for_each(0, work,
+                      [this](std::size_t i) { store_.commit_index(i); });
+    }
   }
 
   /// Invokes observers, then sinks, with deferred add/remove semantics
@@ -433,38 +763,38 @@ class Engine {
   }
 
   template <typename Rule>
-  void sweep_range(Rule& rule, std::size_t begin, std::size_t end,
-                   std::vector<std::size_t>* counts,
-                   std::vector<AccessEdge>* edges, std::size_t& active) {
-    for (std::size_t i = begin; i < end; ++i) {
+  void sweep_region(Rule& rule, const ActiveRegion& region,
+                    std::size_t k_begin, std::size_t k_end,
+                    std::vector<std::size_t>* counts,
+                    std::vector<AccessEdge>* edges, std::size_t& active) {
+    const bool mask = !last_active_.empty();
+    region.for_each(k_begin, k_end, [&](std::size_t i) {
       Reader reader(*this, i, counts, edges);
       std::optional<State> result = rule(i, reader);
       if (result.has_value()) {
-        next_[i] = *std::move(result);
-        last_active_[i] = 1;
+        store_.write_next(i, *std::move(result));
+        if (mask) last_active_[i] = 1;
         ++active;
       } else {
-        next_[i] = cells_[i];
+        store_.carry_next(i);
       }
-    }
+    });
   }
 
-  template <typename Rule>
-  void sweep_parallel(Rule& rule, GenerationStats& stats, bool timed) {
+  /// Partitions [0, work) into `threads` contiguous chunks and runs
+  /// `chunk_fn(w, begin, end)` for each — every chunk exactly once — on
+  /// the configured parallel backend, recording per-lane timing into
+  /// `scratch_lanes_` when `timed`.
+  template <typename ChunkFn>
+  void run_chunks(std::size_t work, bool timed, ChunkFn&& chunk_fn) {
     const unsigned t = options_.threads;
-    const bool counting = options_.instrumentation;
-    scratch_actives_.assign(t, 0);
-    if (counting) {
-      for (unsigned w = 0; w < t; ++w) scratch_count(w).assign(cells_.size(), 0);
-    }
     if (timed) scratch_lanes_.assign(t, LaneTiming{});
-    const std::size_t chunk = (cells_.size() + t - 1) / t;
-    auto lane = [this, &rule, chunk, counting, timed](unsigned w) {
-      const std::size_t begin = std::min(cells_.size(), std::size_t{w} * chunk);
-      const std::size_t end = std::min(cells_.size(), begin + chunk);
+    const std::size_t chunk = (work + t - 1) / t;
+    auto lane = [this, &chunk_fn, chunk, work, timed](unsigned w) {
+      const std::size_t begin = std::min(work, std::size_t{w} * chunk);
+      const std::size_t end = std::min(work, begin + chunk);
       const std::uint64_t lane_start = timed ? now_ns() : 0;
-      sweep_range(rule, begin, end, counting ? &scratch_counts_[w] : nullptr,
-                  nullptr, scratch_actives_[w]);
+      chunk_fn(w, begin, end);
       if (timed) {
         scratch_lanes_[w] =
             LaneTiming{w, lane_start, now_ns() - lane_start, end - begin};
@@ -503,6 +833,26 @@ class Engine {
         if (error) std::rethrow_exception(error);
       }
     }
+  }
+
+  template <typename Rule>
+  void sweep_parallel(Rule& rule, const ActiveRegion& region,
+                      std::size_t work, GenerationStats& stats, bool timed) {
+    const unsigned t = options_.threads;
+    const bool counting = options_.instrumentation;
+    scratch_actives_.assign(t, 0);
+    if (counting) {
+      for (unsigned w = 0; w < t; ++w) {
+        scratch_count(w).assign(store_.size(), 0);
+      }
+    }
+    run_chunks(work, timed,
+               [this, &rule, &region, counting](unsigned w, std::size_t begin,
+                                                std::size_t end) {
+                 sweep_region(rule, region, begin, end,
+                              counting ? &scratch_counts_[w] : nullptr,
+                              nullptr, scratch_actives_[w]);
+               });
 
     if (timed) {
       stats.lane_times.assign(scratch_lanes_.begin(),
@@ -530,8 +880,7 @@ class Engine {
     }
   }
 
-  std::vector<State> cells_;
-  std::vector<State> next_;
+  Store store_;
   EngineOptions options_;
   std::uint64_t generation_ = 0;
   std::vector<AccessEdge> last_access_;

@@ -27,6 +27,25 @@ ExecutionPolicy parse_execution_policy(const std::string& name) {
   return ExecutionPolicy::kSequential;
 }
 
+const char* to_string(SweepMode mode) {
+  switch (mode) {
+    case SweepMode::kDense:
+      return "dense";
+    case SweepMode::kSparse:
+      return "sparse";
+  }
+  GCALIB_ASSERT_MSG(false, "unreachable sweep mode");
+  return "?";
+}
+
+SweepMode parse_sweep_mode(const std::string& name) {
+  if (name == "dense") return SweepMode::kDense;
+  if (name == "sparse") return SweepMode::kSparse;
+  GCALIB_EXPECTS_MSG(
+      false, "unknown sweep mode '" + name + "' (expected dense | sparse)");
+  return SweepMode::kSparse;
+}
+
 void EngineOptions::validate() const {
   GCALIB_EXPECTS_MSG(hands >= 1, "engine options: hands must be >= 1");
   GCALIB_EXPECTS_MSG(threads >= 1, "engine options: threads must be >= 1");
@@ -44,7 +63,8 @@ EngineOptions options_from_flags(const cli::ExecutionFlags& flags) {
           .with_threads(flags.threads)
           .with_policy(parse_execution_policy(flags.policy))
           .with_instrumentation(flags.instrumentation)
-          .with_record_access(flags.record_access);
+          .with_record_access(flags.record_access)
+          .with_sweep(parse_sweep_mode(flags.sweep));
   options.validate();
   return options;
 }

@@ -45,6 +45,98 @@ enum class ExecutionPolicy {
 /// Inverse of `to_string`; throws ContractViolation on unknown names.
 [[nodiscard]] ExecutionPolicy parse_execution_policy(const std::string& name);
 
+/// Whether the engine honours per-step active regions.
+///
+/// Under kSparse the engine sweeps only the cells of the region a rule
+/// advertises; every other cell carries its state over untouched (exactly
+/// what an inactive rule invocation would have produced).  kDense ignores
+/// the region and sweeps the whole field — the verification mode for the
+/// dense/sparse equivalence contract (DESIGN.md §9).
+enum class SweepMode {
+  kDense,   ///< sweep every cell regardless of the advertised region
+  kSparse,  ///< sweep only the advertised active region
+};
+
+/// Name of a sweep mode ("dense" / "sparse").
+[[nodiscard]] const char* to_string(SweepMode mode);
+
+/// Inverse of `to_string`; throws ContractViolation on unknown names.
+[[nodiscard]] SweepMode parse_sweep_mode(const std::string& name);
+
+/// The set of cells a generation may activate, as a rectangular (optionally
+/// column-strided) window over a row-major field:
+///
+///   { row * row_stride + col_begin + c * col_step
+///     : row in [row_begin, row_end), c in [0, cols_per_row()) }
+///
+/// with `col_begin + c * col_step < col_end`.  This shape covers every
+/// generation of the Hirschberg machine: full field, square only, bottom
+/// row, single column, and the strided survivor sets of the tree
+/// reductions (gen 3/7: col % 2^(s+1) == 0).  A region is a *superset*
+/// promise — cells outside it must be left unchanged by the rule (the rule
+/// would return nullopt for them), so sweeping only the region is
+/// observationally identical to a dense sweep.
+///
+/// Cells are enumerated in ascending linear index order; chunk partitions
+/// split the enumeration [0, count()) so all backends and both sweep modes
+/// agree on which lane touches which cell.
+struct ActiveRegion {
+  std::size_t row_begin = 0;
+  std::size_t row_end = 0;    ///< exclusive
+  std::size_t col_begin = 0;
+  std::size_t col_end = 0;    ///< exclusive bound on the raw column value
+  std::size_t col_step = 1;   ///< stride between active columns (>= 1)
+  std::size_t row_stride = 0; ///< linear-index pitch between consecutive rows
+
+  /// The whole-field safety mode: one "row" spanning all `cells` indices.
+  [[nodiscard]] static constexpr ActiveRegion full(std::size_t cells) {
+    return ActiveRegion{0, cells > 0 ? 1u : 0u, 0, cells, 1, cells};
+  }
+
+  /// Number of active columns within one row.
+  [[nodiscard]] constexpr std::size_t cols_per_row() const {
+    if (col_begin >= col_end || col_step == 0) return 0;
+    return (col_end - col_begin + col_step - 1) / col_step;
+  }
+
+  /// Total number of cells in the region.
+  [[nodiscard]] constexpr std::size_t count() const {
+    return (row_end > row_begin ? row_end - row_begin : 0) * cols_per_row();
+  }
+
+  /// Linear index of enumeration position k (k < count()).
+  [[nodiscard]] constexpr std::size_t index_at(std::size_t k) const {
+    const std::size_t per_row = cols_per_row();
+    const std::size_t row = row_begin + k / per_row;
+    const std::size_t col = col_begin + (k % per_row) * col_step;
+    return row * row_stride + col;
+  }
+
+  /// Calls `f(index)` for enumeration positions [k_begin, k_end), in
+  /// ascending index order.  The division to locate the starting row runs
+  /// once; per cell the cost is one add and a wrap test.
+  template <typename F>
+  void for_each(std::size_t k_begin, std::size_t k_end, F&& f) const {
+    const std::size_t per_row = cols_per_row();
+    if (per_row == 0 || k_begin >= k_end) return;
+    std::size_t row = row_begin + k_begin / per_row;
+    std::size_t c = k_begin % per_row;
+    std::size_t index = row * row_stride + col_begin + c * col_step;
+    for (std::size_t k = k_begin; k < k_end; ++k) {
+      f(index);
+      if (++c == per_row) {
+        c = 0;
+        ++row;
+        index = row * row_stride + col_begin;
+      } else {
+        index += col_step;
+      }
+    }
+  }
+
+  [[nodiscard]] constexpr bool operator==(const ActiveRegion&) const = default;
+};
+
 /// Aggregate engine configuration — the primary way to construct an
 /// `Engine`.  Fields can be set directly or through the chainable `with_*`
 /// builder; `validate()` (called by the engine on every (re)configuration)
@@ -60,6 +152,7 @@ struct EngineOptions {
   ExecutionPolicy policy = ExecutionPolicy::kSequential;
   bool instrumentation = true;  ///< collect per-step congestion statistics
   bool record_access = false;   ///< record individual (reader, target) edges
+  SweepMode sweep = SweepMode::kSparse;  ///< honour advertised active regions
 
   EngineOptions& with_hands(std::size_t value) {
     hands = value;
@@ -79,6 +172,10 @@ struct EngineOptions {
   }
   EngineOptions& with_record_access(bool value) {
     record_access = value;
+    return *this;
+  }
+  EngineOptions& with_sweep(SweepMode value) {
+    sweep = value;
     return *this;
   }
 

@@ -47,6 +47,15 @@ struct GenerationStats {
   /// delta -> number of cells read exactly delta times (delta >= 1).
   std::map<std::size_t, std::size_t> congestion_classes;
 
+  // --- physical counters (vary with SweepMode, never with backend) ------
+
+  /// Cells the engine actually iterated this step.  Equal to `cell_count`
+  /// under dense sweeps; under sparse sweeps it is the advertised region's
+  /// size.  Like the timing fields below, this measures the *execution*,
+  /// not the algorithm: the logical Table-1 counters above are computed
+  /// over the full logical field in both modes.
+  std::size_t cells_swept = 0;
+
   // --- wall-clock timing (zero unless a MetricsSink was attached) -------
   std::uint64_t start_ns = 0;     ///< steady-clock stamp at sweep start
   std::uint64_t duration_ns = 0;  ///< wall-clock of the whole step
@@ -57,6 +66,21 @@ struct GenerationStats {
   /// cells_read past cell_count, and the difference must not wrap).
   [[nodiscard]] std::size_t cells_unread() const {
     return cells_read < cell_count ? cell_count - cells_read : 0;
+  }
+
+  /// True iff the *logical* (Table-1) projection of two records matches:
+  /// generation counter, label, field size, active cells, reads and the
+  /// full congestion histogram.  Physical fields (cells_swept, timing)
+  /// are excluded — they legitimately differ between sweep modes and
+  /// between timed and untimed runs.
+  [[nodiscard]] bool logically_equal(const GenerationStats& other) const {
+    return generation == other.generation && label == other.label &&
+           cell_count == other.cell_count &&
+           active_cells == other.active_cells &&
+           total_reads == other.total_reads &&
+           cells_read == other.cells_read &&
+           max_congestion == other.max_congestion &&
+           congestion_classes == other.congestion_classes;
   }
 };
 

@@ -107,13 +107,14 @@ void Trace::write_chrome_trace(std::ostream& os) const {
 void Trace::write_metrics_csv(std::ostream& os) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   CsvWriter csv({"generation", "label", "start_ns", "duration_ns",
-                 "cell_count", "active_cells", "total_reads", "cells_read",
-                 "max_congestion", "lanes"});
+                 "cell_count", "cells_swept", "active_cells", "total_reads",
+                 "cells_read", "max_congestion", "lanes"});
   for (const GenerationStats& s : steps_) {
     csv.add_row({std::to_string(s.generation), s.label,
                  std::to_string(s.start_ns), std::to_string(s.duration_ns),
-                 std::to_string(s.cell_count), std::to_string(s.active_cells),
-                 std::to_string(s.total_reads), std::to_string(s.cells_read),
+                 std::to_string(s.cell_count), std::to_string(s.cells_swept),
+                 std::to_string(s.active_cells), std::to_string(s.total_reads),
+                 std::to_string(s.cells_read),
                  std::to_string(s.max_congestion),
                  std::to_string(s.lane_times.size())});
   }
@@ -129,7 +130,8 @@ void Trace::write_metrics_json(std::ostream& os) const {
     os << (i == 0 ? "" : ",") << "\n{\"generation\":" << s.generation
        << ",\"label\":\"" << json_escape(s.label) << "\",\"start_ns\":"
        << s.start_ns << ",\"duration_ns\":" << s.duration_ns
-       << ",\"cell_count\":" << s.cell_count << ",\"active_cells\":"
+       << ",\"cell_count\":" << s.cell_count << ",\"cells_swept\":"
+       << s.cells_swept << ",\"active_cells\":"
        << s.active_cells << ",\"total_reads\":" << s.total_reads
        << ",\"cells_read\":" << s.cells_read << ",\"max_congestion\":"
        << s.max_congestion << ",\"lanes\":[";

@@ -44,10 +44,15 @@ std::string render_access_edges(const FieldGeometry& geometry,
   std::sort(sorted.begin(), sorted.end());
   std::string out;
   for (const AccessEdge& e : sorted) {
-    out += "(" + std::to_string(geometry.row(e.reader)) + "," +
-           std::to_string(geometry.col(e.reader)) + ") <- (" +
-           std::to_string(geometry.row(e.target)) + "," +
-           std::to_string(geometry.col(e.target)) + ")\n";
+    out += '(';
+    out += std::to_string(geometry.row(e.reader));
+    out += ',';
+    out += std::to_string(geometry.col(e.reader));
+    out += ") <- (";
+    out += std::to_string(geometry.row(e.target));
+    out += ',';
+    out += std::to_string(geometry.col(e.target));
+    out += ")\n";
   }
   return out;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
@@ -58,7 +60,183 @@ struct PositionalEval {
   }
 };
 
+/// Folds an expression that is a pure function of (n, sub) and literals.
+/// Returns nullopt for anything positional, state-dependent or erroneous.
+std::optional<Value> fold_constant(const Expr& expr, std::size_t n,
+                                   std::size_t sub) {
+  const auto positional = [](const Expr& e, const auto& self) -> bool {
+    switch (e.kind) {
+      case ExprKind::kNumber:
+        return false;
+      case ExprKind::kVariable:
+        return e.name == "index" || e.name == "row" || e.name == "col" ||
+               e.name == "square" || e.name == "bottom";
+      case ExprKind::kUnary:
+        return self(*e.a, self);
+      case ExprKind::kBinary:
+      case ExprKind::kCall:
+        return self(*e.a, self) || self(*e.b, self);
+      case ExprKind::kTernary:
+        return self(*e.a, self) || self(*e.b, self) || self(*e.c, self);
+    }
+    return true;
+  };
+  if (references_state(expr) || positional(expr, positional)) {
+    return std::nullopt;
+  }
+  EvalContext ctx;
+  ctx.n = n;
+  ctx.sub = sub;
+  try {
+    return evaluate(expr, ctx);
+  } catch (const EvalError&) {
+    return std::nullopt;
+  }
+}
+
+/// Matches `col`, `col + C` or `C + col`; returns the constant offset C.
+std::optional<Value> match_col_plus(const Expr& expr, std::size_t n,
+                                    std::size_t sub) {
+  if (expr.kind == ExprKind::kVariable && expr.name == "col") return 0;
+  if (expr.kind == ExprKind::kBinary && expr.op == Op::kAdd) {
+    if (expr.a->kind == ExprKind::kVariable && expr.a->name == "col") {
+      return fold_constant(*expr.b, n, sub);
+    }
+    if (expr.b->kind == ExprKind::kVariable && expr.b->name == "col") {
+      return fold_constant(*expr.a, n, sub);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Collected interval/stride constraints while scanning the conjuncts of an
+/// active clause; converted to an ActiveRegion at the end.
+struct RegionBounds {
+  Value row_lo, row_hi;  // half-open row range
+  Value col_lo, col_hi;  // half-open column range
+  Value mod = 1;         // column stride constraint: col % mod == rem
+  Value rem = 0;
+  bool empty = false;
+};
+
+void apply_col_bound(RegionBounds& b, Op op, Value bound) {
+  switch (op) {
+    case Op::kLt: b.col_hi = std::min(b.col_hi, bound); break;
+    case Op::kLe: b.col_hi = std::min(b.col_hi, bound + 1); break;
+    case Op::kGe: b.col_lo = std::max(b.col_lo, bound); break;
+    case Op::kGt: b.col_lo = std::max(b.col_lo, bound + 1); break;
+    default: break;
+  }
+}
+
+void apply_conjunct(RegionBounds& b, const Expr& c, std::size_t n,
+                    std::size_t sub) {
+  const Value rows_total = static_cast<Value>(n) + 1;
+  if (const std::optional<Value> v = fold_constant(c, n, sub)) {
+    if (*v == 0) b.empty = true;  // `active 0`: nothing ever fires
+    return;
+  }
+  if (c.kind == ExprKind::kVariable) {
+    if (c.name == "square") b.row_hi = std::min(b.row_hi, static_cast<Value>(n));
+    if (c.name == "bottom") b.row_lo = std::max(b.row_lo, static_cast<Value>(n));
+    return;
+  }
+  if (c.kind != ExprKind::kBinary) return;
+  const Expr& lhs = *c.a;
+  const Expr& rhs = *c.b;
+  if (c.op == Op::kEq) {
+    // Try both orientations of `<positional> == <constant>`.
+    using Sides = std::pair<const Expr*, const Expr*>;
+    for (const auto& [pos, val] : {Sides{&lhs, &rhs}, Sides{&rhs, &lhs}}) {
+      const std::optional<Value> cst = fold_constant(*val, n, sub);
+      if (!cst) continue;
+      if (pos->kind == ExprKind::kVariable && pos->name == "col") {
+        b.col_lo = std::max(b.col_lo, *cst);
+        b.col_hi = std::min(b.col_hi, *cst + 1);
+        return;
+      }
+      if (pos->kind == ExprKind::kVariable && pos->name == "row") {
+        b.row_lo = std::max(b.row_lo, *cst);
+        b.row_hi = std::min(b.row_hi, std::min(*cst + 1, rows_total));
+        return;
+      }
+      if (pos->kind == ExprKind::kBinary && pos->op == Op::kMod &&
+          pos->a->kind == ExprKind::kVariable && pos->a->name == "col") {
+        const std::optional<Value> m = fold_constant(*pos->b, n, sub);
+        // A second stride constraint is simply ignored (still a superset).
+        if (m && *m >= 1 && b.mod == 1) {
+          if (*cst < 0 || *cst >= *m) {
+            b.empty = true;
+          } else {
+            b.mod = *m;
+            b.rem = *cst;
+          }
+          return;
+        }
+      }
+    }
+    return;
+  }
+  if (c.op == Op::kLt || c.op == Op::kLe || c.op == Op::kGt ||
+      c.op == Op::kGe) {
+    if (const std::optional<Value> off = match_col_plus(lhs, n, sub)) {
+      if (const std::optional<Value> bound = fold_constant(rhs, n, sub)) {
+        apply_col_bound(b, c.op, *bound - *off);  // col + off OP bound
+        return;
+      }
+    }
+    if (const std::optional<Value> off = match_col_plus(rhs, n, sub)) {
+      if (const std::optional<Value> bound = fold_constant(lhs, n, sub)) {
+        // bound OP col + off  ==  col + off OP' bound (mirrored operator)
+        const Op mirrored = c.op == Op::kLt   ? Op::kGt
+                            : c.op == Op::kLe ? Op::kGe
+                            : c.op == Op::kGt ? Op::kLt
+                                              : Op::kLe;
+        apply_col_bound(b, mirrored, *bound - *off);
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
+
+gca::ActiveRegion lower_active_region(const Expr& active, std::size_t n,
+                                      std::size_t sub) {
+  RegionBounds b;
+  b.row_lo = 0;
+  b.row_hi = static_cast<Value>(n) + 1;
+  b.col_lo = 0;
+  b.col_hi = static_cast<Value>(n);
+
+  // Flatten `a && b && c` and let every recognised conjunct tighten the
+  // bounds; unrecognised conjuncts are skipped (conjunction: skipping a
+  // constraint can only widen, so the result stays a superset).
+  const auto scan = [&](const Expr& e, const auto& self) -> void {
+    if (e.kind == ExprKind::kBinary && e.op == Op::kAnd) {
+      self(*e.a, self);
+      self(*e.b, self);
+      return;
+    }
+    apply_conjunct(b, e, n, sub);
+  };
+  scan(active, scan);
+
+  b.row_lo = std::max<Value>(b.row_lo, 0);
+  b.col_lo = std::max<Value>(b.col_lo, 0);
+  if (b.mod > 1 && !b.empty) {
+    // Align the lower column bound up to the stride's residue class.
+    b.col_lo += (((b.rem - b.col_lo) % b.mod) + b.mod) % b.mod;
+  }
+  if (b.empty || b.row_lo >= b.row_hi || b.col_lo >= b.col_hi) {
+    return gca::ActiveRegion{0, 0, 0, 0, 1, n};
+  }
+  return gca::ActiveRegion{static_cast<std::size_t>(b.row_lo),
+                           static_cast<std::size_t>(b.row_hi),
+                           static_cast<std::size_t>(b.col_lo),
+                           static_cast<std::size_t>(b.col_hi),
+                           static_cast<std::size_t>(b.mod), n};
+}
 
 const char* to_string(PointerClass cls) {
   switch (cls) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "gca/execution.hpp"
 #include "gcal/ast.hpp"
 #include "hw/cell_model.hpp"
 #include "hw/cost_model.hpp"
@@ -50,6 +51,24 @@ struct ProgramAnalysis {
 /// Analyzes `program` for problem size n (n >= 1).  Throws EvalError if a
 /// static pointer expression evaluates out of field range.
 [[nodiscard]] ProgramAnalysis analyze(const Program& program, std::size_t n);
+
+/// Lowers a generation's `active` clause to an engine ActiveRegion over the
+/// (n+1)-row by n-column Hirschberg field — a *superset* of the cells where
+/// the clause can evaluate nonzero, which is exactly the contract
+/// `Engine::step(rule, region)` requires (see DESIGN.md §9).
+///
+/// The lowering is conservative: the clause is flattened as a conjunction
+/// and each conjunct may tighten the region.  Recognised conjuncts are
+/// position-only constants (folded; a constant 0 empties the region),
+/// `square`, `bottom`, `row == C`, `col == C`, `(col % M) == R`, and
+/// linear column bounds `col + C <op> B` (both orientations of
+/// <, <=, >, >=).  Anything else — data-dependent predicates, disjunctions,
+/// the tree variant's ring conditions — leaves the region unchanged, so an
+/// unanalysable clause simply falls back to the whole field.  `sub` is the
+/// sub-generation number the `sub` builtin folds to.
+[[nodiscard]] gca::ActiveRegion lower_active_region(const Expr& active,
+                                                    std::size_t n,
+                                                    std::size_t sub);
 
 /// Synthesis estimate for the program's derived field structure, using the
 /// Cyclone-II-calibrated coefficients.

@@ -7,6 +7,7 @@
 #include "common/bits.hpp"
 #include "gca/engine.hpp"
 #include "gca/field.hpp"
+#include "gcal/analyzer.hpp"
 #include "gcal/eval.hpp"
 #include "gcal/parser.hpp"
 
@@ -54,6 +55,11 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
                                   std::size_t sub) {
     std::string label = generation.name;
     if (generation.repeat) label += ".sub" + std::to_string(sub);
+    // The statically-lowered superset of the clause's active cells; under
+    // the sparse sweep mode (EngineOptions default) the engine only visits
+    // this region.  The per-cell `active` check below stays authoritative.
+    const gca::ActiveRegion region =
+        lower_active_region(*generation.active, n, sub);
     const gca::GenerationStats stats = engine.step(
         [&](std::size_t index, auto& read) -> std::optional<Cell> {
           Context ctx;
@@ -95,7 +101,7 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
           next.e = new_e;
           return next;
         },
-        label);
+        region, label);
     ++result.generations;
     result.max_congestion = std::max(result.max_congestion, stats.max_congestion);
     if (hook) hook(label, snapshot());

@@ -510,8 +510,8 @@ TEST(Engine, ReadOverrideInterposesAndClears) {
   IntEngine engine(iota_states(4));
   const int fake = 70;
   engine.set_read_override(
-      [&fake](std::size_t, std::size_t target) -> const int* {
-        return target == 0 ? &fake : nullptr;
+      [&fake](std::size_t, std::size_t target) -> std::optional<int> {
+        return target == 0 ? std::optional<int>(fake) : std::nullopt;
       });
   EXPECT_TRUE(engine.has_read_override());
   engine.step([](std::size_t i, auto& read) -> std::optional<int> {

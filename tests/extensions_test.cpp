@@ -140,7 +140,12 @@ TEST(SelfCheck, CorruptionMidRunSelfHeals) {
   core::HirschbergGca machine(g);
   machine.initialize();
   machine.run_iteration(0);
-  machine.engine().mutable_state(machine.geometry().index_of(7, 0)).d = 3;
+  {
+    const std::size_t cell = machine.geometry().index_of(7, 0);
+    core::Cell poked = machine.engine().state(cell);
+    poked.d = 3;
+    machine.engine().set_state(cell, poked);
+  }
   machine.run_iteration(1);
   machine.run_iteration(2);
   EXPECT_EQ(machine.current_labels(), std::vector<graph::NodeId>(8, 0));
@@ -154,7 +159,12 @@ TEST(SelfCheck, OraclePredicateFiresOnBadFinalState) {
   core::RunOptions options;
   options.self_check = true;
   machine.run(options);  // healthy run passes
-  machine.engine().mutable_state(machine.geometry().index_of(7, 0)).d = 7;
+  {
+    const std::size_t cell = machine.geometry().index_of(7, 0);
+    core::Cell poked = machine.engine().state(cell);
+    poked.d = 7;
+    machine.engine().set_state(cell, poked);
+  }
   EXPECT_FALSE(graph::is_valid_min_labeling(machine.graph_from_field(),
                                             machine.current_labels()));
 }

@@ -317,6 +317,37 @@ TEST(FaultTolerance, NmrMasksMinorityFault) {
             3 * (report.cost.register_bits_total / 3));
 }
 
+TEST(FaultTolerance, RecoveryConvergesUnderSparseSweeps) {
+  // ISSUE 4 compat check: the checkpoint/rollback ladder snapshots the SoA
+  // buffers (immutable a + double-buffered d/p), so every detection site —
+  // including corruption of the adjacency register itself — must still
+  // recover when the engine runs the sparse active-region schedule, and the
+  // whole resilient run must agree with its dense twin bit for bit.
+  for (const Family& family : families()) {
+    const std::vector<NodeId> expected = graph::bfs_components(family.g);
+    for (const Scenario& scenario : scenarios()) {
+      SCOPED_TRACE(std::string(family.name) + " / " + scenario.name);
+      const auto run_with = [&](gca::SweepMode sweep) {
+        HirschbergGca machine(family.g);
+        ResilientOptions options;
+        options.base.sweep = sweep;
+        return run_resilient(machine, family.g,
+                             FaultPlan{}.add(scenario.event), options);
+      };
+      const ResilientReport sparse = run_with(gca::SweepMode::kSparse);
+      EXPECT_TRUE(sparse.recovered);
+      EXPECT_EQ(sparse.run.labels, expected);
+
+      const ResilientReport dense = run_with(gca::SweepMode::kDense);
+      EXPECT_EQ(sparse.run.labels, dense.run.labels);
+      EXPECT_EQ(sparse.run.generations, dense.run.generations);
+      EXPECT_EQ(sparse.run.rollbacks, dense.run.rollbacks);
+      EXPECT_EQ(sparse.run.restarts, dense.run.restarts);
+      EXPECT_EQ(sparse.violations.size(), dense.violations.size());
+    }
+  }
+}
+
 TEST(FaultTolerance, NmrCostScalesWithReplicas) {
   const NmrCost duplex = nmr_cost(16, 2);
   const NmrCost tmr = nmr_cost(16, 3);

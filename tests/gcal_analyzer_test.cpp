@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "core/access_pattern.hpp"
 #include "core/schedule.hpp"
+#include "gca/field.hpp"
+#include "gcal/eval.hpp"
 #include "gcal/interpreter.hpp"
 #include "gcal/parser.hpp"
 #include "graph/generators.hpp"
@@ -195,6 +201,104 @@ TEST(GcalAnalyzer, PointerClassToString) {
   EXPECT_STREQ(to_string(PointerClass::kNone), "none");
   EXPECT_STREQ(to_string(PointerClass::kStatic), "static");
   EXPECT_STREQ(to_string(PointerClass::kDataDependent), "data-dependent");
+}
+
+// --- active-clause lowering (ISSUE 4) -----------------------------------
+
+/// Finds a loop generation of the embedded Hirschberg program by name.
+const GenerationDef& loop_generation(const Program& p, const char* name) {
+  for (const GenerationDef& g : p.loop) {
+    if (g.name == name) return g;
+  }
+  throw std::runtime_error(std::string("no generation ") + name);
+}
+
+TEST(GcalLowering, RowMinClauseLowersToTheExactStridedRegion) {
+  const Program p = hirschberg();
+  const std::size_t n = 8;
+  // active square && (col % (2 << sub)) == 0 && col + (1 << sub) < n
+  const Expr& active = *loop_generation(p, "row_min").active;
+  EXPECT_EQ(lower_active_region(active, n, 0),
+            (gca::ActiveRegion{0, 8, 0, 7, 2, 8}));
+  EXPECT_EQ(lower_active_region(active, n, 1),
+            (gca::ActiveRegion{0, 8, 0, 6, 4, 8}));
+  EXPECT_EQ(lower_active_region(active, n, 2).count(), 8u);  // n/8 per row
+  // sub = 3: 1 << 3 = 8 >= n, no column survives -> empty region.
+  EXPECT_EQ(lower_active_region(active, n, 3).count(), 0u);
+}
+
+TEST(GcalLowering, PositionalClausesLowerToTheirClosedFormCounts) {
+  const Program p = hirschberg();
+  const std::size_t n = 8;
+  const auto count = [&](const char* name) {
+    return lower_active_region(*loop_generation(p, name).active, n, 0)
+        .count();
+  };
+  EXPECT_EQ(lower_active_region(*p.prologue.front().active, n, 0).count(),
+            n * (n + 1));                      // init: all
+  EXPECT_EQ(count("copy_c"), n * (n + 1));     // all
+  EXPECT_EQ(count("mask_neighbors"), n * n);   // square
+  EXPECT_EQ(count("fallback_c"), n);           // square && col == 0
+  EXPECT_EQ(count("adopt"), n * (n + 1));      // all
+  EXPECT_EQ(count("jump"), n);                 // square && col == 0
+}
+
+TEST(GcalLowering, UnanalysableClauseFallsBackToTheWholeField) {
+  // The tree variant's ring conditions mix row and col through a modulus —
+  // outside the matcher's fragment, so the lowering must stay conservative.
+  const Program tree = parse(hirschberg_tree_gcal_source());
+  const std::size_t n = 8;
+  const Expr& ring = *loop_generation(tree, "b1_double").active;
+  EXPECT_EQ(lower_active_region(ring, n, 0).count(), n * (n + 1));
+  // And a diagonal (row == col) is equally out of fragment.
+  const Expr& seed = *loop_generation(tree, "b1_seed").active;
+  EXPECT_EQ(lower_active_region(seed, n, 0).count(), n * n);  // square only
+}
+
+TEST(GcalLowering, ContradictoryBoundsLowerToTheEmptyRegion) {
+  const Program p = parse(
+      "program shrunk\n"
+      "generation never:\n"
+      "  active square && col == n\n"
+      "  d = 0\n");
+  EXPECT_EQ(lower_active_region(*p.prologue.front().active, 8, 0).count(),
+            0u);
+}
+
+TEST(GcalLowering, LoweredRegionsAreSupersetsOfTheEvaluatedClause) {
+  // Ground truth by brute force: every cell where the clause evaluates
+  // nonzero must be enumerated by the lowered region — for every generation
+  // of both embedded programs and every sub-generation at n = 8.
+  const std::size_t n = 8;
+  const gca::FieldGeometry geometry = gca::FieldGeometry::hirschberg(n);
+  for (const Program& p :
+       {hirschberg(), parse(hirschberg_tree_gcal_source())}) {
+    std::vector<const GenerationDef*> generations;
+    for (const GenerationDef& g : p.prologue) generations.push_back(&g);
+    for (const GenerationDef& g : p.loop) generations.push_back(&g);
+    for (const GenerationDef* g : generations) {
+      if (references_state(*g->active)) continue;  // positional clauses only
+      for (std::size_t sub = 0; sub < 4; ++sub) {
+        const gca::ActiveRegion region =
+            lower_active_region(*g->active, n, sub);
+        std::vector<bool> in_region(geometry.size(), false);
+        region.for_each(0, region.count(),
+                        [&](std::size_t i) { in_region[i] = true; });
+        for (std::size_t i = 0; i < geometry.size(); ++i) {
+          EvalContext ctx;
+          ctx.n = n;
+          ctx.index = i;
+          ctx.row = geometry.row(i);
+          ctx.col = geometry.col(i);
+          ctx.sub = sub;
+          if (evaluate(*g->active, ctx) != 0) {
+            EXPECT_TRUE(in_region[i])
+                << p.name << "/" << g->name << " sub " << sub << " cell " << i;
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -34,6 +34,7 @@ void fill_golden(Trace& trace) {
   a.generation = 0;
   a.label = "gen0:init";
   a.cell_count = 6;
+  a.cells_swept = 6;
   a.active_cells = 6;
   a.start_ns = 1000000;
   a.duration_ns = 2500;
@@ -43,6 +44,7 @@ void fill_golden(Trace& trace) {
   b.generation = 1;
   b.label = "gen3:row-min.sub1";
   b.cell_count = 6;
+  b.cells_swept = 4;  // sparse sweep: only the region's cells are touched
   b.active_cells = 4;
   b.total_reads = 4;
   b.cells_read = 2;
@@ -85,10 +87,10 @@ TEST(Metrics, MetricsCsvGolden) {
   std::ostringstream os;
   trace.write_metrics_csv(os);
   const std::string expected =
-      "generation,label,start_ns,duration_ns,cell_count,active_cells,"
-      "total_reads,cells_read,max_congestion,lanes\n"
-      "0,gen0:init,1000000,2500,6,6,0,0,0,0\n"
-      "1,gen3:row-min.sub1,1003000,4000,6,4,4,2,2,2\n";
+      "generation,label,start_ns,duration_ns,cell_count,cells_swept,"
+      "active_cells,total_reads,cells_read,max_congestion,lanes\n"
+      "0,gen0:init,1000000,2500,6,6,6,0,0,0,0\n"
+      "1,gen3:row-min.sub1,1003000,4000,6,4,4,4,2,2,2\n";
   EXPECT_EQ(os.str(), expected);
 }
 
@@ -100,11 +102,13 @@ TEST(Metrics, MetricsJsonGolden) {
   const std::string expected =
       "{\"steps\":[\n"
       "{\"generation\":0,\"label\":\"gen0:init\",\"start_ns\":1000000,"
-      "\"duration_ns\":2500,\"cell_count\":6,\"active_cells\":6,"
+      "\"duration_ns\":2500,\"cell_count\":6,\"cells_swept\":6,"
+      "\"active_cells\":6,"
       "\"total_reads\":0,\"cells_read\":0,\"max_congestion\":0,"
       "\"lanes\":[]},\n"
       "{\"generation\":1,\"label\":\"gen3:row-min.sub1\",\"start_ns\":"
-      "1003000,\"duration_ns\":4000,\"cell_count\":6,\"active_cells\":4,"
+      "1003000,\"duration_ns\":4000,\"cell_count\":6,\"cells_swept\":4,"
+      "\"active_cells\":4,"
       "\"total_reads\":4,\"cells_read\":2,\"max_congestion\":2,\"lanes\":["
       "{\"lane\":0,\"start_ns\":1003100,\"duration_ns\":1500,\"cells\":3},"
       "{\"lane\":1,\"start_ns\":1003200,\"duration_ns\":1800,\"cells\":3}"
