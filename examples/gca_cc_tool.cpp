@@ -19,6 +19,10 @@
 // --sweep sparse (default) sweeps only each generation's active region;
 // --sweep dense sweeps the whole field every step (verification mode) —
 // both produce bit-identical labels and logical statistics.
+// Resilience flags (gca algorithm only): --deadline-ms bounds the run's
+// wall clock (expiry exits with status 3), --checkpoint-dir enables durable
+// checkpoints (a relaunch resumes mid-algorithm), --retries N re-attempts
+// a run that failed with detected corruption.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -85,7 +89,6 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
                               gca::Trace* trace) {
   LabelingOutcome out;
   if (name == "gca") {
-    core::HirschbergGca machine(g);
     core::RunOptions options;
     options.instrument = exec.instrumentation;
     options.threads = exec.threads;
@@ -93,9 +96,32 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
     options.sweep = gca::parse_sweep_mode(exec.sweep);
     options.record_access = exec.record_access;
     options.sink = trace;
-    const core::RunResult r = machine.run(options);
+    options.deadline_ms = exec.deadline_ms;
+    options.checkpoint_dir = exec.checkpoint_dir;
+    // Bounded retry on detected corruption (DESIGN.md §10): a fresh machine
+    // re-derives everything from the input graph, so a transient upset need
+    // not kill the invocation.  Deadline expiry is final — no retry.
+    core::RunResult r;
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        core::HirschbergGca machine(g);
+        r = machine.run(options);
+        if (attempt > 0) {
+          std::fprintf(stderr, "note: recovered on attempt %u\n", attempt + 1);
+        }
+        break;
+      } catch (const ContractViolation& failure) {
+        if (attempt >= exec.retries) throw;
+        std::fprintf(stderr, "attempt %u failed (%s); retrying\n", attempt + 1,
+                     failure.what());
+      }
+    }
     out.labels = r.labels;
     out.steps = r.generations;
+    if (r.resumed) {
+      std::fprintf(stderr, "note: resumed from durable checkpoint at iteration %u\n",
+                   r.resume_iteration);
+    }
     for (const core::StepRecord& record : r.records) {
       out.congestion = std::max(out.congestion, record.stats.max_congestion);
     }
@@ -201,6 +227,9 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  } catch (const gca::DeadlineExceeded& e) {
+    std::fprintf(stderr, "deadline exceeded: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

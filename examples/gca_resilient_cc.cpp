@@ -6,13 +6,24 @@
 //   gca_resilient_cc [--family gnp:0.1] [--n 24] [--seed 7] [--rate 0.01]
 //                    [--threads 1] [--policy pool] [--no-instrumentation]
 //                    [--replicas 3] [--trace-out FILE] [--metrics-out FILE]
+//                    [--checkpoint-dir DIR] [--deadline-ms N] [--step-delay-us N]
 //
-//   --rate      expected faults per engine step (Poisson)
-//   --replicas  NMR pricing block (masking alternative; cost model only)
+//   --rate           expected faults per engine step (Poisson); 0 = none
+//                    (the run is then fully deterministic)
+//   --replicas       NMR pricing block (masking alternative; cost model only)
+//   --checkpoint-dir durable checkpoints: a relaunch after a crash (even
+//                    SIGKILL) resumes mid-algorithm from the directory
+//   --deadline-ms    wall-clock budget; expiry exits with code 3
+//   --step-delay-us  artificial per-step stall (crash-recovery smoke tests
+//                    use it to widen the kill window)
 // The shared execution flags steer the GCA engine backend of the resilient
 // run (the recovery re-executions reuse the same worker pool).
+//
+// Exit codes: 0 ok, 1 wrong labels, 2 usage, 3 deadline exceeded.
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -49,7 +60,8 @@ int main(int argc, char** argv) {
                                          {"n", true},
                                          {"seed", true},
                                          {"rate", true},
-                                         {"replicas", true}}));
+                                         {"replicas", true},
+                                         {"step-delay-us", true}}));
   const auto n = static_cast<gcalib::graph::NodeId>(args.get_int("n", 24));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   const double rate = args.get_double("rate", 0.01);
@@ -69,6 +81,11 @@ int main(int argc, char** argv) {
   }
   if (rate < 0.0) {
     std::fprintf(stderr, "error: --rate must be >= 0\n");
+    return 2;
+  }
+  const std::int64_t step_delay_us = args.get_int("step-delay-us", 0);
+  if (step_delay_us < 0) {
+    std::fprintf(stderr, "error: --step-delay-us must be >= 0\n");
     return 2;
   }
 
@@ -108,11 +125,26 @@ int main(int argc, char** argv) {
   if (exec.wants_metrics()) options.base.sink = &trace;
   options.max_rollbacks = 4;
   options.max_restarts = 2;
+  options.checkpoint_dir = exec.checkpoint_dir;
+  options.deadline_ms = exec.deadline_ms;
+  if (step_delay_us > 0) {
+    options.base.before_step = [step_delay_us](gcalib::core::HirschbergGca&,
+                                               const gcalib::core::StepId&) {
+      std::this_thread::sleep_for(std::chrono::microseconds(step_delay_us));
+    };
+  }
 
   try {
     const gcalib::fault::ResilientReport report =
         run_resilient(machine, g, plan, options);
 
+    if (report.run.resumed) {
+      std::printf("resumed from durable checkpoint at iteration %u (%s)\n",
+                  report.run.resume_iteration, exec.checkpoint_dir.c_str());
+    } else if (!exec.checkpoint_dir.empty()) {
+      std::printf("durable checkpoints: %s (no resumable state found)\n",
+                  exec.checkpoint_dir.c_str());
+    }
     std::printf("faults delivered: %zu\n", report.faults_fired);
     std::printf("monitor violations: %zu\n", report.violations.size());
     for (std::size_t v = 0; v < report.violations.size() && v < 5; ++v) {
@@ -135,6 +167,12 @@ int main(int argc, char** argv) {
     std::printf("labels vs sequential BFS baseline: %s\n",
                 correct ? "MATCH" : "MISMATCH");
     if (!correct) return 1;
+  } catch (const gcalib::gca::DeadlineExceeded& expired) {
+    std::printf("deadline exceeded: %s\n", expired.what());
+    if (!exec.checkpoint_dir.empty()) {
+      std::printf("(relaunch with the same --checkpoint-dir to resume)\n");
+    }
+    return 3;
   } catch (const gcalib::ContractViolation& failure) {
     std::printf("run failed after exhausting recovery: %s\n", failure.what());
     std::printf("(a strike during generation 0 — before the restart anchor "

@@ -4,7 +4,11 @@
 //   $ ./gcal_run --builtin hirschberg --generate complete --n 8 --verify
 //   $ ./gcal_run --builtin hirschberg --n 64 --threads 4 --policy pool
 //   $ ./gcal_run --builtin hirschberg --n 64 --trace-out run.trace.json
+//   $ ./gcal_run --builtin hirschberg --n 256 --deadline-ms 500
 //   $ ./gcal_run --show-builtin          # print the embedded program
+//
+// --deadline-ms bounds the run's wall clock (expiry exits with status 3);
+// --checkpoint-dir is accepted for flag uniformity but ignored here.
 //
 // gcal is the paper's Figure-2 state graph as a language; see
 // src/gcal/interpreter.hpp for the reference.
@@ -16,6 +20,7 @@
 
 #include "common/assert.hpp"
 #include "common/cli.hpp"
+#include "gca/cancel.hpp"
 #include "gca/execution.hpp"
 #include "gca/metrics.hpp"
 #include "gcal/interpreter.hpp"
@@ -88,9 +93,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
+    if (!flags.checkpoint_dir.empty()) {
+      std::fprintf(stderr,
+                   "warning: --checkpoint-dir is ignored by gcal_run "
+                   "(durable checkpoints cover the native Hirschberg "
+                   "machine only)\n");
+    }
     gca::Trace trace;
-    const gcal::GcalRunResult result = interpreter.run(
-        g, hook, exec, flags.wants_metrics() ? &trace : nullptr);
+    const gcal::GcalRunResult result =
+        interpreter.run(g, hook, exec, flags.wants_metrics() ? &trace : nullptr,
+                        flags.deadline_ms);
 
     std::printf("graph: n=%u m=%zu\n", g.node_count(), g.edge_count());
     std::printf("generations executed: %zu (iterations: %u)\n",
@@ -118,6 +130,9 @@ int main(int argc, char** argv) {
       std::printf("verified against union-find: ok\n");
     }
     return 0;
+  } catch (const gca::DeadlineExceeded& e) {
+    std::fprintf(stderr, "deadline exceeded: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -4,10 +4,11 @@
 # Release tree: the sparse active-region sweep must not be slower than the
 # dense whole-field sweep at n = 128 (>10% regression fails the check).
 #
-#   scripts/check.sh            # ASan + UBSan, then perf-smoke
+#   scripts/check.sh            # ASan + UBSan, then perf + crash smoke
 #   scripts/check.sh thread     # TSan (exercises the parallel sweep)
 #   scripts/check.sh address -R fault   # extra args go to ctest
-#   SKIP_PERF_SMOKE=1 scripts/check.sh  # sanitizers only
+#   SKIP_PERF_SMOKE=1 scripts/check.sh  # skip the perf guardrail
+#   SKIP_CRASH_SMOKE=1 scripts/check.sh # skip the SIGKILL-resume smoke
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,12 +30,13 @@ cmake -B "$BUILD_DIR" -S . \
 cmake --build "$BUILD_DIR" -j"$JOBS"
 
 # Fast-fail pass over the engine/observability/CLI surface first: the
-# observer re-entrancy, option-validation, metrics and IO-robustness tests
-# are the ones most likely to trip a sanitizer, and they finish in seconds.
+# observer re-entrancy, option-validation, metrics, IO-robustness,
+# checkpoint round-trip and cancellation tests are the ones most likely to
+# trip a sanitizer, and they finish in seconds.
 # (Skipped when the caller passes its own ctest selection.)
 if [ "$#" -eq 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity)[A-Za-z]*\.'
+    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel)[A-Za-z]*\.'
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
@@ -49,4 +51,39 @@ if [ "${SKIP_PERF_SMOKE:-0}" != "1" ]; then
   fi
   cmake --build "$PERF_BUILD_DIR" --target perf_smoke -j"$JOBS"
   "$PERF_BUILD_DIR"/bench/perf_smoke 128
+fi
+
+# Crash-recovery smoke: SIGKILL a durable-checkpointed run mid-algorithm,
+# relaunch with the same --checkpoint-dir, and require (a) a resume from a
+# non-zero iteration and (b) a labeling that matches the BFS baseline.
+# --step-delay-us widens the kill window so the KILL lands mid-run; if the
+# process still finishes before the signal (heavily loaded machine), the
+# smoke reports SKIP rather than failing on timing luck.
+if [ "${SKIP_CRASH_SMOKE:-0}" != "1" ]; then
+  PERF_BUILD_DIR="${PERF_BUILD_DIR:-build-bench}"
+  if [ ! -d "$PERF_BUILD_DIR" ]; then
+    cmake -B "$PERF_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$PERF_BUILD_DIR" --target gca_resilient_cc -j"$JOBS"
+  CKPT_DIR="$(mktemp -d)"
+  trap 'rm -rf "$CKPT_DIR"' EXIT
+  "$PERF_BUILD_DIR"/examples/gca_resilient_cc --n 48 --rate 0 \
+    --step-delay-us 8000 --checkpoint-dir "$CKPT_DIR" >/dev/null 2>&1 &
+  VICTIM=$!
+  sleep 0.6
+  kill -9 "$VICTIM" 2>/dev/null || true
+  wait "$VICTIM" 2>/dev/null || true
+  if [ ! -f "$CKPT_DIR/hirschberg.ckpt" ]; then
+    echo "crash-recovery smoke: SKIP (run finished before the kill landed)"
+  else
+    RELAUNCH="$("$PERF_BUILD_DIR"/examples/gca_resilient_cc --n 48 --rate 0 \
+      --checkpoint-dir "$CKPT_DIR" 2>&1)"
+    echo "$RELAUNCH" | grep -q 'resumed from durable checkpoint at iteration' \
+      || { echo "crash-recovery smoke: FAIL (relaunch did not resume)" >&2
+           echo "$RELAUNCH" >&2; exit 1; }
+    echo "$RELAUNCH" | grep -q 'labels vs sequential BFS baseline: MATCH' \
+      || { echo "crash-recovery smoke: FAIL (resumed labels are wrong)" >&2
+           echo "$RELAUNCH" >&2; exit 1; }
+    echo "crash-recovery smoke: OK (SIGKILL + resume + MATCH)"
+  fi
 fi

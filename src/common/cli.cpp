@@ -106,6 +106,9 @@ std::map<std::string, bool> with_execution_flags(
   spec.emplace("record-access", false);
   spec.emplace("trace-out", true);
   spec.emplace("metrics-out", true);
+  spec.emplace("deadline-ms", true);
+  spec.emplace("checkpoint-dir", true);
+  spec.emplace("retries", true);
   return spec;
 }
 
@@ -122,6 +125,17 @@ ExecutionFlags execution_flags(const CliArgs& args) {
   flags.record_access = args.has("record-access");
   flags.trace_out = args.get_string("trace-out", "");
   flags.metrics_out = args.get_string("metrics-out", "");
+  const std::int64_t deadline = args.get_int("deadline-ms", 0);
+  if (deadline < 0) {
+    throw std::runtime_error("--deadline-ms must be >= 0 (0 = unlimited)");
+  }
+  flags.deadline_ms = deadline;
+  flags.checkpoint_dir = args.get_string("checkpoint-dir", "");
+  const std::int64_t retries = args.get_int("retries", 0);
+  if (retries < 0 || retries > 1000) {
+    throw std::runtime_error("--retries must be in [0, 1000]");
+  }
+  flags.retries = static_cast<unsigned>(retries);
   return flags;
 }
 

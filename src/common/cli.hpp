@@ -55,6 +55,10 @@ namespace cli {
 ///                          (requires an effectively sequential sweep)
 ///   --trace-out FILE       write a Chrome trace_event JSON of the run
 ///   --metrics-out FILE     write per-step metrics (.json = JSON, else CSV)
+///   --deadline-ms N        wall-clock budget per run/query (0 = unlimited)
+///   --checkpoint-dir DIR   durable checkpoints: resume from an intact
+///                          checkpoint found in DIR and keep it current
+///   --retries N            re-attempts after a detected-corruption failure
 /// The policy and sweep mode are carried as their spelled names; convert
 /// with gca::parse_execution_policy / gca::parse_sweep_mode (or build
 /// validated engine options with gca::options_from_flags) at the point of
@@ -67,6 +71,9 @@ struct ExecutionFlags {
   bool record_access = false;
   std::string trace_out;    ///< empty = tracing disabled
   std::string metrics_out;  ///< empty = metrics export disabled
+  std::int64_t deadline_ms = 0;  ///< 0 = unlimited
+  std::string checkpoint_dir;    ///< empty = no durable checkpoints
+  unsigned retries = 0;          ///< 0 = fail on first detected corruption
 
   /// True when the tool should attach a metrics sink to the run.
   [[nodiscard]] bool wants_metrics() const {

@@ -1,0 +1,57 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for artifact integrity.
+//
+// Used by the durable checkpoint format (core/checkpoint.hpp) to detect
+// torn writes and bit rot on load.  The table is built at compile time;
+// the streaming form lets callers checksum a header and payload without
+// concatenating them first.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace gcalib {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Streaming update: feeds `size` bytes into a running CRC state.  Start
+/// from `crc32_init()` and finish with `crc32_final(state)`.
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+[[nodiscard]] inline std::uint32_t crc32_update(std::uint32_t state,
+                                                const void* data,
+                                                std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state = detail::kCrc32Table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot convenience: CRC-32 of a buffer.
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32_final(crc32_update(crc32_init(), data, size));
+}
+
+}  // namespace gcalib

@@ -1,0 +1,72 @@
+// Status — the error taxonomy of the service-facing layers.
+//
+// The library's internal contracts throw `ContractViolation` (assert.hpp):
+// a throw means a bug or corrupted state and unwinds the whole operation.
+// The *service* layers (core::Runner batches, durable checkpoint IO,
+// deadline enforcement) need the opposite posture: a failed query, a torn
+// checkpoint file or an expired deadline is an expected outcome that must
+// be reported per operation without aborting its siblings.  `Status` is
+// that report — a small value type carrying a coarse machine-readable code
+// plus a human-readable diagnosis, modelled on the widely used RPC
+// canonical codes so the mapping to any transport is obvious.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace gcalib {
+
+/// Canonical outcome codes (subset of the RPC canonical space that the
+/// library actually produces).
+enum class StatusCode {
+  kOk = 0,
+  kCancelled,           ///< caller requested cooperative cancellation
+  kDeadlineExceeded,    ///< per-operation wall-clock budget expired
+  kInvalidArgument,     ///< malformed input (bad options, size mismatch)
+  kNotFound,            ///< referenced artifact does not exist
+  kDataLoss,            ///< artifact exists but is torn/corrupt (CRC, header)
+  kFailedPrecondition,  ///< detected state corruption / contract trap
+  kInternal,            ///< unexpected failure (foreign exception, IO error)
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Outcome of one fallible operation: a code plus a diagnosis message
+/// (empty for kOk).  Default-constructed Status is OK.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code == StatusCode::kOk; }
+
+  [[nodiscard]] static Status error(StatusCode code, std::string message) {
+    return Status{code, std::move(message)};
+  }
+
+  /// "OK" or "CODE: message" for logs and CLI output.
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "OK";
+    std::string out = gcalib::to_string(code);
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status&, const Status&) = default;
+};
+
+}  // namespace gcalib

@@ -1,0 +1,223 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "common/crc32.hpp"
+
+namespace gcalib::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 32;
+constexpr std::size_t kCrcBytes = 4;
+
+/// Upper bound on the cell count a loader will allocate for — rejects
+/// fuzzed headers that would otherwise request gigabytes.  2^26 cells
+/// covers n up to ~8k nodes, far beyond any simulated field.
+constexpr std::uint64_t kMaxCells = std::uint64_t{1} << 26;
+
+/// The infinity sentinel of the d registers (mirrors core::kInfData without
+/// pulling in the machine header).
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+void put_u32(std::string& out, std::uint32_t value) {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFFu);
+  }
+  out.append(reinterpret_cast<const char*>(bytes), 4);
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>((value >> (8 * i)) & 0xFFu);
+  }
+  out.append(reinterpret_cast<const char*>(bytes), 8);
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::string& bytes,
+                                    std::size_t offset) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::string& bytes,
+                                    std::size_t offset) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) |
+            static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+void get_plane(const std::string& bytes, std::size_t offset, std::size_t count,
+               std::vector<std::uint32_t>& plane) {
+  plane.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    plane[i] = get_u32(bytes, offset + 4 * i);
+  }
+}
+
+[[nodiscard]] Status data_loss(std::string message) {
+  return Status::error(StatusCode::kDataLoss,
+                       "checkpoint: " + std::move(message));
+}
+
+}  // namespace
+
+std::string serialize_checkpoint(const CheckpointData& data) {
+  const std::size_t cells = data.a.size();
+  std::string out;
+  out.reserve(kHeaderBytes + 12 * cells + kCrcBytes);
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, data.n);
+  put_u32(out, data.iteration);
+  put_u64(out, data.generation);
+  put_u64(out, cells);
+  for (const std::vector<std::uint32_t>* plane : {&data.a, &data.d, &data.p}) {
+    for (std::uint32_t value : *plane) put_u32(out, value);
+  }
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+Status parse_checkpoint(const std::string& bytes, CheckpointData& out) {
+  if (bytes.size() < kHeaderBytes + kCrcBytes) {
+    return data_loss("truncated header (" + std::to_string(bytes.size()) +
+                     " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return data_loss("bad magic (not a GCKP checkpoint)");
+  }
+  const std::uint32_t version = get_u32(bytes, 4);
+  if (version != kVersion) {
+    return data_loss("unsupported version " + std::to_string(version) +
+                     " (expected " + std::to_string(kVersion) + ")");
+  }
+  const std::uint32_t n = get_u32(bytes, 8);
+  const std::uint32_t iteration = get_u32(bytes, 12);
+  const std::uint64_t generation = get_u64(bytes, 16);
+  const std::uint64_t cells = get_u64(bytes, 24);
+  if (n == 0) return data_loss("node count is zero");
+  if (cells > kMaxCells) {
+    return data_loss("cell count " + std::to_string(cells) +
+                     " exceeds the loader bound");
+  }
+  if (cells != (std::uint64_t{n} + 1) * n) {
+    return data_loss("cell count " + std::to_string(cells) +
+                     " does not match the (n+1) x n field of n = " +
+                     std::to_string(n));
+  }
+  const std::size_t expected =
+      kHeaderBytes + 12 * static_cast<std::size_t>(cells) + kCrcBytes;
+  if (bytes.size() != expected) {
+    return data_loss("payload length " + std::to_string(bytes.size()) +
+                     " does not match the header (expected " +
+                     std::to_string(expected) + " bytes)");
+  }
+  const std::uint32_t stored_crc = get_u32(bytes, bytes.size() - kCrcBytes);
+  const std::uint32_t actual_crc =
+      crc32(bytes.data(), bytes.size() - kCrcBytes);
+  if (stored_crc != actual_crc) {
+    return data_loss("CRC mismatch (torn write or bit rot)");
+  }
+
+  CheckpointData data;
+  data.n = n;
+  data.iteration = iteration;
+  data.generation = generation;
+  const auto count = static_cast<std::size_t>(cells);
+  get_plane(bytes, kHeaderBytes, count, data.a);
+  get_plane(bytes, kHeaderBytes + 4 * count, count, data.d);
+  get_plane(bytes, kHeaderBytes + 8 * count, count, data.p);
+
+  // Semantic range checks: a CRC only proves the file matches what was
+  // written; these prove what was written is a reachable machine state.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (data.a[i] > 1) {
+      return data_loss("adjacency bit out of range at cell " +
+                       std::to_string(i));
+    }
+    if (data.d[i] > n && data.d[i] != kInf) {
+      return data_loss("d register out of range at cell " + std::to_string(i));
+    }
+    if (data.p[i] >= count) {
+      return data_loss("p register addresses outside the field at cell " +
+                       std::to_string(i));
+    }
+  }
+  out = std::move(data);
+  return Status{};
+}
+
+Status save_checkpoint_file(const std::string& path,
+                            const CheckpointData& data) {
+  const std::string bytes = serialize_checkpoint(data);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: cannot open " + tmp + " for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: cannot rename " + tmp + " to " + path);
+  }
+  return Status{};
+}
+
+Status load_checkpoint_file(const std::string& path, CheckpointData& out) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::error(StatusCode::kNotFound,
+                         "checkpoint: no file at " + path);
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: read error on " + path);
+  }
+  Status status = parse_checkpoint(bytes, out);
+  if (!status.ok()) status.message += " [" + path + "]";
+  return status;
+}
+
+void remove_checkpoint_file(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+std::string checkpoint_path_in(const std::string& dir) {
+  if (dir.empty()) return {};
+  const char last = dir.back();
+  return (last == '/' || last == '\\') ? dir + "hirschberg.ckpt"
+                                       : dir + "/hirschberg.ckpt";
+}
+
+}  // namespace gcalib::core

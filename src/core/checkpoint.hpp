@@ -1,0 +1,82 @@
+// Durable (on-disk) checkpoints for Hirschberg runs.
+//
+// PR 1's snapshot/rollback recovery dies with the process: a SIGKILL mid-
+// algorithm loses every anchor and the run restarts from generation 0.
+// This module serialises the full machine state — both SoA planes (the
+// immutable adjacency bits plus the double-buffered d/p registers), the
+// engine generation counter and the state-machine position (next outer
+// iteration) — into a small versioned binary artifact that survives the
+// process, so a relaunched run resumes mid-algorithm.
+//
+// Format (all integers little-endian, fixed width):
+//
+//   offset  size  field
+//   0       4     magic "GCKP"
+//   4       4     version (currently 1)
+//   8       4     n (node count; field is (n+1) x n cells)
+//   12      4     next outer iteration to execute
+//   16      8     engine generation counter
+//   24      8     cell count (must equal (n+1) * n)
+//   32      4*C   a plane (adjacency bits)
+//   32+4C   4*C   d plane (data words)
+//   32+8C   4*C   p plane (pointer words)
+//   end     4     CRC-32 (IEEE) over every preceding byte
+//
+// Torn-write safety: `save_checkpoint_file` writes to a temporary sibling
+// and renames it over the target, so a crash mid-write leaves either the
+// previous intact checkpoint or a stray temp file — never a half-written
+// artifact under the real name.  The loader additionally verifies magic,
+// version, exact length, the CRC, and the per-register value ranges, and
+// reports each failure as a distinct `Status` diagnosis instead of ever
+// accepting corrupt state (fuzzed in tests/fuzz_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace gcalib::core {
+
+/// One serialisable machine state.  `HirschbergGca::checkpoint_data` /
+/// `restore_from` convert between this and a live machine.
+struct CheckpointData {
+  std::uint32_t n = 0;           ///< node count; field is (n+1) x n
+  std::uint32_t iteration = 0;   ///< next outer iteration to execute
+  std::uint64_t generation = 0;  ///< engine generation counter
+  std::vector<std::uint32_t> a;  ///< adjacency plane, (n+1) * n entries
+  std::vector<std::uint32_t> d;  ///< data plane
+  std::vector<std::uint32_t> p;  ///< pointer plane
+
+  friend bool operator==(const CheckpointData&, const CheckpointData&) =
+      default;
+};
+
+/// The on-disk encoding of `data` (header + planes + CRC).
+[[nodiscard]] std::string serialize_checkpoint(const CheckpointData& data);
+
+/// Inverse of `serialize_checkpoint` with full validation.  Returns
+/// kDataLoss with a diagnosis on any corruption (bad magic/version, size
+/// mismatch, truncation, CRC failure, out-of-range register values); `out`
+/// is only written on success.  Never throws on malformed input.
+[[nodiscard]] Status parse_checkpoint(const std::string& bytes,
+                                      CheckpointData& out);
+
+/// Atomically writes `data` to `path` (temp file + rename).  Returns
+/// kInternal with the OS diagnosis when the filesystem refuses.
+[[nodiscard]] Status save_checkpoint_file(const std::string& path,
+                                          const CheckpointData& data);
+
+/// Loads and validates a checkpoint file.  kNotFound when no file exists
+/// (the normal cold-start case), kDataLoss for a torn or tampered file.
+[[nodiscard]] Status load_checkpoint_file(const std::string& path,
+                                          CheckpointData& out);
+
+/// Removes a checkpoint file if present (cleanup after a completed run).
+void remove_checkpoint_file(const std::string& path);
+
+/// The checkpoint filename used inside a `--checkpoint-dir` directory.
+[[nodiscard]] std::string checkpoint_path_in(const std::string& dir);
+
+}  // namespace gcalib::core

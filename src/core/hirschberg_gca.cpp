@@ -387,6 +387,47 @@ graph::Graph HirschbergGca::graph_from_field() const {
   return g;
 }
 
+CheckpointData HirschbergGca::checkpoint_data(unsigned next_iteration) const {
+  CheckpointData data;
+  data.n = n_;
+  data.iteration = next_iteration;
+  data.generation = engine_->generation();
+  data.a = engine_->soa_immutable().a;
+  data.d = engine_->soa_current().d;
+  data.p = engine_->soa_current().p;
+  return data;
+}
+
+Status HirschbergGca::restore_from(const CheckpointData& data,
+                                   unsigned& next_iteration) {
+  const auto reject = [](std::string message) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "checkpoint restore: " + std::move(message));
+  };
+  if (n_ == 0) return reject("machine has no nodes");
+  if (data.n != n_) {
+    return reject("data is for n = " + std::to_string(data.n) +
+                  ", this machine has n = " + std::to_string(n_));
+  }
+  const std::size_t cells = engine_->size();
+  if (data.a.size() != cells || data.d.size() != cells ||
+      data.p.size() != cells) {
+    return reject("plane sizes do not match the field");
+  }
+  if (data.iteration > outer_iterations(n_)) {
+    return reject("iteration " + std::to_string(data.iteration) +
+                  " is beyond the schedule of n = " + std::to_string(n_));
+  }
+  gca::Engine<Cell>::Snapshot snap;
+  snap.cells.immutable.a = data.a;
+  snap.cells.current.d = data.d;
+  snap.cells.current.p = data.p;
+  snap.generation = data.generation;
+  engine_->restore(snap);
+  next_iteration = data.iteration;
+  return Status{};
+}
+
 RunResult HirschbergGca::run(const RunOptions& options) {
   RunResult result;
   engine_->set_options(gca::EngineOptions{}
@@ -400,6 +441,26 @@ RunResult HirschbergGca::run(const RunOptions& options) {
                            .with_sweep(options.sweep));
 
   if (n_ == 0) return result;
+
+  // Install the stop signals for the duration of the run (detached on
+  // every exit path — including a Cancelled/DeadlineExceeded unwind — so
+  // the machine can be re-run with a fresh budget).
+  struct StopGuard {
+    gca::Engine<Cell>* engine = nullptr;
+    ~StopGuard() {
+      if (engine != nullptr) {
+        engine->set_cancel_token(nullptr);
+        engine->set_deadline_ns(0);
+      }
+    }
+  } stop_guard;
+  if (options.deadline_ms > 0 || options.cancel != nullptr) {
+    stop_guard.engine = engine_.get();
+    if (options.deadline_ms > 0) {
+      engine_->set_deadline_ns(gca::steady_deadline_ns(options.deadline_ms));
+    }
+    if (options.cancel != nullptr) engine_->set_cancel_token(options.cancel);
+  }
 
   // Attach the metrics sink for the duration of the run (detached on every
   // exit path, so a machine can be re-run with different options).
@@ -422,10 +483,38 @@ RunResult HirschbergGca::run(const RunOptions& options) {
   };
   const StepHooks hooks{emit, options.before_step, options.after_step};
 
+  // Durable-checkpoint setup: an intact checkpoint in `checkpoint_dir`
+  // replaces generation 0 entirely (the killed process's progress resumes
+  // mid-algorithm); a torn or mismatched one is rejected with a diagnosis
+  // and the run starts fresh — corrupt state is never silently loaded.
+  const std::string durable_path =
+      options.checkpoint_dir.empty()
+          ? std::string{}
+          : checkpoint_path_in(options.checkpoint_dir);
+  unsigned start_iteration = 0;
+  if (!durable_path.empty()) {
+    CheckpointData data;
+    const Status loaded = load_checkpoint_file(durable_path, data);
+    if (loaded.ok()) {
+      const Status restored = restore_from(data, start_iteration);
+      if (restored.ok()) {
+        result.resumed = true;
+        result.resume_iteration = start_iteration;
+      } else {
+        result.diagnoses.push_back("durable checkpoint rejected: " +
+                                   restored.message);
+      }
+    } else if (loaded.code != StatusCode::kNotFound) {
+      result.diagnoses.push_back("durable checkpoint rejected: " +
+                                 loaded.message);
+    }
+  }
+
   // Generation 0 (the injection hooks cover it too: a fault here corrupts
   // the field before the initial snapshot is taken, which is the one kind
-  // of corruption checkpoint recovery cannot undo).
-  {
+  // of corruption checkpoint recovery cannot undo).  Skipped on a durable
+  // resume — the restored field already is a post-initialisation state.
+  if (!result.resumed) {
     const StepId id{0, Generation::kInit, 0};
     if (hooks.before) hooks.before(*this, id);
     GenerationStats stats = step_generation(Generation::kInit, 0);
@@ -437,19 +526,37 @@ RunResult HirschbergGca::run(const RunOptions& options) {
   const RecoveryPolicy& policy = options.recovery;
   const bool recovery = policy.enabled();
 
-  // Checkpoints.  `initial` (the post-initialisation state) doubles as the
-  // restart anchor; `checkpoint` advances every `checkpoint_interval`
-  // completed-and-clean outer iterations.
+  // Checkpoints.  `initial` (the post-initialisation — or just-resumed —
+  // state) doubles as the restart anchor; `checkpoint` advances every
+  // `checkpoint_interval` completed-and-clean outer iterations.  The
+  // durable file mirrors the in-memory cadence (every iteration when
+  // recovery is off) and is written atomically, so a crash at any moment
+  // leaves an intact resume anchor on disk.
   gca::Engine<Cell>::Snapshot initial;
   gca::Engine<Cell>::Snapshot checkpoint;
-  unsigned checkpoint_iteration = 0;
+  unsigned checkpoint_iteration = start_iteration;
   if (recovery) {
     initial = engine_->snapshot();
     checkpoint = initial;
   }
+  const unsigned durable_interval =
+      recovery ? policy.checkpoint_interval : 1;
+  const auto write_durable = [&](unsigned next_iteration) {
+    if (durable_path.empty()) return;
+    const Status saved =
+        save_checkpoint_file(durable_path, checkpoint_data(next_iteration));
+    if (!saved.ok()) {
+      // Degraded but correct: the run continues, it just cannot resume
+      // from this point after a crash.
+      result.diagnoses.push_back("durable checkpoint write failed: " +
+                                 saved.message);
+    }
+  };
+  if (!result.resumed) write_durable(start_iteration);
+  if (result.resumed && options.on_restore) options.on_restore(*this);
 
   std::size_t previous_components = n_;
-  unsigned iter = 0;
+  unsigned iter = start_iteration;
 
   // Escalation ladder: rollback to the latest checkpoint while the budget
   // lasts, then restart from the initial snapshot, then fail with the full
@@ -468,8 +575,8 @@ RunResult HirschbergGca::run(const RunOptions& options) {
       ++result.restarts;
       engine_->restore(initial);
       checkpoint = initial;
-      checkpoint_iteration = 0;
-      iter = 0;
+      checkpoint_iteration = start_iteration;
+      iter = start_iteration;
     } else {
       std::string history;
       for (const std::string& d : result.diagnoses) {
@@ -523,6 +630,9 @@ RunResult HirschbergGca::run(const RunOptions& options) {
         checkpoint = engine_->snapshot();
         checkpoint_iteration = iter;
       }
+      if (iter < iterations && iter % durable_interval == 0) {
+        write_durable(iter);
+      }
       continue;
     }
 
@@ -536,6 +646,10 @@ RunResult HirschbergGca::run(const RunOptions& options) {
     }
     break;
   }
+
+  // A completed run retires its durable anchor so the next fresh run on
+  // this directory starts from generation 0 instead of a stale state.
+  if (!durable_path.empty()) remove_checkpoint_file(durable_path);
 
   result.iterations = iterations;
 

@@ -21,7 +21,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/status.hpp"
+#include "core/checkpoint.hpp"
 #include "core/generation.hpp"
+#include "gca/cancel.hpp"
 #include "gca/engine.hpp"
 #include "gca/execution.hpp"
 #include "gca/field.hpp"
@@ -187,6 +190,25 @@ struct RunOptions {
   /// monitors and injectors can resynchronise their baselines.
   std::function<void(HirschbergGca&)> on_restore;
   RecoveryPolicy recovery;
+
+  // --- process-resilience hooks (DESIGN.md §10) -------------------------
+
+  /// Wall-clock budget for the whole run in milliseconds; 0 = unlimited.
+  /// The deadline is polled at every sweep chunk boundary and an expiry
+  /// throws `gca::DeadlineExceeded` with the field left on the last
+  /// completed generation.  No cost when unset.
+  std::int64_t deadline_ms = 0;
+  /// External kill switch (non-owning; nullptr = none).  Tripping it from
+  /// any thread aborts the run with `gca::Cancelled` at the next chunk
+  /// boundary.
+  gca::CancelToken* cancel = nullptr;
+  /// Directory for durable checkpoints (empty = in-memory recovery only).
+  /// When set, the run (a) resumes from an intact checkpoint found there —
+  /// a corrupt one is rejected with a diagnosis and the run starts fresh —
+  /// and (b) writes a checkpoint atomically at every checkpoint boundary
+  /// (`recovery.checkpoint_interval` iterations; every iteration when
+  /// recovery is disabled).  The file is removed on successful completion.
+  std::string checkpoint_dir;
 };
 
 /// Result of a full run.
@@ -199,6 +221,8 @@ struct RunResult {
   unsigned rollbacks = 0;             ///< checkpoint rollbacks performed
   unsigned restarts = 0;              ///< full restarts performed
   std::vector<std::string> diagnoses; ///< one entry per detected corruption
+  bool resumed = false;               ///< run resumed from a durable checkpoint
+  unsigned resume_iteration = 0;      ///< outer iteration the resume entered at
 };
 
 /// The GCA machine specialised to Hirschberg's algorithm.
@@ -262,6 +286,22 @@ class HirschbergGca {
 
   /// The input graph reconstructed from the adjacency bits in the field.
   [[nodiscard]] graph::Graph graph_from_field() const;
+
+  // --- durable checkpoints (core/checkpoint.hpp) ------------------------
+
+  /// The machine's full serialisable state: both SoA planes, the engine
+  /// generation counter, and `next_iteration` as the state-machine
+  /// position a resumed run enters at.
+  [[nodiscard]] CheckpointData checkpoint_data(unsigned next_iteration) const;
+
+  /// Restores the machine from checkpoint data (the inverse of
+  /// `checkpoint_data`).  Validates that the data belongs to a machine of
+  /// this size and that the iteration is within the schedule; returns
+  /// kInvalidArgument with a diagnosis instead of loading a mismatched
+  /// state.  On success `next_iteration` receives the iteration to resume
+  /// at.
+  [[nodiscard]] Status restore_from(const CheckpointData& data,
+                                    unsigned& next_iteration);
 
  private:
   template <typename Rule>

@@ -1,9 +1,12 @@
 #include "core/runner.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "common/assert.hpp"
 #include "core/hirschberg_gca.hpp"
+#include "gca/cancel.hpp"
 #include "gca/thread_pool.hpp"
 #include "graph/labeling.hpp"
 
@@ -24,8 +27,12 @@ QueryResult solve_query(const graph::Graph& g, const RunOptions& run_options) {
 
 }  // namespace
 
-Runner::Runner(RunnerOptions options) : options_(options) {
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
   GCALIB_EXPECTS_MSG(options_.threads >= 1, "runner: threads must be >= 1");
+  GCALIB_EXPECTS_MSG(options_.deadline_ms >= 0,
+                     "runner: deadline_ms must be >= 0 (0 = unlimited)");
+  GCALIB_EXPECTS_MSG(options_.retry_backoff_ms >= 0,
+                     "runner: retry_backoff_ms must be >= 0");
   if (options_.threads > 1 && options_.policy == gca::ExecutionPolicy::kPool) {
     pool_ = gca::ThreadPool::shared(options_.threads);
   }
@@ -40,16 +47,75 @@ QueryResult Runner::solve(const graph::Graph& g) const {
   run_options.policy = options_.policy;
   run_options.sweep = options_.sweep;
   run_options.sink = options_.sink;
+  run_options.deadline_ms = options_.deadline_ms;
+  run_options.cancel = options_.cancel;
   return solve_query(g, run_options);
 }
 
-std::vector<QueryResult> Runner::solve_batch(
+QueryOutcome Runner::attempt_query(const graph::Graph& g, std::size_t index,
+                                   const RunOptions& base) const {
+  QueryOutcome outcome;
+  const unsigned max_attempts = options_.retries + 1;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome.attempts = attempt + 1;
+    if (options_.cancel != nullptr && options_.cancel->cancel_requested()) {
+      outcome.status = Status::error(StatusCode::kCancelled,
+                                     "query cancelled before execution");
+      return outcome;
+    }
+    RunOptions run_options = base;
+    if (options_.configure_query) options_.configure_query(index, run_options);
+    try {
+      outcome.result = solve_query(g, run_options);
+      outcome.status = Status{};
+      return outcome;
+    } catch (const gca::DeadlineExceeded& e) {
+      // The budget is spent; a retry would just time out again later.
+      outcome.status = Status::error(StatusCode::kDeadlineExceeded, e.what());
+      return outcome;
+    } catch (const gca::Cancelled& e) {
+      outcome.status = Status::error(StatusCode::kCancelled, e.what());
+      return outcome;
+    } catch (const ContractViolation& e) {
+      // Detected corruption (bad input, injected fault, failed self check):
+      // retryable — a fresh machine re-derives everything from the graph.
+      outcome.status = Status::error(StatusCode::kFailedPrecondition, e.what());
+    } catch (const std::exception& e) {
+      outcome.status = Status::error(StatusCode::kInternal, e.what());
+    } catch (...) {
+      outcome.status = Status::error(StatusCode::kInternal,
+                                     "query failed with a non-standard exception");
+    }
+    if (attempt + 1 < max_attempts && options_.retry_backoff_ms > 0) {
+      // Exponential backoff: base, 2x base, 4x base, ...
+      const std::int64_t wait = options_.retry_backoff_ms << attempt;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+  }
+  return outcome;  // last attempt's error status, attempts == max_attempts
+}
+
+QueryOutcome Runner::try_solve(const graph::Graph& g) const {
+  RunOptions run_options;
+  run_options.instrument = options_.instrument;
+  run_options.threads = options_.threads;
+  run_options.policy = options_.policy;
+  run_options.sweep = options_.sweep;
+  run_options.sink = options_.sink;
+  run_options.deadline_ms = options_.deadline_ms;
+  run_options.cancel = options_.cancel;
+  return attempt_query(g, 0, run_options);
+}
+
+std::vector<QueryOutcome> Runner::solve_batch(
     const std::vector<graph::Graph>& graphs) const {
-  std::vector<QueryResult> results(graphs.size());
+  std::vector<QueryOutcome> outcomes(graphs.size());
   RunOptions run_options;
   run_options.instrument = options_.instrument;
   run_options.sweep = options_.sweep;
   run_options.sink = options_.sink;  // thread-safe sink; lanes push concurrently
+  run_options.deadline_ms = options_.deadline_ms;
+  run_options.cancel = options_.cancel;
   // Lanes parallelise across queries, so each query sweeps sequentially.
   run_options.threads = 1;
   run_options.policy = gca::ExecutionPolicy::kSequential;
@@ -58,21 +124,24 @@ std::vector<QueryResult> Runner::solve_batch(
       std::min<std::size_t>(options_.threads, graphs.size()));
   if (pool_ == nullptr || lanes <= 1) {
     for (std::size_t i = 0; i < graphs.size(); ++i) {
-      results[i] = solve_query(graphs[i], run_options);
+      outcomes[i] = attempt_query(graphs[i], i, run_options);
     }
-    return results;
+    return outcomes;
   }
 
+  // attempt_query is noexcept in effect (it catches at the query boundary),
+  // so no exception can reach the pool joins: a failing query can no longer
+  // strand sibling lanes draining a dead cursor.
   std::atomic<std::size_t> cursor{0};
   auto lane = [&](unsigned) {
     for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
          i < graphs.size();
          i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-      results[i] = solve_query(graphs[i], run_options);
+      outcomes[i] = attempt_query(graphs[i], i, run_options);
     }
   };
   pool_->run(lanes, lane);
-  return results;
+  return outcomes;
 }
 
 }  // namespace gcalib::core

@@ -17,21 +17,37 @@
 // Results always come back in input order, and every query is labelled by
 // the same Hirschberg machine the single-shot API uses, so a batch is
 // bit-compatible with n independent `gca_components` calls.
+//
+// Fault isolation (DESIGN.md §10): `solve_batch` confines every failure to
+// its own query.  Each query runs under the batch deadline and retry
+// policy and reports a `QueryOutcome` — ok, error-with-diagnosis, timed
+// out, cancelled, or recovered-after-retry — so one corrupt input, one
+// injected fault or one pathological graph no longer aborts its 63
+// siblings.  No exception of any kind escapes `solve_batch`: the pool
+// lanes catch at the query boundary, which also keeps the shared-cursor
+// joins exception-safe (a throw can no longer leave lanes draining a dead
+// cursor).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/status.hpp"
 #include "gca/execution.hpp"
 #include "graph/graph.hpp"
 
 namespace gcalib::gca {
+class CancelToken;
 class MetricsSink;
 class ThreadPool;
 }  // namespace gcalib::gca
 
 namespace gcalib::core {
+
+struct RunOptions;  // core/hirschberg_gca.hpp
 
 /// Knobs of a Runner instance (validated by the constructor).
 struct RunnerOptions {
@@ -47,6 +63,27 @@ struct RunnerOptions {
   /// `solve_batch` pushes steps from all pool lanes concurrently, so the
   /// sink must be thread-safe — `gca::Trace` is.
   gca::MetricsSink* sink = nullptr;
+
+  // --- per-query fault isolation (solve_batch / try_solve) --------------
+
+  /// Wall-clock budget per query in milliseconds (0 = unlimited).  An
+  /// expired query reports kDeadlineExceeded; its siblings are unaffected.
+  std::int64_t deadline_ms = 0;
+  /// Re-attempts for a query that failed with detected corruption or an
+  /// internal error (deadline and cancellation outcomes are final — their
+  /// budget is already spent).  `attempts = retries + 1` total.
+  unsigned retries = 0;
+  /// Base backoff between attempts in milliseconds, doubled per retry
+  /// (0 = immediate re-attempt; transient upsets usually only need the
+  /// re-execution itself).
+  std::int64_t retry_backoff_ms = 0;
+  /// External kill switch observed by every query of a batch (non-owning).
+  gca::CancelToken* cancel = nullptr;
+  /// Per-attempt configuration hook: called with the query index before
+  /// every attempt and may adjust that query's RunOptions (per-query
+  /// deadlines, fault-injection hooks for resilience tests, self checks).
+  /// Runs on the solving lane — must be thread-safe across queries.
+  std::function<void(std::size_t query, RunOptions& run)> configure_query;
 };
 
 /// Labeling of one query.
@@ -54,6 +91,19 @@ struct QueryResult {
   std::vector<graph::NodeId> labels;  ///< min-id component label per node
   std::size_t components = 0;         ///< number of distinct labels
   std::size_t generations = 0;        ///< engine steps the query executed
+};
+
+/// Per-query outcome of an isolated solve: the Status taxonomy plus the
+/// result (valid iff `status.ok()`).
+struct QueryOutcome {
+  Status status;       ///< kOk / kDeadlineExceeded / kCancelled / error
+  QueryResult result;  ///< meaningful only when `status.ok()`
+  unsigned attempts = 1;  ///< attempts consumed (> 1 with retries)
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  /// True when the query failed at least once and a retry produced a
+  /// clean labeling.
+  [[nodiscard]] bool recovered() const { return status.ok() && attempts > 1; }
 };
 
 class Runner {
@@ -66,16 +116,29 @@ class Runner {
 
   [[nodiscard]] const RunnerOptions& options() const { return options_; }
 
-  /// Labels one graph, sweeping its field across the pool lanes.
+  /// Labels one graph, sweeping its field across the pool lanes.  Throws
+  /// on failure (ContractViolation for detected corruption,
+  /// gca::DeadlineExceeded / gca::Cancelled for an expired budget) — the
+  /// non-isolating single-query API.
   [[nodiscard]] QueryResult solve(const graph::Graph& g) const;
 
+  /// Labels one graph with full fault isolation: never throws, applies
+  /// the deadline/retry policy, and reports the outcome.
+  [[nodiscard]] QueryOutcome try_solve(const graph::Graph& g) const;
+
   /// Labels every graph of the batch; queries are distributed over the
-  /// pool lanes and each is solved with a sequential sweep.  Results are
-  /// in input order.  Exceptions from any query propagate to the caller.
-  [[nodiscard]] std::vector<QueryResult> solve_batch(
+  /// pool lanes and each is solved with a sequential sweep.  Outcomes are
+  /// in input order.  Every failure is confined to its own QueryOutcome —
+  /// no exception escapes the batch, and the lane joins are exception-safe
+  /// by construction (lanes catch at the query boundary).
+  [[nodiscard]] std::vector<QueryOutcome> solve_batch(
       const std::vector<graph::Graph>& graphs) const;
 
  private:
+  [[nodiscard]] QueryOutcome attempt_query(const graph::Graph& g,
+                                           std::size_t index,
+                                           const RunOptions& base) const;
+
   RunnerOptions options_;
   std::shared_ptr<gca::ThreadPool> pool_;
 };

@@ -15,6 +15,22 @@ ResilientReport run_resilient(core::HirschbergGca& machine,
                               const graph::Graph& pristine,
                               const FaultPlan& plan,
                               const ResilientOptions& options) {
+  // Reject unusable configurations before any state is touched: a zero
+  // interval would silently disable the checkpointing the caller asked this
+  // wrapper for, and an empty escalation ladder could never recover.
+  GCALIB_EXPECTS_MSG(options.checkpoint_interval >= 1,
+                     "run_resilient: checkpoint_interval must be >= 1 "
+                     "(0 would disable the rollback targets this wrapper "
+                     "exists to provide)");
+  GCALIB_EXPECTS_MSG(options.max_rollbacks > 0 || options.max_restarts > 0,
+                     "run_resilient: escalation ladder is empty "
+                     "(max_rollbacks == 0 and max_restarts == 0 leaves no "
+                     "recovery action; the first detection would fail "
+                     "immediately)");
+  GCALIB_EXPECTS_MSG(options.deadline_ms >= 0,
+                     "run_resilient: deadline_ms must be >= 0 "
+                     "(0 = unlimited)");
+
   ResilientReport report;
 
   Injector injector(plan);
@@ -28,6 +44,8 @@ ResilientReport run_resilient(core::HirschbergGca& machine,
   run_options.recovery.checkpoint_interval = options.checkpoint_interval;
   run_options.recovery.max_rollbacks = options.max_rollbacks;
   run_options.recovery.max_restarts = options.max_restarts;
+  run_options.checkpoint_dir = options.checkpoint_dir;
+  if (options.deadline_ms > 0) run_options.deadline_ms = options.deadline_ms;
 
   try {
     report.run = machine.run(run_options);

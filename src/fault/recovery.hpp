@@ -26,13 +26,26 @@
 
 namespace gcalib::fault {
 
-/// Knobs of a resilient run.
+/// Knobs of a resilient run.  Validated by `run_resilient`:
+/// `checkpoint_interval` must be >= 1 (a resilient run without rollback
+/// targets is a contradiction — use HirschbergGca::run directly for that)
+/// and at least one escalation rung (`max_rollbacks` / `max_restarts`)
+/// must be reachable.  Violations throw ContractViolation up front instead
+/// of failing obscurely after the first detection.
 struct ResilientOptions {
   core::RunOptions base;     ///< threads / instrumentation / on_step
   MonitorConfig monitors;    ///< which invariant monitors run
   unsigned checkpoint_interval = 1;  ///< outer iterations between snapshots
   unsigned max_rollbacks = 3;
   unsigned max_restarts = 1;
+  /// Durable-checkpoint mode (DESIGN.md §10): when non-empty, checkpoints
+  /// are also persisted here and a fresh machine resumes from an intact
+  /// file found in the directory (forwarded to RunOptions::checkpoint_dir).
+  std::string checkpoint_dir;
+  /// Wall-clock budget in milliseconds (0 = unlimited); forwarded to
+  /// RunOptions::deadline_ms.  An expiry throws gca::DeadlineExceeded —
+  /// deliberately outside the rollback ladder.
+  std::int64_t deadline_ms = 0;
 };
 
 /// Outcome of a resilient run.

@@ -52,7 +52,11 @@
 //    register is also rolled back);
 //  * a read override — an interposer consulted on every mediated global
 //    read, which models faulty reads (dropped or misrouted accesses)
-//    without touching the rules.
+//    without touching the rules;
+//  * deadlines/cancellation (gca/cancel.hpp) — a CancelToken and/or an
+//    absolute deadline polled at every chunk boundary of every backend; a
+//    tripped signal throws before the commit, leaving the field on the
+//    previous generation.  Zero cost while neither is installed.
 //
 // Observability (gca/metrics.hpp): any number of `MetricsSink`s can be
 // attached alongside the observers.  While at least one sink is attached,
@@ -76,6 +80,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "gca/cancel.hpp"
 #include "gca/execution.hpp"
 #include "gca/instrumentation.hpp"
 #include "gca/metrics.hpp"
@@ -453,6 +458,26 @@ class Engine {
     return static_cast<bool>(read_override_);
   }
 
+  // --- deadlines and cooperative cancellation (gca/cancel.hpp) ----------
+  //
+  // Both signals are polled at step entry and at every chunk boundary of
+  // every sweep backend; a tripped signal throws `Cancelled` /
+  // `DeadlineExceeded` *before* the commit, so the field keeps the previous
+  // generation.  With neither installed the cost is two scalar compares per
+  // step and nothing per cell.
+
+  /// Installs an external kill switch (non-owning; nullptr detaches).  The
+  /// token is only ever read during a step — trip it from any thread.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
+  /// Absolute steady-clock deadline in nanoseconds (steady_deadline_ns);
+  /// 0 disables deadline enforcement.
+  void set_deadline_ns(std::int64_t deadline_ns) { deadline_ns_ = deadline_ns; }
+
+  [[nodiscard]] bool has_stop_signal() const {
+    return cancel_ != nullptr || deadline_ns_ != 0;
+  }
+
   /// Mediates global reads for one cell during one generation.
   class Reader {
    public:
@@ -567,6 +592,7 @@ class Engine {
         "bulk steps bypass read mediation; disable instrumentation, access "
         "recording and read overrides or use the mediated rule");
     validate_region(region);
+    if (has_stop_signal()) poll_stop();
     GenerationStats stats;
     stats.generation = generation_;
     stats.label = std::move(label);
@@ -582,7 +608,14 @@ class Engine {
 
     const unsigned t = options_.threads;
     if (!options_.parallel() || work < 2 * t) {
-      bulk(std::size_t{0}, work);
+      if (has_stop_signal()) {
+        for (std::size_t k = 0; k < work; k += kStopPollStride) {
+          poll_stop();
+          bulk(k, std::min(work, k + kStopPollStride));
+        }
+      } else {
+        bulk(std::size_t{0}, work);
+      }
     } else {
       run_chunks(work, timed,
                  [&bulk](unsigned, std::size_t begin, std::size_t end) {
@@ -611,6 +644,25 @@ class Engine {
   void clear_history() { history_.clear(); }
 
  private:
+  /// Polls the stop signals; throws before any state is committed.  Called
+  /// at step entry and between chunks; thread-safe (token reads are atomic,
+  /// the deadline is immutable during a step).
+  void poll_stop() const {
+    if (cancel_ != nullptr && cancel_->cancel_requested()) {
+      throw Cancelled("sweep cancelled at generation " +
+                      std::to_string(generation_));
+    }
+    if (deadline_ns_ != 0 &&
+        steady_now_ns() >= deadline_ns_) {
+      throw DeadlineExceeded("deadline expired at generation " +
+                             std::to_string(generation_));
+    }
+  }
+
+  /// Enumeration-positions per poll on the sequential backend (parallel
+  /// backends poll per lane chunk, which is already of this order).
+  static constexpr std::size_t kStopPollStride = 4096;
+
   [[nodiscard]] static std::uint64_t now_ns() {
     return static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -643,6 +695,7 @@ class Engine {
     GCALIB_EXPECTS_MSG(!notifying_,
                        "Engine::step must not be called from an observer or "
                        "metrics-sink callback");
+    if (has_stop_signal()) poll_stop();
     GenerationStats stats;
     stats.generation = generation_;
     stats.label = std::move(label);
@@ -665,10 +718,22 @@ class Engine {
     const unsigned t = options_.threads;
     if (!options_.parallel() || work < 2 * t) {
       if (options_.instrumentation) scratch_count(0).assign(store_.size(), 0);
-      sweep_region(rule, region, 0, work,
-                   options_.instrumentation ? &scratch_count(0) : nullptr,
-                   options_.record_access ? &last_access_ : nullptr,
-                   stats.active_cells);
+      std::vector<std::size_t>* counts =
+          options_.instrumentation ? &scratch_count(0) : nullptr;
+      std::vector<AccessEdge>* edges =
+          options_.record_access ? &last_access_ : nullptr;
+      if (has_stop_signal()) {
+        // Chunked sweep with a stop poll between chunks; counts and edges
+        // accumulate across chunks exactly as in the single call.
+        for (std::size_t k = 0; k < work; k += kStopPollStride) {
+          poll_stop();
+          sweep_region(rule, region, k, std::min(work, k + kStopPollStride),
+                       counts, edges, stats.active_cells);
+        }
+      } else {
+        sweep_region(rule, region, 0, work, counts, edges,
+                     stats.active_cells);
+      }
       if (options_.instrumentation) fold_counts(scratch_count(0), stats);
     } else {
       // set_options/setters validate every configuration path, so a
@@ -794,6 +859,10 @@ class Engine {
       const std::size_t begin = std::min(work, std::size_t{w} * chunk);
       const std::size_t end = std::min(work, begin + chunk);
       const std::uint64_t lane_start = timed ? now_ns() : 0;
+      // Chunk-boundary stop poll: both parallel backends capture lane
+      // exceptions and rethrow the first on the dispatching thread, so a
+      // tripped signal unwinds the step before the commit.
+      if (has_stop_signal()) poll_stop();
       chunk_fn(w, begin, end);
       if (timed) {
         scratch_lanes_[w] =
@@ -895,6 +964,8 @@ class Engine {
   bool notifying_ = false;
   std::size_t next_observer_id_ = 0;
   ReadOverride read_override_;
+  const CancelToken* cancel_ = nullptr;  ///< external kill switch (non-owning)
+  std::int64_t deadline_ns_ = 0;         ///< steady-clock deadline; 0 = none
   std::shared_ptr<ThreadPool> pool_;
   // Persistent parallel-sweep scratch (reused across steps).
   std::vector<std::vector<std::size_t>> scratch_counts_;

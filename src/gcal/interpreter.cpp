@@ -26,7 +26,8 @@ using Context = EvalContext;
 GcalRunResult Interpreter::run(const graph::Graph& g,
                                const GenerationHook& hook,
                                gca::EngineOptions exec,
-                               gca::MetricsSink* sink) const {
+                               gca::MetricsSink* sink,
+                               std::int64_t deadline_ms) const {
   const graph::NodeId n = g.node_count();
   GcalRunResult result;
   if (n == 0) return result;
@@ -42,6 +43,9 @@ GcalRunResult Interpreter::run(const graph::Graph& g,
   // Engine is local to this run, so the sink stays attached for its whole
   // lifetime — no removal needed.
   if (sink != nullptr) engine.add_sink(sink);
+  if (deadline_ms > 0) {
+    engine.set_deadline_ns(gca::steady_deadline_ns(deadline_ms));
+  }
 
   const auto snapshot = [&]() {
     std::vector<std::uint64_t> d(engine.size());

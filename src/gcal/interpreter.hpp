@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -86,9 +87,12 @@ class Interpreter {
   /// a single pointer clause); a pool policy shares the process-wide
   /// worker set.  `sink` (optional, non-owning) receives timed per-step
   /// statistics, labelled `name` / `name.subK` as in the hook.
+  /// `deadline_ms` (0 = unlimited) bounds the run's wall clock; an expiry
+  /// throws gca::DeadlineExceeded at the next sweep chunk boundary.
   GcalRunResult run(const graph::Graph& g, const GenerationHook& hook = {},
                     gca::EngineOptions exec = {},
-                    gca::MetricsSink* sink = nullptr) const;
+                    gca::MetricsSink* sink = nullptr,
+                    std::int64_t deadline_ms = 0) const;
 
  private:
   const Program& program_;

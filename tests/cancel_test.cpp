@@ -1,0 +1,148 @@
+// Cooperative cancellation and deadline tests (DESIGN.md §10): every sweep
+// backend honours a tripped CancelToken and an expired deadline, the unwind
+// leaves the field on the last completed generation (never mid-commit), and
+// a machine is reusable after the stop signal clears.
+#include "gca/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/hirschberg_gca.hpp"
+#include "gca/execution.hpp"
+#include "graph/cc_baselines.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+struct Backend {
+  const char* name;
+  gca::ExecutionPolicy policy;
+  unsigned threads;
+};
+
+std::vector<Backend> backends() {
+  return {{"sequential", gca::ExecutionPolicy::kSequential, 1},
+          {"spawn", gca::ExecutionPolicy::kSpawn, 4},
+          {"pool", gca::ExecutionPolicy::kPool, 4}};
+}
+
+TEST(Cancel, PreTrippedTokenAbortsEveryBackend) {
+  const Graph g = graph::random_gnp(24, 0.1, 5);
+  for (const Backend& backend : backends()) {
+    SCOPED_TRACE(backend.name);
+    HirschbergGca machine(g);
+    gca::CancelToken token;
+    token.request_cancel();
+    RunOptions options;
+    options.instrument = false;
+    options.threads = backend.threads;
+    options.policy = backend.policy;
+    options.cancel = &token;
+    EXPECT_THROW((void)machine.run(options), gca::Cancelled);
+    // The poll fires at step entry, before any work: nothing committed.
+    EXPECT_EQ(machine.engine().generation(), 0u);
+  }
+}
+
+TEST(Cancel, MidRunCancellationAbortsEveryBackend) {
+  const Graph g = graph::random_gnp(24, 0.1, 5);
+  for (const Backend& backend : backends()) {
+    SCOPED_TRACE(backend.name);
+    HirschbergGca machine(g);
+    gca::CancelToken token;
+    RunOptions options;
+    options.instrument = false;
+    options.threads = backend.threads;
+    options.policy = backend.policy;
+    options.cancel = &token;
+    options.before_step = [&token](HirschbergGca&, const StepId& step) {
+      if (step.iteration >= 1) token.request_cancel();
+    };
+    EXPECT_THROW((void)machine.run(options), gca::Cancelled);
+    EXPECT_GT(machine.engine().generation(), 0u)
+        << "iteration 0 must have committed before the trip";
+  }
+}
+
+TEST(Cancel, ExpiredDeadlineAbortsEveryBackend) {
+  const Graph g = graph::random_gnp(24, 0.1, 5);
+  for (const Backend& backend : backends()) {
+    SCOPED_TRACE(backend.name);
+    HirschbergGca machine(g);
+    RunOptions options;
+    options.instrument = false;
+    options.threads = backend.threads;
+    options.policy = backend.policy;
+    options.deadline_ms = 1;
+    options.before_step = [](HirschbergGca&, const StepId&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    };
+    EXPECT_THROW((void)machine.run(options), gca::DeadlineExceeded);
+  }
+}
+
+TEST(Cancel, UnwindLeavesFieldOnPreviousGeneration) {
+  const Graph g = graph::random_gnp(20, 0.15, 7);
+  HirschbergGca machine(g);
+  (void)machine.initialize();
+  machine.run_iteration(0);
+  const std::vector<std::uint64_t> before = machine.d_snapshot();
+  const std::uint64_t generation = machine.engine().generation();
+
+  machine.engine().set_deadline_ns(gca::steady_now_ns() - 1);
+  EXPECT_THROW((void)machine.step_generation(Generation::kCopyCToRows),
+               gca::DeadlineExceeded);
+  machine.engine().set_deadline_ns(0);
+
+  EXPECT_EQ(machine.engine().generation(), generation);
+  EXPECT_EQ(machine.d_snapshot(), before)
+      << "an aborted step must not half-commit the double buffer";
+}
+
+TEST(Cancel, MachineReusableAfterTokenResets) {
+  const Graph g = graph::random_gnp(24, 0.1, 5);
+  const std::vector<NodeId> expected = graph::bfs_components(g);
+  HirschbergGca machine(g);
+  gca::CancelToken token;
+
+  RunOptions options;
+  options.instrument = false;
+  options.cancel = &token;
+  options.before_step = [&token](HirschbergGca&, const StepId& step) {
+    if (step.iteration >= 1) token.request_cancel();
+  };
+  EXPECT_THROW((void)machine.run(options), gca::Cancelled);
+
+  // The run detached the token and deadline on unwind; a re-armed run on
+  // the same machine must complete and label correctly.
+  token.reset();
+  options.before_step = {};
+  const RunResult result = machine.run(options);
+  EXPECT_EQ(result.labels, expected);
+}
+
+TEST(Cancel, DeadlineCoversGranularSteps) {
+  const Graph g = graph::random_gnp(16, 0.2, 9);
+  HirschbergGca machine(g);
+  machine.engine().set_deadline_ns(gca::steady_now_ns() - 1);
+  EXPECT_THROW((void)machine.initialize(), gca::DeadlineExceeded);
+  machine.engine().set_deadline_ns(0);
+  EXPECT_NO_THROW((void)machine.initialize());
+}
+
+TEST(Cancel, SteadyDeadlineClampsZeroBudget) {
+  // A zero/negative budget must mean "already expired", never "unlimited".
+  const std::int64_t now = gca::steady_now_ns();
+  EXPECT_GT(gca::steady_deadline_ns(0), now - 1);
+  EXPECT_LE(gca::steady_deadline_ns(0), gca::steady_now_ns() + 1'000'000);
+}
+
+}  // namespace
+}  // namespace gcalib::core

@@ -1,0 +1,280 @@
+// Durable-checkpoint tests (DESIGN.md §10): round-trip bit-identity, the
+// loader's refusal of torn/tampered artifacts, and full kill-and-restart
+// resume — a run aborted mid-algorithm leaves an intact anchor on disk and
+// a relaunched machine continues from it to the same labeling, while a
+// corrupt anchor is rejected with a diagnosis and the run starts fresh.
+#include "core/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/hirschberg_gca.hpp"
+#include "core/schedule.hpp"
+#include "gca/cancel.hpp"
+#include "graph/cc_baselines.hpp"
+#include "graph/generators.hpp"
+
+namespace gcalib::core {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+/// A fresh empty directory under the test temp root.
+std::string make_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("gcalib_ckpt_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+CheckpointData sample_state(NodeId n) {
+  const Graph g = graph::random_gnp(n, 0.2, 17);
+  HirschbergGca machine(g);
+  (void)machine.initialize();
+  machine.run_iteration(0);
+  return machine.checkpoint_data(1);
+}
+
+/// Runs to completion with `checkpoint_dir`, cancelling at the start of
+/// outer iteration `kill_at` — the moral equivalent of a SIGKILL at that
+/// point: the durable anchor written at the iteration boundary survives,
+/// the in-memory machine is discarded.
+void run_until_killed(const Graph& g, const std::string& dir,
+                      unsigned kill_at) {
+  HirschbergGca machine(g);
+  gca::CancelToken token;
+  RunOptions options;
+  options.instrument = false;
+  options.checkpoint_dir = dir;
+  options.cancel = &token;
+  options.before_step = [&token, kill_at](HirschbergGca&, const StepId& step) {
+    if (step.iteration >= kill_at) token.request_cancel();
+  };
+  EXPECT_THROW((void)machine.run(options), gca::Cancelled);
+}
+
+TEST(Checkpoint, SerializeParseRoundTripIsBitIdentical) {
+  const CheckpointData data = sample_state(14);
+  const std::string bytes = serialize_checkpoint(data);
+  CheckpointData parsed;
+  const Status status = parse_checkpoint(bytes, parsed);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(parsed, data);
+  // Serialisation is deterministic: same state, same bytes.
+  EXPECT_EQ(serialize_checkpoint(parsed), bytes);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const std::string dir = make_dir("file_round_trip");
+  const std::string path = checkpoint_path_in(dir);
+  const CheckpointData data = sample_state(11);
+  ASSERT_TRUE(save_checkpoint_file(path, data).ok());
+  CheckpointData loaded;
+  const Status status = load_checkpoint_file(path, loaded);
+  ASSERT_TRUE(status.ok()) << status.to_string();
+  EXPECT_EQ(loaded, data);
+  // The atomic temp sibling must not linger.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(Checkpoint, MissingFileIsNotFound) {
+  CheckpointData out;
+  const Status status =
+      load_checkpoint_file(make_dir("missing") + "/hirschberg.ckpt", out);
+  EXPECT_EQ(status.code, StatusCode::kNotFound);
+}
+
+TEST(Checkpoint, EveryTruncationRejected) {
+  const std::string bytes = serialize_checkpoint(sample_state(9));
+  // A torn write can stop anywhere; a representative sweep of prefixes
+  // must all be refused (the fuzzer covers the rest).
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{31},
+                           std::size_t{32}, bytes.size() / 2,
+                           bytes.size() - 1}) {
+    CheckpointData out;
+    const Status status = parse_checkpoint(bytes.substr(0, keep), out);
+    EXPECT_EQ(status.code, StatusCode::kDataLoss) << "kept " << keep;
+    EXPECT_FALSE(status.message.empty());
+  }
+}
+
+TEST(Checkpoint, BitFlipAnywhereRejected) {
+  const std::string bytes = serialize_checkpoint(sample_state(9));
+  for (std::size_t pos : {std::size_t{0}, std::size_t{5}, std::size_t{16},
+                          std::size_t{40}, bytes.size() / 2,
+                          bytes.size() - 2}) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    CheckpointData out;
+    const Status status = parse_checkpoint(corrupt, out);
+    EXPECT_EQ(status.code, StatusCode::kDataLoss) << "flipped byte " << pos;
+  }
+}
+
+TEST(Checkpoint, ValidCrcWithUnreachableStateRejected) {
+  // A well-formed file whose registers could never occur on the machine:
+  // the CRC passes, the semantic range check must still refuse it.
+  CheckpointData data = sample_state(9);
+  data.d[4] = data.n + 7;  // not a label, not the infinity code
+  CheckpointData out;
+  EXPECT_EQ(parse_checkpoint(serialize_checkpoint(data), out).code,
+            StatusCode::kDataLoss);
+
+  data = sample_state(9);
+  data.p[2] = static_cast<std::uint32_t>(data.a.size());  // off the field
+  EXPECT_EQ(parse_checkpoint(serialize_checkpoint(data), out).code,
+            StatusCode::kDataLoss);
+
+  data = sample_state(9);
+  data.a[0] = 2;  // adjacency bits are 0/1
+  EXPECT_EQ(parse_checkpoint(serialize_checkpoint(data), out).code,
+            StatusCode::kDataLoss);
+}
+
+TEST(Checkpoint, RestoreRejectsMismatchedMachine) {
+  const CheckpointData data = sample_state(12);
+  const Graph other = graph::random_gnp(16, 0.2, 3);
+  HirschbergGca machine(other);
+  unsigned next = 0;
+  const Status status = machine.restore_from(data, next);
+  EXPECT_EQ(status.code, StatusCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, RestoreRejectsIterationBeyondSchedule) {
+  CheckpointData data = sample_state(12);
+  data.iteration = outer_iterations(12) + 1;
+  HirschbergGca machine(graph::random_gnp(12, 0.2, 17));
+  unsigned next = 0;
+  EXPECT_EQ(machine.restore_from(data, next).code,
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, SaveOverwritesAtomically) {
+  const std::string dir = make_dir("overwrite");
+  const std::string path = checkpoint_path_in(dir);
+  const CheckpointData first = sample_state(9);
+  CheckpointData second = first;
+  second.iteration = 2;
+  ASSERT_TRUE(save_checkpoint_file(path, first).ok());
+  ASSERT_TRUE(save_checkpoint_file(path, second).ok());
+  CheckpointData loaded;
+  ASSERT_TRUE(load_checkpoint_file(path, loaded).ok());
+  EXPECT_EQ(loaded, second);
+}
+
+TEST(Checkpoint, KilledRunResumesToIdenticalLabeling) {
+  const Graph g = graph::random_gnp(24, 0.08, 11);
+  const std::vector<NodeId> expected = graph::bfs_components(g);
+  const std::string dir = make_dir("resume");
+
+  run_until_killed(g, dir, 2);
+  ASSERT_TRUE(std::filesystem::exists(checkpoint_path_in(dir)))
+      << "the killed run must leave its durable anchor behind";
+
+  HirschbergGca resumed(g);
+  RunOptions options;
+  options.instrument = false;
+  options.checkpoint_dir = dir;
+  const RunResult result = resumed.run(options);
+  EXPECT_TRUE(result.resumed);
+  EXPECT_GE(result.resume_iteration, 1u);
+  EXPECT_EQ(result.labels, expected)
+      << "a resumed run must label exactly like an uninterrupted one";
+
+  // Completion retires the anchor: the next run starts fresh.
+  EXPECT_FALSE(std::filesystem::exists(checkpoint_path_in(dir)));
+  HirschbergGca fresh(g);
+  const RunResult again = fresh.run(options);
+  EXPECT_FALSE(again.resumed);
+  EXPECT_EQ(again.labels, expected);
+}
+
+TEST(Checkpoint, ResumeSkipsTheCompletedIterations) {
+  const Graph g = graph::random_gnp(24, 0.08, 11);
+  const std::string dir = make_dir("skip");
+  run_until_killed(g, dir, 2);
+
+  HirschbergGca resumed(g);
+  RunOptions options;
+  options.instrument = false;
+  options.checkpoint_dir = dir;
+  unsigned first_iteration = ~0u;
+  options.before_step = [&first_iteration](HirschbergGca&,
+                                           const StepId& step) {
+    if (first_iteration == ~0u) first_iteration = step.iteration;
+  };
+  const RunResult result = resumed.run(options);
+  ASSERT_TRUE(result.resumed);
+  EXPECT_EQ(first_iteration, result.resume_iteration);
+  EXPECT_GE(first_iteration, 1u);
+}
+
+TEST(Checkpoint, CorruptAnchorRejectedWhilePristineSiblingResumes) {
+  const Graph g = graph::random_gnp(24, 0.08, 11);
+  const std::vector<NodeId> expected = graph::bfs_components(g);
+  const std::string pristine_dir = make_dir("pristine");
+  run_until_killed(g, pristine_dir, 2);
+  const std::string anchor = read_file(checkpoint_path_in(pristine_dir));
+  ASSERT_FALSE(anchor.empty());
+
+  // Sibling 1: truncated mid-plane (a torn write under a non-atomic
+  // filesystem).  Sibling 2: one flipped bit (storage rot).
+  const std::string torn_dir = make_dir("torn");
+  write_file(checkpoint_path_in(torn_dir),
+             anchor.substr(0, anchor.size() / 2));
+  const std::string flipped_dir = make_dir("flipped");
+  std::string flipped = anchor;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x04);
+  write_file(checkpoint_path_in(flipped_dir), flipped);
+
+  for (const std::string& dir : {torn_dir, flipped_dir}) {
+    HirschbergGca machine(g);
+    RunOptions options;
+    options.instrument = false;
+    options.checkpoint_dir = dir;
+    const RunResult result = machine.run(options);
+    EXPECT_FALSE(result.resumed) << dir;
+    ASSERT_FALSE(result.diagnoses.empty()) << dir;
+    EXPECT_NE(result.diagnoses.front().find("durable checkpoint rejected"),
+              std::string::npos);
+    EXPECT_EQ(result.labels, expected)
+        << "a rejected anchor must fall back to a clean fresh run";
+  }
+
+  // The pristine sibling still resumes bit-identically.
+  HirschbergGca machine(g);
+  RunOptions options;
+  options.instrument = false;
+  options.checkpoint_dir = pristine_dir;
+  const RunResult result = machine.run(options);
+  EXPECT_TRUE(result.resumed);
+  EXPECT_EQ(result.labels, expected);
+}
+
+TEST(Checkpoint, PathInNormalisesTrailingSlash) {
+  EXPECT_EQ(checkpoint_path_in("/tmp/x"), "/tmp/x/hirschberg.ckpt");
+  EXPECT_EQ(checkpoint_path_in("/tmp/x/"), "/tmp/x/hirschberg.ckpt");
+  EXPECT_TRUE(checkpoint_path_in("").empty());
+}
+
+}  // namespace
+}  // namespace gcalib::core

@@ -78,13 +78,18 @@ TEST(CliExecutionFlags, Defaults) {
   EXPECT_TRUE(exec.trace_out.empty());
   EXPECT_TRUE(exec.metrics_out.empty());
   EXPECT_FALSE(exec.wants_metrics());
+  EXPECT_EQ(exec.deadline_ms, 0);
+  EXPECT_TRUE(exec.checkpoint_dir.empty());
+  EXPECT_EQ(exec.retries, 0u);
 }
 
 TEST(CliExecutionFlags, ParsesAllFlags) {
   const cli::ExecutionFlags exec = cli::execution_flags(
       parse_exec({"--threads", "8", "--policy", "spawn",
                   "--no-instrumentation", "--record-access", "--n", "4",
-                  "--trace-out", "run.trace.json", "--metrics-out=m.csv"}));
+                  "--trace-out", "run.trace.json", "--metrics-out=m.csv",
+                  "--deadline-ms", "250", "--checkpoint-dir", "/tmp/ckpt",
+                  "--retries=2"}));
   EXPECT_EQ(exec.threads, 8u);
   EXPECT_EQ(exec.policy, "spawn");
   EXPECT_FALSE(exec.instrumentation);
@@ -92,6 +97,21 @@ TEST(CliExecutionFlags, ParsesAllFlags) {
   EXPECT_EQ(exec.trace_out, "run.trace.json");
   EXPECT_EQ(exec.metrics_out, "m.csv");
   EXPECT_TRUE(exec.wants_metrics());
+  EXPECT_EQ(exec.deadline_ms, 250);
+  EXPECT_EQ(exec.checkpoint_dir, "/tmp/ckpt");
+  EXPECT_EQ(exec.retries, 2u);
+}
+
+TEST(CliExecutionFlags, RejectsNegativeDeadline) {
+  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--deadline-ms", "-1"})),
+               std::runtime_error);
+}
+
+TEST(CliExecutionFlags, RejectsOutOfRangeRetries) {
+  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--retries", "-1"})),
+               std::runtime_error);
+  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--retries", "1001"})),
+               std::runtime_error);
 }
 
 TEST(CliExecutionFlags, WantsMetricsWithEitherOutput) {

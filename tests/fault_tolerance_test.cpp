@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -346,6 +347,80 @@ TEST(FaultTolerance, RecoveryConvergesUnderSparseSweeps) {
       EXPECT_EQ(sparse.violations.size(), dense.violations.size());
     }
   }
+}
+
+TEST(FaultTolerance, RejectsZeroCheckpointInterval) {
+  // A zero interval would silently disable the rollback anchors the caller
+  // asked this wrapper for — it must be refused up front, loudly.
+  const Graph g = graph::path(8);
+  HirschbergGca machine(g);
+  ResilientOptions options;
+  options.checkpoint_interval = 0;
+  EXPECT_THROW((void)run_resilient(machine, g, FaultPlan{}, options),
+               ContractViolation);
+}
+
+TEST(FaultTolerance, RejectsEmptyEscalationLadder) {
+  // No rollbacks and no restarts leaves no recovery action: the first
+  // detection could only fail.  Unreachable by intent — rejected up front.
+  const Graph g = graph::path(8);
+  HirschbergGca machine(g);
+  ResilientOptions options;
+  options.max_rollbacks = 0;
+  options.max_restarts = 0;
+  EXPECT_THROW((void)run_resilient(machine, g, FaultPlan{}, options),
+               ContractViolation);
+}
+
+TEST(FaultTolerance, RejectsNegativeDeadline) {
+  const Graph g = graph::path(8);
+  HirschbergGca machine(g);
+  ResilientOptions options;
+  options.deadline_ms = -1;
+  EXPECT_THROW((void)run_resilient(machine, g, FaultPlan{}, options),
+               ContractViolation);
+}
+
+TEST(FaultTolerance, ValidationFiresBeforeAnyExecution) {
+  // The contract check must precede hook installation and the run itself:
+  // no steps execute, no faults fire.
+  const Graph g = graph::path(8);
+  HirschbergGca machine(g);
+  FaultPlan plan;
+  FaultEvent flip;
+  flip.kind = FaultKind::kBitFlip;
+  flip.at = StepId{0, Generation::kInit, 0};
+  flip.cell = 0;
+  flip.reg = CellRegister::kD;
+  flip.mask = 1;
+  plan.add(flip);
+  ResilientOptions options;
+  options.checkpoint_interval = 0;
+  EXPECT_THROW((void)run_resilient(machine, g, plan, options),
+               ContractViolation);
+  EXPECT_EQ(machine.engine().generation(), 0u);
+}
+
+TEST(FaultTolerance, DurableModeSurvivesInjectedFaults) {
+  // run_resilient's durable-checkpoint mode: the run both recovers from its
+  // injected fault and maintains an on-disk anchor, which is retired once
+  // the labeling completes cleanly.
+  const std::string dir =
+      std::string(::testing::TempDir()) + "gcalib_resilient_durable";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  const Family family = families().front();
+  const Scenario scenario = scenarios().front();
+  HirschbergGca machine(family.g);
+  ResilientOptions options;
+  options.checkpoint_dir = dir;
+  const ResilientReport report = run_resilient(
+      machine, family.g, FaultPlan{}.add(scenario.event), options);
+  EXPECT_TRUE(report.recovered);
+  EXPECT_EQ(report.run.labels, graph::bfs_components(family.g));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/hirschberg.ckpt"))
+      << "a clean completion must retire the durable anchor";
 }
 
 TEST(FaultTolerance, NmrCostScalesWithReplicas) {

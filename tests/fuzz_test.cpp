@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "core/hirschberg_ncells.hpp"
 #include "core/hirschberg_tree.hpp"
@@ -108,6 +109,98 @@ TEST(FuzzBattery, BrentVirtualisedPramMatchesFullyParallel) {
       EXPECT_EQ(brent.stats.work, full.stats.work) << describe(inst);
     }
   }
+}
+
+// --- checkpoint deserializer fuzzing (DESIGN.md §10) ----------------------
+//
+// The durable-checkpoint loader is the one parser in the system that eats
+// bytes written by a possibly-crashed, possibly-older process from a
+// possibly-failing disk.  Contract under fuzz: parse_checkpoint never
+// crashes, never accepts corrupt state, and every rejection carries a
+// diagnosis.  Accepting is only legal when the bytes round-trip to the
+// exact blob a healthy writer would produce.
+
+std::string valid_checkpoint_blob(graph::NodeId n, std::uint64_t seed) {
+  core::HirschbergGca machine(graph::random_gnp(n, 0.25, seed));
+  (void)machine.initialize();
+  machine.run_iteration(0);
+  return core::serialize_checkpoint(machine.checkpoint_data(1));
+}
+
+/// Feeds `bytes` to the parser and enforces the fuzz contract.
+void expect_parser_is_total(const std::string& bytes,
+                            const std::string& context) {
+  core::CheckpointData out;
+  const Status status = core::parse_checkpoint(bytes, out);
+  if (status.ok()) {
+    // Acceptance is only legal for bytes a healthy writer could have
+    // produced: re-serialising the parsed state must reproduce the input
+    // bit for bit (a mutation that survives must have been a no-op).
+    EXPECT_EQ(core::serialize_checkpoint(out), bytes) << context;
+  } else {
+    EXPECT_FALSE(status.message.empty()) << context;
+  }
+}
+
+TEST(FuzzCheckpoint, RandomMutationsNeverCrashOrSlipThrough) {
+  Xoshiro256 rng(20260807);
+  const std::string pristine = valid_checkpoint_blob(13, 99);
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = pristine;
+    const std::size_t flips = 1 + rng.below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          static_cast<unsigned char>(1u << (rng() % 8)));
+    }
+    expect_parser_is_total(mutated, "round " + std::to_string(round));
+  }
+}
+
+TEST(FuzzCheckpoint, EveryTruncationLengthRejected) {
+  const std::string pristine = valid_checkpoint_blob(9, 7);
+  for (std::size_t keep = 0; keep < pristine.size(); ++keep) {
+    core::CheckpointData out;
+    const Status status = core::parse_checkpoint(pristine.substr(0, keep), out);
+    EXPECT_FALSE(status.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(FuzzCheckpoint, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(31337);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage(rng.below(512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() & 0xFF);
+    expect_parser_is_total(garbage, "garbage round " + std::to_string(round));
+  }
+}
+
+TEST(FuzzCheckpoint, HostileHeadersCannotForceHugeAllocations) {
+  // A fuzzed header claiming 2^40 cells must be rejected by the loader
+  // bound before any plane allocation happens (this test would OOM/crash
+  // otherwise).
+  const std::string pristine = valid_checkpoint_blob(9, 7);
+  for (std::uint64_t cells :
+       {std::uint64_t{1} << 27, std::uint64_t{1} << 40,
+        std::uint64_t{0xFFFFFFFFFFFFFFFF}}) {
+    std::string hostile = pristine;
+    for (std::size_t i = 0; i < 8; ++i) {
+      hostile[24 + i] = static_cast<char>((cells >> (8 * i)) & 0xFF);
+    }
+    core::CheckpointData out;
+    EXPECT_FALSE(core::parse_checkpoint(hostile, out).ok())
+        << "cells=" << cells;
+  }
+}
+
+TEST(FuzzCheckpoint, ExtendedAndRepeatedBlobsRejected) {
+  // Appending bytes (even another whole valid blob) breaks the exact-length
+  // contract; the parser must not read just the first record and accept.
+  const std::string pristine = valid_checkpoint_blob(9, 7);
+  core::CheckpointData out;
+  EXPECT_FALSE(core::parse_checkpoint(pristine + '\0', out).ok());
+  EXPECT_FALSE(core::parse_checkpoint(pristine + pristine, out).ok());
 }
 
 TEST(FuzzBattery, BrentStepInflationIsExact) {

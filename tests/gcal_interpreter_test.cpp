@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/hirschberg_gca.hpp"
 #include "core/hirschberg_tree.hpp"
 #include "core/schedule.hpp"
@@ -224,6 +227,25 @@ TEST(GcalTreeProgram, LabelsMatchNativeTreeMachine) {
               core::gca_tree_components(g))
         << seed;
   }
+}
+
+TEST(GcalInterpreter, DeadlineAbortsLongRun) {
+  // The interpreter's engine honours the same deadline plumbing as the
+  // native machine: a 1 ms budget with a stalling observer must unwind
+  // with DeadlineExceeded instead of running to completion.
+  const Graph g = graph::random_gnp(12, 0.3, 2);
+  const Program program = parse(hirschberg_gcal_source());
+  const Interpreter::GenerationHook stall =
+      [](const std::string&, const std::vector<std::uint64_t>&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      };
+  EXPECT_THROW(
+      (void)Interpreter(program).run(g, stall, gca::EngineOptions{}, nullptr,
+                                     /*deadline_ms=*/1),
+      gca::DeadlineExceeded);
+  // Without a deadline the same configuration completes.
+  EXPECT_EQ(Interpreter(program).run(g).labels,
+            graph::union_find_components(g));
 }
 
 class GcalVsOracle : public ::testing::TestWithParam<std::uint64_t> {};

@@ -365,8 +365,11 @@ TEST(Metrics, RunnerBatchSharesOneThreadSafeSink) {
   for (std::uint64_t seed = 1; seed <= 6; ++seed) {
     batch.push_back(graph::random_gnp(10, 0.3, seed));
   }
-  const std::vector<core::QueryResult> results = runner.solve_batch(batch);
-  for (const core::QueryResult& r : results) expected_steps += r.generations;
+  const std::vector<core::QueryOutcome> outcomes = runner.solve_batch(batch);
+  for (const core::QueryOutcome& o : outcomes) {
+    ASSERT_TRUE(o.ok());
+    expected_steps += o.result.generations;
+  }
   EXPECT_EQ(trace.size(), expected_steps);
 }
 

@@ -1,10 +1,21 @@
+// Runner tests: batch bit-compatibility against the BFS baseline plus the
+// fault-isolation contract of DESIGN.md §10 — a batch confines every
+// failure (corrupt state, expired deadline, cancellation) to its own
+// QueryOutcome, retries recover transient corruption, and no exception
+// ever escapes solve_batch.
 #include "core/runner.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
+#include "core/hirschberg_gca.hpp"
+#include "gca/cancel.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
@@ -40,6 +51,23 @@ void expect_matches_baseline(const QueryResult& result, const Graph& g) {
   EXPECT_GT(result.generations, 0u);
 }
 
+/// A before_step hook that, at the given step, smashes the column-0 cell of
+/// row 0 with an out-of-range label.  The next pointer jump dereferences
+/// d * n, walks off the field and trips the read precondition — a
+/// detection-guaranteed ContractViolation on both the mediated and the
+/// bulk-kernel sweep path.
+void corrupt_at(RunOptions& run, const StepId& site) {
+  run.before_step = [site](HirschbergGca& machine, const StepId& step) {
+    if (step == site) {
+      Cell cell = machine.engine().state(0);
+      cell.d = kInfData - 1;
+      machine.engine().set_state(0, cell);
+    }
+  };
+}
+
+StepId corruption_site() { return StepId{0, Generation::kPointerJump, 0}; }
+
 TEST(Runner, SingleQueryMatchesBaseline) {
   const Graph g = graph::random_gnp(20, 0.15, 5);
   Runner runner;
@@ -49,10 +77,13 @@ TEST(Runner, SingleQueryMatchesBaseline) {
 TEST(Runner, BatchMatchesBaselinesSequential) {
   const std::vector<Graph> graphs = mixed_batch();
   Runner runner;  // threads = 1: pure sequential fallback
-  const std::vector<QueryResult> results = runner.solve_batch(graphs);
-  ASSERT_EQ(results.size(), graphs.size());
+  const std::vector<QueryOutcome> outcomes = runner.solve_batch(graphs);
+  ASSERT_EQ(outcomes.size(), graphs.size());
   for (std::size_t q = 0; q < graphs.size(); ++q) {
-    expect_matches_baseline(results[q], graphs[q]);
+    ASSERT_TRUE(outcomes[q].ok()) << outcomes[q].status.to_string();
+    EXPECT_EQ(outcomes[q].attempts, 1u);
+    EXPECT_FALSE(outcomes[q].recovered());
+    expect_matches_baseline(outcomes[q].result, graphs[q]);
   }
 }
 
@@ -61,10 +92,11 @@ TEST(Runner, BatchMatchesBaselinesPooled) {
   RunnerOptions options;
   options.threads = 4;
   Runner runner(options);
-  const std::vector<QueryResult> results = runner.solve_batch(graphs);
-  ASSERT_EQ(results.size(), graphs.size());
+  const std::vector<QueryOutcome> outcomes = runner.solve_batch(graphs);
+  ASSERT_EQ(outcomes.size(), graphs.size());
   for (std::size_t q = 0; q < graphs.size(); ++q) {
-    expect_matches_baseline(results[q], graphs[q]);
+    ASSERT_TRUE(outcomes[q].ok()) << outcomes[q].status.to_string();
+    expect_matches_baseline(outcomes[q].result, graphs[q]);
   }
 }
 
@@ -73,13 +105,14 @@ TEST(Runner, PooledBatchMatchesSequentialBatch) {
   const std::vector<Graph> graphs = mixed_batch();
   RunnerOptions pooled;
   pooled.threads = 3;
-  const std::vector<QueryResult> a = Runner(pooled).solve_batch(graphs);
-  const std::vector<QueryResult> b = Runner().solve_batch(graphs);
+  const std::vector<QueryOutcome> a = Runner(pooled).solve_batch(graphs);
+  const std::vector<QueryOutcome> b = Runner().solve_batch(graphs);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t q = 0; q < a.size(); ++q) {
-    EXPECT_EQ(a[q].labels, b[q].labels);
-    EXPECT_EQ(a[q].components, b[q].components);
-    EXPECT_EQ(a[q].generations, b[q].generations);
+    ASSERT_TRUE(a[q].ok() && b[q].ok());
+    EXPECT_EQ(a[q].result.labels, b[q].result.labels);
+    EXPECT_EQ(a[q].result.components, b[q].result.components);
+    EXPECT_EQ(a[q].result.generations, b[q].result.generations);
   }
 }
 
@@ -96,10 +129,11 @@ TEST(Runner, BatchLargerThanPool) {
   }
   RunnerOptions options;
   options.threads = 4;
-  const std::vector<QueryResult> results = Runner(options).solve_batch(graphs);
-  ASSERT_EQ(results.size(), graphs.size());
+  const std::vector<QueryOutcome> outcomes = Runner(options).solve_batch(graphs);
+  ASSERT_EQ(outcomes.size(), graphs.size());
   for (std::size_t q = 0; q < graphs.size(); ++q) {
-    EXPECT_EQ(results[q].labels, graph::bfs_components(graphs[q]));
+    ASSERT_TRUE(outcomes[q].ok());
+    EXPECT_EQ(outcomes[q].result.labels, graph::bfs_components(graphs[q]));
   }
 }
 
@@ -107,6 +141,145 @@ TEST(Runner, RejectsZeroThreads) {
   RunnerOptions options;
   options.threads = 0;
   EXPECT_THROW(Runner{options}, std::exception);
+}
+
+TEST(Runner, RejectsNegativeDeadline) {
+  RunnerOptions options;
+  options.deadline_ms = -5;
+  EXPECT_THROW(Runner{options}, std::exception);
+}
+
+TEST(Runner, TrySolveReportsOk) {
+  const Graph g = graph::random_gnp(16, 0.2, 7);
+  Runner runner;
+  const QueryOutcome outcome = runner.try_solve(g);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_FALSE(outcome.recovered());
+  expect_matches_baseline(outcome.result, g);
+}
+
+TEST(Runner, TrySolveIsolatesCorruption) {
+  // A query whose state is smashed mid-run reports kFailedPrecondition with
+  // the contract diagnosis instead of throwing.
+  const Graph g = graph::random_gnp(16, 0.2, 7);
+  RunnerOptions options;
+  options.configure_query = [](std::size_t, RunOptions& run) {
+    corrupt_at(run, corruption_site());
+  };
+  Runner runner(options);
+  const QueryOutcome outcome = runner.try_solve(g);
+  EXPECT_EQ(outcome.status.code, StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(outcome.status.message.empty());
+  EXPECT_EQ(outcome.attempts, 1u);
+}
+
+TEST(Runner, TrySolveReportsDeadlineExceeded) {
+  const Graph g = graph::random_gnp(16, 0.2, 7);
+  RunnerOptions options;
+  options.retries = 3;  // must NOT be consumed: the budget is already spent
+  options.configure_query = [](std::size_t, RunOptions& run) {
+    run.deadline_ms = 1;
+    run.before_step = [](HirschbergGca&, const StepId&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    };
+  };
+  Runner runner(options);
+  const QueryOutcome outcome = runner.try_solve(g);
+  EXPECT_EQ(outcome.status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(outcome.attempts, 1u) << "deadline outcomes must not retry";
+}
+
+TEST(Runner, RecoversAfterRetry) {
+  // The corruption fires only on the first attempt of each query — the
+  // retry must produce a clean labeling and report recovered().
+  const Graph g = graph::random_gnp(16, 0.2, 7);
+  std::atomic<unsigned> calls{0};
+  RunnerOptions options;
+  options.retries = 2;
+  options.configure_query = [&calls](std::size_t, RunOptions& run) {
+    if (calls.fetch_add(1) == 0) corrupt_at(run, corruption_site());
+  };
+  Runner runner(options);
+  const QueryOutcome outcome = runner.try_solve(g);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_EQ(outcome.attempts, 2u);
+  EXPECT_TRUE(outcome.recovered());
+  expect_matches_baseline(outcome.result, g);
+}
+
+TEST(Runner, CancelledBatchReportsPerQuery) {
+  gca::CancelToken token;
+  token.request_cancel();
+  RunnerOptions options;
+  options.cancel = &token;
+  Runner runner(options);
+  const std::vector<QueryOutcome> outcomes =
+      runner.solve_batch(mixed_batch());
+  for (const QueryOutcome& outcome : outcomes) {
+    EXPECT_EQ(outcome.status.code, StatusCode::kCancelled);
+  }
+}
+
+// The acceptance scenario of ISSUE 5: a 64-query batch in which 4 queries
+// have their state smashed mid-run and 2 exceed their deadline.  The other
+// 58 must come back ok and bit-identical to a clean batch, the 6 failures
+// must carry per-query diagnoses, and nothing may escape solve_batch.
+TEST(Runner, BatchIsolatesCorruptAndExpiredQueries) {
+  constexpr std::size_t kQueries = 64;
+  const std::set<std::size_t> corrupt = {5, 17, 33, 60};
+  const std::set<std::size_t> expired = {10, 44};
+
+  std::vector<Graph> graphs;
+  graphs.reserve(kQueries);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    graphs.push_back(graph::random_gnp(static_cast<NodeId>(10 + q % 7), 0.25,
+                                       static_cast<std::uint64_t>(q)));
+  }
+
+  RunnerOptions options;
+  options.threads = 4;
+  options.configure_query = [&corrupt, &expired](std::size_t q,
+                                                 RunOptions& run) {
+    if (corrupt.count(q) != 0) corrupt_at(run, corruption_site());
+    if (expired.count(q) != 0) {
+      run.deadline_ms = 1;
+      run.before_step = [](HirschbergGca&, const StepId&) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      };
+    }
+  };
+  Runner runner(options);
+
+  std::vector<QueryOutcome> outcomes;
+  ASSERT_NO_THROW(outcomes = runner.solve_batch(graphs));
+  ASSERT_EQ(outcomes.size(), kQueries);
+
+  const std::vector<QueryOutcome> clean = Runner().solve_batch(graphs);
+  std::size_t ok = 0;
+  std::size_t diagnosed = 0;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    if (corrupt.count(q) != 0) {
+      EXPECT_EQ(outcomes[q].status.code, StatusCode::kFailedPrecondition)
+          << "query " << q;
+      EXPECT_FALSE(outcomes[q].status.message.empty());
+      ++diagnosed;
+    } else if (expired.count(q) != 0) {
+      EXPECT_EQ(outcomes[q].status.code, StatusCode::kDeadlineExceeded)
+          << "query " << q;
+      EXPECT_FALSE(outcomes[q].status.message.empty());
+      ++diagnosed;
+    } else {
+      ASSERT_TRUE(outcomes[q].ok())
+          << "query " << q << ": " << outcomes[q].status.to_string();
+      EXPECT_EQ(outcomes[q].result.labels, clean[q].result.labels)
+          << "query " << q;
+      EXPECT_EQ(outcomes[q].result.generations, clean[q].result.generations);
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok, kQueries - corrupt.size() - expired.size());
+  EXPECT_EQ(diagnosed, corrupt.size() + expired.size());
 }
 
 }  // namespace
