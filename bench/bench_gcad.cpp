@@ -1,0 +1,285 @@
+// bench_gcad — service-level latency of the gcad daemon under offered load.
+//
+// Runs the full in-process server loop (admission, micro-batching, journal
+// off) against three offered-load levels calibrated to the measured
+// capacity of this machine — light (~25%), moderate (~75%) and saturating
+// (~200%) — and reports per-level accepted/completed/shed counts,
+// throughput, and request->terminal-reply latency percentiles (p50/p95/p99)
+// as machine-readable JSON.  The saturating level is *expected* to shed:
+// the interesting number is that the latency of what it does complete
+// stays bounded instead of growing with the queue.
+//
+//   $ ./bench_gcad [--queries 150 --threads 2 --n 48 --out BENCH_gcad.json]
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/runner.hpp"
+#include "gcad/protocol.hpp"
+#include "gcad/server.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace gcalib;
+using Clock = std::chrono::steady_clock;
+
+/// Blocking line source: the load generator pushes request lines at the
+/// offered rate while the server's intake thread getline()s them.
+class BlockingLineSource : public std::streambuf {
+ public:
+  void push(const std::string& line) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(line + "\n");
+    }
+    cv_.notify_one();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_one();
+  }
+
+ protected:
+  int_type underflow() override {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return traits_type::eof();
+    current_ = std::move(queue_.front());
+    queue_.pop_front();
+    setg(current_.data(), current_.data(),
+         current_.data() + current_.size());
+    return traits_type::to_int_type(current_[0]);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::string> queue_;
+  bool closed_ = false;
+  std::string current_;
+};
+
+/// Reply sink that timestamps every completed line as the server emits it
+/// — request->reply latency is measured at the stream boundary, exactly
+/// what a pipe-connected client would observe (minus kernel transit).
+class TimestampingSink : public std::streambuf {
+ public:
+  std::vector<std::pair<std::string, Clock::time_point>> take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::move(lines_);
+  }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+    const char c = traits_type::to_char_type(ch);
+    if (c == '\n') {
+      std::lock_guard<std::mutex> lock(mutex_);
+      lines_.emplace_back(std::move(pending_), Clock::now());
+      pending_.clear();
+    } else {
+      pending_ += c;
+    }
+    return ch;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::string pending_;
+  std::vector<std::pair<std::string, Clock::time_point>> lines_;
+};
+
+std::string encode_solve(std::uint64_t id, const graph::Graph& g,
+                         const std::string& client) {
+  std::string line = "{\"id\":" + std::to_string(id) +
+                     ",\"op\":\"solve\",\"n\":" +
+                     std::to_string(g.node_count()) + ",\"edges\":[";
+  bool first = true;
+  for (const graph::Edge& edge : g.edges()) {
+    if (!first) line += ',';
+    first = false;
+    line += '[' + std::to_string(edge.u) + ',' + std::to_string(edge.v) + ']';
+  }
+  line += "],\"client\":\"" + client + "\"}";
+  return line;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+struct LevelResult {
+  std::string name;
+  double offered_qps = 0;
+  std::size_t queries = 0;
+  std::size_t accepted = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  double wall_s = 0;
+  double throughput_qps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+};
+
+LevelResult run_level(const std::string& name, double offered_qps,
+                      const std::vector<graph::Graph>& workload,
+                      unsigned threads) {
+  gcad::ServerOptions options;
+  options.threads = threads;
+  options.admission.queue_capacity = 256;
+  options.announce_overload = false;
+  gcad::Server server(std::move(options));
+
+  BlockingLineSource source;
+  TimestampingSink sink;
+  std::istream in(&source);
+  std::ostream out(&sink);
+  std::thread serve_thread([&] { (void)server.serve(in, out); });
+
+  std::map<std::uint64_t, Clock::time_point> sent;
+  const auto start = Clock::now();
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<std::int64_t>(1e9 / offered_qps));
+  static const char* const kClients[] = {"c0", "c1", "c2", "c3"};
+  for (std::size_t i = 0; i < workload.size(); ++i) {
+    const std::uint64_t id = i + 1;
+    const std::string line = encode_solve(id, workload[i], kClients[i % 4]);
+    sent[id] = Clock::now();
+    source.push(line);
+    std::this_thread::sleep_until(start + (i + 1) * interval);
+  }
+  source.close();  // EOF -> drain
+  serve_thread.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  LevelResult result;
+  result.name = name;
+  result.offered_qps = offered_qps;
+  result.queries = workload.size();
+  result.wall_s = wall_s;
+  std::vector<double> latencies_ms;
+  for (const auto& [line, when] : sink.take()) {
+    gcad::Json doc;
+    if (!gcad::parse_json(line, doc).ok()) continue;
+    const gcad::Json* event = doc.find("event");
+    const gcad::Json* id_field = doc.find("id");
+    if (event == nullptr || id_field == nullptr || !id_field->is_integer) {
+      continue;
+    }
+    const auto id = static_cast<std::uint64_t>(id_field->integer);
+    if (event->string == "accepted") {
+      ++result.accepted;
+    } else if (event->string == "done") {
+      const gcad::Json* status = doc.find("status");
+      if (status != nullptr && status->string == "OK") {
+        ++result.completed;
+        latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(when - sent[id])
+                .count());
+      }
+    } else if (event->string == "rejected" || event->string == "shed") {
+      ++result.shed;
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  result.throughput_qps =
+      wall_s > 0 ? static_cast<double>(result.completed) / wall_s : 0;
+  result.p50_ms = percentile(latencies_ms, 0.50);
+  result.p95_ms = percentile(latencies_ms, 0.95);
+  result.p99_ms = percentile(latencies_ms, 0.99);
+  return result;
+}
+
+}  // namespace
+
+using namespace gcalib;
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse_or_exit(
+      argc, argv,
+      {{"queries", true}, {"threads", true}, {"n", true}, {"out", true}});
+  const auto queries = static_cast<std::size_t>(args.get_int("queries", 150));
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 2));
+  const auto n = static_cast<graph::NodeId>(args.get_int("n", 48));
+  const std::string out_path = args.get_string("out", "");
+
+  std::vector<graph::Graph> workload;
+  workload.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    workload.push_back(graph::random_gnm(n, n * 3 / 4, 1000 + i));
+  }
+
+  // Capacity calibration: one warm solve gives the per-query cost this
+  // machine sustains, from which the three offered-load levels derive.
+  core::RunnerOptions calibration_options;
+  calibration_options.threads = 1;
+  core::Runner calibration(calibration_options);
+  (void)calibration.try_solve(workload[0]);  // warm-up
+  const core::QueryOutcome probe = calibration.try_solve(workload[0]);
+  const double per_query_s =
+      static_cast<double>(std::max<std::int64_t>(probe.elapsed_ns, 1)) / 1e9;
+  const double capacity_qps = static_cast<double>(threads) / per_query_s;
+
+  const std::vector<std::pair<std::string, double>> levels = {
+      {"light", 0.25 * capacity_qps},
+      {"moderate", 0.75 * capacity_qps},
+      {"saturating", 2.0 * capacity_qps},
+  };
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"gcad\",\n";
+  json << "  \"context\": {\"threads\": " << threads << ", \"n\": " << n
+       << ", \"queries_per_level\": " << queries
+       << ", \"calibrated_capacity_qps\": " << capacity_qps << "},\n";
+  json << "  \"levels\": [\n";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const LevelResult result =
+        run_level(levels[i].first, levels[i].second, workload, threads);
+    std::fprintf(stderr,
+                 "%-10s offered %8.1f q/s | completed %4zu/%zu shed %4zu | "
+                 "throughput %8.1f q/s | p50 %7.2f ms p95 %7.2f ms p99 %7.2f ms\n",
+                 result.name.c_str(), result.offered_qps, result.completed,
+                 result.queries, result.shed, result.throughput_qps,
+                 result.p50_ms, result.p95_ms, result.p99_ms);
+    json << "    {\"level\": \"" << result.name
+         << "\", \"offered_qps\": " << result.offered_qps
+         << ", \"queries\": " << result.queries
+         << ", \"accepted\": " << result.accepted
+         << ", \"completed\": " << result.completed
+         << ", \"shed\": " << result.shed
+         << ", \"wall_s\": " << result.wall_s
+         << ", \"throughput_qps\": " << result.throughput_qps
+         << ", \"p50_ms\": " << result.p50_ms
+         << ", \"p95_ms\": " << result.p95_ms
+         << ", \"p99_ms\": " << result.p99_ms << "}"
+         << (i + 1 < levels.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::fputs(json.str().c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// gcad — the always-on connected-components daemon.
+//
+// Reads line-delimited JSON requests on stdin, writes one JSON reply per
+// line on stdout (protocol: src/gcad/protocol.hpp).  SIGTERM triggers a
+// graceful drain: intake stops, queued work finishes within the drain
+// budget, and anything left is checkpointed in the queue journal for the
+// next incarnation.  A `kill -9` loses nothing either — accepted queries
+// are journaled before they are acknowledged.
+//
+//   $ ./gcad --threads 4 --journal /tmp/gcad.gcqj &
+//   $ echo '{"id":1,"op":"solve","n":4,"edges":[[0,1],[2,3]]}' > /proc/$!/fd/0
+//
+// Exit status: 0 clean drain, 1 drain timeout left journaled work behind,
+// 2 usage error.
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hpp"
+#include "gca/execution.hpp"
+#include "gca/metrics.hpp"
+#include "gcad/server.hpp"
+
+namespace {
+
+gcalib::gcad::Server* g_server = nullptr;
+
+extern "C" void on_sigterm(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcalib;
+  const CliArgs args = CliArgs::parse_or_exit(
+      argc, argv,
+      {{"threads", true},
+       {"policy", true},
+       {"sweep", true},
+       {"queue-cap", true},
+       {"max-batch", true},
+       {"retries", true},
+       {"retry-backoff-ms", true},
+       {"journal", true},
+       {"fault-rate", true},
+       {"fault-seed", true},
+       {"drain-timeout-ms", true},
+       {"quiet", false}});
+
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "error: %s\n", what);
+      std::exit(2);
+    }
+  };
+  gcad::ServerOptions options;
+  require(args.get_int("threads", 1) >= 1, "--threads must be >= 1");
+  options.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  require(args.get_int("queue-cap", 256) >= 1, "--queue-cap must be >= 1");
+  options.admission.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue-cap", 256));
+  require(args.get_int("max-batch", 16) >= 1, "--max-batch must be >= 1");
+  options.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 16));
+  require(args.get_int("retries", 1) >= 0, "--retries must be >= 0");
+  options.retries = static_cast<unsigned>(args.get_int("retries", 1));
+  require(args.get_int("retry-backoff-ms", 0) >= 0,
+          "--retry-backoff-ms must be >= 0");
+  options.retry_backoff_ms = args.get_int("retry-backoff-ms", 0);
+  options.journal_path = args.get_string("journal", "");
+  const double fault_rate = args.get_double("fault-rate", 0.0);
+  require(fault_rate >= 0.0 && fault_rate <= 1.0,
+          "--fault-rate must be in [0, 1]");
+  options.fault_rate = fault_rate;
+  options.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  require(args.get_int("drain-timeout-ms", 30'000) >= 0,
+          "--drain-timeout-ms must be >= 0");
+  options.drain_timeout_ms = args.get_int("drain-timeout-ms", 30'000);
+  try {
+    options.policy =
+        gca::parse_execution_policy(args.get_string("policy", "pool"));
+    options.sweep = gca::parse_sweep_mode(args.get_string("sweep", "sparse"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  gcad::Server server(std::move(options));
+  g_server = &server;
+
+  // No SA_RESTART: a SIGTERM mid-read makes the blocking stdin read return
+  // with EINTR, so the serve loop notices the stop request at once instead
+  // of waiting for the next complete line.
+  struct sigaction action = {};
+  action.sa_handler = on_sigterm;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  const int rc = server.serve(std::cin, std::cout);
+  g_server = nullptr;
+
+  if (!args.has("quiet")) {
+    std::fputs(gca::format_service_counters(server.counters().snapshot()).c_str(),
+               stderr);
+  }
+  return rc;
+}

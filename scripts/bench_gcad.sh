@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# gcad service benchmark: request->terminal-reply latency percentiles
+# (p50/p95/p99), completed throughput, and shed counts under three offered
+# load levels (light ~25%, moderate ~75%, saturating ~200% of the
+# calibrated single-machine capacity).  The saturating level is expected
+# to shed — the point is that tail latency of the work it *does* complete
+# stays bounded.
+#
+# Builds bench_gcad from a **Release** tree and writes BENCH_gcad.json.
+# Numbers from unoptimised builds are meaningless, so the script refuses
+# to run against a tree whose CMAKE_BUILD_TYPE is not Release (set
+# ALLOW_NON_RELEASE=1 to override with a loud warning).
+#
+# Usage: scripts/bench_gcad.sh [output.json]
+#   BUILD_DIR=build-foo scripts/bench_gcad.sh   # non-default build tree
+#   QUERIES=300 THREADS=4 scripts/bench_gcad.sh # heavier run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${1:-BENCH_gcad.json}
+QUERIES=${QUERIES:-150}
+THREADS=${THREADS:-2}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [ "$BUILD_TYPE" != "Release" ]; then
+  if [ "${ALLOW_NON_RELEASE:-0}" = "1" ]; then
+    echo "WARNING: benchmarking a '$BUILD_TYPE' tree ($BUILD_DIR) —" >&2
+    echo "WARNING: the numbers are NOT comparable to Release results." >&2
+  else
+    echo "error: $BUILD_DIR is a '$BUILD_TYPE' tree; benchmarks must run" >&2
+    echo "error: from a Release build.  Use the default BUILD_DIR, or" >&2
+    echo "error: reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+    echo "error: ALLOW_NON_RELEASE=1 to record anyway (loudly)." >&2
+    exit 1
+  fi
+fi
+
+cmake --build "$BUILD_DIR" --target bench_gcad -j "$(nproc)"
+
+"$BUILD_DIR"/bench/bench_gcad \
+  --queries "$QUERIES" --threads "$THREADS" --out "$OUT"
+
+echo "wrote $OUT"

@@ -9,6 +9,7 @@
 #   scripts/check.sh address -R fault   # extra args go to ctest
 #   SKIP_PERF_SMOKE=1 scripts/check.sh  # skip the perf guardrail
 #   SKIP_CRASH_SMOKE=1 scripts/check.sh # skip the SIGKILL-resume smoke
+#   SKIP_SOAK_SMOKE=1 scripts/check.sh  # skip the gcad fault/kill soak
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,14 +30,14 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$JOBS"
 
-# Fast-fail pass over the engine/observability/CLI surface first: the
-# observer re-entrancy, option-validation, metrics, IO-robustness,
-# checkpoint round-trip and cancellation tests are the ones most likely to
-# trip a sanitizer, and they finish in seconds.
-# (Skipped when the caller passes its own ctest selection.)
+# Fast-fail pass over the engine/observability/CLI/service surface first:
+# the observer re-entrancy, option-validation, metrics, IO-robustness,
+# checkpoint round-trip, cancellation and gcad admission/journal/protocol
+# tests are the ones most likely to trip a sanitizer, and they finish in
+# seconds.  (Skipped when the caller passes its own ctest selection.)
 if [ "$#" -eq 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel)[A-Za-z]*\.'
+    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status)[A-Za-z]*\.'
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
@@ -86,4 +87,25 @@ if [ "${SKIP_CRASH_SMOKE:-0}" != "1" ]; then
            echo "$RELAUNCH" >&2; exit 1; }
     echo "crash-recovery smoke: OK (SIGKILL + resume + MATCH)"
   fi
+fi
+
+# gcad soak smoke: saturate the daemon with mixed-priority traffic while
+# injecting step faults, SIGKILL it mid-stream, restart on the same journal,
+# and require that every accepted query still reaches a terminal reply with
+# labels matching an offline union-find (zero accepted-query loss).  The
+# soak driver does all auditing itself and exits non-zero on any violation.
+if [ "${SKIP_SOAK_SMOKE:-0}" != "1" ]; then
+  PERF_BUILD_DIR="${PERF_BUILD_DIR:-build-bench}"
+  if [ ! -d "$PERF_BUILD_DIR" ]; then
+    cmake -B "$PERF_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$PERF_BUILD_DIR" --target gcad gcad_soak -j"$JOBS"
+  SOAK_DIR="$(mktemp -d)"
+  trap 'rm -rf "${CKPT_DIR:-}" "${SOAK_DIR:-}"' EXIT
+  "$PERF_BUILD_DIR"/examples/gcad_soak \
+    --gcad "$PERF_BUILD_DIR"/examples/gcad \
+    --journal "$SOAK_DIR/soak.gcqj" \
+    --queries 120 --fault-rate 0.3 --kill \
+    || { echo "gcad soak smoke: FAIL" >&2; exit 1; }
+  echo "gcad soak smoke: OK (faults + SIGKILL + restart, zero loss)"
 fi

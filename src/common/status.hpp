@@ -12,6 +12,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace gcalib {
@@ -27,6 +28,17 @@ enum class StatusCode {
   kDataLoss,            ///< artifact exists but is torn/corrupt (CRC, header)
   kFailedPrecondition,  ///< detected state corruption / contract trap
   kInternal,            ///< unexpected failure (foreign exception, IO error)
+  kResourceExhausted,   ///< admission shed: queue full / no capacity in time
+  kUnavailable,         ///< service is draining or shut down; retry elsewhere
+};
+
+/// Every code in declaration order, for exhaustive tests and tables.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,           StatusCode::kCancelled,
+    StatusCode::kDeadlineExceeded, StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,     StatusCode::kDataLoss,
+    StatusCode::kFailedPrecondition, StatusCode::kInternal,
+    StatusCode::kResourceExhausted, StatusCode::kUnavailable,
 };
 
 [[nodiscard]] constexpr const char* to_string(StatusCode code) {
@@ -39,8 +51,24 @@ enum class StatusCode {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
+}
+
+/// Inverse of `to_string`: the wire-format decoder of the gcad protocol.
+/// Returns false (and leaves `out` untouched) for an unknown spelling, so
+/// hostile input cannot smuggle in a fabricated code.
+[[nodiscard]] constexpr bool status_code_from_string(std::string_view name,
+                                                     StatusCode& out) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (name == to_string(code)) {
+      out = code;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Outcome of one fallible operation: a code plus a diagnosis message

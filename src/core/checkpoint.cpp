@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <limits>
+#include <system_error>
 
 #include "common/crc32.hpp"
 
@@ -211,6 +213,28 @@ Status load_checkpoint_file(const std::string& path, CheckpointData& out) {
 
 void remove_checkpoint_file(const std::string& path) {
   std::remove(path.c_str());
+}
+
+Status ensure_checkpoint_dir(const std::string& dir) {
+  if (dir.empty()) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "checkpoint: directory path is empty");
+  }
+  std::error_code ec;
+  const std::filesystem::path path(dir);
+  if (std::filesystem::exists(path, ec)) {
+    if (!std::filesystem::is_directory(path, ec)) {
+      return Status::error(StatusCode::kInvalidArgument,
+                           "checkpoint: " + dir + " is not a directory");
+    }
+    return Status{};
+  }
+  if (!std::filesystem::create_directories(path, ec) || ec) {
+    return Status::error(StatusCode::kInvalidArgument,
+                         "checkpoint: cannot create directory " + dir +
+                             (ec ? " (" + ec.message() + ")" : ""));
+  }
+  return Status{};
 }
 
 std::string checkpoint_path_in(const std::string& dir) {

@@ -79,4 +79,13 @@ void remove_checkpoint_file(const std::string& path);
 /// The checkpoint filename used inside a `--checkpoint-dir` directory.
 [[nodiscard]] std::string checkpoint_path_in(const std::string& dir);
 
+/// Create-or-fail-fast validation of a checkpoint directory: creates the
+/// directory (and missing parents) when absent, and returns
+/// kInvalidArgument with the OS diagnosis when the path cannot become a
+/// writable directory (exists as a file, uncreatable parent, permission).
+/// Callers run this *before* any work so a misconfigured directory yields
+/// one clean Status up front instead of a write error deep inside the
+/// atomic temp+rename path on every checkpoint boundary.
+[[nodiscard]] Status ensure_checkpoint_dir(const std::string& dir);
+
 }  // namespace gcalib::core

@@ -487,10 +487,22 @@ RunResult HirschbergGca::run(const RunOptions& options) {
   // replaces generation 0 entirely (the killed process's progress resumes
   // mid-algorithm); a torn or mismatched one is rejected with a diagnosis
   // and the run starts fresh — corrupt state is never silently loaded.
-  const std::string durable_path =
+  std::string durable_path =
       options.checkpoint_dir.empty()
           ? std::string{}
           : checkpoint_path_in(options.checkpoint_dir);
+  if (!durable_path.empty()) {
+    // Create-or-fail-fast: a missing directory is created here, and an
+    // unusable one yields a single clean diagnosis up front — the run then
+    // proceeds degraded (no durability) instead of hitting an opaque
+    // rename error at every checkpoint boundary.
+    const Status usable = ensure_checkpoint_dir(options.checkpoint_dir);
+    if (!usable.ok()) {
+      result.diagnoses.push_back("durable checkpoints disabled: " +
+                                 usable.message);
+      durable_path.clear();
+    }
+  }
   unsigned start_iteration = 0;
   if (!durable_path.empty()) {
     CheckpointData data;

@@ -56,26 +56,54 @@ QueryOutcome Runner::attempt_query(const graph::Graph& g, std::size_t index,
                                    const RunOptions& base) const {
   QueryOutcome outcome;
   const unsigned max_attempts = options_.retries + 1;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed_ms = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const auto stamp = [&](QueryOutcome& o) -> QueryOutcome& {
+    o.elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    return o;
+  };
   for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
     outcome.attempts = attempt + 1;
     if (options_.cancel != nullptr && options_.cancel->cancel_requested()) {
       outcome.status = Status::error(StatusCode::kCancelled,
                                      "query cancelled before execution");
-      return outcome;
+      return stamp(outcome);
     }
     RunOptions run_options = base;
     if (options_.configure_query) options_.configure_query(index, run_options);
+    // The deadline is a budget for the whole isolated solve: later attempts
+    // only get what earlier attempts and backoffs left over, and an attempt
+    // with no budget left fails immediately instead of running to certain
+    // expiry.
+    const std::int64_t query_deadline_ms = run_options.deadline_ms;
+    if (query_deadline_ms > 0) {
+      const std::int64_t remaining = query_deadline_ms - elapsed_ms();
+      if (remaining <= 0) {
+        outcome.status = Status::error(
+            StatusCode::kDeadlineExceeded,
+            "deadline budget exhausted before attempt " +
+                std::to_string(attempt + 1));
+        return stamp(outcome);
+      }
+      run_options.deadline_ms = remaining;
+    }
     try {
       outcome.result = solve_query(g, run_options);
       outcome.status = Status{};
-      return outcome;
+      return stamp(outcome);
     } catch (const gca::DeadlineExceeded& e) {
       // The budget is spent; a retry would just time out again later.
       outcome.status = Status::error(StatusCode::kDeadlineExceeded, e.what());
-      return outcome;
+      return stamp(outcome);
     } catch (const gca::Cancelled& e) {
       outcome.status = Status::error(StatusCode::kCancelled, e.what());
-      return outcome;
+      return stamp(outcome);
     } catch (const ContractViolation& e) {
       // Detected corruption (bad input, injected fault, failed self check):
       // retryable — a fresh machine re-derives everything from the graph.
@@ -87,12 +115,25 @@ QueryOutcome Runner::attempt_query(const graph::Graph& g, std::size_t index,
                                      "query failed with a non-standard exception");
     }
     if (attempt + 1 < max_attempts && options_.retry_backoff_ms > 0) {
-      // Exponential backoff: base, 2x base, 4x base, ...
-      const std::int64_t wait = options_.retry_backoff_ms << attempt;
+      // Exponential backoff: base, 2x base, 4x base, ... — clamped to the
+      // remaining deadline budget so a sleep can never outlive the query,
+      // and skipped entirely (reporting expiry) when no budget remains.
+      std::int64_t wait = options_.retry_backoff_ms << attempt;
+      if (query_deadline_ms > 0) {
+        const std::int64_t remaining = query_deadline_ms - elapsed_ms();
+        if (remaining <= 0) {
+          outcome.status = Status::error(
+              StatusCode::kDeadlineExceeded,
+              "deadline budget exhausted during retry backoff (last error: " +
+                  outcome.status.message + ")");
+          return stamp(outcome);
+        }
+        wait = std::min(wait, remaining);
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(wait));
     }
   }
-  return outcome;  // last attempt's error status, attempts == max_attempts
+  return stamp(outcome);  // last attempt's error status, attempts == max_attempts
 }
 
 QueryOutcome Runner::try_solve(const graph::Graph& g) const {

@@ -66,8 +66,11 @@ struct RunnerOptions {
 
   // --- per-query fault isolation (solve_batch / try_solve) --------------
 
-  /// Wall-clock budget per query in milliseconds (0 = unlimited).  An
-  /// expired query reports kDeadlineExceeded; its siblings are unaffected.
+  /// Wall-clock budget per query in milliseconds (0 = unlimited).  The
+  /// budget covers the *whole* isolated solve — every attempt and every
+  /// backoff sleep draw from the same allowance, so retries can never
+  /// stretch a query past its deadline.  An expired query reports
+  /// kDeadlineExceeded; its siblings are unaffected.
   std::int64_t deadline_ms = 0;
   /// Re-attempts for a query that failed with detected corruption or an
   /// internal error (deadline and cancellation outcomes are final — their
@@ -75,7 +78,9 @@ struct RunnerOptions {
   unsigned retries = 0;
   /// Base backoff between attempts in milliseconds, doubled per retry
   /// (0 = immediate re-attempt; transient upsets usually only need the
-  /// re-execution itself).
+  /// re-execution itself).  Each sleep is clamped to the remaining
+  /// deadline budget: a query whose budget is already spent reports
+  /// kDeadlineExceeded immediately instead of sleeping through it.
   std::int64_t retry_backoff_ms = 0;
   /// External kill switch observed by every query of a batch (non-owning).
   gca::CancelToken* cancel = nullptr;
@@ -99,6 +104,9 @@ struct QueryOutcome {
   Status status;       ///< kOk / kDeadlineExceeded / kCancelled / error
   QueryResult result;  ///< meaningful only when `status.ok()`
   unsigned attempts = 1;  ///< attempts consumed (> 1 with retries)
+  /// Wall-clock spent on this query across all attempts and backoffs.
+  /// Service front-ends (gcad) feed this into their queue-wait estimator.
+  std::int64_t elapsed_ns = 0;
 
   [[nodiscard]] bool ok() const { return status.ok(); }
   /// True when the query failed at least once and a retry produced a

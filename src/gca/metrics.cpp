@@ -5,6 +5,7 @@
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "common/csv.hpp"
 #include "common/format.hpp"
@@ -242,6 +243,80 @@ void write_metrics_file(const Trace& trace, const std::string& path) {
     trace.write_metrics_csv(out);
   }
   if (!out) throw std::runtime_error("error while writing " + path);
+}
+
+ServiceCountersSnapshot ServiceCounters::snapshot() const {
+  ServiceCountersSnapshot s;
+  s.accepted = accepted.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full.load(std::memory_order_relaxed);
+  s.rejected_deadline = rejected_deadline.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload.load(std::memory_order_relaxed);
+  s.completed_ok = completed_ok.load(std::memory_order_relaxed);
+  s.expired = expired.load(std::memory_order_relaxed);
+  s.failed = failed.load(std::memory_order_relaxed);
+  s.recovered = recovered.load(std::memory_order_relaxed);
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.degraded_batches = degraded_batches.load(std::memory_order_relaxed);
+  s.drained = drained.load(std::memory_order_relaxed);
+  s.restored = restored.load(std::memory_order_relaxed);
+  s.journal_writes = journal_writes.load(std::memory_order_relaxed);
+  s.overload_transitions =
+      overload_transitions.load(std::memory_order_relaxed);
+  s.overload_level = overload_level.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+constexpr std::pair<const char*, std::uint64_t ServiceCountersSnapshot::*>
+    kServiceFields[] = {
+        {"accepted", &ServiceCountersSnapshot::accepted},
+        {"rejected_queue_full", &ServiceCountersSnapshot::rejected_queue_full},
+        {"rejected_deadline", &ServiceCountersSnapshot::rejected_deadline},
+        {"rejected_draining", &ServiceCountersSnapshot::rejected_draining},
+        {"shed_overload", &ServiceCountersSnapshot::shed_overload},
+        {"completed_ok", &ServiceCountersSnapshot::completed_ok},
+        {"expired", &ServiceCountersSnapshot::expired},
+        {"failed", &ServiceCountersSnapshot::failed},
+        {"recovered", &ServiceCountersSnapshot::recovered},
+        {"batches", &ServiceCountersSnapshot::batches},
+        {"degraded_batches", &ServiceCountersSnapshot::degraded_batches},
+        {"drained", &ServiceCountersSnapshot::drained},
+        {"restored", &ServiceCountersSnapshot::restored},
+        {"journal_writes", &ServiceCountersSnapshot::journal_writes},
+        {"overload_transitions",
+         &ServiceCountersSnapshot::overload_transitions},
+        {"overload_level", &ServiceCountersSnapshot::overload_level},
+};
+
+}  // namespace
+
+std::string service_counters_json(const ServiceCountersSnapshot& counters) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, member] : kServiceFields) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(counters.*member);
+  }
+  out += "}";
+  return out;
+}
+
+std::string format_service_counters(const ServiceCountersSnapshot& counters) {
+  std::string out;
+  for (const auto& [name, member] : kServiceFields) {
+    const std::size_t width = std::char_traits<char>::length(name);
+    out += name;
+    out.append(width < 22 ? 22 - width : 1, ' ');
+    out += std::to_string(counters.*member);
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace gcalib::gca

@@ -31,6 +31,7 @@
 // both properties).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
@@ -117,5 +118,68 @@ void write_trace_file(const Trace& trace, const std::string& path);
 /// Writes per-step metrics to `path` — JSON when the name ends in ".json",
 /// CSV otherwise; throws std::runtime_error when the file cannot be written.
 void write_metrics_file(const Trace& trace, const std::string& path);
+
+// --- service counters (gcad, DESIGN.md §11) -------------------------------
+
+/// Point-in-time copy of `ServiceCounters` — plain integers for exporters,
+/// tests and the gcad `stats` op.
+struct ServiceCountersSnapshot {
+  std::uint64_t accepted = 0;            ///< admitted into the intake queue
+  std::uint64_t rejected_queue_full = 0; ///< shed on arrival: no queue space
+  std::uint64_t rejected_deadline = 0;   ///< shed on arrival: wait > deadline
+  std::uint64_t rejected_draining = 0;   ///< refused while draining
+  std::uint64_t shed_overload = 0;       ///< accepted then evicted (replied!)
+  std::uint64_t completed_ok = 0;        ///< terminal OK replies
+  std::uint64_t expired = 0;             ///< terminal DEADLINE_EXCEEDED
+  std::uint64_t failed = 0;              ///< other terminal errors
+  std::uint64_t recovered = 0;           ///< OK after >= 1 retry
+  std::uint64_t batches = 0;             ///< solve_batch dispatches
+  std::uint64_t degraded_batches = 0;    ///< dispatched with degraded settings
+  std::uint64_t drained = 0;             ///< queries finished during drain
+  std::uint64_t restored = 0;            ///< re-enqueued from the journal
+  std::uint64_t journal_writes = 0;      ///< journal rewrites performed
+  std::uint64_t overload_transitions = 0;///< escalation-ladder level changes
+  std::uint64_t overload_level = 0;      ///< current ladder level (0 = normal)
+
+  /// Terminal replies owed = terminal replies delivered?  The zero-loss
+  /// bookkeeping identity the soak test audits.
+  [[nodiscard]] std::uint64_t terminal() const {
+    return completed_ok + expired + failed + shed_overload;
+  }
+};
+
+/// Monotonic, thread-safe counters of the gcad service loop: admission,
+/// shedding, batch dispatch, drain and restart.  Every transition of the
+/// overload escalation ladder bumps `overload_transitions`, so overload
+/// behaviour is observable in production, not only in tests.  Relaxed
+/// atomics: each counter is an independent statistic, no ordering needed.
+struct ServiceCounters {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_queue_full{0};
+  std::atomic<std::uint64_t> rejected_deadline{0};
+  std::atomic<std::uint64_t> rejected_draining{0};
+  std::atomic<std::uint64_t> shed_overload{0};
+  std::atomic<std::uint64_t> completed_ok{0};
+  std::atomic<std::uint64_t> expired{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> recovered{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> degraded_batches{0};
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<std::uint64_t> restored{0};
+  std::atomic<std::uint64_t> journal_writes{0};
+  std::atomic<std::uint64_t> overload_transitions{0};
+  std::atomic<std::uint64_t> overload_level{0};
+
+  [[nodiscard]] ServiceCountersSnapshot snapshot() const;
+};
+
+/// One-line JSON object of a snapshot (the gcad `stats` reply payload).
+[[nodiscard]] std::string service_counters_json(
+    const ServiceCountersSnapshot& counters);
+
+/// Human-readable multi-line rendering (gcad prints this at exit).
+[[nodiscard]] std::string format_service_counters(
+    const ServiceCountersSnapshot& counters);
 
 }  // namespace gcalib::gca

@@ -1,0 +1,81 @@
+// Durable intake-queue journal: accepted queries survive a SIGKILL.
+//
+// The zero-loss contract of gcad is that a query acknowledged as
+// *accepted* is never silently lost — not even by `kill -9`.  The journal
+// is how: the daemon rewrites this file (atomically, temp + rename, same
+// discipline as core/checkpoint.cpp) every time the set of
+// accepted-but-unfinished queries changes, and a restarting daemon
+// re-admits every journaled entry before reading new input.  Replies are
+// written *before* the completed entry leaves the journal, so a crash
+// between the two replays the query — at-least-once delivery with
+// bit-identical results (the solver is deterministic), never at-most-once.
+//
+// Format GCQJ v1 (all integers little-endian, fixed width):
+//
+//   offset  size  field
+//   0       4     magic "GCQJ"
+//   4       4     version (currently 1)
+//   8       4     entry count
+//   12      4     reserved (zero)
+//   then per entry:
+//           8     query id
+//           4     priority
+//           8     remaining deadline budget in ms at journal-write time
+//                 (the wall budget excludes daemon downtime; 0 = unlimited)
+//           4     client name length L (<= 64)
+//           L     client name bytes
+//           4     n (node count)
+//           4     edge count M
+//           8*M   edges as (u, v) u32 pairs
+//   end     4     CRC-32 (IEEE) over every preceding byte
+//
+// The loader validates magic, version, every bound (entry count, name
+// length, node count, edge endpoints, self-loops), the exact payload
+// length and the CRC, and reports each failure as a distinct kDataLoss
+// diagnosis — a torn or tampered journal is rejected, never half-loaded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::gcad {
+
+/// Hard cap on journaled entries — far above any sane queue bound; rejects
+/// fuzzed headers that would otherwise allocate unbounded memory.
+inline constexpr std::uint32_t kMaxJournalEntries = 65536;
+
+/// One accepted-but-unfinished query as persisted.
+struct JournalEntry {
+  std::uint64_t id = 0;
+  int priority = 1;
+  std::int64_t deadline_ms = 0;  ///< remaining budget when journaled
+  std::string client;
+  graph::Graph graph;
+};
+
+/// The on-disk encoding (header + entries + CRC).
+[[nodiscard]] std::string serialize_journal(
+    const std::vector<JournalEntry>& entries);
+
+/// Inverse of `serialize_journal` with full validation; `out` is only
+/// written on success.  Never throws on malformed input.
+[[nodiscard]] Status parse_journal(const std::string& bytes,
+                                   std::vector<JournalEntry>& out);
+
+/// Atomically writes the journal (temp file + rename).
+[[nodiscard]] Status save_journal_file(
+    const std::string& path, const std::vector<JournalEntry>& entries);
+
+/// Loads and validates a journal file.  kNotFound when no file exists
+/// (cold start), kDataLoss for a torn or tampered file.
+[[nodiscard]] Status load_journal_file(const std::string& path,
+                                       std::vector<JournalEntry>& out);
+
+/// Removes the journal file if present (clean shutdown with empty queue).
+void remove_journal_file(const std::string& path);
+
+}  // namespace gcalib::gcad

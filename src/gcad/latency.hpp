@@ -1,0 +1,59 @@
+// Rolling per-size latency model — the admission controller's crystal ball.
+//
+// Deadline-aware shedding needs an answer to "how long until a query
+// admitted *now* actually runs, and how long will it take once it does?"
+// before the query executes.  The model keeps an exponentially weighted
+// moving average of observed per-query solve times in log2(n) buckets
+// (queries of similar field size cost similar work), plus a global
+// calibration of nanoseconds-per-work-unit so sizes never seen before
+// still get a sane estimate: the Hirschberg GCA sweeps O(n^2) cells for
+// O(log n) generations per iteration over O(log n) iterations, so the
+// work weight is n^2 * (log2 n + 1)^2 and cold estimates scale with it.
+//
+// Thread-safe: the intake thread reads estimates while worker lanes feed
+// observations back.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace gcalib::gcad {
+
+class LatencyModel {
+ public:
+  /// Records one observed isolated-solve wall time for a size-n query.
+  void record(std::uint32_t n, std::int64_t elapsed_ns);
+
+  /// Estimated solve time for a size-n query: the bucket EWMA when that
+  /// size class has history, otherwise the global calibration scaled by
+  /// the work weight, otherwise a conservative cold-start constant.
+  [[nodiscard]] std::int64_t estimate_ns(std::uint32_t n) const;
+
+  /// Total observations recorded (tests and the stats op).
+  [[nodiscard]] std::uint64_t samples() const;
+
+  /// Work weight of a size-n query: n^2 * (log2 n + 1)^2 cell updates.
+  [[nodiscard]] static double weight(std::uint32_t n);
+
+ private:
+  static constexpr double kAlpha = 0.2;  ///< EWMA smoothing factor
+  /// Cold-start nanoseconds per work unit (no observation yet anywhere).
+  /// Deliberately on the slow side: over-estimating sheds a little too
+  /// eagerly, under-estimating admits work that then misses deadlines.
+  static constexpr double kColdNsPerWeight = 30.0;
+  static constexpr unsigned kBuckets = 16;  ///< log2 buckets up to n = 65535
+
+  struct Bucket {
+    double ewma_ns = 0.0;
+    std::uint64_t samples = 0;
+  };
+
+  [[nodiscard]] static unsigned bucket_of(std::uint32_t n);
+
+  mutable std::mutex mutex_;
+  Bucket buckets_[kBuckets];
+  double ns_per_weight_ = 0.0;  ///< global calibration EWMA
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace gcalib::gcad

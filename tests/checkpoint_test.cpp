@@ -276,5 +276,63 @@ TEST(Checkpoint, PathInNormalisesTrailingSlash) {
   EXPECT_TRUE(checkpoint_path_in("").empty());
 }
 
+TEST(Checkpoint, EnsureDirCreatesNestedDirectories) {
+  const std::string base = make_dir("ensure");
+  const std::string nested = base + "/a/b/c";
+  ASSERT_FALSE(std::filesystem::exists(nested));
+  ASSERT_TRUE(ensure_checkpoint_dir(nested).ok());
+  EXPECT_TRUE(std::filesystem::is_directory(nested));
+  // Idempotent on an existing directory.
+  EXPECT_TRUE(ensure_checkpoint_dir(nested).ok());
+  // Empty path is a usage error, not a crash.
+  EXPECT_EQ(ensure_checkpoint_dir("").code, StatusCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, EnsureDirRejectsAPathThroughAFile) {
+  const std::string base = make_dir("ensure_file");
+  const std::string file = base + "/plain_file";
+  write_file(file, "not a directory");
+  const Status direct = ensure_checkpoint_dir(file);
+  EXPECT_EQ(direct.code, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(direct.message.empty());
+  const Status through = ensure_checkpoint_dir(file + "/sub");
+  EXPECT_EQ(through.code, StatusCode::kInvalidArgument);
+}
+
+TEST(Checkpoint, NonexistentCheckpointDirIsCreatedByARun) {
+  // A run pointed at a directory that does not exist yet must create it
+  // and leave durable checkpoints working (the killed run's anchor shows
+  // up in the brand-new directory).
+  const Graph g = graph::random_gnp(24, 0.08, 11);
+  const std::string dir = make_dir("fresh_parent") + "/not/yet/there";
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  run_until_killed(g, dir, 2);
+  EXPECT_TRUE(std::filesystem::exists(checkpoint_path_in(dir)))
+      << "the run must create the directory and anchor into it";
+}
+
+TEST(Checkpoint, UnusableCheckpointDirDegradesWithDiagnosisNotFailure) {
+  // checkpoint_dir pointing *through a file* can never hold checkpoints:
+  // the run must still label correctly, disable durability, and say why.
+  const Graph g = graph::random_gnp(24, 0.08, 11);
+  const std::vector<NodeId> expected = graph::bfs_components(g);
+  const std::string base = make_dir("unusable");
+  const std::string file = base + "/occupied";
+  write_file(file, "file in the way");
+
+  HirschbergGca machine(g);
+  RunOptions options;
+  options.instrument = false;
+  options.checkpoint_dir = file + "/sub";
+  const RunResult result = machine.run(options);
+  EXPECT_EQ(result.labels, expected)
+      << "an unusable checkpoint dir must not affect correctness";
+  ASSERT_FALSE(result.diagnoses.empty());
+  EXPECT_NE(result.diagnoses.front().find("durable checkpoints disabled"),
+            std::string::npos)
+      << result.diagnoses.front();
+  EXPECT_FALSE(std::filesystem::exists(checkpoint_path_in(options.checkpoint_dir)));
+}
+
 }  // namespace
 }  // namespace gcalib::core

@@ -282,5 +282,66 @@ TEST(Runner, BatchIsolatesCorruptAndExpiredQueries) {
   EXPECT_EQ(diagnosed, corrupt.size() + expired.size());
 }
 
+TEST(Runner, RetryBackoffIsClampedToTheDeadlineBudget) {
+  // An always-failing query with a 1000 ms base backoff and a 40 ms budget:
+  // without clamping, retries would sleep for seconds past the deadline.
+  // With it, the query must report kDeadlineExceeded in well under the
+  // first full backoff.
+  const Graph g = graph::random_gnp(16, 0.2, 7);
+  RunnerOptions options;
+  options.retries = 5;
+  options.retry_backoff_ms = 1000;
+  options.configure_query = [](std::size_t, RunOptions& run) {
+    run.deadline_ms = 40;
+    corrupt_at(run, corruption_site());
+  };
+  Runner runner(options);
+  const auto start = std::chrono::steady_clock::now();
+  const QueryOutcome outcome = runner.try_solve(g);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_EQ(outcome.status.code, StatusCode::kDeadlineExceeded)
+      << outcome.status.to_string();
+  EXPECT_LT(elapsed, 900) << "backoff slept past the deadline budget";
+  EXPECT_LT(outcome.attempts, 6u) << "budget must cut the retry sequence short";
+}
+
+TEST(Runner, ExhaustedBudgetSkipsTheAttemptEntirely) {
+  // Retryable failures (corruption) burn the budget across attempts and
+  // backoffs; once it is spent the runner must report the exhausted budget
+  // instead of launching another attempt that cannot finish.
+  const Graph g = graph::random_gnp(16, 0.2, 7);
+  RunnerOptions options;
+  options.retries = 5;
+  options.retry_backoff_ms = 50;  // clamped to the ~10 ms budget remainder
+  options.configure_query = [](std::size_t, RunOptions& run) {
+    run.deadline_ms = 10;
+    // Instant retryable failure: the whole budget is then consumed by the
+    // (clamped) backoff sleep, so the next attempt finds nothing left.
+    run.before_step = [](HirschbergGca&, const StepId&) {
+      throw std::runtime_error("injected transient failure");
+    };
+  };
+  Runner runner(options);
+  const QueryOutcome outcome = runner.try_solve(g);
+  EXPECT_EQ(outcome.status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(outcome.status.message.find("budget"), std::string::npos)
+      << outcome.status.to_string();
+  EXPECT_LT(outcome.attempts, 6u) << "an attempt ran with an exhausted budget";
+}
+
+TEST(Runner, OutcomesCarryElapsedTime) {
+  const Graph g = graph::random_gnp(24, 0.15, 9);
+  Runner runner;
+  const QueryOutcome outcome = runner.try_solve(g);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome.elapsed_ns, 0);
+  const std::vector<QueryOutcome> outcomes = runner.solve_batch({g, g});
+  for (const QueryOutcome& each : outcomes) {
+    EXPECT_GT(each.elapsed_ns, 0);
+  }
+}
+
 }  // namespace
 }  // namespace gcalib::core

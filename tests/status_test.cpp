@@ -1,0 +1,82 @@
+// Status taxonomy: code <-> string round trips, ok() semantics, and the
+// service codes the gcad protocol depends on.
+#include "common/status.hpp"
+
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace gcalib {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code, StatusCode::kOk);
+  EXPECT_TRUE(status.message.empty());
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status =
+      Status::error(StatusCode::kDataLoss, "CRC mismatch in header");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code, StatusCode::kDataLoss);
+  EXPECT_EQ(status.to_string(), "DATA_LOSS: CRC mismatch in header");
+}
+
+TEST(StatusTest, ErrorWithEmptyMessageRendersCodeOnly) {
+  const Status status = Status::error(StatusCode::kInternal, "");
+  EXPECT_EQ(status.to_string(), "INTERNAL");
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
+  for (const StatusCode code : kAllStatusCodes) {
+    const char* name = to_string(code);
+    StatusCode decoded = StatusCode::kInternal;
+    ASSERT_TRUE(status_code_from_string(name, decoded)) << name;
+    EXPECT_EQ(decoded, code) << name;
+  }
+}
+
+TEST(StatusTest, NamesAreUniqueAndNeverUnknown) {
+  std::set<std::string> names;
+  for (const StatusCode code : kAllStatusCodes) {
+    const std::string name = to_string(code);
+    EXPECT_NE(name, "UNKNOWN");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllStatusCodes));
+}
+
+TEST(StatusTest, UnknownSpellingIsRejectedAndLeavesOutUntouched) {
+  StatusCode out = StatusCode::kDataLoss;
+  EXPECT_FALSE(status_code_from_string("NO_SUCH_CODE", out));
+  EXPECT_FALSE(status_code_from_string("", out));
+  EXPECT_FALSE(status_code_from_string("ok", out));  // case-sensitive
+  EXPECT_EQ(out, StatusCode::kDataLoss);
+}
+
+TEST(StatusTest, ServiceCodesExist) {
+  // The admission-control codes added for gcad (DESIGN.md §11).
+  StatusCode decoded = StatusCode::kOk;
+  ASSERT_TRUE(status_code_from_string("RESOURCE_EXHAUSTED", decoded));
+  EXPECT_EQ(decoded, StatusCode::kResourceExhausted);
+  ASSERT_TRUE(status_code_from_string("UNAVAILABLE", decoded));
+  EXPECT_EQ(decoded, StatusCode::kUnavailable);
+  EXPECT_FALSE(Status::error(StatusCode::kResourceExhausted, "full").ok());
+  EXPECT_FALSE(Status::error(StatusCode::kUnavailable, "draining").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  const Status a = Status::error(StatusCode::kNotFound, "x");
+  const Status b = Status::error(StatusCode::kNotFound, "x");
+  const Status c = Status::error(StatusCode::kNotFound, "y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Status{});
+}
+
+}  // namespace
+}  // namespace gcalib
