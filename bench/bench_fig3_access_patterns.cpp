@@ -31,7 +31,9 @@ int main(int argc, char** argv) {
   std::printf(" the bottom row is D_N; graph: path 0-1-...-%u)\n\n", n - 1);
 
   core::HirschbergGca machine(g);
-  machine.engine().set_record_access(true);
+  machine.engine().set_options(
+      gca::EngineOptions{machine.engine().options()}.with_record_access(
+          true));
   const gca::FieldGeometry& geo = machine.geometry();
 
   const auto show = [&](const std::string& title) {

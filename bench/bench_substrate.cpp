@@ -1,0 +1,158 @@
+// bench_substrate — dense field vs CSR engine across graph scales.
+//
+// Characterises the substrate redesign (DESIGN.md §12): for a ladder of
+// random graphs from a few hundred to a million edges, times the sparse
+// CSR solver (sequential and parallel) and — where an O(n^2) field is
+// tractable — the dense paper machine on the same input, and reports a
+// machine-readable JSON series (scripts/bench_substrate.sh wraps this and
+// writes BENCH_substrate.json).
+//
+// Graphs above the dense ceiling never materialise a dense representation
+// at all: edges are sampled directly into `CsrGraph::from_edges`, which is
+// the point of the CSR-native path.
+//
+//   $ ./bench_substrate [--max-edges 1000000 --threads 4 --reps 3
+//                        --seed 1 --out BENCH_substrate.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "core/cc_solver.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace {
+
+using namespace gcalib;
+using Clock = std::chrono::steady_clock;
+
+/// One rung of the scale ladder.
+struct Case {
+  graph::NodeId n;
+  std::size_t target_edges;
+};
+
+/// Largest n the dense (n+1) x n field is still benchmarked at.
+constexpr graph::NodeId kDenseCeiling = 1024;
+
+graph::CsrGraph sample_graph(graph::NodeId n, std::size_t target_edges,
+                             std::uint64_t seed) {
+  // Random endpoint pairs; self loops and duplicates are dropped by the
+  // CSR builder, so the realised edge count lands slightly under target on
+  // dense rungs — the report carries the realised count.
+  Xoshiro256 rng(seed);
+  std::vector<graph::Edge> edges;
+  edges.reserve(target_edges);
+  for (std::size_t i = 0; i < target_edges; ++i) {
+    const auto u = static_cast<graph::NodeId>(rng() % n);
+    const auto v = static_cast<graph::NodeId>(rng() % n);
+    if (u == v) continue;
+    edges.push_back({u, v});
+  }
+  return graph::CsrGraph::from_edges(n, edges);
+}
+
+double best_solve_ms(const core::CcSolver& solver,
+                     const core::SolverInput& input, unsigned threads,
+                     int reps) {
+  core::RunOptions options;
+  options.instrument = false;
+  options.threads = threads;
+  options.policy = threads > 1 ? gca::ExecutionPolicy::kPool
+                               : gca::ExecutionPolicy::kSequential;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    const core::QueryResult result = solver.solve(input, options);
+    const auto stop = Clock::now();
+    if (result.labels.size() != input.node_count()) std::abort();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args = CliArgs::parse_or_exit(argc, argv,
+                                              {{"max-edges", true},
+                                               {"threads", true},
+                                               {"reps", true},
+                                               {"seed", true},
+                                               {"out", true}});
+  const auto max_edges =
+      static_cast<std::size_t>(args.get_int("max-edges", 1'000'000));
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 4));
+  const int reps = static_cast<int>(args.get_int("reps", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::string out_path = args.get_string("out", "BENCH_substrate.json");
+
+  const Case ladder[] = {
+      {256, 1'024},        {1'024, 4'096},     {4'096, 16'384},
+      {16'384, 65'536},    {65'536, 262'144},  {262'144, 524'288},
+      {524'288, 1'000'000},
+  };
+
+  std::string json = "{\n  \"benchmark\": \"substrate\",\n  \"series\": [\n";
+  bool first = true;
+  for (const Case& c : ladder) {
+    if (c.target_edges > max_edges) continue;
+    const graph::CsrGraph csr = sample_graph(c.n, c.target_edges, seed);
+    const core::SolverInput input(csr);
+
+    const double sparse_seq_ms =
+        best_solve_ms(core::sparse_cc_solver(), input, 1, reps);
+    const double sparse_par_ms =
+        threads > 1 ? best_solve_ms(core::sparse_cc_solver(), input, threads,
+                                    reps)
+                    : sparse_seq_ms;
+
+    double dense_ms = -1.0;
+    if (c.n <= kDenseCeiling) {
+      // The dense machine needs the adjacency-matrix representation; the
+      // conversion happens outside the timed region.
+      const graph::Graph dense_graph = csr.to_graph();
+      dense_ms = best_solve_ms(core::dense_cc_solver(),
+                               core::SolverInput(dense_graph), 1, reps);
+    }
+
+    std::printf("n=%7u m=%8zu  sparse(seq) %9.3f ms  sparse(x%u) %9.3f ms",
+                csr.node_count(), csr.edge_count(), sparse_seq_ms, threads,
+                sparse_par_ms);
+    if (dense_ms >= 0.0) {
+      std::printf("  dense %10.3f ms  (%.1fx)", dense_ms,
+                  sparse_seq_ms > 0.0 ? dense_ms / sparse_seq_ms : 0.0);
+    }
+    std::printf("\n");
+
+    if (!first) json += ",\n";
+    first = false;
+    json += "    {\"n\": " + std::to_string(csr.node_count()) +
+            ", \"edges\": " + std::to_string(csr.edge_count()) +
+            ", \"sparse_seq_ms\": " + std::to_string(sparse_seq_ms) +
+            ", \"sparse_par_ms\": " + std::to_string(sparse_par_ms) +
+            ", \"threads\": " + std::to_string(threads);
+    if (dense_ms >= 0.0) {
+      json += ", \"dense_ms\": " + std::to_string(dense_ms) +
+              ", \"dense_over_sparse\": " +
+              std::to_string(sparse_seq_ms > 0.0 ? dense_ms / sparse_seq_ms
+                                                 : 0.0);
+    } else {
+      json += ", \"dense_ms\": null";
+    }
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return out.good() ? 0 : 1;
+}

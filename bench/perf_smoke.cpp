@@ -1,20 +1,31 @@
-// perf_smoke — fast dense-vs-sparse performance guardrail.
+// perf_smoke — fast performance guardrails.
 //
-// Runs the Hirschberg machine at n = 128 (uninstrumented, single thread) in
-// both sweep modes, takes the best of a few repetitions each, and exits
-// nonzero if the sparse active-region schedule is more than 10% slower than
-// the dense whole-field sweep — i.e. if the work-efficiency machinery ever
-// regresses into overhead.  Wired into scripts/check.sh as the "perf-smoke"
-// phase; it is a coarse tripwire (best-of-k, generous margin), not a
-// benchmark — scripts/bench_engine.sh measures the real speedups.
+// Gate 1 (sweep): runs the Hirschberg machine at n = 128 (uninstrumented,
+// single thread) in both sweep modes, takes the best of a few repetitions
+// each, and fails if the sparse active-region schedule is more than 10%
+// slower than the dense whole-field sweep — i.e. if the work-efficiency
+// machinery ever regresses into overhead.
 //
-//   $ ./perf_smoke            # n = 128, 5 repetitions
-//   $ ./perf_smoke 256 9      # custom size / repetitions
+// Gate 2 (substrate): at n = 2048 on a sparse random graph, the CSR
+// label-propagation engine must be at least 10x faster than the dense
+// paper field (DESIGN.md §12) — the whole justification of the substrate
+// redesign.  The margin is deliberately loose (the real ratio is orders of
+// magnitude); tripping it means the CSR engine degenerated to dense-like
+// work.
+//
+// Wired into scripts/check.sh as the "perf-smoke" phase; this is a coarse
+// tripwire (best-of-k, generous margins), not a benchmark —
+// scripts/bench_engine.sh and scripts/bench_substrate.sh measure the real
+// speedups.
+//
+//   $ ./perf_smoke              # n = 128, 5 repetitions, substrate n = 2048
+//   $ ./perf_smoke 256 9 4096   # custom sizes / repetitions
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "core/cc_solver.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "gca/execution.hpp"
 #include "graph/generators.hpp"
@@ -33,6 +44,24 @@ double best_run_ms(const gcalib::graph::Graph& g, gcalib::gca::SweepMode sweep,
     gcalib::core::HirschbergGca machine(g);
     const auto start = Clock::now();
     const auto result = machine.run(options);
+    const auto stop = Clock::now();
+    if (result.labels.empty()) std::abort();  // keep the run observable
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+double best_substrate_ms(const gcalib::core::CcSolver& solver,
+                         const gcalib::graph::Graph& g, int reps) {
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    const gcalib::core::QueryResult result =
+        solver.solve(gcalib::core::SolverInput(g), options);
     const auto stop = Clock::now();
     if (result.labels.empty()) std::abort();  // keep the run observable
     const double ms =
@@ -65,6 +94,33 @@ int main(int argc, char** argv) {
                  (sparse / dense - 1.0) * 100.0);
     return 1;
   }
+
+  // Gate 2: substrate routing — sparse_csr vs the dense field on a sparse
+  // graph well past the auto-router's dense ceiling.
+  const auto substrate_n = static_cast<gcalib::graph::NodeId>(
+      argc > 3 ? std::stoul(argv[3]) : 2048);
+  const gcalib::graph::Graph sg = gcalib::graph::random_gnp(
+      substrate_n, 8.0 / static_cast<double>(substrate_n), 1);
+  // The dense field at this size costs real seconds: one timed rep keeps
+  // the smoke fast; the sparse side is cheap enough for best-of-k.
+  const double dense_field =
+      best_substrate_ms(gcalib::core::dense_cc_solver(), sg, 1);
+  const double sparse_csr =
+      best_substrate_ms(gcalib::core::sparse_cc_solver(), sg, reps);
+  std::printf("perf-smoke: substrate gate at n=%u (m=%zu)\n", substrate_n,
+              sg.edge_count());
+  std::printf("  dense  field: %10.3f ms\n", dense_field);
+  std::printf("  sparse csr:   %10.3f ms (%.1fx)\n", sparse_csr,
+              sparse_csr > 0.0 ? dense_field / sparse_csr : 0.0);
+  if (sparse_csr * 10.0 > dense_field) {
+    std::fprintf(stderr,
+                 "perf-smoke FAILED: sparse_csr is only %.1fx faster than "
+                 "the dense field at n=%u (required: >= 10x)\n",
+                 sparse_csr > 0.0 ? dense_field / sparse_csr : 0.0,
+                 substrate_n);
+    return 1;
+  }
+
   std::printf("perf-smoke: ok\n");
   return 0;
 }

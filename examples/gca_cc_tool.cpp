@@ -12,10 +12,14 @@
 //   $ ./gca_cc_tool --generate gnp:0.5 --n 128 --threads 4 --policy pool
 //
 // Algorithms: gca (default) | tree | ncells | pram | sv | unionfind | bfs
-// Execution flags (--threads, --policy, --sweep, --no-instrumentation,
-// --record-access, --trace-out, --metrics-out) steer the GCA engine backend
-// and its observability; invalid combinations (e.g. --record-access with
-// --threads 2) are rejected before the run with exit status 2.
+// Engine flags (--threads, --policy, --sweep, --substrate,
+// --no-instrumentation, --record-access, --trace-out, --metrics-out) steer
+// the solver backend and its observability; invalid combinations (e.g.
+// --record-access with --threads 2) are rejected before the run with exit
+// status 2.  --substrate picks the gca algorithm's engine: dense is the
+// paper-faithful cell field, sparse_csr the O(m)-work CSR label-propagation
+// engine, auto (default) routes by size and density — labelings are
+// bit-identical either way (DESIGN.md §12).
 // --sweep sparse (default) sweeps only each generation's active region;
 // --sweep dense sweeps the whole field every step (verification mode) —
 // both produce bit-identical labels and logical statistics.
@@ -38,6 +42,7 @@
 #include "core/hirschberg_gca.hpp"
 #include "core/hirschberg_ncells.hpp"
 #include "core/hirschberg_tree.hpp"
+#include "core/runner.hpp"
 #include "gca/execution.hpp"
 #include "gca/metrics.hpp"
 #include "graph/cc_baselines.hpp"
@@ -84,11 +89,67 @@ struct LabelingOutcome {
   std::size_t congestion = 0;  ///< max read congestion (0 = n/a)
 };
 
+/// The engine-backed "gca" algorithm, routed by substrate: dense keeps the
+/// full resilience feature set (durable checkpoints, access recording);
+/// sparse_csr runs the CSR engine through the Runner for the same retry /
+/// deadline / recovered-note semantics.
+LabelingOutcome run_gca_sparse(const graph::Graph& g,
+                               const cli::EngineFlags& exec,
+                               const gca::EngineOptions& engine,
+                               gca::Trace* trace) {
+  if (exec.record_access || !exec.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "warning: --record-access/--checkpoint-dir cover the dense "
+                 "field only; ignored on the sparse_csr substrate\n");
+  }
+  core::RunnerOptions options;
+  options.threads = engine.threads;
+  options.policy = engine.policy;
+  options.sweep = engine.sweep;
+  options.substrate = gca::SubstrateMode::kSparseCsr;
+  options.instrument = engine.instrumentation;
+  options.sink = trace;
+  options.deadline_ms = exec.deadline_ms;
+  options.retries = exec.retries;
+  const core::Runner runner(options);
+  const core::QueryOutcome outcome = runner.try_solve(g);
+  if (!outcome.ok()) {
+    if (outcome.status.code == StatusCode::kDeadlineExceeded) {
+      throw gca::DeadlineExceeded(outcome.status.message);
+    }
+    throw std::runtime_error(outcome.status.message);
+  }
+  if (outcome.recovered()) {
+    std::fprintf(stderr, "note: recovered on attempt %u\n", outcome.attempts);
+  }
+  LabelingOutcome out;
+  out.labels = outcome.result.labels;
+  out.steps = outcome.result.generations;
+  for (const gca::GenerationStats& stats : outcome.result.sweeps) {
+    out.congestion = std::max(out.congestion, stats.max_congestion);
+  }
+  return out;
+}
+
 LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
-                              const cli::ExecutionFlags& exec,
+                              const cli::EngineFlags& exec,
+                              const gca::EngineOptions& engine,
                               gca::Trace* trace) {
   LabelingOutcome out;
   if (name == "gca") {
+    // Auto-routing respects dense-only features: a query that wants access
+    // recording or durable checkpoints stays on the dense machine (the
+    // same rule core::Runner applies via requires_dense_machine).
+    gca::SubstrateMode requested = engine.substrate;
+    if (requested == gca::SubstrateMode::kAuto &&
+        (exec.record_access || !exec.checkpoint_dir.empty())) {
+      requested = gca::SubstrateMode::kDense;
+    }
+    const gca::SubstrateMode resolved = core::resolve_substrate(
+        requested, g.node_count(), g.edge_count());
+    if (resolved == gca::SubstrateMode::kSparseCsr) {
+      return run_gca_sparse(g, exec, engine, trace);
+    }
     core::RunOptions options;
     options.instrument = exec.instrumentation;
     options.threads = exec.threads;
@@ -163,7 +224,7 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args = CliArgs::parse_or_exit(
         argc, argv,
-        cli::with_execution_flags({{"format", true},
+        cli::with_engine_flags({{"format", true},
                                    {"algorithm", true},
                                    {"generate", true},
                                    {"n", true},
@@ -173,16 +234,12 @@ int main(int argc, char** argv) {
                                    {"verify", false}}));
     const graph::Graph g = load_graph(args);
     const std::string algorithm = args.get_string("algorithm", "gca");
-    const cli::ExecutionFlags exec = cli::execution_flags(args);
-    try {
-      (void)gca::options_from_flags(exec);  // reject bad combos before the run
-    } catch (const ContractViolation& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 2;
-    }
+    const cli::EngineFlags exec = cli::engine_flags(args);
+    // Reject bad combos before the run — the shared exit-2 surface.
+    const gca::EngineOptions engine = gca::options_from_flags_or_exit(exec);
     gca::Trace trace;
     const LabelingOutcome outcome =
-        run_algorithm(algorithm, g, exec,
+        run_algorithm(algorithm, g, exec, engine,
                       exec.wants_metrics() ? &trace : nullptr);
 
     if (args.has("verify")) {

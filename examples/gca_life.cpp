@@ -34,8 +34,9 @@ int main(int argc, char** argv) {
   for (auto& cell : initial) cell = rng.bernoulli(0.35) ? 1 : 0;
 
   // A CA on the GCA: fixed local neighbours, 8 reads per generation.
-  gca::Engine<std::uint8_t> engine(initial, /*hands=*/8);
-  engine.set_instrumentation(false);
+  gca::Engine<std::uint8_t> engine(
+      initial,
+      gca::EngineOptions{}.with_hands(8).with_instrumentation(false));
 
   const auto render = [&](const char* title) {
     std::printf("%s\n", title);

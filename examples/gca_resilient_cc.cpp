@@ -56,7 +56,7 @@ std::size_t count_kind(const FaultPlan& plan, FaultKind kind) {
 int main(int argc, char** argv) {
   const gcalib::CliArgs args = gcalib::CliArgs::parse_or_exit(
       argc, argv,
-      gcalib::cli::with_execution_flags({{"family", true},
+      gcalib::cli::with_engine_flags({{"family", true},
                                          {"n", true},
                                          {"seed", true},
                                          {"rate", true},
@@ -66,14 +66,22 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   const double rate = args.get_double("rate", 0.01);
   const std::string family = args.get_string("family", "gnp:0.1");
-  gcalib::cli::ExecutionFlags exec;
+  gcalib::cli::EngineFlags exec;
   gcalib::gca::ExecutionPolicy policy = gcalib::gca::ExecutionPolicy::kPool;
   try {
-    exec = gcalib::cli::execution_flags(args);
-    policy = gcalib::gca::options_from_flags(exec).policy;
+    exec = gcalib::cli::engine_flags(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
+  }
+  const gcalib::gca::EngineOptions engine =
+      gcalib::gca::options_from_flags_or_exit(exec);
+  policy = engine.policy;
+  if (engine.substrate == gcalib::gca::SubstrateMode::kSparseCsr) {
+    std::fprintf(stderr,
+                 "warning: --substrate sparse_csr is ignored by "
+                 "gca_resilient_cc (fault injection instruments the dense "
+                 "cell field)\n");
   }
   if (n < 1) {
     std::fprintf(stderr, "error: --n must be >= 1\n");

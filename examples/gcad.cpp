@@ -36,18 +36,13 @@ int main(int argc, char** argv) {
   using namespace gcalib;
   const CliArgs args = CliArgs::parse_or_exit(
       argc, argv,
-      {{"threads", true},
-       {"policy", true},
-       {"sweep", true},
-       {"queue-cap", true},
-       {"max-batch", true},
-       {"retries", true},
-       {"retry-backoff-ms", true},
-       {"journal", true},
-       {"fault-rate", true},
-       {"fault-seed", true},
-       {"drain-timeout-ms", true},
-       {"quiet", false}});
+      cli::with_runner_flags({{"queue-cap", true},
+                              {"max-batch", true},
+                              {"journal", true},
+                              {"fault-rate", true},
+                              {"fault-seed", true},
+                              {"drain-timeout-ms", true},
+                              {"quiet", false}}));
 
   const auto require = [](bool ok, const char* what) {
     if (!ok) {
@@ -55,19 +50,48 @@ int main(int argc, char** argv) {
       std::exit(2);
     }
   };
+  cli::RunnerFlags flags;
+  try {
+    flags = cli::runner_flags(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  // One shared validation surface with the other tools: an inconsistent
+  // engine combination (--substrate marble, --threads 0, ...) exits 2 with
+  // the same diagnosis everywhere.
+  const gca::EngineOptions engine = gca::options_from_flags_or_exit(flags.engine);
+
   gcad::ServerOptions options;
-  require(args.get_int("threads", 1) >= 1, "--threads must be >= 1");
-  options.threads = static_cast<unsigned>(args.get_int("threads", 1));
+  options.threads = engine.threads;
+  options.policy = engine.policy;
+  options.sweep = engine.sweep;
+  options.substrate = engine.substrate;
+  // The daemon's default stays one retry (resilience posture), but an
+  // explicit --retries on the command line wins.
+  options.retries =
+      args.has("retries") ? flags.engine.retries : 1u;
+  options.retry_backoff_ms = flags.retry_backoff_ms;
+  if (flags.engine.deadline_ms != 0) {
+    std::fprintf(stderr,
+                 "warning: --deadline-ms is ignored by gcad; deadlines are "
+                 "per request (\"deadline_ms\" in the solve op)\n");
+  }
+  if (!flags.engine.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "warning: --checkpoint-dir is ignored by gcad; durability "
+                 "comes from the queue journal (--journal)\n");
+  }
+  if (flags.engine.record_access || flags.engine.wants_metrics()) {
+    std::fprintf(stderr,
+                 "warning: --record-access/--trace-out/--metrics-out are "
+                 "ignored by gcad (service counters go to stderr)\n");
+  }
   require(args.get_int("queue-cap", 256) >= 1, "--queue-cap must be >= 1");
   options.admission.queue_capacity =
       static_cast<std::size_t>(args.get_int("queue-cap", 256));
   require(args.get_int("max-batch", 16) >= 1, "--max-batch must be >= 1");
   options.max_batch = static_cast<std::size_t>(args.get_int("max-batch", 16));
-  require(args.get_int("retries", 1) >= 0, "--retries must be >= 0");
-  options.retries = static_cast<unsigned>(args.get_int("retries", 1));
-  require(args.get_int("retry-backoff-ms", 0) >= 0,
-          "--retry-backoff-ms must be >= 0");
-  options.retry_backoff_ms = args.get_int("retry-backoff-ms", 0);
   options.journal_path = args.get_string("journal", "");
   const double fault_rate = args.get_double("fault-rate", 0.0);
   require(fault_rate >= 0.0 && fault_rate <= 1.0,
@@ -77,14 +101,6 @@ int main(int argc, char** argv) {
   require(args.get_int("drain-timeout-ms", 30'000) >= 0,
           "--drain-timeout-ms must be >= 0");
   options.drain_timeout_ms = args.get_int("drain-timeout-ms", 30'000);
-  try {
-    options.policy =
-        gca::parse_execution_policy(args.get_string("policy", "pool"));
-    options.sweep = gca::parse_sweep_mode(args.get_string("sweep", "sparse"));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 2;
-  }
 
   gcad::Server server(std::move(options));
   g_server = &server;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   try {
     const CliArgs args = CliArgs::parse_or_exit(
         argc, argv,
-        cli::with_execution_flags({{"generate", true},
+        cli::with_engine_flags({{"generate", true},
                                    {"n", true},
                                    {"seed", true},
                                    {"builtin", true},
@@ -85,13 +85,13 @@ int main(int argc, char** argv) {
         std::printf("  executed %s\n", label.c_str());
       };
     }
-    const cli::ExecutionFlags flags = cli::execution_flags(args);
-    gca::EngineOptions exec;
-    try {
-      exec = gca::options_from_flags(flags);  // rejects bad combos (exit 2)
-    } catch (const ContractViolation& e) {
-      std::fprintf(stderr, "error: %s\n", e.what());
-      return 2;
+    const cli::EngineFlags flags = cli::engine_flags(args);
+    const gca::EngineOptions exec = gca::options_from_flags_or_exit(flags);
+    if (exec.substrate == gca::SubstrateMode::kSparseCsr) {
+      std::fprintf(stderr,
+                   "warning: --substrate sparse_csr is ignored by gcal_run "
+                   "(the GCAL interpreter executes on the dense cell "
+                   "field)\n");
     }
     if (!flags.checkpoint_dir.empty()) {
       std::fprintf(stderr,

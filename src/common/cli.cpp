@@ -97,11 +97,12 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
 
 namespace cli {
 
-std::map<std::string, bool> with_execution_flags(
+std::map<std::string, bool> with_engine_flags(
     std::map<std::string, bool> spec) {
   spec.emplace("threads", true);
   spec.emplace("policy", true);
   spec.emplace("sweep", true);
+  spec.emplace("substrate", true);
   spec.emplace("no-instrumentation", false);
   spec.emplace("record-access", false);
   spec.emplace("trace-out", true);
@@ -112,8 +113,8 @@ std::map<std::string, bool> with_execution_flags(
   return spec;
 }
 
-ExecutionFlags execution_flags(const CliArgs& args) {
-  ExecutionFlags flags;
+EngineFlags engine_flags(const CliArgs& args) {
+  EngineFlags flags;
   const std::int64_t threads = args.get_int("threads", 1);
   if (threads < 1) {
     throw std::runtime_error("--threads must be >= 1");
@@ -121,6 +122,7 @@ ExecutionFlags execution_flags(const CliArgs& args) {
   flags.threads = static_cast<unsigned>(threads);
   flags.policy = args.get_string("policy", flags.policy);
   flags.sweep = args.get_string("sweep", flags.sweep);
+  flags.substrate = args.get_string("substrate", flags.substrate);
   flags.instrumentation = !args.has("no-instrumentation");
   flags.record_access = args.has("record-access");
   flags.trace_out = args.get_string("trace-out", "");
@@ -136,6 +138,33 @@ ExecutionFlags execution_flags(const CliArgs& args) {
     throw std::runtime_error("--retries must be in [0, 1000]");
   }
   flags.retries = static_cast<unsigned>(retries);
+  return flags;
+}
+
+std::map<std::string, bool> with_execution_flags(
+    std::map<std::string, bool> spec) {
+  return with_engine_flags(std::move(spec));
+}
+
+ExecutionFlags execution_flags(const CliArgs& args) {
+  return engine_flags(args);
+}
+
+std::map<std::string, bool> with_runner_flags(
+    std::map<std::string, bool> spec) {
+  spec = with_engine_flags(std::move(spec));
+  spec.emplace("retry-backoff-ms", true);
+  return spec;
+}
+
+RunnerFlags runner_flags(const CliArgs& args) {
+  RunnerFlags flags;
+  flags.engine = engine_flags(args);
+  const std::int64_t backoff = args.get_int("retry-backoff-ms", 0);
+  if (backoff < 0) {
+    throw std::runtime_error("--retry-backoff-ms must be >= 0");
+  }
+  flags.retry_backoff_ms = backoff;
   return flags;
 }
 

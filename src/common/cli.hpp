@@ -44,12 +44,16 @@ class CliArgs {
 
 namespace cli {
 
-/// The execution flags every tool accepts, so the engine backend and its
+/// The engine flags every tool accepts, so the engine backend and its
 /// observability are selectable uniformly across examples and benches:
 ///   --threads N            sweep width (default 1)
 ///   --policy NAME          sequential | spawn | pool (default "pool")
 ///   --sweep MODE           dense | sparse (default "sparse"): whether the
 ///                          engine honours per-generation active regions
+///   --substrate NAME       dense | sparse_csr | auto (default "auto"):
+///                          which solver substrate a query runs on — the
+///                          paper's cell field or the CSR label-propagation
+///                          engine (DESIGN.md §12)
 ///   --no-instrumentation   disable per-step congestion statistics
 ///   --record-access        record individual (reader, target) access edges
 ///                          (requires an effectively sequential sweep)
@@ -59,14 +63,16 @@ namespace cli {
 ///   --checkpoint-dir DIR   durable checkpoints: resume from an intact
 ///                          checkpoint found in DIR and keep it current
 ///   --retries N            re-attempts after a detected-corruption failure
-/// The policy and sweep mode are carried as their spelled names; convert
-/// with gca::parse_execution_policy / gca::parse_sweep_mode (or build
-/// validated engine options with gca::options_from_flags) at the point of
-/// use — common/ stays below gca/ in the layering.
-struct ExecutionFlags {
+/// The policy, sweep mode and substrate are carried as their spelled names;
+/// convert with gca::parse_execution_policy / gca::parse_sweep_mode /
+/// gca::parse_substrate_mode (or build validated engine options with
+/// gca::options_from_flags) at the point of use — common/ stays below gca/
+/// in the layering.
+struct EngineFlags {
   unsigned threads = 1;
   std::string policy = "pool";
   std::string sweep = "sparse";
+  std::string substrate = "auto";
   bool instrumentation = true;
   bool record_access = false;
   std::string trace_out;    ///< empty = tracing disabled
@@ -81,13 +87,40 @@ struct ExecutionFlags {
   }
 };
 
-/// Adds the shared execution options to a tool's option spec.
-[[nodiscard]] std::map<std::string, bool> with_execution_flags(
+/// Pre-rename spelling of `EngineFlags` (kept for out-of-tree callers; the
+/// in-repo tools all migrated with the `--substrate` redesign).
+using ExecutionFlags = EngineFlags;
+
+/// Adds the shared engine options to a tool's option spec.
+[[nodiscard]] std::map<std::string, bool> with_engine_flags(
     std::map<std::string, bool> spec);
 
-/// Extracts the shared execution flags; throws std::runtime_error on
-/// invalid values (e.g. --threads 0).
+/// Extracts the shared engine flags; throws std::runtime_error on invalid
+/// values (e.g. --threads 0).
+[[nodiscard]] EngineFlags engine_flags(const CliArgs& args);
+
+/// Pre-rename spellings (see `ExecutionFlags`).
+[[nodiscard]] std::map<std::string, bool> with_execution_flags(
+    std::map<std::string, bool> spec);
 [[nodiscard]] ExecutionFlags execution_flags(const CliArgs& args);
+
+/// The service/batch flags of tools that drive a `core::Runner` (today:
+/// gcad) on top of the engine flags:
+///   --retry-backoff-ms N   base backoff between retry attempts, doubled
+///                          per retry and clamped to the deadline budget
+struct RunnerFlags {
+  EngineFlags engine;
+  std::int64_t retry_backoff_ms = 0;
+};
+
+/// Adds the shared runner options (a superset of the engine options) to a
+/// tool's option spec.
+[[nodiscard]] std::map<std::string, bool> with_runner_flags(
+    std::map<std::string, bool> spec);
+
+/// Extracts the shared runner flags; throws std::runtime_error on invalid
+/// values.
+[[nodiscard]] RunnerFlags runner_flags(const CliArgs& args);
 
 }  // namespace cli
 

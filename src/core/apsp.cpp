@@ -54,8 +54,9 @@ ApspRunResult apsp_gca(const DistMatrix& w, bool instrument) {
       initial[i * n + j].d = w.at(i, j);
     }
   }
-  gca::Engine<ApspCell> engine(std::move(initial), /*hands=*/2);
-  engine.set_instrumentation(instrument);
+  gca::Engine<ApspCell> engine(
+      std::move(initial),
+      gca::EngineOptions{}.with_hands(2).with_instrumentation(instrument));
 
   const unsigned rounds = n > 1 ? log2_ceil(n) : 0;
   for (unsigned round = 0; round < rounds; ++round) {

@@ -1,0 +1,134 @@
+#include "core/cc_solver.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "core/sparse_cc_solver.hpp"
+#include "gca/cancel.hpp"
+#include "graph/labeling.hpp"
+
+namespace gcalib::core {
+
+const graph::Graph& SolverInput::dense() const {
+  if (dense_ != nullptr) return *dense_;
+  if (dense_cache_ == nullptr) {
+    dense_cache_ = std::make_unique<graph::Graph>(csr_->to_graph());
+  }
+  return *dense_cache_;
+}
+
+const graph::CsrGraph& SolverInput::csr() const {
+  if (csr_ != nullptr) return *csr_;
+  if (csr_cache_ == nullptr) {
+    csr_cache_ =
+        std::make_unique<graph::CsrGraph>(graph::CsrGraph::from_graph(*dense_));
+  }
+  return *csr_cache_;
+}
+
+QueryOutcome CcSolver::try_solve(const SolverInput& input,
+                                 const RunOptions& options) const {
+  QueryOutcome outcome;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    outcome.result = solve(input, options);
+    outcome.status = Status{};
+  } catch (const gca::DeadlineExceeded& e) {
+    outcome.status = Status::error(StatusCode::kDeadlineExceeded, e.what());
+  } catch (const gca::Cancelled& e) {
+    outcome.status = Status::error(StatusCode::kCancelled, e.what());
+  } catch (const ContractViolation& e) {
+    outcome.status = Status::error(StatusCode::kFailedPrecondition, e.what());
+  } catch (const std::exception& e) {
+    outcome.status = Status::error(StatusCode::kInternal, e.what());
+  } catch (...) {
+    outcome.status = Status::error(StatusCode::kInternal,
+                                   "query failed with a non-standard exception");
+  }
+  outcome.elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  return outcome;
+}
+
+gca::SubstrateMode auto_substrate(graph::NodeId n, std::size_t m) {
+  if (n == 0) return gca::SubstrateMode::kDense;
+  if (n <= 512 && 8 * m >= std::size_t{n} * n) return gca::SubstrateMode::kDense;
+  return gca::SubstrateMode::kSparseCsr;
+}
+
+gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
+                                     graph::NodeId n, std::size_t m) {
+  return requested == gca::SubstrateMode::kAuto ? auto_substrate(n, m)
+                                                : requested;
+}
+
+bool requires_dense_machine(const RunOptions& options) {
+  return options.record_access || static_cast<bool>(options.on_step) ||
+         static_cast<bool>(options.before_step) ||
+         static_cast<bool>(options.after_step) ||
+         static_cast<bool>(options.detect) ||
+         static_cast<bool>(options.final_check) ||
+         static_cast<bool>(options.on_restore) || options.recovery.enabled() ||
+         !options.checkpoint_dir.empty();
+}
+
+namespace {
+
+/// The paper-faithful substrate: one `HirschbergGca` machine per query.
+/// Honours every RunOptions hook — this is the engine the fault-recovery
+/// ladder, durable checkpoints and access recording were built around.
+class DenseFieldSolver final : public CcSolver {
+ public:
+  [[nodiscard]] const char* name() const override { return "dense-field"; }
+  [[nodiscard]] gca::SubstrateMode substrate() const override {
+    return gca::SubstrateMode::kDense;
+  }
+
+  [[nodiscard]] QueryResult solve(const SolverInput& input,
+                                  const RunOptions& options) const override {
+    QueryResult result;
+    if (input.node_count() == 0) return result;
+    HirschbergGca machine(input.dense());
+    RunResult run = machine.run(options);
+    result.components = graph::component_count(run.labels);
+    result.labels = std::move(run.labels);
+    result.generations = run.generations;
+    result.sweeps.reserve(run.records.size());
+    for (StepRecord& record : run.records) {
+      result.sweeps.push_back(std::move(record.stats));
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+const CcSolver& dense_cc_solver() {
+  static const DenseFieldSolver solver;
+  return solver;
+}
+
+const CcSolver& sparse_cc_solver() {
+  static const SparseCcSolver solver;
+  return solver;
+}
+
+const CcSolver& cc_solver_for(gca::SubstrateMode substrate) {
+  switch (substrate) {
+    case gca::SubstrateMode::kDense:
+      return dense_cc_solver();
+    case gca::SubstrateMode::kSparseCsr:
+      return sparse_cc_solver();
+    case gca::SubstrateMode::kAuto:
+      break;
+  }
+  GCALIB_EXPECTS_MSG(false,
+                     "cc_solver_for: kAuto must be resolved against a "
+                     "concrete query first (resolve_substrate)");
+  return dense_cc_solver();
+}
+
+}  // namespace gcalib::core

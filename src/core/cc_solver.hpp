@@ -1,0 +1,171 @@
+// CcSolver — the substrate-agnostic connected-components interface.
+//
+// Everything above the engines (the Runner, the gcad dispatch path, the CLI
+// tools) programs against this interface instead of constructing a
+// `HirschbergGca` concretely, so a query can run on either substrate behind
+// one contract (DESIGN.md §12):
+//
+//  * `DenseFieldSolver` — the paper-faithful (n+1) x n cell field
+//    (core/hirschberg_gca.hpp), the golden reference with the full Table-1
+//    observability, checkpoint/rollback recovery and durable checkpoints;
+//  * `SparseCcSolver` — O(m)-work Hirschberg-style hooking/pointer-jumping
+//    over an immutable CSR adjacency (core/sparse_cc_solver.hpp), the
+//    substrate that scales to millions of edges.
+//
+// Both consume the same `RunOptions` (threads / policy / deadline / cancel /
+// metrics sink / self_check) and produce the same min-node-id canonical
+// labeling, bit-identical to each other and across every execution backend
+// and thread count.  Routing between them is `SubstrateMode` plus the
+// `auto_substrate` heuristic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gca/execution.hpp"
+#include "gca/instrumentation.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::core {
+
+struct RunOptions;  // core/hirschberg_gca.hpp
+
+/// One query's graph, on whichever representation the caller already has.
+/// Solvers ask for the view they need (`dense()` / `csr()`); the missing
+/// one is materialised lazily and cached for the duration of the query.
+/// Not thread-safe — one SolverInput belongs to one query attempt.  The
+/// referenced graph must outlive the input (non-owning).
+class SolverInput {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor) — a Graph IS a solver input.
+  SolverInput(const graph::Graph& dense) : dense_(&dense) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  SolverInput(const graph::CsrGraph& csr) : csr_(&csr) {}
+
+  [[nodiscard]] graph::NodeId node_count() const {
+    return dense_ != nullptr ? dense_->node_count() : csr_->node_count();
+  }
+  [[nodiscard]] std::size_t edge_count() const {
+    return dense_ != nullptr ? dense_->edge_count() : csr_->edge_count();
+  }
+  [[nodiscard]] double density() const {
+    return dense_ != nullptr ? dense_->density() : csr_->density();
+  }
+
+  [[nodiscard]] bool has_dense() const { return dense_ != nullptr; }
+  [[nodiscard]] bool has_csr() const { return csr_ != nullptr; }
+
+  /// Dense view; materialised from the CSR on first use (O(n^2) memory —
+  /// the auto router never sends a large CSR graph here).
+  [[nodiscard]] const graph::Graph& dense() const;
+
+  /// CSR view; materialised from the dense graph on first use (O(n + m)).
+  [[nodiscard]] const graph::CsrGraph& csr() const;
+
+ private:
+  const graph::Graph* dense_ = nullptr;
+  const graph::CsrGraph* csr_ = nullptr;
+  mutable std::unique_ptr<graph::Graph> dense_cache_;
+  mutable std::unique_ptr<graph::CsrGraph> csr_cache_;
+};
+
+/// Labeling of one query — the shape every substrate produces.
+struct QueryResult {
+  std::vector<graph::NodeId> labels;  ///< min-id component label per node
+  std::size_t components = 0;         ///< number of distinct labels
+  std::size_t generations = 0;        ///< synchronous sweeps the query ran
+  /// Per-sweep statistics, filled iff `RunOptions::instrument`.  The dense
+  /// substrate reports the paper's Table-1 counters; the sparse substrate
+  /// reports active cells and read totals (congestion histograms are a
+  /// dense-field concept — see DESIGN.md §12).
+  std::vector<gca::GenerationStats> sweeps;
+};
+
+/// Per-query outcome of an isolated solve: the Status taxonomy plus the
+/// result (valid iff `status.ok()`).
+struct QueryOutcome {
+  Status status;       ///< kOk / kDeadlineExceeded / kCancelled / error
+  QueryResult result;  ///< meaningful only when `status.ok()`
+  unsigned attempts = 1;  ///< attempts consumed (> 1 with retries)
+  /// Wall-clock spent on this query across all attempts and backoffs.
+  /// Service front-ends (gcad) feed this into their queue-wait estimator.
+  std::int64_t elapsed_ns = 0;
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  /// True when the query failed at least once and a retry produced a
+  /// clean labeling.
+  [[nodiscard]] bool recovered() const { return status.ok() && attempts > 1; }
+};
+
+/// A connected-components engine over one substrate.
+///
+/// Contract shared by all implementations:
+///  * `solve` returns the min-node-id labeling, deterministically —
+///    bit-identical across execution policies and thread counts;
+///  * honoured RunOptions: instrument, threads, policy, self_check, sink,
+///    deadline_ms, cancel.  Substrate-specific hooks (the dense field's
+///    before_step / after_step / detect / recovery / checkpoint_dir /
+///    record_access) are honoured where they exist and ignored where the
+///    substrate has no equivalent — `solve` documents each;
+///  * failures surface as exceptions: ContractViolation for detected
+///    corruption or invalid input, gca::DeadlineExceeded / gca::Cancelled
+///    for an expired budget.  `try_solve` is the never-throwing wrapper.
+class CcSolver {
+ public:
+  virtual ~CcSolver() = default;
+
+  /// Human-readable solver name ("dense-field" / "sparse-csr").
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// The substrate this solver implements (never kAuto).
+  [[nodiscard]] virtual gca::SubstrateMode substrate() const = 0;
+
+  /// Labels one graph.  Throws on failure (see class contract).
+  [[nodiscard]] virtual QueryResult solve(const SolverInput& input,
+                                          const RunOptions& options) const = 0;
+
+  /// Single-attempt isolated solve: never throws, maps the exception
+  /// taxonomy onto Status codes and stamps the wall clock.  Retry/backoff
+  /// ladders live above this (core::Runner).
+  [[nodiscard]] QueryOutcome try_solve(const SolverInput& input,
+                                       const RunOptions& options) const;
+};
+
+/// The auto-routing heuristic (DESIGN.md §12): the dense field sweeps
+/// n(n+1) cells per generation no matter how sparse the graph is, while
+/// the CSR engine sweeps 2m + n words — so dense only wins where the field
+/// is small and the matrix actually full.  Dense iff n <= 512 and
+/// m >= n^2 / 8 (density >= ~1/4); everything else routes to CSR.  n = 0
+/// is dense (trivially empty either way).
+[[nodiscard]] gca::SubstrateMode auto_substrate(graph::NodeId n,
+                                                std::size_t m);
+
+/// Resolves a requested mode against a concrete query: kAuto applies
+/// `auto_substrate(n, m)`, anything else is returned unchanged.
+[[nodiscard]] gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
+                                                   graph::NodeId n,
+                                                   std::size_t m);
+
+/// True when the options carry hooks only the dense machine implements —
+/// fault injection / detection callbacks, the in-memory recovery ladder,
+/// durable checkpoints, access-edge recording, per-step StepRecord
+/// callbacks.  Auto-routing (`core::Runner`) pins such queries to the
+/// dense reference regardless of size, because silently dropping a fault
+/// monitor or checkpoint anchor is not an optimisation.  An *explicitly*
+/// requested sparse_csr substrate still wins; the hooks are then ignored
+/// as documented on `CcSolver`.
+[[nodiscard]] bool requires_dense_machine(const RunOptions& options);
+
+/// The process-wide solver instances (stateless, thread-safe).
+[[nodiscard]] const CcSolver& dense_cc_solver();
+[[nodiscard]] const CcSolver& sparse_cc_solver();
+
+/// Solver for a *resolved* substrate; kAuto throws ContractViolation (call
+/// `resolve_substrate` first — routing needs the query's n and m).
+[[nodiscard]] const CcSolver& cc_solver_for(gca::SubstrateMode substrate);
+
+}  // namespace gcalib::core

@@ -35,7 +35,8 @@ HirschbergGca::HirschbergGca(const graph::Graph& g)
     : n_(g.node_count()),
       geometry_(gca::FieldGeometry::hirschberg(std::max<std::size_t>(n_, 1))),
       engine_(std::make_unique<gca::Engine<Cell>>(
-          n_ > 0 ? build_field(g) : std::vector<Cell>(2), /*hands=*/1)) {}
+          n_ > 0 ? build_field(g) : std::vector<Cell>(2),
+          gca::EngineOptions{})) {}
 
 template <typename Rule>
 GenerationStats HirschbergGca::step_with(Rule&& rule,

@@ -28,8 +28,9 @@ NCellRunResult hirschberg_ncells(const graph::Graph& g, bool instrument) {
   NCellRunResult result;
   if (n == 0) return result;
 
-  gca::Engine<NCell> engine(std::vector<NCell>(n), /*hands=*/1);
-  engine.set_instrumentation(instrument);
+  gca::Engine<NCell> engine(
+      std::vector<NCell>(n),
+      gca::EngineOptions{}.with_instrumentation(instrument));
 
   const auto track = [&result](const gca::GenerationStats& stats) {
     ++result.generations;

@@ -30,7 +30,8 @@ HirschbergGcaTree::HirschbergGcaTree(const graph::Graph& g)
     : n_(g.node_count()),
       geometry_(gca::FieldGeometry::hirschberg(std::max<std::size_t>(n_, 1))),
       engine_(std::make_unique<gca::Engine<TreeCell>>(
-          n_ > 0 ? build_field(g) : std::vector<TreeCell>(2), /*hands=*/1)) {}
+          n_ > 0 ? build_field(g) : std::vector<TreeCell>(2),
+          gca::EngineOptions{})) {}
 
 template <typename Rule>
 void HirschbergGcaTree::static_step(TreeRunResult& result, Rule&& rule,
@@ -337,7 +338,9 @@ void HirschbergGcaTree::final_min(TreeRunResult& result) {
 
 TreeRunResult HirschbergGcaTree::run(bool instrument) {
   TreeRunResult result;
-  engine_->set_instrumentation(instrument);
+  engine_->set_options(
+      gca::EngineOptions{engine_->options()}.with_instrumentation(
+          instrument));
   if (n_ == 0) return result;
 
   const auto geo = geometry_;

@@ -3,26 +3,35 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "common/assert.hpp"
+#include "common/cli.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "gca/cancel.hpp"
 #include "gca/thread_pool.hpp"
-#include "graph/labeling.hpp"
 
 namespace gcalib::core {
 
 namespace {
 
-QueryResult solve_query(const graph::Graph& g, const RunOptions& run_options) {
-  QueryResult result;
-  if (g.node_count() == 0) return result;
-  HirschbergGca machine(g);
-  RunResult run = machine.run(run_options);
-  result.components = graph::component_count(run.labels);
-  result.labels = std::move(run.labels);
-  result.generations = run.generations;
-  return result;
+/// One routed solve: resolves the substrate against the query's size and
+/// hands the input to that solver (core/cc_solver.hpp).  A query carrying
+/// dense-only hooks (fault injection, durable checkpoints, per-step
+/// callbacks — typically planted by `configure_query`) pins auto-routing
+/// to the dense machine: dropping a monitor silently is not routing.
+QueryResult solve_query(const SolverInput& input,
+                        gca::SubstrateMode substrate,
+                        const RunOptions& run_options) {
+  if (input.node_count() == 0) return {};
+  gca::SubstrateMode requested = substrate;
+  if (requested == gca::SubstrateMode::kAuto &&
+      requires_dense_machine(run_options)) {
+    requested = gca::SubstrateMode::kDense;
+  }
+  const gca::SubstrateMode resolved =
+      resolve_substrate(requested, input.node_count(), input.edge_count());
+  return cc_solver_for(resolved).solve(input, run_options);
 }
 
 }  // namespace
@@ -40,19 +49,30 @@ Runner::Runner(RunnerOptions options) : options_(std::move(options)) {
 
 Runner::~Runner() = default;
 
-QueryResult Runner::solve(const graph::Graph& g) const {
-  RunOptions run_options;
-  run_options.instrument = options_.instrument;
-  run_options.threads = options_.threads;
-  run_options.policy = options_.policy;
-  run_options.sweep = options_.sweep;
-  run_options.sink = options_.sink;
-  run_options.deadline_ms = options_.deadline_ms;
-  run_options.cancel = options_.cancel;
-  return solve_query(g, run_options);
+QueryResult Runner::unwrap(QueryOutcome outcome) const {
+  if (outcome.ok()) return std::move(outcome.result);
+  // The bugfix contract of `solve`: a failing isolated solve rethrows as
+  // the matching typed exception carrying the Status diagnosis, so callers
+  // that skip the outcome API still see *why* the query failed.
+  switch (outcome.status.code) {
+    case StatusCode::kDeadlineExceeded:
+      throw gca::DeadlineExceeded(outcome.status.message);
+    case StatusCode::kCancelled:
+      throw gca::Cancelled(outcome.status.message);
+    default:
+      throw ContractViolation(outcome.status.message);
+  }
 }
 
-QueryOutcome Runner::attempt_query(const graph::Graph& g, std::size_t index,
+QueryResult Runner::solve(const graph::Graph& g) const {
+  return unwrap(try_solve(g));
+}
+
+QueryResult Runner::solve(const graph::CsrGraph& g) const {
+  return unwrap(try_solve(g));
+}
+
+QueryOutcome Runner::attempt_query(const SolverInput& input, std::size_t index,
                                    const RunOptions& base) const {
   QueryOutcome outcome;
   const unsigned max_attempts = options_.retries + 1;
@@ -94,7 +114,7 @@ QueryOutcome Runner::attempt_query(const graph::Graph& g, std::size_t index,
       run_options.deadline_ms = remaining;
     }
     try {
-      outcome.result = solve_query(g, run_options);
+      outcome.result = solve_query(input, options_.substrate, run_options);
       outcome.status = Status{};
       return stamp(outcome);
     } catch (const gca::DeadlineExceeded& e) {
@@ -145,7 +165,19 @@ QueryOutcome Runner::try_solve(const graph::Graph& g) const {
   run_options.sink = options_.sink;
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
-  return attempt_query(g, 0, run_options);
+  return attempt_query(SolverInput(g), 0, run_options);
+}
+
+QueryOutcome Runner::try_solve(const graph::CsrGraph& g) const {
+  RunOptions run_options;
+  run_options.instrument = options_.instrument;
+  run_options.threads = options_.threads;
+  run_options.policy = options_.policy;
+  run_options.sweep = options_.sweep;
+  run_options.sink = options_.sink;
+  run_options.deadline_ms = options_.deadline_ms;
+  run_options.cancel = options_.cancel;
+  return attempt_query(SolverInput(g), 0, run_options);
 }
 
 std::vector<QueryOutcome> Runner::solve_batch(
@@ -165,7 +197,7 @@ std::vector<QueryOutcome> Runner::solve_batch(
       std::min<std::size_t>(options_.threads, graphs.size()));
   if (pool_ == nullptr || lanes <= 1) {
     for (std::size_t i = 0; i < graphs.size(); ++i) {
-      outcomes[i] = attempt_query(graphs[i], i, run_options);
+      outcomes[i] = attempt_query(SolverInput(graphs[i]), i, run_options);
     }
     return outcomes;
   }
@@ -178,11 +210,29 @@ std::vector<QueryOutcome> Runner::solve_batch(
     for (std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
          i < graphs.size();
          i = cursor.fetch_add(1, std::memory_order_relaxed)) {
-      outcomes[i] = attempt_query(graphs[i], i, run_options);
+      outcomes[i] = attempt_query(SolverInput(graphs[i]), i, run_options);
     }
   };
   pool_->run(lanes, lane);
   return outcomes;
+}
+
+RunnerOptions runner_options_from_flags(const cli::RunnerFlags& flags) {
+  // Route through the engine-options validator so a tool rejects exactly
+  // the combinations the engine would (one shared exit-2 surface).
+  const gca::EngineOptions engine = gca::options_from_flags(flags.engine);
+  GCALIB_EXPECTS_MSG(flags.retry_backoff_ms >= 0,
+                     "runner options: retry_backoff_ms must be >= 0");
+  RunnerOptions options;
+  options.threads = engine.threads;
+  options.policy = engine.policy;
+  options.sweep = engine.sweep;
+  options.substrate = engine.substrate;
+  options.instrument = engine.instrumentation;
+  options.deadline_ms = flags.engine.deadline_ms;
+  options.retries = flags.engine.retries;
+  options.retry_backoff_ms = flags.retry_backoff_ms;
+  return options;
 }
 
 }  // namespace gcalib::core

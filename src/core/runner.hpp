@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "core/cc_solver.hpp"
 #include "gca/execution.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 
 namespace gcalib::gca {
@@ -44,6 +46,10 @@ class CancelToken;
 class MetricsSink;
 class ThreadPool;
 }  // namespace gcalib::gca
+
+namespace gcalib::cli {
+struct RunnerFlags;  // common/cli.hpp
+}  // namespace gcalib::cli
 
 namespace gcalib::core {
 
@@ -58,6 +64,11 @@ struct RunnerOptions {
   /// Sweep strategy for every query: sparse sweeps only each generation's
   /// active region, dense the whole field.  Bit-identical results either way.
   gca::SweepMode sweep = gca::SweepMode::kSparse;
+  /// Substrate routing (DESIGN.md §12): which `CcSolver` a query runs on.
+  /// kAuto (the default) resolves per query from its node count and
+  /// density; dense and sparse_csr pin the paper field / CSR engine.
+  /// Labelings are bit-identical either way.
+  gca::SubstrateMode substrate = gca::SubstrateMode::kAuto;
   bool instrument = false;  ///< collect per-step statistics per query
   /// Metrics sink shared by every query (non-owning; nullptr = no tracing).
   /// `solve_batch` pushes steps from all pool lanes concurrently, so the
@@ -91,28 +102,9 @@ struct RunnerOptions {
   std::function<void(std::size_t query, RunOptions& run)> configure_query;
 };
 
-/// Labeling of one query.
-struct QueryResult {
-  std::vector<graph::NodeId> labels;  ///< min-id component label per node
-  std::size_t components = 0;         ///< number of distinct labels
-  std::size_t generations = 0;        ///< engine steps the query executed
-};
-
-/// Per-query outcome of an isolated solve: the Status taxonomy plus the
-/// result (valid iff `status.ok()`).
-struct QueryOutcome {
-  Status status;       ///< kOk / kDeadlineExceeded / kCancelled / error
-  QueryResult result;  ///< meaningful only when `status.ok()`
-  unsigned attempts = 1;  ///< attempts consumed (> 1 with retries)
-  /// Wall-clock spent on this query across all attempts and backoffs.
-  /// Service front-ends (gcad) feed this into their queue-wait estimator.
-  std::int64_t elapsed_ns = 0;
-
-  [[nodiscard]] bool ok() const { return status.ok(); }
-  /// True when the query failed at least once and a retry produced a
-  /// clean labeling.
-  [[nodiscard]] bool recovered() const { return status.ok() && attempts > 1; }
-};
+// QueryResult / QueryOutcome live in core/cc_solver.hpp with the solver
+// interface; the Runner re-exports them through this include for its
+// callers (gcad, tools, tests).
 
 class Runner {
  public:
@@ -124,15 +116,22 @@ class Runner {
 
   [[nodiscard]] const RunnerOptions& options() const { return options_; }
 
-  /// Labels one graph, sweeping its field across the pool lanes.  Throws
-  /// on failure (ContractViolation for detected corruption,
-  /// gca::DeadlineExceeded / gca::Cancelled for an expired budget) — the
-  /// non-isolating single-query API.
+  /// Labels one graph — the throwing single-query API, a documented thin
+  /// wrapper over `try_solve`: the same deadline/retry policy applies, and
+  /// a failing outcome is *rethrown with its Status diagnosis* as the
+  /// matching typed exception (gca::DeadlineExceeded for an expired
+  /// budget, gca::Cancelled for a tripped token, ContractViolation for
+  /// everything else).  The diagnosis text is never silently discarded.
   [[nodiscard]] QueryResult solve(const graph::Graph& g) const;
+  /// CSR-native overload: a million-edge graph never has to materialise a
+  /// dense adjacency matrix to be labelled.
+  [[nodiscard]] QueryResult solve(const graph::CsrGraph& g) const;
 
   /// Labels one graph with full fault isolation: never throws, applies
   /// the deadline/retry policy, and reports the outcome.
   [[nodiscard]] QueryOutcome try_solve(const graph::Graph& g) const;
+  /// CSR-native overload (see `solve(const graph::CsrGraph&)`).
+  [[nodiscard]] QueryOutcome try_solve(const graph::CsrGraph& g) const;
 
   /// Labels every graph of the batch; queries are distributed over the
   /// pool lanes and each is solved with a sequential sweep.  Outcomes are
@@ -143,12 +142,23 @@ class Runner {
       const std::vector<graph::Graph>& graphs) const;
 
  private:
-  [[nodiscard]] QueryOutcome attempt_query(const graph::Graph& g,
+  [[nodiscard]] QueryOutcome attempt_query(const SolverInput& input,
                                            std::size_t index,
                                            const RunOptions& base) const;
+  [[nodiscard]] QueryResult unwrap(QueryOutcome outcome) const;
 
   RunnerOptions options_;
   std::shared_ptr<gca::ThreadPool> pool_;
 };
+
+/// Builds validated RunnerOptions from the shared CLI runner flags —
+/// engine flags (threads / policy / sweep / substrate / instrumentation /
+/// deadline / retries) plus the runner's --retry-backoff-ms.  Throws
+/// ContractViolation on inconsistent combinations, exactly like
+/// gca::options_from_flags (use with the tools' exit-2 validation).
+/// Sinks, cancel tokens and per-query hooks are not flag-expressible and
+/// stay default.
+[[nodiscard]] RunnerOptions runner_options_from_flags(
+    const cli::RunnerFlags& flags);
 
 }  // namespace gcalib::core

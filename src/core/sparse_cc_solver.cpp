@@ -1,0 +1,312 @@
+#include "core/sparse_cc_solver.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "core/hirschberg_gca.hpp"
+#include "gca/cancel.hpp"
+#include "gca/metrics.hpp"
+#include "gca/thread_pool.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::core {
+
+namespace {
+
+using graph::NodeId;
+
+/// Vertices between stop polls — the same grain as the engine's chunk
+/// boundaries: a tripped token or expired deadline aborts within a few
+/// thousand cells of work, always *before* the double-buffer commit.
+constexpr std::size_t kStopPollStride = 4096;
+
+struct StopState {
+  const gca::CancelToken* cancel = nullptr;
+  std::int64_t deadline_ns = 0;  ///< absolute steady-clock; 0 = none
+
+  [[nodiscard]] bool armed() const {
+    return cancel != nullptr || deadline_ns != 0;
+  }
+  void poll() const {
+    if (cancel != nullptr && cancel->cancel_requested()) {
+      throw gca::Cancelled("sparse-csr sweep cancelled");
+    }
+    if (deadline_ns != 0 && gca::steady_now_ns() > deadline_ns) {
+      throw gca::DeadlineExceeded("sparse-csr sweep deadline expired");
+    }
+  }
+};
+
+/// Runs `body(lane, begin, end)` over a deterministic contiguous partition
+/// of [0, n) on the configured backend and returns the summed per-lane
+/// results (the sweep's active-cell count).  The partition is fixed by
+/// (n, lanes) alone and every sweep writes only its own `next` slots, so
+/// results are bit-identical across backends and lane counts.
+class SweepBackend {
+ public:
+  SweepBackend(unsigned threads, gca::ExecutionPolicy policy, std::size_t n)
+      : lanes_(policy == gca::ExecutionPolicy::kSequential
+                   ? 1u
+                   : static_cast<unsigned>(std::min<std::size_t>(
+                         threads, std::max<std::size_t>(n, 1)))) {
+    if (lanes_ > 1 && policy == gca::ExecutionPolicy::kPool) {
+      pool_ = gca::ThreadPool::shared(lanes_);
+    }
+  }
+
+  template <typename Body>
+  std::size_t sweep(std::size_t n, const Body& body) const {
+    if (lanes_ <= 1 || n == 0) return body(0, 0, n);
+    const std::size_t chunk = (n + lanes_ - 1) / lanes_;
+    std::vector<std::size_t> active(lanes_, 0);
+    std::vector<std::exception_ptr> errors(lanes_);
+    auto lane_fn = [&](unsigned lane) {
+      const std::size_t begin = std::min(n, std::size_t{lane} * chunk);
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        active[lane] = body(lane, begin, end);
+      } catch (...) {
+        errors[lane] = std::current_exception();
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->run(lanes_, lane_fn);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(lanes_ - 1);
+      for (unsigned lane = 1; lane < lanes_; ++lane) {
+        workers.emplace_back(lane_fn, lane);
+      }
+      lane_fn(0);
+      for (std::thread& worker : workers) worker.join();
+    }
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+    std::size_t total = 0;
+    for (const std::size_t a : active) total += a;
+    return total;
+  }
+
+ private:
+  unsigned lanes_;
+  std::shared_ptr<gca::ThreadPool> pool_;
+};
+
+/// Per-sweep statistics of the CSR substrate.  The logical counters are
+/// deterministic (active cells = label changes; reads = arcs for a hook,
+/// one per vertex for a jump).  Congestion for a hook sweep is exactly the
+/// degree distribution — vertex u is read once per neighbour — so the
+/// histogram is precomputed once per query; jump congestion is the label
+/// in-degree histogram, recomputed per sweep (O(n), instrumented runs
+/// only).
+struct SweepStats {
+  const graph::CsrGraph* csr = nullptr;
+  bool enabled = false;
+  bool timed = false;  ///< sink attached: stamp wall clocks
+
+  // Hook-congestion projection, computed on first use.
+  bool hook_ready = false;
+  std::size_t hook_cells_read = 0;
+  std::size_t hook_max_congestion = 0;
+  std::map<std::size_t, std::size_t> hook_classes;
+
+  void prepare_hook() {
+    if (hook_ready) return;
+    hook_ready = true;
+    const NodeId n = csr->node_count();
+    for (NodeId u = 0; u < n; ++u) {
+      const std::size_t deg = csr->degree(u);
+      if (deg == 0) continue;
+      ++hook_cells_read;
+      hook_max_congestion = std::max(hook_max_congestion, deg);
+      ++hook_classes[deg];
+    }
+  }
+
+  [[nodiscard]] gca::GenerationStats hook_stats(
+      std::uint64_t generation, unsigned round,
+      std::size_t active_cells) {
+    prepare_hook();
+    gca::GenerationStats stats;
+    stats.generation = generation;
+    stats.label = "hook#" + std::to_string(round);
+    stats.cell_count = csr->node_count();
+    stats.cells_swept = csr->node_count();
+    stats.active_cells = active_cells;
+    stats.total_reads = 2 * csr->edge_count();
+    stats.cells_read = hook_cells_read;
+    stats.max_congestion = hook_max_congestion;
+    stats.congestion_classes = hook_classes;
+    return stats;
+  }
+
+  [[nodiscard]] gca::GenerationStats jump_stats(
+      std::uint64_t generation, unsigned round, unsigned sub,
+      std::size_t active_cells, const std::vector<NodeId>& read_labels) {
+    gca::GenerationStats stats;
+    stats.generation = generation;
+    stats.label =
+        "jump#" + std::to_string(round) + "." + std::to_string(sub);
+    stats.cell_count = csr->node_count();
+    stats.cells_swept = csr->node_count();
+    stats.active_cells = active_cells;
+    stats.total_reads = csr->node_count();
+    // Label in-degree histogram: cell d[v] received one read per vertex v.
+    std::vector<std::size_t> reads(read_labels.size(), 0);
+    for (const NodeId label : read_labels) ++reads[label];
+    for (const std::size_t count : reads) {
+      if (count == 0) continue;
+      ++stats.cells_read;
+      stats.max_congestion = std::max(stats.max_congestion, count);
+      ++stats.congestion_classes[count];
+    }
+    return stats;
+  }
+};
+
+}  // namespace
+
+QueryResult SparseCcSolver::solve(const SolverInput& input,
+                                  const RunOptions& options) const {
+  QueryResult result;
+  const graph::CsrGraph& csr = input.csr();
+  const NodeId n = csr.node_count();
+  if (n == 0) return result;
+
+  GCALIB_EXPECTS_MSG(options.threads >= 1,
+                     "sparse-csr: threads must be >= 1");
+  GCALIB_EXPECTS_MSG(
+      !(options.threads > 1 &&
+        options.policy == gca::ExecutionPolicy::kSequential),
+      "sparse-csr: threads > 1 requires a parallel policy (spawn or pool)");
+
+  StopState stop;
+  stop.cancel = options.cancel;
+  if (options.deadline_ms > 0) {
+    stop.deadline_ns = gca::steady_deadline_ns(options.deadline_ms);
+  }
+
+  const SweepBackend backend(options.threads, options.policy, n);
+  SweepStats stats;
+  stats.csr = &csr;
+  stats.enabled = options.instrument || options.sink != nullptr;
+  stats.timed = options.sink != nullptr;
+
+  std::vector<NodeId> cur(n);
+  std::vector<NodeId> next(n);
+  for (NodeId v = 0; v < n; ++v) cur[v] = v;
+
+  const auto emit = [&](gca::GenerationStats&& sweep_stats,
+                        std::int64_t start_ns) {
+    if (stats.timed) {
+      sweep_stats.start_ns = static_cast<std::uint64_t>(start_ns);
+      sweep_stats.duration_ns =
+          static_cast<std::uint64_t>(gca::steady_now_ns() - start_ns);
+      options.sink->on_step(sweep_stats);
+    }
+    if (options.instrument) result.sweeps.push_back(std::move(sweep_stats));
+  };
+
+  const std::vector<NodeId>* read = &cur;  // sweeps read cur, write next
+  const auto hook_body = [&](unsigned, std::size_t begin,
+                             std::size_t end) -> std::size_t {
+    std::size_t active = 0;
+    std::size_t since_poll = 0;
+    const std::vector<NodeId>& d = *read;
+    for (std::size_t v = begin; v < end; ++v) {
+      NodeId best = d[v];
+      for (const NodeId u : csr.neighbors(static_cast<NodeId>(v))) {
+        best = std::min(best, d[u]);
+      }
+      next[v] = best;
+      active += best != d[v] ? 1u : 0u;
+      if (stop.armed() && ++since_poll >= kStopPollStride) {
+        since_poll = 0;
+        stop.poll();
+      }
+    }
+    if (stop.armed()) stop.poll();
+    return active;
+  };
+  const auto jump_body = [&](unsigned, std::size_t begin,
+                             std::size_t end) -> std::size_t {
+    std::size_t active = 0;
+    std::size_t since_poll = 0;
+    const std::vector<NodeId>& d = *read;
+    for (std::size_t v = begin; v < end; ++v) {
+      const NodeId target = d[d[v]];
+      next[v] = target;
+      active += target != d[v] ? 1u : 0u;
+      if (stop.armed() && ++since_poll >= kStopPollStride) {
+        since_poll = 0;
+        stop.poll();
+      }
+    }
+    if (stop.armed()) stop.poll();
+    return active;
+  };
+
+  // Convergence guard: hooking + jump-to-fixpoint rounds are O(log n) (the
+  // same doubling argument as the paper's generations 3/7/10); blowing far
+  // past that bound means a library bug, not a hard input.
+  unsigned log2n = 0;
+  while ((std::uint64_t{1} << (log2n + 1)) <= n && log2n < 31) ++log2n;
+  const unsigned max_rounds = 2 * (log2n + 2) + 8;
+
+  for (unsigned round = 0;; ++round) {
+    GCALIB_ASSERT_MSG(round < max_rounds,
+                      "sparse-csr: hook/jump rounds failed to converge");
+    const std::int64_t hook_start = stats.timed ? gca::steady_now_ns() : 0;
+    const std::size_t hooked = backend.sweep(n, hook_body);
+    cur.swap(next);
+    const std::uint64_t generation = result.generations++;
+    if (stats.enabled) emit(stats.hook_stats(generation, round, hooked),
+                            hook_start);
+    if (hooked == 0) break;  // labels constant across every edge: converged
+
+    for (unsigned sub = 0;; ++sub) {
+      GCALIB_ASSERT_MSG(sub < max_rounds + 32,
+                        "sparse-csr: pointer jumping failed to converge");
+      const std::int64_t jump_start = stats.timed ? gca::steady_now_ns() : 0;
+      const std::size_t jumped = backend.sweep(n, jump_body);
+      if (jumped == 0) break;  // d is idempotent; nothing left to collapse
+      cur.swap(next);
+      const std::uint64_t jump_generation = result.generations++;
+      if (stats.enabled) {
+        // After the swap `next` holds the labels this sweep read *from* —
+        // the read targets the congestion histogram is taken over.
+        emit(stats.jump_stats(jump_generation, round, sub, jumped, next),
+             jump_start);
+      }
+    }
+  }
+
+  result.labels = std::move(cur);
+  // At the fixpoint the label values are exactly the component minima and
+  // each satisfies d[w] == w, so counting self-labelled vertices counts
+  // components in O(n) without sorting.
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.labels[v] == v) ++result.components;
+  }
+
+  if (options.self_check) {
+    graph::UnionFind oracle(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : csr.neighbors(u)) {
+        if (u < v) oracle.unite(u, v);
+      }
+    }
+    GCALIB_ENSURES(result.labels == oracle.min_labels());
+    GCALIB_ENSURES(result.components == oracle.set_count());
+  }
+  return result;
+}
+
+}  // namespace gcalib::core

@@ -1,0 +1,46 @@
+// SparseCcSolver — Hirschberg-style hooking + pointer jumping over CSR.
+//
+// The paper's machine spends n(n+1) cells per generation because the
+// adjacency matrix *is* the cell field.  This solver keeps the same
+// synchronous-sweep discipline (double-buffered labels, one uniform rule
+// per sweep, deterministic chunk partitions on the shared
+// ThreadPool/spawn/sequential backends) but lays the graph out as an
+// immutable CSR adjacency, so one generation costs O(m + n) words:
+//
+//  * hook sweep  — next[v] = min(d[v], min_{u in N(v)} d[u]): every vertex
+//    adopts the smallest label among itself and its neighbours (the
+//    paper's "connect to the smallest neighbouring super node", symmetric
+//    form — Burkhardt's label-propagation hooking);
+//  * jump sweeps — next[v] = d[d[v]]: pointer doubling, repeated until
+//    stable, collapsing label chains the way generations 3/7/10 collapse
+//    the paper's pointer trees.
+//
+// Labels start at d[v] = v, never increase, and always name a vertex of
+// the same component, so the run converges on the min-node-id canonical
+// labeling in O(log n) hook rounds — identical bit-for-bit to the dense
+// field, across all execution policies and thread counts (every sweep is a
+// pure function of the previous buffer; the partition cannot matter).
+//
+// RunOptions honoured: instrument, threads, policy, self_check, sink,
+// deadline_ms, cancel (polled every few thousand vertices, like the
+// engine's chunk boundaries).  Dense-field-only hooks — record_access,
+// before_step/after_step/detect/final_check/recovery, checkpoint_dir,
+// on_step — have no CSR equivalent and are ignored (DESIGN.md §12).
+#pragma once
+
+#include "core/cc_solver.hpp"
+
+namespace gcalib::core {
+
+class SparseCcSolver final : public CcSolver {
+ public:
+  [[nodiscard]] const char* name() const override { return "sparse-csr"; }
+  [[nodiscard]] gca::SubstrateMode substrate() const override {
+    return gca::SubstrateMode::kSparseCsr;
+  }
+
+  [[nodiscard]] QueryResult solve(const SolverInput& input,
+                                  const RunOptions& options) const override;
+};
+
+}  // namespace gcalib::core

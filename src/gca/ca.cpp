@@ -23,7 +23,8 @@ CellularAutomaton::CellularAutomaton(FieldGeometry geometry,
       boundary_(boundary),
       boundary_state_(boundary_state),
       engine_(std::vector<std::uint8_t>(geometry.size(), 0),
-              /*hands=*/std::max<std::size_t>(neighborhood_.size(), 1)) {
+              EngineOptions{}.with_hands(
+                  std::max<std::size_t>(neighborhood_.size(), 1))) {
   GCALIB_EXPECTS(!neighborhood_.empty());
 }
 
@@ -106,7 +107,8 @@ CellularAutomaton::Rule parity_rule() {
 ElementaryCA::ElementaryCA(std::size_t width, unsigned rule, Boundary boundary)
     : rule_(rule),
       boundary_(boundary),
-      engine_(std::vector<std::uint8_t>(width, 0), /*hands=*/2) {
+      engine_(std::vector<std::uint8_t>(width, 0),
+              EngineOptions{}.with_hands(2)) {
   GCALIB_EXPECTS(width >= 1);
   GCALIB_EXPECTS(rule <= 255);
 }

@@ -239,10 +239,17 @@ class Engine {
     set_options(options);
   }
 
-  /// Legacy constructor (pre-EngineOptions API; prefer the primary one).
-  /// `hands` is the maximum number of global reads one cell may perform per
-  /// generation (1 = the paper's one-handed GCA).
-  explicit Engine(std::vector<State> initial, std::size_t hands = 1)
+  /// Default-configured engine — shorthand for
+  /// `Engine(initial, EngineOptions{})` (one hand, sequential, sparse).
+  explicit Engine(std::vector<State> initial)
+      : Engine(std::move(initial), EngineOptions{}) {}
+
+  /// Legacy constructor (pre-EngineOptions API).  `hands` is the maximum
+  /// number of global reads one cell may perform per generation (1 = the
+  /// paper's one-handed GCA).
+  [[deprecated("construct with a validated EngineOptions aggregate: "
+               "Engine(states, EngineOptions{}.with_hands(h))")]]
+  Engine(std::vector<State> initial, std::size_t hands)
       : Engine(std::move(initial), EngineOptions{}.with_hands(hands)) {}
 
   [[nodiscard]] std::size_t size() const { return store_.size(); }
@@ -289,13 +296,16 @@ class Engine {
     store_.set_state(i, value);
   }
 
-  // --- legacy setters (deprecated: prefer EngineOptions/set_options) ----
+  // --- legacy setters ([[deprecated]]: prefer EngineOptions/set_options) -
   // All of them route through `set_options`, so an inconsistent combination
   // (e.g. record_access on a parallel engine) is rejected at the setter —
-  // never mid-run.
+  // never mid-run.  They survive as thin wrappers for out-of-tree callers;
+  // every in-repo caller constructs a full EngineOptions instead.
 
   /// Collects congestion statistics per step when enabled (default on;
   /// disable for pure-speed runs).
+  [[deprecated("use set_options(EngineOptions{options()}"
+               ".with_instrumentation(enabled))")]]
   void set_instrumentation(bool enabled) {
     set_options(EngineOptions{options_}.with_instrumentation(enabled));
   }
@@ -304,6 +314,8 @@ class Engine {
   /// Records individual (reader, target) access edges of the most recent
   /// step (for access-pattern rendering; implies instrumentation overhead).
   /// Throws ContractViolation when the engine sweeps in parallel.
+  [[deprecated("use set_options(EngineOptions{options()}"
+               ".with_record_access(enabled))")]]
   void set_record_access(bool enabled) {
     set_options(EngineOptions{options_}.with_record_access(enabled));
   }
@@ -314,6 +326,8 @@ class Engine {
   /// Parallel sweep width (1 = sequential).  Keeps the legacy semantics:
   /// widening a sequential engine selects the spawn-per-step backend; an
   /// engine already on the pool policy stays there.
+  [[deprecated("use set_options(EngineOptions{options()}.with_threads(n)"
+               ".with_policy(...)) — the policy choice is explicit there")]]
   void set_threads(unsigned threads) {
     EngineOptions next = options_;
     next.threads = threads;

@@ -1,5 +1,8 @@
 #include "gca/execution.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/assert.hpp"
 #include "common/cli.hpp"
 
@@ -46,6 +49,29 @@ SweepMode parse_sweep_mode(const std::string& name) {
   return SweepMode::kSparse;
 }
 
+const char* to_string(SubstrateMode mode) {
+  switch (mode) {
+    case SubstrateMode::kDense:
+      return "dense";
+    case SubstrateMode::kSparseCsr:
+      return "sparse_csr";
+    case SubstrateMode::kAuto:
+      return "auto";
+  }
+  GCALIB_ASSERT_MSG(false, "unreachable substrate mode");
+  return "?";
+}
+
+SubstrateMode parse_substrate_mode(const std::string& name) {
+  if (name == "dense") return SubstrateMode::kDense;
+  if (name == "sparse_csr" || name == "csr") return SubstrateMode::kSparseCsr;
+  if (name == "auto") return SubstrateMode::kAuto;
+  GCALIB_EXPECTS_MSG(false,
+                     "unknown substrate '" + name +
+                         "' (expected dense | sparse_csr | auto)");
+  return SubstrateMode::kAuto;
+}
+
 void EngineOptions::validate() const {
   GCALIB_EXPECTS_MSG(hands >= 1, "engine options: hands must be >= 1");
   GCALIB_EXPECTS_MSG(threads >= 1, "engine options: threads must be >= 1");
@@ -57,16 +83,26 @@ void EngineOptions::validate() const {
                      "sequential sweep (threads == 1)");
 }
 
-EngineOptions options_from_flags(const cli::ExecutionFlags& flags) {
+EngineOptions options_from_flags(const cli::EngineFlags& flags) {
   const EngineOptions options =
       EngineOptions{}
           .with_threads(flags.threads)
           .with_policy(parse_execution_policy(flags.policy))
           .with_instrumentation(flags.instrumentation)
           .with_record_access(flags.record_access)
-          .with_sweep(parse_sweep_mode(flags.sweep));
+          .with_sweep(parse_sweep_mode(flags.sweep))
+          .with_substrate(parse_substrate_mode(flags.substrate));
   options.validate();
   return options;
+}
+
+EngineOptions options_from_flags_or_exit(const cli::EngineFlags& flags) {
+  try {
+    return options_from_flags(flags);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace gcalib::gca

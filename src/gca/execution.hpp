@@ -27,7 +27,7 @@
 #include <string>
 
 namespace gcalib::cli {
-struct ExecutionFlags;  // common/cli.hpp
+struct EngineFlags;  // common/cli.hpp
 }  // namespace gcalib::cli
 
 namespace gcalib::gca {
@@ -62,6 +62,29 @@ enum class SweepMode {
 
 /// Inverse of `to_string`; throws ContractViolation on unknown names.
 [[nodiscard]] SweepMode parse_sweep_mode(const std::string& name);
+
+/// Which substrate a connected-components query runs on (DESIGN.md §12).
+///
+/// Orthogonal to `SweepMode`: the sweep mode selects dense vs active-region
+/// iteration *within* the paper's (n+1) x n cell field, while the substrate
+/// selects the field itself — the paper-faithful dense field
+/// (`core::DenseFieldSolver`) or the O(m)-work CSR label-propagation engine
+/// (`core::SparseCcSolver`).  `kAuto` routes per query by node count and
+/// density (`core::auto_substrate`).  The `Engine` template never reads
+/// this: it is routing metadata consumed by the solver layer and carried on
+/// `EngineOptions` so one validated options object configures either
+/// substrate.
+enum class SubstrateMode {
+  kDense,      ///< the paper's (n+1) x n cell field — golden reference
+  kSparseCsr,  ///< CSR label propagation, O(m) work per generation
+  kAuto,       ///< choose per query from n and density
+};
+
+/// Name of a substrate ("dense" / "sparse_csr" / "auto").
+[[nodiscard]] const char* to_string(SubstrateMode mode);
+
+/// Inverse of `to_string`; throws ContractViolation on unknown names.
+[[nodiscard]] SubstrateMode parse_substrate_mode(const std::string& name);
 
 /// The set of cells a generation may activate, as a rectangular (optionally
 /// column-strided) window over a row-major field:
@@ -153,6 +176,10 @@ struct EngineOptions {
   bool instrumentation = true;  ///< collect per-step congestion statistics
   bool record_access = false;   ///< record individual (reader, target) edges
   SweepMode sweep = SweepMode::kSparse;  ///< honour advertised active regions
+  /// Substrate routing metadata (see `SubstrateMode`): consumed by the
+  /// solver layer (core/cc_solver.hpp) to pick the engine a query runs on;
+  /// the `Engine` template itself ignores it.
+  SubstrateMode substrate = SubstrateMode::kAuto;
 
   EngineOptions& with_hands(std::size_t value) {
     hands = value;
@@ -178,6 +205,10 @@ struct EngineOptions {
     sweep = value;
     return *this;
   }
+  EngineOptions& with_substrate(SubstrateMode value) {
+    substrate = value;
+    return *this;
+  }
 
   /// True iff the sweep actually runs on more than one thread.
   [[nodiscard]] bool parallel() const {
@@ -188,12 +219,19 @@ struct EngineOptions {
   void validate() const;
 };
 
-/// Builds a *validated* EngineOptions from the shared CLI execution flags
-/// (common/cli.hpp carries the policy as its spelled name so common/ stays
-/// below gca/; this is the one conversion point).  Throws ContractViolation
-/// on inconsistent combinations — e.g. `--record-access` with a parallel
-/// policy — so the tools can reject them at parse time (exit 2) instead of
-/// asserting mid-run.
-[[nodiscard]] EngineOptions options_from_flags(const cli::ExecutionFlags& flags);
+/// Builds a *validated* EngineOptions from the shared CLI engine flags
+/// (common/cli.hpp carries the policy / sweep / substrate as their spelled
+/// names so common/ stays below gca/; this is the one conversion point).
+/// Throws ContractViolation on inconsistent combinations — e.g.
+/// `--record-access` with a parallel policy — so the tools can reject them
+/// at parse time (exit 2) instead of asserting mid-run.
+[[nodiscard]] EngineOptions options_from_flags(const cli::EngineFlags& flags);
+
+/// The exit-2 wrapper every tool shares: converts + validates the flags,
+/// printing `error: <diagnosis>` to stderr and exiting with status 2 on any
+/// inconsistent combination — so `gca_cc_tool`, `gcal_run`,
+/// `gca_resilient_cc` and `gcad` reject `--substrate marble` identically.
+[[nodiscard]] EngineOptions options_from_flags_or_exit(
+    const cli::EngineFlags& flags);
 
 }  // namespace gcalib::gca

@@ -21,7 +21,7 @@ KernelResult reduce(const std::vector<KernelWord>& values,
                     const Combiner& combine) {
   const std::size_t n = values.size();
   GCALIB_EXPECTS(n >= 1);
-  Engine<KernelWord> engine(values, /*hands=*/1);
+  Engine<KernelWord> engine(values);
   KernelResult result;
   const std::size_t steps = n > 1 ? log2_ceil(n) : 0;
   for (std::size_t s = 0; s < steps; ++s) {
@@ -41,7 +41,7 @@ KernelResult broadcast(const std::vector<KernelWord>& values,
                        std::size_t source) {
   const std::size_t n = values.size();
   GCALIB_EXPECTS(n >= 1 && source < n);
-  Engine<KernelWord> engine(values, /*hands=*/1);
+  Engine<KernelWord> engine(values);
   KernelResult result;
   const std::size_t steps = n > 1 ? log2_ceil(n) : 0;
   for (std::size_t s = 0; s < steps; ++s) {
@@ -62,7 +62,7 @@ KernelResult exclusive_scan(const std::vector<KernelWord>& values,
                             const Combiner& combine, KernelWord identity) {
   const std::size_t n = values.size();
   GCALIB_EXPECTS(n >= 1);
-  Engine<KernelWord> engine(values, /*hands=*/1);
+  Engine<KernelWord> engine(values);
   KernelResult result;
   // Hillis-Steele inclusive scan...
   const std::size_t hs_steps = n > 1 ? log2_ceil(n) : 0;
@@ -89,7 +89,7 @@ KernelResult cyclic_shift(const std::vector<KernelWord>& values,
                           std::size_t offset) {
   const std::size_t n = values.size();
   GCALIB_EXPECTS(n >= 1);
-  Engine<KernelWord> engine(values, /*hands=*/1);
+  Engine<KernelWord> engine(values);
   KernelResult result;
   track(result, engine.step([n, offset](std::size_t i, auto& read)
                                 -> std::optional<KernelWord> {
@@ -102,7 +102,7 @@ KernelResult cyclic_shift(const std::vector<KernelWord>& values,
 KernelResult bitonic_sort(const std::vector<KernelWord>& values) {
   const std::size_t n = values.size();
   GCALIB_EXPECTS_MSG(is_pow2(n), "bitonic sort needs a power-of-two size");
-  Engine<KernelWord> engine(values, /*hands=*/1);
+  Engine<KernelWord> engine(values);
   KernelResult result;
   for (std::size_t k = 2; k <= n; k *= 2) {
     for (std::size_t j = k / 2; j >= 1; j /= 2) {
@@ -144,7 +144,7 @@ ListRankResult list_rank(const std::vector<std::size_t>& next) {
     initial[i].next = next[i];
     initial[i].rank = next[i] == i ? 0 : 1;  // tails are rank 0
   }
-  Engine<RankCell> engine(std::move(initial), /*hands=*/1);
+  Engine<RankCell> engine(std::move(initial));
 
   const std::size_t steps = n > 1 ? log2_ceil(n) : 0;
   for (std::size_t s = 0; s < steps; ++s) {

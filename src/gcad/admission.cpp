@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "core/cc_solver.hpp"
 #include "gcad/protocol.hpp"
 
 namespace gcalib::gcad {
@@ -94,7 +95,13 @@ AdmissionVerdict AdmissionController::admit(PendingQuery query,
     return verdict;
   }
 
-  query.est_ns = model_->estimate_ns(query.graph.node_count());
+  // Price the query on the substrate it will actually run on: the model
+  // keeps separate calibrations per substrate (latency.hpp), so a stream
+  // of cheap sparse solves never miscalibrates dense admission.
+  const gca::SubstrateMode resolved = core::resolve_substrate(
+      config_.substrate, query.graph.node_count(), query.graph.edge_count());
+  query.est_ns = model_->estimate_ns(resolved, query.graph.node_count(),
+                                     query.graph.edge_count());
   const std::int64_t est_wait_ms = backlog_wait_ms();
   const std::int64_t est_total_ms =
       est_wait_ms + query.est_ns / 1'000'000;

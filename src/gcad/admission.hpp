@@ -55,6 +55,10 @@ struct PendingQuery {
 struct AdmissionConfig {
   std::size_t queue_capacity = 256;  ///< bounded intake
   unsigned workers = 1;  ///< parallel solve lanes the wait estimate divides by
+  /// Substrate the server routes queries to (DESIGN.md §12).  Admission
+  /// resolves kAuto per query — estimates must price the engine the query
+  /// will actually run on, not a fixed worst case.
+  gca::SubstrateMode substrate = gca::SubstrateMode::kAuto;
   /// Escalation-ladder thresholds as queue-fill fractions.
   double elevated_fill = 0.50;
   double severe_fill = 0.75;

@@ -6,34 +6,66 @@
 // moving average of observed per-query solve times in log2(n) buckets
 // (queries of similar field size cost similar work), plus a global
 // calibration of nanoseconds-per-work-unit so sizes never seen before
-// still get a sane estimate: the Hirschberg GCA sweeps O(n^2) cells for
-// O(log n) generations per iteration over O(log n) iterations, so the
-// work weight is n^2 * (log2 n + 1)^2 and cold estimates scale with it.
+// still get a sane estimate.
+//
+// Substrates cost differently, so the model is two-dimensional: every
+// bucket set and every calibration exists once per substrate
+// (DESIGN.md §12).  The dense paper field sweeps O(n^2) cells for
+// O(log n) generations over O(log n) iterations — work weight
+// n^2 * (log2 n + 1)^2; the CSR engine does O(n + m) work per sweep for
+// O(log n) sweeps — work weight (n + 2m) * (log2 n + 1).  Mixing the two
+// in one EWMA would let a burst of cheap sparse solves talk the model
+// into admitting dense queries it cannot finish, so they never share
+// state.
 //
 // Thread-safe: the intake thread reads estimates while worker lanes feed
 // observations back.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
+
+#include "gca/execution.hpp"
 
 namespace gcalib::gcad {
 
 class LatencyModel {
  public:
-  /// Records one observed isolated-solve wall time for a size-n query.
-  void record(std::uint32_t n, std::int64_t elapsed_ns);
+  /// Records one observed isolated-solve wall time for an n-node, m-edge
+  /// query solved on `substrate` (must be resolved: dense or sparse_csr,
+  /// never auto).
+  void record(gca::SubstrateMode substrate, std::uint32_t n, std::size_t m,
+              std::int64_t elapsed_ns);
+  /// Legacy dense-field entry point (m irrelevant to the dense weight).
+  void record(std::uint32_t n, std::int64_t elapsed_ns) {
+    record(gca::SubstrateMode::kDense, n, 0, elapsed_ns);
+  }
 
-  /// Estimated solve time for a size-n query: the bucket EWMA when that
-  /// size class has history, otherwise the global calibration scaled by
-  /// the work weight, otherwise a conservative cold-start constant.
-  [[nodiscard]] std::int64_t estimate_ns(std::uint32_t n) const;
+  /// Estimated solve time for an n-node, m-edge query on `substrate`: the
+  /// bucket EWMA when that (substrate, size class) has history, otherwise
+  /// that substrate's calibration scaled by its work weight, otherwise a
+  /// conservative cold-start constant.
+  [[nodiscard]] std::int64_t estimate_ns(gca::SubstrateMode substrate,
+                                         std::uint32_t n,
+                                         std::size_t m) const;
+  /// Legacy dense-field estimate.
+  [[nodiscard]] std::int64_t estimate_ns(std::uint32_t n) const {
+    return estimate_ns(gca::SubstrateMode::kDense, n, 0);
+  }
 
-  /// Total observations recorded (tests and the stats op).
+  /// Total observations recorded across both substrates (tests, stats op).
   [[nodiscard]] std::uint64_t samples() const;
 
-  /// Work weight of a size-n query: n^2 * (log2 n + 1)^2 cell updates.
-  [[nodiscard]] static double weight(std::uint32_t n);
+  /// Work weight of an n-node, m-edge query on `substrate`:
+  /// dense n^2 * (log2 n + 1)^2 cell updates, sparse_csr
+  /// (n + 2m) * (log2 n + 1) label reads.
+  [[nodiscard]] static double weight(gca::SubstrateMode substrate,
+                                     std::uint32_t n, std::size_t m);
+  /// Legacy dense-field weight.
+  [[nodiscard]] static double weight(std::uint32_t n) {
+    return weight(gca::SubstrateMode::kDense, n, 0);
+  }
 
  private:
   static constexpr double kAlpha = 0.2;  ///< EWMA smoothing factor
@@ -42,17 +74,25 @@ class LatencyModel {
   /// eagerly, under-estimating admits work that then misses deadlines.
   static constexpr double kColdNsPerWeight = 30.0;
   static constexpr unsigned kBuckets = 16;  ///< log2 buckets up to n = 65535
+  static constexpr unsigned kSubstrates = 2;  ///< dense, sparse_csr
 
   struct Bucket {
     double ewma_ns = 0.0;
     std::uint64_t samples = 0;
   };
+  /// One substrate's whole history: size-class EWMAs plus the global
+  /// ns-per-work calibration for sizes that class has never seen.
+  struct Slot {
+    Bucket buckets[kBuckets];
+    double ns_per_weight = 0.0;
+    std::uint64_t samples = 0;
+  };
 
   [[nodiscard]] static unsigned bucket_of(std::uint32_t n);
+  [[nodiscard]] static unsigned slot_of(gca::SubstrateMode substrate);
 
   mutable std::mutex mutex_;
-  Bucket buckets_[kBuckets];
-  double ns_per_weight_ = 0.0;  ///< global calibration EWMA
+  Slot slots_[kSubstrates];
   std::uint64_t samples_ = 0;
 };
 

@@ -28,6 +28,7 @@ Server::Server(ServerOptions options)
       admission_([&] {
         AdmissionConfig config = options_.admission;
         config.workers = std::max(1u, options_.threads);
+        config.substrate = options_.substrate;
         return config;
       }(), &model_) {
   GCALIB_EXPECTS_MSG(options_.threads >= 1, "gcad: threads must be >= 1");
@@ -41,6 +42,7 @@ Server::Server(ServerOptions options)
   normal.threads = options_.threads;
   normal.policy = options_.policy;
   normal.sweep = options_.sweep;
+  normal.substrate = options_.substrate;
   normal.instrument = false;
   normal.sink = options_.sink;
   normal.retries = options_.retries;
@@ -422,7 +424,11 @@ void Server::dispatch_batch(std::vector<PendingQuery> batch) {
         if (outcome.recovered()) {
           counters_.recovered.fetch_add(1, std::memory_order_relaxed);
         }
-        model_.record(query.graph.node_count(), outcome.elapsed_ns);
+        model_.record(core::resolve_substrate(options_.substrate,
+                                              query.graph.node_count(),
+                                              query.graph.edge_count()),
+                      query.graph.node_count(), query.graph.edge_count(),
+                      outcome.elapsed_ns);
       } else if (outcome.status.code == StatusCode::kDeadlineExceeded) {
         counters_.expired.fetch_add(1, std::memory_order_relaxed);
       } else {

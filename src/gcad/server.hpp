@@ -52,6 +52,11 @@ struct ServerOptions {
   unsigned threads = 1;  ///< solve lanes (Runner pool width)
   gca::ExecutionPolicy policy = gca::ExecutionPolicy::kPool;
   gca::SweepMode sweep = gca::SweepMode::kSparse;
+  /// Substrate routing (DESIGN.md §12) for every query the daemon solves;
+  /// kAuto resolves per query by size and density.  Admission estimates
+  /// and the latency model's learning are keyed by the same resolution,
+  /// so the crystal ball prices the engine each query actually runs on.
+  gca::SubstrateMode substrate = gca::SubstrateMode::kAuto;
   AdmissionConfig admission;  ///< `workers` is overridden with `threads`
   std::string journal_path;   ///< empty = no durability (accepted != durable)
   std::size_t max_batch = 16; ///< micro-batch ceiling

@@ -1,0 +1,87 @@
+#include "graph/csr_graph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gcalib::graph {
+
+CsrGraph CsrGraph::from_graph(const Graph& g) {
+  CsrGraph out;
+  out.n_ = g.node_count();
+  out.offsets_.assign(std::size_t{out.n_} + 1, 0);
+  out.neighbors_.reserve(2 * g.edge_count());
+  for (NodeId u = 0; u < out.n_; ++u) {
+    const std::vector<NodeId>& adj = g.neighbors(u);
+    out.neighbors_.insert(out.neighbors_.end(), adj.begin(), adj.end());
+    out.offsets_[u + 1] = out.neighbors_.size();
+  }
+  return out;
+}
+
+CsrGraph CsrGraph::from_edges(NodeId n, const std::vector<Edge>& edges) {
+  CsrGraph out;
+  out.n_ = n;
+  out.offsets_.assign(std::size_t{n} + 1, 0);
+  if (n == 0) return out;
+
+  // Two-pass counting sort over the arcs: O(n + m) time, no comparison
+  // sort over the full arc array.  Degrees first (offsets_[u + 1] counts
+  // arcs of u), then an exclusive scan, then placement.
+  for (const Edge& e : edges) {
+    GCALIB_EXPECTS_MSG(e.u < n && e.v < n,
+                       "csr: edge endpoint out of range");
+    if (e.u == e.v) continue;  // self-loops never label anything
+    ++out.offsets_[std::size_t{e.u} + 1];
+    ++out.offsets_[std::size_t{e.v} + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    out.offsets_[u + 1] += out.offsets_[u];
+  }
+  out.neighbors_.resize(out.offsets_[n]);
+  std::vector<std::size_t> cursor(out.offsets_.begin(),
+                                  out.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    if (e.u == e.v) continue;
+    out.neighbors_[cursor[e.u]++] = e.v;
+    out.neighbors_[cursor[e.v]++] = e.u;
+  }
+  // Per-node sort + dedup keeps `neighbors(u)` ascending and collapses
+  // parallel edges; compaction rewrites offsets in place.
+  std::size_t write = 0;
+  std::size_t row_begin = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t row_end = out.offsets_[u + 1];
+    std::sort(out.neighbors_.begin() + static_cast<std::ptrdiff_t>(row_begin),
+              out.neighbors_.begin() + static_cast<std::ptrdiff_t>(row_end));
+    NodeId last = n;  // impossible neighbour value
+    for (std::size_t k = row_begin; k < row_end; ++k) {
+      if (out.neighbors_[k] == last) continue;
+      last = out.neighbors_[k];
+      out.neighbors_[write++] = last;
+    }
+    row_begin = row_end;
+    out.offsets_[u + 1] = write;
+  }
+  out.neighbors_.resize(write);
+  return out;
+}
+
+double CsrGraph::density() const {
+  if (n_ < 2) return 0.0;
+  const double pairs =
+      static_cast<double>(n_) * static_cast<double>(n_ - 1) / 2.0;
+  return static_cast<double>(edge_count()) / pairs;
+}
+
+Graph CsrGraph::to_graph() const {
+  Graph g(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace gcalib::graph

@@ -1,0 +1,77 @@
+// Immutable CSR (compressed sparse row) adjacency — the sparse substrate.
+//
+// `Graph` keeps a dense n x n bit matrix in sync with its adjacency lists,
+// which is exactly what the paper's cell field wants but caps practical n
+// at a few thousand: a million-node graph would need 10^12 matrix bits
+// before a single sweep runs.  `CsrGraph` stores only the 2m directed arcs
+// in two flat arrays (offsets + neighbour ids), so building it and sweeping
+// it are both O(n + m) — the representation behind the O(m)-work label
+// propagation solver (core/sparse_cc_solver.hpp, DESIGN.md §12).
+//
+// The structure is immutable after construction: solvers double-buffer
+// labels *next to* it and never mutate the adjacency, which is what makes
+// parallel sweeps over it race-free without any per-edge synchronisation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gcalib::graph {
+
+/// Undirected graph in CSR form: for each node u the neighbours are
+/// `neighbors(u)` (ascending, no self-loops, no duplicates); every edge
+/// {u, v} appears as the two arcs u->v and v->u.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds the CSR view of an existing dense `Graph` (O(n + m)).
+  [[nodiscard]] static CsrGraph from_graph(const Graph& g);
+
+  /// Builds directly from an edge list without ever materialising a dense
+  /// matrix — the only constructor that scales to millions of edges.
+  /// Self-loops are dropped and duplicate edges collapsed, matching
+  /// `Graph::from_edges` semantics.  Throws ContractViolation on an
+  /// endpoint >= n.
+  [[nodiscard]] static CsrGraph from_edges(NodeId n,
+                                           const std::vector<Edge>& edges);
+
+  [[nodiscard]] NodeId node_count() const { return n_; }
+  /// Undirected edge count m (arc count is 2m).
+  [[nodiscard]] std::size_t edge_count() const { return neighbors_.size() / 2; }
+
+  [[nodiscard]] NodeId degree(NodeId u) const {
+    return static_cast<NodeId>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Neighbours of u in ascending order, as a view into the arc array.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return {neighbors_.data() + offsets_[u], offsets_[u + 1] - offsets_[u]};
+  }
+
+  /// Offset array (size n + 1) — bulk kernels index the arc array directly.
+  [[nodiscard]] const std::vector<std::size_t>& offsets() const {
+    return offsets_;
+  }
+  /// Arc array (size 2m), ascending within each node's range.
+  [[nodiscard]] const std::vector<NodeId>& arcs() const { return neighbors_; }
+
+  /// Edge density m / (n choose 2); 0 for n < 2.
+  [[nodiscard]] double density() const;
+
+  /// Materialises the dense `Graph` (O(n^2) memory — small graphs only;
+  /// round-trip helper for tests and the dense fallback path).
+  [[nodiscard]] Graph to_graph() const;
+
+  friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
+
+ private:
+  NodeId n_ = 0;
+  std::vector<std::size_t> offsets_ = {0};  ///< size n + 1
+  std::vector<NodeId> neighbors_;           ///< size 2m
+};
+
+}  // namespace gcalib::graph

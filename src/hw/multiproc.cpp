@@ -156,7 +156,9 @@ MultiprocResult simulate_hirschberg(const graph::Graph& g,
   const PartitionMap map(n, config.processors, config.partitioning);
 
   core::HirschbergGca machine(g);
-  machine.engine().set_record_access(true);
+  machine.engine().set_options(
+      gca::EngineOptions{machine.engine().options()}.with_record_access(
+          true));
 
   const auto account = [&]() {
     const StepCost step =

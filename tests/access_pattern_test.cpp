@@ -24,7 +24,9 @@ TEST_P(AccessPatternConsistency, ExecutedRulesMatchDeclarativeSpec) {
   const NodeId n = GetParam();
   const graph::Graph g = graph::random_gnp(n, 0.4, 2024);
   HirschbergGca machine(g);
-  machine.engine().set_record_access(true);
+  machine.engine().set_options(
+      gca::EngineOptions{machine.engine().options()}.with_record_access(
+          true));
 
   machine.initialize();
   {

@@ -66,13 +66,14 @@ CliArgs parse_exec(std::initializer_list<const char*> argv_tail) {
   std::vector<const char*> argv = {"prog"};
   argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
   return CliArgs::parse(static_cast<int>(argv.size()), argv.data(),
-                        cli::with_execution_flags({{"n", true}}));
+                        cli::with_engine_flags({{"n", true}}));
 }
 
-TEST(CliExecutionFlags, Defaults) {
-  const cli::ExecutionFlags exec = cli::execution_flags(parse_exec({}));
+TEST(CliEngineFlags, Defaults) {
+  const cli::EngineFlags exec = cli::engine_flags(parse_exec({}));
   EXPECT_EQ(exec.threads, 1u);
   EXPECT_EQ(exec.policy, "pool");
+  EXPECT_EQ(exec.substrate, "auto");
   EXPECT_TRUE(exec.instrumentation);
   EXPECT_FALSE(exec.record_access);
   EXPECT_TRUE(exec.trace_out.empty());
@@ -83,15 +84,17 @@ TEST(CliExecutionFlags, Defaults) {
   EXPECT_EQ(exec.retries, 0u);
 }
 
-TEST(CliExecutionFlags, ParsesAllFlags) {
-  const cli::ExecutionFlags exec = cli::execution_flags(
+TEST(CliEngineFlags, ParsesAllFlags) {
+  const cli::EngineFlags exec = cli::engine_flags(
       parse_exec({"--threads", "8", "--policy", "spawn",
+                  "--substrate", "sparse_csr",
                   "--no-instrumentation", "--record-access", "--n", "4",
                   "--trace-out", "run.trace.json", "--metrics-out=m.csv",
                   "--deadline-ms", "250", "--checkpoint-dir", "/tmp/ckpt",
                   "--retries=2"}));
   EXPECT_EQ(exec.threads, 8u);
   EXPECT_EQ(exec.policy, "spawn");
+  EXPECT_EQ(exec.substrate, "sparse_csr");
   EXPECT_FALSE(exec.instrumentation);
   EXPECT_TRUE(exec.record_access);
   EXPECT_EQ(exec.trace_out, "run.trace.json");
@@ -102,34 +105,82 @@ TEST(CliExecutionFlags, ParsesAllFlags) {
   EXPECT_EQ(exec.retries, 2u);
 }
 
-TEST(CliExecutionFlags, RejectsNegativeDeadline) {
-  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--deadline-ms", "-1"})),
+TEST(CliEngineFlags, RejectsNegativeDeadline) {
+  EXPECT_THROW((void)cli::engine_flags(parse_exec({"--deadline-ms", "-1"})),
                std::runtime_error);
 }
 
-TEST(CliExecutionFlags, RejectsOutOfRangeRetries) {
-  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--retries", "-1"})),
+TEST(CliEngineFlags, RejectsOutOfRangeRetries) {
+  EXPECT_THROW((void)cli::engine_flags(parse_exec({"--retries", "-1"})),
                std::runtime_error);
-  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--retries", "1001"})),
+  EXPECT_THROW((void)cli::engine_flags(parse_exec({"--retries", "1001"})),
                std::runtime_error);
 }
 
-TEST(CliExecutionFlags, WantsMetricsWithEitherOutput) {
-  EXPECT_TRUE(cli::execution_flags(parse_exec({"--trace-out", "t.json"}))
+TEST(CliEngineFlags, WantsMetricsWithEitherOutput) {
+  EXPECT_TRUE(cli::engine_flags(parse_exec({"--trace-out", "t.json"}))
                   .wants_metrics());
-  EXPECT_TRUE(cli::execution_flags(parse_exec({"--metrics-out", "m.csv"}))
+  EXPECT_TRUE(cli::engine_flags(parse_exec({"--metrics-out", "m.csv"}))
                   .wants_metrics());
 }
 
-TEST(CliExecutionFlags, RejectsZeroThreads) {
-  EXPECT_THROW((void)cli::execution_flags(parse_exec({"--threads", "0"})),
+TEST(CliEngineFlags, RejectsZeroThreads) {
+  EXPECT_THROW((void)cli::engine_flags(parse_exec({"--threads", "0"})),
                std::runtime_error);
 }
 
-TEST(CliExecutionFlags, SpecKeepsToolOptions) {
-  // with_execution_flags augments, not replaces, the tool's own spec.
+TEST(CliEngineFlags, SpecKeepsToolOptions) {
+  // with_engine_flags augments, not replaces, the tool's own spec.
   const CliArgs args = parse_exec({"--n", "12", "--threads", "2"});
   EXPECT_EQ(args.get_int("n", 0), 12);
+}
+
+TEST(CliEngineFlags, SubstrateIsCarriedAsSpelledName) {
+  // common/ stays below gca/: the flag layer carries the spelling and the
+  // engine layer validates it, so an unknown substrate parses fine here.
+  const cli::EngineFlags exec =
+      cli::engine_flags(parse_exec({"--substrate", "marble"}));
+  EXPECT_EQ(exec.substrate, "marble");
+}
+
+TEST(CliEngineFlags, LegacyAliasesStillWork) {
+  // Pre-rename spellings (ExecutionFlags / with_execution_flags /
+  // execution_flags) must keep compiling for out-of-tree callers.
+  std::vector<const char*> argv = {"prog", "--threads", "3"};
+  const CliArgs args =
+      CliArgs::parse(static_cast<int>(argv.size()), argv.data(),
+                     cli::with_execution_flags({}));
+  const cli::ExecutionFlags exec = cli::execution_flags(args);
+  EXPECT_EQ(exec.threads, 3u);
+  EXPECT_EQ(exec.substrate, "auto");
+}
+
+CliArgs parse_runner(std::initializer_list<const char*> argv_tail) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), argv_tail.begin(), argv_tail.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data(),
+                        cli::with_runner_flags({}));
+}
+
+TEST(CliRunnerFlags, DefaultsIncludeEngineFlags) {
+  const cli::RunnerFlags flags = cli::runner_flags(parse_runner({}));
+  EXPECT_EQ(flags.engine.threads, 1u);
+  EXPECT_EQ(flags.engine.substrate, "auto");
+  EXPECT_EQ(flags.retry_backoff_ms, 0);
+}
+
+TEST(CliRunnerFlags, ParsesBackoffAndEngineFlags) {
+  const cli::RunnerFlags flags = cli::runner_flags(parse_runner(
+      {"--retry-backoff-ms", "40", "--threads", "2", "--substrate=dense"}));
+  EXPECT_EQ(flags.retry_backoff_ms, 40);
+  EXPECT_EQ(flags.engine.threads, 2u);
+  EXPECT_EQ(flags.engine.substrate, "dense");
+}
+
+TEST(CliRunnerFlags, RejectsNegativeBackoff) {
+  EXPECT_THROW(
+      (void)cli::runner_flags(parse_runner({"--retry-backoff-ms", "-5"})),
+      std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,113 @@
+#include "graph/csr_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+TEST(CsrGraph, EmptyGraph) {
+  const CsrGraph csr;
+  EXPECT_EQ(csr.node_count(), 0u);
+  EXPECT_EQ(csr.edge_count(), 0u);
+  EXPECT_EQ(csr.offsets().size(), 1u);
+  EXPECT_DOUBLE_EQ(csr.density(), 0.0);
+}
+
+TEST(CsrGraph, FromGraphMatchesAdjacency) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  g.add_edge(0, 4);
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  ASSERT_EQ(csr.node_count(), 5u);
+  EXPECT_EQ(csr.edge_count(), 4u);
+  for (NodeId u = 0; u < 5; ++u) {
+    const auto row = csr.neighbors(u);
+    std::vector<NodeId> expected;
+    for (NodeId v = 0; v < 5; ++v) {
+      if (g.has_edge(u, v)) expected.push_back(v);
+    }
+    EXPECT_EQ(std::vector<NodeId>(row.begin(), row.end()), expected)
+        << "row " << u;
+    EXPECT_EQ(csr.degree(u), expected.size());
+  }
+}
+
+TEST(CsrGraph, RowsAreSortedAndArcCountIsTwiceEdges) {
+  const Graph g = random_gnp(64, 0.2, 99);
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  std::size_t arcs = 0;
+  for (NodeId u = 0; u < csr.node_count(); ++u) {
+    const auto row = csr.neighbors(u);
+    EXPECT_TRUE(std::is_sorted(row.begin(), row.end()));
+    arcs += row.size();
+  }
+  EXPECT_EQ(arcs, 2 * csr.edge_count());
+  EXPECT_EQ(arcs, csr.arcs().size());
+  EXPECT_EQ(csr.edge_count(), g.edge_count());
+}
+
+TEST(CsrGraph, FromEdgesDropsSelfLoopsAndDuplicates) {
+  const std::vector<Edge> edges = {
+      {0, 1}, {1, 0}, {2, 2}, {1, 2}, {1, 2}, {2, 1}};
+  const CsrGraph csr = CsrGraph::from_edges(3, edges);
+  EXPECT_EQ(csr.edge_count(), 2u);  // {0,1} and {1,2}
+  EXPECT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.degree(1), 2u);
+  EXPECT_EQ(csr.degree(2), 1u);
+}
+
+TEST(CsrGraph, FromEdgesRejectsOutOfRangeEndpoint) {
+  EXPECT_THROW((void)CsrGraph::from_edges(3, {{0, 3}}), ContractViolation);
+  EXPECT_THROW((void)CsrGraph::from_edges(2, {{5, 0}}), ContractViolation);
+}
+
+TEST(CsrGraph, RoundTripsThroughDenseGraph) {
+  const Graph g = random_gnp(48, 0.15, 7);
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  const Graph back = csr.to_graph();
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(back.has_edge(u, v), g.has_edge(u, v));
+    }
+  }
+  EXPECT_EQ(CsrGraph::from_graph(back), csr);
+}
+
+TEST(CsrGraph, EqualityComparesStructure) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const CsrGraph a = CsrGraph::from_graph(g);
+  const CsrGraph b = CsrGraph::from_edges(4, {{2, 3}, {0, 1}});
+  EXPECT_EQ(a, b);
+  g.add_edge(1, 2);
+  EXPECT_NE(CsrGraph::from_graph(g), a);
+}
+
+TEST(CsrGraph, DensityMatchesDenseGraph) {
+  const Graph g = random_gnp(32, 0.3, 3);
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  EXPECT_DOUBLE_EQ(csr.density(), g.density());
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveEmptyRows) {
+  const CsrGraph csr = CsrGraph::from_edges(6, {{1, 4}});
+  EXPECT_EQ(csr.degree(0), 0u);
+  EXPECT_EQ(csr.degree(5), 0u);
+  EXPECT_TRUE(csr.neighbors(0).empty());
+  EXPECT_EQ(csr.offsets().size(), 7u);
+}
+
+}  // namespace
+}  // namespace gcalib::graph

@@ -56,7 +56,7 @@ TEST(Engine, ActiveCountReflectsEngagedRules) {
 }
 
 TEST(Engine, OneHandedEnforced) {
-  IntEngine engine(iota_states(3), /*hands=*/1);
+  IntEngine engine(iota_states(3), EngineOptions{}.with_hands(1));
   EXPECT_THROW(engine.step([](std::size_t, auto& read) -> std::optional<int> {
     (void)read(0);
     (void)read(1);
@@ -66,7 +66,7 @@ TEST(Engine, OneHandedEnforced) {
 }
 
 TEST(Engine, TwoHandedAllowsTwoReads) {
-  IntEngine engine(iota_states(3), /*hands=*/2);
+  IntEngine engine(iota_states(3), EngineOptions{}.with_hands(2));
   EXPECT_NO_THROW(engine.step([](std::size_t, auto& read) -> std::optional<int> {
     return read(0) + read(1);
   }));
@@ -100,8 +100,8 @@ TEST(Engine, DistinctTargetsCongestionOne) {
 }
 
 TEST(Engine, InstrumentationOffSkipsCounting) {
-  IntEngine engine(iota_states(4));
-  engine.set_instrumentation(false);
+  IntEngine engine(iota_states(4),
+                   EngineOptions{}.with_instrumentation(false));
   const GenerationStats stats =
       engine.step([](std::size_t, auto& read) -> std::optional<int> {
         return read(0);
@@ -113,8 +113,7 @@ TEST(Engine, InstrumentationOffSkipsCounting) {
 }
 
 TEST(Engine, AccessEdgesRecorded) {
-  IntEngine engine(iota_states(3));
-  engine.set_record_access(true);
+  IntEngine engine(iota_states(3), EngineOptions{}.with_record_access(true));
   engine.step([](std::size_t i, auto& read) -> std::optional<int> {
     return read((i + 1) % 3);
   });
@@ -156,8 +155,9 @@ TEST(Engine, ReadOutOfRangeThrows) {
 TEST(Engine, ParallelSweepMatchesSequential) {
   const std::size_t n = 1000;
   IntEngine seq(iota_states(n));
-  IntEngine par(iota_states(n));
-  par.set_threads(4);
+  IntEngine par(iota_states(n),
+                EngineOptions{}.with_threads(4).with_policy(
+                    ExecutionPolicy::kSpawn));
   const auto rule = [n](std::size_t i, auto& read) -> std::optional<int> {
     return read((i * 7 + 3) % n) + 1;
   };
@@ -172,8 +172,9 @@ TEST(Engine, ParallelSweepMatchesSequential) {
 
 TEST(Engine, ParallelSweepMultipleGenerations) {
   const std::size_t n = 512;
-  IntEngine engine(iota_states(n));
-  engine.set_threads(8);
+  IntEngine engine(iota_states(n),
+                   EngineOptions{}.with_threads(8).with_policy(
+                       ExecutionPolicy::kSpawn));
   for (int r = 0; r < 10; ++r) {
     engine.step([n](std::size_t i, auto& read) -> std::optional<int> {
       return read((i + 1) % n);
@@ -300,6 +301,30 @@ TEST(Engine, SetOptionsSwitchesBackendBetweenSteps) {
   }
 }
 
+// The legacy setters survive only as [[deprecated]] wrappers over
+// set_options; until they are removed they must keep routing through the
+// same option validation.  These tests pin that wrapper behaviour, so they
+// are the one place allowed to call the deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+TEST(Engine, LegacySettersRouteThroughOptions) {
+  IntEngine engine(iota_states(8));
+  engine.set_instrumentation(false);
+  EXPECT_FALSE(engine.options().instrumentation);
+  engine.set_record_access(true);
+  EXPECT_TRUE(engine.options().record_access);
+  engine.set_record_access(false);
+  engine.set_threads(2);  // legacy semantics: widening selects kSpawn
+  EXPECT_EQ(engine.options().threads, 2u);
+  EXPECT_EQ(engine.options().policy, ExecutionPolicy::kSpawn);
+}
+
+TEST(Engine, LegacyHandsConstructor) {
+  IntEngine engine(iota_states(3), /*hands=*/2);
+  EXPECT_EQ(engine.hands(), 2u);
+}
+
 TEST(Engine, RecordAccessRequiresSequentialSweep) {
   // The invalid combination is rejected when it is *formed* — by whichever
   // setter arrives second — never mid-run from inside step().
@@ -326,6 +351,8 @@ TEST(Engine, ParallelThreadsRejectedAfterRecordAccess) {
       ContractViolation);
 }
 
+#pragma GCC diagnostic pop
+
 TEST(Engine, MutableStateForHostInitialisation) {
   IntEngine engine(iota_states(3));
   engine.mutable_state(1) = 99;
@@ -338,7 +365,8 @@ TEST(Engine, EmptyInitialStateRejected) {
 
 TEST(Engine, ZeroThreadsRejected) {
   IntEngine engine(iota_states(4));
-  EXPECT_THROW(engine.set_threads(0), ContractViolation);
+  EXPECT_THROW(engine.set_options(EngineOptions{}.with_threads(0)),
+               ContractViolation);
 }
 
 TEST(Engine, ObserversSeePostStepStates) {

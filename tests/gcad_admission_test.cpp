@@ -49,9 +49,13 @@ TEST(GcadAdmission, DrainingRefusesEverythingAsUnavailable) {
 
 TEST(GcadAdmission, ShedsDeadlineInfeasibleArrivalsUpFront) {
   LatencyModel model;
-  // Teach the model that n=16 takes ~80 ms.
+  // Teach the model that a dense n=16 solve takes ~80 ms; pin the
+  // controller to the dense substrate so the estimate reads that slot.
   for (int i = 0; i < 8; ++i) model.record(16, 80'000'000);
-  AdmissionController admission({.queue_capacity = 64, .workers = 1}, &model);
+  AdmissionController admission({.queue_capacity = 64,
+                                 .workers = 1,
+                                 .substrate = gca::SubstrateMode::kDense},
+                                &model);
   // Feasible: generous deadline.
   EXPECT_TRUE(admission.admit(make_query(1, 1, "", 10'000), false).status.ok());
   // Infeasible: the queue wait alone (one 80 ms query ahead) plus its own
@@ -192,8 +196,14 @@ TEST(GcadAdmission, DequeueDrainsEverythingEventually) {
 TEST(GcadAdmission, BacklogWaitScalesWithModelAndWorkers) {
   LatencyModel model;
   for (int i = 0; i < 8; ++i) model.record(16, 40'000'000);  // 40 ms each
-  AdmissionController one({.queue_capacity = 64, .workers = 1}, &model);
-  AdmissionController four({.queue_capacity = 64, .workers = 4}, &model);
+  AdmissionController one({.queue_capacity = 64,
+                           .workers = 1,
+                           .substrate = gca::SubstrateMode::kDense},
+                          &model);
+  AdmissionController four({.queue_capacity = 64,
+                            .workers = 4,
+                            .substrate = gca::SubstrateMode::kDense},
+                           &model);
   for (std::uint64_t id = 1; id <= 4; ++id) {
     ASSERT_TRUE(one.admit(make_query(id), false).status.ok());
     ASSERT_TRUE(four.admit(make_query(id), false).status.ok());
@@ -215,6 +225,76 @@ TEST(GcadLatencyModel, ColdEstimateGrowsWithSizeAndLearnsFromSamples) {
   const std::int64_t learned = model.estimate_ns(32);
   EXPECT_GT(learned, 2'000'000);
   EXPECT_LT(learned, 10'000'000);
+}
+
+TEST(GcadLatencyModel, SubstratesKeepSeparateCalibrations) {
+  LatencyModel model;
+  // A flood of fast sparse observations must not talk the dense estimate
+  // down: each substrate owns its buckets and its ns-per-work calibration.
+  const std::int64_t cold_dense = model.estimate_ns(64);
+  for (int i = 0; i < 32; ++i) {
+    model.record(gca::SubstrateMode::kSparseCsr, 64, 128, 10'000);
+  }
+  EXPECT_EQ(model.estimate_ns(gca::SubstrateMode::kDense, 64, 128),
+            cold_dense);
+  const std::int64_t sparse =
+      model.estimate_ns(gca::SubstrateMode::kSparseCsr, 64, 128);
+  EXPECT_LT(sparse, cold_dense);
+  EXPECT_GT(sparse, 5'000);
+  EXPECT_LT(sparse, 20'000);
+}
+
+TEST(GcadLatencyModel, SparseWeightScalesWithEdgesNotNodesSquared) {
+  // Dense work is quadratic in n regardless of m; sparse work is linear in
+  // n + 2m — the whole point of routing million-edge inputs to CSR.
+  const double dense_sparse_input =
+      LatencyModel::weight(gca::SubstrateMode::kDense, 4096, 4096);
+  const double csr_sparse_input =
+      LatencyModel::weight(gca::SubstrateMode::kSparseCsr, 4096, 4096);
+  EXPECT_LT(csr_sparse_input * 100.0, dense_sparse_input);
+  // And the sparse weight does grow with m.
+  EXPECT_GT(LatencyModel::weight(gca::SubstrateMode::kSparseCsr, 4096, 40960),
+            csr_sparse_input);
+}
+
+TEST(GcadLatencyModel, SparseCalibrationGeneralisesAcrossSizes) {
+  LatencyModel model;
+  // Observations at one size calibrate cold estimates at another via the
+  // per-substrate ns-per-work EWMA.
+  for (int i = 0; i < 8; ++i) {
+    model.record(gca::SubstrateMode::kSparseCsr, 256, 1024, 1'000'000);
+  }
+  const std::int64_t small =
+      model.estimate_ns(gca::SubstrateMode::kSparseCsr, 256, 1024);
+  const std::int64_t big =
+      model.estimate_ns(gca::SubstrateMode::kSparseCsr, 65536, 262144);
+  EXPECT_GT(big, small);  // scaled by the larger work weight, not cold
+  EXPECT_LT(big, small * 1000);
+}
+
+TEST(GcadAdmission, EstimatesPriceTheRoutedSubstrate) {
+  // Two controllers over one model, differing only in substrate pinning.
+  // After the model learns that dense solves of this size are slow, the
+  // dense-pinned controller sheds a tight-deadline query while the
+  // sparse-pinned controller (cold on sparse -> cheap estimate for a tiny
+  // graph) admits it.
+  LatencyModel model;
+  for (int i = 0; i < 16; ++i) {
+    model.record(gca::SubstrateMode::kDense, 16, 20, 400'000'000);
+  }
+  AdmissionConfig dense_config{.queue_capacity = 8, .workers = 1};
+  dense_config.substrate = gca::SubstrateMode::kDense;
+  AdmissionConfig sparse_config{.queue_capacity = 8, .workers = 1};
+  sparse_config.substrate = gca::SubstrateMode::kSparseCsr;
+  AdmissionController dense(dense_config, &model);
+  AdmissionController sparse(sparse_config, &model);
+
+  PendingQuery query = make_query(1);
+  query.deadline_ms = 50;
+  const AdmissionVerdict shed = dense.admit(query, false);
+  EXPECT_EQ(shed.status.code, StatusCode::kDeadlineExceeded);
+  const AdmissionVerdict admitted = sparse.admit(std::move(query), false);
+  EXPECT_TRUE(admitted.status.ok()) << admitted.status.message;
 }
 
 }  // namespace
