@@ -17,6 +17,7 @@
 #include "core/schedule.hpp"
 #include "gca/engine.hpp"
 #include "gca/execution.hpp"
+#include "gca/kernel_registry.hpp"
 #include "gca/metrics.hpp"
 #include "graph/cc_baselines.hpp"
 #include "graph/generators.hpp"
@@ -101,6 +102,42 @@ void BM_GcaHirschbergSparsePool(benchmark::State& state) {
                        gcalib::gca::ExecutionPolicy::kPool);
 }
 BENCHMARK(BM_GcaHirschbergSparsePool)->RangeMultiplier(2)->Range(64, 512);
+
+// --- kernel-table comparison: scalar golden reference vs auto dispatch --
+//
+// Same single-threaded sparse sweep, differing only in which kernel table
+// the registry dispatches (DESIGN.md §13).  scripts/bench_engine.sh prints
+// the auto-over-scalar speedup per n; perf_smoke gates a coarse version of
+// the same ratio.
+
+void gca_hirschberg_kernels(benchmark::State& state,
+                            gcalib::gca::KernelVariant kernels) {
+  if (!gcalib::gca::kernel_variant_supported(kernels)) {
+    state.SkipWithError("kernel variant not supported on this host");
+    return;
+  }
+  const Graph g = dense_graph(state.range(0));
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.sweep = gcalib::gca::SweepMode::kSparse;
+  options.kernels = kernels;
+  for (auto _ : state) {
+    gcalib::core::HirschbergGca machine(g);
+    benchmark::DoNotOptimize(machine.run(options).labels.data());
+  }
+  state.counters["cells"] =
+      static_cast<double>(state.range(0) * (state.range(0) + 1));
+}
+
+void BM_GcaKernelsScalar(benchmark::State& state) {
+  gca_hirschberg_kernels(state, gcalib::gca::KernelVariant::kScalar);
+}
+BENCHMARK(BM_GcaKernelsScalar)->RangeMultiplier(2)->Range(64, 512);
+
+void BM_GcaKernelsAuto(benchmark::State& state) {
+  gca_hirschberg_kernels(state, gcalib::gca::KernelVariant::kAuto);
+}
+BENCHMARK(BM_GcaKernelsAuto)->RangeMultiplier(2)->Range(64, 512);
 
 void gca_hirschberg_threaded(benchmark::State& state,
                              gcalib::gca::ExecutionPolicy policy) {

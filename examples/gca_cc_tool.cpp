@@ -107,6 +107,7 @@ LabelingOutcome run_gca_sparse(const graph::Graph& g,
   options.policy = engine.policy;
   options.sweep = engine.sweep;
   options.substrate = gca::SubstrateMode::kSparseCsr;
+  options.kernels = engine.kernels;
   options.instrument = engine.instrumentation;
   options.sink = trace;
   options.deadline_ms = exec.deadline_ms;
@@ -155,6 +156,7 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
     options.threads = exec.threads;
     options.policy = gca::parse_execution_policy(exec.policy);
     options.sweep = gca::parse_sweep_mode(exec.sweep);
+    options.kernels = gca::parse_kernel_variant(exec.kernels);
     options.record_access = exec.record_access;
     options.sink = trace;
     options.deadline_ms = exec.deadline_ms;

@@ -129,6 +129,7 @@ int main(int argc, char** argv) {
   options.base.threads = exec.threads;
   options.base.policy = policy;
   options.base.sweep = gcalib::gca::parse_sweep_mode(exec.sweep);
+  options.base.kernels = engine.kernels;
   options.base.record_access = exec.record_access;
   if (exec.wants_metrics()) options.base.sink = &trace;
   options.max_rollbacks = 4;

@@ -4,10 +4,10 @@
 # metrics layer.
 #
 # Builds bench_scaling from a **Release** tree and records the
-# GcaHirschberg{Dense,Sparse}[Pool], EngineSweep* and *Traced series
-# (median of N repetitions) into a machine-readable JSON file, then prints
-# the sparse-over-dense and pool-over-spawn speedups and the metrics-sink
-# overhead.
+# GcaHirschberg{Dense,Sparse}[Pool], GcaKernels{Scalar,Auto}, EngineSweep*
+# and *Traced series (median of N repetitions) into a machine-readable JSON
+# file, then prints the sparse-over-dense, auto-kernel-over-scalar and
+# pool-over-spawn speedups and the metrics-sink overhead.
 #
 # Numbers from unoptimised builds are meaningless, so the script refuses to
 # run against a tree whose CMAKE_BUILD_TYPE is not Release (set
@@ -45,7 +45,7 @@ fi
 cmake --build "$BUILD_DIR" --target bench_scaling -j "$(nproc)"
 
 "$BUILD_DIR"/bench/bench_scaling \
-  --benchmark_filter='^BM_(EngineSweep(Sequential|Spawn|Pool|PoolTraced)|GcaHirschberg|GcaHirschberg(Dense|Sparse|DensePool|SparsePool|Spawn|Pool|Traced))/' \
+  --benchmark_filter='^BM_(EngineSweep(Sequential|Spawn|Pool|PoolTraced)|GcaHirschberg|GcaHirschberg(Dense|Sparse|DensePool|SparsePool|Spawn|Pool|Traced)|GcaKernels(Scalar|Auto))/' \
   --benchmark_repetitions="$REPS" \
   --benchmark_report_aggregates_only=true \
   --benchmark_out="$OUT" \
@@ -82,6 +82,8 @@ ratio_table("sparse speedup over dense (median wall-clock per run):",
             "BM_GcaHirschbergDense", "BM_GcaHirschbergSparse")
 ratio_table("sparse speedup over dense, pool x8:",
             "BM_GcaHirschbergDensePool", "BM_GcaHirschbergSparsePool")
+ratio_table("auto-kernel speedup over the scalar golden reference:",
+            "BM_GcaKernelsScalar", "BM_GcaKernelsAuto")
 ratio_table("pool speedup over spawn (median wall-clock per step):",
             "Spawn", "Pool")
 print("metrics-sink overhead (median, traced / plain):")

@@ -37,16 +37,26 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # seconds.  (Skipped when the caller passes its own ctest selection.)
 if [ "$#" -eq 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status|Substrate|CcSolver|CsrGraph|AutoSubstrate|SolverInput|Runner)[A-Za-z]*\.'
+    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status|Substrate|CcSolver|CsrGraph|AutoSubstrate|SolverInput|Runner|Kernel|BitPlane|Worklist)[A-Za-z]*\.'
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
 
+# Forced-scalar identity pass: GCALIB_KERNELS=scalar restricts the
+# bit-identity suite to the scalar golden reference, so the scalar bulk
+# kernels are checked against the mediated per-cell rule under the
+# sanitizer even on hosts whose auto pick is a SIMD table.
+if [ "$#" -eq 0 ]; then
+  GCALIB_KERNELS=scalar ctest --test-dir "$BUILD_DIR" --output-on-failure \
+    -j"$JOBS" -R '^KernelRegistry[A-Za-z]*\.'
+fi
+
 # Perf smoke: timing under a sanitizer is meaningless, so this builds the
 # guardrail from a plain Release tree (shared with bench_engine.sh) and
 # fails if the sparse sweep regresses to >10% slower than dense at n = 128,
-# or if the CSR substrate loses its >=10x edge over the dense field at
-# n = 2048 (DESIGN.md §12).
+# if the CSR substrate loses its >=10x edge over the dense field at
+# n = 2048 (DESIGN.md §12), or if the auto-dispatched kernel table loses
+# its >=2.5x edge over the scalar reference at n = 256 (DESIGN.md §13).
 if [ "${SKIP_PERF_SMOKE:-0}" != "1" ]; then
   PERF_BUILD_DIR="${PERF_BUILD_DIR:-build-bench}"
   if [ ! -d "$PERF_BUILD_DIR" ]; then

@@ -59,13 +59,15 @@ namespace cli {
 ///                          (requires an effectively sequential sweep)
 ///   --trace-out FILE       write a Chrome trace_event JSON of the run
 ///   --metrics-out FILE     write per-step metrics (.json = JSON, else CSV)
+///   --kernels NAME         bulk-kernel variant: scalar | avx2 | neon | auto
 ///   --deadline-ms N        wall-clock budget per run/query (0 = unlimited)
 ///   --checkpoint-dir DIR   durable checkpoints: resume from an intact
 ///                          checkpoint found in DIR and keep it current
 ///   --retries N            re-attempts after a detected-corruption failure
-/// The policy, sweep mode and substrate are carried as their spelled names;
-/// convert with gca::parse_execution_policy / gca::parse_sweep_mode /
-/// gca::parse_substrate_mode (or build validated engine options with
+/// The policy, sweep mode, substrate and kernel variant are carried as
+/// their spelled names; convert with gca::parse_execution_policy /
+/// gca::parse_sweep_mode / gca::parse_substrate_mode /
+/// gca::parse_kernel_variant (or build validated engine options with
 /// gca::options_from_flags) at the point of use — common/ stays below gca/
 /// in the layering.
 struct EngineFlags {
@@ -73,6 +75,7 @@ struct EngineFlags {
   std::string policy = "pool";
   std::string sweep = "sparse";
   std::string substrate = "auto";
+  std::string kernels = "auto";
   bool instrumentation = true;
   bool record_access = false;
   std::string trace_out;    ///< empty = tracing disabled

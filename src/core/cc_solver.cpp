@@ -55,7 +55,14 @@ QueryOutcome CcSolver::try_solve(const SolverInput& input,
 
 gca::SubstrateMode auto_substrate(graph::NodeId n, std::size_t m) {
   if (n == 0) return gca::SubstrateMode::kDense;
-  if (n <= 512 && 8 * m >= std::size_t{n} * n) return gca::SubstrateMode::kDense;
+  // Dense iff m >= ceil(n^2 / 8).  Compared in the divided form: the
+  // once-natural `8 * m >= n * n` wraps for m > SIZE_MAX / 8 (a legal
+  // multigraph edge count) and would misroute exactly the huge-m queries
+  // where the wrong substrate hurts most.  n <= 512 keeps n * n far from
+  // overflow on its side.
+  if (n <= 512 && m >= (std::size_t{n} * n + 7) / 8) {
+    return gca::SubstrateMode::kDense;
+  }
   return gca::SubstrateMode::kSparseCsr;
 }
 

@@ -139,8 +139,11 @@ class CcSolver {
 /// n(n+1) cells per generation no matter how sparse the graph is, while
 /// the CSR engine sweeps 2m + n words — so dense only wins where the field
 /// is small and the matrix actually full.  Dense iff n <= 512 and
-/// m >= n^2 / 8 (density >= ~1/4); everything else routes to CSR.  n = 0
-/// is dense (trivially empty either way).
+/// m >= ceil(n^2 / 8) (density >= ~1/4); everything else routes to CSR.
+/// n = 0 is dense (trivially empty either way).  The density test is
+/// evaluated in the divided form — never as `8 * m` — so an edge count
+/// near SIZE_MAX (dense multigraphs, adversarial inputs) cannot wrap and
+/// flip the routing.
 [[nodiscard]] gca::SubstrateMode auto_substrate(graph::NodeId n,
                                                 std::size_t m);
 

@@ -162,6 +162,7 @@ QueryOutcome Runner::try_solve(const graph::Graph& g) const {
   run_options.threads = options_.threads;
   run_options.policy = options_.policy;
   run_options.sweep = options_.sweep;
+  run_options.kernels = options_.kernels;
   run_options.sink = options_.sink;
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
@@ -174,6 +175,7 @@ QueryOutcome Runner::try_solve(const graph::CsrGraph& g) const {
   run_options.threads = options_.threads;
   run_options.policy = options_.policy;
   run_options.sweep = options_.sweep;
+  run_options.kernels = options_.kernels;
   run_options.sink = options_.sink;
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
@@ -186,6 +188,7 @@ std::vector<QueryOutcome> Runner::solve_batch(
   RunOptions run_options;
   run_options.instrument = options_.instrument;
   run_options.sweep = options_.sweep;
+  run_options.kernels = options_.kernels;
   run_options.sink = options_.sink;  // thread-safe sink; lanes push concurrently
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
@@ -228,6 +231,7 @@ RunnerOptions runner_options_from_flags(const cli::RunnerFlags& flags) {
   options.policy = engine.policy;
   options.sweep = engine.sweep;
   options.substrate = engine.substrate;
+  options.kernels = engine.kernels;
   options.instrument = engine.instrumentation;
   options.deadline_ms = flags.engine.deadline_ms;
   options.retries = flags.engine.retries;

@@ -69,6 +69,11 @@ struct RunnerOptions {
   /// density; dense and sparse_csr pin the paper field / CSR engine.
   /// Labelings are bit-identical either way.
   gca::SubstrateMode substrate = gca::SubstrateMode::kAuto;
+  /// Bulk-kernel variant for every query's dense fast path
+  /// (gca/kernel_registry.hpp): kAuto picks the best the host supports;
+  /// `scalar` pins the golden reference the SIMD tables are checked
+  /// against.  Labelings are bit-identical across variants.
+  gca::KernelVariant kernels = gca::KernelVariant::kAuto;
   bool instrument = false;  ///< collect per-step statistics per query
   /// Metrics sink shared by every query (non-owning; nullptr = no tracing).
   /// `solve_batch` pushes steps from all pool lanes concurrently, so the

@@ -218,21 +218,43 @@ QueryResult SparseCcSolver::solve(const SolverInput& input,
   const auto hook_body = [&](unsigned, std::size_t begin,
                              std::size_t end) -> std::size_t {
     std::size_t active = 0;
-    std::size_t since_poll = 0;
     const std::vector<NodeId>& d = *read;
+    if (!stop.armed()) {  // unarmed: the tight loop carries no poll counter
+      for (std::size_t v = begin; v < end; ++v) {
+        NodeId best = d[v];
+        for (const NodeId u : csr.neighbors(static_cast<NodeId>(v))) {
+          best = std::min(best, d[u]);
+        }
+        next[v] = best;
+        active += best != d[v] ? 1u : 0u;
+      }
+      return active;
+    }
+    // Armed: the poll budget counts *edges*, not vertices.  A per-vertex
+    // counter lets one hub vertex scan millions of arcs between polls —
+    // unbounded cancel latency on star-shaped inputs — so the budget is
+    // spent inside the neighbour scan and a tripped token aborts within
+    // ~kStopPollStride arcs wherever it lands.  Aborting mid-vertex is
+    // safe: the exception unwinds before the sweep's buffer swap, so no
+    // partial generation is ever published.
+    std::size_t budget = kStopPollStride;
     for (std::size_t v = begin; v < end; ++v) {
       NodeId best = d[v];
       for (const NodeId u : csr.neighbors(static_cast<NodeId>(v))) {
         best = std::min(best, d[u]);
+        if (--budget == 0) {
+          budget = kStopPollStride;
+          stop.poll();
+        }
       }
       next[v] = best;
       active += best != d[v] ? 1u : 0u;
-      if (stop.armed() && ++since_poll >= kStopPollStride) {
-        since_poll = 0;
+      if (--budget == 0) {  // isolated vertices still drain the budget
+        budget = kStopPollStride;
         stop.poll();
       }
     }
-    if (stop.armed()) stop.poll();
+    stop.poll();
     return active;
   };
   const auto jump_body = [&](unsigned, std::size_t begin,

@@ -1,0 +1,146 @@
+// Bit-packed cell planes and pooled thread-local scratch (DESIGN.md §13).
+//
+// The paper's GCA stores exactly one bit of adjacency information per
+// square cell, yet the SoA layout spent a full 32-bit word on it.
+// `BitPlane` packs an immutable 0/1 plane 64 cells per word, cutting the
+// adjacency traffic of the mask kernels 32x and letting the word-at-a-time
+// kernel variants (gca/kernel_registry.hpp) test eight cells with one
+// shift+mask.  The plane always carries one zeroed *guard word* past the
+// last payload word, so a kernel may read the word containing bit i and
+// its successor without a bounds branch (`i < bit_count()` is enough).
+//
+// `ScratchLease` is the nesfab `array_pool.hpp` idiom: a thread-local free
+// list of typed buffers, leased for the duration of a kernel call and
+// returned with their capacity intact — so a steady-state sweep performs
+// zero allocation no matter how many times kernels borrow scratch, and no
+// locks are needed because each worker thread owns its pool.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gcalib::gca {
+
+/// An immutable-ish plane of bits, packed 64 cells per word.
+class BitPlane {
+ public:
+  BitPlane() = default;
+  explicit BitPlane(std::size_t bits) { resize(bits); }
+
+  /// Resizes to `bits` cells, all zero (plus the guard word).
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign(payload_words(bits) + 1, 0);  // trailing zero guard word
+  }
+
+  [[nodiscard]] std::size_t bit_count() const { return bits_; }
+
+  /// Payload words (the guard word is not counted).
+  [[nodiscard]] std::size_t word_count() const {
+    return words_.empty() ? 0 : words_.size() - 1;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    GCALIB_ASSERT(i < bits_);
+    return ((words_[i >> 6] >> (i & 63)) & 1u) != 0;
+  }
+
+  void set(std::size_t i, bool value) {
+    GCALIB_ASSERT(i < bits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Raw packed words for kernels.  Safe to read `word_count() + 1` words —
+  /// the last one is the zero guard.
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+
+  [[nodiscard]] std::size_t popcount() const {
+    std::size_t total = 0;
+    for (const std::uint64_t w : words_) {
+      total += static_cast<std::size_t>(std::popcount(w));
+    }
+    return total;
+  }
+
+  /// Packs a word-per-cell plane: bit i is set iff `plane[i] != 0`.
+  [[nodiscard]] static BitPlane pack(const std::vector<std::uint32_t>& plane) {
+    BitPlane packed(plane.size());
+    for (std::size_t i = 0; i < plane.size(); ++i) {
+      if (plane[i] != 0) {
+        packed.words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+      }
+    }
+    return packed;
+  }
+
+  /// The inverse of `pack` (values normalised to 0/1) — the word-per-cell
+  /// view the durable checkpoint format (core/checkpoint.hpp) serialises.
+  [[nodiscard]] std::vector<std::uint32_t> unpack() const {
+    std::vector<std::uint32_t> plane(bits_);
+    for (std::size_t i = 0; i < bits_; ++i) {
+      plane[i] = ((words_[i >> 6] >> (i & 63)) & 1u) != 0 ? 1u : 0u;
+    }
+    return plane;
+  }
+
+  friend bool operator==(const BitPlane&, const BitPlane&) = default;
+
+ private:
+  [[nodiscard]] static std::size_t payload_words(std::size_t bits) {
+    return (bits + 63) / 64;
+  }
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;  ///< payload + one zero guard word
+};
+
+namespace detail {
+
+template <typename T>
+std::vector<std::vector<T>>& scratch_free_list() {
+  thread_local std::vector<std::vector<T>> pool;
+  return pool;
+}
+
+}  // namespace detail
+
+/// A leased thread-local scratch buffer of `count` elements (contents
+/// unspecified — callers initialise what they use).  The backing vector
+/// returns to this thread's free list on destruction with its capacity
+/// intact, so repeated leases of the same order allocate nothing.
+template <typename T>
+class ScratchLease {
+ public:
+  explicit ScratchLease(std::size_t count) : size_(count) {
+    auto& pool = detail::scratch_free_list<T>();
+    if (!pool.empty()) {
+      buffer_ = std::move(pool.back());
+      pool.pop_back();
+    }
+    if (buffer_.size() < count) buffer_.resize(count);
+  }
+  ~ScratchLease() {
+    detail::scratch_free_list<T>().push_back(std::move(buffer_));
+  }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  [[nodiscard]] T* data() { return buffer_.data(); }
+  [[nodiscard]] const T* data() const { return buffer_.data(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t size_;
+};
+
+}  // namespace gcalib::gca

@@ -85,6 +85,7 @@
 #include "gca/instrumentation.hpp"
 #include "gca/metrics.hpp"
 #include "gca/thread_pool.hpp"
+#include "gca/worklist.hpp"
 
 namespace gcalib::gca {
 
@@ -112,6 +113,15 @@ struct AccessEdge {
 ///   static void store_host(Immutable&, Mutable&, std::size_t,
 ///                          const State&);  // all registers (host mutation)
 ///   static void copy(const Mutable& from, Mutable& to, std::size_t);
+///
+/// Optionally, a layout may provide
+///
+///   static void copy_span(const Mutable& from, Mutable& to,
+///                         std::size_t begin, std::size_t end);
+///
+/// — a contiguous bulk copy the complement-swap commit uses instead of
+/// per-index `copy` calls (detected with `requires`; absent layouts fall
+/// back to the per-index loop).
 ///
 /// (core/hirschberg_gca.hpp specialises this for core::Cell: `a` is
 /// immutable after initialisation, `d`/`p` are double-buffered.)
@@ -146,6 +156,16 @@ class FieldStore<State, false> {
   void carry_next(std::size_t i) { next_[i] = cells_[i]; }
   void commit_full() { cells_.swap(next_); }
   void commit_index(std::size_t i) { cells_[i] = next_[i]; }
+  /// Complement-swap commit for row-contiguous partial regions: copies the
+  /// untouched spans [0, head_end) and [tail_begin, size) current -> next,
+  /// then swaps the buffers (see Engine::commit).
+  void commit_span_swap(std::size_t head_end, std::size_t tail_begin) {
+    std::copy_n(cells_.begin(), head_end, next_.begin());
+    std::copy(cells_.begin() + static_cast<std::ptrdiff_t>(tail_begin),
+              cells_.end(),
+              next_.begin() + static_cast<std::ptrdiff_t>(tail_begin));
+    cells_.swap(next_);
+  }
   [[nodiscard]] SnapshotData snapshot() const { return cells_; }
   void restore(const SnapshotData& data) { cells_ = data; }
   [[nodiscard]] static std::size_t snapshot_size(const SnapshotData& data) {
@@ -192,6 +212,25 @@ class FieldStore<State, true> {
   void carry_next(std::size_t i) { Layout::copy(current_, next_, i); }
   void commit_full() { std::swap(current_, next_); }
   void commit_index(std::size_t i) { Layout::copy(next_, current_, i); }
+  /// Complement-swap commit (see the AoS store); uses the layout's
+  /// contiguous `copy_span` when it provides one.
+  void commit_span_swap(std::size_t head_end, std::size_t tail_begin) {
+    if constexpr (requires(const typename Layout::Mutable& from,
+                           typename Layout::Mutable& to) {
+                    Layout::copy_span(from, to, std::size_t{}, std::size_t{});
+                  }) {
+      Layout::copy_span(current_, next_, 0, head_end);
+      Layout::copy_span(current_, next_, tail_begin, size_);
+    } else {
+      for (std::size_t i = 0; i < head_end; ++i) {
+        Layout::copy(current_, next_, i);
+      }
+      for (std::size_t i = tail_begin; i < size_; ++i) {
+        Layout::copy(current_, next_, i);
+      }
+    }
+    std::swap(current_, next_);
+  }
   [[nodiscard]] SnapshotData snapshot() const {
     return SnapshotData{immutable_, current_};
   }
@@ -597,59 +636,55 @@ class Engine {
                             std::string label = {})
     requires kSoa
   {
-    GCALIB_EXPECTS_MSG(!notifying_,
-                       "Engine::step_bulk must not be called from an observer "
-                       "or metrics-sink callback");
-    GCALIB_EXPECTS_MSG(
-        !options_.instrumentation && !options_.record_access &&
-            !read_override_,
-        "bulk steps bypass read mediation; disable instrumentation, access "
-        "recording and read overrides or use the mediated rule");
     validate_region(region);
-    if (has_stop_signal()) poll_stop();
-    GenerationStats stats;
-    stats.generation = generation_;
-    stats.label = std::move(label);
-    stats.cell_count = store_.size();
     const std::size_t work = region.count();
-    stats.cells_swept = work;
-    stats.active_cells = work;
-    last_active_.clear();
-    last_access_.clear();
+    return bulk_step_impl(
+        work, work, std::forward<Bulk>(bulk), std::move(label),
+        [this, &region, work] { commit(region, work); });
+  }
 
-    const bool timed = !sinks_.empty();
-    const std::uint64_t sweep_start = timed ? now_ns() : 0;
+  /// Span form of a bulk step: physically sweeps every cell of `region`
+  /// (the kernel must *carry* d/p through at inactive cells) but reports
+  /// `logical_active` as the generation's active-cell count, keeping the
+  /// Table-1 accounting identical to the strided window it replaces.  Used
+  /// by the SIMD row-min span kernels, where a contiguous sweep plus the
+  /// complement-swap commit beats a strided enumeration.
+  template <typename Bulk>
+  GenerationStats step_bulk(const ActiveRegion& region,
+                            std::size_t logical_active, Bulk&& bulk,
+                            std::string label = {})
+    requires kSoa
+  {
+    validate_region(region);
+    const std::size_t work = region.count();
+    return bulk_step_impl(
+        work, logical_active, std::forward<Bulk>(bulk), std::move(label),
+        [this, &region, work] { commit(region, work); });
+  }
 
-    const unsigned t = options_.threads;
-    if (!options_.parallel() || work < 2 * t) {
-      if (has_stop_signal()) {
-        for (std::size_t k = 0; k < work; k += kStopPollStride) {
-          poll_stop();
-          bulk(k, std::min(work, k + kStopPollStride));
-        }
-      } else {
-        bulk(std::size_t{0}, work);
-      }
-    } else {
-      run_chunks(work, timed,
-                 [&bulk](unsigned, std::size_t begin, std::size_t end) {
-                   bulk(begin, end);
-                 });
-      if (timed) {
-        stats.lane_times.assign(scratch_lanes_.begin(),
-                                scratch_lanes_.begin() + t);
-      }
+  /// Worklist form of a bulk step: the kernel receives positions
+  /// [k_begin, k_end) into the ascending index list (gca/worklist.hpp) and
+  /// must write exactly those cells; the commit publishes exactly those
+  /// indices.  The list's ascending invariant is enforced at build time,
+  /// so only the largest index needs a bounds check here.  Chunking the
+  /// position range partitions the same ordered sequence on every backend
+  /// — bit-identical at any thread count.
+  template <typename Bulk>
+  GenerationStats step_bulk(const Worklist& list, Bulk&& bulk,
+                            std::string label = {})
+    requires kSoa
+  {
+    if (!list.empty()) {
+      GCALIB_EXPECTS_MSG(list.max_index() < store_.size(),
+                         "worklist exceeds the field");
     }
-
-    if (timed) {
-      stats.start_ns = sweep_start;
-      stats.duration_ns = now_ns() - sweep_start;
-    }
-
-    commit(region, work);
-    ++generation_;
-    notify(stats);
-    return stats;
+    const std::size_t work = list.size();
+    return bulk_step_impl(work, work, std::forward<Bulk>(bulk),
+                          std::move(label), [this, &list] {
+                            for (const std::uint32_t i : list.indices()) {
+                              store_.commit_index(i);
+                            }
+                          });
   }
 
   [[nodiscard]] const std::vector<GenerationStats>& history() const {
@@ -701,6 +736,69 @@ class Engine {
         (region.cols_per_row() - 1) * region.col_step;
     GCALIB_EXPECTS_MSG(last < store_.size(),
                        "active region exceeds the field");
+  }
+
+  /// Shared body of the three step_bulk forms: runs `bulk` over
+  /// [0, work) positions (chunked across lanes / stop polls), then invokes
+  /// `commit_fn` to publish and advances the generation.  `logical_active`
+  /// is what the stats report as active (== work except for span sweeps).
+  template <typename Bulk, typename CommitFn>
+  GenerationStats bulk_step_impl(std::size_t work, std::size_t logical_active,
+                                 Bulk&& bulk, std::string label,
+                                 CommitFn&& commit_fn)
+    requires kSoa
+  {
+    GCALIB_EXPECTS_MSG(!notifying_,
+                       "Engine::step_bulk must not be called from an observer "
+                       "or metrics-sink callback");
+    GCALIB_EXPECTS_MSG(
+        !options_.instrumentation && !options_.record_access &&
+            !read_override_,
+        "bulk steps bypass read mediation; disable instrumentation, access "
+        "recording and read overrides or use the mediated rule");
+    if (has_stop_signal()) poll_stop();
+    GenerationStats stats;
+    stats.generation = generation_;
+    stats.label = std::move(label);
+    stats.cell_count = store_.size();
+    stats.cells_swept = work;
+    stats.active_cells = logical_active;
+    last_active_.clear();
+    last_access_.clear();
+
+    const bool timed = !sinks_.empty();
+    const std::uint64_t sweep_start = timed ? now_ns() : 0;
+
+    const unsigned t = options_.threads;
+    if (!options_.parallel() || work < 2 * t) {
+      if (has_stop_signal()) {
+        for (std::size_t k = 0; k < work; k += kStopPollStride) {
+          poll_stop();
+          bulk(k, std::min(work, k + kStopPollStride));
+        }
+      } else {
+        bulk(std::size_t{0}, work);
+      }
+    } else {
+      run_chunks(work, timed,
+                 [&bulk](unsigned, std::size_t begin, std::size_t end) {
+                   bulk(begin, end);
+                 });
+      if (timed) {
+        stats.lane_times.assign(scratch_lanes_.begin(),
+                                scratch_lanes_.begin() + t);
+      }
+    }
+
+    if (timed) {
+      stats.start_ns = sweep_start;
+      stats.duration_ns = now_ns() - sweep_start;
+    }
+
+    commit_fn();
+    ++generation_;
+    notify(stats);
+    return stats;
   }
 
   template <typename Rule>
@@ -773,13 +871,32 @@ class Engine {
   /// double buffers (the classic synchronous commit); a partial region
   /// copies back only its own cells — everything else keeps its state
   /// without ever being touched.
+  ///
+  /// Row-contiguous partial regions (full-width rows, e.g. the Hirschberg
+  /// square inside the (n+1) x n field) take a third path when it is
+  /// cheaper: copy the *complement* spans current -> next and swap — the
+  /// commit is then O(inactive cells) of contiguous copies instead of
+  /// O(active cells) per-index copies.  Valid for both mediated and bulk
+  /// steps: every region cell of the next buffer was written by the sweep
+  /// (inactive rule invocations carry, bulk kernels write every position),
+  /// so after the copy the next buffer is complete and swapping publishes
+  /// exactly the same field as the per-index path.
   void commit(const ActiveRegion& region, std::size_t work) {
     if (work == store_.size()) {
       store_.commit_full();
-    } else {
-      region.for_each(0, work,
-                      [this](std::size_t i) { store_.commit_index(i); });
+      return;
     }
+    if (region.col_begin == 0 && region.col_step == 1 &&
+        region.col_end == region.row_stride && work > 0) {
+      const std::size_t head_end = region.row_begin * region.row_stride;
+      const std::size_t tail_begin = region.row_end * region.row_stride;
+      if (head_end + (store_.size() - tail_begin) < work) {
+        store_.commit_span_swap(head_end, tail_begin);
+        return;
+      }
+    }
+    region.for_each(0, work,
+                    [this](std::size_t i) { store_.commit_index(i); });
   }
 
   /// Invokes observers, then sinks, with deferred add/remove semantics

@@ -81,6 +81,10 @@ void EngineOptions::validate() const {
   GCALIB_EXPECTS_MSG(!(record_access && parallel()),
                      "engine options: access-edge recording requires a "
                      "sequential sweep (threads == 1)");
+  GCALIB_EXPECTS_MSG(kernel_variant_supported(kernels),
+                     std::string("engine options: kernel variant '") +
+                         to_string(kernels) +
+                         "' is not supported on this host");
 }
 
 EngineOptions options_from_flags(const cli::EngineFlags& flags) {
@@ -91,7 +95,8 @@ EngineOptions options_from_flags(const cli::EngineFlags& flags) {
           .with_instrumentation(flags.instrumentation)
           .with_record_access(flags.record_access)
           .with_sweep(parse_sweep_mode(flags.sweep))
-          .with_substrate(parse_substrate_mode(flags.substrate));
+          .with_substrate(parse_substrate_mode(flags.substrate))
+          .with_kernels(parse_kernel_variant(flags.kernels));
   options.validate();
   return options;
 }

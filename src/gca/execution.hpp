@@ -26,6 +26,8 @@
 #include <cstddef>
 #include <string>
 
+#include "gca/kernel_registry.hpp"
+
 namespace gcalib::cli {
 struct EngineFlags;  // common/cli.hpp
 }  // namespace gcalib::cli
@@ -180,6 +182,12 @@ struct EngineOptions {
   /// solver layer (core/cc_solver.hpp) to pick the engine a query runs on;
   /// the `Engine` template itself ignores it.
   SubstrateMode substrate = SubstrateMode::kAuto;
+  /// Which bulk-kernel table the dense fast path dispatches
+  /// (gca/kernel_registry.hpp).  kAuto picks the best variant the host
+  /// supports; a concrete variant the host cannot execute is rejected by
+  /// `validate()`.  Mediated (instrumented) sweeps ignore this — they are
+  /// the golden reference the variants are checked against.
+  KernelVariant kernels = KernelVariant::kAuto;
 
   EngineOptions& with_hands(std::size_t value) {
     hands = value;
@@ -207,6 +215,10 @@ struct EngineOptions {
   }
   EngineOptions& with_substrate(SubstrateMode value) {
     substrate = value;
+    return *this;
+  }
+  EngineOptions& with_kernels(KernelVariant value) {
+    kernels = value;
     return *this;
   }
 

@@ -1,0 +1,604 @@
+#include "gca/kernel_registry.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "gca/bitplane.hpp"
+#include "gca/kernels.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#if defined(__linux__)
+#include <asm/hwcap.h>
+#include <sys/auxv.h>
+#endif
+#endif
+
+#if defined(__x86_64__) || defined(__i386__)
+// Intrinsics are emitted per-function via __attribute__((target("avx2")));
+// the translation unit itself stays ISA-neutral.
+#include <immintrin.h>
+#endif
+
+namespace gcalib::gca {
+
+namespace {
+
+/// Eight adjacency bits starting at cell i, lowest bit = cell i.  The
+/// BitPlane guard word makes the straddle read of `words[w + 1]` safe for
+/// any i < bit_count().
+[[maybe_unused]] inline std::uint32_t bits8(const std::uint64_t* words,
+                                            std::size_t i) {
+  const std::size_t w = i >> 6;
+  const unsigned s = static_cast<unsigned>(i & 63);
+  std::uint64_t v = words[w] >> s;
+  if (s > 56) v |= words[w + 1] << (64u - s);
+  return static_cast<std::uint32_t>(v & 0xFFu);
+}
+
+/// Bit-cast a u32 to the int the intrinsics want (C++20 modular semantics).
+[[maybe_unused]] inline int as_i32(std::uint32_t value) {
+  return static_cast<int>(value);
+}
+
+const KernelTable& scalar_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.name = "scalar";
+    t.row_min_span_max_offset = 0;  // faithful pre-SIMD routing: strided
+    t.column_broadcast = &hirschberg_column_broadcast;
+    t.mask_neighbors = &hirschberg_mask_neighbors;
+    t.mask_members = &hirschberg_mask_members;
+    t.row_min = &hirschberg_row_min;
+    t.row_min_span = &hirschberg_row_min_span;
+    t.row_min_indexed = &hirschberg_row_min_indexed;
+    t.adopt = &hirschberg_adopt;
+    t.pointer_jump_indexed = &hirschberg_pointer_jump_indexed;
+    // init / fallback_indexed / final_min_indexed stay null: the scalar
+    // reference keeps those generations on the mediated per-cell rule,
+    // matching the pre-SIMD machine step for step.
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+// --- AVX2 variant -------------------------------------------------------
+//
+// Eight 32-bit cells per vector.  Every kernel keeps the scalar row-walk
+// skeleton (chunk boundaries land mid-row) and emits a vector block only
+// when the whole block lies inside the current row and chunk, with scalar
+// head/tail cells around it — so a lane never writes outside its chunk and
+// chunked execution stays race-free and bit-identical to scalar.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+namespace {
+
+__attribute__((target("avx2"))) void avx2_column_broadcast(
+    std::size_t n, const std::uint32_t* d, std::uint32_t* d_out,
+    std::uint32_t* p_out, std::size_t k_begin, std::size_t k_end) {
+  if (k_begin >= k_end) return;
+  // Gather the source column once into pooled scratch; every row of the
+  // chunk then becomes a contiguous copy instead of n strided loads.
+  ScratchLease<std::uint32_t> scratch(n);
+  std::uint32_t* head = scratch.data();
+  for (std::size_t c = 0; c < n; ++c) head[c] = d[c * n];
+  const __m256i ramp = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i rampn = _mm256_mullo_epi32(
+      ramp, _mm256_set1_epi32(as_i32(static_cast<std::uint32_t>(n))));
+  std::size_t i = k_begin;
+  std::size_t col = i % n;
+  while (i < k_end) {
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    std::memcpy(d_out + i, head + col, (row_end - i) * sizeof(std::uint32_t));
+    std::size_t c = col;
+    for (; i + 8 <= row_end; i += 8, c += 8) {
+      const __m256i base =
+          _mm256_set1_epi32(as_i32(static_cast<std::uint32_t>(c * n)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p_out + i),
+                          _mm256_add_epi32(base, rampn));
+    }
+    for (; i < row_end; ++i, ++c) p_out[i] = static_cast<std::uint32_t>(c * n);
+    col = 0;
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_mask_neighbors(
+    std::size_t n, std::uint32_t inf, const std::uint64_t* a_words,
+    const std::uint32_t* d, std::uint32_t* d_out, std::uint32_t* p_out,
+    std::size_t k_begin, std::size_t k_end) {
+  const std::size_t nn = n * n;
+  const __m256i vinf = _mm256_set1_epi32(as_i32(inf));
+  const __m256i bitpos = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const std::size_t p = nn + row;
+    const std::uint32_t global = d[p];  // D_N[row], hoisted per row
+    const auto p32 = static_cast<std::uint32_t>(p);
+    const __m256i vglobal = _mm256_set1_epi32(as_i32(global));
+    const __m256i vp = _mm256_set1_epi32(as_i32(p32));
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    for (; i + 8 <= row_end; i += 8) {
+      const __m256i self =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+      const __m256i bits = _mm256_set1_epi32(as_i32(bits8(a_words, i)));
+      const __m256i adjacent =
+          _mm256_cmpeq_epi32(_mm256_and_si256(bits, bitpos), bitpos);
+      const __m256i keep = _mm256_andnot_si256(
+          _mm256_cmpeq_epi32(self, vglobal), adjacent);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d_out + i),
+                          _mm256_blendv_epi8(vinf, self, keep));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p_out + i), vp);
+    }
+    for (; i < row_end; ++i) {
+      const std::uint32_t self = d[i];
+      const bool adjacent = ((a_words[i >> 6] >> (i & 63)) & 1u) != 0;
+      d_out[i] = (self != global) & adjacent ? self : inf;
+      p_out[i] = p32;
+    }
+    ++row;
+    col = 0;
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_mask_members(
+    std::size_t n, std::uint32_t inf, const std::uint32_t* d,
+    std::uint32_t* d_out, std::uint32_t* p_out, std::size_t k_begin,
+    std::size_t k_end) {
+  const std::size_t nn = n * n;
+  const __m256i vinf = _mm256_set1_epi32(as_i32(inf));
+  const __m256i ramp = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const auto row32 = static_cast<std::uint32_t>(row);
+    const __m256i vrow = _mm256_set1_epi32(as_i32(row32));
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    for (; i + 8 <= row_end; i += 8, col += 8) {
+      const __m256i global =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + nn + col));
+      const __m256i self =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+      const __m256i keep = _mm256_andnot_si256(
+          _mm256_cmpeq_epi32(self, vrow), _mm256_cmpeq_epi32(global, vrow));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d_out + i),
+                          _mm256_blendv_epi8(vinf, self, keep));
+      const __m256i base = _mm256_set1_epi32(
+          as_i32(static_cast<std::uint32_t>(nn + col)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p_out + i),
+                          _mm256_add_epi32(base, ramp));
+    }
+    for (; i < row_end; ++i, ++col) {
+      const std::uint32_t global = d[nn + col];
+      const std::uint32_t self = d[i];
+      d_out[i] = (global == row32) & (self != row32) ? self : inf;
+      p_out[i] = static_cast<std::uint32_t>(nn + col);
+    }
+    ++row;
+    col = 0;
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_row_min_span(
+    std::size_t n, std::size_t offset, const std::uint32_t* d,
+    const std::uint32_t* p, std::uint32_t* d_out, std::uint32_t* p_out,
+    std::size_t k_begin, std::size_t k_end) {
+  const std::size_t step = 2 * offset;
+  // Lane mask of the active columns within a stride-aligned 8-block.
+  const __m256i active_mask =
+      offset == 1   ? _mm256_setr_epi32(-1, 0, -1, 0, -1, 0, -1, 0)
+      : offset == 2 ? _mm256_setr_epi32(-1, 0, 0, 0, -1, 0, 0, 0)
+                    : _mm256_setr_epi32(-1, 0, 0, 0, 0, 0, 0, 0);
+  const __m256i lane4 = _mm256_set1_epi32(4);
+  const __m256i ramp = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i voff =
+      _mm256_set1_epi32(as_i32(static_cast<std::uint32_t>(offset)));
+  std::size_t i = k_begin;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    // Scalar head until the column is stride-aligned (misaligned columns
+    // are inactive by definition: carry d/p through).
+    while (i < row_end && col % step != 0) {
+      d_out[i] = d[i];
+      p_out[i] = p[i];
+      ++i;
+      ++col;
+    }
+    // Vector blocks: whole block and every partner inside this row+chunk.
+    for (; i + 8 <= row_end && col + 8 <= n; i += 8, col += 8) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d + i));
+      const __m256i partner =
+          offset == 1   ? _mm256_srli_epi64(v, 32)
+          : offset == 2 ? _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 2, 2, 2))
+                        : _mm256_permutevar8x32_epi32(v, lane4);
+      const __m256i m = _mm256_min_epu32(v, partner);
+      const __m256i vd = _mm256_blendv_epi8(v, m, active_mask);
+      const __m256i idx = _mm256_add_epi32(
+          _mm256_set1_epi32(as_i32(static_cast<std::uint32_t>(i))), ramp);
+      const __m256i carry_p =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+      const __m256i vp = _mm256_blendv_epi8(
+          carry_p, _mm256_add_epi32(idx, voff), active_mask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d_out + i), vd);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p_out + i), vp);
+    }
+    for (; i < row_end; ++i, ++col) {
+      if (col % step == 0 && col + offset < n) {
+        const std::size_t q = i + offset;
+        d_out[i] = std::min(d[i], d[q]);
+        p_out[i] = static_cast<std::uint32_t>(q);
+      } else {
+        d_out[i] = d[i];
+        p_out[i] = p[i];
+      }
+    }
+    col = 0;
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_adopt(
+    std::size_t n, const std::uint32_t* d, std::uint32_t* d_out,
+    std::uint32_t* p_out, std::size_t k_begin, std::size_t k_end) {
+  const std::size_t nn = n * n;
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < std::min(k_end, nn)) {
+    const std::size_t p0 = row * n;
+    const std::uint32_t head = d[p0];
+    const auto p32 = static_cast<std::uint32_t>(p0);
+    const __m256i vd = _mm256_set1_epi32(as_i32(head));
+    const __m256i vp = _mm256_set1_epi32(as_i32(p32));
+    const std::size_t row_end = std::min(std::min(k_end, nn), i + (n - col));
+    for (; i + 8 <= row_end; i += 8) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(d_out + i), vd);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(p_out + i), vp);
+    }
+    for (; i < row_end; ++i) {
+      d_out[i] = head;
+      p_out[i] = p32;
+    }
+    ++row;
+    col = 0;
+  }
+  for (i = std::max(k_begin, nn); i < k_end; ++i) {
+    const std::size_t p0 = (i - nn) * n;
+    d_out[i] = d[p0];
+    p_out[i] = static_cast<std::uint32_t>(p0);
+  }
+}
+
+bool avx2_supported() { return __builtin_cpu_supports("avx2") != 0; }
+
+const KernelTable& avx2_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.name = "avx2";
+    t.row_min_span_max_offset = 4;  // offset 4's partner is lane 4 in-vector
+    t.column_broadcast = &avx2_column_broadcast;
+    t.mask_neighbors = &avx2_mask_neighbors;
+    t.mask_members = &avx2_mask_members;
+    t.row_min = &hirschberg_row_min;  // strided path has no vector shape
+    t.row_min_span = &avx2_row_min_span;
+    t.row_min_indexed = &hirschberg_row_min_indexed;  // gather-bound
+    t.adopt = &avx2_adopt;
+    t.pointer_jump_indexed = &hirschberg_pointer_jump_indexed;
+    // O(n)-active / run-once generations: the bulk shapes are scalar (the
+    // win over the mediated rule is skipping per-cell dispatch, not SIMD).
+    t.init = &hirschberg_init;
+    t.fallback_indexed = &hirschberg_fallback_indexed;
+    t.final_min_indexed = &hirschberg_final_min_indexed;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+#endif  // x86
+
+// --- NEON variant -------------------------------------------------------
+//
+// Four 32-bit cells per vector; same chunk-safe skeleton as AVX2.
+
+#if defined(__aarch64__)
+
+namespace {
+
+void neon_column_broadcast(std::size_t n, const std::uint32_t* d,
+                           std::uint32_t* d_out, std::uint32_t* p_out,
+                           std::size_t k_begin, std::size_t k_end) {
+  if (k_begin >= k_end) return;
+  ScratchLease<std::uint32_t> scratch(n);
+  std::uint32_t* head = scratch.data();
+  for (std::size_t c = 0; c < n; ++c) head[c] = d[c * n];
+  const auto n32 = static_cast<std::uint32_t>(n);
+  const uint32x4_t rampn = {0, n32, 2 * n32, 3 * n32};
+  std::size_t i = k_begin;
+  std::size_t col = i % n;
+  while (i < k_end) {
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    std::memcpy(d_out + i, head + col, (row_end - i) * sizeof(std::uint32_t));
+    std::size_t c = col;
+    for (; i + 4 <= row_end; i += 4, c += 4) {
+      const uint32x4_t base = vdupq_n_u32(static_cast<std::uint32_t>(c * n));
+      vst1q_u32(p_out + i, vaddq_u32(base, rampn));
+    }
+    for (; i < row_end; ++i, ++c) p_out[i] = static_cast<std::uint32_t>(c * n);
+    col = 0;
+  }
+}
+
+void neon_mask_neighbors(std::size_t n, std::uint32_t inf,
+                         const std::uint64_t* a_words, const std::uint32_t* d,
+                         std::uint32_t* d_out, std::uint32_t* p_out,
+                         std::size_t k_begin, std::size_t k_end) {
+  const std::size_t nn = n * n;
+  const uint32x4_t vinf = vdupq_n_u32(inf);
+  const uint32x4_t bitpos = {1u, 2u, 4u, 8u};
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const std::size_t p = nn + row;
+    const std::uint32_t global = d[p];
+    const auto p32 = static_cast<std::uint32_t>(p);
+    const uint32x4_t vglobal = vdupq_n_u32(global);
+    const uint32x4_t vp = vdupq_n_u32(p32);
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    for (; i + 4 <= row_end; i += 4) {
+      const uint32x4_t self = vld1q_u32(d + i);
+      const uint32x4_t bits = vdupq_n_u32(bits8(a_words, i) & 0xFu);
+      const uint32x4_t adjacent = vceqq_u32(vandq_u32(bits, bitpos), bitpos);
+      const uint32x4_t keep = vbicq_u32(adjacent, vceqq_u32(self, vglobal));
+      vst1q_u32(d_out + i, vbslq_u32(keep, self, vinf));
+      vst1q_u32(p_out + i, vp);
+    }
+    for (; i < row_end; ++i) {
+      const std::uint32_t self = d[i];
+      const bool adjacent = ((a_words[i >> 6] >> (i & 63)) & 1u) != 0;
+      d_out[i] = (self != global) & adjacent ? self : inf;
+      p_out[i] = p32;
+    }
+    ++row;
+    col = 0;
+  }
+}
+
+void neon_mask_members(std::size_t n, std::uint32_t inf,
+                       const std::uint32_t* d, std::uint32_t* d_out,
+                       std::uint32_t* p_out, std::size_t k_begin,
+                       std::size_t k_end) {
+  const std::size_t nn = n * n;
+  const uint32x4_t vinf = vdupq_n_u32(inf);
+  const uint32x4_t ramp = {0u, 1u, 2u, 3u};
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const auto row32 = static_cast<std::uint32_t>(row);
+    const uint32x4_t vrow = vdupq_n_u32(row32);
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    for (; i + 4 <= row_end; i += 4, col += 4) {
+      const uint32x4_t global = vld1q_u32(d + nn + col);
+      const uint32x4_t self = vld1q_u32(d + i);
+      const uint32x4_t keep =
+          vbicq_u32(vceqq_u32(global, vrow), vceqq_u32(self, vrow));
+      vst1q_u32(d_out + i, vbslq_u32(keep, self, vinf));
+      const uint32x4_t base = vdupq_n_u32(static_cast<std::uint32_t>(nn + col));
+      vst1q_u32(p_out + i, vaddq_u32(base, ramp));
+    }
+    for (; i < row_end; ++i, ++col) {
+      const std::uint32_t global = d[nn + col];
+      const std::uint32_t self = d[i];
+      d_out[i] = (global == row32) & (self != row32) ? self : inf;
+      p_out[i] = static_cast<std::uint32_t>(nn + col);
+    }
+    ++row;
+    col = 0;
+  }
+}
+
+void neon_row_min_span(std::size_t n, std::size_t offset,
+                       const std::uint32_t* d, const std::uint32_t* p,
+                       std::uint32_t* d_out, std::uint32_t* p_out,
+                       std::size_t k_begin, std::size_t k_end) {
+  const std::size_t step = 2 * offset;
+  const uint32x4_t active_mask = offset == 1 ? uint32x4_t{~0u, 0u, ~0u, 0u}
+                                             : uint32x4_t{~0u, 0u, 0u, 0u};
+  const uint32x4_t ramp = {0u, 1u, 2u, 3u};
+  const uint32x4_t voff = vdupq_n_u32(static_cast<std::uint32_t>(offset));
+  std::size_t i = k_begin;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    while (i < row_end && col % step != 0) {
+      d_out[i] = d[i];
+      p_out[i] = p[i];
+      ++i;
+      ++col;
+    }
+    for (; i + 4 <= row_end && col + 4 <= n; i += 4, col += 4) {
+      const uint32x4_t v = vld1q_u32(d + i);
+      const uint32x4_t partner =
+          offset == 1 ? vrev64q_u32(v) : vextq_u32(v, v, 2);
+      const uint32x4_t m = vminq_u32(v, partner);
+      const uint32x4_t vd = vbslq_u32(active_mask, m, v);
+      const uint32x4_t idx =
+          vaddq_u32(vdupq_n_u32(static_cast<std::uint32_t>(i)), ramp);
+      const uint32x4_t vp =
+          vbslq_u32(active_mask, vaddq_u32(idx, voff), vld1q_u32(p + i));
+      vst1q_u32(d_out + i, vd);
+      vst1q_u32(p_out + i, vp);
+    }
+    for (; i < row_end; ++i, ++col) {
+      if (col % step == 0 && col + offset < n) {
+        const std::size_t q = i + offset;
+        d_out[i] = std::min(d[i], d[q]);
+        p_out[i] = static_cast<std::uint32_t>(q);
+      } else {
+        d_out[i] = d[i];
+        p_out[i] = p[i];
+      }
+    }
+    col = 0;
+  }
+}
+
+void neon_adopt(std::size_t n, const std::uint32_t* d, std::uint32_t* d_out,
+                std::uint32_t* p_out, std::size_t k_begin, std::size_t k_end) {
+  const std::size_t nn = n * n;
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < std::min(k_end, nn)) {
+    const std::size_t p0 = row * n;
+    const auto p32 = static_cast<std::uint32_t>(p0);
+    const uint32x4_t vd = vdupq_n_u32(d[p0]);
+    const uint32x4_t vp = vdupq_n_u32(p32);
+    const std::size_t row_end = std::min(std::min(k_end, nn), i + (n - col));
+    for (; i + 4 <= row_end; i += 4) {
+      vst1q_u32(d_out + i, vd);
+      vst1q_u32(p_out + i, vp);
+    }
+    for (; i < row_end; ++i) {
+      d_out[i] = d[p0];
+      p_out[i] = p32;
+    }
+    ++row;
+    col = 0;
+  }
+  for (i = std::max(k_begin, nn); i < k_end; ++i) {
+    const std::size_t p0 = (i - nn) * n;
+    d_out[i] = d[p0];
+    p_out[i] = static_cast<std::uint32_t>(p0);
+  }
+}
+
+bool neon_supported() {
+#if defined(__linux__) && defined(HWCAP_ASIMD)
+  return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+  return true;  // AdvSIMD is architecturally mandatory on AArch64
+#endif
+}
+
+const KernelTable& neon_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.name = "neon";
+    t.row_min_span_max_offset = 2;
+    t.column_broadcast = &neon_column_broadcast;
+    t.mask_neighbors = &neon_mask_neighbors;
+    t.mask_members = &neon_mask_members;
+    t.row_min = &hirschberg_row_min;
+    t.row_min_span = &neon_row_min_span;
+    t.row_min_indexed = &hirschberg_row_min_indexed;
+    t.adopt = &neon_adopt;
+    t.pointer_jump_indexed = &hirschberg_pointer_jump_indexed;
+    t.init = &hirschberg_init;
+    t.fallback_indexed = &hirschberg_fallback_indexed;
+    t.final_min_indexed = &hirschberg_final_min_indexed;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+#endif  // aarch64
+
+// --- Registry -----------------------------------------------------------
+
+const char* to_string(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+      return "scalar";
+    case KernelVariant::kAvx2:
+      return "avx2";
+    case KernelVariant::kNeon:
+      return "neon";
+    case KernelVariant::kAuto:
+      return "auto";
+  }
+  GCALIB_ASSERT_MSG(false, "unreachable kernel variant");
+  return "?";
+}
+
+KernelVariant parse_kernel_variant(const std::string& name) {
+  if (name == "scalar") return KernelVariant::kScalar;
+  if (name == "avx2") return KernelVariant::kAvx2;
+  if (name == "neon") return KernelVariant::kNeon;
+  if (name == "auto") return KernelVariant::kAuto;
+  GCALIB_EXPECTS_MSG(false, "unknown kernel variant '" + name +
+                                "' (expected scalar | avx2 | neon | auto)");
+  return KernelVariant::kAuto;
+}
+
+bool kernel_variant_supported(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kScalar:
+    case KernelVariant::kAuto:
+      return true;
+    case KernelVariant::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return avx2_supported();
+#else
+      return false;
+#endif
+    case KernelVariant::kNeon:
+#if defined(__aarch64__)
+      return neon_supported();
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+KernelVariant resolve_kernel_variant(KernelVariant requested) {
+  if (requested != KernelVariant::kAuto) return requested;
+  if (kernel_variant_supported(KernelVariant::kAvx2)) return KernelVariant::kAvx2;
+  if (kernel_variant_supported(KernelVariant::kNeon)) return KernelVariant::kNeon;
+  return KernelVariant::kScalar;
+}
+
+std::vector<KernelVariant> supported_kernel_variants() {
+  std::vector<KernelVariant> variants{KernelVariant::kScalar};
+  if (kernel_variant_supported(KernelVariant::kAvx2)) {
+    variants.push_back(KernelVariant::kAvx2);
+  }
+  if (kernel_variant_supported(KernelVariant::kNeon)) {
+    variants.push_back(KernelVariant::kNeon);
+  }
+  return variants;
+}
+
+const KernelTable& kernel_table(KernelVariant variant) {
+  const KernelVariant resolved = resolve_kernel_variant(variant);
+  GCALIB_EXPECTS_MSG(kernel_variant_supported(resolved),
+                     std::string("kernel variant '") + to_string(resolved) +
+                         "' is not supported on this host");
+  switch (resolved) {
+#if defined(__x86_64__) || defined(__i386__)
+    case KernelVariant::kAvx2:
+      return avx2_table();
+#endif
+#if defined(__aarch64__)
+    case KernelVariant::kNeon:
+      return neon_table();
+#endif
+    default:
+      return scalar_table();
+  }
+}
+
+}  // namespace gcalib::gca

@@ -1,0 +1,153 @@
+// Runtime-dispatched kernel registry for the Hirschberg bulk kernels
+// (DESIGN.md §13).
+//
+// Kernel selection is a *runtime* decision, not a compile-time one: the
+// same binary picks AVX2 on an x86 host that has it, NEON on aarch64, and
+// the portable scalar path everywhere else (CPUID / getauxval feature
+// detection, overridable with `--kernels scalar|avx2|neon|auto` on every
+// tool).  The scalar table remains the bit-identical golden reference: it
+// computes exactly what the instrumented per-cell rule path computes, and
+// the registry's bit-identity suite (tests/kernel_registry_test.cpp) pins
+// every registered variant x threads {1,2,4,7} x all three execution
+// backends against it.
+//
+// A `KernelTable` is a bundle of function pointers over raw SoA planes —
+// the adjacency plane arrives bit-packed (gca/bitplane.hpp), d/p as u32
+// arrays.  All kernels share the chunk contract of Engine::step_bulk: they
+// receive `[k_begin, k_end)` positions of the enumeration and may be called
+// concurrently on disjoint chunks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gcalib::gca {
+
+/// Which kernel table to dispatch.  kAuto resolves to the best variant the
+/// host supports (AVX2 > NEON > scalar).
+enum class KernelVariant : std::uint8_t {
+  kScalar,
+  kAvx2,
+  kNeon,
+  kAuto,
+};
+
+[[nodiscard]] const char* to_string(KernelVariant variant);
+
+/// Parses "scalar" / "avx2" / "neon" / "auto"; throws ContractViolation on
+/// anything else.
+[[nodiscard]] KernelVariant parse_kernel_variant(const std::string& name);
+
+/// True when this host can execute the variant (kScalar and kAuto always).
+[[nodiscard]] bool kernel_variant_supported(KernelVariant variant);
+
+/// Resolves kAuto to the best supported concrete variant; concrete variants
+/// return themselves (caller must have checked support).
+[[nodiscard]] KernelVariant resolve_kernel_variant(KernelVariant requested);
+
+/// The concrete variants this host supports, scalar first.
+[[nodiscard]] std::vector<KernelVariant> supported_kernel_variants();
+
+/// One variant's kernel bundle.  Chunk arguments `[k_begin, k_end)` index
+/// the active enumeration of the step's region or worklist.
+struct KernelTable {
+  const char* name = "scalar";
+
+  /// Highest row-min offset this table's `row_min_span` handles; offsets
+  /// above it (and below the worklist threshold) run the strided `row_min`.
+  /// 0 means the variant has no span kernel.
+  std::size_t row_min_span_max_offset = 0;
+
+  /// kCopyCToRows / kCopyTToRows: d_out[i] = d[col(i) * n] over a
+  /// contiguous region starting at cell 0 (k IS the cell index).
+  using ColumnBroadcastFn = void (*)(std::size_t n, const std::uint32_t* d,
+                                     std::uint32_t* d_out, std::uint32_t* p_out,
+                                     std::size_t k_begin, std::size_t k_end);
+  /// kMaskNeighbors over the square (k IS the cell index); adjacency comes
+  /// from the packed plane `a_words` (one bit per cell, guard word present).
+  using MaskNeighborsFn = void (*)(std::size_t n, std::uint32_t inf,
+                                   const std::uint64_t* a_words,
+                                   const std::uint32_t* d, std::uint32_t* d_out,
+                                   std::uint32_t* p_out, std::size_t k_begin,
+                                   std::size_t k_end);
+  /// kMaskMembers over the square (k IS the cell index).
+  using MaskMembersFn = void (*)(std::size_t n, std::uint32_t inf,
+                                 const std::uint32_t* d, std::uint32_t* d_out,
+                                 std::uint32_t* p_out, std::size_t k_begin,
+                                 std::size_t k_end);
+  /// Strided row-min: k enumerates the column-strided window (see
+  /// kernels.hpp hirschberg_row_min).
+  using RowMinFn = void (*)(std::size_t n, std::size_t offset,
+                            const std::uint32_t* d, std::uint32_t* d_out,
+                            std::uint32_t* p_out, std::size_t k_begin,
+                            std::size_t k_end);
+  /// Span row-min: k IS the cell index over the whole square; inactive
+  /// cells carry d/p through unchanged (needs the current p plane).
+  using RowMinSpanFn = void (*)(std::size_t n, std::size_t offset,
+                                const std::uint32_t* d, const std::uint32_t* p,
+                                std::uint32_t* d_out, std::uint32_t* p_out,
+                                std::size_t k_begin, std::size_t k_end);
+  /// Worklist row-min: k indexes `indices`, each entry an active cell i
+  /// with partner i + offset.
+  using RowMinIndexedFn = void (*)(std::size_t offset,
+                                   const std::uint32_t* indices,
+                                   const std::uint32_t* d, std::uint32_t* d_out,
+                                   std::uint32_t* p_out, std::size_t k_begin,
+                                   std::size_t k_end);
+  /// kAdopt over the full field (k IS the cell index).
+  using AdoptFn = void (*)(std::size_t n, const std::uint32_t* d,
+                           std::uint32_t* d_out, std::uint32_t* p_out,
+                           std::size_t k_begin, std::size_t k_end);
+  /// Worklist pointer-jump: k indexes `indices` (the column-0 cells).
+  using PointerJumpIndexedFn = void (*)(std::size_t n, std::size_t field_cells,
+                                        const std::uint32_t* indices,
+                                        const std::uint32_t* d,
+                                        std::uint32_t* d_out,
+                                        std::uint32_t* p_out,
+                                        std::size_t k_begin, std::size_t k_end);
+  /// kInit over the full field (k IS the cell index): pure geometry.
+  using InitFn = void (*)(std::size_t n, std::uint32_t* d_out,
+                          std::uint32_t* p_out, std::size_t k_begin,
+                          std::size_t k_end);
+  /// Worklist fallback (kFallback / kFallback2): k indexes `indices` (the
+  /// column-0 cells); restore d from D_N where the row minimum is inf.
+  using FallbackIndexedFn = void (*)(std::size_t n, std::uint32_t inf,
+                                     const std::uint32_t* indices,
+                                     const std::uint32_t* d,
+                                     std::uint32_t* d_out, std::uint32_t* p_out,
+                                     std::size_t k_begin, std::size_t k_end);
+  /// Worklist final-min (kFinalMin): data-dependent read d[d[i] * n + 1],
+  /// bounds-checked against `field_cells` like the pointer jump.
+  using FinalMinIndexedFn = void (*)(std::size_t n, std::size_t field_cells,
+                                     const std::uint32_t* indices,
+                                     const std::uint32_t* d,
+                                     std::uint32_t* d_out, std::uint32_t* p_out,
+                                     std::size_t k_begin, std::size_t k_end);
+
+  ColumnBroadcastFn column_broadcast = nullptr;
+  MaskNeighborsFn mask_neighbors = nullptr;
+  MaskMembersFn mask_members = nullptr;
+  RowMinFn row_min = nullptr;
+  RowMinSpanFn row_min_span = nullptr;
+  RowMinIndexedFn row_min_indexed = nullptr;
+  AdoptFn adopt = nullptr;
+  PointerJumpIndexedFn pointer_jump_indexed = nullptr;
+
+  // The next three are nullable: the scalar table leaves them null so that
+  // generations 0, 4, 8 and 11 keep running the mediated per-cell rule —
+  // exactly the pre-SIMD behaviour the golden reference is pinned to.  A
+  // null entry makes the dispatcher fall back to the mediated rule.
+  InitFn init = nullptr;
+  FallbackIndexedFn fallback_indexed = nullptr;
+  FinalMinIndexedFn final_min_indexed = nullptr;
+};
+
+/// The table for a variant; kAuto is resolved first.  The returned
+/// reference is to a process-wide immutable table.  Requesting a variant
+/// the host cannot execute throws ContractViolation (EngineOptions
+/// validation normally rejects this earlier, at flag-parse time).
+[[nodiscard]] const KernelTable& kernel_table(KernelVariant variant);
+
+}  // namespace gcalib::gca

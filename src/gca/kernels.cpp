@@ -169,6 +169,23 @@ ListRankResult list_rank(const std::vector<std::size_t>& next) {
 
 // --- Hirschberg bulk kernels (SoA fast path) ----------------------------
 
+void hirschberg_init(std::size_t n, std::uint32_t* d_out, std::uint32_t* p_out,
+                     std::size_t k_begin, std::size_t k_end) {
+  std::size_t i = k_begin;
+  std::size_t row = n > 0 ? i / n : 0;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const auto row32 = static_cast<std::uint32_t>(row);
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    for (; i < row_end; ++i) {
+      d_out[i] = row32;
+      p_out[i] = static_cast<std::uint32_t>(i);
+    }
+    ++row;
+    col = 0;
+  }
+}
+
 void hirschberg_column_broadcast(std::size_t n, const std::uint32_t* d,
                                  std::uint32_t* d_out, std::uint32_t* p_out,
                                  std::size_t k_begin, std::size_t k_end) {
@@ -187,9 +204,10 @@ void hirschberg_column_broadcast(std::size_t n, const std::uint32_t* d,
 }
 
 void hirschberg_mask_neighbors(std::size_t n, std::uint32_t inf,
-                               const std::uint32_t* a, const std::uint32_t* d,
-                               std::uint32_t* d_out, std::uint32_t* p_out,
-                               std::size_t k_begin, std::size_t k_end) {
+                               const std::uint64_t* a_words,
+                               const std::uint32_t* d, std::uint32_t* d_out,
+                               std::uint32_t* p_out, std::size_t k_begin,
+                               std::size_t k_end) {
   const std::size_t nn = n * n;
   std::size_t i = k_begin;
   std::size_t row = n > 0 ? i / n : 0;
@@ -201,7 +219,8 @@ void hirschberg_mask_neighbors(std::size_t n, std::uint32_t inf,
     const std::size_t row_end = std::min(k_end, i + (n - col));
     for (; i < row_end; ++i) {
       const std::uint32_t self = d[i];
-      d_out[i] = (self != global) & (a[i] == 1) ? self : inf;
+      const bool adjacent = ((a_words[i >> 6] >> (i & 63)) & 1u) != 0;
+      d_out[i] = (self != global) & adjacent ? self : inf;
       p_out[i] = p32;
     }
     ++row;
@@ -258,6 +277,46 @@ void hirschberg_row_min(std::size_t n, std::size_t offset,
   }
 }
 
+void hirschberg_row_min_span(std::size_t n, std::size_t offset,
+                             const std::uint32_t* d, const std::uint32_t* p,
+                             std::uint32_t* d_out, std::uint32_t* p_out,
+                             std::size_t k_begin, std::size_t k_end) {
+  const std::size_t step = 2 * offset;
+  std::size_t i = k_begin;
+  std::size_t col = n > 0 ? i % n : 0;
+  while (i < k_end) {
+    const std::size_t row_end = std::min(k_end, i + (n - col));
+    for (; i < row_end; ++i, ++col) {
+      if (col % step == 0 && col + offset < n) {
+        const std::size_t q = i + offset;
+        const std::uint32_t lo = d[i];
+        const std::uint32_t hi = d[q];
+        d_out[i] = hi < lo ? hi : lo;
+        p_out[i] = static_cast<std::uint32_t>(q);
+      } else {
+        d_out[i] = d[i];  // inactive: carry d/p through unchanged
+        p_out[i] = p[i];
+      }
+    }
+    col = 0;
+  }
+}
+
+void hirschberg_row_min_indexed(std::size_t offset,
+                                const std::uint32_t* indices,
+                                const std::uint32_t* d, std::uint32_t* d_out,
+                                std::uint32_t* p_out, std::size_t k_begin,
+                                std::size_t k_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const std::size_t i = indices[k];
+    const std::size_t q = i + offset;
+    const std::uint32_t lo = d[i];
+    const std::uint32_t hi = d[q];
+    d_out[i] = hi < lo ? hi : lo;
+    p_out[i] = static_cast<std::uint32_t>(q);
+  }
+}
+
 void hirschberg_adopt(std::size_t n, const std::uint32_t* d,
                       std::uint32_t* d_out, std::uint32_t* p_out,
                       std::size_t k_begin, std::size_t k_end) {
@@ -296,6 +355,53 @@ void hirschberg_pointer_jump(std::size_t n, std::size_t field_cells,
     GCALIB_EXPECTS_MSG(t < field_cells,
                        "pointer jump target outside the field");
     d_out[i] = d[t];
+    p_out[i] = static_cast<std::uint32_t>(t);
+  }
+}
+
+void hirschberg_pointer_jump_indexed(std::size_t n, std::size_t field_cells,
+                                     const std::uint32_t* indices,
+                                     const std::uint32_t* d,
+                                     std::uint32_t* d_out, std::uint32_t* p_out,
+                                     std::size_t k_begin, std::size_t k_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const std::size_t i = indices[k];
+    const std::size_t t = std::size_t{d[i]} * n;
+    GCALIB_EXPECTS_MSG(t < field_cells,
+                       "pointer jump target outside the field");
+    d_out[i] = d[t];
+    p_out[i] = static_cast<std::uint32_t>(t);
+  }
+}
+
+void hirschberg_fallback_indexed(std::size_t n, std::uint32_t inf,
+                                 const std::uint32_t* indices,
+                                 const std::uint32_t* d, std::uint32_t* d_out,
+                                 std::uint32_t* p_out, std::size_t k_begin,
+                                 std::size_t k_end) {
+  const std::size_t nn = n * n;
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const std::size_t i = indices[k];
+    const std::size_t p = nn + i / n;
+    const std::uint32_t self = d[i];
+    d_out[i] = self == inf ? d[p] : self;
+    p_out[i] = static_cast<std::uint32_t>(p);
+  }
+}
+
+void hirschberg_final_min_indexed(std::size_t n, std::size_t field_cells,
+                                  const std::uint32_t* indices,
+                                  const std::uint32_t* d, std::uint32_t* d_out,
+                                  std::uint32_t* p_out, std::size_t k_begin,
+                                  std::size_t k_end) {
+  for (std::size_t k = k_begin; k < k_end; ++k) {
+    const std::size_t i = indices[k];
+    const std::uint32_t self = d[i];
+    const std::size_t t = std::size_t{self} * n + 1;
+    GCALIB_EXPECTS_MSG(t < field_cells,
+                       "final-min target outside the field");
+    const std::uint32_t global = d[t];
+    d_out[i] = global < self ? global : self;
     p_out[i] = static_cast<std::uint32_t>(t);
   }
 }

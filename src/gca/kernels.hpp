@@ -90,6 +90,11 @@ struct ListRankResult {
 // `n` is the square side of the (n+1) x n field; rows have pitch n and the
 // bottom row D_N starts at linear index n*n.
 
+/// Generation 0 (init): full field, k is the linear index.
+/// d_out[i] = row(i), p_out[i] = i — pure geometry, no reads.
+void hirschberg_init(std::size_t n, std::uint32_t* d_out, std::uint32_t* p_out,
+                     std::size_t k_begin, std::size_t k_end);
+
 /// Generations 1 and 5 (copy C/T to rows): active region is `row_count`
 /// full-width rows from row 0 (n+1 under generation 1, n under
 /// generation 5), so k IS the linear index.  d_out[i] = d[col(i) * n].
@@ -98,12 +103,16 @@ void hirschberg_column_broadcast(std::size_t n, const std::uint32_t* d,
                                  std::size_t k_begin, std::size_t k_end);
 
 /// Generation 2 (mask neighbours): square, k is the linear index.
-/// d_out[i] = (d[i] != D_N[row] && a[i] == 1) ? d[i] : inf, with the
+/// d_out[i] = (d[i] != D_N[row] && a-bit i set) ? d[i] : inf, with the
 /// per-row global read D_N[row] = d[n^2 + row] hoisted out of the row loop.
+/// The adjacency plane arrives bit-packed 64 cells per word
+/// (gca/bitplane.hpp; the plane's guard word lets SIMD variants read one
+/// word past the last payload word).
 void hirschberg_mask_neighbors(std::size_t n, std::uint32_t inf,
-                               const std::uint32_t* a, const std::uint32_t* d,
-                               std::uint32_t* d_out, std::uint32_t* p_out,
-                               std::size_t k_begin, std::size_t k_end);
+                               const std::uint64_t* a_words,
+                               const std::uint32_t* d, std::uint32_t* d_out,
+                               std::uint32_t* p_out, std::size_t k_begin,
+                               std::size_t k_end);
 
 /// Generation 6 (mask members): square, k is the linear index.
 /// d_out[i] = (D_N[col] == row && d[i] != row) ? d[i] : inf with
@@ -122,6 +131,25 @@ void hirschberg_row_min(std::size_t n, std::size_t offset,
                         std::uint32_t* p_out, std::size_t k_begin,
                         std::size_t k_end);
 
+/// Span form of row-min for small offsets: sweeps the *whole* square
+/// (k IS the linear index) and carries d/p through unchanged at inactive
+/// cells.  Physically O(n^2), but contiguous — the SIMD variants and the
+/// engine's complement-swap commit make it beat the strided window when
+/// occupancy is still >= 1/(2*offset) per row.
+void hirschberg_row_min_span(std::size_t n, std::size_t offset,
+                             const std::uint32_t* d, const std::uint32_t* p,
+                             std::uint32_t* d_out, std::uint32_t* p_out,
+                             std::size_t k_begin, std::size_t k_end);
+
+/// Worklist form of row-min for large offsets: k indexes `indices`, an
+/// ascending list of exactly the active cells (gca/worklist.hpp), each
+/// with partner i + offset.
+void hirschberg_row_min_indexed(std::size_t offset,
+                                const std::uint32_t* indices,
+                                const std::uint32_t* d, std::uint32_t* d_out,
+                                std::uint32_t* p_out, std::size_t k_begin,
+                                std::size_t k_end);
+
 /// Generation 9 (adopt): full field, k is the linear index.  Square rows
 /// splat the row head d[row * n] across the row; the bottom row gathers
 /// the transposed T: d_out[n^2 + i] = d[i * n].
@@ -137,5 +165,30 @@ void hirschberg_pointer_jump(std::size_t n, std::size_t field_cells,
                              const std::uint32_t* d, std::uint32_t* d_out,
                              std::uint32_t* p_out, std::size_t k_begin,
                              std::size_t k_end);
+
+/// Worklist form of the pointer jump: k indexes `indices` (the column-0
+/// cells, ascending).  Same data-dependent bounds check as above.
+void hirschberg_pointer_jump_indexed(std::size_t n, std::size_t field_cells,
+                                     const std::uint32_t* indices,
+                                     const std::uint32_t* d,
+                                     std::uint32_t* d_out, std::uint32_t* p_out,
+                                     std::size_t k_begin, std::size_t k_end);
+
+/// Worklist form of generations 4 and 8 (fallback): k indexes `indices`
+/// (the column-0 cells).  d_out[i] = d[i] == inf ? D_N[row(i)] : d[i].
+void hirschberg_fallback_indexed(std::size_t n, std::uint32_t inf,
+                                 const std::uint32_t* indices,
+                                 const std::uint32_t* d, std::uint32_t* d_out,
+                                 std::uint32_t* p_out, std::size_t k_begin,
+                                 std::size_t k_end);
+
+/// Worklist form of generation 11 (final min): k indexes `indices` (the
+/// column-0 cells).  Data-dependent read t = d[i] * n + 1 (T(C(j)) from a
+/// row copy); a corrupted pointer throws ContractViolation like the jump.
+void hirschberg_final_min_indexed(std::size_t n, std::size_t field_cells,
+                                  const std::uint32_t* indices,
+                                  const std::uint32_t* d, std::uint32_t* d_out,
+                                  std::uint32_t* p_out, std::size_t k_begin,
+                                  std::size_t k_end);
 
 }  // namespace gcalib::gca

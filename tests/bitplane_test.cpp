@@ -1,0 +1,144 @@
+// BitPlane pack/unpack properties and the ScratchLease pool (DESIGN.md §13).
+#include "gca/bitplane.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace gcalib::gca {
+namespace {
+
+std::vector<std::uint32_t> random_plane(std::size_t bits, double density,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> plane(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    plane[i] = rng.bernoulli(density) ? 1u : 0u;
+  }
+  return plane;
+}
+
+TEST(BitPlane, EmptyPlaneHasNoWordsAndNoBits) {
+  const BitPlane plane;
+  EXPECT_EQ(plane.bit_count(), 0u);
+  EXPECT_EQ(plane.word_count(), 0u);
+  EXPECT_EQ(plane.popcount(), 0u);
+  EXPECT_TRUE(plane.unpack().empty());
+}
+
+TEST(BitPlane, ResizeZeroesEverythingIncludingGuardWord) {
+  BitPlane plane(130);
+  EXPECT_EQ(plane.bit_count(), 130u);
+  EXPECT_EQ(plane.word_count(), 3u);  // ceil(130 / 64)
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(plane.test(i));
+  // The guard word (one past the payload) is readable and zero.
+  EXPECT_EQ(plane.words()[plane.word_count()], 0u);
+}
+
+TEST(BitPlane, SetTestAndClearRoundTrip) {
+  BitPlane plane(100);
+  plane.set(0, true);
+  plane.set(63, true);
+  plane.set(64, true);
+  plane.set(99, true);
+  EXPECT_TRUE(plane.test(0));
+  EXPECT_TRUE(plane.test(63));
+  EXPECT_TRUE(plane.test(64));
+  EXPECT_TRUE(plane.test(99));
+  EXPECT_FALSE(plane.test(1));
+  EXPECT_EQ(plane.popcount(), 4u);
+  plane.set(63, false);
+  EXPECT_FALSE(plane.test(63));
+  EXPECT_EQ(plane.popcount(), 3u);
+}
+
+TEST(BitPlane, PackNormalisesNonZeroValuesToOneBit) {
+  // Any non-zero word packs to a set bit — the same normalisation `a != 0`
+  // the Cell API applies.
+  const std::vector<std::uint32_t> plane{0u, 1u, 2u, 0xFFFFFFFFu, 0u, 7u};
+  const BitPlane packed = BitPlane::pack(plane);
+  EXPECT_FALSE(packed.test(0));
+  EXPECT_TRUE(packed.test(1));
+  EXPECT_TRUE(packed.test(2));
+  EXPECT_TRUE(packed.test(3));
+  EXPECT_FALSE(packed.test(4));
+  EXPECT_TRUE(packed.test(5));
+  const std::vector<std::uint32_t> expected{0u, 1u, 1u, 1u, 0u, 1u};
+  EXPECT_EQ(packed.unpack(), expected);
+}
+
+TEST(BitPlane, PackUnpackRoundTripsAtManyDensitiesAndRaggedSizes) {
+  // Property: unpack(pack(x)) == normalise(x) for sizes straddling word
+  // boundaries (not multiples of 64) and densities from empty to full.
+  const std::size_t sizes[] = {1, 63, 64, 65, 127, 128, 129, 1000, 4097};
+  const double densities[] = {0.0, 0.03, 0.5, 0.97, 1.0};
+  std::uint64_t seed = 1;
+  for (const std::size_t bits : sizes) {
+    for (const double density : densities) {
+      const std::vector<std::uint32_t> plane =
+          random_plane(bits, density, seed++);
+      const BitPlane packed = BitPlane::pack(plane);
+      ASSERT_EQ(packed.bit_count(), bits);
+      ASSERT_EQ(packed.unpack(), plane)
+          << "bits=" << bits << " density=" << density;
+      std::size_t ones = 0;
+      for (const std::uint32_t v : plane) ones += v;
+      EXPECT_EQ(packed.popcount(), ones);
+    }
+  }
+}
+
+TEST(BitPlane, TailWordBitsPastTheEndStayZero) {
+  // A ragged plane must keep the bits beyond bit_count() in its last
+  // payload word zero — the word-at-a-time kernels read whole words.
+  const std::vector<std::uint32_t> plane(70, 1u);  // 70 ones: 64 + 6
+  const BitPlane packed = BitPlane::pack(plane);
+  EXPECT_EQ(packed.words()[0], ~std::uint64_t{0});
+  EXPECT_EQ(packed.words()[1], (std::uint64_t{1} << 6) - 1);
+  EXPECT_EQ(packed.words()[2], 0u);  // guard
+  EXPECT_EQ(packed.popcount(), 70u);
+}
+
+TEST(BitPlane, EqualityComparesContent) {
+  const std::vector<std::uint32_t> plane = random_plane(200, 0.4, 42);
+  const BitPlane a = BitPlane::pack(plane);
+  const BitPlane b = BitPlane::pack(plane);
+  EXPECT_EQ(a, b);
+  BitPlane c = BitPlane::pack(plane);
+  c.set(123, !c.test(123));
+  EXPECT_NE(a, c);
+}
+
+TEST(BitPlane, ScratchLeaseReusesCapacityAcrossLeases) {
+  const std::uint64_t* first_data = nullptr;
+  {
+    ScratchLease<std::uint64_t> lease(256);
+    ASSERT_EQ(lease.size(), 256u);
+    first_data = lease.data();
+    lease.data()[0] = 7;
+    lease.data()[255] = 9;
+  }
+  {
+    // Same-thread re-lease of no larger a buffer returns the pooled
+    // allocation — the zero-steady-state-allocation contract.
+    ScratchLease<std::uint64_t> lease(128);
+    EXPECT_EQ(lease.data(), first_data);
+    EXPECT_EQ(lease.size(), 128u);
+  }
+}
+
+TEST(BitPlane, ScratchLeaseGrowsWhenAskedForMore) {
+  {
+    ScratchLease<std::uint32_t> lease(8);
+    lease.data()[7] = 1;
+  }
+  ScratchLease<std::uint32_t> lease(1 << 16);
+  EXPECT_EQ(lease.size(), std::size_t{1} << 16);
+  lease.data()[(1 << 16) - 1] = 1;  // must be addressable
+}
+
+}  // namespace
+}  // namespace gcalib::gca

@@ -10,9 +10,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/cc_solver.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "gca/execution.hpp"
 #include "graph/cc_baselines.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/generators.hpp"
 
 namespace gcalib::core {
@@ -142,6 +144,61 @@ TEST(Cancel, SteadyDeadlineClampsZeroBudget) {
   const std::int64_t now = gca::steady_now_ns();
   EXPECT_GT(gca::steady_deadline_ns(0), now - 1);
   EXPECT_LE(gca::steady_deadline_ns(0), gca::steady_now_ns() + 1'000'000);
+}
+
+/// One hub, a million spokes: the worst case for the CSR sweep's stop
+/// polling, because a single vertex's neighbour scan is a million arcs.
+graph::CsrGraph star_graph(NodeId spokes) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(spokes);
+  for (NodeId v = 1; v <= spokes; ++v) edges.push_back({0, v});
+  return graph::CsrGraph::from_edges(spokes + 1, edges);
+}
+
+TEST(Cancel, StarGraphCancelLatencyIsEdgeBounded) {
+  // The hook sweep's poll budget counts *edges*, not vertices: a tripped
+  // token aborts within ~one poll stride of arcs even mid-scan of the hub.
+  // A per-vertex counter (the pre-fix behaviour) would scan all million
+  // hub arcs — and thousands of spoke vertices after them — before the
+  // first poll, making cancel latency proportional to the largest degree.
+  const graph::CsrGraph star = star_graph(1'000'000);
+  gca::CancelToken token;
+  token.request_cancel();
+  RunOptions options;
+  options.instrument = false;
+  options.cancel = &token;
+  const QueryOutcome outcome =
+      sparse_cc_solver().try_solve(SolverInput(star), options);
+  EXPECT_EQ(outcome.status.code, StatusCode::kCancelled);
+  EXPECT_LT(outcome.elapsed_ns, 250'000'000)
+      << "pre-tripped cancel should abort within one poll stride of arcs";
+}
+
+TEST(Cancel, StarGraphDeadlineExpiresMidNeighborScan) {
+  // With a 1 ms budget the deadline trips inside the hub's arc scan; the
+  // edge-grained poll notices within a stride instead of after the scan.
+  const graph::CsrGraph star = star_graph(1'000'000);
+  RunOptions options;
+  options.instrument = false;
+  options.deadline_ms = 1;
+  const QueryOutcome outcome =
+      sparse_cc_solver().try_solve(SolverInput(star), options);
+  EXPECT_EQ(outcome.status.code, StatusCode::kDeadlineExceeded);
+  EXPECT_LT(outcome.elapsed_ns, 250'000'000)
+      << "deadline latency must be edge-bounded, not degree-bounded";
+}
+
+TEST(Cancel, StarGraphSolvesCleanlyWithoutStopSignals) {
+  // The unarmed loop carries no poll counter; make sure the split paths
+  // agree on the labeling.
+  const graph::CsrGraph star = star_graph(10'000);
+  RunOptions options;
+  options.instrument = false;
+  const QueryOutcome outcome =
+      sparse_cc_solver().try_solve(SolverInput(star), options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.message;
+  EXPECT_EQ(outcome.result.components, 1u);
+  for (const NodeId label : outcome.result.labels) EXPECT_EQ(label, 0u);
 }
 
 }  // namespace

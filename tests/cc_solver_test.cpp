@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,33 @@ TEST(AutoSubstrate, SparseOrLargeGraphsRouteToCsr) {
   EXPECT_EQ(auto_substrate(513, 513 * 512 / 2), gca::SubstrateMode::kSparseCsr);
   EXPECT_EQ(auto_substrate(1'000'000, 1'000'000),
             gca::SubstrateMode::kSparseCsr);
+}
+
+TEST(AutoSubstrate, DensityBoundaryIsExactAtTheLargestDenseN) {
+  // n = 512 is the last field-eligible size; the density bar there is
+  // m >= ceil(512^2 / 8) = 32768.  One edge either side must flip the
+  // routing — the boundary the overflow-prone `8 * m` form also got right,
+  // pinned so the divided form cannot drift off by one.
+  EXPECT_EQ(auto_substrate(512, 32768), gca::SubstrateMode::kDense);
+  EXPECT_EQ(auto_substrate(512, 32767), gca::SubstrateMode::kSparseCsr);
+  // n = 511 (odd n^2 = 261121): ceil(261121 / 8) = 32641.
+  EXPECT_EQ(auto_substrate(511, 32641), gca::SubstrateMode::kDense);
+  EXPECT_EQ(auto_substrate(511, 32640), gca::SubstrateMode::kSparseCsr);
+  // One node past the size bar routes to CSR regardless of density.
+  EXPECT_EQ(auto_substrate(513, 32768), gca::SubstrateMode::kSparseCsr);
+}
+
+TEST(AutoSubstrate, HugeEdgeCountsDoNotOverflowTheDensityTest) {
+  // m near SIZE_MAX (a legal multigraph count) wrapped the pre-fix
+  // `8 * m >= n * n` comparison to a tiny number, misrouting the densest
+  // possible inputs to CSR.  The divided form must keep them on the field.
+  constexpr std::size_t huge = std::size_t{1} << 61;  // 8 * huge wraps to 0
+  EXPECT_EQ(auto_substrate(512, huge), gca::SubstrateMode::kDense);
+  EXPECT_EQ(auto_substrate(16, huge), gca::SubstrateMode::kDense);
+  EXPECT_EQ(auto_substrate(512, std::numeric_limits<std::size_t>::max()),
+            gca::SubstrateMode::kDense);
+  // The size bar still wins over any density.
+  EXPECT_EQ(auto_substrate(513, huge), gca::SubstrateMode::kSparseCsr);
 }
 
 TEST(AutoSubstrate, DenseOnlyHooksPinAutoRoutingToTheField) {

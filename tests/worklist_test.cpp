@@ -1,0 +1,111 @@
+// Worklist invariants: ascending enumeration and bitset extraction
+// (DESIGN.md §13).
+#include "gca/worklist.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "gca/execution.hpp"
+
+namespace gcalib::gca {
+namespace {
+
+TEST(Worklist, StartsEmpty) {
+  const Worklist list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(Worklist, PushBackKeepsAscendingOrder) {
+  Worklist list;
+  list.push_back(3);
+  list.push_back(5);
+  list.push_back(100);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.max_index(), 100u);
+  const std::vector<std::uint32_t> expected{3, 5, 100};
+  EXPECT_EQ(list.indices(), expected);
+}
+
+TEST(Worklist, AssignFromBitsYieldsAscendingIndices) {
+  // Bits straddling word boundaries extract lowest-first per word, words in
+  // order — ascending by construction.
+  std::vector<std::uint64_t> words(3, 0);
+  const std::vector<std::uint32_t> expected{0, 17, 63, 64, 100, 128, 190};
+  for (const std::uint32_t i : expected) {
+    words[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  Worklist list;
+  list.assign_from_bits(words.data(), words.size());
+  EXPECT_EQ(list.indices(), expected);
+  EXPECT_EQ(list.max_index(), 190u);
+}
+
+TEST(Worklist, AssignFromBitsClearsPreviousContent) {
+  Worklist list;
+  list.push_back(7);
+  const std::uint64_t word = 0b1010;  // bits 1 and 3
+  list.assign_from_bits(&word, 1);
+  const std::vector<std::uint32_t> expected{1, 3};
+  EXPECT_EQ(list.indices(), expected);
+}
+
+TEST(Worklist, RandomBitsetRoundTrip) {
+  // Property: assign_from_bits enumerates exactly the set bits, ascending.
+  Xoshiro256 rng(2026);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint64_t> words(8, 0);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < 8 * 64; ++i) {
+      if (rng.bernoulli(0.2)) {
+        words[i / 64] |= std::uint64_t{1} << (i % 64);
+        expected.push_back(i);
+      }
+    }
+    Worklist list;
+    list.assign_from_bits(words.data(), words.size());
+    ASSERT_EQ(list.indices(), expected) << "trial " << trial;
+  }
+}
+
+TEST(Worklist, MatchesActiveRegionEnumeration) {
+  // A worklist built from a strided region's bitmap must enumerate the
+  // same indices in the same order as ActiveRegion::for_each — the
+  // bit-identity contract between worklist and window dispatch.
+  const std::size_t n = 37;
+  for (const std::size_t offset : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const ActiveRegion region{0, n, 0, offset < n ? n - offset : 0,
+                              2 * offset, n};
+    std::vector<std::uint64_t> bits((n * n + 63) / 64, 0);
+    region.for_each(0, region.count(), [&bits](std::size_t i) {
+      bits[i / 64] |= std::uint64_t{1} << (i % 64);
+    });
+    Worklist list;
+    list.assign_from_bits(bits.data(), bits.size());
+    std::vector<std::uint32_t> expected;
+    region.for_each(0, region.count(), [&expected](std::size_t i) {
+      expected.push_back(static_cast<std::uint32_t>(i));
+    });
+    ASSERT_EQ(list.indices(), expected) << "offset " << offset;
+    ASSERT_EQ(list.size(), region.count());
+  }
+}
+
+TEST(Worklist, NonAscendingPushIsRejected) {
+  Worklist list;
+  list.push_back(10);
+  EXPECT_THROW(list.push_back(10), ContractViolation);
+  EXPECT_THROW(list.push_back(4), ContractViolation);
+}
+
+TEST(Worklist, MaxIndexOnEmptyListIsRejected) {
+  const Worklist list;
+  EXPECT_THROW((void)list.max_index(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace gcalib::gca
