@@ -27,24 +27,37 @@
 // message on hosts whose auto pick *is* scalar — the ratio is 1 by
 // construction there.
 //
+// Gate 4 (parallel sparse): at n >= 262144 on a CSR-native random graph,
+// the concurrent CAS-min labeling path (DESIGN.md §14) at 8 threads must
+// be at least 2.5x faster than the sequential sparse solve.  The gate is
+// only *enforced* on hosts with >= 8 hardware threads; with 2–7 the ratio
+// is measured and printed informationally (lane oversubscription makes
+// 2.5x unreachable), and below 2 the measurement itself is meaningless so
+// the gate is skipped with an explicit reason — mirroring Gate 3's
+// scalar-host skip.
+//
 // Wired into scripts/check.sh as the "perf-smoke" phase; this is a coarse
 // tripwire (median-of-k, generous margins), not a benchmark —
 // scripts/bench_engine.sh and scripts/bench_substrate.sh measure the real
 // speedups.
 //
-//   $ ./perf_smoke              # n = 128, median of 3, substrate n = 2048
-//   $ ./perf_smoke 256 5 4096   # custom sizes / repetitions
+//   $ ./perf_smoke                     # n = 128, median of 3,
+//                                      # substrate n = 2048, parallel n = 262144
+//   $ ./perf_smoke 256 5 4096 524288   # custom sizes / repetitions
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "core/cc_solver.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "gca/execution.hpp"
 #include "gca/kernel_registry.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/generators.hpp"
 
 namespace {
@@ -89,6 +102,39 @@ double substrate_ms(const gcalib::core::CcSolver& solver,
         solver.solve(gcalib::core::SolverInput(g), options);
     if (result.labels.empty()) std::abort();  // keep the run observable
   });
+}
+
+double sparse_solve_ms(const gcalib::graph::CsrGraph& csr, unsigned threads,
+                       int reps) {
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.threads = threads;
+  options.policy = threads > 1 ? gcalib::gca::ExecutionPolicy::kPool
+                               : gcalib::gca::ExecutionPolicy::kSequential;
+  const gcalib::core::SolverInput input(csr);
+  return median_ms(reps, [&] {
+    const gcalib::core::QueryResult result =
+        gcalib::core::sparse_cc_solver().solve(input, options);
+    if (result.labels.empty()) std::abort();  // keep the run observable
+  });
+}
+
+/// Random m-edge graph sampled straight into CSR form — the gate-4 input
+/// never materialises a dense representation (n^2 bits at n = 262144 is
+/// 8 GiB).
+gcalib::graph::CsrGraph sample_csr(gcalib::graph::NodeId n,
+                                   std::size_t target_edges,
+                                   std::uint64_t seed) {
+  gcalib::Xoshiro256 rng(seed);
+  std::vector<gcalib::graph::Edge> edges;
+  edges.reserve(target_edges);
+  for (std::size_t i = 0; i < target_edges; ++i) {
+    const auto u = static_cast<gcalib::graph::NodeId>(rng() % n);
+    const auto v = static_cast<gcalib::graph::NodeId>(rng() % n);
+    if (u == v) continue;
+    edges.push_back({u, v});
+  }
+  return gcalib::graph::CsrGraph::from_edges(n, edges);
 }
 
 }  // namespace
@@ -177,6 +223,46 @@ int main(int argc, char** argv) {
                    "%.3f ms)\n",
                    gcalib::gca::to_string(resolved), speedup, kernel_n,
                    scalar_ms, auto_ms);
+      return 1;
+    }
+  }
+
+  // Gate 4: parallel sparse — the concurrent CAS-min path at 8 threads vs
+  // the sequential sparse solve on a CSR-native graph (DESIGN.md §14).
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  if (hardware_threads < 2) {
+    std::printf(
+        "perf-smoke: parallel sparse gate skipped — host reports %u hardware "
+        "thread(s); a parallel speedup cannot be measured with fewer than 2\n",
+        hardware_threads);
+  } else {
+    const auto parallel_n = static_cast<gcalib::graph::NodeId>(
+        argc > 4 ? std::stoul(argv[4]) : 262'144);
+    constexpr unsigned kGateThreads = 8;
+    constexpr double kRequiredSpeedup = 2.5;
+    const gcalib::graph::CsrGraph csr =
+        sample_csr(parallel_n, 2 * static_cast<std::size_t>(parallel_n), 1);
+    const double seq_ms = sparse_solve_ms(csr, 1, reps);
+    const double par_ms = sparse_solve_ms(csr, kGateThreads, reps);
+    const double speedup = par_ms > 0.0 ? seq_ms / par_ms : 0.0;
+    std::printf("perf-smoke: parallel sparse gate at n=%u (m=%zu, x%u)\n",
+                csr.node_count(), csr.edge_count(), kGateThreads);
+    std::printf("  sparse seq: %10.3f ms\n", seq_ms);
+    std::printf("  sparse x%u: %10.3f ms (%.2fx)\n", kGateThreads, par_ms,
+                speedup);
+    if (hardware_threads < kGateThreads) {
+      std::printf(
+          "perf-smoke: parallel sparse gate measured informationally — host "
+          "has %u hardware threads; the %.1fx floor is only enforced with "
+          ">= %u\n",
+          hardware_threads, kRequiredSpeedup, kGateThreads);
+    } else if (speedup < kRequiredSpeedup) {
+      std::fprintf(stderr,
+                   "perf-smoke FAILED: parallel sparse solve is only %.2fx "
+                   "faster than sequential at n=%u (required: >= %.1fx; seq "
+                   "%.3f ms, x%u %.3f ms)\n",
+                   speedup, csr.node_count(), kRequiredSpeedup, seq_ms,
+                   kGateThreads, par_ms);
       return 1;
     }
   }

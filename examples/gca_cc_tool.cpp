@@ -108,6 +108,7 @@ LabelingOutcome run_gca_sparse(const graph::Graph& g,
   options.sweep = engine.sweep;
   options.substrate = gca::SubstrateMode::kSparseCsr;
   options.kernels = engine.kernels;
+  options.sparse_mode = engine.sparse_mode;
   options.instrument = engine.instrumentation;
   options.sink = trace;
   options.deadline_ms = exec.deadline_ms;

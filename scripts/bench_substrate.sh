@@ -12,14 +12,17 @@
 #
 # Usage: scripts/bench_substrate.sh [output.json]
 #   BUILD_DIR=build-foo scripts/bench_substrate.sh    # non-default tree
-#   MAX_EDGES=65536 THREADS=2 scripts/bench_substrate.sh  # lighter run
+#   MAX_EDGES=65536 THREADS=1,2 scripts/bench_substrate.sh  # lighter run
+#
+# THREADS is a comma list: every rung is timed at each count (1 = the
+# synchronous reference the per-thread speedup columns divide by).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-bench}
 OUT=${1:-BENCH_substrate.json}
 MAX_EDGES=${MAX_EDGES:-1000000}
-THREADS=${THREADS:-4}
+THREADS=${THREADS:-1,2,4,8}
 REPS=${REPS:-3}
 
 if [ ! -d "$BUILD_DIR" ]; then

@@ -8,6 +8,7 @@
 #   scripts/check.sh thread     # TSan (exercises the parallel sweep)
 #   scripts/check.sh address -R fault   # extra args go to ctest
 #   SKIP_PERF_SMOKE=1 scripts/check.sh  # skip the perf guardrail
+#   SKIP_TSAN_SMOKE=1 scripts/check.sh  # skip the TSan concurrent-mode pass
 #   SKIP_CRASH_SMOKE=1 scripts/check.sh # skip the SIGKILL-resume smoke
 #   SKIP_SOAK_SMOKE=1 scripts/check.sh  # skip the gcad fault/kill soak
 set -euo pipefail
@@ -37,7 +38,7 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # seconds.  (Skipped when the caller passes its own ctest selection.)
 if [ "$#" -eq 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status|Substrate|CcSolver|CsrGraph|AutoSubstrate|SolverInput|Runner|Kernel|BitPlane|Worklist)[A-Za-z]*\.'
+    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status|Substrate|Sparse|CcSolver|CsrGraph|AutoSubstrate|SolverInput|Runner|Kernel|BitPlane|Worklist)[A-Za-z]*\.'
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
@@ -51,12 +52,33 @@ if [ "$#" -eq 0 ]; then
     -j"$JOBS" -R '^KernelRegistry[A-Za-z]*\.'
 fi
 
+# TSan fast-fail over the concurrent labeling paths: the CAS-min sparse
+# modes (DESIGN.md §14) are the code most likely to hide a data race, so an
+# address-sanitizer run still gives them one ThreadSanitizer pass from a
+# dedicated build-thread tree.  Only sparse_mode_test is built there — the
+# full suite under TSan is the explicit `scripts/check.sh thread` run, and
+# when that is already this run the extra pass would be redundant.
+if [ "${SKIP_TSAN_SMOKE:-0}" != "1" ] && [ "$SANITIZER" != "thread" ] \
+   && [ "$#" -eq 0 ]; then
+  TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-thread}"
+  cmake -B "$TSAN_BUILD_DIR" -S . \
+    -DGCALIB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$TSAN_BUILD_DIR" --target sparse_mode_test -j"$JOBS"
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$JOBS" \
+    -R '^(SparseMode|SparseAsync)[A-Za-z]*\.'
+  echo "tsan smoke: OK (concurrent sparse modes are race-clean)"
+fi
+
 # Perf smoke: timing under a sanitizer is meaningless, so this builds the
 # guardrail from a plain Release tree (shared with bench_engine.sh) and
 # fails if the sparse sweep regresses to >10% slower than dense at n = 128,
 # if the CSR substrate loses its >=10x edge over the dense field at
-# n = 2048 (DESIGN.md §12), or if the auto-dispatched kernel table loses
-# its >=2.5x edge over the scalar reference at n = 256 (DESIGN.md §13).
+# n = 2048 (DESIGN.md §12), if the auto-dispatched kernel table loses
+# its >=2.5x edge over the scalar reference at n = 256 (DESIGN.md §13), or
+# if the concurrent CAS-min path at 8 threads loses its >=2.5x edge over
+# the sequential sparse solve at n = 262144 (DESIGN.md §14; enforced only
+# on hosts with >= 8 hardware threads).
 if [ "${SKIP_PERF_SMOKE:-0}" != "1" ]; then
   PERF_BUILD_DIR="${PERF_BUILD_DIR:-build-bench}"
   if [ ! -d "$PERF_BUILD_DIR" ]; then

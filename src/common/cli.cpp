@@ -103,6 +103,7 @@ std::map<std::string, bool> with_engine_flags(
   spec.emplace("policy", true);
   spec.emplace("sweep", true);
   spec.emplace("substrate", true);
+  spec.emplace("sparse-mode", true);
   spec.emplace("kernels", true);
   spec.emplace("no-instrumentation", false);
   spec.emplace("record-access", false);
@@ -124,6 +125,7 @@ EngineFlags engine_flags(const CliArgs& args) {
   flags.policy = args.get_string("policy", flags.policy);
   flags.sweep = args.get_string("sweep", flags.sweep);
   flags.substrate = args.get_string("substrate", flags.substrate);
+  flags.sparse_mode = args.get_string("sparse-mode", flags.sparse_mode);
   flags.kernels = args.get_string("kernels", flags.kernels);
   flags.instrumentation = !args.has("no-instrumentation");
   flags.record_access = args.has("record-access");

@@ -54,6 +54,12 @@ namespace cli {
 ///                          which solver substrate a query runs on — the
 ///                          paper's cell field or the CSR label-propagation
 ///                          engine (DESIGN.md §12)
+///   --sparse-mode NAME     sync | async | auto (default "auto"): the CSR
+///                          substrate's generation loop — double-buffered
+///                          synchronous sweeps (the golden reference) or
+///                          concurrent CAS-min label propagation with
+///                          frontier worklists; auto picks async whenever
+///                          the sweep is parallel (DESIGN.md §14)
 ///   --no-instrumentation   disable per-step congestion statistics
 ///   --record-access        record individual (reader, target) access edges
 ///                          (requires an effectively sequential sweep)
@@ -64,9 +70,10 @@ namespace cli {
 ///   --checkpoint-dir DIR   durable checkpoints: resume from an intact
 ///                          checkpoint found in DIR and keep it current
 ///   --retries N            re-attempts after a detected-corruption failure
-/// The policy, sweep mode, substrate and kernel variant are carried as
-/// their spelled names; convert with gca::parse_execution_policy /
-/// gca::parse_sweep_mode / gca::parse_substrate_mode /
+/// The policy, sweep mode, substrate, sparse mode and kernel variant are
+/// carried as their spelled names; convert with
+/// gca::parse_execution_policy / gca::parse_sweep_mode /
+/// gca::parse_substrate_mode / gca::parse_sparse_mode /
 /// gca::parse_kernel_variant (or build validated engine options with
 /// gca::options_from_flags) at the point of use — common/ stays below gca/
 /// in the layering.
@@ -75,6 +82,7 @@ struct EngineFlags {
   std::string policy = "pool";
   std::string sweep = "sparse";
   std::string substrate = "auto";
+  std::string sparse_mode = "auto";
   std::string kernels = "auto";
   bool instrumentation = true;
   bool record_access = false;

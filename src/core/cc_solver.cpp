@@ -1,5 +1,6 @@
 #include "core/cc_solver.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -66,10 +67,34 @@ gca::SubstrateMode auto_substrate(graph::NodeId n, std::size_t m) {
   return gca::SubstrateMode::kSparseCsr;
 }
 
+gca::SubstrateMode auto_substrate(graph::NodeId n, std::size_t m,
+                                  unsigned threads) {
+  if (n == 0) return gca::SubstrateMode::kDense;
+  // The parallel CSR path divides its solve time by roughly the effective
+  // parallelism p = 1 + (threads - 1) / 2, so dense has to be p times as
+  // profitable before it wins the routing.  n <= 512 bounds the product:
+  // ceil(n^2 / 8) <= 32768, far from std::size_t overflow at any thread
+  // count.
+  const std::size_t parallelism =
+      1 + (std::size_t{std::max(threads, 1u)} - 1) / 2;
+  if (n <= 512 && m >= parallelism * ((std::size_t{n} * n + 7) / 8)) {
+    return gca::SubstrateMode::kDense;
+  }
+  return gca::SubstrateMode::kSparseCsr;
+}
+
 gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
                                      graph::NodeId n, std::size_t m) {
   return requested == gca::SubstrateMode::kAuto ? auto_substrate(n, m)
                                                 : requested;
+}
+
+gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
+                                     graph::NodeId n, std::size_t m,
+                                     unsigned threads) {
+  return requested == gca::SubstrateMode::kAuto
+             ? auto_substrate(n, m, threads)
+             : requested;
 }
 
 bool requires_dense_machine(const RunOptions& options) {

@@ -147,11 +147,28 @@ class CcSolver {
 [[nodiscard]] gca::SubstrateMode auto_substrate(graph::NodeId n,
                                                 std::size_t m);
 
+/// Thread-aware routing: a query that sweeps with `threads` lanes runs the
+/// CSR substrate's concurrent CAS-min path, whose solve time divides by
+/// roughly the effective parallelism 1 + (threads - 1) / 2 (half-efficient
+/// scaling — the conservative end of the measured speedups, DESIGN.md
+/// §14).  The dense-wins window shrinks by that factor: dense iff
+/// n <= 512 and m >= p * ceil(n^2 / 8).  `threads = 1` is exactly the
+/// two-argument heuristic.
+[[nodiscard]] gca::SubstrateMode auto_substrate(graph::NodeId n,
+                                                std::size_t m,
+                                                unsigned threads);
+
 /// Resolves a requested mode against a concrete query: kAuto applies
 /// `auto_substrate(n, m)`, anything else is returned unchanged.
 [[nodiscard]] gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
                                                    graph::NodeId n,
                                                    std::size_t m);
+
+/// Thread-aware resolve: kAuto applies `auto_substrate(n, m, threads)`.
+[[nodiscard]] gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
+                                                   graph::NodeId n,
+                                                   std::size_t m,
+                                                   unsigned threads);
 
 /// True when the options carry hooks only the dense machine implements —
 /// fault injection / detection callbacks, the in-memory recovery ladder,

@@ -178,6 +178,20 @@ struct RunOptions {
   /// kernels are enabled at all (sparse sweep, no instrumentation); every
   /// variant is bit-identical to the scalar reference.
   gca::KernelVariant kernels = gca::KernelVariant::kAuto;
+  /// Generation-loop discipline of the CSR substrate (ignored by the dense
+  /// cell-field machine): kSync double-buffers labels and is the
+  /// bit-identical golden reference; kAsync runs concurrent CAS-min label
+  /// propagation with active-frontier worklists; kAuto picks async exactly
+  /// when the sweep is parallel (threads > 1 and a parallel policy).  Both
+  /// modes converge to the same canonical min-id labeling (DESIGN.md §14).
+  gca::SparseMode sparse_mode = gca::SparseMode::kAuto;
+  /// Frontier/dense crossover for the async CSR path: a round sweeps only
+  /// the active worklist while the frontier holds at most this fraction of
+  /// the vertices, and falls back to a full sweep above it (building a
+  /// worklist that names most of the graph costs more than it saves).
+  /// 0 disables worklists entirely (every async round sweeps densely);
+  /// values are clamped to [0, 1].  Ignored in sync mode.
+  double sparse_frontier = 0.35;
   /// Paranoid mode: validates machine invariants after every outer
   /// iteration (labels are node ids, component count never increases) and
   /// the final labeling against a sequential oracle.  Throws

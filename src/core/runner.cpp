@@ -29,8 +29,12 @@ QueryResult solve_query(const SolverInput& input,
       requires_dense_machine(run_options)) {
     requested = gca::SubstrateMode::kDense;
   }
+  // Thread-aware routing: with a parallel sweep the CSR substrate gets the
+  // concurrent CAS-min path, so its effective cost shrinks with the lane
+  // count and the dense window narrows accordingly.
   const gca::SubstrateMode resolved =
-      resolve_substrate(requested, input.node_count(), input.edge_count());
+      resolve_substrate(requested, input.node_count(), input.edge_count(),
+                        run_options.threads);
   return cc_solver_for(resolved).solve(input, run_options);
 }
 
@@ -157,38 +161,44 @@ QueryOutcome Runner::attempt_query(const SolverInput& input, std::size_t index,
 }
 
 QueryOutcome Runner::try_solve(const graph::Graph& g) const {
-  RunOptions run_options;
-  run_options.instrument = options_.instrument;
-  run_options.threads = options_.threads;
-  run_options.policy = options_.policy;
-  run_options.sweep = options_.sweep;
-  run_options.kernels = options_.kernels;
-  run_options.sink = options_.sink;
-  run_options.deadline_ms = options_.deadline_ms;
-  run_options.cancel = options_.cancel;
-  return attempt_query(SolverInput(g), 0, run_options);
+  return attempt_query(SolverInput(g), 0, single_query_options());
 }
 
 QueryOutcome Runner::try_solve(const graph::CsrGraph& g) const {
+  return attempt_query(SolverInput(g), 0, single_query_options());
+}
+
+RunOptions Runner::single_query_options() const {
   RunOptions run_options;
   run_options.instrument = options_.instrument;
   run_options.threads = options_.threads;
   run_options.policy = options_.policy;
   run_options.sweep = options_.sweep;
   run_options.kernels = options_.kernels;
+  run_options.sparse_mode = options_.sparse_mode;
   run_options.sink = options_.sink;
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
-  return attempt_query(SolverInput(g), 0, run_options);
+  return run_options;
 }
 
 std::vector<QueryOutcome> Runner::solve_batch(
     const std::vector<graph::Graph>& graphs) const {
   std::vector<QueryOutcome> outcomes(graphs.size());
+  if (graphs.size() == 1) {
+    // A one-query batch has no sibling queries to parallelise across —
+    // sequentialising it would leave every lane but one idle.  Give the
+    // lone query the full thread budget (and with it the async sparse
+    // path), exactly like the single-shot API.
+    outcomes[0] = attempt_query(SolverInput(graphs[0]), 0,
+                                single_query_options());
+    return outcomes;
+  }
   RunOptions run_options;
   run_options.instrument = options_.instrument;
   run_options.sweep = options_.sweep;
   run_options.kernels = options_.kernels;
+  run_options.sparse_mode = options_.sparse_mode;
   run_options.sink = options_.sink;  // thread-safe sink; lanes push concurrently
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
@@ -232,6 +242,7 @@ RunnerOptions runner_options_from_flags(const cli::RunnerFlags& flags) {
   options.sweep = engine.sweep;
   options.substrate = engine.substrate;
   options.kernels = engine.kernels;
+  options.sparse_mode = engine.sparse_mode;
   options.instrument = engine.instrumentation;
   options.deadline_ms = flags.engine.deadline_ms;
   options.retries = flags.engine.retries;

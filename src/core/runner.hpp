@@ -74,6 +74,12 @@ struct RunnerOptions {
   /// `scalar` pins the golden reference the SIMD tables are checked
   /// against.  Labelings are bit-identical across variants.
   gca::KernelVariant kernels = gca::KernelVariant::kAuto;
+  /// Generation-loop discipline for queries routed to the CSR substrate
+  /// (DESIGN.md §14): kSync pins the double-buffered reference, kAsync the
+  /// concurrent CAS-min path, kAuto (the default) picks async exactly when
+  /// the query sweeps in parallel.  The converged labeling is identical
+  /// either way.
+  gca::SparseMode sparse_mode = gca::SparseMode::kAuto;
   bool instrument = false;  ///< collect per-step statistics per query
   /// Metrics sink shared by every query (non-owning; nullptr = no tracing).
   /// `solve_batch` pushes steps from all pool lanes concurrently, so the
@@ -150,6 +156,9 @@ class Runner {
   [[nodiscard]] QueryOutcome attempt_query(const SolverInput& input,
                                            std::size_t index,
                                            const RunOptions& base) const;
+  /// RunOptions for a lone query: the full thread budget, policy and
+  /// sparse mode (a single query has the whole pool to itself).
+  [[nodiscard]] RunOptions single_query_options() const;
   [[nodiscard]] QueryResult unwrap(QueryOutcome outcome) const;
 
   RunnerOptions options_;

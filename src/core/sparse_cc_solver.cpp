@@ -1,6 +1,7 @@
 #include "core/sparse_cc_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <memory>
@@ -10,9 +11,11 @@
 
 #include "common/assert.hpp"
 #include "core/hirschberg_gca.hpp"
+#include "gca/bitplane.hpp"
 #include "gca/cancel.hpp"
 #include "gca/metrics.hpp"
 #include "gca/thread_pool.hpp"
+#include "gca/worklist.hpp"
 #include "graph/union_find.hpp"
 
 namespace gcalib::core {
@@ -21,10 +24,15 @@ namespace {
 
 using graph::NodeId;
 
-/// Vertices between stop polls — the same grain as the engine's chunk
+/// Work items between stop polls — the same grain as the engine's chunk
 /// boundaries: a tripped token or expired deadline aborts within a few
-/// thousand cells of work, always *before* the double-buffer commit.
+/// thousand cells of work, always *before* a result is published.
 constexpr std::size_t kStopPollStride = 4096;
+
+/// Worklist entries a lane claims per cursor bump.  Small enough that a
+/// handful of high-degree vertices cannot serialise the sweep behind one
+/// lane, large enough that the cursor's cache line is not contended.
+constexpr std::size_t kWorklistChunk = 256;
 
 struct StopState {
   const gca::CancelToken* cancel = nullptr;
@@ -43,11 +51,36 @@ struct StopState {
   }
 };
 
-/// Runs `body(lane, begin, end)` over a deterministic contiguous partition
-/// of [0, n) on the configured backend and returns the summed per-lane
-/// results (the sweep's active-cell count).  The partition is fixed by
-/// (n, lanes) alone and every sweep writes only its own `next` slots, so
-/// results are bit-identical across backends and lane counts.
+/// Per-lane tallies, one cache line each: lanes bump their own counters in
+/// the hot loop without ever invalidating a sibling's line (a shared
+/// atomic counter serialises every lane behind one line's ownership).
+struct alignas(64) LaneTally {
+  std::size_t changes = 0;
+  std::size_t reads = 0;
+};
+
+/// Tree-style (pairwise, stride-doubling) reduction of the per-lane
+/// tallies after the dispatch barrier: log2(lanes) combining rounds, the
+/// PRAM reduction shape, instead of a serial left fold.  With the lane
+/// counts in play the arithmetic difference is negligible — the point is
+/// that no sweep ever funnels its convergence decision through a single
+/// shared accumulator.
+std::size_t reduce_changes(std::vector<LaneTally>& tallies) {
+  const std::size_t lanes = tallies.size();
+  for (std::size_t stride = 1; stride < lanes; stride *= 2) {
+    for (std::size_t i = 0; i + stride < lanes; i += 2 * stride) {
+      tallies[i].changes += tallies[i + stride].changes;
+      tallies[i].reads += tallies[i + stride].reads;
+    }
+  }
+  return tallies.empty() ? 0 : tallies[0].changes;
+}
+
+/// Runs per-lane bodies over the configured backend (sequential / spawn /
+/// persistent pool) with per-lane exception capture; the first captured
+/// exception is rethrown on the calling thread after all lanes joined.
+/// The pool's epoch handshake (and the spawn join) is the barrier that
+/// makes every lane's plain writes visible to the caller.
 class SweepBackend {
  public:
   SweepBackend(unsigned threads, gca::ExecutionPolicy policy, std::size_t n)
@@ -60,17 +93,19 @@ class SweepBackend {
     }
   }
 
-  template <typename Body>
-  std::size_t sweep(std::size_t n, const Body& body) const {
-    if (lanes_ <= 1 || n == 0) return body(0, 0, n);
-    const std::size_t chunk = (n + lanes_ - 1) / lanes_;
-    std::vector<std::size_t> active(lanes_, 0);
+  [[nodiscard]] unsigned lanes() const { return lanes_; }
+
+  /// Runs `fn(lane)` once per lane concurrently.
+  template <typename Fn>
+  void run(const Fn& fn) const {
+    if (lanes_ <= 1) {
+      fn(0u);
+      return;
+    }
     std::vector<std::exception_ptr> errors(lanes_);
     auto lane_fn = [&](unsigned lane) {
-      const std::size_t begin = std::min(n, std::size_t{lane} * chunk);
-      const std::size_t end = std::min(n, begin + chunk);
       try {
-        active[lane] = body(lane, begin, end);
+        fn(lane);
       } catch (...) {
         errors[lane] = std::current_exception();
       }
@@ -89,6 +124,42 @@ class SweepBackend {
     for (const std::exception_ptr& error : errors) {
       if (error) std::rethrow_exception(error);
     }
+  }
+
+  /// Runs `body(lane, begin, end)` over a deterministic contiguous
+  /// count-equal partition of [0, n) and returns the summed per-lane
+  /// results.  The partition is fixed by (n, lanes) alone and every sweep
+  /// writes only its own `next` slots, so results are bit-identical across
+  /// backends and lane counts.
+  template <typename Body>
+  std::size_t sweep(std::size_t n, const Body& body) const {
+    if (lanes_ <= 1 || n == 0) return body(0, 0, n);
+    const std::size_t chunk = (n + lanes_ - 1) / lanes_;
+    std::vector<std::size_t> active(lanes_, 0);
+    run([&](unsigned lane) {
+      const std::size_t begin = std::min(n, std::size_t{lane} * chunk);
+      const std::size_t end = std::min(n, begin + chunk);
+      active[lane] = body(lane, begin, end);
+    });
+    std::size_t total = 0;
+    for (const std::size_t a : active) total += a;
+    return total;
+  }
+
+  /// Like `sweep`, but over explicit vertex boundaries (lane k handles
+  /// [bounds[k], bounds[k+1])) — the arc-balanced partition that keeps
+  /// lanes loaded on skewed degree distributions.  A synchronous sweep is
+  /// a pure function of the previous buffer, so *which* valid partition is
+  /// used cannot change a single output bit.
+  template <typename Body>
+  std::size_t sweep_bounds(const std::vector<NodeId>& bounds,
+                           const Body& body) const {
+    GCALIB_ASSERT(bounds.size() == std::size_t{lanes_} + 1);
+    if (lanes_ <= 1) return body(0, bounds.front(), bounds.back());
+    std::vector<std::size_t> active(lanes_, 0);
+    run([&](unsigned lane) {
+      active[lane] = body(lane, bounds[lane], bounds[lane + 1]);
+    });
     std::size_t total = 0;
     for (const std::size_t a : active) total += a;
     return total;
@@ -169,31 +240,57 @@ struct SweepStats {
     }
     return stats;
   }
+
+  /// Async-round counters: cells_swept / active_cells / total_reads only.
+  /// Congestion histograms are a synchronous-reference notion — they
+  /// project *which cell was read how often in one generation*, and the
+  /// in-place concurrent sweep has no generation-consistent read set to
+  /// project (DESIGN.md §14).
+  [[nodiscard]] gca::GenerationStats async_stats(
+      std::uint64_t generation, const char* kind, unsigned round,
+      std::size_t cells_swept, std::size_t active_cells,
+      std::size_t total_reads) const {
+    gca::GenerationStats stats;
+    stats.generation = generation;
+    stats.label = std::string(kind) + "#" + std::to_string(round);
+    stats.cell_count = csr->node_count();
+    stats.cells_swept = cells_swept;
+    stats.active_cells = active_cells;
+    stats.total_reads = total_reads;
+    return stats;
+  }
 };
 
-}  // namespace
+/// Convergence guard: hooking + jump-to-fixpoint rounds are O(log n) (the
+/// same doubling argument as the paper's generations 3/7/10); blowing far
+/// past that bound means a library bug, not a hard input.
+unsigned round_guard(NodeId n, unsigned slack) {
+  unsigned log2n = 0;
+  while ((std::uint64_t{1} << (log2n + 1)) <= n && log2n < 31) ++log2n;
+  return 2 * (log2n + 2) + slack;
+}
 
-QueryResult SparseCcSolver::solve(const SolverInput& input,
-                                  const RunOptions& options) const {
-  QueryResult result;
-  const graph::CsrGraph& csr = input.csr();
+void self_check_labels(const graph::CsrGraph& csr, const QueryResult& result) {
   const NodeId n = csr.node_count();
-  if (n == 0) return result;
-
-  GCALIB_EXPECTS_MSG(options.threads >= 1,
-                     "sparse-csr: threads must be >= 1");
-  GCALIB_EXPECTS_MSG(
-      !(options.threads > 1 &&
-        options.policy == gca::ExecutionPolicy::kSequential),
-      "sparse-csr: threads > 1 requires a parallel policy (spawn or pool)");
-
-  StopState stop;
-  stop.cancel = options.cancel;
-  if (options.deadline_ms > 0) {
-    stop.deadline_ns = gca::steady_deadline_ns(options.deadline_ms);
+  graph::UnionFind oracle(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : csr.neighbors(u)) {
+      if (u < v) oracle.unite(u, v);
+    }
   }
+  GCALIB_ENSURES(result.labels == oracle.min_labels());
+  GCALIB_ENSURES(result.components == oracle.set_count());
+}
 
-  const SweepBackend backend(options.threads, options.policy, n);
+// ---------------------------------------------------------------------------
+// Synchronous mode — the double-buffered golden reference.
+// ---------------------------------------------------------------------------
+
+QueryResult solve_sync(const graph::CsrGraph& csr, const RunOptions& options,
+                       const StopState& stop, const SweepBackend& backend) {
+  QueryResult result;
+  const NodeId n = csr.node_count();
+
   SweepStats stats;
   stats.csr = &csr;
   stats.enabled = options.instrument || options.sink != nullptr;
@@ -275,18 +372,20 @@ QueryResult SparseCcSolver::solve(const SolverInput& input,
     return active;
   };
 
-  // Convergence guard: hooking + jump-to-fixpoint rounds are O(log n) (the
-  // same doubling argument as the paper's generations 3/7/10); blowing far
-  // past that bound means a library bug, not a hard input.
-  unsigned log2n = 0;
-  while ((std::uint64_t{1} << (log2n + 1)) <= n && log2n < 31) ++log2n;
-  const unsigned max_rounds = 2 * (log2n + 2) + 8;
+  // The hook sweep's cost per vertex is its degree, so lane boundaries
+  // come from the degree prefix (edge-balanced), not from the vertex
+  // count: a count-equal split of a star graph puts every arc in one
+  // lane.  The jump sweep is O(1) per vertex — count-equal is already
+  // balanced there.
+  const std::vector<NodeId> hook_bounds =
+      csr.edge_balanced_boundaries(backend.lanes());
 
+  const unsigned max_rounds = round_guard(n, 8);
   for (unsigned round = 0;; ++round) {
     GCALIB_ASSERT_MSG(round < max_rounds,
                       "sparse-csr: hook/jump rounds failed to converge");
     const std::int64_t hook_start = stats.timed ? gca::steady_now_ns() : 0;
-    const std::size_t hooked = backend.sweep(n, hook_body);
+    const std::size_t hooked = backend.sweep_bounds(hook_bounds, hook_body);
     cur.swap(next);
     const std::uint64_t generation = result.generations++;
     if (stats.enabled) emit(stats.hook_stats(generation, round, hooked),
@@ -317,17 +416,333 @@ QueryResult SparseCcSolver::solve(const SolverInput& input,
   for (NodeId v = 0; v < n; ++v) {
     if (result.labels[v] == v) ++result.components;
   }
+  return result;
+}
 
-  if (options.self_check) {
-    graph::UnionFind oracle(n);
-    for (NodeId u = 0; u < n; ++u) {
-      for (const NodeId v : csr.neighbors(u)) {
-        if (u < v) oracle.unite(u, v);
+// ---------------------------------------------------------------------------
+// Asynchronous mode — in-place concurrent CAS-min label propagation.
+// ---------------------------------------------------------------------------
+
+/// Lowers `slot` to at most `value`; returns true iff *this caller* made
+/// it smaller.  Relaxed ordering is sufficient: labels form a monotone
+/// non-increasing lattice where every stored value is the id of a
+/// same-component vertex, so a stale read can only delay a decrease, never
+/// un-make one, and the round barrier (pool epoch / thread join) orders
+/// rounds against each other (Liu–Tarjan; DESIGN.md §14).
+inline bool fetch_min(std::atomic<NodeId>& slot, NodeId value) {
+  NodeId cur = slot.load(std::memory_order_relaxed);
+  while (value < cur) {
+    if (slot.compare_exchange_weak(cur, value, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The async generation loop.  Per round:
+///
+///  * hook pass — CAS-min label propagation over the arcs: a full round
+///    partitions the *arc array* (not the vertex array) into count-equal
+///    lane ranges aligned to `CsrGraph::kLineVertices` arcs, so a hub
+///    vertex's row is split across lanes and star graphs stay balanced
+///    (splitting a row is safe precisely because the update is a CAS-min
+///    on the owner's label, not a private write);  a frontier round sweeps
+///    only the worklist of vertices whose label changed last round, lanes
+///    claiming `kWorklistChunk`-entry slices off a shared atomic cursor,
+///    and updates *both* endpoints of every arc it scans (so the changed
+///    vertex's neighbourhood is covered without materialising N(changed));
+///  * shortcut pass — full O(n) pointer jumping with root chase:
+///    label[v] <- root(label[v]), compressing label chains in one pass
+///    (labels satisfy label[x] <= x, so the chase is a strictly
+///    decreasing walk and always terminates).
+///
+/// Vertices whose label changed (in either pass) are recorded in per-lane
+/// leased bitsets (gca::ScratchLease — zero steady-state allocation) and
+/// merged into a shared atomic bitset with one fetch_or per non-zero word;
+/// the next round's worklist is built from that snapshot when the changed
+/// count is at or below `sparse_frontier * n`, and the round falls back to
+/// the full arc sweep above it.  Convergence: a round with zero changes in
+/// both passes is a global fixpoint — any still-violated arc (u, v) with
+/// label[u] < label[v] would require u's label to have changed after the
+/// last full sweep of that arc, which puts u in the current worklist, and
+/// u's row was just swept without effect.
+QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
+                        const StopState& stop, const SweepBackend& backend) {
+  QueryResult result;
+  const NodeId n = csr.node_count();
+  const std::vector<std::size_t>& offsets = csr.offsets();
+  const std::vector<NodeId>& arcs = csr.arcs();
+  const std::size_t arc_count = arcs.size();
+  const unsigned lanes = backend.lanes();
+
+  SweepStats stats;
+  stats.csr = &csr;
+  stats.enabled = options.instrument || options.sink != nullptr;
+  stats.timed = options.sink != nullptr;
+  const auto emit = [&](gca::GenerationStats&& sweep_stats,
+                        std::int64_t start_ns) {
+    if (stats.timed) {
+      sweep_stats.start_ns = static_cast<std::uint64_t>(start_ns);
+      sweep_stats.duration_ns =
+          static_cast<std::uint64_t>(gca::steady_now_ns() - start_ns);
+      options.sink->on_step(sweep_stats);
+    }
+    if (options.instrument) result.sweeps.push_back(std::move(sweep_stats));
+  };
+
+  // One atomic label slot per vertex, initialised before the first
+  // dispatch (the dispatch barrier publishes the stores to every lane).
+  std::unique_ptr<std::atomic<NodeId>[]> label(new std::atomic<NodeId>[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    label[v].store(v, std::memory_order_relaxed);
+  }
+
+  // Shared changed bitset (atomic words, fetch_or-merged from the per-lane
+  // leased bitsets) and its plain snapshot for worklist extraction.
+  const std::size_t word_count = (std::size_t{n} + 63) / 64;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> changed_bits(
+      new std::atomic<std::uint64_t>[word_count]);
+
+  // Arc-range lane boundaries for full hook rounds: count-equal over the
+  // arc array, rounded down to a kLineVertices-arc grain.
+  std::vector<std::size_t> arc_bounds(std::size_t{lanes} + 1, arc_count);
+  arc_bounds[0] = 0;
+  for (unsigned k = 1; k < lanes; ++k) {
+    std::size_t b = arc_count * k / lanes;
+    b -= b % graph::CsrGraph::kLineVertices;
+    arc_bounds[k] = std::max(arc_bounds[k - 1], std::min(b, arc_count));
+  }
+
+  const double fraction =
+      std::clamp(options.sparse_frontier, 0.0, 1.0);
+  const auto frontier_limit =
+      static_cast<std::size_t>(fraction * static_cast<double>(n));
+
+  std::vector<LaneTally> hook_tally(lanes);
+  std::vector<LaneTally> jump_tally(lanes);
+  gca::Worklist worklist;
+  bool use_worklist = false;  // round 0 must sweep every arc
+
+  const auto set_bit = [](std::uint64_t* words, NodeId v) {
+    words[v >> 6] |= std::uint64_t{1} << (v & 63);
+  };
+  const auto merge_bits = [&](const std::uint64_t* local) {
+    for (std::size_t w = 0; w < word_count; ++w) {
+      if (local[w] != 0) {
+        changed_bits[w].fetch_or(local[w], std::memory_order_relaxed);
       }
     }
-    GCALIB_ENSURES(result.labels == oracle.min_labels());
-    GCALIB_ENSURES(result.components == oracle.set_count());
+  };
+
+  const unsigned max_rounds = round_guard(n, 16);
+  for (unsigned round = 0;; ++round) {
+    GCALIB_ASSERT_MSG(round < max_rounds,
+                      "sparse-csr: async rounds failed to converge");
+    for (std::size_t w = 0; w < word_count; ++w) {
+      changed_bits[w].store(0, std::memory_order_relaxed);
+    }
+    for (LaneTally& t : hook_tally) t = {};
+    for (LaneTally& t : jump_tally) t = {};
+
+    // --- hook pass -------------------------------------------------------
+    const std::int64_t hook_start = stats.timed ? gca::steady_now_ns() : 0;
+    std::atomic<std::size_t> cursor{0};
+    if (use_worklist) {
+      const std::uint32_t* items = worklist.data();
+      const std::size_t item_count = worklist.size();
+      backend.run([&](unsigned lane) {
+        gca::ScratchLease<std::uint64_t> local(word_count);
+        std::fill_n(local.data(), word_count, std::uint64_t{0});
+        std::size_t changes = 0;
+        std::size_t reads = 0;
+        std::size_t budget = kStopPollStride;
+        for (std::size_t begin =
+                 cursor.fetch_add(kWorklistChunk, std::memory_order_relaxed);
+             begin < item_count;
+             begin =
+                 cursor.fetch_add(kWorklistChunk, std::memory_order_relaxed)) {
+          const std::size_t end =
+              std::min(item_count, begin + kWorklistChunk);
+          for (std::size_t i = begin; i < end; ++i) {
+            const NodeId v = items[i];
+            NodeId lv = label[v].load(std::memory_order_relaxed);
+            const std::size_t row_end = offsets[std::size_t{v} + 1];
+            reads += row_end - offsets[v];
+            for (std::size_t a = offsets[v]; a < row_end; ++a) {
+              const NodeId u = arcs[a];
+              const NodeId lu = label[u].load(std::memory_order_relaxed);
+              if (lu < lv) {
+                if (fetch_min(label[v], lu)) {
+                  set_bit(local.data(), v);
+                  ++changes;
+                }
+                // lu is now a former value of label[v]: a valid (possibly
+                // stale) upper bound for the reverse-direction updates.
+                lv = lu;
+              } else if (lv < lu) {
+                if (fetch_min(label[u], lv)) {
+                  set_bit(local.data(), u);
+                  ++changes;
+                }
+              }
+              if (stop.armed() && --budget == 0) {
+                budget = kStopPollStride;
+                stop.poll();
+              }
+            }
+          }
+        }
+        merge_bits(local.data());
+        hook_tally[lane].changes = changes;
+        hook_tally[lane].reads = reads;
+        if (stop.armed()) stop.poll();
+      });
+    } else {
+      backend.run([&](unsigned lane) {
+        gca::ScratchLease<std::uint64_t> local(word_count);
+        std::fill_n(local.data(), word_count, std::uint64_t{0});
+        std::size_t changes = 0;
+        const std::size_t a0 = arc_bounds[lane];
+        const std::size_t a1 = arc_bounds[lane + 1];
+        if (a0 < a1) {
+          // Owner of the first arc: the last vertex whose offset is <= a0.
+          NodeId v = static_cast<NodeId>(
+              std::upper_bound(offsets.begin(), offsets.end(), a0) -
+              offsets.begin() - 1);
+          std::size_t budget = kStopPollStride;
+          for (std::size_t a = a0; a < a1; ++a) {
+            while (offsets[std::size_t{v} + 1] <= a) ++v;
+            // One direction per arc suffices in a full sweep: the reverse
+            // arc is in the array too (possibly in another lane's range).
+            const NodeId lu = label[arcs[a]].load(std::memory_order_relaxed);
+            if (fetch_min(label[v], lu)) {
+              set_bit(local.data(), v);
+              ++changes;
+            }
+            if (stop.armed() && --budget == 0) {
+              budget = kStopPollStride;
+              stop.poll();
+            }
+          }
+        }
+        merge_bits(local.data());
+        hook_tally[lane].changes = changes;
+        hook_tally[lane].reads = a1 - a0;
+        if (stop.armed()) stop.poll();
+      });
+    }
+    const std::size_t swept =
+        use_worklist ? worklist.size() : static_cast<std::size_t>(n);
+    const std::size_t hooked = reduce_changes(hook_tally);
+    if (stats.enabled) {
+      emit(stats.async_stats(result.generations,
+                             use_worklist ? "cas-hook-frontier" : "cas-hook",
+                             round, swept, hooked, hook_tally[0].reads),
+           hook_start);
+    }
+    ++result.generations;
+
+    // --- shortcut pass (full, O(n) with root chase) ----------------------
+    const std::int64_t jump_start = stats.timed ? gca::steady_now_ns() : 0;
+    backend.run([&](unsigned lane) {
+      gca::ScratchLease<std::uint64_t> local(word_count);
+      std::fill_n(local.data(), word_count, std::uint64_t{0});
+      std::size_t changes = 0;
+      const std::size_t chunk = (std::size_t{n} + lanes - 1) / lanes;
+      const std::size_t begin = std::min<std::size_t>(n, chunk * lane);
+      const std::size_t end = std::min<std::size_t>(n, begin + chunk);
+      std::size_t since_poll = 0;
+      for (std::size_t v = begin; v < end; ++v) {
+        NodeId l = label[v].load(std::memory_order_relaxed);
+        NodeId r = label[l].load(std::memory_order_relaxed);
+        while (r < l) {  // labels satisfy label[x] <= x: strictly decreasing
+          l = r;
+          r = label[l].load(std::memory_order_relaxed);
+        }
+        if (fetch_min(label[v], l)) {
+          set_bit(local.data(), static_cast<NodeId>(v));
+          ++changes;
+        }
+        if (stop.armed() && ++since_poll >= kStopPollStride) {
+          since_poll = 0;
+          stop.poll();
+        }
+      }
+      merge_bits(local.data());
+      jump_tally[lane].changes = changes;
+      if (stop.armed()) stop.poll();
+    });
+    const std::size_t jumped = reduce_changes(jump_tally);
+    if (stats.enabled) {
+      emit(stats.async_stats(result.generations, "shortcut", round, n, jumped,
+                             n),
+           jump_start);
+    }
+    ++result.generations;
+
+    const std::size_t changed = hooked + jumped;
+    if (changed == 0) break;
+
+    // --- frontier decision for the next round ----------------------------
+    use_worklist = frontier_limit > 0 && changed <= frontier_limit;
+    if (use_worklist) {
+      gca::ScratchLease<std::uint64_t> snapshot(word_count);
+      for (std::size_t w = 0; w < word_count; ++w) {
+        snapshot.data()[w] = changed_bits[w].load(std::memory_order_relaxed);
+      }
+      worklist.assign_from_bits(snapshot.data(), word_count);
+    }
   }
+
+  result.labels.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    result.labels[v] = label[v].load(std::memory_order_relaxed);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (result.labels[v] == v) ++result.components;
+  }
+  return result;
+}
+
+}  // namespace
+
+QueryResult SparseCcSolver::solve(const SolverInput& input,
+                                  const RunOptions& options) const {
+  const graph::CsrGraph& csr = input.csr();
+  const NodeId n = csr.node_count();
+  if (n == 0) return {};
+
+  GCALIB_EXPECTS_MSG(options.threads >= 1,
+                     "sparse-csr: threads must be >= 1");
+  GCALIB_EXPECTS_MSG(
+      !(options.threads > 1 &&
+        options.policy == gca::ExecutionPolicy::kSequential),
+      "sparse-csr: threads > 1 requires a parallel policy (spawn or pool)");
+
+  StopState stop;
+  stop.cancel = options.cancel;
+  if (options.deadline_ms > 0) {
+    stop.deadline_ns = gca::steady_deadline_ns(options.deadline_ms);
+  }
+  const SweepBackend backend(options.threads, options.policy, n);
+
+  // kAuto resolves to the concurrent path exactly when the sweep is
+  // parallel: with one lane the CAS-min loop is pure overhead, and the
+  // synchronous reference is the stronger default (bit-identical history,
+  // full congestion instrumentation).  Both paths converge to the same
+  // canonical min-id labeling (DESIGN.md §14), so the choice is invisible
+  // in the result.
+  gca::SparseMode mode = options.sparse_mode;
+  if (mode == gca::SparseMode::kAuto) {
+    mode = backend.lanes() > 1 ? gca::SparseMode::kAsync
+                               : gca::SparseMode::kSync;
+  }
+
+  QueryResult result = mode == gca::SparseMode::kSync
+                           ? solve_sync(csr, options, stop, backend)
+                           : solve_async(csr, options, stop, backend);
+  if (options.self_check) self_check_labels(csr, result);
   return result;
 }
 

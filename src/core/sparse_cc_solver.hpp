@@ -1,29 +1,35 @@
 // SparseCcSolver — Hirschberg-style hooking + pointer jumping over CSR.
 //
 // The paper's machine spends n(n+1) cells per generation because the
-// adjacency matrix *is* the cell field.  This solver keeps the same
-// synchronous-sweep discipline (double-buffered labels, one uniform rule
-// per sweep, deterministic chunk partitions on the shared
-// ThreadPool/spawn/sequential backends) but lays the graph out as an
-// immutable CSR adjacency, so one generation costs O(m + n) words:
+// adjacency matrix *is* the cell field.  This solver lays the graph out as
+// an immutable CSR adjacency instead, so one generation costs O(m + n)
+// words, and runs one of two generation-loop disciplines
+// (RunOptions::sparse_mode; DESIGN.md §14):
 //
-//  * hook sweep  — next[v] = min(d[v], min_{u in N(v)} d[u]): every vertex
-//    adopts the smallest label among itself and its neighbours (the
-//    paper's "connect to the smallest neighbouring super node", symmetric
-//    form — Burkhardt's label-propagation hooking);
-//  * jump sweeps — next[v] = d[d[v]]: pointer doubling, repeated until
-//    stable, collapsing label chains the way generations 3/7/10 collapse
-//    the paper's pointer trees.
+//  * sync — the double-buffered golden reference.  Hook sweeps
+//    (next[v] = min(d[v], min_{u in N(v)} d[u]) — the paper's "connect to
+//    the smallest neighbouring super node", symmetric label-propagation
+//    form) alternate with pointer-jump sweeps (next[v] = d[d[v]]) until
+//    stable.  Every sweep is a pure function of the previous buffer, so
+//    the result — and the whole sweep history — is bit-identical across
+//    execution policies, thread counts and lane partitions.  Hook lanes
+//    are partitioned by degree prefix (CsrGraph::edge_balanced_boundaries)
+//    so skewed graphs keep every lane loaded.
 //
-// Labels start at d[v] = v, never increase, and always name a vertex of
-// the same component, so the run converges on the min-node-id canonical
-// labeling in O(log n) hook rounds — identical bit-for-bit to the dense
-// field, across all execution policies and thread counts (every sweep is a
-// pure function of the previous buffer; the partition cannot matter).
+//  * async — in-place concurrent CAS-min label propagation (Liu–Tarjan).
+//    Labels live in one shared atomic array; hook passes partition the
+//    *arc array* across lanes (a hub's row splits safely, because the
+//    update is a CAS-min, not a private write) and later rounds sweep only
+//    the worklist of changed vertices; shortcut passes compress label
+//    chains with a root chase.  Labels only decrease and every stored
+//    value names a same-component vertex, so the fixpoint is exactly the
+//    same canonical min-id labeling sync produces — the *final labeling*
+//    is deterministic even though the intermediate states are not.
 //
-// RunOptions honoured: instrument, threads, policy, self_check, sink,
-// deadline_ms, cancel (polled every few thousand vertices, like the
-// engine's chunk boundaries).  Dense-field-only hooks — record_access,
+// RunOptions honoured: instrument, threads, policy, sparse_mode,
+// sparse_frontier, self_check, sink, deadline_ms, cancel (polled every
+// few thousand arcs, like the engine's chunk boundaries).
+// Dense-field-only hooks — record_access,
 // before_step/after_step/detect/final_check/recovery, checkpoint_dir,
 // on_step — have no CSR equivalent and are ignored (DESIGN.md §12).
 #pragma once

@@ -72,6 +72,28 @@ SubstrateMode parse_substrate_mode(const std::string& name) {
   return SubstrateMode::kAuto;
 }
 
+const char* to_string(SparseMode mode) {
+  switch (mode) {
+    case SparseMode::kSync:
+      return "sync";
+    case SparseMode::kAsync:
+      return "async";
+    case SparseMode::kAuto:
+      return "auto";
+  }
+  GCALIB_ASSERT_MSG(false, "unreachable sparse mode");
+  return "?";
+}
+
+SparseMode parse_sparse_mode(const std::string& name) {
+  if (name == "sync") return SparseMode::kSync;
+  if (name == "async") return SparseMode::kAsync;
+  if (name == "auto") return SparseMode::kAuto;
+  GCALIB_EXPECTS_MSG(false, "unknown sparse mode '" + name +
+                                "' (expected sync | async | auto)");
+  return SparseMode::kAuto;
+}
+
 void EngineOptions::validate() const {
   GCALIB_EXPECTS_MSG(hands >= 1, "engine options: hands must be >= 1");
   GCALIB_EXPECTS_MSG(threads >= 1, "engine options: threads must be >= 1");
@@ -96,6 +118,7 @@ EngineOptions options_from_flags(const cli::EngineFlags& flags) {
           .with_record_access(flags.record_access)
           .with_sweep(parse_sweep_mode(flags.sweep))
           .with_substrate(parse_substrate_mode(flags.substrate))
+          .with_sparse_mode(parse_sparse_mode(flags.sparse_mode))
           .with_kernels(parse_kernel_variant(flags.kernels));
   options.validate();
   return options;

@@ -88,6 +88,37 @@ enum class SubstrateMode {
 /// Inverse of `to_string`; throws ContractViolation on unknown names.
 [[nodiscard]] SubstrateMode parse_substrate_mode(const std::string& name);
 
+/// How the CSR substrate's generation loop runs (DESIGN.md §14).
+///
+/// Only consulted on the sparse_csr substrate; the dense field ignores it.
+///
+///  * kSync — the double-buffered synchronous hook/jump sweep: every sweep
+///    is a pure function of the previous label buffer, so the labeling and
+///    the per-sweep statistics are bit-identical across all execution
+///    policies and thread counts.  This is the golden reference the
+///    concurrent mode is cross-validated against.
+///  * kAsync — in-place atomic CAS-min label propagation (Liu–Tarjan):
+///    lanes lower labels concurrently without a per-sweep barrier copy,
+///    sweeping edge-partitioned chunks and, once the set of still-moving
+///    vertices shrinks, exact frontier worklists.  Intermediate states are
+///    schedule-dependent, but the monotone label lattice guarantees the
+///    *converged* labeling is the same canonical min-node-id labeling the
+///    synchronous mode produces.
+///  * kAuto — kAsync whenever the sweep actually runs parallel
+///    (threads > 1 on a parallel policy), kSync otherwise: single-threaded,
+///    the reference sweep is both canonical and free of atomics.
+enum class SparseMode {
+  kSync,   ///< double-buffered synchronous sweeps — golden reference
+  kAsync,  ///< concurrent CAS-min propagation with frontier worklists
+  kAuto,   ///< async iff the sweep is parallel
+};
+
+/// Name of a sparse mode ("sync" / "async" / "auto").
+[[nodiscard]] const char* to_string(SparseMode mode);
+
+/// Inverse of `to_string`; throws ContractViolation on unknown names.
+[[nodiscard]] SparseMode parse_sparse_mode(const std::string& name);
+
 /// The set of cells a generation may activate, as a rectangular (optionally
 /// column-strided) window over a row-major field:
 ///
@@ -182,6 +213,9 @@ struct EngineOptions {
   /// solver layer (core/cc_solver.hpp) to pick the engine a query runs on;
   /// the `Engine` template itself ignores it.
   SubstrateMode substrate = SubstrateMode::kAuto;
+  /// Generation-loop mode of the sparse_csr substrate (see `SparseMode`);
+  /// routing metadata like `substrate` — the `Engine` template ignores it.
+  SparseMode sparse_mode = SparseMode::kAuto;
   /// Which bulk-kernel table the dense fast path dispatches
   /// (gca/kernel_registry.hpp).  kAuto picks the best variant the host
   /// supports; a concrete variant the host cannot execute is rejected by
@@ -215,6 +249,10 @@ struct EngineOptions {
   }
   EngineOptions& with_substrate(SubstrateMode value) {
     substrate = value;
+    return *this;
+  }
+  EngineOptions& with_sparse_mode(SparseMode value) {
+    sparse_mode = value;
     return *this;
   }
   EngineOptions& with_kernels(KernelVariant value) {

@@ -67,8 +67,20 @@ std::int64_t LatencyModel::estimate_ns(gca::SubstrateMode substrate,
     estimate = slot.ns_per_weight * weight(substrate, n, m);
   } else {
     estimate = kColdNsPerWeight * weight(substrate, n, m);
+    if (substrate == gca::SubstrateMode::kSparseCsr) {
+      // Cold sparse queries run the parallel CAS-min path when the solver
+      // has lanes: assuming single-lane cost here over-sheds exactly the
+      // work the parallel path finishes in time.  Warm branches above are
+      // learned from observed (already-parallel) wall times.
+      estimate /= effective_parallelism(solver_threads_);
+    }
   }
   return static_cast<std::int64_t>(std::max(estimate, 1.0));
+}
+
+void LatencyModel::set_solver_threads(unsigned threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  solver_threads_ = std::max(threads, 1u);
 }
 
 std::uint64_t LatencyModel::samples() const {

@@ -57,6 +57,25 @@ class LatencyModel {
   /// Total observations recorded across both substrates (tests, stats op).
   [[nodiscard]] std::uint64_t samples() const;
 
+  /// Declares the solver-thread budget queries run with.  The parallel CSR
+  /// path (concurrent CAS-min labeling, DESIGN.md §14) divides sparse
+  /// solve time by roughly `effective_parallelism(threads)`, so *cold*
+  /// sparse estimates — sizes the model has never observed — are divided
+  /// by that factor instead of assuming single-lane cost; without this the
+  /// admission controller over-sheds exactly the queries the parallel path
+  /// would have finished in time.  Warm estimates (bucket EWMAs and the
+  /// ns-per-weight calibration) are learned from observed wall times and
+  /// are therefore already thread-consistent; they are not scaled.
+  void set_solver_threads(unsigned threads);
+
+  /// The speedup model: 1 + (threads - 1) / 2 — half-efficient scaling,
+  /// the conservative end of the measured sparse speedups (over-estimating
+  /// cost sheds a little too eagerly; under-estimating admits work that
+  /// then misses its deadline).
+  [[nodiscard]] static double effective_parallelism(unsigned threads) {
+    return threads <= 1 ? 1.0 : 1.0 + 0.5 * static_cast<double>(threads - 1);
+  }
+
   /// Work weight of an n-node, m-edge query on `substrate`:
   /// dense n^2 * (log2 n + 1)^2 cell updates, sparse_csr
   /// (n + 2m) * (log2 n + 1) label reads.
@@ -94,6 +113,7 @@ class LatencyModel {
   mutable std::mutex mutex_;
   Slot slots_[kSubstrates];
   std::uint64_t samples_ = 0;
+  unsigned solver_threads_ = 1;
 };
 
 }  // namespace gcalib::gcad

@@ -32,6 +32,9 @@ Server::Server(ServerOptions options)
         return config;
       }(), &model_) {
   GCALIB_EXPECTS_MSG(options_.threads >= 1, "gcad: threads must be >= 1");
+  // The admission estimator prices cold sparse queries against the
+  // parallel CAS-min path this many lanes buy (gcad/latency.hpp).
+  model_.set_solver_threads(options_.threads);
   GCALIB_EXPECTS_MSG(options_.max_batch >= 1, "gcad: max_batch must be >= 1");
   GCALIB_EXPECTS_MSG(options_.fault_rate >= 0.0,
                      "gcad: fault_rate must be >= 0");
@@ -424,9 +427,12 @@ void Server::dispatch_batch(std::vector<PendingQuery> batch) {
         if (outcome.recovered()) {
           counters_.recovered.fetch_add(1, std::memory_order_relaxed);
         }
+        // Thread-aware resolve, mirroring the admission pricing: the
+        // sample must land in the slot the query was priced against.
         model_.record(core::resolve_substrate(options_.substrate,
                                               query.graph.node_count(),
-                                              query.graph.edge_count()),
+                                              query.graph.edge_count(),
+                                              options_.threads),
                       query.graph.node_count(), query.graph.edge_count(),
                       outcome.elapsed_ns);
       } else if (outcome.status.code == StatusCode::kDeadlineExceeded) {

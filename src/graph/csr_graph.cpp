@@ -67,6 +67,27 @@ CsrGraph CsrGraph::from_edges(NodeId n, const std::vector<Edge>& edges) {
   return out;
 }
 
+std::vector<NodeId> CsrGraph::edge_balanced_boundaries(unsigned parts) const {
+  GCALIB_EXPECTS_MSG(parts >= 1, "csr: partition needs at least one part");
+  std::vector<NodeId> bounds(std::size_t{parts} + 1, n_);
+  bounds[0] = 0;
+  const std::size_t total_arcs = offsets_[n_];
+  for (unsigned k = 1; k < parts; ++k) {
+    // offsets_ is the (non-decreasing) degree prefix sum, so the first
+    // vertex whose prefix exceeds the target arc count is one upper_bound.
+    const std::size_t target = total_arcs * k / parts;
+    const auto it =
+        std::upper_bound(offsets_.begin(), offsets_.end(), target);
+    NodeId b = static_cast<NodeId>(it - offsets_.begin());
+    if (b > 0) --b;  // offsets_[b] <= target < offsets_[b + 1]
+    b -= b % kLineVertices;
+    // Keep the sequence monotone; empty ranges are fine (a lane with no
+    // vertices just returns immediately).
+    bounds[k] = std::max(bounds[k - 1], std::min(b, n_));
+  }
+  return bounds;
+}
+
 double CsrGraph::density() const {
   if (n_ < 2) return 0.0;
   const double pairs =

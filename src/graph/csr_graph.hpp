@@ -62,6 +62,23 @@ class CsrGraph {
   /// Edge density m / (n choose 2); 0 for n < 2.
   [[nodiscard]] double density() const;
 
+  /// Vertices per label-array cache line (64 bytes / 4-byte NodeId): the
+  /// alignment grain of `edge_balanced_boundaries`, so two sweep lanes
+  /// never write labels into the same cache line.
+  static constexpr NodeId kLineVertices = 16;
+
+  /// Degree-prefix partition for parallel sweeps: `parts + 1` ascending
+  /// vertex boundaries `b[0] = 0 <= b[1] <= ... <= b[parts] = n` such that
+  /// every range [b[k], b[k+1]) covers roughly `2m / parts` arcs (the
+  /// offsets array *is* the degree prefix sum, so each boundary is one
+  /// binary search).  Interior boundaries are rounded down to a
+  /// `kLineVertices` multiple, so per-lane label writes stay cache-line
+  /// disjoint.  Count-equal vertex partitions starve all but one lane on
+  /// skewed degree distributions (a star graph puts every arc in the hub's
+  /// range); arc-balanced boundaries keep the lanes loaded.
+  [[nodiscard]] std::vector<NodeId> edge_balanced_boundaries(
+      unsigned parts) const;
+
   /// Materialises the dense `Graph` (O(n^2) memory — small graphs only;
   /// round-trip helper for tests and the dense fallback path).
   [[nodiscard]] Graph to_graph() const;

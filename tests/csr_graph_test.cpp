@@ -109,5 +109,90 @@ TEST(CsrGraph, IsolatedVerticesHaveEmptyRows) {
   EXPECT_EQ(csr.offsets().size(), 7u);
 }
 
+/// A valid partition: parts + 1 boundaries, first 0, last n, monotone
+/// non-decreasing, interior boundaries on a kLineVertices grain.
+void expect_valid_boundaries(const CsrGraph& csr,
+                             const std::vector<NodeId>& bounds,
+                             unsigned parts) {
+  ASSERT_EQ(bounds.size(), std::size_t{parts} + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), csr.node_count());
+  for (unsigned k = 0; k < parts; ++k) {
+    EXPECT_LE(bounds[k], bounds[k + 1]) << "k=" << k;
+  }
+  for (unsigned k = 1; k < parts; ++k) {
+    if (bounds[k] < csr.node_count()) {
+      EXPECT_EQ(bounds[k] % CsrGraph::kLineVertices, 0u) << "k=" << k;
+    }
+  }
+}
+
+TEST(CsrGraph, EdgeBalancedBoundariesBalanceAStarGraph) {
+  // Every arc of star(n) sits in the hub's row plus one per leaf; a
+  // count-equal vertex split puts the hub's n-1 arcs in lane 0 alongside a
+  // quarter of the leaves.  The degree-prefix split must instead spread
+  // the leaf rows so no lane carries much more than 2m / parts arcs.
+  const CsrGraph csr = CsrGraph::from_graph(star(1025));
+  const unsigned parts = 4;
+  const std::vector<NodeId> bounds = csr.edge_balanced_boundaries(parts);
+  expect_valid_boundaries(csr, bounds, parts);
+  const std::size_t total_arcs = csr.offsets().back();
+  for (unsigned k = 0; k < parts; ++k) {
+    const std::size_t arcs_in_lane =
+        csr.offsets()[bounds[k + 1]] - csr.offsets()[bounds[k]];
+    // The hub row (n - 1 arcs, ~half of all arcs) is indivisible by a
+    // vertex partition, so the bound is hub + one balanced share + the
+    // alignment slack, not a perfect 2m / parts.
+    EXPECT_LE(arcs_in_lane,
+              (total_arcs + 1) / 2 + total_arcs / parts +
+                  2 * CsrGraph::kLineVertices)
+        << "lane " << k;
+  }
+}
+
+TEST(CsrGraph, EdgeBalancedBoundariesSplitUniformDegreesEvenly) {
+  const CsrGraph csr = CsrGraph::from_graph(make_named("cycle", 640, 0));
+  for (const unsigned parts : {1u, 2u, 3u, 5u, 8u}) {
+    const std::vector<NodeId> bounds = csr.edge_balanced_boundaries(parts);
+    expect_valid_boundaries(csr, bounds, parts);
+    const std::size_t total_arcs = csr.offsets().back();
+    for (unsigned k = 0; k < parts; ++k) {
+      const std::size_t arcs_in_lane =
+          csr.offsets()[bounds[k + 1]] - csr.offsets()[bounds[k]];
+      EXPECT_LE(arcs_in_lane,
+                total_arcs / parts + 2 * 2 * CsrGraph::kLineVertices)
+          << parts << " parts, lane " << k;
+    }
+  }
+}
+
+TEST(CsrGraph, EdgeBalancedBoundariesHandleDegenerateShapes) {
+  // More parts than vertices: trailing parts collapse to empty ranges.
+  const CsrGraph tiny = CsrGraph::from_edges(3, {{0, 1}, {1, 2}});
+  expect_valid_boundaries(tiny, tiny.edge_balanced_boundaries(8), 8);
+  // Edge-less graph: every boundary lands on a grain multiple of n.
+  const CsrGraph empty_edges = CsrGraph::from_graph(Graph(64));
+  expect_valid_boundaries(empty_edges, empty_edges.edge_balanced_boundaries(4),
+                          4);
+  // Empty graph.
+  const CsrGraph empty;
+  const std::vector<NodeId> bounds = empty.edge_balanced_boundaries(3);
+  ASSERT_EQ(bounds.size(), 4u);
+  for (const NodeId b : bounds) EXPECT_EQ(b, 0u);
+}
+
+TEST(CsrGraph, EdgeBalancedBoundariesCoverEveryArcExactlyOnce) {
+  const CsrGraph csr = CsrGraph::from_graph(random_gnp(333, 0.05, 11));
+  for (const unsigned parts : {2u, 7u}) {
+    const std::vector<NodeId> bounds = csr.edge_balanced_boundaries(parts);
+    expect_valid_boundaries(csr, bounds, parts);
+    std::size_t covered = 0;
+    for (unsigned k = 0; k < parts; ++k) {
+      covered += csr.offsets()[bounds[k + 1]] - csr.offsets()[bounds[k]];
+    }
+    EXPECT_EQ(covered, csr.offsets().back()) << parts << " parts";
+  }
+}
+
 }  // namespace
 }  // namespace gcalib::graph
