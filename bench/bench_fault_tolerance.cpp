@@ -7,23 +7,41 @@
 //     the first monitor violation, per fault kind;
 //  3. recovery cost — extra generations re-executed by rollback/restart;
 //  4. NMR pricing — FPGA cost of 2/3/5-modular redundancy from the
-//     calibrated cost model, the masking alternative to rollback.
+//     calibrated cost model, the masking alternative to rollback;
+//  5. sparse CSR resilience series (DESIGN.md §15) — per sparse mode, the
+//     fault-free price of each layer of the resilience surface (detached
+//     hooks, lattice monitors, certificate, rollback anchors) and the
+//     detection/recovery behaviour of every sparse fault site under the
+//     healing ladder.
 //
-// Usage: bench_fault_tolerance [--n 32] [--repeat 5]
+// With --out, the dense overhead and the whole sparse series are also
+// written as JSON (scripts/bench_fault.sh wraps this and writes
+// BENCH_fault.json).
+//
+// Usage: bench_fault_tolerance [--n 32] [--repeat 5] [--sparse-n 65536]
+//                              [--out BENCH_fault.json]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/format.hpp"
 #include "common/table.hpp"
+#include "core/cc_solver.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "core/schedule.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/monitors.hpp"
 #include "fault/recovery.hpp"
+#include "fault/sparse_fault.hpp"
+#include "gca/execution.hpp"
+#include "graph/csr_graph.hpp"
 #include "graph/generators.hpp"
+#include "graph/union_find.hpp"
 
 namespace {
 
@@ -85,10 +103,15 @@ double resilient_rate(const Graph& g, int repeat,
 
 int main(int argc, char** argv) {
   const gcalib::CliArgs args = gcalib::CliArgs::parse_or_exit(
-      argc, argv, {{"n", true}, {"repeat", true}});
+      argc, argv,
+      {{"n", true}, {"repeat", true}, {"sparse-n", true}, {"out", true}});
   const auto n = static_cast<gcalib::graph::NodeId>(args.get_int("n", 32));
   const int repeat = static_cast<int>(args.get_int("repeat", 5));
+  const std::string out_path = args.get_string("out", "");
   const Graph g = gcalib::graph::random_gnp(n, 0.1, 7);
+  std::string json = "{\n  \"benchmark\": \"fault\",\n";
+  json += "  \"n\": " + std::to_string(n) + ",\n";
+  json += "  \"repeat\": " + std::to_string(repeat) + ",\n";
 
   // --- 1. fault-free overhead ------------------------------------------
   std::printf("Fault-free overhead (n = %u, G(n, 0.1), %d runs per row)\n\n",
@@ -116,13 +139,20 @@ int main(int argc, char** argv) {
   } configs[] = {{"checkpoints only", &off},
                  {"+ checksum/iteration monitors", &cheap},
                  {"+ full monitors (register scan)", &full}};
+  json += "  \"dense_overhead\": [\n    {\"config\": \"plain run\", "
+          "\"generations_per_s\": " +
+          std::to_string(baseline) + "}";
   for (const auto& config : configs) {
     const double rate = resilient_rate(g, repeat, *config.config);
     const double percent = 100.0 * (baseline - rate) / baseline;
     overhead.add_row({config.name,
                       gcalib::with_commas(static_cast<std::uint64_t>(rate)),
                       gcalib::fixed(percent, 1) + " %"});
+    json += ",\n    {\"config\": \"" + std::string(config.name) +
+            "\", \"generations_per_s\": " + std::to_string(rate) +
+            ", \"overhead_pct\": " + std::to_string(percent) + "}";
   }
+  json += "\n  ],\n";
   std::fputs(overhead.render().c_str(), stdout);
   std::printf(
       "\nTarget: <= 5%% for the checkpointing harness itself; the full\n"
@@ -218,5 +248,197 @@ int main(int argc, char** argv) {
       "\nMasking (NMR) trades ~Rx hardware for zero-latency recovery;\n"
       "checkpoint/rollback trades re-executed generations for no extra "
       "cells.\n");
+
+  // --- 5. sparse CSR resilience series (DESIGN.md §15) ------------------
+  //
+  // G(n, 2/n) is the round-rich family: its components have enough
+  // diameter that both sparse modes run ~10 hook/jump rounds, so per-round
+  // resilience costs and mid-lattice fault strikes are both observable
+  // (an n-cycle's monotone label chain collapses in one jump subloop).
+  const auto sparse_n =
+      static_cast<gcalib::graph::NodeId>(args.get_int("sparse-n", 65'536));
+  const Graph sg = gcalib::graph::random_gnp(
+      sparse_n, 2.0 / static_cast<double>(sparse_n), 2026);
+  const gcalib::graph::CsrGraph csr = gcalib::graph::CsrGraph::from_graph(sg);
+  const std::vector<gcalib::graph::NodeId> sparse_oracle =
+      gcalib::graph::union_find_components(sg);
+  std::printf(
+      "\nSparse CSR resilience surface (n = %u, G(n, 2/n), m = %zu,\n"
+      "best of %d runs, 4 threads)\n\n",
+      sparse_n, csr.edge_count(), repeat);
+
+  using gcalib::core::SparseRoundContext;
+  const auto sparse_best_ms =
+      [&](gcalib::gca::SparseMode mode,
+          const std::function<void(RunOptions&)>& configure) {
+        double best = std::numeric_limits<double>::infinity();
+        for (int r = -1; r < repeat; ++r) {  // r == -1 is the untimed warmup
+          RunOptions options;
+          options.instrument = false;
+          options.threads = 4;
+          options.policy = gcalib::gca::ExecutionPolicy::kPool;
+          options.sparse_mode = mode;
+          configure(options);
+          const auto start = std::chrono::steady_clock::now();
+          const gcalib::core::QueryResult result =
+              gcalib::core::sparse_cc_solver().solve(
+                  gcalib::core::SolverInput(csr), options);
+          const double ms = seconds_since(start) * 1000.0;
+          if (result.labels.empty()) std::abort();
+          if (r >= 0) best = std::min(best, ms);
+        }
+        return best;
+      };
+
+  const struct {
+    const char* name;
+    std::function<void(RunOptions&)> apply;
+  } sparse_configs[] = {
+      {"detached hooks (no-op)",
+       [](RunOptions& o) {
+         o.sparse_before_round = [](const SparseRoundContext&) {};
+         o.sparse_after_round = [](const SparseRoundContext&) {};
+       }},
+      {"+ lattice monitors", [](RunOptions& o) { o.sparse_monitors = true; }},
+      {"+ forest certificate",
+       [](RunOptions& o) {
+         o.sparse_monitors = true;
+         o.certify = true;
+       }},
+      {"+ rollback anchors",
+       [](RunOptions& o) {
+         o.sparse_monitors = true;
+         o.certify = true;
+         o.recovery.checkpoint_interval = 1;
+       }},
+  };
+  const struct {
+    const char* name;
+    gcalib::gca::SparseMode mode;
+  } sparse_modes[] = {{"sync", gcalib::gca::SparseMode::kSync},
+                      {"async", gcalib::gca::SparseMode::kAsync}};
+
+  gcalib::TextTable sparse_overhead({"mode", "configuration", "ms", "overhead"});
+  sparse_overhead.set_align(0, gcalib::Align::kLeft);
+  sparse_overhead.set_align(1, gcalib::Align::kLeft);
+  json += "  \"sparse_n\": " + std::to_string(sparse_n) + ",\n";
+  json += "  \"sparse_edges\": " + std::to_string(csr.edge_count()) + ",\n";
+  json += "  \"sparse_overhead\": [";
+  bool first_row = true;
+  for (const auto& mode : sparse_modes) {
+    const double bare = sparse_best_ms(mode.mode, [](RunOptions&) {});
+    sparse_overhead.add_row(
+        {mode.name, "bare solve", gcalib::fixed(bare, 3), "-"});
+    if (!first_row) json += ",";
+    first_row = false;
+    json += "\n    {\"mode\": \"" + std::string(mode.name) +
+            "\", \"config\": \"bare solve\", \"ms\": " + std::to_string(bare) +
+            "}";
+    for (const auto& config : sparse_configs) {
+      const double ms = sparse_best_ms(mode.mode, config.apply);
+      const double percent = 100.0 * (ms - bare) / bare;
+      sparse_overhead.add_row({mode.name, config.name, gcalib::fixed(ms, 3),
+                               gcalib::fixed(percent, 1) + " %"});
+      json += ",\n    {\"mode\": \"" + std::string(mode.name) +
+              "\", \"config\": \"" + config.name +
+              "\", \"ms\": " + std::to_string(ms) +
+              ", \"overhead_pct\": " + std::to_string(percent) + "}";
+    }
+  }
+  json += "\n  ],\n";
+  std::fputs(sparse_overhead.render().c_str(), stdout);
+  std::printf(
+      "\nEach layer is cumulative; \"bare solve\" is the PR-9 fast path the\n"
+      "perf_smoke resilience gate protects.\n");
+
+  // Detection and recovery per sparse fault site, under the full healing
+  // ladder (monitors + certificate + rollback/restart).  Every event is
+  // transient, so a rollback re-executes the window fault-free.
+  std::printf("\nSparse fault sites under the healing ladder\n\n");
+  using gcalib::fault::SparseFaultEvent;
+  using gcalib::fault::SparseFaultSite;
+  const SparseFaultSite sparse_sites[] = {
+      SparseFaultSite::kLabelBitFlip, SparseFaultSite::kStuckVertex,
+      SparseFaultSite::kLostUpdate, SparseFaultSite::kStaleFrontier};
+  gcalib::TextTable sparse_faults({"mode", "site", "fired", "rollbacks",
+                                   "restarts", "outcome", "ms"});
+  sparse_faults.set_align(0, gcalib::Align::kLeft);
+  sparse_faults.set_align(1, gcalib::Align::kLeft);
+  sparse_faults.set_align(5, gcalib::Align::kLeft);
+  json += "  \"sparse_faults\": [";
+  first_row = true;
+  for (const auto& mode : sparse_modes) {
+    for (const SparseFaultSite site : sparse_sites) {
+      SparseFaultEvent event;
+      event.site = site;
+      event.round = 1;
+      event.vertex = sparse_n / 2;
+      event.mask = 1u << 20;          // raised bit: monitor-visible
+      event.stuck_value = 0;          // lattice-legal: certificate territory
+      event.stuck_rounds = 2;
+      gcalib::fault::SparseInjector injector(
+          gcalib::fault::SparseFaultPlan().add(event));
+      RunOptions options;
+      options.instrument = false;
+      options.threads = 4;
+      options.policy = gcalib::gca::ExecutionPolicy::kPool;
+      options.sparse_mode = mode.mode;
+      options.certify = true;
+      options.recovery.checkpoint_interval = 2;
+      options.recovery.max_rollbacks = 3;
+      options.recovery.max_restarts = 1;
+      injector.install(options);
+      std::string outcome;
+      unsigned rollbacks = 0;
+      unsigned restarts = 0;
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        const gcalib::core::QueryResult result =
+            gcalib::core::sparse_cc_solver().solve(
+                gcalib::core::SolverInput(csr), options);
+        rollbacks = result.rollbacks;
+        restarts = result.restarts;
+        if (result.labels != sparse_oracle) {
+          outcome = "SILENT WRONG ANSWER";  // must never appear
+        } else if (rollbacks > 0 || restarts > 0) {
+          outcome = "detected + healed";
+        } else if (injector.faults_fired() == 0) {
+          outcome = "never struck";
+        } else {
+          outcome = "self-healed";
+        }
+      } catch (const gcalib::ContractViolation&) {
+        outcome = "detected, unrecoverable";
+      }
+      const double ms = seconds_since(start) * 1000.0;
+      sparse_faults.add_row({mode.name, gcalib::fault::to_string(site),
+                             std::to_string(injector.faults_fired()),
+                             std::to_string(rollbacks),
+                             std::to_string(restarts), outcome,
+                             gcalib::fixed(ms, 3)});
+      if (!first_row) json += ",";
+      first_row = false;
+      json += "\n    {\"mode\": \"" + std::string(mode.name) +
+              "\", \"site\": \"" + gcalib::fault::to_string(site) +
+              "\", \"fired\": " + std::to_string(injector.faults_fired()) +
+              ", \"rollbacks\": " + std::to_string(rollbacks) +
+              ", \"restarts\": " + std::to_string(restarts) +
+              ", \"outcome\": \"" + outcome +
+              "\", \"ms\": " + std::to_string(ms) + "}";
+    }
+  }
+  json += "\n  ]\n}\n";
+  std::fputs(sparse_faults.render().c_str(), stdout);
+  std::printf(
+      "\n\"self-healed\" = the lattice re-lowered the corruption without the\n"
+      "ladder; \"detected + healed\" = rollback/restart re-execution; a\n"
+      "stale frontier is a no-op in sync mode (there is no frontier).\n");
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return out.good() ? 0 : 1;
+  }
   return 0;
 }

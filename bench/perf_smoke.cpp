@@ -36,10 +36,16 @@
 // the gate is skipped with an explicit reason — mirroring Gate 3's
 // scalar-host skip.
 //
+// Gate 5 (resilience overhead): at the gate-4 size, the sparse solve with
+// the DESIGN.md §15 resilience surface attached but detached — no-op round
+// hooks, monitors off, no certificate, no checkpoints — must stay within
+// 3% of the bare solve (median of >= 5).  The resilience machinery is
+// pay-for-what-you-use; this gate keeps the "use nothing" price at zero.
+//
 // Wired into scripts/check.sh as the "perf-smoke" phase; this is a coarse
 // tripwire (median-of-k, generous margins), not a benchmark —
-// scripts/bench_engine.sh and scripts/bench_substrate.sh measure the real
-// speedups.
+// scripts/bench_engine.sh, scripts/bench_substrate.sh and
+// scripts/bench_fault.sh measure the real speedups and overheads.
 //
 //   $ ./perf_smoke                     # n = 128, median of 3,
 //                                      # substrate n = 2048, parallel n = 262144
@@ -111,6 +117,27 @@ double sparse_solve_ms(const gcalib::graph::CsrGraph& csr, unsigned threads,
   options.threads = threads;
   options.policy = threads > 1 ? gcalib::gca::ExecutionPolicy::kPool
                                : gcalib::gca::ExecutionPolicy::kSequential;
+  const gcalib::core::SolverInput input(csr);
+  return median_ms(reps, [&] {
+    const gcalib::core::QueryResult result =
+        gcalib::core::sparse_cc_solver().solve(input, options);
+    if (result.labels.empty()) std::abort();  // keep the run observable
+  });
+}
+
+/// Gate-5 variant: the same sparse solve with the resilience surface
+/// attached but doing nothing — no-op before/after round hooks, monitors
+/// and certificate off, no checkpoint directory.  Measures the price of
+/// merely *having* the hooks threaded through the round loop.
+double sparse_detached_hooks_ms(const gcalib::graph::CsrGraph& csr,
+                                unsigned threads, int reps) {
+  gcalib::core::RunOptions options;
+  options.instrument = false;
+  options.threads = threads;
+  options.policy = threads > 1 ? gcalib::gca::ExecutionPolicy::kPool
+                               : gcalib::gca::ExecutionPolicy::kSequential;
+  options.sparse_before_round = [](const gcalib::core::SparseRoundContext&) {};
+  options.sparse_after_round = [](const gcalib::core::SparseRoundContext&) {};
   const gcalib::core::SolverInput input(csr);
   return median_ms(reps, [&] {
     const gcalib::core::QueryResult result =
@@ -229,6 +256,10 @@ int main(int argc, char** argv) {
 
   // Gate 4: parallel sparse — the concurrent CAS-min path at 8 threads vs
   // the sequential sparse solve on a CSR-native graph (DESIGN.md §14).
+  const auto parallel_n = static_cast<gcalib::graph::NodeId>(
+      argc > 4 ? std::stoul(argv[4]) : 262'144);
+  const gcalib::graph::CsrGraph csr =
+      sample_csr(parallel_n, 2 * static_cast<std::size_t>(parallel_n), 1);
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   if (hardware_threads < 2) {
     std::printf(
@@ -236,12 +267,8 @@ int main(int argc, char** argv) {
         "thread(s); a parallel speedup cannot be measured with fewer than 2\n",
         hardware_threads);
   } else {
-    const auto parallel_n = static_cast<gcalib::graph::NodeId>(
-        argc > 4 ? std::stoul(argv[4]) : 262'144);
     constexpr unsigned kGateThreads = 8;
     constexpr double kRequiredSpeedup = 2.5;
-    const gcalib::graph::CsrGraph csr =
-        sample_csr(parallel_n, 2 * static_cast<std::size_t>(parallel_n), 1);
     const double seq_ms = sparse_solve_ms(csr, 1, reps);
     const double par_ms = sparse_solve_ms(csr, kGateThreads, reps);
     const double speedup = par_ms > 0.0 ? seq_ms / par_ms : 0.0;
@@ -263,6 +290,31 @@ int main(int argc, char** argv) {
                    "%.3f ms, x%u %.3f ms)\n",
                    speedup, csr.node_count(), kRequiredSpeedup, seq_ms,
                    kGateThreads, par_ms);
+      return 1;
+    }
+  }
+
+  // Gate 5: resilience surface at rest — detached hooks must be free.  The
+  // hooks fire once per round on the coordinating thread, so any measurable
+  // gap here means per-vertex work leaked behind the std::function checks.
+  {
+    constexpr double kAllowedOverhead = 1.03;
+    const int gate_reps = std::max(reps, 5);
+    const double bare_ms = sparse_solve_ms(csr, 1, gate_reps);
+    const double hooked_ms = sparse_detached_hooks_ms(csr, 1, gate_reps);
+    const double ratio = bare_ms > 0.0 ? hooked_ms / bare_ms : 0.0;
+    std::printf("perf-smoke: resilience overhead gate at n=%u (m=%zu)\n",
+                csr.node_count(), csr.edge_count());
+    std::printf("  bare    solve: %10.3f ms\n", bare_ms);
+    std::printf("  detached hooks: %9.3f ms (%+.2f%%)\n", hooked_ms,
+                (ratio - 1.0) * 100.0);
+    if (hooked_ms > bare_ms * kAllowedOverhead) {
+      std::fprintf(stderr,
+                   "perf-smoke FAILED: detached resilience hooks cost %.1f%% "
+                   "on the sparse solve at n=%u (allowed: %.0f%%; bare "
+                   "%.3f ms, hooked %.3f ms)\n",
+                   (ratio - 1.0) * 100.0, csr.node_count(),
+                   (kAllowedOverhead - 1.0) * 100.0, bare_ms, hooked_ms);
       return 1;
     }
   }

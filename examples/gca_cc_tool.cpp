@@ -97,10 +97,10 @@ LabelingOutcome run_gca_sparse(const graph::Graph& g,
                                const cli::EngineFlags& exec,
                                const gca::EngineOptions& engine,
                                gca::Trace* trace) {
-  if (exec.record_access || !exec.checkpoint_dir.empty()) {
+  if (exec.record_access) {
     std::fprintf(stderr,
-                 "warning: --record-access/--checkpoint-dir cover the dense "
-                 "field only; ignored on the sparse_csr substrate\n");
+                 "warning: --record-access covers the dense field only; "
+                 "ignored on the sparse_csr substrate\n");
   }
   core::RunnerOptions options;
   options.threads = engine.threads;
@@ -113,6 +113,9 @@ LabelingOutcome run_gca_sparse(const graph::Graph& g,
   options.sink = trace;
   options.deadline_ms = exec.deadline_ms;
   options.retries = exec.retries;
+  // Durable GSKP checkpoints (DESIGN.md §15): the sparse engine honours
+  // --checkpoint-dir with the same resume/cleanup semantics as the field.
+  options.checkpoint_dir = exec.checkpoint_dir;
   const core::Runner runner(options);
   const core::QueryOutcome outcome = runner.try_solve(g);
   if (!outcome.ok()) {
@@ -123,6 +126,11 @@ LabelingOutcome run_gca_sparse(const graph::Graph& g,
   }
   if (outcome.recovered()) {
     std::fprintf(stderr, "note: recovered on attempt %u\n", outcome.attempts);
+  }
+  if (outcome.result.resumed) {
+    std::fprintf(stderr,
+                 "note: resumed from durable sparse checkpoint at round %u\n",
+                 outcome.result.resume_round);
   }
   LabelingOutcome out;
   out.labels = outcome.result.labels;
@@ -140,11 +148,11 @@ LabelingOutcome run_algorithm(const std::string& name, const graph::Graph& g,
   LabelingOutcome out;
   if (name == "gca") {
     // Auto-routing respects dense-only features: a query that wants access
-    // recording or durable checkpoints stays on the dense machine (the
-    // same rule core::Runner applies via requires_dense_machine).
+    // recording stays on the dense machine (the same rule core::Runner
+    // applies via requires_dense_machine).  Durable checkpoints no longer
+    // pin — both substrates write them (GCKP / GSKP, DESIGN.md §15).
     gca::SubstrateMode requested = engine.substrate;
-    if (requested == gca::SubstrateMode::kAuto &&
-        (exec.record_access || !exec.checkpoint_dir.empty())) {
+    if (requested == gca::SubstrateMode::kAuto && exec.record_access) {
       requested = gca::SubstrateMode::kDense;
     }
     const gca::SubstrateMode resolved = core::resolve_substrate(

@@ -77,11 +77,11 @@ int main(int argc, char** argv) {
                  "warning: --deadline-ms is ignored by gcad; deadlines are "
                  "per request (\"deadline_ms\" in the solve op)\n");
   }
-  if (!flags.engine.checkpoint_dir.empty()) {
-    std::fprintf(stderr,
-                 "warning: --checkpoint-dir is ignored by gcad; durability "
-                 "comes from the queue journal (--journal)\n");
-  }
+  // Two durability layers compose: the queue journal (--journal) replays
+  // accepted-but-unfinished *queries*, and --checkpoint-dir resumes each
+  // replayed query's *solve* mid-lattice from its per-query GCKP/GSKP
+  // artifact (DESIGN.md §15).
+  options.checkpoint_dir = flags.engine.checkpoint_dir;
   if (flags.engine.record_access || flags.engine.wants_metrics()) {
     std::fprintf(stderr,
                  "warning: --record-access/--trace-out/--metrics-out are "

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Fault-tolerance benchmark: the dense resilient-harness overhead plus the
+# sparse CSR resilience series (DESIGN.md §15) — per-mode cost of each
+# layer of the resilience surface (detached hooks, lattice monitors, forest
+# certificate, rollback anchors) and detection/recovery behaviour of every
+# sparse fault site under the healing ladder.  Writes the full series to
+# BENCH_fault.json.
+#
+# Builds bench_fault_tolerance from a **Release** tree.  Numbers from
+# unoptimised builds are meaningless, so the script refuses to run against
+# a tree whose CMAKE_BUILD_TYPE is not Release (set ALLOW_NON_RELEASE=1 to
+# override with a loud warning).
+#
+# Usage: scripts/bench_fault.sh [output.json]
+#   BUILD_DIR=build-foo scripts/bench_fault.sh      # non-default tree
+#   SPARSE_N=16384 REPEAT=3 scripts/bench_fault.sh  # lighter run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT=${1:-BENCH_fault.json}
+N=${N:-32}
+SPARSE_N=${SPARSE_N:-65536}
+REPEAT=${REPEAT:-5}
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt")
+if [ "$BUILD_TYPE" != "Release" ]; then
+  if [ "${ALLOW_NON_RELEASE:-0}" = "1" ]; then
+    echo "WARNING: benchmarking a '$BUILD_TYPE' tree ($BUILD_DIR) —" >&2
+    echo "WARNING: the numbers are NOT comparable to Release results." >&2
+  else
+    echo "error: $BUILD_DIR is a '$BUILD_TYPE' tree; benchmarks must run" >&2
+    echo "error: from a Release build.  Use the default BUILD_DIR, or" >&2
+    echo "error: reconfigure with -DCMAKE_BUILD_TYPE=Release, or set" >&2
+    echo "error: ALLOW_NON_RELEASE=1 to record anyway (loudly)." >&2
+    exit 1
+  fi
+fi
+
+cmake --build "$BUILD_DIR" --target bench_fault_tolerance -j "$(nproc)"
+
+"$BUILD_DIR"/bench/bench_fault_tolerance \
+  --n "$N" --repeat "$REPEAT" --sparse-n "$SPARSE_N" --out "$OUT"
+
+echo "wrote $OUT"

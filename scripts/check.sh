@@ -38,7 +38,7 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 # seconds.  (Skipped when the caller passes its own ctest selection.)
 if [ "$#" -eq 0 ]; then
   ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status|Substrate|Sparse|CcSolver|CsrGraph|AutoSubstrate|SolverInput|Runner|Kernel|BitPlane|Worklist)[A-Za-z]*\.'
+    -R '^([A-Za-z]+/)?(Engine|Metrics|Trace|Cli|Io|ActiveRegion|SweepIdentity|Checkpoint|Cancel|Gcad|Status|Substrate|Sparse|CcSolver|CsrGraph|AutoSubstrate|SolverInput|Runner|Kernel|BitPlane|Worklist|SparseFault|Certificate|Gskp|FuzzJournal)[A-Za-z]*\.'
 fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$JOBS" "$@"
@@ -53,21 +53,25 @@ if [ "$#" -eq 0 ]; then
 fi
 
 # TSan fast-fail over the concurrent labeling paths: the CAS-min sparse
-# modes (DESIGN.md §14) are the code most likely to hide a data race, so an
+# modes (DESIGN.md §14) are the code most likely to hide a data race, and
+# the resilience surface (DESIGN.md §15) threads fault hooks, monitors and
+# GSKP checkpoint writes through those same parallel sweeps — so an
 # address-sanitizer run still gives them one ThreadSanitizer pass from a
-# dedicated build-thread tree.  Only sparse_mode_test is built there — the
-# full suite under TSan is the explicit `scripts/check.sh thread` run, and
-# when that is already this run the extra pass would be redundant.
+# dedicated build-thread tree.  Only those test binaries are built there —
+# the full suite under TSan is the explicit `scripts/check.sh thread` run,
+# and when that is already this run the extra pass would be redundant.
 if [ "${SKIP_TSAN_SMOKE:-0}" != "1" ] && [ "$SANITIZER" != "thread" ] \
    && [ "$#" -eq 0 ]; then
   TSAN_BUILD_DIR="${TSAN_BUILD_DIR:-build-thread}"
   cmake -B "$TSAN_BUILD_DIR" -S . \
     -DGCALIB_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-  cmake --build "$TSAN_BUILD_DIR" --target sparse_mode_test -j"$JOBS"
+  cmake --build "$TSAN_BUILD_DIR" -j"$JOBS" \
+    --target sparse_mode_test sparse_fault_test certificate_test \
+             gskp_checkpoint_test
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j"$JOBS" \
-    -R '^(SparseMode|SparseAsync)[A-Za-z]*\.'
-  echo "tsan smoke: OK (concurrent sparse modes are race-clean)"
+    -R '^([A-Za-z]+/)?(SparseMode|SparseAsync|SparseFault|Certificate|Gskp)[A-Za-z]*\.'
+  echo "tsan smoke: OK (concurrent sparse modes + resilience are race-clean)"
 fi
 
 # Perf smoke: timing under a sanitizer is meaningless, so this builds the
@@ -121,6 +125,38 @@ if [ "${SKIP_CRASH_SMOKE:-0}" != "1" ]; then
            echo "$RELAUNCH" >&2; exit 1; }
     echo "crash-recovery smoke: OK (SIGKILL + resume + MATCH)"
   fi
+
+  # Same drill on the sparse CSR substrate, once per sparse mode: SIGKILL a
+  # GSKP-checkpointed solve mid-lattice, relaunch on the same directory, and
+  # require a mid-solve resume plus union-find-identical labels.  The
+  # --round-delay-us stall widens the kill window exactly like
+  # --step-delay-us does for the dense field above.
+  cmake --build "$PERF_BUILD_DIR" --target sparse_resilient_cc -j"$JOBS"
+  for SPARSE_MODE in sync async; do
+    SPARSE_CKPT_DIR="$(mktemp -d)"
+    "$PERF_BUILD_DIR"/examples/sparse_resilient_cc --n 20000 --rate 0 \
+      --sparse-mode "$SPARSE_MODE" --threads 4 --round-delay-us 300000 \
+      --checkpoint-dir "$SPARSE_CKPT_DIR" >/dev/null 2>&1 &
+    VICTIM=$!
+    sleep 0.5
+    kill -9 "$VICTIM" 2>/dev/null || true
+    wait "$VICTIM" 2>/dev/null || true
+    if [ ! -f "$SPARSE_CKPT_DIR/sparse.gskp" ]; then
+      echo "sparse crash smoke ($SPARSE_MODE): SKIP (finished before the kill)"
+    else
+      RELAUNCH="$("$PERF_BUILD_DIR"/examples/sparse_resilient_cc --n 20000 \
+        --rate 0 --sparse-mode "$SPARSE_MODE" --threads 4 \
+        --checkpoint-dir "$SPARSE_CKPT_DIR" 2>&1)"
+      echo "$RELAUNCH" | grep -q 'resumed from durable sparse checkpoint' \
+        || { echo "sparse crash smoke ($SPARSE_MODE): FAIL (no resume)" >&2
+             echo "$RELAUNCH" >&2; exit 1; }
+      echo "$RELAUNCH" | grep -q 'labels vs union-find baseline: MATCH' \
+        || { echo "sparse crash smoke ($SPARSE_MODE): FAIL (wrong labels)" >&2
+             echo "$RELAUNCH" >&2; exit 1; }
+      echo "sparse crash smoke ($SPARSE_MODE): OK (SIGKILL + resume + MATCH)"
+    fi
+    rm -rf "$SPARSE_CKPT_DIR"
+  done
 fi
 
 # gcad soak smoke: saturate the daemon with mixed-priority traffic while
@@ -142,4 +178,16 @@ if [ "${SKIP_SOAK_SMOKE:-0}" != "1" ]; then
     --queries 120 --fault-rate 0.3 --kill \
     || { echo "gcad soak smoke: FAIL" >&2; exit 1; }
   echo "gcad soak smoke: OK (faults + SIGKILL + restart, zero loss)"
+
+  # Sparse leg of the same soak: force the CSR substrate so the injected
+  # faults hit the CAS-min engine, and hand the daemon a checkpoint
+  # directory so journal-replayed queries resume their solves from durable
+  # per-query GSKP state instead of recomputing from round zero.
+  "$PERF_BUILD_DIR"/examples/gcad_soak \
+    --gcad "$PERF_BUILD_DIR"/examples/gcad \
+    --journal "$SOAK_DIR/soak_sparse.gcqj" \
+    --substrate sparse_csr --checkpoint-dir "$SOAK_DIR/ckpt" \
+    --queries 120 --fault-rate 0.3 --kill \
+    || { echo "gcad sparse soak smoke: FAIL" >&2; exit 1; }
+  echo "gcad sparse soak smoke: OK (sparse faults + SIGKILL + resume, zero loss)"
 fi

@@ -8,6 +8,7 @@
 #include "core/hirschberg_gca.hpp"
 #include "core/sparse_cc_solver.hpp"
 #include "gca/cancel.hpp"
+#include "graph/certificate.hpp"
 #include "graph/labeling.hpp"
 
 namespace gcalib::core {
@@ -98,13 +99,18 @@ gca::SubstrateMode resolve_substrate(gca::SubstrateMode requested,
 }
 
 bool requires_dense_machine(const RunOptions& options) {
+  // Only the HirschbergGca-typed hooks pin the dense machine.  The
+  // substrate-agnostic resilience options (checkpoint_dir, recovery,
+  // certify, sparse_monitors, the sparse round hooks) are implemented by
+  // both substrates since DESIGN.md §15 and deliberately absent here:
+  // pinning a million-vertex fault-tolerant query onto the O(n²) field was
+  // the routing footgun this predicate used to be.
   return options.record_access || static_cast<bool>(options.on_step) ||
          static_cast<bool>(options.before_step) ||
          static_cast<bool>(options.after_step) ||
          static_cast<bool>(options.detect) ||
          static_cast<bool>(options.final_check) ||
-         static_cast<bool>(options.on_restore) || options.recovery.enabled() ||
-         !options.checkpoint_dir.empty();
+         static_cast<bool>(options.on_restore);
 }
 
 namespace {
@@ -128,9 +134,27 @@ class DenseFieldSolver final : public CcSolver {
     result.components = graph::component_count(run.labels);
     result.labels = std::move(run.labels);
     result.generations = run.generations;
+    result.rollbacks = run.rollbacks;
+    result.restarts = run.restarts;
+    result.diagnoses = std::move(run.diagnoses);
+    result.resumed = run.resumed;
+    result.resume_round = run.resume_iteration;
     result.sweeps.reserve(run.records.size());
     for (StepRecord& record : run.records) {
       result.sweeps.push_back(std::move(record.stats));
+    }
+    if (options.certify) {
+      // Dense queries are small by routing (n <= 512), so materialising
+      // the CSR view for the certificate is cheap relative to the field.
+      const graph::CsrGraph& csr = input.csr();
+      graph::ForestCertificate certificate;
+      Status status = build_certificate(csr, result.labels, certificate);
+      if (status.ok()) {
+        status = verify_certificate(csr, result.labels, result.components,
+                                    certificate);
+      }
+      if (!status.ok()) throw ContractViolation(status.message);
+      result.certified = true;
     }
     return result;
   }

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
@@ -83,6 +84,16 @@ struct QueryResult {
   /// reports active cells and read totals (congestion histograms are a
   /// dense-field concept — see DESIGN.md §12).
   std::vector<gca::GenerationStats> sweeps;
+
+  // --- resilience bookkeeping (both substrates; DESIGN.md §15) ----------
+  unsigned rollbacks = 0;  ///< recovery rollbacks performed
+  unsigned restarts = 0;   ///< fresh restarts performed
+  std::vector<std::string> diagnoses;  ///< one entry per detected corruption
+  bool resumed = false;    ///< resumed from a durable checkpoint
+  unsigned resume_round = 0;  ///< round/iteration the resume entered at
+  /// True when a spanning-forest certificate was built from the final
+  /// labels and verified (`RunOptions::certify`).
+  bool certified = false;
 };
 
 /// Per-query outcome of an isolated solve: the Status taxonomy plus the
@@ -171,13 +182,21 @@ class CcSolver {
                                                    unsigned threads);
 
 /// True when the options carry hooks only the dense machine implements —
-/// fault injection / detection callbacks, the in-memory recovery ladder,
-/// durable checkpoints, access-edge recording, per-step StepRecord
-/// callbacks.  Auto-routing (`core::Runner`) pins such queries to the
-/// dense reference regardless of size, because silently dropping a fault
-/// monitor or checkpoint anchor is not an optimisation.  An *explicitly*
-/// requested sparse_csr substrate still wins; the hooks are then ignored
-/// as documented on `CcSolver`.
+/// `HirschbergGca`-typed fault callbacks (before_step / after_step /
+/// detect / final_check / on_restore), per-step StepRecord callbacks, and
+/// access-edge recording.  Auto-routing (`core::Runner`) pins such queries
+/// to the dense reference regardless of size, because silently dropping a
+/// fault monitor is not an optimisation.  An *explicitly* requested
+/// sparse_csr substrate still wins; the hooks are then ignored as
+/// documented on `CcSolver`.
+///
+/// Routing rule since DESIGN.md §15: substrate-agnostic resilience options
+/// — `checkpoint_dir`, an enabled `recovery` policy, `certify`,
+/// `sparse_monitors`, `self_check` and the sparse round hooks — do NOT pin
+/// the dense machine.  Both substrates implement durable checkpoints
+/// (GCKP / GSKP), the detect→rollback→restart recovery ladder and result
+/// certificates, so a million-vertex query asking for fault tolerance
+/// routes by size like any other instead of landing on the O(n²) field.
 [[nodiscard]] bool requires_dense_machine(const RunOptions& options);
 
 /// The process-wide solver instances (stateless, thread-safe).

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <limits>
 #include <system_error>
 
@@ -14,8 +15,16 @@ namespace {
 
 constexpr char kMagic[4] = {'G', 'C', 'K', 'P'};
 constexpr std::uint32_t kVersion = 1;
+constexpr char kSparseMagic[4] = {'G', 'S', 'K', 'P'};
+constexpr std::uint32_t kSparseVersion = 1;
 constexpr std::size_t kHeaderBytes = 32;
 constexpr std::size_t kCrcBytes = 4;
+
+/// Alloc guard of the GSKP loader: one u32 label per node, so 2^28 nodes
+/// (a 1 GiB plane) bounds anything a hostile header can request while
+/// leaving the million-node graphs the sparse substrate exists for far
+/// inside the limit.
+constexpr std::uint64_t kMaxSparseNodes = std::uint64_t{1} << 28;
 
 /// Upper bound on the cell count a loader will allocate for — rejects
 /// fuzzed headers that would otherwise request gigabytes.  2^26 cells
@@ -161,6 +170,155 @@ Status parse_checkpoint(const std::string& bytes, CheckpointData& out) {
   }
   out = std::move(data);
   return Status{};
+}
+
+std::string serialize_sparse_checkpoint(const SparseCheckpointData& data) {
+  std::string out;
+  out.reserve(kHeaderBytes + 4 * data.labels.size() + kCrcBytes);
+  out.append(kSparseMagic, sizeof kSparseMagic);
+  put_u32(out, kSparseVersion);
+  put_u32(out, data.n);
+  put_u32(out, data.round);
+  put_u64(out, data.graph_hash);
+  put_u64(out, data.labels.size());
+  for (const std::uint32_t label : data.labels) put_u32(out, label);
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+Status parse_sparse_checkpoint(const std::string& bytes,
+                               SparseCheckpointData& out) {
+  if (bytes.size() < kHeaderBytes + kCrcBytes) {
+    return data_loss("truncated header (" + std::to_string(bytes.size()) +
+                     " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kSparseMagic, sizeof kSparseMagic) != 0) {
+    return data_loss("bad magic (not a GSKP sparse checkpoint)");
+  }
+  const std::uint32_t version = get_u32(bytes, 4);
+  if (version != kSparseVersion) {
+    return data_loss("unsupported GSKP version " + std::to_string(version) +
+                     " (expected " + std::to_string(kSparseVersion) + ")");
+  }
+  const std::uint32_t n = get_u32(bytes, 8);
+  const std::uint32_t round = get_u32(bytes, 12);
+  const std::uint64_t graph_hash = get_u64(bytes, 16);
+  const std::uint64_t count = get_u64(bytes, 24);
+  if (n == 0) return data_loss("node count is zero");
+  if (count > kMaxSparseNodes) {
+    return data_loss("label count " + std::to_string(count) +
+                     " exceeds the loader bound");
+  }
+  if (count != n) {
+    return data_loss("label count " + std::to_string(count) +
+                     " does not match n = " + std::to_string(n));
+  }
+  const std::size_t expected =
+      kHeaderBytes + 4 * static_cast<std::size_t>(count) + kCrcBytes;
+  if (bytes.size() != expected) {
+    return data_loss("payload length " + std::to_string(bytes.size()) +
+                     " does not match the header (expected " +
+                     std::to_string(expected) + " bytes)");
+  }
+  const std::uint32_t stored_crc = get_u32(bytes, bytes.size() - kCrcBytes);
+  const std::uint32_t actual_crc =
+      crc32(bytes.data(), bytes.size() - kCrcBytes);
+  if (stored_crc != actual_crc) {
+    return data_loss("CRC mismatch (torn write or bit rot)");
+  }
+
+  SparseCheckpointData data;
+  data.n = n;
+  data.round = round;
+  data.graph_hash = graph_hash;
+  get_plane(bytes, kHeaderBytes, count, data.labels);
+
+  // Semantic lattice check: a resumable label plane must satisfy
+  // label[v] <= v (which also bounds it below n) — anything else is not a
+  // reachable solver state and resuming it could index out of the graph.
+  for (std::size_t v = 0; v < data.labels.size(); ++v) {
+    if (data.labels[v] > v) {
+      return data_loss("label of vertex " + std::to_string(v) +
+                       " violates the lattice invariant (" +
+                       std::to_string(data.labels[v]) + " > " +
+                       std::to_string(v) + ")");
+    }
+  }
+  out = std::move(data);
+  return Status{};
+}
+
+namespace {
+
+/// Shared atomic temp+rename writer of both artifact formats.
+Status write_file_atomically(const std::string& path,
+                             const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: cannot open " + tmp + " for writing");
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  const bool closed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: cannot rename " + tmp + " to " + path);
+  }
+  return Status{};
+}
+
+/// Shared whole-file reader; parse errors get the path appended.
+Status read_and_parse(const std::string& path,
+                      const std::function<Status(const std::string&)>& parse) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::error(StatusCode::kNotFound,
+                         "checkpoint: no file at " + path);
+  }
+  std::string bytes;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    bytes.append(buffer, got);
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return Status::error(StatusCode::kInternal,
+                         "checkpoint: read error on " + path);
+  }
+  Status status = parse(bytes);
+  if (!status.ok()) status.message += " [" + path + "]";
+  return status;
+}
+
+}  // namespace
+
+Status save_sparse_checkpoint_file(const std::string& path,
+                                   const SparseCheckpointData& data) {
+  return write_file_atomically(path, serialize_sparse_checkpoint(data));
+}
+
+Status load_sparse_checkpoint_file(const std::string& path,
+                                   SparseCheckpointData& out) {
+  return read_and_parse(path, [&out](const std::string& bytes) {
+    return parse_sparse_checkpoint(bytes, out);
+  });
+}
+
+std::string sparse_checkpoint_path_in(const std::string& dir) {
+  if (dir.empty()) return {};
+  const char last = dir.back();
+  return (last == '/' || last == '\\') ? dir + "sparse.gskp"
+                                       : dir + "/sparse.gskp";
 }
 
 Status save_checkpoint_file(const std::string& path,

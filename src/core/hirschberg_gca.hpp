@@ -145,6 +145,25 @@ struct StepRecord {
 
 class HirschbergGca;
 
+/// Mutable between-rounds view of the sparse CSR label lattice, handed to
+/// the sparse resilience hooks (fault injection and monitors — DESIGN.md
+/// §15).  Hooks run on the driving thread while every sweep lane is
+/// quiesced, so `get`/`set` are plain accesses with no synchronisation
+/// burden on the hook.  `set` may raise a label — that is exactly what a
+/// fault injector does — and the per-round monitors (`sparse_monitors`)
+/// are what catches it before the next sweep dereferences it.
+struct SparseRoundContext {
+  unsigned round = 0;        ///< 0-based hook/shortcut round index
+  graph::NodeId n = 0;       ///< vertex count; labels are indexed [0, n)
+  bool async = false;        ///< true on the concurrent CAS-min round loop
+  std::function<graph::NodeId(graph::NodeId)> get;  ///< read label[v]
+  std::function<void(graph::NodeId, graph::NodeId)> set;  ///< write label[v]
+  /// Async only (empty in sync mode): discard every change recorded this
+  /// round, so the next frontier worklist misses them — the stale-frontier
+  /// fault site.  The labels themselves are untouched.
+  std::function<void()> drop_frontier;
+};
+
 /// Checkpoint/rollback policy for detected state corruption (see src/fault/
 /// for the injectors and monitors that produce the detections).
 struct RecoveryPolicy {
@@ -228,6 +247,33 @@ struct RunOptions {
   std::function<void(HirschbergGca&)> on_restore;
   RecoveryPolicy recovery;
 
+  // --- sparse resilience hooks (DESIGN.md §15) --------------------------
+  //
+  // The CSR-substrate counterparts of the dense step hooks above.  They
+  // cost nothing when unset: the sparse solver only leaves its PR-9 fast
+  // path when one of these (or `checkpoint_dir` / an enabled recovery
+  // policy) is present.
+
+  /// Called before every sparse round, after any checkpoint/anchor state
+  /// was captured — the injection point for label corruption.
+  std::function<void(const SparseRoundContext&)> sparse_before_round;
+  /// Called after every sparse round — the injection point for stuck-at
+  /// re-pinning, lost-update reverts and frontier drops.
+  std::function<void(const SparseRoundContext&)> sparse_after_round;
+  /// Per-round label-lattice monitors: every label in range and <= its
+  /// vertex id, monotone non-increasing against the previous round, and
+  /// root-reachable via a bounded pointer chase.  A violation is a
+  /// detection: the recovery ladder handles it when enabled, otherwise the
+  /// solve throws ContractViolation.  Fault injectors force this on.
+  bool sparse_monitors = false;
+  /// Build a spanning-forest certificate from the final labels and verify
+  /// the labeling against it (graph/certificate.hpp, O(n + m)) — an
+  /// independently checkable proof of correctness, strictly stronger than
+  /// `self_check` auditing-wise (no solver re-run to trust).  A failed
+  /// build or verify is a detection like any monitor violation.  Honoured
+  /// by both substrates.
+  bool certify = false;
+
   // --- process-resilience hooks (DESIGN.md §10) -------------------------
 
   /// Wall-clock budget for the whole run in milliseconds; 0 = unlimited.
@@ -245,6 +291,10 @@ struct RunOptions {
   /// and (b) writes a checkpoint atomically at every checkpoint boundary
   /// (`recovery.checkpoint_interval` iterations; every iteration when
   /// recovery is disabled).  The file is removed on successful completion.
+  /// Honoured by both substrates: the dense machine writes GCKP artifacts,
+  /// the sparse CSR engine writes GSKP label-plane artifacts (per *round*
+  /// rather than per iteration) — resuming either mid-run reproduces the
+  /// bit-identical canonical labeling.
   std::string checkpoint_dir;
 };
 

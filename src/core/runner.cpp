@@ -17,9 +17,12 @@ namespace {
 
 /// One routed solve: resolves the substrate against the query's size and
 /// hands the input to that solver (core/cc_solver.hpp).  A query carrying
-/// dense-only hooks (fault injection, durable checkpoints, per-step
-/// callbacks — typically planted by `configure_query`) pins auto-routing
-/// to the dense machine: dropping a monitor silently is not routing.
+/// dense-only hooks (HirschbergGca-typed fault callbacks, per-step
+/// callbacks, access recording — typically planted by `configure_query`)
+/// pins auto-routing to the dense machine: dropping a monitor silently is
+/// not routing.  Substrate-agnostic resilience options (checkpoint_dir,
+/// recovery, certify, the sparse round hooks) route by size like any other
+/// query — both substrates implement them (DESIGN.md §15).
 QueryResult solve_query(const SolverInput& input,
                         gca::SubstrateMode substrate,
                         const RunOptions& run_options) {
@@ -179,6 +182,8 @@ RunOptions Runner::single_query_options() const {
   run_options.sink = options_.sink;
   run_options.deadline_ms = options_.deadline_ms;
   run_options.cancel = options_.cancel;
+  run_options.checkpoint_dir = options_.checkpoint_dir;
+  run_options.certify = options_.certify;
   return run_options;
 }
 
@@ -247,6 +252,7 @@ RunnerOptions runner_options_from_flags(const cli::RunnerFlags& flags) {
   options.deadline_ms = flags.engine.deadline_ms;
   options.retries = flags.engine.retries;
   options.retry_backoff_ms = flags.retry_backoff_ms;
+  options.checkpoint_dir = flags.engine.checkpoint_dir;
   return options;
 }
 

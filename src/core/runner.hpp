@@ -106,6 +106,16 @@ struct RunnerOptions {
   std::int64_t retry_backoff_ms = 0;
   /// External kill switch observed by every query of a batch (non-owning).
   gca::CancelToken* cancel = nullptr;
+  /// Durable checkpoint directory for *single-query* solves (DESIGN.md
+  /// §15): forwarded to RunOptions::checkpoint_dir, so the query writes
+  /// GCKP / GSKP artifacts and resumes across a crash.  Deliberately NOT
+  /// applied to multi-query batches — the queries would race on one
+  /// artifact file; batch callers wanting durability assign per-query
+  /// directories through `configure_query` (gcad does exactly this).
+  std::string checkpoint_dir;
+  /// Verify every result against a freshly built spanning-forest
+  /// certificate (RunOptions::certify; both substrates).
+  bool certify = false;
   /// Per-attempt configuration hook: called with the query index before
   /// every attempt and may adjust that query's RunOptions (per-query
   /// deadlines, fault-injection hooks for resilience tests, self checks).

@@ -4,18 +4,23 @@
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/checkpoint.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "gca/bitplane.hpp"
 #include "gca/cancel.hpp"
 #include "gca/metrics.hpp"
 #include "gca/thread_pool.hpp"
 #include "gca/worklist.hpp"
+#include "graph/certificate.hpp"
 #include "graph/union_find.hpp"
 
 namespace gcalib::core {
@@ -283,11 +288,157 @@ void self_check_labels(const graph::CsrGraph& csr, const QueryResult& result) {
 }
 
 // ---------------------------------------------------------------------------
+// Resilience context — monitors, anchors, durable GSKP checkpoints
+// (DESIGN.md §15).  Everything here is on the cold path: a solve without
+// sparse hooks / monitors / certify / checkpoint_dir / recovery passes a
+// null context and runs the PR-9 round loops untouched.
+// ---------------------------------------------------------------------------
+
+/// Steps of the bounded root chase a monitored round walks per vertex.
+/// Chains shrink geometrically under pointer jumping, so a healthy run is
+/// far below this; the bound only caps the monitor's cost on adversarial
+/// mid-run chain shapes (an exceeded bound is not a violation).
+constexpr unsigned kChaseBound = 16;
+
+/// Internal detection signal of the resilient round loops: a monitor or
+/// certificate found the label lattice corrupted.  Caught by the recovery
+/// ladder (rollback → degraded sync re-run → restart) and converted to
+/// ContractViolation only when the ladder is exhausted or disabled.
+struct SparseDetection : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-attempt resilience state threaded through the round loops.  The
+/// loops call `begin_round` / `end_round` between sweeps — every lane is
+/// quiesced there, so the hooks and monitors read and write labels without
+/// synchronisation.
+class ResilienceState {
+ public:
+  const RunOptions* options = nullptr;
+  NodeId n = 0;
+  /// Rounds between anchors / durable saves (recovery.checkpoint_interval;
+  /// 1 when recovery is disabled but checkpoint_dir is set).
+  unsigned interval = 1;
+  std::string gskp_path;         ///< empty = no durable checkpoints
+  std::uint64_t graph_hash = 0;  ///< binds GSKP artifacts to the graph
+  std::vector<NodeId> seed;    ///< start labels of the attempt; empty = identity
+  std::vector<NodeId> anchor;  ///< last good labels (rollback target)
+  std::vector<NodeId> prev;    ///< end of previous round (monitor baseline)
+
+  template <typename Get>
+  void start_attempt(const Get& get) {
+    prev.resize(n);
+    for (NodeId v = 0; v < n; ++v) prev[v] = get(v);
+    if (anchor.empty()) anchor = prev;  // the start state is a valid anchor
+  }
+
+  template <typename Get, typename Set>
+  void begin_round(unsigned round, bool async, const Get& get, const Set& set,
+                   const std::function<void()>& drop) {
+    if (options->sparse_before_round) {
+      options->sparse_before_round(make_ctx(round, async, get, set, drop));
+    }
+    // Monitors run immediately after the injection point and *before* the
+    // sweep: a label corrupted out of [0, n) would otherwise be used as an
+    // array index inside the round body.
+    if (options->sparse_monitors) monitors_or_throw(round, get);
+  }
+
+  template <typename Get, typename Set>
+  void end_round(unsigned round, bool async, const Get& get, const Set& set,
+                 const std::function<void()>& drop) {
+    if (options->sparse_after_round) {
+      options->sparse_after_round(make_ctx(round, async, get, set, drop));
+    }
+    if (options->sparse_monitors) monitors_or_throw(round, get);
+    for (NodeId v = 0; v < n; ++v) prev[v] = get(v);
+    if ((round + 1) % interval == 0) {
+      // Anchor only after the monitors passed: rollback targets are states
+      // the checks believed in.  (A corruption the monitors cannot see can
+      // still poison an anchor — that is exactly what the ladder's restart
+      // rung exists for.)
+      anchor = prev;
+      if (!gskp_path.empty()) save_gskp(round + 1);
+    }
+  }
+
+  /// Writes the GSKP artifact for a run about to execute `next_round`.
+  void save_gskp(unsigned next_round) const {
+    SparseCheckpointData data;
+    data.n = n;
+    data.round = next_round;
+    data.graph_hash = graph_hash;
+    data.labels.assign(prev.begin(), prev.end());
+    const Status status = save_sparse_checkpoint_file(gskp_path, data);
+    if (!status.ok()) throw ContractViolation(status.message);
+  }
+
+ private:
+  template <typename Get, typename Set>
+  [[nodiscard]] SparseRoundContext make_ctx(
+      unsigned round, bool async, const Get& get, const Set& set,
+      const std::function<void()>& drop) const {
+    SparseRoundContext ctx;
+    ctx.round = round;
+    ctx.n = n;
+    ctx.async = async;
+    ctx.get = get;
+    ctx.set = set;
+    ctx.drop_frontier = drop;
+    return ctx;
+  }
+
+  /// The per-round lattice monitors: every label in range and at most its
+  /// vertex id, monotone non-increasing against the previous round, and
+  /// root-reachable via a bounded strictly-decreasing pointer chase.
+  template <typename Get>
+  void monitors_or_throw(unsigned round, const Get& get) const {
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId l = get(v);
+      if (l >= n) {
+        throw SparseDetection("sparse monitor: label of vertex " +
+                              std::to_string(v) + " out of range (" +
+                              std::to_string(l) + ") at round " +
+                              std::to_string(round));
+      }
+      if (l > v) {
+        throw SparseDetection("sparse monitor: label of vertex " +
+                              std::to_string(v) + " exceeds its id (" +
+                              std::to_string(l) + ") at round " +
+                              std::to_string(round));
+      }
+      if (l > prev[v]) {
+        throw SparseDetection("sparse monitor: label of vertex " +
+                              std::to_string(v) + " increased (" +
+                              std::to_string(prev[v]) + " -> " +
+                              std::to_string(l) + ") at round " +
+                              std::to_string(round));
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId l = get(v);
+      for (unsigned step = 0; step < kChaseBound; ++step) {
+        const NodeId next_l = get(l);
+        if (next_l == l) break;
+        if (next_l > l) {
+          throw SparseDetection("sparse monitor: label chain of vertex " +
+                                std::to_string(v) + " rises at " +
+                                std::to_string(l) + " on round " +
+                                std::to_string(round));
+        }
+        l = next_l;
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Synchronous mode — the double-buffered golden reference.
 // ---------------------------------------------------------------------------
 
 QueryResult solve_sync(const graph::CsrGraph& csr, const RunOptions& options,
-                       const StopState& stop, const SweepBackend& backend) {
+                       const StopState& stop, const SweepBackend& backend,
+                       ResilienceState* res) {
   QueryResult result;
   const NodeId n = csr.node_count();
 
@@ -299,6 +450,12 @@ QueryResult solve_sync(const graph::CsrGraph& csr, const RunOptions& options,
   std::vector<NodeId> cur(n);
   std::vector<NodeId> next(n);
   for (NodeId v = 0; v < n; ++v) cur[v] = v;
+  if (res != nullptr && !res->seed.empty()) cur = res->seed;
+  // Between-rounds label view for the resilience hooks; reads/writes go
+  // through `cur` by reference, so the buffer swaps stay transparent.
+  const auto res_get = [&cur](NodeId v) { return cur[v]; };
+  const auto res_set = [&cur](NodeId v, NodeId l) { cur[v] = l; };
+  if (res != nullptr) res->start_attempt(res_get);
 
   const auto emit = [&](gca::GenerationStats&& sweep_stats,
                         std::int64_t start_ns) {
@@ -384,6 +541,7 @@ QueryResult solve_sync(const graph::CsrGraph& csr, const RunOptions& options,
   for (unsigned round = 0;; ++round) {
     GCALIB_ASSERT_MSG(round < max_rounds,
                       "sparse-csr: hook/jump rounds failed to converge");
+    if (res != nullptr) res->begin_round(round, false, res_get, res_set, {});
     const std::int64_t hook_start = stats.timed ? gca::steady_now_ns() : 0;
     const std::size_t hooked = backend.sweep_bounds(hook_bounds, hook_body);
     cur.swap(next);
@@ -407,6 +565,7 @@ QueryResult solve_sync(const graph::CsrGraph& csr, const RunOptions& options,
              jump_start);
       }
     }
+    if (res != nullptr) res->end_round(round, false, res_get, res_set, {});
   }
 
   result.labels = std::move(cur);
@@ -468,7 +627,8 @@ inline bool fetch_min(std::atomic<NodeId>& slot, NodeId value) {
 /// last full sweep of that arc, which puts u in the current worklist, and
 /// u's row was just swept without effect.
 QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
-                        const StopState& stop, const SweepBackend& backend) {
+                        const StopState& stop, const SweepBackend& backend,
+                        ResilienceState* res) {
   QueryResult result;
   const NodeId n = csr.node_count();
   const std::vector<std::size_t>& offsets = csr.offsets();
@@ -495,7 +655,8 @@ QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
   // dispatch (the dispatch barrier publishes the stores to every lane).
   std::unique_ptr<std::atomic<NodeId>[]> label(new std::atomic<NodeId>[n]);
   for (NodeId v = 0; v < n; ++v) {
-    label[v].store(v, std::memory_order_relaxed);
+    label[v].store(res != nullptr && !res->seed.empty() ? res->seed[v] : v,
+                   std::memory_order_relaxed);
   }
 
   // Shared changed bitset (atomic words, fetch_or-merged from the per-lane
@@ -503,6 +664,27 @@ QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
   const std::size_t word_count = (std::size_t{n} + 63) / 64;
   std::unique_ptr<std::atomic<std::uint64_t>[]> changed_bits(
       new std::atomic<std::uint64_t>[word_count]);
+
+  // Between-rounds label view for the resilience hooks.  Hooks run with
+  // every lane quiesced (between backend dispatches), so relaxed loads and
+  // stores are plain accesses in effect.  `drop_fn` clears the changed
+  // bitset — the stale-frontier fault site: the labels keep their values
+  // but the next worklist forgets who moved.
+  const auto res_get = [&label](NodeId v) {
+    return label[v].load(std::memory_order_relaxed);
+  };
+  const auto res_set = [&label](NodeId v, NodeId l) {
+    label[v].store(l, std::memory_order_relaxed);
+  };
+  std::function<void()> drop_fn;
+  if (res != nullptr) {
+    drop_fn = [&changed_bits, word_count] {
+      for (std::size_t w = 0; w < word_count; ++w) {
+        changed_bits[w].store(0, std::memory_order_relaxed);
+      }
+    };
+    res->start_attempt(res_get);
+  }
 
   // Arc-range lane boundaries for full hook rounds: count-equal over the
   // arc array, rounded down to a kLineVertices-arc grain.
@@ -539,6 +721,7 @@ QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
   for (unsigned round = 0;; ++round) {
     GCALIB_ASSERT_MSG(round < max_rounds,
                       "sparse-csr: async rounds failed to converge");
+    if (res != nullptr) res->begin_round(round, true, res_get, res_set, drop_fn);
     for (std::size_t w = 0; w < word_count; ++w) {
       changed_bits[w].store(0, std::memory_order_relaxed);
     }
@@ -681,6 +864,11 @@ QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
     }
     ++result.generations;
 
+    // End-of-round hooks run *before* the frontier decision, so a dropped
+    // changed bitset (the stale-frontier fault site) poisons exactly the
+    // worklist the next round would have trusted.
+    if (res != nullptr) res->end_round(round, true, res_get, res_set, drop_fn);
+
     const std::size_t changed = hooked + jumped;
     if (changed == 0) break;
 
@@ -703,6 +891,126 @@ QueryResult solve_async(const graph::CsrGraph& csr, const RunOptions& options,
     if (result.labels[v] == v) ++result.components;
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Resilient driver — durable GSKP resume plus the recovery ladder:
+// detect -> rollback to the last anchor (re-run in deterministic sync mode)
+// -> fresh restart -> fail with the accumulated diagnosis (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+/// Builds and verifies the spanning-forest certificate for `result`; any
+/// failure is a detection (the ladder's problem, not the caller's).
+void certify_or_throw(const graph::CsrGraph& csr, const QueryResult& result) {
+  graph::ForestCertificate certificate;
+  Status status = build_certificate(csr, result.labels, certificate);
+  if (status.ok()) {
+    status =
+        verify_certificate(csr, result.labels, result.components, certificate);
+  }
+  if (!status.ok()) throw SparseDetection(status.message);
+}
+
+QueryResult solve_resilient(const graph::CsrGraph& csr,
+                            const RunOptions& options, const StopState& stop,
+                            const SweepBackend& backend, gca::SparseMode mode) {
+  const NodeId n = csr.node_count();
+
+  ResilienceState res;
+  res.options = &options;
+  res.n = n;
+  res.interval = options.recovery.enabled()
+                     ? std::max(1u, options.recovery.checkpoint_interval)
+                     : 1;
+
+  unsigned rollbacks = 0;
+  unsigned restarts = 0;
+  std::vector<std::string> diagnoses;
+  bool resumed = false;
+  unsigned resume_round = 0;
+
+  if (!options.checkpoint_dir.empty()) {
+    Status status = ensure_checkpoint_dir(options.checkpoint_dir);
+    if (!status.ok()) throw ContractViolation(status.message);
+    res.gskp_path = sparse_checkpoint_path_in(options.checkpoint_dir);
+    res.graph_hash = csr.content_hash();
+    SparseCheckpointData ckpt;
+    status = load_sparse_checkpoint_file(res.gskp_path, ckpt);
+    if (status.ok()) {
+      if (ckpt.n == n && ckpt.graph_hash == res.graph_hash) {
+        res.seed.assign(ckpt.labels.begin(), ckpt.labels.end());
+        resumed = true;
+        resume_round = ckpt.round;
+      } else {
+        // An intact artifact for a *different* graph: not corruption, just
+        // a reused directory.  Diagnose and start fresh.
+        diagnoses.push_back(
+            "sparse checkpoint ignored: belongs to a different graph (n=" +
+            std::to_string(ckpt.n) + ")");
+      }
+    } else if (status.code == StatusCode::kDataLoss) {
+      diagnoses.push_back("sparse checkpoint rejected (" + status.message +
+                          "); starting fresh");
+    }
+    // kNotFound is the normal cold start: silent.
+  }
+
+  // Rollback re-runs happen in the double-buffered synchronous mode
+  // regardless of the requested mode: deterministic, monitorable between
+  // every sweep, the degraded tier the dense ladder's sync re-run mirrors.
+  bool degraded = false;
+  for (;;) {
+    try {
+      const bool sync = mode == gca::SparseMode::kSync || degraded;
+      QueryResult result = sync
+                               ? solve_sync(csr, options, stop, backend, &res)
+                               : solve_async(csr, options, stop, backend, &res);
+      // The certificate is the end-of-run oracle: monitors are lattice
+      // checks and cannot see a silently pinned vertex, but a spanning
+      // forest over the final labels can.
+      if (options.certify || options.sparse_monitors) {
+        certify_or_throw(csr, result);
+        result.certified = options.certify;
+      }
+      result.rollbacks = rollbacks;
+      result.restarts = restarts;
+      result.diagnoses = std::move(diagnoses);
+      result.resumed = resumed;
+      result.resume_round = resume_round;
+      if (!res.gskp_path.empty()) remove_checkpoint_file(res.gskp_path);
+      return result;
+    } catch (const gca::Cancelled&) {
+      throw;  // an aborted run is not a detection
+    } catch (const gca::DeadlineExceeded&) {
+      throw;
+    } catch (const std::runtime_error& e) {
+      // SparseDetection, plus ContractViolation escaping a round body (a
+      // corrupted label used as an index trips an assert there) — the same
+      // taxonomy the dense ladder applies.
+      diagnoses.emplace_back(e.what());
+      if (options.recovery.enabled() &&
+          rollbacks < options.recovery.max_rollbacks) {
+        ++rollbacks;
+        res.seed = res.anchor;  // last state the monitors believed in
+        degraded = true;
+        continue;
+      }
+      if (options.recovery.enabled() &&
+          restarts < options.recovery.max_restarts) {
+        ++restarts;
+        res.seed.clear();  // identity labels: the run of record, replayed
+        res.anchor.clear();
+        degraded = false;
+        continue;
+      }
+      std::string joined =
+          "sparse-csr: unrecoverable corruption (" +
+          std::to_string(rollbacks) + " rollbacks, " +
+          std::to_string(restarts) + " restarts)";
+      for (const std::string& d : diagnoses) joined += "\n  - " + d;
+      throw ContractViolation(joined);
+    }
+  }
 }
 
 }  // namespace
@@ -739,9 +1047,19 @@ QueryResult SparseCcSolver::solve(const SolverInput& input,
                                : gca::SparseMode::kSync;
   }
 
-  QueryResult result = mode == gca::SparseMode::kSync
-                           ? solve_sync(csr, options, stop, backend)
-                           : solve_async(csr, options, stop, backend);
+  // The fast path (null resilience context) is the PR-9 round loops,
+  // untouched: everything below only engages when a resilience feature was
+  // asked for.
+  const bool resilient = options.sparse_monitors || options.certify ||
+                         static_cast<bool>(options.sparse_before_round) ||
+                         static_cast<bool>(options.sparse_after_round) ||
+                         !options.checkpoint_dir.empty() ||
+                         options.recovery.enabled();
+  QueryResult result =
+      resilient ? solve_resilient(csr, options, stop, backend, mode)
+                : (mode == gca::SparseMode::kSync
+                       ? solve_sync(csr, options, stop, backend, nullptr)
+                       : solve_async(csr, options, stop, backend, nullptr));
   if (options.self_check) self_check_labels(csr, result);
   return result;
 }

@@ -28,9 +28,16 @@
 //
 // RunOptions honoured: instrument, threads, policy, sparse_mode,
 // sparse_frontier, self_check, sink, deadline_ms, cancel (polled every
-// few thousand arcs, like the engine's chunk boundaries).
-// Dense-field-only hooks — record_access,
-// before_step/after_step/detect/final_check/recovery, checkpoint_dir,
+// few thousand arcs, like the engine's chunk boundaries) — plus the full
+// resilience surface (DESIGN.md §15): sparse_before_round /
+// sparse_after_round (between-sweep fault-injection points),
+// sparse_monitors (per-round label-lattice checks), certify
+// (spanning-forest result certificate), checkpoint_dir (durable GSKP
+// label-plane checkpoints with crash resume) and recovery (the
+// detect -> rollback-to-anchor-in-sync-mode -> restart -> diagnose
+// ladder).  None of these costs anything when unset: the solve then runs
+// the untouched fast round loops.  Only the HirschbergGca-typed hooks —
+// record_access, before_step/after_step/detect/final_check/on_restore,
 // on_step — have no CSR equivalent and are ignored (DESIGN.md §12).
 #pragma once
 

@@ -8,6 +8,7 @@
 #include "common/assert.hpp"
 #include "core/hirschberg_gca.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/sparse_fault.hpp"
 
 namespace gcalib::gcad {
 
@@ -77,27 +78,54 @@ void Server::configure_query(std::size_t index, core::RunOptions& run) const {
   const BatchContext* ctx = current_batch_.load(std::memory_order_acquire);
   if (ctx == nullptr || index >= ctx->deadlines_ms.size()) return;
   run.deadline_ms = ctx->deadlines_ms[index];
+  if (!options_.checkpoint_dir.empty()) {
+    // One subdirectory per query id: batch siblings solve concurrently and
+    // must never race on a shared artifact file.  Either substrate writes
+    // its own artifact (GCKP / GSKP) there and resumes from it on replay.
+    run.checkpoint_dir =
+        options_.checkpoint_dir + "/q" + std::to_string(ctx->ids[index]);
+  }
   if (options_.fault_rate > 0.0) {
     // Transient-fault soak mode: the first attempt of each query runs
-    // under an injected fault plan with self-checking on, so corruption
-    // is *detected* (never mislabelled); retries re-execute clean, which
-    // is exactly how transient upsets recover.
+    // under an injected fault plan with checking on, so corruption is
+    // *detected* (never mislabelled); retries re-execute clean, which is
+    // exactly how transient upsets recover.  The injector targets the
+    // substrate the query will actually run on — the sparse round hooks
+    // do not pin routing (DESIGN.md §15), so the choice mirrors the
+    // Runner's own resolution.
     run.self_check = true;
+    run.certify = true;
     const unsigned attempt =
         ctx->attempts[index].fetch_add(1, std::memory_order_relaxed) + 1;
     if (attempt == 1) {
-      auto injector = std::make_shared<fault::Injector>(
-          fault::FaultPlan::poisson(ctx->sizes[index], options_.fault_rate,
-                                    ctx->fault_seeds[index]));
-      injector->install(run);
-      // `install` captures the raw injector; parking the shared_ptr in an
-      // on_step wrapper ties its lifetime to the RunOptions copy the run
-      // holds.
-      auto previous_on_step = run.on_step;
-      run.on_step = [injector,
-                     previous_on_step](const core::StepRecord& record) {
-        if (previous_on_step) previous_on_step(record);
-      };
+      const gca::SubstrateMode resolved = core::resolve_substrate(
+          options_.substrate, ctx->sizes[index], ctx->edges[index],
+          run.threads);
+      if (resolved == gca::SubstrateMode::kSparseCsr) {
+        auto injector = std::make_shared<fault::SparseInjector>(
+            fault::SparseFaultPlan::poisson(ctx->sizes[index],
+                                            options_.fault_rate,
+                                            ctx->fault_seeds[index]));
+        injector->install(run);  // chains hooks, forces sparse_monitors
+        // `install` captures the raw injector; parking the shared_ptr in
+        // a hook wrapper ties its lifetime to the RunOptions copy the run
+        // holds.
+        auto previous_after = run.sparse_after_round;
+        run.sparse_after_round =
+            [injector, previous_after](const core::SparseRoundContext& round) {
+              if (previous_after) previous_after(round);
+            };
+      } else {
+        auto injector = std::make_shared<fault::Injector>(
+            fault::FaultPlan::poisson(ctx->sizes[index], options_.fault_rate,
+                                      ctx->fault_seeds[index]));
+        injector->install(run);
+        auto previous_on_step = run.on_step;
+        run.on_step = [injector,
+                       previous_on_step](const core::StepRecord& record) {
+          if (previous_on_step) previous_on_step(record);
+        };
+      }
     }
   }
 }
@@ -373,7 +401,9 @@ void Server::dispatch_batch(std::vector<PendingQuery> batch) {
       }
     }
     ctx.deadlines_ms.push_back(remaining);
+    ctx.ids.push_back(query.id);
     ctx.sizes.push_back(query.graph.node_count());
+    ctx.edges.push_back(query.graph.edge_count());
     ctx.fault_seeds.push_back(options_.fault_seed * 0x9E3779B97F4A7C15ull +
                               query.id);
     graphs.push_back(query.graph);

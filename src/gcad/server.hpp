@@ -67,6 +67,12 @@ struct ServerOptions {
   /// corruption is detected and retried — or reported, never mislabelled.
   double fault_rate = 0.0;
   std::uint64_t fault_seed = 1;
+  /// Durable per-query checkpoints (DESIGN.md §15): each query writes its
+  /// GCKP / GSKP artifact under `<checkpoint_dir>/q<id>`, so a SIGKILL
+  /// mid-solve resumes the interrupted query mid-lattice on replay instead
+  /// of from scratch.  Per-query subdirectories keep batch siblings from
+  /// racing on one artifact file.  Empty = no durable solver state.
+  std::string checkpoint_dir;
   /// Budget for the drain phase; work still queued when it expires stays
   /// in the journal for the next incarnation (checkpoint-not-finish).
   std::int64_t drain_timeout_ms = 30'000;
@@ -106,7 +112,9 @@ class Server {
   /// lanes (set by the single worker thread before each solve_batch).
   struct BatchContext {
     std::vector<std::int64_t> deadlines_ms;  ///< remaining budget per query
+    std::vector<std::uint64_t> ids;          ///< query ids (checkpoint dirs)
     std::vector<std::uint32_t> sizes;        ///< node counts (fault plans)
+    std::vector<std::size_t> edges;          ///< edge counts (substrate resolve)
     std::vector<std::uint64_t> fault_seeds;  ///< per-query injection seeds
     /// Attempt counter per query: transient faults strike the first
     /// attempt only, so a retry re-executes clean and recovers.

@@ -1,0 +1,172 @@
+#include "graph/certificate.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace gcalib::graph {
+
+namespace {
+
+[[nodiscard]] Status fail(std::string message) {
+  return Status::error(StatusCode::kFailedPrecondition,
+                       "certificate: " + std::move(message));
+}
+
+/// Shared precondition of both directions: labels must already satisfy the
+/// lattice invariants (in range, label[v] <= v) for the min-id argument to
+/// go through at all.
+[[nodiscard]] Status check_lattice(const NodeId n,
+                                   const std::vector<NodeId>& labels) {
+  if (labels.size() != n) {
+    return fail("label count " + std::to_string(labels.size()) +
+                " does not match the graph (n = " + std::to_string(n) + ")");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (labels[v] >= n) {
+      return fail("label of vertex " + std::to_string(v) +
+                  " is out of range (" + std::to_string(labels[v]) + ")");
+    }
+    if (labels[v] > v) {
+      return fail("label of vertex " + std::to_string(v) +
+                  " exceeds the vertex id (" + std::to_string(labels[v]) +
+                  " > " + std::to_string(v) + ")");
+    }
+  }
+  return Status{};
+}
+
+}  // namespace
+
+Status build_certificate(const CsrGraph& g, const std::vector<NodeId>& labels,
+                         ForestCertificate& out) {
+  const NodeId n = g.node_count();
+  if (Status lattice = check_lattice(n, labels); !lattice.ok()) {
+    return lattice;
+  }
+
+  const NodeId kUnset = n;
+  std::vector<NodeId> parent(n, kUnset);
+  std::vector<NodeId> queue;
+  queue.reserve(64);
+
+  // One BFS per label class, rooted at the self-labelled vertex.  Every
+  // vertex is enqueued at most once and every arc scanned at most once
+  // across all classes, so the whole build is O(n + m).
+  for (NodeId root = 0; root < n; ++root) {
+    if (labels[root] != root) continue;
+    parent[root] = root;
+    queue.clear();
+    queue.push_back(root);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (const NodeId w : g.neighbors(u)) {
+        if (labels[w] == root && parent[w] == kUnset) {
+          parent[w] = u;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] == kUnset) {
+      // Either the class has no root (labels[l] != l for l = labels[v]) or
+      // v is disconnected from it through same-label edges — both mean the
+      // labeling admits no spanning forest and cannot be correct.
+      return fail("vertex " + std::to_string(v) +
+                  " is not reachable from the root of its label class " +
+                  std::to_string(labels[v]));
+    }
+  }
+  out.parent = std::move(parent);
+  return Status{};
+}
+
+Status verify_certificate(const CsrGraph& g, const std::vector<NodeId>& labels,
+                          std::size_t components,
+                          const ForestCertificate& cert) {
+  const NodeId n = g.node_count();
+  if (Status lattice = check_lattice(n, labels); !lattice.ok()) {
+    return lattice;
+  }
+  if (cert.parent.size() != n) {
+    return fail("forest size " + std::to_string(cert.parent.size()) +
+                " does not match the graph (n = " + std::to_string(n) + ")");
+  }
+
+  // Per-vertex structure: roots are self-labelled, every other parent is a
+  // genuine same-label neighbour (neighbour rows are ascending, so the
+  // membership test is one binary search).
+  std::size_t roots = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = cert.parent[v];
+    if (p >= n) {
+      return fail("parent of vertex " + std::to_string(v) +
+                  " is out of range (" + std::to_string(p) + ")");
+    }
+    if (p == v) {
+      ++roots;
+      if (labels[v] != v) {
+        return fail("root " + std::to_string(v) + " is not self-labelled");
+      }
+      continue;
+    }
+    if (labels[p] != labels[v]) {
+      return fail("parent edge " + std::to_string(v) + " -> " +
+                  std::to_string(p) + " crosses label classes");
+    }
+    const std::span<const NodeId> row = g.neighbors(v);
+    if (!std::binary_search(row.begin(), row.end(), p)) {
+      return fail("parent " + std::to_string(p) + " of vertex " +
+                  std::to_string(v) + " is not a neighbour");
+    }
+  }
+  if (roots != components) {
+    return fail("forest has " + std::to_string(roots) +
+                " roots but the result claims " + std::to_string(components) +
+                " components");
+  }
+
+  // Acyclicity: walk each parent chain once with tri-state marking; a
+  // chain re-entering itself before reaching a settled vertex is a cycle.
+  // Every vertex settles exactly once, so the pass is O(n) amortised.
+  enum : unsigned char { kUnseen = 0, kOnPath = 1, kSettled = 2 };
+  std::vector<unsigned char> state(n, kUnseen);
+  std::vector<NodeId> path;
+  for (NodeId v = 0; v < n; ++v) {
+    if (state[v] != kUnseen) continue;
+    path.clear();
+    NodeId cur = v;
+    while (state[cur] == kUnseen && cert.parent[cur] != cur) {
+      state[cur] = kOnPath;
+      path.push_back(cur);
+      cur = cert.parent[cur];
+    }
+    if (state[cur] == kOnPath) {
+      return fail("parent chain of vertex " + std::to_string(v) +
+                  " cycles without reaching a root");
+    }
+    for (const NodeId u : path) state[u] = kSettled;
+    state[cur] = kSettled;
+  }
+
+  // Edge closure: no arc may cross label classes (otherwise the labeling
+  // split a component).  Together with the forest (each class connected)
+  // and the lattice checks (label[v] <= v, roots self-labelled) this pins
+  // labels to the exact canonical min-id fixpoint.
+  const std::vector<std::size_t>& offsets = g.offsets();
+  const std::vector<NodeId>& arcs = g.arcs();
+  for (NodeId u = 0; u < n; ++u) {
+    const NodeId lu = labels[u];
+    for (std::size_t a = offsets[u]; a < offsets[std::size_t{u} + 1]; ++a) {
+      if (labels[arcs[a]] != lu) {
+        return fail("edge {" + std::to_string(u) + ", " +
+                    std::to_string(arcs[a]) + "} crosses label classes");
+      }
+    }
+  }
+  return Status{};
+}
+
+}  // namespace gcalib::graph

@@ -1,0 +1,68 @@
+// Spanning-forest certificates — independently checkable witnesses that a
+// labeling is *the* canonical min-id connected-components labeling.
+//
+// `self_check_labels` (core/sparse_cc_solver.cpp) re-solves the query with
+// a sequential union-find and compares — a strong oracle, but one the
+// caller has to trust as much as the solver.  A certificate is stronger in
+// the auditing sense: `build_certificate` extracts a per-component BFS
+// forest from the final labels in O(n + m), and `verify_certificate` then
+// proves the labeling correct *from the forest alone*, also in O(n + m),
+// without re-running any solver:
+//
+//  (a) every edge {u, v} has label[u] == label[v] — no component is split;
+//  (b) every non-root vertex has a parent that is a real neighbour with
+//      the same label, and the parent chains are acyclic down to the root —
+//      each label class is genuinely connected, so no two components were
+//      merged;
+//  (c) every root satisfies label[root] == root and every vertex
+//      label[v] <= v — together with (b) this forces label[v] to be the
+//      *minimum* id of v's component: the minimum m of a class labelled r
+//      has label[m] = r <= m by (c), and r is in the class by (b), so
+//      r == m.
+//
+// Any labeling passing all three is exactly the canonical min-id labeling
+// — a wrong answer cannot be certified, whatever produced it.  The sparse
+// resilience path (DESIGN.md §15) uses a failed *build* as a corruption
+// detection in its own right: labels corrupted into a state with no
+// spanning forest (cross-component lowering, stuck survivors) fail here
+// even when every per-round lattice monitor stayed silent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "graph/csr_graph.hpp"
+
+namespace gcalib::graph {
+
+/// A spanning forest over the label classes: `parent[v]` is v's BFS tree
+/// parent (a neighbour of v with the same label), and `parent[r] == r`
+/// exactly for the class roots.
+struct ForestCertificate {
+  std::vector<NodeId> parent;
+
+  friend bool operator==(const ForestCertificate&, const ForestCertificate&) =
+      default;
+};
+
+/// Extracts a spanning-forest certificate from `labels` in O(n + m): one
+/// BFS per label class, rooted at the class's self-labelled vertex.
+/// Returns kFailedPrecondition with a diagnosis when no such forest exists
+/// — a label out of range, label[v] > v, a class without a root, or a
+/// vertex unreachable from its root through same-label edges.  `out` is
+/// only written on success.
+[[nodiscard]] Status build_certificate(const CsrGraph& g,
+                                       const std::vector<NodeId>& labels,
+                                       ForestCertificate& out);
+
+/// Proves `labels` is the canonical min-id labeling with `components`
+/// components, using only the certificate (checks (a)–(c) above plus the
+/// root count).  O(n + m); never re-runs a solver.  Returns
+/// kFailedPrecondition with a diagnosis naming the first violated check.
+[[nodiscard]] Status verify_certificate(const CsrGraph& g,
+                                        const std::vector<NodeId>& labels,
+                                        std::size_t components,
+                                        const ForestCertificate& cert);
+
+}  // namespace gcalib::graph

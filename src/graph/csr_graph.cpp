@@ -95,6 +95,22 @@ double CsrGraph::density() const {
   return static_cast<double>(edge_count()) / pairs;
 }
 
+std::uint64_t CsrGraph::content_hash() const {
+  // FNV-1a over the structural integers.  Hashing values (not bytes) keeps
+  // the digest identical across endianness and std::size_t widths.
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xFFu;
+      hash *= 0x100000001b3ull;
+    }
+  };
+  mix(n_);
+  for (const std::size_t offset : offsets_) mix(offset);
+  for (const NodeId arc : neighbors_) mix(arc);
+  return hash;
+}
+
 Graph CsrGraph::to_graph() const {
   Graph g(n_);
   for (NodeId u = 0; u < n_; ++u) {

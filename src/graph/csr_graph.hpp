@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -82,6 +83,13 @@ class CsrGraph {
   /// Materialises the dense `Graph` (O(n^2) memory — small graphs only;
   /// round-trip helper for tests and the dense fallback path).
   [[nodiscard]] Graph to_graph() const;
+
+  /// Order-sensitive 64-bit digest of the adjacency structure (FNV-1a over
+  /// n, the offset array and the arc array) — the binding a durable sparse
+  /// checkpoint (core/checkpoint.hpp, GSKP) carries so a label plane can
+  /// never be resumed against a different graph.  Deterministic across
+  /// platforms: it hashes the integer values, not their byte layout.
+  [[nodiscard]] std::uint64_t content_hash() const;
 
   friend bool operator==(const CsrGraph&, const CsrGraph&) = default;
 

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,13 +87,22 @@ TEST(AutoSubstrate, DenseOnlyHooksPinAutoRoutingToTheField) {
   injected.before_step = [](HirschbergGca&, const StepId&) {};
   EXPECT_TRUE(requires_dense_machine(injected));
 
+  // Substrate-agnostic resilience options do NOT pin the field: both
+  // substrates implement durable checkpoints, the recovery ladder and
+  // certificates (DESIGN.md §15), so these route by size like any query.
   RunOptions checkpointed;
   checkpointed.checkpoint_dir = "/tmp/anywhere";
-  EXPECT_TRUE(requires_dense_machine(checkpointed));
+  EXPECT_FALSE(requires_dense_machine(checkpointed));
 
   RunOptions recovering;
   recovering.recovery.checkpoint_interval = 2;
-  EXPECT_TRUE(requires_dense_machine(recovering));
+  EXPECT_FALSE(requires_dense_machine(recovering));
+
+  RunOptions certified;
+  certified.certify = true;
+  certified.sparse_monitors = true;
+  certified.sparse_before_round = [](const SparseRoundContext&) {};
+  EXPECT_FALSE(requires_dense_machine(certified));
 
   RunOptions recording;
   recording.record_access = true;
@@ -243,6 +254,47 @@ TEST(RunnerSolve, RoutesCsrOverloadWithoutDenseMaterialisation) {
   EXPECT_EQ(result.labels,
             (std::vector<graph::NodeId>{0, 0, 0, 3, 3}));
   EXPECT_EQ(result.components, 2u);
+}
+
+TEST(CcSolverRouting, MillionVertexResilientQueryRoutesSparse) {
+  // The §15 relaxation under regression guard: a million-vertex query
+  // carrying the full substrate-agnostic resilience surface — durable
+  // checkpoint directory, recovery ladder, certification, sparse round
+  // hooks — must route to the CSR engine.  Before PR 10, checkpoint_dir
+  // and recovery pinned the dense field, where a 1M-vertex query means a
+  // (n+1) x n field of ~10^12 cells; this test completing at all (let
+  // alone in milliseconds) is the point.
+  const graph::NodeId n = 1'000'000;
+  std::vector<graph::Edge> edges;
+  edges.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<graph::NodeId>((v + 1) % n)});
+  }
+  const graph::CsrGraph csr = graph::CsrGraph::from_edges(n, edges);
+  ASSERT_EQ(auto_substrate(n, csr.edge_count()),
+            gca::SubstrateMode::kSparseCsr);
+
+  auto rounds = std::make_shared<std::atomic<unsigned>>(0);
+  RunnerOptions options;
+  options.threads = 4;
+  options.certify = true;
+  options.checkpoint_dir = ::testing::TempDir() + "routing_1m_ckpt";
+  options.configure_query = [rounds](std::size_t, RunOptions& run) {
+    EXPECT_FALSE(requires_dense_machine(run));
+    run.recovery.checkpoint_interval = 8;
+    run.sparse_monitors = true;
+    run.sparse_before_round = [rounds](const SparseRoundContext&) {
+      rounds->fetch_add(1, std::memory_order_relaxed);
+    };
+    EXPECT_FALSE(requires_dense_machine(run));
+  };
+  const QueryOutcome outcome = Runner(options).try_solve(csr);
+  ASSERT_EQ(outcome.status.code, StatusCode::kOk) << outcome.status.message;
+  EXPECT_EQ(outcome.result.components, 1u);
+  EXPECT_EQ(outcome.result.labels,
+            std::vector<graph::NodeId>(n, 0));  // one cycle, min id 0
+  EXPECT_TRUE(outcome.result.certified);
+  EXPECT_GE(rounds->load(), 1u);  // the sparse hooks actually ran
 }
 
 // The golden contract through the interface: solving on the dense substrate

@@ -1,0 +1,203 @@
+// Spanning-forest certificates (graph/certificate.hpp): build_certificate
+// extracts a per-component BFS forest from a labeling in O(n + m) and
+// verify_certificate proves the labeling is *the* canonical min-id
+// connected-components labeling from the forest alone.  The adversarial
+// half of the suite is the point: every way a labeling can be wrong —
+// split component, merged components, non-minimal label, doctored forest —
+// must be convicted, because the sparse resilience path (DESIGN.md §15)
+// uses exactly these checks to turn silent corruption into detections.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/certificate.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/union_find.hpp"
+
+namespace gcalib::graph {
+namespace {
+
+/// The canonical min-id labeling plus its component count.
+struct Canonical {
+  std::vector<NodeId> labels;
+  std::size_t components = 0;
+};
+
+Canonical canonical_of(const Graph& g) {
+  Canonical out;
+  out.labels = union_find_components(g);
+  std::unordered_set<NodeId> roots(out.labels.begin(), out.labels.end());
+  out.components = roots.size();
+  return out;
+}
+
+/// Builds + verifies in one step; returns the verify status (build errors
+/// surface as failures of the EXPECT inside).
+Status certify(const CsrGraph& csr, const Canonical& truth) {
+  ForestCertificate cert;
+  const Status built = build_certificate(csr, truth.labels, cert);
+  EXPECT_TRUE(built.ok()) << built.message;
+  if (!built.ok()) return built;
+  return verify_certificate(csr, truth.labels, truth.components, cert);
+}
+
+TEST(Certificate, CanonicalLabelingsCertifyAcrossFamilies) {
+  const std::vector<std::string> families = {
+      "path", "cycle", "star", "complete", "tree", "empty",
+      "cliques:3", "gnp:0.05", "gnp:0.3", "planted:4:0.2"};
+  for (const std::string& family : families) {
+    for (const NodeId n : {NodeId{7}, NodeId{33}, NodeId{128}}) {
+      const Graph g = make_named(family, n, 99);
+      const CsrGraph csr = CsrGraph::from_graph(g);
+      const Canonical truth = canonical_of(g);
+      const Status status = certify(csr, truth);
+      EXPECT_TRUE(status.ok())
+          << family << " n=" << n << ": " << status.message;
+    }
+  }
+}
+
+TEST(Certificate, SingletonAndEmptyGraphs) {
+  // n = 1: one vertex, no edges — the forest is a single root.
+  const CsrGraph one = CsrGraph::from_edges(1, {});
+  ForestCertificate cert;
+  ASSERT_TRUE(build_certificate(one, {0}, cert).ok());
+  EXPECT_TRUE(verify_certificate(one, {0}, 1, cert).ok());
+  EXPECT_EQ(cert.parent, std::vector<NodeId>{0});
+}
+
+TEST(Certificate, SplitComponentRejected) {
+  // A path 0-1-2-3 labelled as if 2|3 were their own component: edge
+  // {1, 2} straddles the split — check (a) convicts.
+  const CsrGraph csr = CsrGraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const std::vector<NodeId> split = {0, 0, 2, 2};
+  ForestCertificate cert;
+  const Status built = build_certificate(csr, split, cert);
+  if (built.ok()) {
+    const Status verdict = verify_certificate(csr, split, 2, cert);
+    EXPECT_FALSE(verdict.ok());
+    EXPECT_FALSE(verdict.message.empty());
+  } else {
+    EXPECT_FALSE(built.message.empty());
+  }
+}
+
+TEST(Certificate, MergedComponentsRejected) {
+  // Two disjoint edges labelled as one component: class 0 = {0,1,2,3} is
+  // not connected, so no spanning forest exists — the *build* fails.  This
+  // is the cross-component-merge case the per-round lattice monitors can
+  // never see (labels only went down).
+  const CsrGraph csr = CsrGraph::from_edges(4, {{0, 1}, {2, 3}});
+  const std::vector<NodeId> merged = {0, 0, 0, 0};
+  ForestCertificate cert;
+  const Status built = build_certificate(csr, merged, cert);
+  EXPECT_FALSE(built.ok());
+  EXPECT_FALSE(built.message.empty());
+}
+
+TEST(Certificate, NonMinimalLabelRejected) {
+  // A triangle labelled with 1 instead of 0: lattice check label[v] <= v
+  // fails at v = 0 (and root 1's class has no self-labelled minimum).
+  const CsrGraph csr = CsrGraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const std::vector<NodeId> shifted = {1, 1, 1};
+  ForestCertificate cert;
+  EXPECT_FALSE(build_certificate(csr, shifted, cert).ok());
+}
+
+TEST(Certificate, OutOfRangeLabelRejected) {
+  const CsrGraph csr = CsrGraph::from_edges(3, {{0, 1}, {1, 2}});
+  ForestCertificate cert;
+  EXPECT_FALSE(build_certificate(csr, {0, 0, 7}, cert).ok());
+}
+
+TEST(Certificate, WrongComponentCountRejected) {
+  const Graph g = make_named("cliques:3", 12, 5);
+  const CsrGraph csr = CsrGraph::from_graph(g);
+  const Canonical truth = canonical_of(g);
+  ForestCertificate cert;
+  ASSERT_TRUE(build_certificate(csr, truth.labels, cert).ok());
+  EXPECT_FALSE(
+      verify_certificate(csr, truth.labels, truth.components + 1, cert).ok());
+  ASSERT_GE(truth.components, 1u);
+  EXPECT_FALSE(
+      verify_certificate(csr, truth.labels, truth.components - 1, cert).ok());
+}
+
+TEST(Certificate, DoctoredForestsRejected) {
+  // verify_certificate must not trust the forest: a correct labeling with
+  // a tampered parent array (non-neighbour parent, parent cycle, fake
+  // root) fails the forest-validity check even though (a) and (c) hold.
+  const CsrGraph csr =
+      CsrGraph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::vector<NodeId> labels = {0, 0, 0, 0, 0};
+  ForestCertificate cert;
+  ASSERT_TRUE(build_certificate(csr, labels, cert).ok());
+  ASSERT_TRUE(verify_certificate(csr, labels, 1, cert).ok());
+
+  ForestCertificate non_neighbour = cert;
+  non_neighbour.parent[4] = 0;  // 0 is not adjacent to 4
+  EXPECT_FALSE(verify_certificate(csr, labels, 1, non_neighbour).ok());
+
+  ForestCertificate cycle = cert;
+  cycle.parent[1] = 2;
+  cycle.parent[2] = 1;  // 1 <-> 2 never reaches the root
+  EXPECT_FALSE(verify_certificate(csr, labels, 1, cycle).ok());
+
+  ForestCertificate extra_root = cert;
+  extra_root.parent[3] = 3;  // self-parent without label[3] == 3
+  EXPECT_FALSE(verify_certificate(csr, labels, 1, extra_root).ok());
+
+  ForestCertificate short_forest = cert;
+  short_forest.parent.pop_back();
+  EXPECT_FALSE(verify_certificate(csr, labels, 1, short_forest).ok());
+}
+
+TEST(Certificate, RandomCorruptionsNeverCertify) {
+  // Property form of the soundness claim: perturb the canonical labeling
+  // of random graphs any way at all — if the result differs from the
+  // canonical labeling, build + verify must NOT both succeed.
+  Xoshiro256 rng(20260808);
+  std::size_t convicted = 0;
+  for (int round = 0; round < 300; ++round) {
+    const auto n = static_cast<NodeId>(6 + rng.below(40));
+    const Graph g = random_gnp(n, 0.15, rng());
+    const CsrGraph csr = CsrGraph::from_graph(g);
+    const Canonical truth = canonical_of(g);
+
+    std::vector<NodeId> corrupt = truth.labels;
+    const std::size_t edits = 1 + rng.below(3);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const auto v = static_cast<NodeId>(rng.below(n));
+      switch (rng.below(3)) {
+        case 0:  // lattice-legal rewrite (the hard case)
+          corrupt[v] = static_cast<NodeId>(rng.below(std::uint64_t{v} + 1));
+          break;
+        case 1:  // bit flip, possibly out of range
+          corrupt[v] ^= static_cast<NodeId>(1u << rng.below(8));
+          break;
+        default:  // copy a random other vertex's label
+          corrupt[v] = corrupt[rng.below(n)];
+          break;
+      }
+    }
+    if (corrupt == truth.labels) continue;
+
+    ForestCertificate cert;
+    const Status built = build_certificate(csr, corrupt, cert);
+    const bool certified =
+        built.ok() &&
+        verify_certificate(csr, corrupt, truth.components, cert).ok();
+    EXPECT_FALSE(certified) << "round " << round << " n=" << n
+                            << ": a wrong labeling certified";
+    ++convicted;
+  }
+  EXPECT_GE(convicted, 200u);  // the loop must actually exercise the claim
+}
+
+}  // namespace
+}  // namespace gcalib::graph

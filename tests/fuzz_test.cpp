@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "core/checkpoint.hpp"
 #include "core/hirschberg_gca.hpp"
+#include "gcad/journal.hpp"
 #include "core/hirschberg_ncells.hpp"
 #include "core/hirschberg_tree.hpp"
 #include "core/schedule.hpp"
@@ -201,6 +202,99 @@ TEST(FuzzCheckpoint, ExtendedAndRepeatedBlobsRejected) {
   core::CheckpointData out;
   EXPECT_FALSE(core::parse_checkpoint(pristine + '\0', out).ok());
   EXPECT_FALSE(core::parse_checkpoint(pristine + pristine, out).ok());
+}
+
+// --- journal deserializer fuzzing (DESIGN.md §14/§15) ---------------------
+//
+// The GCQJ queue journal is the other parser fed by a possibly-crashed
+// process: gcad replays it before reading any new input, so a torn or
+// tampered journal must be rejected whole — never half-loaded into the
+// intake queue.  Same fuzz contract as the checkpoint loaders: total,
+// honest (round-trip on accept), diagnosed on reject.
+
+std::string valid_journal_blob(std::uint64_t seed) {
+  std::vector<gcad::JournalEntry> entries;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    gcad::JournalEntry entry;
+    entry.id = 100 + i;
+    entry.priority = static_cast<int>(i % 4);
+    entry.deadline_ms = (i % 2 == 0) ? 0 : 1500;
+    entry.client = "client" + std::to_string(i);
+    entry.graph =
+        graph::random_gnp(static_cast<graph::NodeId>(6 + i), 0.3, seed + i);
+    entries.push_back(std::move(entry));
+  }
+  return gcad::serialize_journal(entries);
+}
+
+void expect_journal_parser_is_total(const std::string& bytes,
+                                    const std::string& context) {
+  std::vector<gcad::JournalEntry> out;
+  const Status status = gcad::parse_journal(bytes, out);
+  if (status.ok()) {
+    EXPECT_EQ(gcad::serialize_journal(out), bytes) << context;
+  } else {
+    EXPECT_FALSE(status.message.empty()) << context;
+  }
+}
+
+TEST(FuzzJournal, RandomMutationsNeverCrashOrSlipThrough) {
+  Xoshiro256 rng(20260809);
+  const std::string pristine = valid_journal_blob(4242);
+  for (int round = 0; round < 400; ++round) {
+    std::string mutated = pristine;
+    const std::size_t flips = 1 + rng.below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          static_cast<unsigned char>(1u << (rng() % 8)));
+    }
+    expect_journal_parser_is_total(mutated, "round " + std::to_string(round));
+  }
+}
+
+TEST(FuzzJournal, EveryTruncationLengthRejected) {
+  const std::string pristine = valid_journal_blob(7);
+  for (std::size_t keep = 0; keep < pristine.size(); ++keep) {
+    std::vector<gcad::JournalEntry> out;
+    const Status status = gcad::parse_journal(pristine.substr(0, keep), out);
+    EXPECT_FALSE(status.ok()) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(FuzzJournal, RandomGarbageNeverCrashes) {
+  Xoshiro256 rng(1729);
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage(rng.below(512), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng() & 0xFF);
+    expect_journal_parser_is_total(garbage,
+                                   "garbage round " + std::to_string(round));
+  }
+}
+
+TEST(FuzzJournal, HostileEntryCountsCannotForceHugeAllocations) {
+  // A fuzzed header claiming 2^31 entries must be rejected by the
+  // kMaxJournalEntries bound before any entry allocation happens.
+  const std::string pristine = valid_journal_blob(7);
+  for (std::uint32_t count :
+       {gcad::kMaxJournalEntries + 1, std::uint32_t{1} << 31,
+        std::uint32_t{0xFFFFFFFF}}) {
+    std::string hostile = pristine;
+    for (std::size_t i = 0; i < 4; ++i) {
+      hostile[8 + i] = static_cast<char>((count >> (8 * i)) & 0xFF);
+    }
+    std::vector<gcad::JournalEntry> out;
+    EXPECT_FALSE(gcad::parse_journal(hostile, out).ok())
+        << "entries=" << count;
+  }
+}
+
+TEST(FuzzJournal, ExtendedAndRepeatedBlobsRejected) {
+  const std::string pristine = valid_journal_blob(7);
+  std::vector<gcad::JournalEntry> out;
+  EXPECT_FALSE(gcad::parse_journal(pristine + '\0', out).ok());
+  EXPECT_FALSE(gcad::parse_journal(pristine + pristine, out).ok());
 }
 
 TEST(FuzzBattery, BrentStepInflationIsExact) {
